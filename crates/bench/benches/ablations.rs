@@ -1,0 +1,222 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * interpreted vs compiled simulation across design size (§5),
+//! * fixed-point quantisation vs bit-vector simulation (§3),
+//! * three-phase cycle-scheduler overhead vs untimed chain length (§4),
+//! * dynamic data-flow scheduling vs a precomputed static SDF schedule.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ocapi::dataflow::{DataflowGraph, FnActor, Sink, Source};
+use ocapi::{
+    CompiledSim, Component, FnBlock, InterpSim, PortDecl, SigType, Simulator, System, Value,
+};
+use ocapi_fixp::{BitVec, Fix, Format, Overflow, Rounding};
+
+/// A chain of `n` accumulate-and-forward components.
+fn chain_system(n: usize) -> System {
+    let mut sb = System::build("chain");
+    let mut prev = None;
+    for i in 0..n {
+        let c = Component::build(&format!("acc{i}"));
+        let x = c.input("x", SigType::Bits(16)).expect("in");
+        let o = c.output("o", SigType::Bits(16)).expect("out");
+        let r = c.reg("r", SigType::Bits(16)).expect("reg");
+        let s = c.sfg("s").expect("sfg");
+        let q = c.q(r);
+        let sum = q.clone() + c.read(x);
+        s.next(r, &sum).expect("next");
+        s.drive(o, &q).expect("drive");
+        let comp = c.finish().expect("finish");
+        let id = sb.add_component(&format!("u{i}"), comp).expect("add");
+        match prev {
+            None => {
+                sb.input("x", SigType::Bits(16)).expect("pi");
+                sb.connect_input("x", id, "x").expect("conn");
+            }
+            Some(p) => {
+                sb.connect(p, "o", id, "x").expect("conn");
+            }
+        }
+        prev = Some(id);
+    }
+    sb.output("y", prev.expect("non-empty"), "o").expect("po");
+    sb.finish().expect("system")
+}
+
+fn interp_vs_compiled_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("interp_vs_compiled_scaling");
+    g.sample_size(10);
+    for n in [4usize, 16, 64] {
+        let mut interp = InterpSim::new(chain_system(n)).expect("sim");
+        interp.set_input("x", Value::bits(16, 3)).expect("set");
+        g.bench_with_input(BenchmarkId::new("interpreted", n), &n, |b, _| {
+            b.iter(|| interp.run(256).expect("run"))
+        });
+        let mut compiled = CompiledSim::new(chain_system(n)).expect("sim");
+        compiled.set_input("x", Value::bits(16, 3)).expect("set");
+        g.bench_with_input(BenchmarkId::new("compiled", n), &n, |b, _| {
+            b.iter(|| compiled.run(256).expect("run"))
+        });
+    }
+    g.finish();
+}
+
+fn fixp_vs_bitvec(c: &mut Criterion) {
+    // A 16-tap MAC at 12-bit precision: the paper's argument for
+    // simulating quantisation instead of bit vectors.
+    let fmt = Format::new(12, 4).expect("fmt");
+    let coefs_fix: Vec<Fix> = (0..16)
+        .map(|i| {
+            Fix::from_f64(
+                0.05 * i as f64 - 0.3,
+                fmt,
+                Rounding::Nearest,
+                Overflow::Saturate,
+            )
+        })
+        .collect();
+    let xs_fix: Vec<Fix> = (0..1024)
+        .map(|i| {
+            Fix::from_f64(
+                ((i * 37) % 17) as f64 / 9.0 - 1.0,
+                fmt,
+                Rounding::Nearest,
+                Overflow::Saturate,
+            )
+        })
+        .collect();
+    let coefs_bv: Vec<BitVec> = coefs_fix
+        .iter()
+        .map(|f| BitVec::from_i64(f.mantissa(), 12).expect("bv"))
+        .collect();
+    let xs_bv: Vec<BitVec> = xs_fix
+        .iter()
+        .map(|f| BitVec::from_i64(f.mantissa(), 12).expect("bv"))
+        .collect();
+
+    let mut g = c.benchmark_group("fixp_vs_bitvec");
+    g.bench_function("quantisation_fix", |b| {
+        b.iter(|| {
+            let mut acc = Fix::zero(Format::new(24, 10).expect("fmt"));
+            for w in xs_fix.windows(16) {
+                for (x, co) in w.iter().zip(&coefs_fix) {
+                    acc = (acc + *x * *co).cast(
+                        Format::new(24, 10).expect("fmt"),
+                        Rounding::Truncate,
+                        Overflow::Wrap,
+                    );
+                }
+            }
+            acc
+        })
+    });
+    g.bench_function("bit_vector", |b| {
+        b.iter(|| {
+            let mut acc = BitVec::zeros(24);
+            for w in xs_bv.windows(16) {
+                for (x, co) in w.iter().zip(&coefs_bv) {
+                    let p = x.shift_add_mul(co).expect("mul");
+                    acc = acc.ripple_add(&p).expect("add");
+                }
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn scheduler_phase_overhead(c: &mut Criterion) {
+    // A loop of timed + untimed components of growing length: the
+    // evaluation phase must order the untimed firings data-dependently.
+    fn looped(n_untimed: usize) -> System {
+        let mut sb = System::build("loopy");
+        let head = {
+            let cb = Component::build("head");
+            let i = cb.input("i", SigType::Bits(16)).expect("in");
+            let o = cb.output("o", SigType::Bits(16)).expect("out");
+            let r = cb.reg("r", SigType::Bits(16)).expect("reg");
+            let s = cb.sfg("s").expect("sfg");
+            s.drive(o, &cb.q(r)).expect("drive");
+            s.next(r, &(cb.read(i) + cb.const_bits(16, 1)))
+                .expect("next");
+            cb.finish().expect("finish")
+        };
+        let h = sb.add_component("head", head).expect("add");
+        let mut prev = h;
+        let mut prev_port = "o";
+        for k in 0..n_untimed {
+            let blk = FnBlock::new(
+                &format!("u{k}"),
+                vec![PortDecl {
+                    name: "a".into(),
+                    ty: SigType::Bits(16),
+                }],
+                vec![PortDecl {
+                    name: "y".into(),
+                    ty: SigType::Bits(16),
+                }],
+                |i, o| o[0] = Value::bits(16, i[0].as_bits().expect("bits").wrapping_mul(3)),
+            );
+            let b = sb.add_block(Box::new(blk)).expect("add");
+            sb.connect(prev, prev_port, b, "a").expect("conn");
+            prev = b;
+            prev_port = "y";
+        }
+        sb.connect(prev, prev_port, h, "i").expect("conn");
+        sb.output("probe", h, "o").expect("po");
+        sb.finish().expect("system")
+    }
+    let mut g = c.benchmark_group("cycle_scheduler_phases");
+    g.sample_size(20);
+    for n in [1usize, 8, 32] {
+        let mut sim = InterpSim::new(looped(n)).expect("sim");
+        g.bench_with_input(BenchmarkId::new("untimed_chain", n), &n, |b, _| {
+            b.iter(|| sim.run(64).expect("run"))
+        });
+    }
+    g.finish();
+}
+
+fn dataflow_scheduling(c: &mut Criterion) {
+    fn graph(tokens: usize) -> DataflowGraph {
+        let mut g = DataflowGraph::new();
+        let src = g.add(Box::new(Source::new(
+            "src",
+            (0..tokens as u64).map(|i| Value::bits(16, i & 0xffff)),
+        )));
+        let f1 = g.add(Box::new(FnActor::new("f1", 1, 1, |i, o| {
+            o.push(Value::bits(
+                16,
+                i[0].as_bits().expect("bits").wrapping_mul(5),
+            ))
+        })));
+        let f2 = g.add(Box::new(FnActor::new("f2", 1, 1, |i, o| {
+            o.push(Value::bits(16, i[0].as_bits().expect("bits") ^ 0xaaaa))
+        })));
+        let sink = g.add(Box::new(Sink::new("sink")));
+        g.connect(src, 0, f1, 0, &[]).expect("conn");
+        g.connect(f1, 0, f2, 0, &[]).expect("conn");
+        g.connect(f2, 0, sink, 0, &[]).expect("conn");
+        g
+    }
+    let mut g = c.benchmark_group("dataflow_scheduler");
+    g.bench_function("dynamic_run_4096_tokens", |b| {
+        b.iter(|| {
+            let mut dg = graph(4096);
+            dg.run(u64::MAX).expect("run")
+        })
+    });
+    g.bench_function("static_schedule_construction", |b| {
+        b.iter(|| graph(16).static_schedule().expect("schedule"))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    interp_vs_compiled_scaling,
+    fixp_vs_bitvec,
+    scheduler_phase_overhead,
+    dataflow_scheduling
+);
+criterion_main!(benches);

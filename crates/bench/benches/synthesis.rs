@@ -1,0 +1,88 @@
+//! Synthesis-flow benchmarks: datapath synthesis with and without
+//! operator sharing, controller minimisation, and HDL generation — the
+//! run-time side of the paper's §6 ("run times less than 15 minutes even
+//! for the most complex … datapath").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ocapi_bench::padded_sequencer;
+use ocapi_designs::dect::transceiver::{build_system, TransceiverConfig};
+use ocapi_designs::hcor;
+use ocapi_hdl::{verilog, vhdl};
+use ocapi_synth::{synthesize, SynthOptions};
+
+fn bench(c: &mut Criterion) {
+    let sys = build_system(&TransceiverConfig::default()).expect("build");
+    let mac = sys
+        .timed
+        .iter()
+        .find(|t| t.name == "dp_mac0")
+        .expect("mac exists")
+        .comp
+        .clone();
+    let hcor_comp = hcor::build_component().expect("build");
+
+    let mut g = c.benchmark_group("synthesis");
+    g.sample_size(20);
+    g.bench_function("datapath_mac_shared", |b| {
+        b.iter(|| synthesize(&mac, &SynthOptions::default()).expect("synthesis"))
+    });
+    g.bench_function("datapath_mac_flat", |b| {
+        b.iter(|| {
+            synthesize(
+                &mac,
+                &SynthOptions {
+                    share_operators: false,
+                    ..SynthOptions::default()
+                },
+            )
+            .expect("synthesis")
+        })
+    });
+    g.bench_function("controller_hcor_minimized", |b| {
+        b.iter(|| synthesize(&hcor_comp, &SynthOptions::default()).expect("synthesis"))
+    });
+    g.bench_function("controller_hcor_structural", |b| {
+        b.iter(|| {
+            synthesize(
+                &hcor_comp,
+                &SynthOptions {
+                    minimize_controller: false,
+                    ..SynthOptions::default()
+                },
+            )
+            .expect("synthesis")
+        })
+    });
+    g.bench_function("vhdl_generation_dect", |b| {
+        b.iter(|| vhdl::system_source(&sys).expect("codegen"))
+    });
+    g.bench_function("verilog_generation_dect", |b| {
+        b.iter(|| verilog::system_source(&sys).expect("codegen"))
+    });
+
+    // Back-end passes on the synthesized MAC netlist.
+    let mac_net = synthesize(&mac, &SynthOptions::default()).expect("synthesis");
+    g.bench_function("techmap_nand_inv_mac", |b| {
+        b.iter(|| {
+            let mut n = mac_net.netlist.clone();
+            ocapi_synth::techmap::to_nand_inv(&mut n);
+            ocapi_synth::opt::optimize(&mut n);
+            n
+        })
+    });
+    g.bench_function("netlist_emit_parse_roundtrip_mac", |b| {
+        b.iter(|| {
+            let src = ocapi_synth::emit::verilog_netlist("mac", &mac_net.netlist);
+            ocapi_synth::parse::verilog_netlist(&src).expect("parse")
+        })
+    });
+    g.bench_function("fsm_minimize_padded_seq", |b| {
+        let comp = padded_sequencer(16).expect("build");
+        let fsm = comp.fsm.clone().expect("fsm");
+        b.iter(|| ocapi_synth::fsm_min::minimize(&fsm))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Table 1, DECT rows: simulation speed of the four paradigms on the
+//! complete transceiver.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ocapi::{CompiledSim, InterpSim};
+use ocapi_designs::dect::burst::{generate, Burst, BurstConfig};
+use ocapi_designs::dect::transceiver::{build_system, run_burst, TransceiverConfig};
+use ocapi_gatesim::GateSystemSim;
+use ocapi_rtl::RtlSystemSim;
+use ocapi_synth::SynthOptions;
+
+fn burst(payload: usize) -> Burst {
+    generate(&BurstConfig {
+        payload_len: payload,
+        ..BurstConfig::default()
+    })
+}
+
+fn bench(c: &mut Criterion) {
+    let cfg = TransceiverConfig::default();
+    let mut g = c.benchmark_group("table1_dect");
+    g.sample_size(10);
+
+    let b96 = burst(96);
+    g.throughput(Throughput::Elements((b96.samples.len() * 4) as u64));
+
+    let mut interp = InterpSim::new(build_system(&cfg).expect("build")).expect("sim");
+    g.bench_function("interpreted_obj", |b| {
+        b.iter(|| run_burst(&mut interp, &b96, None).expect("burst"))
+    });
+
+    let mut compiled = CompiledSim::new(build_system(&cfg).expect("build")).expect("sim");
+    g.bench_function("compiled", |b| {
+        b.iter(|| run_burst(&mut compiled, &b96, None).expect("burst"))
+    });
+
+    let mut rtl = RtlSystemSim::new(build_system(&cfg).expect("build")).expect("sim");
+    g.bench_function("rtl_event_driven", |b| {
+        b.iter(|| run_burst(&mut rtl, &b96, None).expect("burst"))
+    });
+
+    // Netlist simulation is orders of magnitude slower; use a small burst.
+    let b8 = burst(8);
+    let mut gates =
+        GateSystemSim::new(build_system(&cfg).expect("build"), &SynthOptions::default())
+            .expect("sim");
+    g.throughput(Throughput::Elements((b8.samples.len() * 4) as u64));
+    g.bench_function("gate_netlist", |b| {
+        b.iter(|| run_burst(&mut gates, &b8, None).expect("burst"))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

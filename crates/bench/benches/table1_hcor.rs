@@ -1,0 +1,48 @@
+//! Table 1, HCOR rows: simulation speed of the four paradigms on the
+//! header correlator.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ocapi::{CompiledSim, InterpSim, Simulator, Value};
+use ocapi_designs::hcor;
+use ocapi_gatesim::GateSystemSim;
+use ocapi_rtl::RtlSystemSim;
+use ocapi_synth::SynthOptions;
+
+const CYCLES: u64 = 512;
+
+fn drive(sim: &mut dyn Simulator, bits: &[bool]) {
+    sim.set_input("enable", Value::Bool(true)).expect("set");
+    sim.set_input("threshold", Value::bits(5, 17)).expect("set");
+    for b in bits {
+        sim.set_input("bit_in", Value::Bool(*b)).expect("set");
+        sim.step().expect("step");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let bits = hcor::test_pattern((CYCLES as usize - 32) / 2, 5);
+    let mut g = c.benchmark_group("table1_hcor");
+    g.throughput(Throughput::Elements(bits.len() as u64));
+    g.sample_size(20);
+
+    let mut interp = InterpSim::new(hcor::build_system().expect("build")).expect("sim");
+    g.bench_function("interpreted_obj", |b| b.iter(|| drive(&mut interp, &bits)));
+
+    let mut compiled = CompiledSim::new(hcor::build_system().expect("build")).expect("sim");
+    g.bench_function("compiled", |b| b.iter(|| drive(&mut compiled, &bits)));
+
+    let mut rtl = RtlSystemSim::new(hcor::build_system().expect("build")).expect("sim");
+    g.bench_function("rtl_event_driven", |b| b.iter(|| drive(&mut rtl, &bits)));
+
+    let mut gates = GateSystemSim::new(
+        hcor::build_system().expect("build"),
+        &SynthOptions::default(),
+    )
+    .expect("sim");
+    g.bench_function("gate_netlist", |b| b.iter(|| drive(&mut gates, &bits)));
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,206 @@
+//! Stuck-at fault coverage of the generated verification testbenches —
+//! an extension of the paper's Figure 8 story: the testbench vectors
+//! recorded from system simulation double as a manufacturing test set,
+//! and fault simulation grades them.
+//!
+//! Compares three vector sets on the synthesized HCOR correlator:
+//! the functional burst pattern the generated testbench replays, pure
+//! random bits, and a short all-idle set (lower bound).
+//!
+//! Run with `cargo run --release -p ocapi-bench --bin fault_coverage`.
+
+use ocapi_designs::hcor;
+use ocapi_gatesim::fault::{stuck_at_coverage, stuck_at_coverage_parallel, CycleStimulus};
+use ocapi_gatesim::GateSim;
+use ocapi_synth::{synthesize, SynthOptions};
+
+/// Drives the HCOR netlist with a bit stream (cycling through the given
+/// thresholds) and observes every output every cycle.
+fn drive<'a>(bits: &'a [bool], thresholds: &'a [u64]) -> impl FnMut(&mut GateSim) -> Vec<u64> + 'a {
+    move |sim: &mut GateSim| {
+        let bit = sim.netlist().input_by_name("bit_in").expect("in").to_vec();
+        let en = sim.netlist().input_by_name("enable").expect("in").to_vec();
+        let th = sim
+            .netlist()
+            .input_by_name("threshold")
+            .expect("in")
+            .to_vec();
+        let corr = sim.netlist().output_by_name("corr").expect("out").to_vec();
+        let det = sim
+            .netlist()
+            .output_by_name("detect")
+            .expect("out")
+            .to_vec();
+        let pos = sim
+            .netlist()
+            .output_by_name("sync_pos")
+            .expect("out")
+            .to_vec();
+        bits.iter()
+            .enumerate()
+            .map(|(k, b)| {
+                sim.set_bus(&bit, *b as u64);
+                sim.set_bus(&en, 1);
+                sim.set_bus(&th, thresholds[(k / 32) % thresholds.len()]);
+                sim.settle();
+                sim.clock();
+                sim.bus(&corr) | (sim.bus(&det) << 8) | (sim.bus(&pos) << 16)
+            })
+            .collect()
+    }
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+fn main() {
+    let comp = hcor::build_component().expect("build");
+    let netlist = synthesize(&comp, &SynthOptions::default()).expect("synthesis");
+    println!(
+        "HCOR netlist: {} gates, {} FF — {} stuck-at faults",
+        netlist.netlist.combinational_count(),
+        netlist.netlist.dff_count(),
+        2 * (netlist.netlist.combinational_count() + netlist.netlist.dff_count())
+    );
+    println!(
+        "\n{:<38} {:>8} {:>10} {:>10}",
+        "vector set", "cycles", "detected", "coverage"
+    );
+
+    let mut sets: Vec<(String, Vec<bool>, Vec<u64>)> = Vec::new();
+    // The functional pattern the generated testbench replays (burst with
+    // the sync word at a known offset), at two lengths.
+    for n in [64usize, 256] {
+        sets.push((
+            format!("generated testbench (burst, {n})"),
+            hcor::test_pattern(n, 7),
+            vec![11],
+        ));
+    }
+    // The same burst with a threshold sweep between segments.
+    sets.push((
+        "burst + threshold sweep (256)".into(),
+        hcor::test_pattern(256, 7),
+        vec![15, 11, 31, 9],
+    ));
+    // Random bits, same lengths.
+    let mut st = 0x2545f4914f6cdd1du64;
+    for n in [64usize, 256] {
+        let bits = (0..n).map(|_| xorshift(&mut st) & 1 == 1).collect();
+        sets.push((format!("random bits ({n})"), bits, vec![11]));
+    }
+    // The lower bound: a constant stream never exercises the datapath.
+    sets.push(("all-zero idle (64)".into(), vec![false; 64], vec![11]));
+
+    let mut best: Option<ocapi_gatesim::fault::FaultReport> = None;
+    for (label, bits, thresholds) in &sets {
+        let rep = stuck_at_coverage(&netlist.netlist, drive(bits, thresholds));
+        println!(
+            "{:<38} {:>8} {:>10} {:>9.1}%",
+            label,
+            bits.len(),
+            rep.detected,
+            100.0 * rep.coverage()
+        );
+        if best.as_ref().is_none_or(|b| rep.detected > b.detected) {
+            best = Some(rep);
+        }
+    }
+
+    // Where do the escapes of the best set live?
+    let best = best.expect("at least one set");
+    let mut by_kind: std::collections::BTreeMap<String, usize> = Default::default();
+    for f in &best.undetected {
+        let kind = netlist.netlist.gates[f.gate].kind;
+        *by_kind.entry(format!("{kind:?}")).or_default() += 1;
+    }
+    println!("\nundetected faults of the best set, by gate kind:");
+    for (k, n) in &by_kind {
+        println!("  {k:<8} {n:>6}");
+    }
+
+    // BIST: pseudo-random LFSR patterns, graded with the parallel
+    // engine; the MISR signature is what an on-chip comparison fuses.
+    use ocapi_gatesim::bist;
+    // Two BIST disciplines: fully random, and enable held high (classic
+    // constrained BIST on control pins). Both plateau early: the locked
+    // state is terminal (only a global reset leaves it), so the first
+    // random low threshold freezes the machine and everything behind
+    // the lock becomes unobservable — this design needs a reset between
+    // BIST sessions, which is itself a finding fault grading surfaces.
+    for (label, constrain) in [("LFSR BIST", false), ("LFSR BIST, enable held", true)] {
+        for patterns in [256usize, 2048] {
+            let mut stim = bist::lfsr_stimulus(&netlist.netlist, patterns, 0xace1);
+            if constrain {
+                for cyc in &mut stim {
+                    for (name, v) in &mut cyc.inputs {
+                        if name == "enable" {
+                            *v = 1;
+                        }
+                    }
+                }
+            }
+            let rep = stuck_at_coverage_parallel(&netlist.netlist, &stim);
+            let sig = bist::golden_signature(&netlist.netlist, &stim);
+            println!(
+                "{:<38} {:>8} {:>10} {:>9.1}%   signature {:08x}",
+                format!("{label} ({patterns})"),
+                patterns,
+                rep.detected,
+                100.0 * rep.coverage(),
+                sig.signature
+            );
+        }
+    }
+
+    // Engine ablation: serial (one rebuilt simulator per fault) vs the
+    // 64-way bit-parallel engine, on the longest vector set.
+    let bits = hcor::test_pattern(256, 7);
+    let stimuli: Vec<CycleStimulus> = bits
+        .iter()
+        .map(|b| CycleStimulus {
+            inputs: vec![
+                ("bit_in".into(), *b as u64),
+                ("enable".into(), 1),
+                ("threshold".into(), 11),
+            ],
+        })
+        .collect();
+    let t = std::time::Instant::now();
+    let serial = stuck_at_coverage(&netlist.netlist, drive(&bits, &[11]));
+    let t_serial = t.elapsed().as_secs_f64();
+    let t = std::time::Instant::now();
+    let parallel = stuck_at_coverage_parallel(&netlist.netlist, &stimuli);
+    let t_parallel = t.elapsed().as_secs_f64();
+    assert_eq!(serial.detected, parallel.detected, "engines disagree");
+    assert_eq!(serial.undetected, parallel.undetected, "engines disagree");
+    println!(
+        "\nengine ablation on the 256-symbol burst ({} faults, identical reports):",
+        serial.total
+    );
+    println!("  serial       {t_serial:>8.2} s");
+    println!(
+        "  bit-parallel {t_parallel:>8.2} s   ({:.0}x faster)",
+        t_serial / t_parallel
+    );
+
+    println!(
+        "\nReading the table: any data-rich stream (functional burst or\n\
+         random) saturates the datapath cone within one correlator fill,\n\
+         so doubling the vector count buys nothing — the remaining faults\n\
+         sit in logic those vectors never sensitise: the high bits of the\n\
+         16-bit sync-position counter (a longer burst would reach them)\n\
+         and the threshold comparator cone under a fixed threshold.\n\
+         Sweeping the threshold across segments (high first, so the\n\
+         terminal locked state arrives late) recovers part of that.\n\
+         LFSR BIST plateaus low for the same reason: a random low\n\
+         threshold locks the FSM within a few cycles and the lock is\n\
+         terminal — this design needs a reset between BIST sessions,\n\
+         the kind of DFT finding fault grading exists to surface.\n\
+         A constant stream tests almost nothing."
+    );
+}

@@ -1,0 +1,263 @@
+//! Regenerates Table 1 of the paper: source-code size, simulation speed
+//! and process size for the HCOR header correlator and the complete DECT
+//! transceiver, across the simulation paradigms:
+//!
+//! * `C++ (interpreted obj)` → [`ocapi::InterpSim`] (the three-phase cycle
+//!   scheduler walking the captured data structure),
+//! * `C++ (compiled)` → [`ocapi::CompiledSim`] (the levelized tape),
+//! * `VHDL (RT)` → [`ocapi_rtl::RtlSystemSim`] (event-driven RT kernel on
+//!   the lowered design),
+//! * `VHDL/Verilog (netlist)` → [`ocapi_gatesim::GateSystemSim`]
+//!   (event-driven gate-level simulation of the synthesized netlist).
+//!
+//! Run with `cargo run --release -p ocapi-bench --bin table1`.
+
+use ocapi::{CompiledSim, InterpSim, Simulator, System, Value};
+use ocapi_bench::{mb, timed, CountingAlloc};
+use ocapi_designs::dect::burst::{generate, BurstConfig};
+use ocapi_designs::dect::transceiver::{self, TransceiverConfig};
+use ocapi_designs::hcor;
+use ocapi_gatesim::GateSystemSim;
+use ocapi_hdl::report::effective_lines;
+use ocapi_hdl::{verilog, vhdl};
+use ocapi_rtl::RtlSystemSim;
+use ocapi_synth::report::ChipReport;
+use ocapi_synth::{synthesize, SynthOptions};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+struct Row {
+    kind: &'static str,
+    source_lines: usize,
+    cycles_per_sec: f64,
+    process_mb: String,
+}
+
+/// Measures one simulator: build under allocation accounting, run the
+/// driver, report speed and peak footprint.
+fn measure<S: Simulator>(
+    build: impl FnOnce() -> S,
+    drive: impl Fn(&mut S) -> u64,
+) -> (f64, String) {
+    CountingAlloc::reset_peak();
+    let before = CountingAlloc::live();
+    let mut sim = build();
+    let (cycles, secs) = timed(|| drive(&mut sim));
+    let peak = CountingAlloc::peak().saturating_sub(before);
+    drop(sim);
+    (cycles as f64 / secs, mb(peak))
+}
+
+fn dsl_lines(keys: &[&str]) -> usize {
+    ocapi_designs::dsl_sources()
+        .iter()
+        .filter(|(name, _)| keys.contains(name))
+        .map(|(_, src)| {
+            // Count only the capture description, not the unit tests.
+            let desc = src.split("#[cfg(test)]").next().unwrap_or(src);
+            effective_lines(desc, "//")
+        })
+        .sum()
+}
+
+fn hdl_lines(sys: &System) -> (usize, usize) {
+    let v = vhdl::system_source(sys).expect("vhdl generation");
+    let vl = verilog::system_source(sys).expect("verilog generation");
+    (effective_lines(&v, "--"), effective_lines(&vl, "//"))
+}
+
+fn gate_count(sys: &System) -> f64 {
+    let mut rep = ChipReport::new(&sys.name);
+    for t in &sys.timed {
+        rep.add(&synthesize(&t.comp, &SynthOptions::default()).expect("synthesis"));
+    }
+    rep.total_area()
+}
+
+fn print_design(name: &str, gates: f64, rows: &[Row]) {
+    println!("\n{name}  ({gates:.0} gate-eq)");
+    println!(
+        "  {:<28} {:>14} {:>16} {:>14}",
+        "type", "source (lines)", "speed (cyc/sec)", "process (MB)"
+    );
+    for r in rows {
+        println!(
+            "  {:<28} {:>14} {:>16.0} {:>14}",
+            r.kind, r.source_lines, r.cycles_per_sec, r.process_mb
+        );
+    }
+}
+
+fn hcor_table() {
+    let bits = hcor::test_pattern(3000, 99);
+    let drive_bits = bits.clone();
+    let drive = move |sim: &mut dyn Simulator| -> u64 {
+        sim.set_input("enable", Value::Bool(true)).expect("set");
+        sim.set_input("threshold", Value::bits(5, 17)).expect("set"); // never locks
+        for b in &drive_bits {
+            sim.set_input("bit_in", Value::Bool(*b)).expect("set");
+            sim.step().expect("step");
+        }
+        drive_bits.len() as u64
+    };
+
+    let sys = hcor::build_system().expect("build");
+    let (vhdl_l, verilog_l) = hdl_lines(&sys);
+    let dsl_l = dsl_lines(&["hcor"]);
+    let gates = gate_count(&sys);
+
+    let (interp_speed, interp_mem) = measure(
+        || InterpSim::new(hcor::build_system().expect("build")).expect("sim"),
+        |s| drive(s),
+    );
+    let (comp_speed, comp_mem) = measure(
+        || CompiledSim::new(hcor::build_system().expect("build")).expect("sim"),
+        |s| drive(s),
+    );
+    let (rtl_speed, rtl_mem) = measure(
+        || RtlSystemSim::new(hcor::build_system().expect("build")).expect("sim"),
+        |s| drive(s),
+    );
+    let (gate_speed, gate_mem) = measure(
+        || {
+            GateSystemSim::new(
+                hcor::build_system().expect("build"),
+                &SynthOptions::default(),
+            )
+            .expect("sim")
+        },
+        |s| drive(s),
+    );
+
+    print_design(
+        "HCOR (header correlator)",
+        gates,
+        &[
+            Row {
+                kind: "DSL (interpreted obj)",
+                source_lines: dsl_l,
+                cycles_per_sec: interp_speed,
+                process_mb: interp_mem,
+            },
+            Row {
+                kind: "DSL (compiled)",
+                source_lines: dsl_l,
+                cycles_per_sec: comp_speed,
+                process_mb: comp_mem,
+            },
+            Row {
+                kind: "VHDL (RT, event-driven)",
+                source_lines: vhdl_l,
+                cycles_per_sec: rtl_speed,
+                process_mb: rtl_mem,
+            },
+            Row {
+                kind: "Verilog (netlist)",
+                source_lines: verilog_l,
+                cycles_per_sec: gate_speed,
+                process_mb: gate_mem,
+            },
+        ],
+    );
+}
+
+fn dect_table() {
+    let cfg = TransceiverConfig::default();
+    let make_burst = |n: usize| {
+        generate(&BurstConfig {
+            payload_len: n,
+            ..BurstConfig::default()
+        })
+    };
+    let drive = |sim: &mut dyn Simulator, payload: usize| -> u64 {
+        let burst = make_burst(payload);
+        transceiver::run_burst(sim, &burst, None).expect("burst");
+        (burst.samples.len() * transceiver::CYCLES_PER_SYMBOL) as u64
+    };
+
+    let sys = transceiver::build_system(&cfg).expect("build");
+    let (vhdl_l, verilog_l) = hdl_lines(&sys);
+    let dsl_l = dsl_lines(&[
+        "hcor",
+        "dect/pc_controller",
+        "dect/datapaths",
+        "dect/transceiver",
+    ]);
+    let gates = gate_count(&sys);
+
+    let (interp_speed, interp_mem) = measure(
+        || InterpSim::new(transceiver::build_system(&cfg).expect("build")).expect("sim"),
+        |s| drive(s, 960),
+    );
+    let (comp_speed, comp_mem) = measure(
+        || CompiledSim::new(transceiver::build_system(&cfg).expect("build")).expect("sim"),
+        |s| drive(s, 960),
+    );
+    let (rtl_speed, rtl_mem) = measure(
+        || RtlSystemSim::new(transceiver::build_system(&cfg).expect("build")).expect("sim"),
+        |s| drive(s, 480),
+    );
+    let (gate_speed, gate_mem) = measure(
+        || {
+            GateSystemSim::new(
+                transceiver::build_system(&cfg).expect("build"),
+                &SynthOptions::default(),
+            )
+            .expect("sim")
+        },
+        |s| drive(s, 32),
+    );
+
+    print_design(
+        "DECT (radiolink transceiver)",
+        gates,
+        &[
+            Row {
+                kind: "DSL (interpreted obj)",
+                source_lines: dsl_l,
+                cycles_per_sec: interp_speed,
+                process_mb: interp_mem,
+            },
+            Row {
+                kind: "DSL (compiled)",
+                source_lines: dsl_l,
+                cycles_per_sec: comp_speed,
+                process_mb: comp_mem,
+            },
+            Row {
+                kind: "VHDL (RT, event-driven)",
+                source_lines: vhdl_l,
+                cycles_per_sec: rtl_speed,
+                process_mb: rtl_mem,
+            },
+            Row {
+                kind: "Verilog (netlist)",
+                source_lines: verilog_l,
+                cycles_per_sec: gate_speed,
+                process_mb: gate_mem,
+            },
+        ],
+    );
+}
+
+fn main() {
+    println!("Table 1 reproduction: performances of interpreted and compiled approaches");
+    println!("(speed measured on this machine; see EXPERIMENTS.md for the comparison)");
+    hcor_table();
+    dect_table();
+    println!("\ncode-size ratio (generated RT-VHDL lines / DSL lines):");
+    let hs = hcor::build_system().expect("build");
+    let (hv, _) = hdl_lines(&hs);
+    let hd = dsl_lines(&["hcor"]);
+    println!("  HCOR: {:.1}x", hv as f64 / hd as f64);
+    let ds = transceiver::build_system(&TransceiverConfig::default()).expect("build");
+    let (dv, _) = hdl_lines(&ds);
+    let dd = dsl_lines(&[
+        "hcor",
+        "dect/pc_controller",
+        "dect/datapaths",
+        "dect/transceiver",
+    ]);
+    println!("  DECT: {:.1}x", dv as f64 / dd as f64);
+}

@@ -1,0 +1,380 @@
+//! Untimed (high-level) processes and a small library of standard blocks.
+//!
+//! The paper mixes "high level descriptions of undesigned components with
+//! detailed clock-cycle true, bit-true descriptions" (§1). An untimed
+//! block is plain Rust behaviour with a data-flow *firing rule*: inside the
+//! cycle scheduler it fires at most once per clock cycle, as soon as all
+//! its input tokens are available — which is how the DECT design models
+//! the RAM cells attached to the datapaths (§4, Figure 6).
+
+use std::fmt;
+
+use crate::comp::PortDecl;
+use crate::value::{SigType, Value};
+
+/// Structural description of a memory block, letting code generators
+/// emit a behavioural HDL model instead of a black box (the "behavioural
+/// model supplied separately" of the original flow, now generated).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemorySpec {
+    /// True for read-only memories.
+    pub is_rom: bool,
+    /// Address width in bits.
+    pub addr_bits: u32,
+    /// Word type.
+    pub word: SigType,
+    /// Initial/constant contents (length `2^addr_bits`).
+    pub contents: Vec<Value>,
+}
+
+/// A high-level (untimed) process usable inside a clocked system.
+///
+/// The cycle scheduler calls [`UntimedBlock::ready`] once all input nets
+/// carry this cycle's tokens; if it returns `true`, [`UntimedBlock::fire`]
+/// runs and must write every output. If it returns `false`, the outputs
+/// hold their previous values.
+pub trait UntimedBlock {
+    /// Instance name (unique within the system).
+    fn name(&self) -> &str;
+
+    /// Declared input ports.
+    fn input_ports(&self) -> Vec<PortDecl>;
+
+    /// Declared output ports.
+    fn output_ports(&self) -> Vec<PortDecl>;
+
+    /// The firing rule. The default fires whenever all inputs are
+    /// available (which is when this is called).
+    fn ready(&self, _inputs: &[Value]) -> bool {
+        true
+    }
+
+    /// One firing: consume `inputs`, produce `outputs`. `outputs` is
+    /// pre-filled with the previous (held) values.
+    fn fire(&mut self, inputs: &[Value], outputs: &mut [Value]);
+
+    /// Returns the block to its power-up state.
+    fn reset(&mut self) {}
+
+    /// If this block is a memory, its structural description — code
+    /// generators use it to emit a behavioural HDL model instead of a
+    /// black box. Defaults to `None` (opaque behaviour).
+    fn memory_spec(&self) -> Option<MemorySpec> {
+        None
+    }
+}
+
+impl fmt::Debug for dyn UntimedBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "UntimedBlock({})", self.name())
+    }
+}
+
+/// A single-port RAM with combinational (asynchronous) read — the model
+/// the DECT transceiver uses for its 7 RAM cells: the datapath computes an
+/// address from registered signals, the RAM responds within the same
+/// cycle.
+///
+/// Ports: `addr: Bits(a)`, `we: Bool`, `wdata: T` → `rdata: T`. A write
+/// is visible from the *next* firing (write happens after the read).
+#[derive(Debug, Clone)]
+pub struct Ram {
+    name: String,
+    addr_bits: u32,
+    ty: SigType,
+    words: Vec<Value>,
+}
+
+impl Ram {
+    /// Creates a RAM with `2^addr_bits` words of type `ty`, zero-filled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr_bits` is 0 or greater than 24 (16M words).
+    pub fn new(name: &str, addr_bits: u32, ty: SigType) -> Ram {
+        assert!((1..=24).contains(&addr_bits), "addr_bits must be 1..=24");
+        Ram {
+            name: name.to_owned(),
+            addr_bits,
+            ty,
+            words: vec![ty.zero(); 1 << addr_bits],
+        }
+    }
+
+    /// Pre-loads a word (for test setup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range or `value` has the wrong type.
+    pub fn preload(&mut self, addr: usize, value: Value) {
+        assert_eq!(value.sig_type(), self.ty, "preload type mismatch");
+        self.words[addr] = value;
+    }
+
+    /// Reads a word directly (for test inspection).
+    pub fn word(&self, addr: usize) -> Value {
+        self.words[addr]
+    }
+}
+
+impl UntimedBlock for Ram {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn input_ports(&self) -> Vec<PortDecl> {
+        vec![
+            PortDecl {
+                name: "addr".to_owned(),
+                ty: SigType::Bits(self.addr_bits),
+            },
+            PortDecl {
+                name: "we".to_owned(),
+                ty: SigType::Bool,
+            },
+            PortDecl {
+                name: "wdata".to_owned(),
+                ty: self.ty,
+            },
+        ]
+    }
+
+    fn output_ports(&self) -> Vec<PortDecl> {
+        vec![PortDecl {
+            name: "rdata".to_owned(),
+            ty: self.ty,
+        }]
+    }
+
+    fn fire(&mut self, inputs: &[Value], outputs: &mut [Value]) {
+        let addr = inputs[0].as_bits().expect("addr is bits") as usize;
+        let we = inputs[1].as_bool().expect("we is bool");
+        outputs[0] = self.words[addr];
+        if we {
+            self.words[addr] = inputs[2];
+        }
+    }
+
+    fn reset(&mut self) {
+        for w in &mut self.words {
+            *w = self.ty.zero();
+        }
+    }
+
+    fn memory_spec(&self) -> Option<MemorySpec> {
+        Some(MemorySpec {
+            is_rom: false,
+            addr_bits: self.addr_bits,
+            word: self.ty,
+            contents: self.words.clone(),
+        })
+    }
+}
+
+/// A ROM with combinational read: `addr: Bits(a)` → `data: T`.
+///
+/// The DECT instruction ROM (IROM) is modelled this way.
+#[derive(Debug, Clone)]
+pub struct Rom {
+    name: String,
+    addr_bits: u32,
+    ty: SigType,
+    words: Vec<Value>,
+}
+
+impl Rom {
+    /// Creates a ROM from its contents; the depth is rounded up to the
+    /// next power of two (padding with zeros).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is empty, exceeds 16M entries, or contains a
+    /// value of the wrong type.
+    pub fn new(name: &str, ty: SigType, words: Vec<Value>) -> Rom {
+        assert!(!words.is_empty(), "ROM must have contents");
+        for w in &words {
+            assert_eq!(w.sig_type(), ty, "ROM word type mismatch");
+        }
+        let addr_bits = (usize::BITS - (words.len() - 1).leading_zeros()).max(1);
+        assert!(addr_bits <= 24, "ROM too large");
+        let mut words = words;
+        words.resize(1 << addr_bits, ty.zero());
+        Rom {
+            name: name.to_owned(),
+            addr_bits,
+            ty,
+            words,
+        }
+    }
+
+    /// The number of address bits.
+    pub fn addr_bits(&self) -> u32 {
+        self.addr_bits
+    }
+}
+
+impl UntimedBlock for Rom {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn input_ports(&self) -> Vec<PortDecl> {
+        vec![PortDecl {
+            name: "addr".to_owned(),
+            ty: SigType::Bits(self.addr_bits),
+        }]
+    }
+
+    fn output_ports(&self) -> Vec<PortDecl> {
+        vec![PortDecl {
+            name: "data".to_owned(),
+            ty: self.ty,
+        }]
+    }
+
+    fn fire(&mut self, inputs: &[Value], outputs: &mut [Value]) {
+        let addr = inputs[0].as_bits().expect("addr is bits") as usize;
+        outputs[0] = self.words[addr];
+    }
+
+    fn memory_spec(&self) -> Option<MemorySpec> {
+        Some(MemorySpec {
+            is_rom: true,
+            addr_bits: self.addr_bits,
+            word: self.ty,
+            contents: self.words.clone(),
+        })
+    }
+}
+
+/// An untimed block defined by a closure — the quickest way to drop a
+/// high-level model of an undesigned component into a clocked system.
+///
+/// # Example
+///
+/// ```
+/// use ocapi::{FnBlock, PortDecl, SigType, Value};
+///
+/// // A high-level "saturating doubler" that has not been designed yet.
+/// let blk = FnBlock::new(
+///     "doubler",
+///     vec![PortDecl { name: "x".into(), ty: SigType::Bits(8) }],
+///     vec![PortDecl { name: "y".into(), ty: SigType::Bits(8) }],
+///     |inp, out| {
+///         let x = inp[0].as_bits().expect("bits");
+///         out[0] = Value::bits(8, (x * 2).min(255));
+///     },
+/// );
+/// ```
+pub struct FnBlock<F> {
+    name: String,
+    inputs: Vec<PortDecl>,
+    outputs: Vec<PortDecl>,
+    behaviour: F,
+}
+
+impl<F> FnBlock<F>
+where
+    F: FnMut(&[Value], &mut [Value]),
+{
+    /// Wraps a closure as an untimed block.
+    pub fn new(name: &str, inputs: Vec<PortDecl>, outputs: Vec<PortDecl>, behaviour: F) -> Self {
+        FnBlock {
+            name: name.to_owned(),
+            inputs,
+            outputs,
+            behaviour,
+        }
+    }
+}
+
+impl<F> UntimedBlock for FnBlock<F>
+where
+    F: FnMut(&[Value], &mut [Value]),
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn input_ports(&self) -> Vec<PortDecl> {
+        self.inputs.clone()
+    }
+
+    fn output_ports(&self) -> Vec<PortDecl> {
+        self.outputs.clone()
+    }
+
+    fn fire(&mut self, inputs: &[Value], outputs: &mut [Value]) {
+        (self.behaviour)(inputs, outputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ram_read_then_write() {
+        let mut ram = Ram::new("r", 4, SigType::Bits(8));
+        ram.preload(3, Value::bits(8, 42));
+        let mut out = [Value::bits(8, 0)];
+        // read addr 3
+        ram.fire(
+            &[Value::bits(4, 3), Value::Bool(false), Value::bits(8, 0)],
+            &mut out,
+        );
+        assert_eq!(out[0], Value::bits(8, 42));
+        // write addr 3: old value is read out, new value lands
+        ram.fire(
+            &[Value::bits(4, 3), Value::Bool(true), Value::bits(8, 7)],
+            &mut out,
+        );
+        assert_eq!(out[0], Value::bits(8, 42));
+        assert_eq!(ram.word(3), Value::bits(8, 7));
+    }
+
+    #[test]
+    fn ram_reset_clears() {
+        let mut ram = Ram::new("r", 2, SigType::Bits(8));
+        ram.preload(1, Value::bits(8, 9));
+        ram.reset();
+        assert_eq!(ram.word(1), Value::bits(8, 0));
+    }
+
+    #[test]
+    fn rom_rounds_to_power_of_two() {
+        let rom = Rom::new(
+            "irom",
+            SigType::Bits(16),
+            (0..5).map(|i| Value::bits(16, i)).collect(),
+        );
+        assert_eq!(rom.addr_bits(), 3);
+        let mut out = [Value::bits(16, 0)];
+        let mut rom = rom;
+        rom.fire(&[Value::bits(3, 4)], &mut out);
+        assert_eq!(out[0], Value::bits(16, 4));
+        rom.fire(&[Value::bits(3, 7)], &mut out);
+        assert_eq!(out[0], Value::bits(16, 0)); // padding
+    }
+
+    #[test]
+    fn fn_block_runs_closure() {
+        let mut blk = FnBlock::new(
+            "inc",
+            vec![PortDecl {
+                name: "x".into(),
+                ty: SigType::Bits(8),
+            }],
+            vec![PortDecl {
+                name: "y".into(),
+                ty: SigType::Bits(8),
+            }],
+            |inp, out| {
+                out[0] = Value::bits(8, inp[0].as_bits().expect("bits") + 1);
+            },
+        );
+        let mut out = [Value::bits(8, 0)];
+        blk.fire(&[Value::bits(8, 9)], &mut out);
+        assert_eq!(out[0], Value::bits(8, 10));
+    }
+}

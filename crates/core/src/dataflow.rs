@@ -1,0 +1,603 @@
+//! Data-flow simulation of untimed systems.
+//!
+//! At the system level, processes "execute using data-flow simulation
+//! semantics … process execution can start as soon as the required input
+//! values are available" (§2). When a system contains only untimed
+//! blocks, this *data-flow scheduler* is used instead of the cycle
+//! scheduler: it repeatedly checks firing rules and fires actors whose
+//! input tokens are present.
+//!
+//! The module also implements the static analysis of synchronous data
+//! flow (the paper cites Lee & Messerschmitt \[7\]): the balance equations
+//! give a repetition vector, from which a periodic admissible sequential
+//! schedule (PASS) is constructed, or the graph is reported inconsistent
+//! or deadlocked.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use crate::value::Value;
+use crate::CoreError;
+
+/// A data-flow actor: fires when enough tokens are on every input,
+/// consuming and producing fixed token rates (synchronous data flow).
+pub trait Actor {
+    /// Actor name (unique within a graph).
+    fn name(&self) -> &str;
+
+    /// Number of input ports.
+    fn num_inputs(&self) -> usize;
+
+    /// Number of output ports.
+    fn num_outputs(&self) -> usize;
+
+    /// Tokens consumed per firing on input `port` (default 1).
+    fn consumption(&self, _port: usize) -> usize {
+        1
+    }
+
+    /// Tokens produced per firing on output `port` (default 1).
+    fn production(&self, _port: usize) -> usize {
+        1
+    }
+
+    /// One firing: `inputs[p]` holds exactly `consumption(p)` tokens;
+    /// push exactly `production(p)` tokens onto `outputs[p]`.
+    fn fire(&mut self, inputs: &[Vec<Value>], outputs: &mut [Vec<Value>]);
+}
+
+/// A finite source actor producing one token per firing from a vector.
+/// Its firing rule is exhausted when the data runs out.
+#[derive(Debug, Clone)]
+pub struct Source {
+    name: String,
+    data: VecDeque<Value>,
+}
+
+impl Source {
+    /// Creates a source emitting `data` one token at a time.
+    pub fn new(name: &str, data: impl IntoIterator<Item = Value>) -> Source {
+        Source {
+            name: name.to_owned(),
+            data: data.into_iter().collect(),
+        }
+    }
+
+    /// Tokens not yet emitted.
+    pub fn remaining(&self) -> usize {
+        self.data.len()
+    }
+}
+
+impl Actor for Source {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn num_inputs(&self) -> usize {
+        0
+    }
+    fn num_outputs(&self) -> usize {
+        1
+    }
+    fn fire(&mut self, _inputs: &[Vec<Value>], outputs: &mut [Vec<Value>]) {
+        if let Some(v) = self.data.pop_front() {
+            outputs[0].push(v);
+        }
+    }
+}
+
+/// A sink actor collecting every token it receives. The collected
+/// tokens stay readable through a [`SinkHandle`] even after the sink has
+/// been moved into a [`DataflowGraph`].
+#[derive(Debug, Clone, Default)]
+pub struct Sink {
+    name: String,
+    collected: Rc<RefCell<Vec<Value>>>,
+}
+
+/// Shared read access to a [`Sink`]'s collected tokens.
+#[derive(Debug, Clone, Default)]
+pub struct SinkHandle(Rc<RefCell<Vec<Value>>>);
+
+impl SinkHandle {
+    /// A snapshot of the tokens received so far.
+    pub fn tokens(&self) -> Vec<Value> {
+        self.0.borrow().clone()
+    }
+
+    /// Number of tokens received so far.
+    pub fn len(&self) -> usize {
+        self.0.borrow().len()
+    }
+
+    /// True if nothing has been received.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink {
+    /// Creates an empty sink.
+    pub fn new(name: &str) -> Sink {
+        Sink {
+            name: name.to_owned(),
+            collected: Rc::new(RefCell::new(Vec::new())),
+        }
+    }
+
+    /// A handle for reading the collected tokens after the sink has been
+    /// added to a graph.
+    pub fn handle(&self) -> SinkHandle {
+        SinkHandle(Rc::clone(&self.collected))
+    }
+
+    /// A snapshot of the tokens received so far.
+    pub fn collected(&self) -> Vec<Value> {
+        self.collected.borrow().clone()
+    }
+}
+
+impl Actor for Sink {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn num_inputs(&self) -> usize {
+        1
+    }
+    fn num_outputs(&self) -> usize {
+        0
+    }
+    fn fire(&mut self, inputs: &[Vec<Value>], _outputs: &mut [Vec<Value>]) {
+        self.collected
+            .borrow_mut()
+            .extend(inputs[0].iter().copied());
+    }
+}
+
+/// A data-flow actor defined by a closure (rate-1 on all ports).
+pub struct FnActor<F> {
+    name: String,
+    n_in: usize,
+    n_out: usize,
+    behaviour: F,
+}
+
+impl<F> FnActor<F>
+where
+    F: FnMut(&[Value], &mut Vec<Value>),
+{
+    /// Wraps `behaviour`: it receives one token per input and must push
+    /// one token per output (in port order) onto the output vector.
+    pub fn new(name: &str, n_in: usize, n_out: usize, behaviour: F) -> Self {
+        FnActor {
+            name: name.to_owned(),
+            n_in,
+            n_out,
+            behaviour,
+        }
+    }
+}
+
+impl<F> Actor for FnActor<F>
+where
+    F: FnMut(&[Value], &mut Vec<Value>),
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn num_inputs(&self) -> usize {
+        self.n_in
+    }
+    fn num_outputs(&self) -> usize {
+        self.n_out
+    }
+    fn fire(&mut self, inputs: &[Vec<Value>], outputs: &mut [Vec<Value>]) {
+        let flat: Vec<Value> = inputs.iter().map(|v| v[0]).collect();
+        let mut out = Vec::with_capacity(self.n_out);
+        (self.behaviour)(&flat, &mut out);
+        assert_eq!(
+            out.len(),
+            self.n_out,
+            "FnActor must produce one token per output"
+        );
+        for (o, v) in outputs.iter_mut().zip(out) {
+            o.push(v);
+        }
+    }
+}
+
+/// Reference to an actor in a [`DataflowGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ActorId(usize);
+
+#[derive(Debug)]
+struct Edge {
+    from: (usize, usize),
+    to: (usize, usize),
+    tokens: VecDeque<Value>,
+}
+
+/// A graph of data-flow actors connected by FIFO channels.
+pub struct DataflowGraph {
+    actors: Vec<Box<dyn Actor>>,
+    edges: Vec<Edge>,
+    fires: Vec<(usize, u64)>,
+}
+
+impl std::fmt::Debug for DataflowGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "DataflowGraph({} actors, {} edges)",
+            self.actors.len(),
+            self.edges.len()
+        )
+    }
+}
+
+impl Default for DataflowGraph {
+    fn default() -> Self {
+        DataflowGraph::new()
+    }
+}
+
+impl DataflowGraph {
+    /// Creates an empty graph.
+    pub fn new() -> DataflowGraph {
+        DataflowGraph {
+            actors: Vec::new(),
+            edges: Vec::new(),
+            fires: Vec::new(),
+        }
+    }
+
+    /// Adds an actor.
+    pub fn add(&mut self, actor: Box<dyn Actor>) -> ActorId {
+        self.actors.push(actor);
+        ActorId(self.actors.len() - 1)
+    }
+
+    /// Connects `from`'s output port to `to`'s input port with an
+    /// unbounded FIFO, optionally pre-loaded with initial tokens (the
+    /// classical way to break data-flow cycles).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownName`] if a port index is out of range.
+    pub fn connect(
+        &mut self,
+        from: ActorId,
+        from_port: usize,
+        to: ActorId,
+        to_port: usize,
+        initial_tokens: &[Value],
+    ) -> Result<(), CoreError> {
+        if from_port >= self.actors[from.0].num_outputs() {
+            return Err(CoreError::UnknownName {
+                kind: "output port",
+                name: format!("{}[{from_port}]", self.actors[from.0].name()),
+            });
+        }
+        if to_port >= self.actors[to.0].num_inputs() {
+            return Err(CoreError::UnknownName {
+                kind: "input port",
+                name: format!("{}[{to_port}]", self.actors[to.0].name()),
+            });
+        }
+        self.edges.push(Edge {
+            from: (from.0, from_port),
+            to: (to.0, to_port),
+            tokens: initial_tokens.iter().copied().collect(),
+        });
+        Ok(())
+    }
+
+    /// Direct access to an actor (e.g. to read back a [`Sink`]).
+    pub fn actor(&self, id: ActorId) -> &dyn Actor {
+        self.actors[id.0].as_ref()
+    }
+
+    /// Number of tokens currently queued on all edges.
+    pub fn queued_tokens(&self) -> usize {
+        self.edges.iter().map(|e| e.tokens.len()).sum()
+    }
+
+    /// The firing log: (actor, count) pairs in completion order batches.
+    pub fn firings(&self) -> &[(usize, u64)] {
+        &self.fires
+    }
+
+    fn fireable(&self, a: usize) -> bool {
+        let actor = &self.actors[a];
+        if actor.num_inputs() == 0 {
+            // Source actors: fireable while they still have data. We
+            // cannot see inside a generic actor, so sources signal
+            // exhaustion by producing nothing; treat zero-input actors as
+            // fireable only a bounded number of times via run()'s budget.
+            return true;
+        }
+        for p in 0..actor.num_inputs() {
+            let need = actor.consumption(p);
+            let have: usize = self
+                .edges
+                .iter()
+                .filter(|e| e.to == (a, p))
+                .map(|e| e.tokens.len())
+                .sum();
+            let connected = self.edges.iter().any(|e| e.to == (a, p));
+            if !connected || have < need {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn fire_actor(&mut self, a: usize) -> bool {
+        let n_in = self.actors[a].num_inputs();
+        let n_out = self.actors[a].num_outputs();
+        let mut inputs: Vec<Vec<Value>> = vec![Vec::new(); n_in];
+        #[allow(clippy::needless_range_loop)] // `p` also indexes the edges
+        for p in 0..n_in {
+            let need = self.actors[a].consumption(p);
+            let mut taken = 0;
+            for e in self.edges.iter_mut().filter(|e| e.to == (a, p)) {
+                while taken < need {
+                    match e.tokens.pop_front() {
+                        Some(v) => {
+                            inputs[p].push(v);
+                            taken += 1;
+                        }
+                        None => break,
+                    }
+                }
+            }
+            debug_assert_eq!(taken, need);
+        }
+        let mut outputs: Vec<Vec<Value>> = vec![Vec::new(); n_out];
+        self.actors[a].fire(&inputs, &mut outputs);
+        let mut produced_any = n_out == 0 && n_in > 0;
+        for (p, toks) in outputs.into_iter().enumerate() {
+            if !toks.is_empty() {
+                produced_any = true;
+            }
+            for e in self.edges.iter_mut().filter(|e| e.from == (a, p)) {
+                e.tokens.extend(toks.iter().copied());
+            }
+        }
+        produced_any || n_in > 0
+    }
+
+    /// Runs the dynamic data-flow scheduler: repeatedly fires fireable
+    /// actors until nothing can fire or `max_firings` is reached.
+    /// Returns the number of firings performed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DataflowDeadlock`] if tokens remain queued but
+    /// no actor can consume them.
+    pub fn run(&mut self, max_firings: u64) -> Result<u64, CoreError> {
+        let mut count = 0u64;
+        loop {
+            let mut progressed = false;
+            for a in 0..self.actors.len() {
+                while count < max_firings && self.fireable(a) {
+                    let produced = self.fire_actor(a);
+                    if !produced {
+                        // An exhausted source: stop trying it.
+                        break;
+                    }
+                    count += 1;
+                    self.fires.push((a, count));
+                    progressed = true;
+                    if self.actors[a].num_inputs() == 0 {
+                        // Round-robin sources one firing at a time so they
+                        // interleave fairly.
+                        break;
+                    }
+                }
+                if count >= max_firings {
+                    return Ok(count);
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        if self.queued_tokens() > 0 {
+            let blocked: Vec<String> = self
+                .actors
+                .iter()
+                .enumerate()
+                .filter(|(a, actor)| {
+                    actor.num_inputs() > 0
+                        && self
+                            .edges
+                            .iter()
+                            .any(|e| e.to.0 == *a && !e.tokens.is_empty())
+                })
+                .map(|(_, actor)| actor.name().to_owned())
+                .collect();
+            if !blocked.is_empty() {
+                return Err(CoreError::DataflowDeadlock { blocked });
+            }
+        }
+        Ok(count)
+    }
+
+    /// Solves the SDF balance equations and returns the repetition vector
+    /// (the minimal positive number of firings of each actor per periodic
+    /// schedule iteration).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InconsistentRates`] if the equations only
+    /// admit the zero solution.
+    pub fn repetition_vector(&self) -> Result<Vec<u64>, CoreError> {
+        // Solve q[from] * prod = q[to] * cons over rationals by
+        // propagation, then scale to the least integers.
+        let n = self.actors.len();
+        let mut num = vec![0u64; n]; // rational q = num/den
+        let mut den = vec![1u64; n];
+        let mut visited = vec![false; n];
+        for start in 0..n {
+            if visited[start] {
+                continue;
+            }
+            num[start] = 1;
+            visited[start] = true;
+            let mut stack = vec![start];
+            while let Some(a) = stack.pop() {
+                for e in &self.edges {
+                    let (fa, fp) = e.from;
+                    let (ta, tp) = e.to;
+                    if fa != a && ta != a {
+                        continue;
+                    }
+                    let prod = self.actors[fa].production(fp) as u64;
+                    let cons = self.actors[ta].consumption(tp) as u64;
+                    if prod == 0 || cons == 0 {
+                        continue;
+                    }
+                    let (known, other, kn, kd, mul, div) = if fa == a && !visited[ta] {
+                        (a, ta, num[a], den[a], prod, cons)
+                    } else if ta == a && !visited[fa] {
+                        (a, fa, num[a], den[a], cons, prod)
+                    } else {
+                        // Both visited: consistency check.
+                        let (q_f, q_t) = ((num[fa], den[fa]), (num[ta], den[ta]));
+                        // q_f * prod == q_t * cons ?
+                        if q_f.0 as u128 * prod as u128 * q_t.1 as u128
+                            != q_t.0 as u128 * cons as u128 * q_f.1 as u128
+                        {
+                            return Err(CoreError::InconsistentRates {
+                                edge: (
+                                    self.actors[fa].name().to_owned(),
+                                    self.actors[ta].name().to_owned(),
+                                ),
+                            });
+                        }
+                        continue;
+                    };
+                    let _ = known;
+                    // q_other = q_known * mul / div
+                    let g1 = gcd(mul, div);
+                    let (mul, div) = (mul / g1, div / g1);
+                    let nn = kn * mul;
+                    let nd = kd * div;
+                    let g = gcd(nn, nd);
+                    num[other] = nn / g.max(1);
+                    den[other] = nd / g.max(1);
+                    visited[other] = true;
+                    stack.push(other);
+                }
+            }
+        }
+        // Scale to integers: multiply by lcm of denominators.
+        let mut l = 1u64;
+        for d in &den {
+            l = lcm(l, *d);
+        }
+        let mut q: Vec<u64> = num.iter().zip(&den).map(|(n2, d)| n2 * (l / d)).collect();
+        // Normalise by gcd.
+        let mut g = 0u64;
+        for v in &q {
+            g = gcd(g, *v);
+        }
+        if g > 1 {
+            for v in &mut q {
+                *v /= g;
+            }
+        }
+        if q.contains(&0) {
+            // Isolated actors fire once.
+            for v in &mut q {
+                if *v == 0 {
+                    *v = 1;
+                }
+            }
+        }
+        Ok(q)
+    }
+
+    /// Constructs a periodic admissible sequential schedule (PASS) by
+    /// symbolic execution of one period, following Lee & Messerschmitt's
+    /// class-S algorithm. Returns the actor firing order of one period.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InconsistentRates`] for unbalanced graphs and
+    /// [`CoreError::DataflowDeadlock`] when a period cannot complete
+    /// (missing initial tokens on a cycle).
+    pub fn static_schedule(&self) -> Result<Vec<ActorId>, CoreError> {
+        let q = self.repetition_vector()?;
+        let mut remaining: Vec<u64> = q.clone();
+        let mut tokens: Vec<usize> = self.edges.iter().map(|e| e.tokens.len()).collect();
+        let mut order = Vec::new();
+        let total: u64 = q.iter().sum();
+        while (order.len() as u64) < total {
+            let mut progressed = false;
+            #[allow(clippy::needless_range_loop)] // `a` also indexes edges and tokens
+            for a in 0..self.actors.len() {
+                if remaining[a] == 0 {
+                    continue;
+                }
+                let can = (0..self.actors[a].num_inputs()).all(|p| {
+                    let need = self.actors[a].consumption(p);
+                    self.edges
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, e)| e.to == (a, p))
+                        .map(|(i, _)| tokens[i])
+                        .sum::<usize>()
+                        >= need
+                        && self.edges.iter().any(|e| e.to == (a, p))
+                });
+                // Actors with unconnected inputs can never fire in a
+                // static schedule; sources (0 inputs) always can.
+                let can = can || self.actors[a].num_inputs() == 0;
+                if can {
+                    for (i, e) in self.edges.iter().enumerate() {
+                        if e.to.0 == a {
+                            let need = self.actors[a].consumption(e.to.1);
+                            tokens[i] = tokens[i].saturating_sub(need);
+                        }
+                        if e.from.0 == a {
+                            tokens[i] += self.actors[a].production(e.from.1);
+                        }
+                    }
+                    remaining[a] -= 1;
+                    order.push(ActorId(a));
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                let blocked = self
+                    .actors
+                    .iter()
+                    .enumerate()
+                    .filter(|(a, _)| remaining[*a] > 0)
+                    .map(|(_, actor)| actor.name().to_owned())
+                    .collect();
+                return Err(CoreError::DataflowDeadlock { blocked });
+            }
+        }
+        Ok(order)
+    }
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn lcm(a: u64, b: u64) -> u64 {
+    if a == 0 || b == 0 {
+        a.max(b)
+    } else {
+        a / gcd(a, b) * b
+    }
+}

@@ -1,0 +1,266 @@
+//! Mealy finite state machines coupled to signal flow graphs.
+//!
+//! The paper's Figure 4 shows the C++ description style:
+//!
+//! ```text
+//! fsm f;
+//! initial s0; state s1;
+//! s0 << always    << sfg1 << s1;
+//! s1 << cnd(eof)  << sfg2 << s1;
+//! s1 << !cnd(eof) << sfg3 << s0;
+//! ```
+//!
+//! The Rust builder reads almost identically:
+//!
+//! ```
+//! # use ocapi::{Component, SigType};
+//! # fn main() -> Result<(), ocapi::CoreError> {
+//! let c = Component::build("demo");
+//! let eof = c.input("eof", SigType::Bool)?;
+//! let out = c.output("out", SigType::Bits(4))?;
+//! let sfg1 = c.sfg("sfg1")?; sfg1.drive(out, &c.const_bits(4, 1))?;
+//! let sfg2 = c.sfg("sfg2")?; sfg2.drive(out, &c.const_bits(4, 2))?;
+//! let sfg3 = c.sfg("sfg3")?; sfg3.drive(out, &c.const_bits(4, 3))?;
+//!
+//! let eof_sig = c.read(eof);
+//! let fsm = c.fsm()?;
+//! let s0 = fsm.initial("s0")?;
+//! let s1 = fsm.state("s1")?;
+//! fsm.from(s0).always().run(sfg1.id()).to(s1)?;
+//! fsm.from(s1).when(&eof_sig).run(sfg2.id()).to(s1)?;
+//! fsm.from(s1).unless(&eof_sig).run(sfg3.id()).to(s0)?;
+//! let comp = c.finish()?;
+//! assert_eq!(comp.fsm.as_ref().map(|f| f.states.len()), Some(2));
+//! # Ok(())
+//! # }
+//! ```
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::comp::{CompInner, ComponentBuilder, NodeId, SfgRef, Sig};
+use crate::value::{SigType, UnOp};
+use crate::CoreError;
+
+/// Reference to a state of a component's FSM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StateRef(pub(crate) u32);
+
+impl StateRef {
+    /// Index into [`Fsm::states`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `StateRef` from an index into [`Fsm::states`] (for
+    /// synthesis back-ends that rebuild or transform machines).
+    pub fn from_index(index: usize) -> StateRef {
+        StateRef(index as u32)
+    }
+}
+
+/// A Mealy transition: when `guard` holds in state `from`, run the
+/// `actions` SFGs this cycle and move to `to` at the clock edge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transition {
+    /// Source state.
+    pub from: StateRef,
+    /// Guard expression node (`Bool`); `None` means "always". Guards are
+    /// evaluated at the start of the cycle, reading register current
+    /// values and the values the input nets held at the end of the
+    /// previous cycle.
+    pub guard: Option<NodeId>,
+    /// The SFGs executed when the transition is taken.
+    pub actions: Vec<SfgRef>,
+    /// Destination state.
+    pub to: StateRef,
+}
+
+/// A finished Mealy FSM. Transitions from a state are tried in declaration
+/// order; if none matches the component idles (stays in its state, runs no
+/// SFG).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fsm {
+    /// State names, indexed by [`StateRef`].
+    pub states: Vec<String>,
+    /// The reset state.
+    pub initial: StateRef,
+    /// All transitions.
+    pub transitions: Vec<Transition>,
+}
+
+impl Fsm {
+    /// The transitions leaving a given state, in priority order.
+    pub fn from_state(&self, s: StateRef) -> impl Iterator<Item = &Transition> {
+        self.transitions.iter().filter(move |t| t.from == s)
+    }
+
+    /// Looks up a state by name.
+    pub fn state_by_name(&self, name: &str) -> Option<StateRef> {
+        self.states
+            .iter()
+            .position(|s| s == name)
+            .map(|i| StateRef(i as u32))
+    }
+}
+
+/// Builder handle for a component's FSM.
+pub struct FsmBuilder {
+    inner: Rc<RefCell<CompInner>>,
+}
+
+impl ComponentBuilder {
+    /// Starts describing the component's Mealy controller.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DuplicateName`] if the component already has
+    /// an FSM.
+    pub fn fsm(&self) -> Result<FsmBuilder, CoreError> {
+        let mut inner = self.inner.borrow_mut();
+        if inner.fsm.is_some() {
+            return Err(CoreError::DuplicateName {
+                kind: "fsm",
+                name: inner.name.clone(),
+            });
+        }
+        inner.fsm = Some(Fsm {
+            states: Vec::new(),
+            initial: StateRef(0),
+            transitions: Vec::new(),
+        });
+        Ok(FsmBuilder {
+            inner: Rc::clone(&self.inner),
+        })
+    }
+}
+
+impl FsmBuilder {
+    /// Declares the initial (reset) state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DuplicateName`] on a state-name clash.
+    pub fn initial(&self, name: &str) -> Result<StateRef, CoreError> {
+        let s = self.state(name)?;
+        self.inner
+            .borrow_mut()
+            .fsm
+            .as_mut()
+            .expect("fsm exists")
+            .initial = s;
+        Ok(s)
+    }
+
+    /// Declares a state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DuplicateName`] on a state-name clash.
+    pub fn state(&self, name: &str) -> Result<StateRef, CoreError> {
+        let mut inner = self.inner.borrow_mut();
+        let fsm = inner.fsm.as_mut().expect("fsm exists");
+        if fsm.states.iter().any(|s| s == name) {
+            return Err(CoreError::DuplicateName {
+                kind: "fsm state",
+                name: name.to_owned(),
+            });
+        }
+        fsm.states.push(name.to_owned());
+        Ok(StateRef(fsm.states.len() as u32 - 1))
+    }
+
+    /// Starts a transition out of `from`.
+    pub fn from(&self, from: StateRef) -> TransitionBuilder {
+        TransitionBuilder {
+            inner: Rc::clone(&self.inner),
+            from,
+            guard: None,
+            actions: Vec::new(),
+        }
+    }
+}
+
+/// Builder for a single transition; finish with
+/// [`TransitionBuilder::to`].
+#[must_use = "a transition is only added when `.to(state)` is called"]
+pub struct TransitionBuilder {
+    inner: Rc<RefCell<CompInner>>,
+    from: StateRef,
+    guard: Option<NodeId>,
+    actions: Vec<SfgRef>,
+}
+
+impl TransitionBuilder {
+    /// Guards the transition with a `Bool` signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signal is not `Bool` or belongs to another component.
+    pub fn when(mut self, cond: &Sig) -> TransitionBuilder {
+        assert!(
+            Rc::ptr_eq(&self.inner, &cond.inner),
+            "guard signal belongs to a different component"
+        );
+        assert_eq!(
+            cond.sig_type(),
+            SigType::Bool,
+            "transition guard must be bool"
+        );
+        self.guard = Some(cond.node_id());
+        self
+    }
+
+    /// Guards the transition with the negation of a `Bool` signal
+    /// (the paper's `!cnd(...)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signal is not `Bool` or belongs to another component.
+    pub fn unless(self, cond: &Sig) -> TransitionBuilder {
+        let neg = cond.un(UnOp::Not);
+        self.when(&neg)
+    }
+
+    /// Makes the transition unconditional (the paper's `always`). This is
+    /// the default; the method exists for readability.
+    pub fn always(mut self) -> TransitionBuilder {
+        self.guard = None;
+        self
+    }
+
+    /// Adds an SFG to execute when the transition is taken. May be called
+    /// several times.
+    pub fn run(mut self, sfg: SfgRef) -> TransitionBuilder {
+        self.actions.push(sfg);
+        self
+    }
+
+    /// Sets the destination state and commits the transition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownName`] if a referenced SFG does not
+    /// exist (cannot normally happen when using [`SfgRef`]s from the same
+    /// builder).
+    pub fn to(self, to: StateRef) -> Result<(), CoreError> {
+        let mut inner = self.inner.borrow_mut();
+        let n_sfgs = inner.sfgs.len() as u32;
+        for a in &self.actions {
+            if a.0 >= n_sfgs {
+                return Err(CoreError::UnknownName {
+                    kind: "sfg",
+                    name: format!("#{}", a.0),
+                });
+            }
+        }
+        let fsm = inner.fsm.as_mut().expect("fsm exists");
+        fsm.transitions.push(Transition {
+            from: self.from,
+            guard: self.guard,
+            actions: self.actions,
+            to,
+        });
+        Ok(())
+    }
+}

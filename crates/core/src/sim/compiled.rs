@@ -1,0 +1,1356 @@
+//! The compiled simulator: the captured design is "regenerated" into an
+//! application-specific, flat evaluation tape executed once per cycle.
+//!
+//! The paper's environment writes out optimised C++ and recompiles it
+//! (§5, Figure 7). Inside one Rust process the honest equivalent is to
+//! *levelize and monomorphise* the whole system at build time:
+//!
+//! * every expression node of every component becomes one slot in a
+//!   dense `u64` array (bools as 0/1, bit words masked, fixed point as
+//!   sign-extended mantissas, floats as bit patterns);
+//! * every operation becomes a *type-specialised* micro-instruction with
+//!   its masks, alignment shifts and saturation bounds precomputed — the
+//!   static typing a regenerated C++ simulator would get from the
+//!   compiler;
+//! * all instructions are placed in a single topologically-sorted tape,
+//!   so a cycle is one linear pass — no graph traversal, no scheduling,
+//!   no dynamic dispatch.
+//!
+//! Soundness note: monomorphisation relies on runtime fixed-point formats
+//! always matching the statically inferred node types, which holds
+//! because [`crate::BinOp::result_type`] rejects any combination whose
+//! exact result would not fit 63 bits at *capture* time.
+//!
+//! A static single-pass schedule exists exactly when the conservative
+//! cross-component dependence graph is acyclic; otherwise
+//! [`CompiledSim::new`] returns [`CoreError::NotCompilable`] and the
+//! interpreted simulator must be used.
+
+use std::collections::HashMap;
+
+use ocapi_fixp::{Fix, Format, Overflow, Rounding};
+
+use crate::comp::{Component, NodeId, NodeKind};
+use crate::sim::Simulator;
+use crate::system::{NetSource, System};
+use crate::trace::Trace;
+use crate::value::{BinOp, SigType, UnOp, Value};
+use crate::CoreError;
+
+/// Per untimed block: (input slot, type) and (output slot, type) lists.
+type UntimedIo = (Vec<(u32, SigType)>, Vec<(u32, SigType)>);
+
+/// Generic (pre-monomorphisation) instruction, used during construction
+/// and topological sorting.
+#[derive(Debug, Clone)]
+enum Instr {
+    Copy {
+        dst: u32,
+        src: u32,
+    },
+    RegRead {
+        dst: u32,
+        inst: u32,
+        reg: u32,
+    },
+    Un {
+        op: UnOp,
+        dst: u32,
+        a: u32,
+    },
+    Bin {
+        op: BinOp,
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    Select {
+        dst: u32,
+        c: u32,
+        t: u32,
+        e: u32,
+    },
+    Drive {
+        net_slot: u32,
+        inst: u32,
+        cands: Vec<(u32, u32)>,
+    },
+    Fire {
+        inst: u32,
+    },
+}
+
+/// Comparison kinds shared by the specialised compare micro-ops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Cmp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl Cmp {
+    fn of(op: BinOp) -> Cmp {
+        match op {
+            BinOp::Eq => Cmp::Eq,
+            BinOp::Ne => Cmp::Ne,
+            BinOp::Lt => Cmp::Lt,
+            BinOp::Le => Cmp::Le,
+            BinOp::Gt => Cmp::Gt,
+            BinOp::Ge => Cmp::Ge,
+            _ => unreachable!("not a comparison"),
+        }
+    }
+
+    #[inline]
+    fn apply(self, o: std::cmp::Ordering) -> bool {
+        match self {
+            Cmp::Eq => o.is_eq(),
+            Cmp::Ne => o.is_ne(),
+            Cmp::Lt => o.is_lt(),
+            Cmp::Le => o.is_le(),
+            Cmp::Gt => o.is_gt(),
+            Cmp::Ge => o.is_ge(),
+        }
+    }
+}
+
+/// A monomorphised micro-instruction over raw `u64` slots.
+#[derive(Debug, Clone)]
+enum Micro {
+    Copy {
+        dst: u32,
+        src: u32,
+    },
+    RegRead {
+        dst: u32,
+        inst: u32,
+        reg: u32,
+    },
+    // Bit words (stored masked) and bools (0/1).
+    AddB {
+        dst: u32,
+        a: u32,
+        b: u32,
+        mask: u64,
+    },
+    SubB {
+        dst: u32,
+        a: u32,
+        b: u32,
+        mask: u64,
+    },
+    MulB {
+        dst: u32,
+        a: u32,
+        b: u32,
+        mask: u64,
+    },
+    AndU {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    OrU {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    XorU {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    NotU {
+        dst: u32,
+        a: u32,
+        mask: u64,
+    },
+    NegB {
+        dst: u32,
+        a: u32,
+        mask: u64,
+    },
+    ShlB {
+        dst: u32,
+        a: u32,
+        n: u32,
+        mask: u64,
+    },
+    ShrB {
+        dst: u32,
+        a: u32,
+        n: u32,
+    },
+    ShrMask {
+        dst: u32,
+        a: u32,
+        n: u32,
+        mask: u64,
+    },
+    CmpU {
+        dst: u32,
+        a: u32,
+        b: u32,
+        kind: Cmp,
+    },
+    // Fixed point (stored as sign-extended mantissas).
+    AddF {
+        dst: u32,
+        a: u32,
+        b: u32,
+        sha: u32,
+        shb: u32,
+    },
+    SubF {
+        dst: u32,
+        a: u32,
+        b: u32,
+        sha: u32,
+        shb: u32,
+    },
+    MulF {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    NegF {
+        dst: u32,
+        a: u32,
+    },
+    CmpF {
+        dst: u32,
+        a: u32,
+        b: u32,
+        sha: u32,
+        shb: u32,
+        kind: Cmp,
+    },
+    CastF {
+        dst: u32,
+        a: u32,
+        src: Format,
+        target: Format,
+        rnd: Rounding,
+        ovf: Overflow,
+    },
+    FloatToFix {
+        dst: u32,
+        a: u32,
+        target: Format,
+        rnd: Rounding,
+        ovf: Overflow,
+    },
+    // Floats (stored as bit patterns).
+    AddFl {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    SubFl {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    MulFl {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    NegFl {
+        dst: u32,
+        a: u32,
+    },
+    CmpFl {
+        dst: u32,
+        a: u32,
+        b: u32,
+        kind: Cmp,
+    },
+    // Conversions.
+    MaskTo {
+        dst: u32,
+        a: u32,
+        mask: u64,
+    },
+    NonZero {
+        dst: u32,
+        a: u32,
+    },
+    NonZeroFloat {
+        dst: u32,
+        a: u32,
+    },
+    ToFloatBits {
+        dst: u32,
+        a: u32,
+    },
+    ToFloatFix {
+        dst: u32,
+        a: u32,
+        frac_bits: u32,
+    },
+    // Control.
+    SelectU {
+        dst: u32,
+        c: u32,
+        t: u32,
+        e: u32,
+    },
+    Drive {
+        net_slot: u32,
+        inst: u32,
+        cands: Vec<(u32, u32)>,
+    },
+    Fire {
+        inst: u32,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct CompiledTransition {
+    guard_slot: Option<u32>,
+    sfgs: Vec<u32>,
+    to: u32,
+}
+
+#[derive(Debug, Clone)]
+struct RegWriteSel {
+    inst: u32,
+    reg: u32,
+    cands: Vec<(u32, u32)>,
+}
+
+/// The compiled (levelized, monomorphised single-pass) simulator.
+///
+/// Construct with [`CompiledSim::new`]; drive through the [`Simulator`]
+/// trait exactly like [`crate::InterpSim`]. Behaviour is cycle-identical
+/// to the interpreted simulator for any design both accept.
+pub struct CompiledSim {
+    sys: System,
+    slots: Vec<u64>,
+    init_slots: Vec<u64>,
+    slot_ty: Vec<SigType>,
+    pre_tape: Vec<Micro>,
+    tape: Vec<Micro>,
+    fsm_tables: Vec<Vec<Vec<CompiledTransition>>>,
+    reg_writes: Vec<RegWriteSel>,
+    states: Vec<u32>,
+    active: Vec<Vec<bool>>,
+    regs: Vec<Vec<u64>>,
+    net_slot: Vec<u32>,
+    untimed_io: Vec<UntimedIo>,
+    in_buf: Vec<Value>,
+    out_buf: Vec<Value>,
+    cycle: u64,
+    trace: Option<Trace>,
+}
+
+impl std::fmt::Debug for CompiledSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompiledSim")
+            .field("system", &self.sys.name)
+            .field("slots", &self.slots.len())
+            .field("tape_len", &self.tape.len())
+            .finish()
+    }
+}
+
+fn encode(v: &Value) -> u64 {
+    match v {
+        Value::Bool(b) => *b as u64,
+        Value::Bits { bits, .. } => *bits,
+        Value::Fixed(f) => f.mantissa() as u64,
+        Value::Float(x) => x.to_bits(),
+    }
+}
+
+fn decode(bits: u64, ty: SigType) -> Value {
+    match ty {
+        SigType::Bool => Value::Bool(bits != 0),
+        SigType::Bits(w) => Value::bits(w, bits),
+        SigType::Fixed(f) => Value::Fixed(Fix::from_raw(bits as i64, f)),
+        SigType::Float => Value::Float(f64::from_bits(bits)),
+    }
+}
+
+fn mask_of(w: u32) -> u64 {
+    if w >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << w) - 1
+    }
+}
+
+struct Builder {
+    slots: Vec<u64>,
+    slot_ty: Vec<SigType>,
+    /// node slot of (inst, node)
+    node_slot: Vec<Vec<u32>>,
+    net_slot: Vec<u32>,
+    instrs: Vec<Instr>,
+    /// producing instruction per slot (absent = available at cycle start)
+    producer: HashMap<u32, usize>,
+}
+
+impl Builder {
+    fn alloc(&mut self, init: Value) -> u32 {
+        self.slots.push(encode(&init));
+        self.slot_ty.push(init.sig_type());
+        self.slots.len() as u32 - 1
+    }
+
+    fn emit(&mut self, instr: Instr, produces: u32) {
+        self.instrs.push(instr);
+        self.producer.insert(produces, self.instrs.len() - 1);
+    }
+}
+
+impl CompiledSim {
+    /// Levelizes and monomorphises the system into a static evaluation
+    /// tape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NotCompilable`] when the conservative
+    /// cross-component dependence graph is cyclic (possible combinational
+    /// loop), in which case the interpreted simulator should be used.
+    pub fn new(sys: System) -> Result<CompiledSim, CoreError> {
+        let mut b = Builder {
+            slots: Vec::new(),
+            slot_ty: Vec::new(),
+            node_slot: Vec::new(),
+            net_slot: Vec::new(),
+            instrs: Vec::new(),
+            producer: HashMap::new(),
+        };
+
+        // 1. Net slots.
+        for net in &sys.nets {
+            let init = match &net.source {
+                NetSource::Constant(v) => *v,
+                _ => net.ty.zero(),
+            };
+            let s = b.alloc(init);
+            b.net_slot.push(s);
+        }
+
+        // 2. Node slots per timed instance. Input nodes alias their net's
+        //    slot; constants are prefilled.
+        for (i, t) in sys.timed.iter().enumerate() {
+            let comp = &t.comp;
+            let mut slots = Vec::with_capacity(comp.nodes.len());
+            for node in &comp.nodes {
+                let s = match &node.kind {
+                    NodeKind::Input(p) => b.net_slot[sys.timed_in_net[i][p.index()]],
+                    NodeKind::Const(v) => b.alloc(*v),
+                    _ => b.alloc(node.ty.zero()),
+                };
+                slots.push(s);
+            }
+            b.node_slot.push(slots);
+        }
+
+        // 3. Instructions for every non-trivial node.
+        for (i, t) in sys.timed.iter().enumerate() {
+            let comp = &t.comp;
+            for (n, node) in comp.nodes.iter().enumerate() {
+                let dst = b.node_slot[i][n];
+                match &node.kind {
+                    NodeKind::Const(_) | NodeKind::Input(_) => {}
+                    NodeKind::RegRead(r) => b.emit(
+                        Instr::RegRead {
+                            dst,
+                            inst: i as u32,
+                            reg: r.0,
+                        },
+                        dst,
+                    ),
+                    NodeKind::Un(op, a) => {
+                        let a = b.node_slot[i][a.index()];
+                        b.emit(Instr::Un { op: *op, dst, a }, dst);
+                    }
+                    NodeKind::Bin(op, x, y) => {
+                        let a = b.node_slot[i][x.index()];
+                        let b2 = b.node_slot[i][y.index()];
+                        b.emit(
+                            Instr::Bin {
+                                op: *op,
+                                dst,
+                                a,
+                                b: b2,
+                            },
+                            dst,
+                        );
+                    }
+                    NodeKind::Select {
+                        cond,
+                        then,
+                        otherwise,
+                    } => {
+                        let c = b.node_slot[i][cond.index()];
+                        let tt = b.node_slot[i][then.index()];
+                        let e = b.node_slot[i][otherwise.index()];
+                        b.emit(Instr::Select { dst, c, t: tt, e }, dst);
+                    }
+                }
+            }
+        }
+
+        // 4. Drive instructions for timed-driven nets, Fire for untimed.
+        for (ni, net) in sys.nets.iter().enumerate() {
+            if let NetSource::TimedOut { inst, port } = net.source {
+                let comp = &sys.timed[inst].comp;
+                let cands: Vec<(u32, u32)> = comp
+                    .sfgs
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(si, sfg)| {
+                        sfg.outputs
+                            .iter()
+                            .filter(|(p, _)| p.index() == port)
+                            .map(move |(_, node)| (si as u32, node))
+                    })
+                    .map(|(si, node)| (si, b.node_slot[inst][node.index()]))
+                    .collect();
+                let net_slot = b.net_slot[ni];
+                b.emit(
+                    Instr::Drive {
+                        net_slot,
+                        inst: inst as u32,
+                        cands,
+                    },
+                    net_slot,
+                );
+            }
+        }
+        let mut untimed_io = Vec::new();
+        for (u, inst) in sys.untimed.iter().enumerate() {
+            let in_slots: Vec<(u32, SigType)> = sys.untimed_in_net[u]
+                .iter()
+                .zip(&inst.inputs)
+                .map(|(n, p)| (b.net_slot[*n], p.ty))
+                .collect();
+            let mut out_slots = Vec::new();
+            for (p, decl) in inst.outputs.iter().enumerate() {
+                let net = sys.nets.iter().position(|n| {
+                    matches!(n.source, NetSource::UntimedOut { inst: i2, port } if i2 == u && port == p)
+                });
+                let slot = match net {
+                    Some(n) => b.net_slot[n],
+                    None => b.alloc(decl.ty.zero()),
+                };
+                out_slots.push((slot, decl.ty));
+            }
+            let fire_idx = b.instrs.len();
+            b.instrs.push(Instr::Fire { inst: u as u32 });
+            for (s, _) in &out_slots {
+                b.producer.insert(*s, fire_idx);
+            }
+            untimed_io.push((in_slots, out_slots));
+        }
+
+        // 5. Topological sort of the instruction list.
+        let sorted = topo_sort(&b, &sys, &untimed_io)?;
+
+        // 6. Guard pre-tape: duplicate guard cones reading held net values.
+        let mut pre_instrs: Vec<Instr> = Vec::new();
+        let mut fsm_tables = Vec::new();
+        for (i, t) in sys.timed.iter().enumerate() {
+            let comp = &t.comp;
+            let mut memo: HashMap<NodeId, u32> = HashMap::new();
+            let mut table: Vec<Vec<CompiledTransition>> = Vec::new();
+            if let Some(fsm) = &comp.fsm {
+                table.resize(fsm.states.len(), Vec::new());
+                for tr in &fsm.transitions {
+                    let guard_slot = tr.guard.map(|g| {
+                        emit_guard_cone(comp, g, i, &sys, &mut b, &mut memo, &mut pre_instrs)
+                    });
+                    table[tr.from.index()].push(CompiledTransition {
+                        guard_slot,
+                        sfgs: tr.actions.iter().map(|s| s.0).collect(),
+                        to: tr.to.0,
+                    });
+                }
+            }
+            fsm_tables.push(table);
+        }
+
+        // 7. Monomorphise both tapes.
+        let tape: Vec<Micro> = sorted.iter().map(|i| lower(i, &b.slot_ty)).collect();
+        let pre_tape: Vec<Micro> = pre_instrs.iter().map(|i| lower(i, &b.slot_ty)).collect();
+
+        // 8. Register write selectors.
+        let mut reg_writes = Vec::new();
+        for (i, t) in sys.timed.iter().enumerate() {
+            let comp = &t.comp;
+            for r in 0..comp.regs.len() {
+                let cands: Vec<(u32, u32)> = comp
+                    .sfgs
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(si, sfg)| {
+                        sfg.reg_writes
+                            .iter()
+                            .filter(|(reg, _)| reg.index() == r)
+                            .map(move |(_, node)| (si as u32, node))
+                    })
+                    .map(|(si, node)| (si, b.node_slot[i][node.index()]))
+                    .collect();
+                if !cands.is_empty() {
+                    reg_writes.push(RegWriteSel {
+                        inst: i as u32,
+                        reg: r as u32,
+                        cands,
+                    });
+                }
+            }
+        }
+
+        let states = sys
+            .timed
+            .iter()
+            .map(|t| t.comp.fsm.as_ref().map_or(0, |f| f.initial.0))
+            .collect();
+        let active = sys
+            .timed
+            .iter()
+            .map(|t| vec![false; t.comp.sfgs.len()])
+            .collect();
+        let regs = sys
+            .timed
+            .iter()
+            .map(|t| t.comp.regs.iter().map(|r| encode(&r.init)).collect())
+            .collect();
+
+        let slots = b.slots;
+        Ok(CompiledSim {
+            init_slots: slots.clone(),
+            slots,
+            slot_ty: b.slot_ty,
+            pre_tape,
+            tape,
+            fsm_tables,
+            reg_writes,
+            states,
+            active,
+            regs,
+            net_slot: b.net_slot,
+            untimed_io,
+            in_buf: Vec::new(),
+            out_buf: Vec::new(),
+            cycle: 0,
+            trace: None,
+            sys,
+        })
+    }
+
+    /// The simulated system.
+    pub fn system(&self) -> &System {
+        &self.sys
+    }
+
+    /// Number of instructions executed per cycle (tape + guard pre-tape).
+    pub fn tape_len(&self) -> usize {
+        self.tape.len() + self.pre_tape.len()
+    }
+
+    /// The current FSM state name of a timed instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownName`] if the instance does not exist
+    /// or has no FSM.
+    pub fn state_name(&self, instance: &str) -> Result<&str, CoreError> {
+        let (i, t) = self
+            .sys
+            .timed
+            .iter()
+            .enumerate()
+            .find(|(_, t)| t.name == instance)
+            .ok_or_else(|| CoreError::UnknownName {
+                kind: "instance",
+                name: instance.to_owned(),
+            })?;
+        let fsm = t.comp.fsm.as_ref().ok_or_else(|| CoreError::UnknownName {
+            kind: "fsm",
+            name: instance.to_owned(),
+        })?;
+        Ok(&fsm.states[self.states[i] as usize])
+    }
+
+    /// Resets the simulation to power-up state.
+    pub fn reset(&mut self) {
+        self.slots.copy_from_slice(&self.init_slots);
+        for (i, t) in self.sys.timed.iter().enumerate() {
+            for (j, r) in t.comp.regs.iter().enumerate() {
+                self.regs[i][j] = encode(&r.init);
+            }
+            self.states[i] = t.comp.fsm.as_ref().map_or(0, |f| f.initial.0);
+        }
+        for u in &mut self.sys.untimed {
+            u.block.reset();
+        }
+        self.cycle = 0;
+        if let Some(t) = &mut self.trace {
+            *t = make_trace(&self.sys);
+        }
+    }
+
+    fn exec(&mut self, pre: bool) {
+        let instrs: &[Micro] = if pre { &self.pre_tape } else { &self.tape };
+        let s = &mut self.slots;
+        for m in instrs {
+            match m {
+                Micro::Copy { dst, src } => s[*dst as usize] = s[*src as usize],
+                Micro::RegRead { dst, inst, reg } => {
+                    s[*dst as usize] = self.regs[*inst as usize][*reg as usize]
+                }
+                Micro::AddB { dst, a, b, mask } => {
+                    s[*dst as usize] = s[*a as usize].wrapping_add(s[*b as usize]) & mask
+                }
+                Micro::SubB { dst, a, b, mask } => {
+                    s[*dst as usize] = s[*a as usize].wrapping_sub(s[*b as usize]) & mask
+                }
+                Micro::MulB { dst, a, b, mask } => {
+                    s[*dst as usize] = s[*a as usize].wrapping_mul(s[*b as usize]) & mask
+                }
+                Micro::AndU { dst, a, b } => s[*dst as usize] = s[*a as usize] & s[*b as usize],
+                Micro::OrU { dst, a, b } => s[*dst as usize] = s[*a as usize] | s[*b as usize],
+                Micro::XorU { dst, a, b } => s[*dst as usize] = s[*a as usize] ^ s[*b as usize],
+                Micro::NotU { dst, a, mask } => s[*dst as usize] = !s[*a as usize] & mask,
+                Micro::NegB { dst, a, mask } => {
+                    s[*dst as usize] = s[*a as usize].wrapping_neg() & mask
+                }
+                Micro::ShlB { dst, a, n, mask } => {
+                    s[*dst as usize] = if *n >= 64 {
+                        0
+                    } else {
+                        (s[*a as usize] << n) & mask
+                    }
+                }
+                Micro::ShrB { dst, a, n } => {
+                    s[*dst as usize] = if *n >= 64 { 0 } else { s[*a as usize] >> n }
+                }
+                Micro::ShrMask { dst, a, n, mask } => {
+                    s[*dst as usize] = if *n >= 64 {
+                        0
+                    } else {
+                        (s[*a as usize] >> n) & mask
+                    }
+                }
+                Micro::CmpU { dst, a, b, kind } => {
+                    s[*dst as usize] = kind.apply(s[*a as usize].cmp(&s[*b as usize])) as u64
+                }
+                Micro::AddF {
+                    dst,
+                    a,
+                    b,
+                    sha,
+                    shb,
+                } => {
+                    let x = (s[*a as usize] as i64) << sha;
+                    let y = (s[*b as usize] as i64) << shb;
+                    s[*dst as usize] = (x + y) as u64;
+                }
+                Micro::SubF {
+                    dst,
+                    a,
+                    b,
+                    sha,
+                    shb,
+                } => {
+                    let x = (s[*a as usize] as i64) << sha;
+                    let y = (s[*b as usize] as i64) << shb;
+                    s[*dst as usize] = (x - y) as u64;
+                }
+                Micro::MulF { dst, a, b } => {
+                    let p = s[*a as usize] as i64 as i128 * s[*b as usize] as i64 as i128;
+                    s[*dst as usize] = p as i64 as u64;
+                }
+                Micro::NegF { dst, a } => {
+                    s[*dst as usize] = (s[*a as usize] as i64).wrapping_neg() as u64
+                }
+                Micro::CmpF {
+                    dst,
+                    a,
+                    b,
+                    sha,
+                    shb,
+                    kind,
+                } => {
+                    let x = (s[*a as usize] as i64 as i128) << sha;
+                    let y = (s[*b as usize] as i64 as i128) << shb;
+                    s[*dst as usize] = kind.apply(x.cmp(&y)) as u64;
+                }
+                Micro::CastF {
+                    dst,
+                    a,
+                    src,
+                    target,
+                    rnd,
+                    ovf,
+                } => {
+                    let v = Fix::from_raw(s[*a as usize] as i64, *src);
+                    s[*dst as usize] = v.cast(*target, *rnd, *ovf).mantissa() as u64;
+                }
+                Micro::FloatToFix {
+                    dst,
+                    a,
+                    target,
+                    rnd,
+                    ovf,
+                } => {
+                    let x = f64::from_bits(s[*a as usize]);
+                    s[*dst as usize] = Fix::from_f64(x, *target, *rnd, *ovf).mantissa() as u64;
+                }
+                Micro::AddFl { dst, a, b } => {
+                    s[*dst as usize] =
+                        (f64::from_bits(s[*a as usize]) + f64::from_bits(s[*b as usize])).to_bits()
+                }
+                Micro::SubFl { dst, a, b } => {
+                    s[*dst as usize] =
+                        (f64::from_bits(s[*a as usize]) - f64::from_bits(s[*b as usize])).to_bits()
+                }
+                Micro::MulFl { dst, a, b } => {
+                    s[*dst as usize] =
+                        (f64::from_bits(s[*a as usize]) * f64::from_bits(s[*b as usize])).to_bits()
+                }
+                Micro::NegFl { dst, a } => {
+                    s[*dst as usize] = (-f64::from_bits(s[*a as usize])).to_bits()
+                }
+                Micro::CmpFl { dst, a, b, kind } => {
+                    let o = f64::from_bits(s[*a as usize])
+                        .partial_cmp(&f64::from_bits(s[*b as usize]))
+                        .unwrap_or(std::cmp::Ordering::Equal);
+                    s[*dst as usize] = kind.apply(o) as u64;
+                }
+                Micro::MaskTo { dst, a, mask } => s[*dst as usize] = s[*a as usize] & mask,
+                Micro::NonZero { dst, a } => s[*dst as usize] = (s[*a as usize] != 0) as u64,
+                Micro::NonZeroFloat { dst, a } => {
+                    s[*dst as usize] = (f64::from_bits(s[*a as usize]) != 0.0) as u64
+                }
+                Micro::ToFloatBits { dst, a } => {
+                    s[*dst as usize] = (s[*a as usize] as f64).to_bits()
+                }
+                Micro::ToFloatFix { dst, a, frac_bits } => {
+                    let v = s[*a as usize] as i64 as f64 * f64::powi(2.0, -(*frac_bits as i32));
+                    s[*dst as usize] = v.to_bits();
+                }
+                Micro::SelectU { dst, c, t, e } => {
+                    s[*dst as usize] = if s[*c as usize] != 0 {
+                        s[*t as usize]
+                    } else {
+                        s[*e as usize]
+                    }
+                }
+                Micro::Drive {
+                    net_slot,
+                    inst,
+                    cands,
+                } => {
+                    let act = &self.active[*inst as usize];
+                    for (sfg, src) in cands {
+                        if act[*sfg as usize] {
+                            s[*net_slot as usize] = s[*src as usize];
+                            break;
+                        }
+                    }
+                }
+                Micro::Fire { inst } => {
+                    let u = *inst as usize;
+                    let (ins, outs) = &self.untimed_io[u];
+                    self.in_buf.clear();
+                    self.in_buf
+                        .extend(ins.iter().map(|(sl, ty)| decode(s[*sl as usize], *ty)));
+                    self.out_buf.clear();
+                    self.out_buf
+                        .extend(outs.iter().map(|(sl, ty)| decode(s[*sl as usize], *ty)));
+                    let block = &mut self.sys.untimed[u].block;
+                    if block.ready(&self.in_buf) {
+                        block.fire(&self.in_buf, &mut self.out_buf);
+                        for ((sl, _), v) in outs.iter().zip(&self.out_buf) {
+                            s[*sl as usize] = encode(v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Monomorphises one generic instruction using the static slot types.
+fn lower(instr: &Instr, ty: &[SigType]) -> Micro {
+    match instr {
+        Instr::Copy { dst, src } => Micro::Copy {
+            dst: *dst,
+            src: *src,
+        },
+        Instr::RegRead { dst, inst, reg } => Micro::RegRead {
+            dst: *dst,
+            inst: *inst,
+            reg: *reg,
+        },
+        Instr::Select { dst, c, t, e } => Micro::SelectU {
+            dst: *dst,
+            c: *c,
+            t: *t,
+            e: *e,
+        },
+        Instr::Drive {
+            net_slot,
+            inst,
+            cands,
+        } => Micro::Drive {
+            net_slot: *net_slot,
+            inst: *inst,
+            cands: cands.clone(),
+        },
+        Instr::Fire { inst } => Micro::Fire { inst: *inst },
+        Instr::Un { op, dst, a } => lower_un(*op, *dst, *a, ty),
+        Instr::Bin { op, dst, a, b } => lower_bin(*op, *dst, *a, *b, ty),
+    }
+}
+
+fn lower_un(op: UnOp, dst: u32, a: u32, ty: &[SigType]) -> Micro {
+    let at = ty[a as usize];
+    let dt = ty[dst as usize];
+    match op {
+        UnOp::Not => match at {
+            SigType::Bool => Micro::NotU { dst, a, mask: 1 },
+            SigType::Bits(w) => Micro::NotU {
+                dst,
+                a,
+                mask: mask_of(w),
+            },
+            _ => unreachable!("Not is only typed on Bool/Bits"),
+        },
+        UnOp::Neg => match at {
+            SigType::Bits(w) => Micro::NegB {
+                dst,
+                a,
+                mask: mask_of(w),
+            },
+            SigType::Fixed(_) => Micro::NegF { dst, a },
+            SigType::Float => Micro::NegFl { dst, a },
+            SigType::Bool => unreachable!("Neg is not typed on Bool"),
+        },
+        UnOp::Shl(n) => match at {
+            SigType::Bits(w) => Micro::ShlB {
+                dst,
+                a,
+                n,
+                mask: mask_of(w),
+            },
+            _ => unreachable!("Shl is only typed on Bits"),
+        },
+        UnOp::Shr(n) => Micro::ShrB { dst, a, n },
+        UnOp::Slice { lo, width } => {
+            // (a >> lo) & mask — reuse ShrB + mask in one op via ShlB
+            // trickery is not possible; emit as shift-then-mask pair
+            // folded into a single micro: (a >> lo) already zero-fills,
+            // so masking to `width` completes the slice.
+            Micro::ShrMask {
+                dst,
+                a,
+                n: lo,
+                mask: mask_of(width),
+            }
+        }
+        UnOp::ToFixed(fmt, rnd, ovf) => match at {
+            SigType::Fixed(src) => Micro::CastF {
+                dst,
+                a,
+                src,
+                target: fmt,
+                rnd,
+                ovf,
+            },
+            SigType::Float => Micro::FloatToFix {
+                dst,
+                a,
+                target: fmt,
+                rnd,
+                ovf,
+            },
+            _ => unreachable!("ToFixed is only typed on Fixed/Float"),
+        },
+        UnOp::ToBits(w) => Micro::MaskTo {
+            dst,
+            a,
+            mask: mask_of(w),
+        },
+        UnOp::ToFloat => match at {
+            SigType::Bool | SigType::Bits(_) => Micro::ToFloatBits { dst, a },
+            SigType::Fixed(f) => Micro::ToFloatFix {
+                dst,
+                a,
+                frac_bits: f.frac_bits(),
+            },
+            SigType::Float => Micro::Copy { dst, src: a },
+        },
+        UnOp::ToBool => match at {
+            SigType::Float => Micro::NonZeroFloat { dst, a },
+            _ => Micro::NonZero { dst, a },
+        },
+    }
+    .check_dst(dt)
+}
+
+fn lower_bin(op: BinOp, dst: u32, a: u32, b: u32, ty: &[SigType]) -> Micro {
+    let (at, bt) = (ty[a as usize], ty[b as usize]);
+    let dt = ty[dst as usize];
+    match op {
+        BinOp::Add | BinOp::Sub | BinOp::Mul => match (at, bt, dt) {
+            (SigType::Bits(_), SigType::Bits(_), SigType::Bits(w)) => {
+                let mask = mask_of(w);
+                match op {
+                    BinOp::Add => Micro::AddB { dst, a, b, mask },
+                    BinOp::Sub => Micro::SubB { dst, a, b, mask },
+                    _ => Micro::MulB { dst, a, b, mask },
+                }
+            }
+            (SigType::Fixed(fa), SigType::Fixed(fb), SigType::Fixed(fo)) => match op {
+                BinOp::Mul => Micro::MulF { dst, a, b },
+                _ => {
+                    let sha = fo.frac_bits() - fa.frac_bits();
+                    let shb = fo.frac_bits() - fb.frac_bits();
+                    if op == BinOp::Add {
+                        Micro::AddF {
+                            dst,
+                            a,
+                            b,
+                            sha,
+                            shb,
+                        }
+                    } else {
+                        Micro::SubF {
+                            dst,
+                            a,
+                            b,
+                            sha,
+                            shb,
+                        }
+                    }
+                }
+            },
+            (SigType::Float, SigType::Float, _) => match op {
+                BinOp::Add => Micro::AddFl { dst, a, b },
+                BinOp::Sub => Micro::SubFl { dst, a, b },
+                _ => Micro::MulFl { dst, a, b },
+            },
+            _ => unreachable!("arithmetic is typed on matching operands"),
+        },
+        BinOp::And => Micro::AndU { dst, a, b },
+        BinOp::Or => Micro::OrU { dst, a, b },
+        BinOp::Xor => Micro::XorU { dst, a, b },
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+            let kind = Cmp::of(op);
+            match (at, bt) {
+                (SigType::Fixed(fa), SigType::Fixed(fb)) => {
+                    let fbc = fa.frac_bits().max(fb.frac_bits());
+                    Micro::CmpF {
+                        dst,
+                        a,
+                        b,
+                        sha: fbc - fa.frac_bits(),
+                        shb: fbc - fb.frac_bits(),
+                        kind,
+                    }
+                }
+                (SigType::Float, SigType::Float) => Micro::CmpFl { dst, a, b, kind },
+                _ => Micro::CmpU { dst, a, b, kind },
+            }
+        }
+    }
+}
+
+impl Micro {
+    /// Debug aid: destination types are implied by construction.
+    fn check_dst(self, _dt: SigType) -> Micro {
+        self
+    }
+}
+
+fn make_trace(sys: &System) -> Trace {
+    Trace::new(
+        sys.primary_inputs
+            .iter()
+            .map(|p| (p.name.clone(), p.ty, true))
+            .chain(
+                sys.primary_outputs
+                    .iter()
+                    .map(|p| (p.name.clone(), sys.nets[p.net].ty, false)),
+            ),
+    )
+}
+
+/// Emits the duplicated guard cone of `node`, reading input ports from
+/// their (held) net slots, and returns the slot holding the guard value.
+fn emit_guard_cone(
+    comp: &Component,
+    node: NodeId,
+    inst: usize,
+    sys: &System,
+    b: &mut Builder,
+    memo: &mut HashMap<NodeId, u32>,
+    out: &mut Vec<Instr>,
+) -> u32 {
+    if let Some(&s) = memo.get(&node) {
+        return s;
+    }
+    let n = &comp.nodes[node.index()];
+    let dst = match &n.kind {
+        NodeKind::Const(v) => b.alloc(*v),
+        NodeKind::Input(p) => {
+            let src = b.net_slot[sys.timed_in_net[inst][p.index()]];
+            let dst = b.alloc(n.ty.zero());
+            out.push(Instr::Copy { dst, src });
+            dst
+        }
+        NodeKind::RegRead(r) => {
+            let dst = b.alloc(n.ty.zero());
+            out.push(Instr::RegRead {
+                dst,
+                inst: inst as u32,
+                reg: r.0,
+            });
+            dst
+        }
+        NodeKind::Un(op, a) => {
+            let a = emit_guard_cone(comp, *a, inst, sys, b, memo, out);
+            let dst = b.alloc(n.ty.zero());
+            out.push(Instr::Un { op: *op, dst, a });
+            dst
+        }
+        NodeKind::Bin(op, a, bn) => {
+            let a = emit_guard_cone(comp, *a, inst, sys, b, memo, out);
+            let b2 = emit_guard_cone(comp, *bn, inst, sys, b, memo, out);
+            let dst = b.alloc(n.ty.zero());
+            out.push(Instr::Bin {
+                op: *op,
+                dst,
+                a,
+                b: b2,
+            });
+            dst
+        }
+        NodeKind::Select {
+            cond,
+            then,
+            otherwise,
+        } => {
+            let c = emit_guard_cone(comp, *cond, inst, sys, b, memo, out);
+            let t = emit_guard_cone(comp, *then, inst, sys, b, memo, out);
+            let e = emit_guard_cone(comp, *otherwise, inst, sys, b, memo, out);
+            let dst = b.alloc(n.ty.zero());
+            out.push(Instr::Select { dst, c, t, e });
+            dst
+        }
+    };
+    memo.insert(node, dst);
+    dst
+}
+
+/// Kahn topological sort of the main tape by slot-producer dependencies.
+fn topo_sort(b: &Builder, sys: &System, untimed_io: &[UntimedIo]) -> Result<Vec<Instr>, CoreError> {
+    let n = b.instrs.len();
+    let mut deps: Vec<Vec<usize>> = vec![Vec::new(); n]; // edges dep -> user
+    let mut indeg = vec![0usize; n];
+
+    let add_dep =
+        |src_slot: u32, user: usize, deps: &mut Vec<Vec<usize>>, indeg: &mut Vec<usize>| {
+            if let Some(&p) = b.producer.get(&src_slot) {
+                if p != user {
+                    deps[p].push(user);
+                    indeg[user] += 1;
+                }
+            }
+        };
+
+    for (idx, instr) in b.instrs.iter().enumerate() {
+        match instr {
+            Instr::Copy { src, .. } => add_dep(*src, idx, &mut deps, &mut indeg),
+            Instr::RegRead { .. } => {}
+            Instr::Un { a, .. } => add_dep(*a, idx, &mut deps, &mut indeg),
+            Instr::Bin { a, b: b2, .. } => {
+                add_dep(*a, idx, &mut deps, &mut indeg);
+                add_dep(*b2, idx, &mut deps, &mut indeg);
+            }
+            Instr::Select { c, t, e, .. } => {
+                add_dep(*c, idx, &mut deps, &mut indeg);
+                add_dep(*t, idx, &mut deps, &mut indeg);
+                add_dep(*e, idx, &mut deps, &mut indeg);
+            }
+            Instr::Drive { cands, .. } => {
+                for (_, src) in cands {
+                    add_dep(*src, idx, &mut deps, &mut indeg);
+                }
+            }
+            Instr::Fire { inst } => {
+                for (s, _) in &untimed_io[*inst as usize].0 {
+                    add_dep(*s, idx, &mut deps, &mut indeg);
+                }
+            }
+        }
+    }
+
+    let mut queue: Vec<usize> = (0..n).filter(|i| indeg[*i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(i) = queue.pop() {
+        order.push(i);
+        for &u in &deps[i] {
+            indeg[u] -= 1;
+            if indeg[u] == 0 {
+                queue.push(u);
+            }
+        }
+    }
+    if order.len() != n {
+        let cycle: Vec<String> = b
+            .instrs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| indeg[*i] > 0)
+            .take(16)
+            .map(|(_, instr)| describe(instr, sys))
+            .collect();
+        return Err(CoreError::NotCompilable { cycle });
+    }
+    Ok(order.into_iter().map(|i| b.instrs[i].clone()).collect())
+}
+
+fn describe(instr: &Instr, sys: &System) -> String {
+    match instr {
+        Instr::Drive { inst, .. } => format!("output of `{}`", sys.timed[*inst as usize].name),
+        Instr::Fire { inst } => format!("untimed `{}`", sys.untimed[*inst as usize].block.name()),
+        other => format!("{other:?}"),
+    }
+}
+
+impl Simulator for CompiledSim {
+    fn set_input(&mut self, name: &str, value: Value) -> Result<(), CoreError> {
+        let pi = self
+            .sys
+            .primary_inputs
+            .iter()
+            .find(|p| p.name == name)
+            .ok_or_else(|| CoreError::UnknownName {
+                kind: "primary input",
+                name: name.to_owned(),
+            })?;
+        value.check_type(pi.ty, &format!("primary input `{name}`"))?;
+        self.slots[self.net_slot[pi.net] as usize] = encode(&value);
+        Ok(())
+    }
+
+    fn step(&mut self) -> Result<(), CoreError> {
+        // Guard evaluation over held values.
+        self.exec(true);
+
+        // Transition selection.
+        for i in 0..self.sys.timed.len() {
+            if self.fsm_tables[i].is_empty() {
+                for a in &mut self.active[i] {
+                    *a = true;
+                }
+                continue;
+            }
+            for a in &mut self.active[i] {
+                *a = false;
+            }
+            let state = self.states[i] as usize;
+            let mut chosen: Option<(u32, usize)> = None;
+            for (ti, tr) in self.fsm_tables[i][state].iter().enumerate() {
+                let take = match tr.guard_slot {
+                    None => true,
+                    Some(g) => self.slots[g as usize] != 0,
+                };
+                if take {
+                    chosen = Some((tr.to, ti));
+                    break;
+                }
+            }
+            if let Some((to, ti)) = chosen {
+                // Borrow dance: copy the small sfg list.
+                let sfgs = self.fsm_tables[i][state][ti].sfgs.clone();
+                self.states[i] = to;
+                for sk in sfgs {
+                    self.active[i][sk as usize] = true;
+                }
+            }
+        }
+
+        // Main tape.
+        self.exec(false);
+
+        // Register update.
+        for wi in 0..self.reg_writes.len() {
+            let w = &self.reg_writes[wi];
+            let act = &self.active[w.inst as usize];
+            let mut val = None;
+            for (sfg, src) in &w.cands {
+                if act[*sfg as usize] {
+                    val = Some(self.slots[*src as usize]);
+                    break;
+                }
+            }
+            if let Some(v) = val {
+                self.regs[w.inst as usize][w.reg as usize] = v;
+            }
+        }
+
+        self.cycle += 1;
+        if let Some(trace) = &mut self.trace {
+            let row: Vec<Value> = self
+                .sys
+                .primary_inputs
+                .iter()
+                .map(|p| {
+                    let sl = self.net_slot[p.net] as usize;
+                    decode(self.slots[sl], self.slot_ty[sl])
+                })
+                .chain(self.sys.primary_outputs.iter().map(|p| {
+                    let sl = self.net_slot[p.net] as usize;
+                    decode(self.slots[sl], self.slot_ty[sl])
+                }))
+                .collect();
+            trace.record_cycle(&row);
+        }
+        Ok(())
+    }
+
+    fn output(&self, name: &str) -> Result<Value, CoreError> {
+        self.sys
+            .primary_outputs
+            .iter()
+            .find(|p| p.name == name)
+            .map(|p| {
+                let sl = self.net_slot[p.net] as usize;
+                decode(self.slots[sl], self.slot_ty[sl])
+            })
+            .ok_or_else(|| CoreError::UnknownName {
+                kind: "primary output",
+                name: name.to_owned(),
+            })
+    }
+
+    fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    fn enable_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(make_trace(&self.sys));
+        }
+    }
+
+    fn trace(&self) -> &Trace {
+        static EMPTY: std::sync::OnceLock<Trace> = std::sync::OnceLock::new();
+        self.trace
+            .as_ref()
+            .unwrap_or_else(|| EMPTY.get_or_init(Trace::default))
+    }
+}

@@ -1,0 +1,76 @@
+//! Shared expression evaluation over the component node graph.
+
+use crate::comp::{Component, NodeId, NodeKind};
+use crate::value::Value;
+
+/// Per-component memo table, invalidated by bumping the epoch instead of
+/// clearing (cheap per-cycle reset).
+#[derive(Debug, Clone)]
+pub(crate) struct EvalCache {
+    values: Vec<Value>,
+    stamp: Vec<u64>,
+    epoch: u64,
+}
+
+impl EvalCache {
+    pub(crate) fn new(n_nodes: usize) -> EvalCache {
+        EvalCache {
+            values: vec![Value::Bool(false); n_nodes],
+            stamp: vec![0; n_nodes],
+            epoch: 0,
+        }
+    }
+
+    /// Invalidates all memoized values.
+    pub(crate) fn bump(&mut self) {
+        self.epoch += 1;
+    }
+}
+
+/// Evaluates `id` in `comp`, reading input ports through `inputs` and
+/// register current values from `regs`. Results are memoized in `cache`
+/// for the current epoch, so shared subexpressions are computed once.
+pub(crate) fn eval_node(
+    comp: &Component,
+    id: NodeId,
+    inputs: &impl Fn(usize) -> Value,
+    regs: &[Value],
+    cache: &mut EvalCache,
+) -> Value {
+    let i = id.index();
+    if cache.stamp[i] == cache.epoch && cache.epoch > 0 {
+        return cache.values[i];
+    }
+    let v = match &comp.nodes[i].kind {
+        NodeKind::Const(v) => *v,
+        NodeKind::Input(p) => inputs(p.index()),
+        NodeKind::RegRead(r) => regs[r.index()],
+        NodeKind::Un(op, a) => {
+            let a = eval_node(comp, *a, inputs, regs, cache);
+            op.apply(a)
+        }
+        NodeKind::Bin(op, a, b) => {
+            let a = eval_node(comp, *a, inputs, regs, cache);
+            let b = eval_node(comp, *b, inputs, regs, cache);
+            op.apply(a, b)
+        }
+        NodeKind::Select {
+            cond,
+            then,
+            otherwise,
+        } => {
+            let c = eval_node(comp, *cond, inputs, regs, cache);
+            // Both branches are evaluated, like hardware muxes do.
+            let t = eval_node(comp, *then, inputs, regs, cache);
+            let e = eval_node(comp, *otherwise, inputs, regs, cache);
+            if c.as_bool().expect("select condition is bool") {
+                t
+            } else {
+                e
+            }
+        }
+    };
+    cache.values[i] = v;
+    cache.stamp[i] = cache.epoch;
+    v
+}

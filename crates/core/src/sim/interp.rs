@@ -1,0 +1,527 @@
+//! The interpreted simulator: the three-phase cycle scheduler walking the
+//! in-memory signal-flow-graph data structure (§4 of the paper).
+//!
+//! Each clock cycle runs:
+//!
+//! 0. **Transition selection** — every FSM picks a transition (guards read
+//!    register current values and the values nets held at the end of the
+//!    previous cycle) and marks its SFGs for execution.
+//! 1. **Token production** — marked-SFG outputs that depend only on
+//!    registered and constant signals are evaluated and their tokens put
+//!    on the interconnect.
+//! 2. **Evaluation** — marked SFGs and untimed blocks fire as their input
+//!    tokens arrive, until everything has fired. If an iteration makes no
+//!    progress, the system is declared deadlocked: a combinational loop.
+//! 3. **Register update** — next values are committed.
+//!
+//! Phases 1 and 2 are one work-list loop here: token production is simply
+//! the first wave of assignments, whose input-dependency set is empty.
+
+use crate::comp::{NodeId, Reg};
+use crate::fsm::StateRef;
+use crate::sim::eval::{eval_node, EvalCache};
+use crate::sim::Simulator;
+use crate::system::{NetSource, System};
+use crate::trace::Trace;
+use crate::value::Value;
+use crate::CoreError;
+
+#[derive(Debug, Clone, Copy)]
+enum Target {
+    Out { port: usize, node: NodeId },
+    RegWrite { reg: Reg, node: NodeId },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Pend {
+    inst: usize,
+    sfg: usize,
+    target: Target,
+}
+
+/// The interpreted (cycle-scheduler) simulator.
+///
+/// # Example
+///
+/// ```
+/// use ocapi::{Component, SigType, System, Value, InterpSim, Simulator};
+///
+/// # fn main() -> Result<(), ocapi::CoreError> {
+/// // A free-running 4-bit counter.
+/// let c = Component::build("counter");
+/// let out = c.output("count", SigType::Bits(4))?;
+/// let r = c.reg("r", SigType::Bits(4))?;
+/// let sfg = c.sfg("tick")?;
+/// let q = c.q(r);
+/// sfg.drive(out, &q)?;
+/// sfg.next(r, &(q.clone() + c.const_bits(4, 1)))?;
+/// let comp = c.finish()?;
+///
+/// let mut sb = System::build("demo");
+/// let inst = sb.add_component("u0", comp)?;
+/// sb.output("count", inst, "count")?;
+/// let mut sim = InterpSim::new(sb.finish()?)?;
+/// sim.run(3)?;
+/// assert_eq!(sim.output("count")?, Value::bits(4, 2));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct InterpSim {
+    sys: System,
+    nets: Vec<Value>,
+    fresh: Vec<bool>,
+    regs: Vec<Vec<Value>>,
+    states: Vec<StateRef>,
+    caches: Vec<EvalCache>,
+    /// Per timed inst, per output port: the driven net, if any.
+    out_net: Vec<Vec<Option<usize>>>,
+    /// Per untimed inst, per output port: the driven net, if any.
+    untimed_out_net: Vec<Vec<Option<usize>>>,
+    cycle: u64,
+    trace: Option<Trace>,
+    full_trace: Option<Trace>,
+}
+
+impl InterpSim {
+    /// Prepares a simulator for the system; registers take their initial
+    /// values, nets their type's zero.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible, but returns `Result` for parity with
+    /// [`crate::CompiledSim::new`], which can reject designs.
+    pub fn new(sys: System) -> Result<InterpSim, CoreError> {
+        let nets: Vec<Value> = sys
+            .nets
+            .iter()
+            .map(|n| match &n.source {
+                NetSource::Constant(v) => *v,
+                _ => n.ty.zero(),
+            })
+            .collect();
+        let regs = sys
+            .timed
+            .iter()
+            .map(|t| t.comp.regs.iter().map(|r| r.init).collect())
+            .collect();
+        let states = sys
+            .timed
+            .iter()
+            .map(|t| t.comp.fsm.as_ref().map_or(StateRef(0), |f| f.initial))
+            .collect();
+        let caches = sys
+            .timed
+            .iter()
+            .map(|t| EvalCache::new(t.comp.nodes.len()))
+            .collect();
+        let mut out_net: Vec<Vec<Option<usize>>> = sys
+            .timed
+            .iter()
+            .map(|t| vec![None; t.comp.outputs.len()])
+            .collect();
+        let mut untimed_out_net: Vec<Vec<Option<usize>>> = sys
+            .untimed
+            .iter()
+            .map(|u| vec![None; u.outputs.len()])
+            .collect();
+        for (i, net) in sys.nets.iter().enumerate() {
+            match net.source {
+                NetSource::TimedOut { inst, port } => out_net[inst][port] = Some(i),
+                NetSource::UntimedOut { inst, port } => untimed_out_net[inst][port] = Some(i),
+                _ => {}
+            }
+        }
+        let fresh = vec![false; sys.nets.len()];
+        Ok(InterpSim {
+            sys,
+            nets,
+            fresh,
+            regs,
+            states,
+            caches,
+            out_net,
+            untimed_out_net,
+            cycle: 0,
+            trace: None,
+            full_trace: None,
+        })
+    }
+
+    /// The simulated system.
+    pub fn system(&self) -> &System {
+        &self.sys
+    }
+
+    /// Gives the system back (e.g. to rebuild a different simulator).
+    pub fn into_system(self) -> System {
+        self.sys
+    }
+
+    /// The current FSM state name of a timed instance, for tests and
+    /// debugging.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownName`] if the instance does not exist
+    /// or has no FSM.
+    pub fn state_name(&self, instance: &str) -> Result<&str, CoreError> {
+        let (i, t) = self
+            .sys
+            .timed
+            .iter()
+            .enumerate()
+            .find(|(_, t)| t.name == instance)
+            .ok_or_else(|| CoreError::UnknownName {
+                kind: "instance",
+                name: instance.to_owned(),
+            })?;
+        let fsm = t.comp.fsm.as_ref().ok_or_else(|| CoreError::UnknownName {
+            kind: "fsm",
+            name: instance.to_owned(),
+        })?;
+        Ok(&fsm.states[self.states[i].index()])
+    }
+
+    /// The current value on a named net (`instance.port` or primary-input
+    /// name), for tests and debugging.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownName`] if no net has this name.
+    pub fn net_value(&self, name: &str) -> Result<Value, CoreError> {
+        self.sys
+            .nets
+            .iter()
+            .position(|n| n.name == name)
+            .map(|i| self.nets[i])
+            .ok_or_else(|| CoreError::UnknownName {
+                kind: "net",
+                name: name.to_owned(),
+            })
+    }
+
+    /// Starts recording *every net* each cycle (not only the primary
+    /// I/O): the full-hierarchy waveform view of the design, dumped with
+    /// [`InterpSim::full_trace`]`.to_vcd()`. Costs one value copy per net
+    /// per cycle.
+    pub fn enable_full_trace(&mut self) {
+        if self.full_trace.is_none() {
+            self.full_trace = Some(Trace::new(
+                self.sys.nets.iter().map(|n| (n.name.clone(), n.ty, false)),
+            ));
+        }
+    }
+
+    /// The full-hierarchy trace (empty unless
+    /// [`InterpSim::enable_full_trace`] was called before stepping).
+    pub fn full_trace(&self) -> &Trace {
+        static EMPTY: std::sync::OnceLock<Trace> = std::sync::OnceLock::new();
+        self.full_trace
+            .as_ref()
+            .unwrap_or_else(|| EMPTY.get_or_init(Trace::default))
+    }
+
+    /// Resets registers, FSM states, nets and untimed blocks to their
+    /// power-up values and rewinds the cycle counter.
+    pub fn reset(&mut self) {
+        for (i, t) in self.sys.timed.iter().enumerate() {
+            for (j, r) in t.comp.regs.iter().enumerate() {
+                self.regs[i][j] = r.init;
+            }
+            self.states[i] = t.comp.fsm.as_ref().map_or(StateRef(0), |f| f.initial);
+        }
+        for (i, net) in self.sys.nets.iter().enumerate() {
+            self.nets[i] = match &net.source {
+                NetSource::Constant(v) => *v,
+                _ => net.ty.zero(),
+            };
+        }
+        for u in &mut self.sys.untimed {
+            u.block.reset();
+        }
+        self.cycle = 0;
+        if let Some(t) = &mut self.trace {
+            *t = make_trace(&self.sys);
+        }
+        if let Some(t) = &mut self.full_trace {
+            *t = Trace::new(self.sys.nets.iter().map(|n| (n.name.clone(), n.ty, false)));
+        }
+    }
+}
+
+fn make_trace(sys: &System) -> Trace {
+    Trace::new(
+        sys.primary_inputs
+            .iter()
+            .map(|p| (p.name.clone(), p.ty, true))
+            .chain(
+                sys.primary_outputs
+                    .iter()
+                    .map(|p| (p.name.clone(), sys.nets[p.net].ty, false)),
+            ),
+    )
+}
+
+impl Simulator for InterpSim {
+    fn set_input(&mut self, name: &str, value: Value) -> Result<(), CoreError> {
+        let pi = self
+            .sys
+            .primary_inputs
+            .iter()
+            .find(|p| p.name == name)
+            .ok_or_else(|| CoreError::UnknownName {
+                kind: "primary input",
+                name: name.to_owned(),
+            })?;
+        value.check_type(pi.ty, &format!("primary input `{name}`"))?;
+        self.nets[pi.net] = value;
+        Ok(())
+    }
+
+    fn step(&mut self) -> Result<(), CoreError> {
+        let sys = &mut self.sys;
+        let nets = &mut self.nets;
+        let fresh = &mut self.fresh;
+
+        // Freshness: primary inputs and constants are available at cycle
+        // start; everything else must be produced.
+        for (i, net) in sys.nets.iter().enumerate() {
+            fresh[i] = matches!(
+                net.source,
+                NetSource::PrimaryInput(_) | NetSource::Constant(_)
+            );
+        }
+
+        // Phase 0: transition selection, marking SFGs for execution.
+        let mut pending: Vec<Pend> = Vec::new();
+        let mut next_states = self.states.clone();
+        for (i, t) in sys.timed.iter().enumerate() {
+            self.caches[i].bump();
+            let comp = &t.comp;
+            let active: Vec<crate::comp::SfgRef> = if let Some(fsm) = &comp.fsm {
+                let mut chosen: Option<&crate::fsm::Transition> = None;
+                for tr in fsm.from_state(self.states[i]) {
+                    let take = match tr.guard {
+                        None => true,
+                        Some(g) => {
+                            let in_nets = &sys.timed_in_net[i];
+                            let held = |p: usize| nets[in_nets[p]];
+                            eval_node(comp, g, &held, &self.regs[i], &mut self.caches[i])
+                                .as_bool()
+                                .expect("guard is bool")
+                        }
+                    };
+                    if take {
+                        chosen = Some(tr);
+                        break;
+                    }
+                }
+                match chosen {
+                    Some(tr) => {
+                        next_states[i] = tr.to;
+                        tr.actions.clone()
+                    }
+                    None => Vec::new(), // idle: stay, run nothing
+                }
+            } else {
+                comp.all_sfg_refs()
+            };
+
+            // Outputs not driven by the marked SFGs hold their value and
+            // count as settled immediately.
+            let mut driven = vec![false; comp.outputs.len()];
+            for sfg_ref in &active {
+                let sfg = &comp.sfgs[sfg_ref.index()];
+                for (p, node) in &sfg.outputs {
+                    driven[p.index()] = true;
+                    pending.push(Pend {
+                        inst: i,
+                        sfg: sfg_ref.index(),
+                        target: Target::Out {
+                            port: p.index(),
+                            node: *node,
+                        },
+                    });
+                }
+                for (r, node) in &sfg.reg_writes {
+                    pending.push(Pend {
+                        inst: i,
+                        sfg: sfg_ref.index(),
+                        target: Target::RegWrite {
+                            reg: *r,
+                            node: *node,
+                        },
+                    });
+                }
+            }
+            for (p, d) in driven.iter().enumerate() {
+                if !d {
+                    if let Some(net) = self.out_net[i][p] {
+                        fresh[net] = true; // held value
+                    }
+                }
+            }
+            // The guard evaluation used held input values; assignment
+            // evaluation below must re-read inputs fresh.
+            self.caches[i].bump();
+        }
+
+        // Phases 1+2: token production and evaluation as one work list.
+        let mut reg_writes: Vec<(usize, Reg, Value)> = Vec::new();
+        let mut fired = vec![false; sys.untimed.len()];
+        let mut in_buf: Vec<Value> = Vec::new();
+        let mut out_buf: Vec<Value> = Vec::new();
+        loop {
+            let mut progress = false;
+
+            let mut i = 0;
+            while i < pending.len() {
+                let pend = pending[i];
+                let comp = &sys.timed[pend.inst].comp;
+                let node = match pend.target {
+                    Target::Out { node, .. } | Target::RegWrite { node, .. } => node,
+                };
+                let in_nets = &sys.timed_in_net[pend.inst];
+                let ready = comp
+                    .input_deps(node)
+                    .iter()
+                    .all(|p| fresh[in_nets[*p as usize]]);
+                if ready {
+                    let read = |p: usize| nets[in_nets[p]];
+                    let v = eval_node(
+                        comp,
+                        node,
+                        &read,
+                        &self.regs[pend.inst],
+                        &mut self.caches[pend.inst],
+                    );
+                    match pend.target {
+                        Target::Out { port, .. } => {
+                            if let Some(net) = self.out_net[pend.inst][port] {
+                                nets[net] = v;
+                                fresh[net] = true;
+                            }
+                        }
+                        Target::RegWrite { reg, .. } => {
+                            reg_writes.push((pend.inst, reg, v));
+                        }
+                    }
+                    pending.swap_remove(i);
+                    progress = true;
+                } else {
+                    i += 1;
+                }
+            }
+
+            for (u, inst) in sys.untimed.iter_mut().enumerate() {
+                if fired[u] {
+                    continue;
+                }
+                let in_nets = &sys.untimed_in_net[u];
+                if !in_nets.iter().all(|n| fresh[*n]) {
+                    continue;
+                }
+                in_buf.clear();
+                in_buf.extend(in_nets.iter().map(|n| nets[*n]));
+                let out_nets = &self.untimed_out_net[u];
+                out_buf.clear();
+                out_buf.extend(
+                    out_nets
+                        .iter()
+                        .enumerate()
+                        .map(|(p, n)| n.map_or(inst.outputs[p].ty.zero(), |n| nets[n])),
+                );
+                if inst.block.ready(&in_buf) {
+                    inst.block.fire(&in_buf, &mut out_buf);
+                }
+                for (p, n) in out_nets.iter().enumerate() {
+                    if let Some(n) = n {
+                        nets[*n] = out_buf[p];
+                        fresh[*n] = true;
+                    }
+                }
+                fired[u] = true;
+                progress = true;
+            }
+
+            if pending.is_empty() && fired.iter().all(|f| *f) {
+                break;
+            }
+            if !progress {
+                let mut waiting: Vec<String> = pending
+                    .iter()
+                    .map(|p| {
+                        let t = &sys.timed[p.inst];
+                        let sfg = &t.comp.sfgs[p.sfg];
+                        let target = match p.target {
+                            Target::Out { port, .. } => t.comp.outputs[port].name.clone(),
+                            Target::RegWrite { reg, .. } => {
+                                format!("reg {}", t.comp.regs[reg.index()].name)
+                            }
+                        };
+                        format!("{}.{} -> {}", t.name, sfg.name, target)
+                    })
+                    .collect();
+                waiting.extend(
+                    fired
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, f)| !**f)
+                        .map(|(u, _)| format!("{} (untimed)", sys.untimed[u].block.name())),
+                );
+                return Err(CoreError::CombinationalLoop { waiting });
+            }
+        }
+
+        // Phase 3: register update and state commit.
+        for (inst, reg, v) in reg_writes {
+            self.regs[inst][reg.index()] = v;
+        }
+        self.states = next_states;
+        self.cycle += 1;
+
+        if let Some(trace) = &mut self.trace {
+            let row: Vec<Value> = sys
+                .primary_inputs
+                .iter()
+                .map(|p| nets[p.net])
+                .chain(sys.primary_outputs.iter().map(|p| nets[p.net]))
+                .collect();
+            trace.record_cycle(&row);
+        }
+        if let Some(trace) = &mut self.full_trace {
+            trace.record_cycle(nets);
+        }
+        Ok(())
+    }
+
+    fn output(&self, name: &str) -> Result<Value, CoreError> {
+        self.sys
+            .primary_outputs
+            .iter()
+            .find(|p| p.name == name)
+            .map(|p| self.nets[p.net])
+            .ok_or_else(|| CoreError::UnknownName {
+                kind: "primary output",
+                name: name.to_owned(),
+            })
+    }
+
+    fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    fn enable_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(make_trace(&self.sys));
+        }
+    }
+
+    fn trace(&self) -> &Trace {
+        static EMPTY: std::sync::OnceLock<Trace> = std::sync::OnceLock::new();
+        self.trace
+            .as_ref()
+            .unwrap_or_else(|| EMPTY.get_or_init(Trace::default))
+    }
+}

@@ -1,0 +1,69 @@
+//! Simulation back-ends.
+//!
+//! The paper treats the captured C++ description in two ways (§5,
+//! Figure 7): *interpreted* — the simulator walks the in-memory data
+//! structure — and *compiled* — an application-specific simulator is
+//! regenerated for maximum speed. [`InterpSim`] and [`CompiledSim`] are
+//! the two back-ends; both implement [`Simulator`] and produce identical
+//! cycle-by-cycle behaviour (see the `codegen_equivalence` integration
+//! test).
+
+mod compiled;
+mod eval;
+mod interp;
+
+pub use compiled::CompiledSim;
+pub use interp::InterpSim;
+
+use crate::trace::Trace;
+use crate::value::Value;
+use crate::CoreError;
+
+/// Common driving interface of the interpreted and compiled simulators.
+pub trait Simulator {
+    /// Sets a primary input for the coming cycle(s).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownName`] for an unknown input and
+    /// [`CoreError::ValueType`] for a type mismatch.
+    fn set_input(&mut self, name: &str, value: Value) -> Result<(), CoreError>;
+
+    /// Advances the system by one clock cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::CombinationalLoop`] if the evaluation phase
+    /// stalls.
+    fn step(&mut self) -> Result<(), CoreError>;
+
+    /// Reads a primary output (the value driven in the last completed
+    /// cycle).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownName`] for an unknown output.
+    fn output(&self, name: &str) -> Result<Value, CoreError>;
+
+    /// Number of completed cycles.
+    fn cycle(&self) -> u64;
+
+    /// Starts recording primary inputs and outputs each cycle.
+    fn enable_trace(&mut self);
+
+    /// The recorded trace (empty unless [`Simulator::enable_trace`] was
+    /// called before stepping).
+    fn trace(&self) -> &Trace;
+
+    /// Runs `n` cycles.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`Simulator::step`] error.
+    fn run(&mut self, n: u64) -> Result<(), CoreError> {
+        for _ in 0..n {
+            self.step()?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,260 @@
+//! Tests for the data-flow scheduler and SDF static scheduling.
+
+use ocapi::dataflow::{Actor, ActorId, DataflowGraph, FnActor, Sink, Source};
+use ocapi::{CoreError, Value};
+
+fn b8(v: u64) -> Value {
+    Value::bits(8, v)
+}
+
+#[test]
+fn pipeline_runs_to_completion() {
+    let mut g = DataflowGraph::new();
+    let src = g.add(Box::new(Source::new("src", (1..=5).map(b8))));
+    let inc = g.add(Box::new(FnActor::new("inc", 1, 1, |i, o| {
+        o.push(b8(i[0].as_bits().unwrap() + 1))
+    })));
+    let sink = g.add(Box::new(Sink::new("sink")));
+    g.connect(src, 0, inc, 0, &[]).unwrap();
+    g.connect(inc, 0, sink, 0, &[]).unwrap();
+    let fired = g.run(1000).unwrap();
+    assert_eq!(fired, 15); // 5 source + 5 inc + 5 sink
+    assert_eq!(g.actor(sink).name(), "sink");
+    assert_eq!(g.queued_tokens(), 0);
+}
+
+#[test]
+fn sink_collects_transformed_tokens() {
+    let mut g = DataflowGraph::new();
+    let src = g.add(Box::new(Source::new("src", (0..4).map(b8))));
+    let dbl = g.add(Box::new(FnActor::new("dbl", 1, 1, |i, o| {
+        o.push(b8(i[0].as_bits().unwrap() * 2))
+    })));
+    let sink = g.add(Box::new(Sink::new("sink")));
+    g.connect(src, 0, dbl, 0, &[]).unwrap();
+    g.connect(dbl, 0, sink, 0, &[]).unwrap();
+    g.run(1000).unwrap();
+    // Downcast via the collected data living in the graph: read through
+    // the Actor trait is not possible, so re-check by counting firings.
+    let dbl_fires = g
+        .firings()
+        .iter()
+        .filter(|(a, _)| *a == dbl_index(dbl))
+        .count();
+    assert_eq!(dbl_fires, 4);
+}
+
+// ActorId is opaque; tests that need indices use the order of insertion.
+fn dbl_index(_id: ActorId) -> usize {
+    1
+}
+
+#[test]
+fn cycle_without_initial_tokens_deadlocks() {
+    let mut g = DataflowGraph::new();
+    let a = g.add(Box::new(FnActor::new("a", 1, 1, |i, o| o.push(i[0]))));
+    let b = g.add(Box::new(FnActor::new("b", 1, 1, |i, o| o.push(i[0]))));
+    g.connect(a, 0, b, 0, &[]).unwrap();
+    g.connect(b, 0, a, 0, &[]).unwrap();
+    // No tokens anywhere: run simply fires nothing (not a deadlock — no
+    // work pending).
+    assert_eq!(g.run(100).unwrap(), 0);
+}
+
+#[test]
+fn cycle_with_initial_token_runs() {
+    let mut g = DataflowGraph::new();
+    let a = g.add(Box::new(FnActor::new("a", 1, 1, |i, o| {
+        o.push(b8(i[0].as_bits().unwrap() + 1))
+    })));
+    let b = g.add(Box::new(FnActor::new("b", 1, 1, |i, o| o.push(i[0]))));
+    g.connect(a, 0, b, 0, &[]).unwrap();
+    g.connect(b, 0, a, 0, &[b8(0)]).unwrap(); // initial token breaks the cycle
+    let fired = g.run(10).unwrap();
+    assert_eq!(fired, 10);
+    assert_eq!(g.queued_tokens(), 1); // the token keeps circulating
+}
+
+#[test]
+fn repetition_vector_multirate() {
+    // src (produces 2) -> ds (consumes 3, produces 1) -> sink (consumes 1)
+    struct Multi;
+    impl Actor for Multi {
+        fn name(&self) -> &str {
+            "ds"
+        }
+        fn num_inputs(&self) -> usize {
+            1
+        }
+        fn num_outputs(&self) -> usize {
+            1
+        }
+        fn consumption(&self, _p: usize) -> usize {
+            3
+        }
+        fn fire(&mut self, inputs: &[Vec<Value>], outputs: &mut [Vec<Value>]) {
+            outputs[0].push(inputs[0][0]);
+        }
+    }
+    struct Src2;
+    impl Actor for Src2 {
+        fn name(&self) -> &str {
+            "src2"
+        }
+        fn num_inputs(&self) -> usize {
+            0
+        }
+        fn num_outputs(&self) -> usize {
+            1
+        }
+        fn production(&self, _p: usize) -> usize {
+            2
+        }
+        fn fire(&mut self, _i: &[Vec<Value>], outputs: &mut [Vec<Value>]) {
+            outputs[0].push(b8(1));
+            outputs[0].push(b8(2));
+        }
+    }
+    let mut g = DataflowGraph::new();
+    let s = g.add(Box::new(Src2));
+    let m = g.add(Box::new(Multi));
+    let k = g.add(Box::new(Sink::new("sink")));
+    g.connect(s, 0, m, 0, &[]).unwrap();
+    g.connect(m, 0, k, 0, &[]).unwrap();
+    // Balance: 2*q(src) = 3*q(ds); q(ds) = q(sink) => q = [3, 2, 2]
+    assert_eq!(g.repetition_vector().unwrap(), vec![3, 2, 2]);
+    let sched = g.static_schedule().unwrap();
+    assert_eq!(sched.len(), 7);
+}
+
+#[test]
+fn inconsistent_rates_detected() {
+    // a -> b with rate 2:1 on one edge and 1:1 on a parallel edge.
+    struct Prod2;
+    impl Actor for Prod2 {
+        fn name(&self) -> &str {
+            "p2"
+        }
+        fn num_inputs(&self) -> usize {
+            0
+        }
+        fn num_outputs(&self) -> usize {
+            2
+        }
+        fn production(&self, p: usize) -> usize {
+            if p == 0 {
+                2
+            } else {
+                1
+            }
+        }
+        fn fire(&mut self, _i: &[Vec<Value>], o: &mut [Vec<Value>]) {
+            o[0].push(b8(0));
+            o[0].push(b8(0));
+            o[1].push(b8(0));
+        }
+    }
+    struct Cons11;
+    impl Actor for Cons11 {
+        fn name(&self) -> &str {
+            "c11"
+        }
+        fn num_inputs(&self) -> usize {
+            2
+        }
+        fn num_outputs(&self) -> usize {
+            0
+        }
+        fn fire(&mut self, _i: &[Vec<Value>], _o: &mut [Vec<Value>]) {}
+    }
+    let mut g = DataflowGraph::new();
+    let a = g.add(Box::new(Prod2));
+    let b = g.add(Box::new(Cons11));
+    g.connect(a, 0, b, 0, &[]).unwrap();
+    g.connect(a, 1, b, 1, &[]).unwrap();
+    assert!(matches!(
+        g.repetition_vector(),
+        Err(CoreError::InconsistentRates { .. })
+    ));
+}
+
+#[test]
+fn static_schedule_deadlock_on_tokenless_cycle() {
+    let mut g = DataflowGraph::new();
+    let a = g.add(Box::new(FnActor::new("a", 1, 1, |i, o| o.push(i[0]))));
+    let b = g.add(Box::new(FnActor::new("b", 1, 1, |i, o| o.push(i[0]))));
+    g.connect(a, 0, b, 0, &[]).unwrap();
+    g.connect(b, 0, a, 0, &[]).unwrap();
+    assert!(matches!(
+        g.static_schedule(),
+        Err(CoreError::DataflowDeadlock { .. })
+    ));
+}
+
+#[test]
+fn bad_port_rejected() {
+    let mut g = DataflowGraph::new();
+    let a = g.add(Box::new(Source::new("s", [b8(1)])));
+    let b = g.add(Box::new(Sink::new("k")));
+    assert!(g.connect(a, 1, b, 0, &[]).is_err());
+    assert!(g.connect(a, 0, b, 7, &[]).is_err());
+}
+
+#[test]
+fn max_firings_budget_respected() {
+    let mut g = DataflowGraph::new();
+    let a = g.add(Box::new(FnActor::new("a", 1, 1, |i, o| o.push(i[0]))));
+    g.connect(a, 0, a, 0, &[b8(1)]).unwrap(); // self loop, runs forever
+    assert_eq!(g.run(25).unwrap(), 25);
+}
+
+#[test]
+fn variable_rate_actor_runs_dynamically() {
+    // A run-length expander: each input token k produces k copies —
+    // variable-rate behaviour the dynamic scheduler handles but static
+    // SDF analysis cannot capture (the declared rates become wrong).
+    struct Expander;
+    impl Actor for Expander {
+        fn name(&self) -> &str {
+            "expander"
+        }
+        fn num_inputs(&self) -> usize {
+            1
+        }
+        fn num_outputs(&self) -> usize {
+            1
+        }
+        fn fire(&mut self, inputs: &[Vec<Value>], outputs: &mut [Vec<Value>]) {
+            let k = inputs[0][0].as_bits().unwrap();
+            for _ in 0..k {
+                outputs[0].push(inputs[0][0]);
+            }
+        }
+    }
+    let mut g = DataflowGraph::new();
+    let src = g.add(Box::new(Source::new("src", [b8(3), b8(0), b8(2)])));
+    let ex = g.add(Box::new(Expander));
+    let sink = Sink::new("sink");
+    let handle = sink.handle();
+    let k = g.add(Box::new(sink));
+    g.connect(src, 0, ex, 0, &[]).unwrap();
+    g.connect(ex, 0, k, 0, &[]).unwrap();
+    g.run(1000).unwrap();
+    // 3 + 0 + 2 = 5 expanded tokens.
+    assert_eq!(handle.len(), 5);
+    assert_eq!(handle.tokens()[0], b8(3));
+    assert_eq!(handle.tokens()[4], b8(2));
+}
+
+#[test]
+fn sink_handle_reads_after_move() {
+    let mut g = DataflowGraph::new();
+    let src = g.add(Box::new(Source::new("s", (0..4).map(b8))));
+    let sink = Sink::new("k");
+    let handle = sink.handle();
+    let k = g.add(Box::new(sink));
+    g.connect(src, 0, k, 0, &[]).unwrap();
+    assert!(handle.is_empty());
+    g.run(100).unwrap();
+    assert_eq!(handle.tokens(), vec![b8(0), b8(1), b8(2), b8(3)]);
+}

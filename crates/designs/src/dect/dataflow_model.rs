@@ -1,0 +1,136 @@
+//! The receiver as a *data-flow* system — the top of the refinement
+//! ladder.
+//!
+//! "At the system level, processes execute using data-flow simulation
+//! semantics" (§2): before anything is cycle-true, the DECT receiver is a
+//! graph of untimed actors firing as tokens arrive. This module expresses
+//! the receive chain that way — sample source → front-end conditioning →
+//! adaptive equalizer/slicer → decision sink — on the
+//! [`ocapi::dataflow`] scheduler, and the actors reuse the bit-exact
+//! arithmetic of [`super::reference`], so the data-flow model, the mixed
+//! model and the fully refined cycle-true machine all agree symbol for
+//! symbol.
+
+use ocapi::dataflow::{Actor, ActorId, DataflowGraph, Sink, SinkHandle, Source};
+use ocapi::{CoreError, Value};
+use ocapi_fixp::Fix;
+
+use super::reference::Reference;
+
+/// The equalizer/slicer as a single-rate data-flow actor: one sample
+/// token in, one decision token out.
+pub struct EqualizerActor {
+    reference: Reference,
+    /// The scheduler feeds one sample per firing; the reference model is
+    /// driven incrementally.
+    history: Vec<Fix>,
+}
+
+impl EqualizerActor {
+    /// A training-mode equalizer actor.
+    pub fn new(train: bool) -> EqualizerActor {
+        EqualizerActor {
+            reference: Reference::new(train),
+            history: Vec::new(),
+        }
+    }
+}
+
+impl Actor for EqualizerActor {
+    fn name(&self) -> &str {
+        "equalizer"
+    }
+    fn num_inputs(&self) -> usize {
+        1
+    }
+    fn num_outputs(&self) -> usize {
+        1
+    }
+    fn fire(&mut self, inputs: &[Vec<Value>], outputs: &mut [Vec<Value>]) {
+        let sample = inputs[0][0].as_fixed().expect("sample token is fixed");
+        self.history.push(sample);
+        // The replay lag of the front-end, fed from the actor's own
+        // token history.
+        let k = self.history.len() as i64 - 1;
+        let zero = Fix::zero(super::sample_fmt());
+        let x_at = |i: i64| -> Fix {
+            if i >= 0 {
+                self.history[i as usize]
+            } else {
+                zero
+            }
+        };
+        let rec = self
+            .reference
+            .step(x_at(k - super::LAG as i64 - 1), x_at(k - super::LAG as i64));
+        outputs[0].push(Value::Bool(rec.bit));
+    }
+}
+
+/// Builds the data-flow receiver over a sample stream; returns the
+/// graph, the source/sink ids and a handle onto the decision sink.
+///
+/// # Errors
+///
+/// Propagates graph construction errors.
+pub fn build_graph(
+    samples: &[Fix],
+    train: bool,
+) -> Result<(DataflowGraph, ActorId, SinkHandle), CoreError> {
+    let mut g = DataflowGraph::new();
+    let src = g.add(Box::new(Source::new(
+        "samples",
+        samples.iter().map(|s| Value::Fixed(*s)),
+    )));
+    let eq = g.add(Box::new(EqualizerActor::new(train)));
+    let sink = Sink::new("decisions");
+    let handle = sink.handle();
+    let sink_id = g.add(Box::new(sink));
+    g.connect(src, 0, eq, 0, &[])?;
+    g.connect(eq, 0, sink_id, 0, &[])?;
+    Ok((g, src, handle))
+}
+
+/// Runs the data-flow receiver to completion, returning the decisions.
+///
+/// # Errors
+///
+/// Propagates scheduler errors.
+pub fn run(samples: &[Fix], train: bool) -> Result<Vec<bool>, CoreError> {
+    let (mut g, _, decisions) = build_graph(samples, train)?;
+    g.run(u64::MAX)?;
+    Ok(decisions
+        .tokens()
+        .iter()
+        .map(|v| v.as_bool().expect("decision token is bool"))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dect::burst::{generate, BurstConfig};
+    use crate::dect::reference::Reference;
+
+    #[test]
+    fn dataflow_model_matches_reference() {
+        let burst = generate(&BurstConfig::default());
+        let decisions = run(&burst.samples, true).unwrap();
+        let mut r = Reference::new(true);
+        let expect: Vec<bool> = r.run(&burst.samples).iter().map(|x| x.bit).collect();
+        assert_eq!(decisions, expect);
+    }
+
+    #[test]
+    fn graph_is_statically_schedulable() {
+        let burst = generate(&BurstConfig {
+            payload_len: 8,
+            ..BurstConfig::default()
+        });
+        let (g, _, _) = build_graph(&burst.samples, true).unwrap();
+        // Single-rate chain: repetition vector is all ones.
+        assert_eq!(g.repetition_vector().unwrap(), vec![1, 1, 1]);
+        let sched = g.static_schedule().unwrap();
+        assert_eq!(sched.len(), 3);
+    }
+}

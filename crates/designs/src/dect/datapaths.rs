@@ -1,0 +1,742 @@
+//! The datapath components of the DECT transceiver.
+//!
+//! Each datapath is a cycle-true component controlled by instruction
+//! fields from the central decoder. Instruction decoding is combinational
+//! (select expressions), because per the three-phase scheduler an FSM
+//! guard on an internally-driven signal samples the *previous* cycle's
+//! value — the paper's own note that "the conditions are stored in
+//! registers inside the signal flow graphs". Components whose control
+//! comes from external pins (the PC controller) or their own registers
+//! (HCOR) use FSMs instead.
+
+use ocapi::{Component, CoreError, Overflow, Rounding, SigType, Value};
+use ocapi_fixp::Fix;
+
+use super::{acc_fmt, coef_fmt, err_fmt, sample_fmt, sym_fmt, MU, TAPS};
+
+/// One equalizer tap: MAC plus local LMS coefficient update.
+///
+/// Ports: `op: Bits(2)` (0 nop, 1 shift, 2 update, 3 clear),
+/// `x_in: SAMPLE`, `e_in: ERR` → `y: ACC` (c·x), `x_out: SAMPLE`
+/// (delay-line output to the next tap).
+///
+/// # Errors
+///
+/// Propagates capture errors.
+pub fn mac(name: &str, init_coef: f64) -> Result<Component, CoreError> {
+    let c = Component::build(name);
+    let op = c.input("op", SigType::Bits(2))?;
+    let x_in = c.input("x_in", SigType::Fixed(sample_fmt()))?;
+    let e_in = c.input("e_in", SigType::Fixed(err_fmt()))?;
+    let y_out = c.output("y", SigType::Fixed(acc_fmt()))?;
+    let x_out = c.output("x_out", SigType::Fixed(sample_fmt()))?;
+
+    let init = Fix::from_f64(init_coef, coef_fmt(), Rounding::Nearest, Overflow::Saturate);
+    let x = c.reg("x", SigType::Fixed(sample_fmt()))?;
+    let coef = c.reg_init("c", SigType::Fixed(coef_fmt()), Value::Fixed(init))?;
+
+    let s = c.sfg("dp")?;
+    s.uses(op).uses(x_in).uses(e_in);
+    let opv = c.read(op);
+    let is_shift = opv.eq(&c.const_bits(2, 1));
+    let is_update = opv.eq(&c.const_bits(2, 2));
+    let is_clear = opv.eq(&c.const_bits(2, 3));
+
+    let qx = c.q(x);
+    let qc = c.q(coef);
+
+    // y = c·x quantised to the accumulator format (register-only cone,
+    // so the sum tree can consume it without ordering constraints).
+    let y = (qc.clone() * qx.clone()).to_fixed(acc_fmt(), Rounding::Truncate, Overflow::Saturate);
+    s.drive(y_out, &y)?;
+    s.drive(x_out, &qx)?;
+
+    // Delay-line shift / clear.
+    let x_next = is_shift.mux(
+        &c.read(x_in),
+        &is_clear.mux(&c.const_fixed(0.0, sample_fmt()), &qx),
+    );
+    s.next(x, &x_next)?;
+
+    // LMS: c += e·x, quantised back to the coefficient format.
+    let upd = (qc.clone() + c.read(e_in) * qx.clone()).to_fixed(
+        coef_fmt(),
+        Rounding::Nearest,
+        Overflow::Saturate,
+    );
+    let c_next = is_update.mux(&upd, &is_clear.mux(&c.constant(Value::Fixed(init)), &qc));
+    s.next(coef, &c_next)?;
+    c.finish()
+}
+
+/// The adder tree summing all tap outputs.
+///
+/// Ports: `y0..y10: ACC`, `en: Bool` → `acc: ACC`.
+///
+/// # Errors
+///
+/// Propagates capture errors.
+pub fn sum_tree(name: &str) -> Result<Component, CoreError> {
+    let c = Component::build(name);
+    let ys: Vec<_> = (0..TAPS)
+        .map(|i| c.input(&format!("y{i}"), SigType::Fixed(acc_fmt())))
+        .collect::<Result<_, _>>()?;
+    let en = c.input("en", SigType::Bool)?;
+    let out = c.output("acc", SigType::Fixed(acc_fmt()))?;
+
+    let s = c.sfg("sum")?;
+    let mut terms: Vec<_> = ys.iter().map(|y| c.read(*y)).collect();
+    // Balanced tree, quantising once at the root.
+    while terms.len() > 1 {
+        let mut next = Vec::with_capacity(terms.len().div_ceil(2));
+        let mut it = terms.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => next.push(a + b),
+                None => next.push(a),
+            }
+        }
+        terms = next;
+    }
+    let total = terms.pop().expect("at least one tap").to_fixed(
+        acc_fmt(),
+        Rounding::Truncate,
+        Overflow::Saturate,
+    );
+    let gated = c.read(en).mux(&total, &c.const_fixed(0.0, acc_fmt()));
+    s.drive(out, &gated)?;
+    c.finish()
+}
+
+/// The decision slicer and error former.
+///
+/// Ports: `y: ACC`, `train_sym: SYM`, `train: Bool`, `en: Bool` →
+/// `bit: Bool` (registered decision), `bit_bits: Bits(1)`, `err: ERR`
+/// (registered error), `train_addr: Bits(8)` (training ROM pointer).
+///
+/// While `train` is asserted and training symbols remain, the error is
+/// formed against the known S-field symbol; afterwards it is
+/// decision-directed.
+///
+/// # Errors
+///
+/// Propagates capture errors.
+pub fn slicer(name: &str, train_window: u64) -> Result<Component, CoreError> {
+    let c = Component::build(name);
+    let y = c.input("y", SigType::Fixed(acc_fmt()))?;
+    let train_sym = c.input("train_sym", SigType::Fixed(sym_fmt()))?;
+    let train = c.input("train", SigType::Bool)?;
+    let en = c.input("en", SigType::Bool)?;
+    let step = c.input("step", SigType::Bool)?;
+    let bit_out = c.output("bit", SigType::Bool)?;
+    let bit_bits = c.output("bit_bits", SigType::Bits(1))?;
+    let err_out = c.output("err", SigType::Fixed(err_fmt()))?;
+    let taddr = c.output("train_addr", SigType::Bits(8))?;
+
+    let bit_r = c.reg("bit_r", SigType::Bool)?;
+    let err_r = c.reg("err_r", SigType::Fixed(err_fmt()))?;
+    let tptr = c.reg("tptr", SigType::Bits(8))?;
+
+    let s = c.sfg("slice")?;
+    let yv = c.read(y);
+    let d = yv.ge(&c.const_fixed(0.0, acc_fmt()));
+    let plus = c.const_fixed(1.0, sym_fmt());
+    let minus = c.const_fixed(-1.0, sym_fmt());
+    let dsym = d.mux(&plus, &minus);
+
+    let training = c.read(train) & c.q(tptr).lt(&c.const_bits(8, train_window));
+    let reference = training.mux(&c.read(train_sym), &dsym);
+    let err = (reference.to_fixed(err_fmt(), Rounding::Nearest, Overflow::Saturate)
+        - yv.to_fixed(err_fmt(), Rounding::Nearest, Overflow::Saturate))
+    .to_fixed(err_fmt(), Rounding::Nearest, Overflow::Saturate);
+
+    let env = c.read(en);
+    s.next(bit_r, &env.mux(&d, &c.q(bit_r)))?;
+    s.next(err_r, &env.mux(&err, &c.q(err_r)))?;
+    let advance = c.read(step) & c.q(tptr).lt(&c.const_bits(8, train_window));
+    s.next(
+        tptr,
+        &advance.mux(&(c.q(tptr) + c.const_bits(8, 1)), &c.q(tptr)),
+    )?;
+    s.drive(bit_out, &c.q(bit_r))?;
+    s.drive(bit_bits, &c.q(bit_r).to_bits(1))?;
+    s.drive(err_out, &c.q(err_r))?;
+    s.drive(taddr, &c.q(tptr))?;
+    c.finish()
+}
+
+/// LMS error scaling: `e_scaled = µ · err`.
+///
+/// # Errors
+///
+/// Propagates capture errors.
+pub fn err_scale(name: &str) -> Result<Component, CoreError> {
+    let c = Component::build(name);
+    let e = c.input("err", SigType::Fixed(err_fmt()))?;
+    let out = c.output("e_scaled", SigType::Fixed(err_fmt()))?;
+    let s = c.sfg("scale")?;
+    let mu_fmt = ocapi_fixp::Format::new(8, 1).expect("static format");
+    let mu = c.const_fixed(MU, mu_fmt);
+    let scaled = (c.read(e) * mu).to_fixed(err_fmt(), Rounding::Nearest, Overflow::Saturate);
+    s.drive(out, &scaled)?;
+    c.finish()
+}
+
+/// The input front-end: interleaved-bank sample capture and delayed
+/// replay.
+///
+/// Incoming samples alternate between the two sample RAMs (even indices
+/// to bank A, odd to bank B) — the classic bank interleaving that doubles
+/// memory bandwidth. The equalizer reads the stream back with a fixed lag
+/// of [`super::LAG`] symbols, which keeps the sample-to-decision latency
+/// far inside the 29-symbol DECT budget (§1).
+///
+/// Ports: `sample: SAMPLE`, `we: Bool`, `rd: Bool`, `rdata_a: SAMPLE`,
+/// `rdata_b: SAMPLE` → per-bank `addr/we`, shared `wdata`, and
+/// `x_head: SAMPLE` (the sample read this cycle, to the first equalizer
+/// stage).
+///
+/// # Errors
+///
+/// Propagates capture errors.
+pub fn input_frontend(name: &str) -> Result<Component, CoreError> {
+    let c = Component::build(name);
+    let sample = c.input("sample", SigType::Fixed(sample_fmt()))?;
+    let we = c.input("we", SigType::Bool)?;
+    let rd = c.input("rd", SigType::Bool)?;
+    let rdata_a = c.input("rdata_a", SigType::Fixed(sample_fmt()))?;
+    let rdata_b = c.input("rdata_b", SigType::Fixed(sample_fmt()))?;
+    let addr_a = c.output("addr_a", SigType::Bits(8))?;
+    let we_a = c.output("we_a", SigType::Bool)?;
+    let addr_b = c.output("addr_b", SigType::Bits(8))?;
+    let we_b = c.output("we_b", SigType::Bool)?;
+    let wdata = c.output("wdata", SigType::Fixed(sample_fmt()))?;
+    let x_head = c.output("x_head", SigType::Fixed(sample_fmt()))?;
+
+    // Count of captured samples (the next write index).
+    let wr_ptr = c.reg("wr_ptr", SigType::Bits(9))?;
+
+    let s = c.sfg("io")?;
+    let wev = c.read(we);
+    let rdv = c.read(rd);
+    let _ = &rdv; // the read index is derived from the write counter
+    let qw = c.q(wr_ptr);
+
+    // The read happens in the instruction *after* the capture, so at read
+    // time qw is already k+1; the replayed index k − LAG is qw − LAG − 1.
+    let rd_idx = qw.clone() + c.const_bits(9, 512 - super::LAG as u64 - 1);
+    let w_bank = qw.bit(0); // even index -> bank A
+    let r_bank = rd_idx.bit(0);
+    let w_addr = qw.slice(1, 8);
+    let r_addr = rd_idx.slice(1, 8);
+
+    let write_a = wev.clone() & !w_bank.clone();
+    let write_b = wev.clone() & w_bank.clone();
+    s.drive(addr_a, &write_a.mux(&w_addr, &r_addr))?;
+    s.drive(addr_b, &write_b.mux(&w_addr, &r_addr))?;
+    s.drive(we_a, &write_a)?;
+    s.drive(we_b, &write_b)?;
+    s.drive(wdata, &c.read(sample))?;
+    s.drive(x_head, &r_bank.mux(&c.read(rdata_b), &c.read(rdata_a)))?;
+    s.next(wr_ptr, &wev.mux(&(qw + c.const_bits(9, 1)), &c.q(wr_ptr)))?;
+    c.finish()
+}
+
+/// Automatic gain control: `y = g·x`, with optional gain adaptation
+/// towards unit amplitude.
+///
+/// # Errors
+///
+/// Propagates capture errors.
+pub fn agc(name: &str) -> Result<Component, CoreError> {
+    let c = Component::build(name);
+    let x = c.input("x", SigType::Fixed(sample_fmt()))?;
+    let en = c.input("en", SigType::Bool)?;
+    let y = c.output("y", SigType::Fixed(sample_fmt()))?;
+    let g = c.reg_init(
+        "g",
+        SigType::Fixed(coef_fmt()),
+        Value::Fixed(Fix::from_f64(
+            1.0,
+            coef_fmt(),
+            Rounding::Nearest,
+            Overflow::Saturate,
+        )),
+    )?;
+    let s = c.sfg("agc")?;
+    let xv = c.read(x);
+    let qg = c.q(g);
+    let scaled =
+        (qg.clone() * xv.clone()).to_fixed(sample_fmt(), Rounding::Nearest, Overflow::Saturate);
+    s.drive(y, &scaled)?;
+    // |x| via select; step towards target amplitude 1.0 with step 1/64.
+    let neg = (-xv.clone()).to_fixed(sample_fmt(), Rounding::Nearest, Overflow::Saturate);
+    let ax = xv.lt(&c.const_fixed(0.0, sample_fmt())).mux(&neg, &xv);
+    let step_fmt = ocapi_fixp::Format::new(10, 1).expect("static format");
+    let delta = ((c.const_fixed(1.0, sample_fmt()) - ax) * c.const_fixed(1.0 / 64.0, step_fmt))
+        .to_fixed(coef_fmt(), Rounding::Nearest, Overflow::Saturate);
+    let adapted = (qg.clone() + delta).to_fixed(coef_fmt(), Rounding::Nearest, Overflow::Saturate);
+    s.next(g, &c.read(en).mux(&adapted, &qg))?;
+    c.finish()
+}
+
+/// DC-offset tracker: `y = x − o`, `o += (x − o)/64` while enabled.
+///
+/// # Errors
+///
+/// Propagates capture errors.
+pub fn dc_offset(name: &str) -> Result<Component, CoreError> {
+    let c = Component::build(name);
+    let x = c.input("x", SigType::Fixed(sample_fmt()))?;
+    let en = c.input("en", SigType::Bool)?;
+    let y = c.output("y", SigType::Fixed(sample_fmt()))?;
+    let o = c.reg("o", SigType::Fixed(sample_fmt()))?;
+    let s = c.sfg("dco")?;
+    let xv = c.read(x);
+    let qo = c.q(o);
+    let corrected =
+        (xv.clone() - qo.clone()).to_fixed(sample_fmt(), Rounding::Nearest, Overflow::Saturate);
+    s.drive(y, &corrected)?;
+    let eps_fmt = ocapi_fixp::Format::new(10, 1).expect("static format");
+    let delta = ((xv - qo.clone()) * c.const_fixed(1.0 / 64.0, eps_fmt)).to_fixed(
+        sample_fmt(),
+        Rounding::Nearest,
+        Overflow::Saturate,
+    );
+    let adapted =
+        (qo.clone() + delta).to_fixed(sample_fmt(), Rounding::Nearest, Overflow::Saturate);
+    s.next(o, &c.read(en).mux(&adapted, &qo))?;
+    c.finish()
+}
+
+/// The DECT descrambler: a 7-stage LFSR (x⁷+x⁴+1) xor-ed onto the
+/// decision bits.
+///
+/// # Errors
+///
+/// Propagates capture errors.
+pub fn descrambler(name: &str) -> Result<Component, CoreError> {
+    let c = Component::build(name);
+    let bit = c.input("bit", SigType::Bool)?;
+    let en = c.input("en", SigType::Bool)?;
+    let out = c.output("out", SigType::Bool)?;
+    let lfsr = c.reg_init("lfsr", SigType::Bits(7), Value::bits(7, 0x7f))?;
+    let s = c.sfg("descr")?;
+    let q = c.q(lfsr);
+    let fb = q.bit(6) ^ q.bit(3);
+    let shifted = q.shl(1) | fb.to_bits(7);
+    let env = c.read(en);
+    s.next(lfsr, &env.mux(&shifted, &q))?;
+    s.drive(out, &(c.read(bit) ^ q.bit(6)))?;
+    c.finish()
+}
+
+/// CRC-16 (CCITT polynomial 0x1021) over the descrambled bits.
+///
+/// Ports: `bit: Bool`, `en: Bool`, `clear: Bool` → `crc: Bits(16)`,
+/// `ok: Bool` (remainder currently zero).
+///
+/// # Errors
+///
+/// Propagates capture errors.
+pub fn crc16(name: &str) -> Result<Component, CoreError> {
+    let c = Component::build(name);
+    let bit = c.input("bit", SigType::Bool)?;
+    let en = c.input("en", SigType::Bool)?;
+    let clear = c.input("clear", SigType::Bool)?;
+    let crc_out = c.output("crc", SigType::Bits(16))?;
+    let ok = c.output("ok", SigType::Bool)?;
+    let r = c.reg("r", SigType::Bits(16))?;
+    let s = c.sfg("crc")?;
+    let q = c.q(r);
+    let msb = q.bit(15);
+    let fb = msb ^ c.read(bit);
+    let shifted = q.shl(1);
+    let poly = c.const_bits(16, 0x1021);
+    let next = fb.mux(&(shifted.clone() ^ poly), &shifted);
+    let cleared = c.read(clear).mux(&c.const_bits(16, 0), &next);
+    s.next(r, &c.read(en).mux(&cleared, &q))?;
+    s.drive(crc_out, &q)?;
+    s.drive(ok, &q.eq(&c.const_bits(16, 0)))?;
+    c.finish()
+}
+
+/// The wire-link driver interface: packs decided bits into bytes for the
+/// base-station controller and writes them to the DR FIFO RAM.
+///
+/// # Errors
+///
+/// Propagates capture errors.
+pub fn dr_interface(name: &str) -> Result<Component, CoreError> {
+    let c = Component::build(name);
+    let bit = c.input("bit", SigType::Bool)?;
+    let en = c.input("en", SigType::Bool)?;
+    let data = c.output("data", SigType::Bits(8))?;
+    let valid = c.output("valid", SigType::Bool)?;
+    let fifo_addr = c.output("fifo_addr", SigType::Bits(8))?;
+    let fifo_we = c.output("fifo_we", SigType::Bool)?;
+    let shift = c.reg("shift", SigType::Bits(8))?;
+    let cnt = c.reg("cnt", SigType::Bits(3))?;
+    let ptr = c.reg("ptr", SigType::Bits(8))?;
+
+    let s = c.sfg("pack")?;
+    let env = c.read(en);
+    let q = c.q(shift);
+    let qc = c.q(cnt);
+    let qp = c.q(ptr);
+    let merged = q.shl(1) | c.read(bit).to_bits(8);
+    let full = qc.eq(&c.const_bits(3, 7));
+    let byte_done = env.clone() & full;
+    s.next(shift, &env.mux(&merged, &q))?;
+    s.next(cnt, &env.mux(&(qc.clone() + c.const_bits(3, 1)), &qc))?;
+    s.next(ptr, &byte_done.mux(&(qp.clone() + c.const_bits(8, 1)), &qp))?;
+    s.drive(data, &merged)?;
+    s.drive(valid, &byte_done)?;
+    s.drive(fifo_addr, &qp)?;
+    s.drive(fifo_we, &byte_done)?;
+    c.finish()
+}
+
+/// The local control interface: symbol counter and status word for the
+/// CTL component, plus the out-RAM address.
+///
+/// # Errors
+///
+/// Propagates capture errors.
+pub fn ctl_interface(name: &str) -> Result<Component, CoreError> {
+    let c = Component::build(name);
+    let count = c.input("count", SigType::Bool)?;
+    let detect = c.input("detect", SigType::Bool)?;
+    let holding = c.input("holding", SigType::Bool)?;
+    let status = c.output("status", SigType::Bits(8))?;
+    let sym_addr = c.output("sym_addr", SigType::Bits(8))?;
+    let regs_addr = c.output("regs_addr", SigType::Bits(4))?;
+    let regs_we = c.output("regs_we", SigType::Bool)?;
+    let regs_wdata = c.output("regs_wdata", SigType::Bits(8))?;
+    let cnt = c.reg("cnt", SigType::Bits(16))?;
+
+    let s = c.sfg("ctl")?;
+    let q = c.q(cnt);
+    let env = c.read(count);
+    s.next(cnt, &env.mux(&(q.clone() + c.const_bits(16, 1)), &q))?;
+    let word = c.read(detect).to_bits(8).shl(7)
+        | c.read(holding).to_bits(8).shl(6)
+        | q.slice(0, 6).to_bits(8);
+    s.drive(status, &word)?;
+    s.drive(sym_addr, &q.slice(0, 8))?;
+    s.drive(regs_addr, &c.const_bits(4, 0))?;
+    s.drive(regs_we, &env)?;
+    s.drive(regs_wdata, &word)?;
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dect::TRAIN_LEN;
+    use ocapi::{InterpSim, Simulator, System};
+
+    fn single(comp: Component, ins: &[(&str, SigType)], outs: &[&str]) -> InterpSim {
+        let mut sb = System::build("t");
+        let u = sb.add_component("u", comp).unwrap();
+        for (n, t) in ins {
+            sb.input(n, *t).unwrap();
+            sb.connect_input(n, u, n).unwrap();
+        }
+        for o in outs {
+            sb.output(o, u, o).unwrap();
+        }
+        InterpSim::new(sb.finish().unwrap()).unwrap()
+    }
+
+    fn fx(v: f64, f: ocapi_fixp::Format) -> Value {
+        Value::Fixed(Fix::from_f64(v, f, Rounding::Nearest, Overflow::Saturate))
+    }
+
+    #[test]
+    fn mac_shift_and_multiply() {
+        let mut sim = single(
+            mac("m", 0.5).unwrap(),
+            &[
+                ("op", SigType::Bits(2)),
+                ("x_in", SigType::Fixed(sample_fmt())),
+                ("e_in", SigType::Fixed(err_fmt())),
+            ],
+            &["y", "x_out"],
+        );
+        sim.set_input("e_in", fx(0.0, err_fmt())).unwrap();
+        sim.set_input("op", Value::bits(2, 1)).unwrap();
+        sim.set_input("x_in", fx(2.0, sample_fmt())).unwrap();
+        sim.step().unwrap(); // x <- 2.0
+        sim.set_input("op", Value::bits(2, 0)).unwrap();
+        sim.step().unwrap();
+        // y = 0.5 * 2.0
+        assert_eq!(sim.output("y").unwrap().as_fixed().unwrap().to_f64(), 1.0);
+        assert_eq!(
+            sim.output("x_out").unwrap().as_fixed().unwrap().to_f64(),
+            2.0
+        );
+    }
+
+    #[test]
+    fn mac_lms_update_moves_coefficient() {
+        let mut sim = single(
+            mac("m", 0.0).unwrap(),
+            &[
+                ("op", SigType::Bits(2)),
+                ("x_in", SigType::Fixed(sample_fmt())),
+                ("e_in", SigType::Fixed(err_fmt())),
+            ],
+            &["y", "x_out"],
+        );
+        // Load x = 1.0.
+        sim.set_input("e_in", fx(0.0, err_fmt())).unwrap();
+        sim.set_input("op", Value::bits(2, 1)).unwrap();
+        sim.set_input("x_in", fx(1.0, sample_fmt())).unwrap();
+        sim.step().unwrap();
+        // Update with e = 0.25: c = 0 + 0.25*1.0.
+        sim.set_input("op", Value::bits(2, 2)).unwrap();
+        sim.set_input("e_in", fx(0.25, err_fmt())).unwrap();
+        sim.step().unwrap();
+        sim.set_input("op", Value::bits(2, 0)).unwrap();
+        sim.step().unwrap();
+        assert_eq!(sim.output("y").unwrap().as_fixed().unwrap().to_f64(), 0.25);
+        // Clear restores the initial coefficient.
+        sim.set_input("op", Value::bits(2, 3)).unwrap();
+        sim.step().unwrap();
+        sim.set_input("op", Value::bits(2, 0)).unwrap();
+        sim.step().unwrap();
+        assert_eq!(sim.output("y").unwrap().as_fixed().unwrap().to_f64(), 0.0);
+    }
+
+    #[test]
+    fn sum_tree_adds_and_gates() {
+        let comp = sum_tree("s").unwrap();
+        let mut ins: Vec<(String, SigType)> = (0..TAPS)
+            .map(|i| (format!("y{i}"), SigType::Fixed(acc_fmt())))
+            .collect();
+        ins.push(("en".to_owned(), SigType::Bool));
+        let ins_ref: Vec<(&str, SigType)> = ins.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+        let mut sim = single(comp, &ins_ref, &["acc"]);
+        for i in 0..TAPS {
+            sim.set_input(&format!("y{i}"), fx(0.25, acc_fmt()))
+                .unwrap();
+        }
+        sim.set_input("en", Value::Bool(true)).unwrap();
+        sim.step().unwrap();
+        assert_eq!(
+            sim.output("acc").unwrap().as_fixed().unwrap().to_f64(),
+            0.25 * TAPS as f64
+        );
+        sim.set_input("en", Value::Bool(false)).unwrap();
+        sim.step().unwrap();
+        assert_eq!(sim.output("acc").unwrap().as_fixed().unwrap().to_f64(), 0.0);
+    }
+
+    #[test]
+    fn slicer_decision_and_error() {
+        let mut sim = single(
+            slicer("sl", TRAIN_LEN as u64).unwrap(),
+            &[
+                ("y", SigType::Fixed(acc_fmt())),
+                ("train_sym", SigType::Fixed(sym_fmt())),
+                ("train", SigType::Bool),
+                ("en", SigType::Bool),
+                ("step", SigType::Bool),
+            ],
+            &["bit", "err", "train_addr"],
+        );
+        // Decision-directed: y = 0.75 -> bit 1, err = 1 - 0.75.
+        sim.set_input("y", fx(0.75, acc_fmt())).unwrap();
+        sim.set_input("train_sym", fx(-1.0, sym_fmt())).unwrap();
+        sim.set_input("train", Value::Bool(false)).unwrap();
+        sim.set_input("en", Value::Bool(true)).unwrap();
+        sim.set_input("step", Value::Bool(false)).unwrap();
+        sim.step().unwrap();
+        sim.set_input("en", Value::Bool(false)).unwrap();
+        sim.step().unwrap();
+        assert_eq!(sim.output("bit").unwrap(), Value::Bool(true));
+        assert_eq!(
+            sim.output("err").unwrap().as_fixed().unwrap().to_f64(),
+            0.25
+        );
+
+        // Training mode: reference forced to -1, err = -1 - 0.75.
+        let mut sim = single(
+            slicer("sl", TRAIN_LEN as u64).unwrap(),
+            &[
+                ("y", SigType::Fixed(acc_fmt())),
+                ("train_sym", SigType::Fixed(sym_fmt())),
+                ("train", SigType::Bool),
+                ("en", SigType::Bool),
+                ("step", SigType::Bool),
+            ],
+            &["bit", "err", "train_addr"],
+        );
+        sim.set_input("y", fx(0.75, acc_fmt())).unwrap();
+        sim.set_input("train_sym", fx(-1.0, sym_fmt())).unwrap();
+        sim.set_input("train", Value::Bool(true)).unwrap();
+        sim.set_input("en", Value::Bool(true)).unwrap();
+        sim.set_input("step", Value::Bool(false)).unwrap();
+        sim.step().unwrap();
+        assert_eq!(
+            sim.net_value("u.err").unwrap().as_fixed().unwrap().to_f64(),
+            0.0 // outputs update next cycle; check register path below
+        );
+        sim.set_input("en", Value::Bool(false)).unwrap();
+        sim.step().unwrap();
+        assert_eq!(
+            sim.output("err").unwrap().as_fixed().unwrap().to_f64(),
+            -1.75
+        );
+    }
+
+    #[test]
+    fn train_pointer_saturates() {
+        let mut sim = single(
+            slicer("sl", TRAIN_LEN as u64).unwrap(),
+            &[
+                ("y", SigType::Fixed(acc_fmt())),
+                ("train_sym", SigType::Fixed(sym_fmt())),
+                ("train", SigType::Bool),
+                ("en", SigType::Bool),
+                ("step", SigType::Bool),
+            ],
+            &["train_addr"],
+        );
+        sim.set_input("y", fx(0.0, acc_fmt())).unwrap();
+        sim.set_input("train_sym", fx(1.0, sym_fmt())).unwrap();
+        sim.set_input("train", Value::Bool(true)).unwrap();
+        sim.set_input("en", Value::Bool(true)).unwrap();
+        sim.set_input("step", Value::Bool(true)).unwrap();
+        for _ in 0..TRAIN_LEN + 10 {
+            sim.step().unwrap();
+        }
+        assert_eq!(
+            sim.output("train_addr").unwrap(),
+            Value::bits(8, TRAIN_LEN as u64)
+        );
+    }
+
+    #[test]
+    fn descrambler_is_self_inverse_on_known_lfsr() {
+        // Descrambling twice (two instances in sequence, same phase) gives
+        // back the original bit — here we just check the LFSR sequence is
+        // deterministic and the xor applies.
+        let mut sim = single(
+            descrambler("d").unwrap(),
+            &[("bit", SigType::Bool), ("en", SigType::Bool)],
+            &["out"],
+        );
+        sim.set_input("en", Value::Bool(true)).unwrap();
+        let mut outs = Vec::new();
+        for i in 0..20 {
+            sim.set_input("bit", Value::Bool(i % 3 == 0)).unwrap();
+            sim.step().unwrap();
+            outs.push(sim.output("out").unwrap() == Value::Bool(true));
+        }
+        // First output: bit(true) xor lfsr_bit(1) = false.
+        assert!(!outs[0]);
+        // The sequence is not constant (the LFSR is running).
+        assert!(outs.iter().any(|b| *b) && outs.iter().any(|b| !*b));
+    }
+
+    #[test]
+    fn crc_detects_corruption() {
+        fn run(bits: &[bool]) -> u64 {
+            let mut sim = single(
+                crc16("c").unwrap(),
+                &[
+                    ("bit", SigType::Bool),
+                    ("en", SigType::Bool),
+                    ("clear", SigType::Bool),
+                ],
+                &["crc", "ok"],
+            );
+            sim.set_input("en", Value::Bool(true)).unwrap();
+            sim.set_input("clear", Value::Bool(false)).unwrap();
+            for b in bits {
+                sim.set_input("bit", Value::Bool(*b)).unwrap();
+                sim.step().unwrap();
+            }
+            sim.set_input("en", Value::Bool(false)).unwrap();
+            sim.step().unwrap();
+            sim.output("crc").unwrap().as_bits().unwrap()
+        }
+        let msg: Vec<bool> = (0..48).map(|i| i % 5 == 0).collect();
+        let a = run(&msg);
+        let mut corrupted = msg.clone();
+        corrupted[13] = !corrupted[13];
+        let b = run(&corrupted);
+        assert_ne!(a, b, "CRC must change on corruption");
+    }
+
+    #[test]
+    fn agc_converges_towards_unit_amplitude() {
+        let mut sim = single(
+            agc("a").unwrap(),
+            &[("x", SigType::Fixed(sample_fmt())), ("en", SigType::Bool)],
+            &["y"],
+        );
+        // A weak input (amplitude 0.5): with adaptation on, gain grows
+        // and the output approaches the input's sign at amplitude ~>0.5.
+        sim.set_input("en", Value::Bool(true)).unwrap();
+        let mut last = 0.0;
+        for k in 0..400 {
+            let x = if k % 2 == 0 { 0.5 } else { -0.5 };
+            sim.set_input("x", fx(x, sample_fmt())).unwrap();
+            sim.step().unwrap();
+            last = sim.output("y").unwrap().as_fixed().unwrap().to_f64().abs();
+        }
+        assert!(last > 0.7, "gain should have grown: |y| = {last}");
+    }
+
+    #[test]
+    fn dc_offset_tracker_removes_bias() {
+        let mut sim = single(
+            dc_offset("d").unwrap(),
+            &[("x", SigType::Fixed(sample_fmt())), ("en", SigType::Bool)],
+            &["y"],
+        );
+        sim.set_input("en", Value::Bool(true)).unwrap();
+        // Alternating ±1 riding on a +0.5 offset.
+        let mut sum = 0.0;
+        let mut n = 0.0;
+        for k in 0..600 {
+            let x = 0.5 + if k % 2 == 0 { 1.0 } else { -1.0 };
+            sim.set_input("x", fx(x, sample_fmt())).unwrap();
+            sim.step().unwrap();
+            if k >= 500 {
+                sum += sim.output("y").unwrap().as_fixed().unwrap().to_f64();
+                n += 1.0;
+            }
+        }
+        let mean = sum / n;
+        // The 1/64 step with 8 fractional bits has a quantisation floor;
+        // most (not all) of the 0.5 bias must be gone.
+        assert!(
+            mean.abs() < 0.2,
+            "offset should be mostly removed: mean = {mean}"
+        );
+    }
+
+    #[test]
+    fn dr_interface_packs_bytes() {
+        let mut sim = single(
+            dr_interface("dr").unwrap(),
+            &[("bit", SigType::Bool), ("en", SigType::Bool)],
+            &["data", "valid", "fifo_we", "fifo_addr"],
+        );
+        sim.set_input("en", Value::Bool(true)).unwrap();
+        let byte = 0b1011_0010u64;
+        for i in (0..8).rev() {
+            sim.set_input("bit", Value::Bool((byte >> i) & 1 == 1))
+                .unwrap();
+            sim.step().unwrap();
+            let valid = sim.output("valid").unwrap() == Value::Bool(true);
+            assert_eq!(valid, i == 0, "valid only on the 8th bit");
+        }
+        assert_eq!(sim.output("data").unwrap(), Value::bits(8, byte));
+        assert_eq!(sim.output("fifo_we").unwrap(), Value::Bool(true));
+    }
+}

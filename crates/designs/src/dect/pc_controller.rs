@@ -1,0 +1,157 @@
+//! The program-counter controller of the DECT transceiver — the paper's
+//! Figure 2, reproduced port for port.
+//!
+//! A Mealy FSM with states `execute` and `hold`. In `execute`,
+//! instructions are fetched from the lookup table (the instruction ROM)
+//! addressed by the program counter. When the external `hold_request` pin
+//! is asserted, the current program counter is saved in `hold_pc`, a
+//! `nop` address is issued to freeze the datapath state, and the machine
+//! idles until the request is removed, at which point the stored counter
+//! resumes the interrupted instruction.
+//!
+//! On top of Figure 2 the controller implements the program loop the
+//! burst schedule needs: when `pc` reaches `loop_end` it wraps to
+//! `loop_start` (a "jump in the instruction ROM" — exactly the global
+//! exception mechanism §3.3 credits the central-control architecture
+//! with).
+
+use ocapi::{Component, CoreError, SigType};
+
+/// Address width of the instruction ROM.
+pub const ADDR_BITS: u32 = 8;
+
+/// The ROM address that holds the all-nop instruction word.
+pub const NOP_ADDR: u64 = 0;
+
+/// Builds the PC controller.
+///
+/// Ports: `hold_request: Bool`, `loop_start: Bits(8)`,
+/// `loop_end: Bits(8)` → `iaddr: Bits(8)` (instruction ROM address),
+/// `holding: Bool` (status to the control interface).
+///
+/// # Errors
+///
+/// Propagates capture errors.
+pub fn build(name: &str) -> Result<Component, CoreError> {
+    let c = Component::build(name);
+    let hold_request = c.input("hold_request", SigType::Bool)?;
+    let loop_start = c.input("loop_start", SigType::Bits(ADDR_BITS))?;
+    let loop_end = c.input("loop_end", SigType::Bits(ADDR_BITS))?;
+    let iaddr = c.output("iaddr", SigType::Bits(ADDR_BITS))?;
+    let holding = c.output("holding", SigType::Bool)?;
+
+    // `pc` starts at 1: address 0 is the nop word.
+    let pc = c.reg_init(
+        "pc",
+        SigType::Bits(ADDR_BITS),
+        ocapi::Value::bits(ADDR_BITS, 1),
+    )?;
+    let hold_pc = c.reg("hold_pc", SigType::Bits(ADDR_BITS))?;
+
+    let q = c.q(pc);
+    let at_end = q.eq(&c.read(loop_end));
+    let succ = at_end.mux(
+        &c.read(loop_start),
+        &(q.clone() + c.const_bits(ADDR_BITS, 1)),
+    );
+
+    // SFG `lookup`: issue pc, advance (Figure 2, state execute).
+    let lookup = c.sfg("lookup")?;
+    lookup.uses(loop_start).uses(loop_end);
+    lookup.drive(iaddr, &q)?;
+    lookup.drive(holding, &c.const_bool(false))?;
+    lookup.next(pc, &succ)?;
+
+    // SFG `hold_on`: store the interrupted pc, issue a nop.
+    let hold_on = c.sfg("hold_on")?;
+    hold_on.drive(iaddr, &c.const_bits(ADDR_BITS, NOP_ADDR))?;
+    hold_on.drive(holding, &c.const_bool(true))?;
+    hold_on.next(hold_pc, &c.q(pc))?;
+
+    // SFG `wait`: keep issuing nops while held.
+    let wait = c.sfg("wait")?;
+    wait.drive(iaddr, &c.const_bits(ADDR_BITS, NOP_ADDR))?;
+    wait.drive(holding, &c.const_bool(true))?;
+
+    // SFG `hold_lookup`: resume from the stored counter.
+    let hold_lookup = c.sfg("hold_lookup")?;
+    let hq = c.q(hold_pc);
+    let at_end_h = hq.eq(&c.read(loop_end));
+    let succ_h = at_end_h.mux(
+        &c.read(loop_start),
+        &(hq.clone() + c.const_bits(ADDR_BITS, 1)),
+    );
+    hold_lookup.drive(iaddr, &hq)?;
+    hold_lookup.drive(holding, &c.const_bool(false))?;
+    hold_lookup.next(pc, &succ_h)?;
+
+    let hr = c.read(hold_request);
+    let f = c.fsm()?;
+    let execute = f.initial("execute")?;
+    let hold = f.state("hold")?;
+    f.from(execute).when(&hr).run(hold_on.id()).to(hold)?;
+    f.from(execute).always().run(lookup.id()).to(execute)?;
+    f.from(hold).when(&hr).run(wait.id()).to(hold)?;
+    f.from(hold).always().run(hold_lookup.id()).to(execute)?;
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocapi::{InterpSim, Simulator, System, Value};
+
+    fn system() -> System {
+        let mut sb = System::build("pcsys");
+        let u = sb.add_component("pc", build("pc_ctrl").unwrap()).unwrap();
+        sb.input("hold_request", SigType::Bool).unwrap();
+        sb.connect_input("hold_request", u, "hold_request").unwrap();
+        sb.tie(u, "loop_start", Value::bits(8, 1)).unwrap();
+        sb.tie(u, "loop_end", Value::bits(8, 5)).unwrap();
+        sb.output("iaddr", u, "iaddr").unwrap();
+        sb.output("holding", u, "holding").unwrap();
+        sb.finish().unwrap()
+    }
+
+    #[test]
+    fn fig2_hold_and_resume() {
+        let mut sim = InterpSim::new(system()).unwrap();
+        sim.set_input("hold_request", Value::Bool(false)).unwrap();
+        // Free running: 1, 2, 3.
+        let mut seen = Vec::new();
+        for _ in 0..3 {
+            sim.step().unwrap();
+            seen.push(sim.output("iaddr").unwrap().as_bits().unwrap());
+        }
+        assert_eq!(seen, vec![1, 2, 3]);
+        // Assert hold: the current instruction (4) is delayed; nops issue.
+        sim.set_input("hold_request", Value::Bool(true)).unwrap();
+        sim.step().unwrap();
+        assert_eq!(sim.output("iaddr").unwrap(), Value::bits(8, NOP_ADDR));
+        assert_eq!(sim.output("holding").unwrap(), Value::Bool(true));
+        assert_eq!(sim.state_name("pc").unwrap(), "hold");
+        sim.step().unwrap();
+        assert_eq!(sim.output("iaddr").unwrap(), Value::bits(8, NOP_ADDR));
+        // Release: the interrupted instruction issues.
+        sim.set_input("hold_request", Value::Bool(false)).unwrap();
+        sim.step().unwrap();
+        assert_eq!(sim.output("iaddr").unwrap(), Value::bits(8, 4));
+        assert_eq!(sim.output("holding").unwrap(), Value::Bool(false));
+        assert_eq!(sim.state_name("pc").unwrap(), "execute");
+        // And the sequence continues.
+        sim.step().unwrap();
+        assert_eq!(sim.output("iaddr").unwrap(), Value::bits(8, 5));
+    }
+
+    #[test]
+    fn program_loops_at_end() {
+        let mut sim = InterpSim::new(system()).unwrap();
+        sim.set_input("hold_request", Value::Bool(false)).unwrap();
+        let mut seen = Vec::new();
+        for _ in 0..8 {
+            sim.step().unwrap();
+            seen.push(sim.output("iaddr").unwrap().as_bits().unwrap());
+        }
+        assert_eq!(seen, vec![1, 2, 3, 4, 5, 1, 2, 3]);
+    }
+}

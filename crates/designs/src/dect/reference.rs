@@ -1,0 +1,199 @@
+//! Bit-exact software reference of the transceiver signal path.
+//!
+//! The paper's flow starts from a Matlab reference that the hardware is
+//! verified against. This module plays that role: a plain-Rust,
+//! symbol-rate model using the *same* fixed-point operations and cast
+//! points as the captured datapaths, against which the cycle-true system
+//! is checked bit for bit (see `tests/dect_system.rs`).
+
+use ocapi_fixp::{Fix, Overflow, Rounding};
+
+use super::burst::s_field;
+use super::{
+    acc_fmt, coef_fmt, err_fmt, sample_fmt, sym_fmt, CENTER_TAP, DELAY, LAG, MU, TAPS, TRAIN_LEN,
+};
+
+/// The reference receiver state.
+#[derive(Debug, Clone)]
+pub struct Reference {
+    taps: Vec<Fix>,
+    delay: Vec<Fix>,
+    dco: Fix,
+    train: bool,
+    tptr: usize,
+    err: Fix,
+    bit: bool,
+}
+
+/// One reference output per symbol.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefRecord {
+    /// Sliced decision.
+    pub bit: bool,
+    /// Slicer error (registered, as on the `err` output).
+    pub err: Fix,
+}
+
+impl Reference {
+    /// A reference receiver matching [`super::transceiver::build_system`]
+    /// with the same configuration.
+    pub fn new(train: bool) -> Reference {
+        let zero_c = Fix::zero(coef_fmt());
+        let one_c = Fix::from_f64(1.0, coef_fmt(), Rounding::Nearest, Overflow::Saturate);
+        let mut taps = vec![zero_c; TAPS];
+        taps[CENTER_TAP] = one_c;
+        Reference {
+            taps,
+            delay: vec![Fix::zero(sample_fmt()); TAPS],
+            dco: Fix::zero(sample_fmt()),
+            train,
+            tptr: 0,
+            err: Fix::zero(err_fmt()),
+            bit: false,
+        }
+    }
+
+    /// Current equalizer coefficients (for convergence inspection).
+    pub fn taps(&self) -> &[Fix] {
+        &self.taps
+    }
+
+    /// Processes the samples of one burst, producing one record per
+    /// symbol — the values the hardware's `bit`/`err` outputs show at the
+    /// end of each symbol loop.
+    pub fn run(&mut self, samples: &[Fix]) -> Vec<RefRecord> {
+        let zero_s = Fix::zero(sample_fmt());
+        let mut out = Vec::with_capacity(samples.len());
+        for k in 0..samples.len() {
+            let x_at = |i: i64| -> Fix {
+                if i >= 0 && (i as usize) < samples.len() {
+                    samples[i as usize]
+                } else {
+                    zero_s
+                }
+            };
+            out.push(self.step(x_at(k as i64 - LAG as i64 - 1), x_at(k as i64 - LAG as i64)));
+        }
+        out
+    }
+
+    /// One symbol of processing given the two lagged sample values the
+    /// hardware's read port shows: `x_adapt` during the capture cycle
+    /// (index k − LAG − 1) and `x_replay` during the replay cycle (index
+    /// k − LAG). Used by the data-flow model, which owns the history.
+    pub fn step(&mut self, x_adapt: Fix, x_replay: Fix) -> RefRecord {
+        let training_syms = training_reference();
+        {
+            // Instruction 1: DC-offset adaptation on the sample the read
+            // port shows during the capture cycle.
+            let xa = agc_pass(x_adapt);
+            let delta = ((xa - self.dco)
+                * Fix::from_f64(
+                    1.0 / 64.0,
+                    ocapi_fixp::Format::new(10, 1).expect("static format"),
+                    Rounding::Nearest,
+                    Overflow::Saturate,
+                ))
+            .cast(sample_fmt(), Rounding::Nearest, Overflow::Saturate);
+            self.dco = (self.dco + delta).cast(sample_fmt(), Rounding::Nearest, Overflow::Saturate);
+        }
+        {
+            // Instruction 2: replay the lagged sample, shift the line.
+            let xr = agc_pass(x_replay);
+            let xin = (xr - self.dco).cast(sample_fmt(), Rounding::Nearest, Overflow::Saturate);
+            for i in (1..TAPS).rev() {
+                self.delay[i] = self.delay[i - 1];
+            }
+            self.delay[0] = xin;
+        }
+        {
+            // Instruction 3: equalize, slice, form the error.
+            let ys: Vec<Fix> = self
+                .taps
+                .iter()
+                .zip(&self.delay)
+                .map(|(c, x)| (*c * *x).cast(acc_fmt(), Rounding::Truncate, Overflow::Saturate))
+                .collect();
+            let sum = tree_sum(&ys).cast(acc_fmt(), Rounding::Truncate, Overflow::Saturate);
+            let d = sum >= Fix::zero(acc_fmt());
+            let dsym = Fix::from_f64(
+                if d { 1.0 } else { -1.0 },
+                sym_fmt(),
+                Rounding::Nearest,
+                Overflow::Saturate,
+            );
+            let reference = if self.train && self.tptr < TRAIN_LEN + DELAY {
+                training_syms[self.tptr]
+            } else {
+                dsym
+            };
+            let err = (reference.cast(err_fmt(), Rounding::Nearest, Overflow::Saturate)
+                - sum.cast(err_fmt(), Rounding::Nearest, Overflow::Saturate))
+            .cast(err_fmt(), Rounding::Nearest, Overflow::Saturate);
+            self.bit = d;
+            self.err = err;
+            if self.tptr < TRAIN_LEN + DELAY {
+                self.tptr += 1;
+            }
+        }
+        {
+            // Instruction 4: LMS update.
+            let mu = Fix::from_f64(
+                MU,
+                ocapi_fixp::Format::new(8, 1).expect("static format"),
+                Rounding::Nearest,
+                Overflow::Saturate,
+            );
+            let e_scaled = (self.err * mu).cast(err_fmt(), Rounding::Nearest, Overflow::Saturate);
+            for i in 0..TAPS {
+                self.taps[i] = (self.taps[i] + e_scaled * self.delay[i]).cast(
+                    coef_fmt(),
+                    Rounding::Nearest,
+                    Overflow::Saturate,
+                );
+            }
+        }
+        RefRecord {
+            bit: self.bit,
+            err: self.err,
+        }
+    }
+}
+
+/// The AGC at unit gain: `cast(1.0 · x)` — exact, but kept to mirror the
+/// hardware cast points.
+fn agc_pass(x: Fix) -> Fix {
+    let g = Fix::from_f64(1.0, coef_fmt(), Rounding::Nearest, Overflow::Saturate);
+    (g * x).cast(sample_fmt(), Rounding::Nearest, Overflow::Saturate)
+}
+
+/// The balanced adder tree of the sum datapath (associativity matters
+/// only for intermediate growth, which is exact, but mirror it anyway).
+fn tree_sum(ys: &[Fix]) -> Fix {
+    let mut layer: Vec<Fix> = ys.to_vec();
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        let mut it = layer.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => next.push(a + b),
+                None => next.push(a),
+            }
+        }
+        layer = next;
+    }
+    layer[0]
+}
+
+/// The training reference stream as the slicer sees it (the training ROM
+/// contents).
+fn training_reference() -> Vec<Fix> {
+    let s = s_field();
+    let one = Fix::from_f64(1.0, sym_fmt(), Rounding::Nearest, Overflow::Saturate);
+    let neg = Fix::from_f64(-1.0, sym_fmt(), Rounding::Nearest, Overflow::Saturate);
+    let mut v = vec![one; 256];
+    for (i, bit) in s.iter().enumerate().take(TRAIN_LEN) {
+        v[i + DELAY] = if *bit { one } else { neg };
+    }
+    v
+}

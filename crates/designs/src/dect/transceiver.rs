@@ -1,0 +1,452 @@
+//! The complete DECT transceiver system (Figure 5): PC controller,
+//! instruction ROM, central decoder, 22 datapaths, 7 memory cells.
+//!
+//! The VLIW program is a 4-instruction symbol loop:
+//!
+//! | addr | fields | action |
+//! |---|---|---|
+//! | 0 | — | `nop` (issued during hold, Figure 2) |
+//! | 1 | `in_we, ctl_count, dco_en` | capture the incoming sample |
+//! | 2 | `in_rd, eq_op=shift` | replay the lagged sample, shift the delay line |
+//! | 3 | `sum_en, slice_en, train, train_step` | equalize and slice |
+//! | 4 | `eq_op=update, out_we, corr_en, descr_en, crc_en, dr_en` | LMS update, post-process the decision |
+//!
+//! A `hold_request` freezes the machine between any two instructions and
+//! resumes exactly where it stopped — the paper's global-exception
+//! mechanism that motivated the central-control architecture (§3.3).
+
+use ocapi::{Component, InstanceId, SystemBuilder};
+use ocapi::{CoreError, Ram, Rom, SigType, Simulator, System, Value};
+use ocapi_fixp::{Fix, Overflow, Rounding};
+
+use super::datapaths;
+use super::pc_controller;
+use super::{burst::Burst, sample_fmt, sym_fmt, CENTER_TAP, DELAY, TAPS, TRAIN_LEN};
+
+/// Instruction word width.
+pub const INSTR_BITS: u32 = 24;
+
+/// Cycles per DECT symbol (the length of the program loop).
+pub const CYCLES_PER_SYMBOL: usize = 4;
+
+/// Instruction field encoding.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Instr {
+    /// Equalizer opcode: 0 nop, 1 shift, 2 update, 3 clear.
+    pub eq_op: u64,
+    /// Enable the sum tree output.
+    pub sum_en: bool,
+    /// Latch decision and error in the slicer.
+    pub slice_en: bool,
+    /// Use the training reference while training symbols remain.
+    pub train: bool,
+    /// Capture the incoming sample.
+    pub in_we: bool,
+    /// Replay the lagged sample to the equalizer.
+    pub in_rd: bool,
+    /// Store the decision bit in the output RAM.
+    pub out_we: bool,
+    /// Shift the sync correlator.
+    pub corr_en: bool,
+    /// Advance the descrambler.
+    pub descr_en: bool,
+    /// Advance the CRC.
+    pub crc_en: bool,
+    /// Clear the CRC register.
+    pub crc_clear: bool,
+    /// Accept a bit into the wire-link byte packer.
+    pub dr_en: bool,
+    /// Advance the symbol counter.
+    pub ctl_count: bool,
+    /// Advance the training pointer.
+    pub train_step: bool,
+    /// Adapt the DC-offset tracker.
+    pub dco_en: bool,
+    /// Adapt the AGC gain.
+    pub agc_en: bool,
+}
+
+impl Instr {
+    /// Encodes the fields into the instruction word.
+    pub fn word(&self) -> u64 {
+        (self.eq_op & 3)
+            | (u64::from(self.sum_en) << 2)
+            | (u64::from(self.slice_en) << 3)
+            | (u64::from(self.train) << 4)
+            | (u64::from(self.in_we) << 5)
+            | (u64::from(self.in_rd) << 6)
+            | (u64::from(self.out_we) << 7)
+            | (u64::from(self.corr_en) << 8)
+            | (u64::from(self.descr_en) << 9)
+            | (u64::from(self.crc_en) << 10)
+            | (u64::from(self.dr_en) << 11)
+            | (u64::from(self.ctl_count) << 12)
+            | (u64::from(self.train_step) << 13)
+            | (u64::from(self.dco_en) << 14)
+            | (u64::from(self.agc_en) << 15)
+            | (u64::from(self.crc_clear) << 16)
+    }
+}
+
+/// The central instruction decoder: one always-on SFG slicing the
+/// instruction word onto the datapath instruction busses.
+///
+/// # Errors
+///
+/// Propagates capture errors.
+pub fn decoder(name: &str) -> Result<Component, CoreError> {
+    let c = Component::build(name);
+    let instr = c.input("instr", SigType::Bits(INSTR_BITS))?;
+    let s = c.sfg("decode")?;
+    let iv = c.read(instr);
+    let bools = [
+        ("sum_en", 2u32),
+        ("slice_en", 3),
+        ("train", 4),
+        ("in_we", 5),
+        ("in_rd", 6),
+        ("out_we", 7),
+        ("corr_en", 8),
+        ("descr_en", 9),
+        ("crc_en", 10),
+        ("dr_en", 11),
+        ("ctl_count", 12),
+        ("train_step", 13),
+        ("dco_en", 14),
+        ("agc_en", 15),
+        ("crc_clear", 16),
+    ];
+    let eq_op = c.output("eq_op", SigType::Bits(2))?;
+    s.drive(eq_op, &iv.slice(0, 2))?;
+    for (name, bit) in bools {
+        let port = c.output(name, SigType::Bool)?;
+        s.drive(port, &iv.bit(bit))?;
+    }
+    c.finish()
+}
+
+/// Transceiver build configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TransceiverConfig {
+    /// Run the LMS in training mode over the S-field.
+    pub train: bool,
+    /// Adapt the AGC gain (off by default: the synthetic channel has
+    /// unit gain).
+    pub agc: bool,
+    /// Run the LMS coefficient update at all. Off = a fixed centre-tap
+    /// receiver, the "no equalizer" baseline.
+    pub adapt: bool,
+}
+
+impl Default for TransceiverConfig {
+    fn default() -> Self {
+        TransceiverConfig {
+            train: true,
+            agc: false,
+            adapt: true,
+        }
+    }
+}
+
+/// The instruction ROM contents: nop at address 0, then the symbol loop.
+pub fn program(cfg: &TransceiverConfig) -> Vec<Instr> {
+    vec![
+        Instr::default(), // 0: nop
+        Instr {
+            in_we: true,
+            ctl_count: true,
+            dco_en: true,
+            agc_en: cfg.agc,
+            ..Instr::default()
+        },
+        Instr {
+            in_rd: true,
+            eq_op: 1,
+            ..Instr::default()
+        },
+        Instr {
+            sum_en: true,
+            slice_en: true,
+            train: cfg.train,
+            train_step: true,
+            ..Instr::default()
+        },
+        Instr {
+            eq_op: if cfg.adapt { 2 } else { 0 },
+            out_we: true,
+            corr_en: true,
+            descr_en: true,
+            crc_en: true,
+            dr_en: true,
+            ..Instr::default()
+        },
+    ]
+}
+
+/// The training ROM: the transmitted S-field as ±1 symbols, delayed by
+/// the pipeline [`DELAY`] so training references line up with the sliced
+/// stream.
+pub fn training_rom_contents() -> Vec<Value> {
+    let s = super::burst::s_field();
+    let fmt = sym_fmt();
+    let one = Fix::from_f64(1.0, fmt, Rounding::Nearest, Overflow::Saturate);
+    let neg = Fix::from_f64(-1.0, fmt, Rounding::Nearest, Overflow::Saturate);
+    let mut rom: Vec<Value> = vec![Value::Fixed(one); 256];
+    for (i, bit) in s.iter().enumerate().take(TRAIN_LEN) {
+        rom[i + DELAY] = Value::Fixed(if *bit { one } else { neg });
+    }
+    rom
+}
+
+fn connect_many(
+    sb: &mut SystemBuilder,
+    pairs: &[(InstanceId, &str, InstanceId, &str)],
+) -> Result<(), CoreError> {
+    for (a, ap, b, bp) in pairs {
+        sb.connect(*a, ap, *b, bp)?;
+    }
+    Ok(())
+}
+
+/// Builds the complete transceiver system.
+///
+/// Primary inputs: `sample: SAMPLE`, `hold_request: Bool`.
+/// Primary outputs: `bit`, `err`, `detect`, `corr`, `status`, `dr_data`,
+/// `dr_valid`, `crc`, `descr_bit`, `iaddr`, `holding`.
+///
+/// # Errors
+///
+/// Propagates capture errors.
+pub fn build_system(cfg: &TransceiverConfig) -> Result<System, CoreError> {
+    let mut sb = System::build("dect");
+
+    // Central control.
+    let pc = sb.add_component("pc_ctrl", pc_controller::build("pc_ctrl")?)?;
+    let dec = sb.add_component("decoder", decoder("decoder")?)?;
+
+    // Memories (7): instruction ROM, training ROM, two sample banks,
+    // decision RAM, DR FIFO, CTL register file.
+    let irom_words: Vec<Value> = {
+        let mut w: Vec<Value> = program(cfg)
+            .iter()
+            .map(|i| Value::bits(INSTR_BITS, i.word()))
+            .collect();
+        w.resize(256, Value::bits(INSTR_BITS, 0));
+        w
+    };
+    let irom = sb.add_block(Box::new(Rom::new(
+        "irom",
+        SigType::Bits(INSTR_BITS),
+        irom_words,
+    )))?;
+    let trom = sb.add_block(Box::new(Rom::new(
+        "train_rom",
+        SigType::Fixed(sym_fmt()),
+        training_rom_contents(),
+    )))?;
+    let ram_a = sb.add_block(Box::new(Ram::new(
+        "sample_a",
+        8,
+        SigType::Fixed(sample_fmt()),
+    )))?;
+    let ram_b = sb.add_block(Box::new(Ram::new(
+        "sample_b",
+        8,
+        SigType::Fixed(sample_fmt()),
+    )))?;
+    let out_ram = sb.add_block(Box::new(Ram::new("out_ram", 8, SigType::Bits(1))))?;
+    let dr_fifo = sb.add_block(Box::new(Ram::new("dr_fifo", 8, SigType::Bits(8))))?;
+    let ctl_regs = sb.add_block(Box::new(Ram::new("ctl_regs", 4, SigType::Bits(8))))?;
+
+    // Datapaths (22).
+    let front = sb.add_component("dp_in", datapaths::input_frontend("dp_in")?)?;
+    let agc = sb.add_component("dp_agc", datapaths::agc("dp_agc")?)?;
+    let dco = sb.add_component("dp_dco", datapaths::dc_offset("dp_dco")?)?;
+    let macs: Vec<InstanceId> = (0..TAPS)
+        .map(|i| {
+            let init = if i == CENTER_TAP { 1.0 } else { 0.0 };
+            sb.add_component(
+                &format!("dp_mac{i}"),
+                datapaths::mac(&format!("dp_mac{i}"), init)?,
+            )
+        })
+        .collect::<Result<_, _>>()?;
+    let sum = sb.add_component("dp_sum", datapaths::sum_tree("dp_sum")?)?;
+    let slicer = sb.add_component(
+        "dp_slice",
+        datapaths::slicer("dp_slice", (TRAIN_LEN + DELAY) as u64)?,
+    )?;
+    let errs = sb.add_component("dp_err", datapaths::err_scale("dp_err")?)?;
+    let corr = sb.add_component("dp_corr", crate::hcor::build_component()?)?;
+    let descr = sb.add_component("dp_descr", datapaths::descrambler("dp_descr")?)?;
+    let crc = sb.add_component("dp_crc", datapaths::crc16("dp_crc")?)?;
+    let dr = sb.add_component("dp_dr", datapaths::dr_interface("dp_dr")?)?;
+    let ctl = sb.add_component("dp_ctl", datapaths::ctl_interface("dp_ctl")?)?;
+
+    // Primary inputs.
+    sb.input("sample", SigType::Fixed(sample_fmt()))?;
+    sb.input("hold_request", SigType::Bool)?;
+    sb.connect_input("sample", front, "sample")?;
+    sb.connect_input("hold_request", pc, "hold_request")?;
+
+    // Program control: fetch, decode, distribute.
+    sb.tie(pc, "loop_start", Value::bits(8, 1))?;
+    sb.tie(pc, "loop_end", Value::bits(8, CYCLES_PER_SYMBOL as u64))?;
+    sb.connect(pc, "iaddr", irom, "addr")?;
+    sb.connect(irom, "data", dec, "instr")?;
+
+    // Input front-end and conditioning chain.
+    connect_many(
+        &mut sb,
+        &[
+            (dec, "in_we", front, "we"),
+            (dec, "in_rd", front, "rd"),
+            (front, "addr_a", ram_a, "addr"),
+            (front, "we_a", ram_a, "we"),
+            (front, "wdata", ram_a, "wdata"),
+            (front, "addr_b", ram_b, "addr"),
+            (front, "we_b", ram_b, "we"),
+            (front, "wdata", ram_b, "wdata"),
+            (ram_a, "rdata", front, "rdata_a"),
+            (ram_b, "rdata", front, "rdata_b"),
+            (front, "x_head", agc, "x"),
+            (dec, "agc_en", agc, "en"),
+            (agc, "y", dco, "x"),
+            (dec, "dco_en", dco, "en"),
+        ],
+    )?;
+
+    // Equalizer delay line and instruction bus.
+    sb.connect(dco, "y", macs[0], "x_in")?;
+    for i in 1..TAPS {
+        sb.connect(macs[i - 1], "x_out", macs[i], "x_in")?;
+    }
+    for (i, m) in macs.iter().enumerate() {
+        sb.connect(dec, "eq_op", *m, "op")?;
+        sb.connect(errs, "e_scaled", *m, "e_in")?;
+        sb.connect(*m, "y", sum, &format!("y{i}"))?;
+    }
+    sb.connect(dec, "sum_en", sum, "en")?;
+
+    // Slicer, error path, training ROM.
+    connect_many(
+        &mut sb,
+        &[
+            (sum, "acc", slicer, "y"),
+            (dec, "slice_en", slicer, "en"),
+            (dec, "train", slicer, "train"),
+            (dec, "train_step", slicer, "step"),
+            (trom, "data", slicer, "train_sym"),
+            (slicer, "train_addr", trom, "addr"),
+            (slicer, "err", errs, "err"),
+        ],
+    )?;
+
+    // Sync correlator.
+    sb.connect(slicer, "bit", corr, "bit_in")?;
+    sb.connect(dec, "corr_en", corr, "enable")?;
+    sb.tie(corr, "threshold", Value::bits(5, 15))?;
+
+    // Bit post-processing: descrambler, CRC, wire-link packer.
+    connect_many(
+        &mut sb,
+        &[
+            (slicer, "bit", descr, "bit"),
+            (dec, "descr_en", descr, "en"),
+            (descr, "out", crc, "bit"),
+            (dec, "crc_en", crc, "en"),
+            (dec, "crc_clear", crc, "clear"),
+            (descr, "out", dr, "bit"),
+            (dec, "dr_en", dr, "en"),
+            (dr, "data", dr_fifo, "wdata"),
+            (dr, "fifo_addr", dr_fifo, "addr"),
+            (dr, "fifo_we", dr_fifo, "we"),
+        ],
+    )?;
+
+    // Decision RAM and control interface.
+    connect_many(
+        &mut sb,
+        &[
+            (slicer, "bit_bits", out_ram, "wdata"),
+            (ctl, "sym_addr", out_ram, "addr"),
+            (dec, "out_we", out_ram, "we"),
+            (dec, "ctl_count", ctl, "count"),
+            (corr, "detect", ctl, "detect"),
+            (pc, "holding", ctl, "holding"),
+            (ctl, "regs_addr", ctl_regs, "addr"),
+            (ctl, "regs_we", ctl_regs, "we"),
+            (ctl, "regs_wdata", ctl_regs, "wdata"),
+        ],
+    )?;
+
+    // Primary outputs.
+    sb.output("bit", slicer, "bit")?;
+    sb.output("err", slicer, "err")?;
+    sb.output("detect", corr, "detect")?;
+    sb.output("corr", corr, "corr")?;
+    sb.output("status", ctl, "status")?;
+    sb.output("dr_data", dr, "data")?;
+    sb.output("dr_valid", dr, "valid")?;
+    sb.output("crc", crc, "crc")?;
+    sb.output("descr_bit", descr, "out")?;
+    sb.output("iaddr", pc, "iaddr")?;
+    sb.output("holding", pc, "holding")?;
+    sb.finish()
+}
+
+/// One decision record per processed symbol.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SymbolRecord {
+    /// The sliced decision.
+    pub bit: bool,
+    /// The (quantised) slicer error.
+    pub err: f64,
+    /// Whether sync had been detected by this symbol.
+    pub detect: bool,
+}
+
+/// Drives a burst through the transceiver: each symbol takes
+/// [`CYCLES_PER_SYMBOL`] cycles. `hold` optionally inserts a hold_request
+/// pulse of `(start_cycle, length)` cycles, exercising the Figure 2
+/// mechanism mid-burst.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn run_burst(
+    sim: &mut dyn Simulator,
+    burst: &Burst,
+    hold: Option<(u64, u64)>,
+) -> Result<Vec<SymbolRecord>, CoreError> {
+    sim.set_input("hold_request", Value::Bool(false))?;
+    let mut records = Vec::with_capacity(burst.samples.len());
+    let mut cycle: u64 = 0;
+    for s in &burst.samples {
+        sim.set_input("sample", Value::Fixed(*s))?;
+        let mut done = 0;
+        while done < CYCLES_PER_SYMBOL {
+            let holding = match hold {
+                Some((start, len)) => cycle >= start && cycle < start + len,
+                None => false,
+            };
+            sim.set_input("hold_request", Value::Bool(holding))?;
+            sim.step()?;
+            cycle += 1;
+            // Held cycles issue nops and do not advance the symbol.
+            if sim.output("holding")? == Value::Bool(false) {
+                done += 1;
+            }
+        }
+        records.push(SymbolRecord {
+            bit: sim.output("bit")?.as_bool().expect("bool output"),
+            err: sim
+                .output("err")?
+                .as_fixed()
+                .expect("fixed output")
+                .to_f64(),
+            detect: sim.output("detect")?.as_bool().expect("bool output"),
+        });
+    }
+    Ok(records)
+}

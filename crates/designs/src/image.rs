@@ -1,0 +1,215 @@
+//! The image-compressor demonstrator (§7): an 8-point DCT stage with a
+//! quantiser, processing a streamed pixel block.
+//!
+//! Eight pixels load over eight cycles; the component then emits one DCT
+//! coefficient per cycle (row-DCT of a JPEG-style pipeline), divided by a
+//! programmable quantisation shift.
+
+use ocapi::{Component, CoreError, Sig, SigType, System};
+use ocapi_fixp::Format;
+
+/// Pixel input format (signed, normalised to ±1): `<9,1>`.
+pub fn pixel_fmt() -> Format {
+    Format::new(9, 1).expect("static format")
+}
+
+/// DCT coefficient output format: `<14,4>`.
+pub fn dct_fmt() -> Format {
+    Format::new(14, 4).expect("static format")
+}
+
+/// Cosine basis factor format.
+fn basis_fmt() -> Format {
+    Format::new(10, 2).expect("static format")
+}
+
+/// The DCT-II basis value `c(k) · cos((2j+1)kπ/16) / 2`.
+pub fn basis(k: usize, j: usize) -> f64 {
+    let ck = if k == 0 { (0.5f64).sqrt() } else { 1.0 };
+    0.5 * ck * ((2 * j + 1) as f64 * k as f64 * std::f64::consts::PI / 16.0).cos()
+}
+
+/// Builds the 8-point DCT datapath.
+///
+/// Ports: `pixel: <9,8>`, `start: Bool` → `coef: <14,11>`,
+/// `coef_idx: Bits(3)`, `valid: Bool`. Assert `start` for one cycle, then
+/// stream 8 pixels; 8 coefficients follow on the next 8 cycles while the
+/// next block loads.
+///
+/// # Errors
+///
+/// Propagates capture errors.
+pub fn dct8(name: &str, quant_shift: u32) -> Result<Component, CoreError> {
+    let c = Component::build(name);
+    let pixel = c.input("pixel", SigType::Fixed(pixel_fmt()))?;
+    let start = c.input("start", SigType::Bool)?;
+    let coef = c.output("coef", SigType::Fixed(dct_fmt()))?;
+    let coef_idx = c.output("coef_idx", SigType::Bits(3))?;
+    let valid = c.output("valid", SigType::Bool)?;
+
+    let pixels: Vec<_> = (0..8)
+        .map(|i| c.reg(&format!("p{i}"), SigType::Fixed(pixel_fmt())))
+        .collect::<Result<_, _>>()?;
+    let held: Vec<_> = (0..8)
+        .map(|i| c.reg(&format!("h{i}"), SigType::Fixed(pixel_fmt())))
+        .collect::<Result<_, _>>()?;
+    let phase = c.reg("phase", SigType::Bits(3))?;
+    let running = c.reg("running", SigType::Bool)?;
+
+    let s = c.sfg("dct")?;
+    let st = c.read(start);
+    let qp = c.q(phase);
+    let qr = c.q(running);
+
+    // Pixel shift register; on wrap, the block is copied to the held bank
+    // so the next block can stream in immediately.
+    for i in (1..8).rev() {
+        s.next(pixels[i], &c.q(pixels[i - 1]))?;
+    }
+    s.next(pixels[0], &c.read(pixel))?;
+    let wrap = qp.eq(&c.const_bits(3, 7));
+    for i in 0..8 {
+        // Capture the post-shift line: held[i] = pixel 7-i of the block
+        // (held[0] is the pixel arriving during the wrap cycle).
+        let captured = if i == 0 {
+            c.read(pixel)
+        } else {
+            c.q(pixels[i - 1])
+        };
+        s.next(held[i], &wrap.mux(&captured, &c.q(held[i])))?;
+    }
+    s.next(phase, &(qp.clone() + c.const_bits(3, 1)))?;
+    s.next(running, &(st.clone() | qr.clone()))?;
+
+    // One coefficient per cycle: coef[k] for k = phase, from the held
+    // bank, as a select chain over the 8 basis rows.
+    let mut row_values: Vec<Sig> = Vec::with_capacity(8);
+    for k in 0..8 {
+        let mut acc: Option<Sig> = None;
+        for (j, h) in held.iter().enumerate() {
+            // held[j] holds pixel 7-j.
+            let term = c.q(*h) * c.const_fixed(basis(k, 7 - j), basis_fmt());
+            acc = Some(match acc {
+                None => term,
+                Some(a) => a + term,
+            });
+        }
+        let quantised = acc.expect("eight terms").to_fixed(
+            dct_fmt(),
+            ocapi::Rounding::Nearest,
+            ocapi::Overflow::Saturate,
+        );
+        row_values.push(quantised);
+    }
+    // Select the row by phase.
+    let mut sel = row_values[7].clone();
+    for k in (0..7).rev() {
+        sel = qp.eq(&c.const_bits(3, k as u64)).mux(&row_values[k], &sel);
+    }
+    // Quantiser: scale by 2^-quant_shift (exact bit shift at the cast).
+    let q_fmt = dct_fmt();
+    let quant = (sel * c.const_fixed(1.0 / f64::powi(2.0, quant_shift as i32), basis_fmt()))
+        .to_fixed(q_fmt, ocapi::Rounding::Nearest, ocapi::Overflow::Saturate);
+    s.drive(coef, &quant)?;
+    s.drive(coef_idx, &qp)?;
+    s.drive(valid, &qr)?;
+    c.finish()
+}
+
+/// Builds the compressor as a system.
+///
+/// # Errors
+///
+/// Propagates capture errors.
+pub fn build_system(quant_shift: u32) -> Result<System, CoreError> {
+    let mut sb = System::build("image_compressor");
+    let u = sb.add_component("dct", dct8("dct8", quant_shift)?)?;
+    sb.input("pixel", SigType::Fixed(pixel_fmt()))?;
+    sb.input("start", SigType::Bool)?;
+    sb.connect_input("pixel", u, "pixel")?;
+    sb.connect_input("start", u, "start")?;
+    sb.output("coef", u, "coef")?;
+    sb.output("coef_idx", u, "coef_idx")?;
+    sb.output("valid", u, "valid")?;
+    sb.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocapi::{InterpSim, Simulator, Value};
+    use ocapi_fixp::{Fix, Overflow, Rounding};
+
+    #[test]
+    fn dct_matches_float_reference() {
+        let mut sim = InterpSim::new(build_system(0).unwrap()).unwrap();
+        let block: Vec<f64> = vec![0.2, -0.1, 0.4, 0.0, -0.3, 0.25, 0.05, -0.2];
+        sim.set_input("start", Value::Bool(true)).unwrap();
+        for (i, p) in block.iter().enumerate() {
+            sim.set_input(
+                "pixel",
+                Value::Fixed(Fix::from_f64(
+                    *p,
+                    pixel_fmt(),
+                    Rounding::Nearest,
+                    Overflow::Saturate,
+                )),
+            )
+            .unwrap();
+            sim.step().unwrap();
+            if i == 0 {
+                sim.set_input("start", Value::Bool(false)).unwrap();
+            }
+        }
+        // The next 8 cycles emit coefficients of the captured block.
+        sim.set_input("pixel", Value::Fixed(Fix::zero(pixel_fmt())))
+            .unwrap();
+        let mut got = Vec::new();
+        for _ in 0..8 {
+            sim.step().unwrap();
+            assert_eq!(sim.output("valid").unwrap(), Value::Bool(true));
+            got.push(sim.output("coef").unwrap().as_fixed().unwrap().to_f64());
+        }
+        for (k, g) in got.iter().enumerate() {
+            let expect: f64 = (0..8).map(|j| basis(k, j) * block[j]).sum();
+            assert!(
+                (g - expect).abs() < 0.05,
+                "coef {k}: got {g}, expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantisation_shrinks_coefficients() {
+        fn energy(shift: u32) -> f64 {
+            let mut sim = InterpSim::new(build_system(shift).unwrap()).unwrap();
+            sim.set_input("start", Value::Bool(true)).unwrap();
+            let block = [0.4f64, 0.4, -0.4, -0.4, 0.4, 0.4, -0.4, -0.4];
+            for p in block {
+                sim.set_input(
+                    "pixel",
+                    Value::Fixed(Fix::from_f64(
+                        p,
+                        pixel_fmt(),
+                        Rounding::Nearest,
+                        Overflow::Saturate,
+                    )),
+                )
+                .unwrap();
+                sim.step().unwrap();
+                sim.set_input("start", Value::Bool(false)).unwrap();
+            }
+            let mut e = 0.0;
+            for _ in 0..8 {
+                sim.step().unwrap();
+                let v = sim.output("coef").unwrap().as_fixed().unwrap().to_f64();
+                e += v * v;
+            }
+            e
+        }
+        let full = energy(0);
+        let quartered = energy(2);
+        assert!(quartered < full / 4.0, "{quartered} vs {full}");
+        assert!(full > 0.01);
+    }
+}

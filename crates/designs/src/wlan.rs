@@ -1,0 +1,208 @@
+//! The wireless-LAN modem demonstrator (§7): an 802.11-style Barker-11
+//! direct-sequence spreader and the matching correlating despreader.
+
+use ocapi::{Component, CoreError, SigType, System};
+use ocapi_fixp::Format;
+
+/// The 11-chip Barker sequence (+1 → true), in transmission order.
+pub const BARKER: [bool; 11] = [
+    true, true, true, false, false, false, true, false, false, true, false,
+];
+
+/// Chip sample format.
+pub fn chip_fmt() -> Format {
+    Format::new(8, 3).expect("static format")
+}
+
+/// Correlator output format.
+pub fn corr_fmt() -> Format {
+    Format::new(10, 5).expect("static format")
+}
+
+/// The spreader: each data bit becomes 11 chips (bit XOR Barker).
+///
+/// Ports: `bit: Bool`, `en: Bool` → `chip: Bool`, `chip_idx: Bits(4)`,
+/// `sym_start: Bool`. A new bit is consumed whenever the chip counter
+/// wraps.
+///
+/// # Errors
+///
+/// Propagates capture errors.
+pub fn spreader(name: &str) -> Result<Component, CoreError> {
+    let c = Component::build(name);
+    let bit = c.input("bit", SigType::Bool)?;
+    let en = c.input("en", SigType::Bool)?;
+    let chip = c.output("chip", SigType::Bool)?;
+    let chip_idx = c.output("chip_idx", SigType::Bits(4))?;
+    let sym_start = c.output("sym_start", SigType::Bool)?;
+
+    let cnt = c.reg("cnt", SigType::Bits(4))?;
+    let cur = c.reg("cur", SigType::Bool)?;
+
+    let s = c.sfg("spread")?;
+    let env = c.read(en);
+    let q = c.q(cnt);
+    let at_start = q.eq(&c.const_bits(4, 0));
+    let active_bit = at_start.mux(&c.read(bit), &c.q(cur));
+
+    // chip = bit XOR barker[cnt] — the Barker lookup as a select chain.
+    let mut barker_sig = c.const_bool(BARKER[10]);
+    for (i, b) in BARKER.iter().enumerate().take(10).rev() {
+        barker_sig = q
+            .eq(&c.const_bits(4, i as u64))
+            .mux(&c.const_bool(*b), &barker_sig);
+    }
+    s.drive(chip, &(active_bit.clone() ^ !barker_sig))?;
+    s.drive(chip_idx, &q)?;
+    s.drive(sym_start, &(env.clone() & at_start.clone()))?;
+
+    let wrap = q.eq(&c.const_bits(4, 10));
+    let nxt = wrap.mux(&c.const_bits(4, 0), &(q.clone() + c.const_bits(4, 1)));
+    s.next(cnt, &env.mux(&nxt, &q))?;
+    s.next(cur, &(env & at_start).mux(&c.read(bit), &c.q(cur)))?;
+    c.finish()
+}
+
+/// The despreader: an 11-tap matched filter on soft chips with peak
+/// detection.
+///
+/// Ports: `chip: <8,3>` (soft ±1), `en: Bool` → `corr: <10,5>`,
+/// `bit: Bool`, `peak: Bool` (true when |corr| crosses the decision
+/// threshold of 8).
+///
+/// # Errors
+///
+/// Propagates capture errors.
+pub fn despreader(name: &str) -> Result<Component, CoreError> {
+    let c = Component::build(name);
+    let chip = c.input("chip", SigType::Fixed(chip_fmt()))?;
+    let en = c.input("en", SigType::Bool)?;
+    let corr_out = c.output("corr", SigType::Fixed(corr_fmt()))?;
+    let bit_out = c.output("bit", SigType::Bool)?;
+    let peak = c.output("peak", SigType::Bool)?;
+
+    let line: Vec<_> = (0..11)
+        .map(|i| c.reg(&format!("d{i}"), SigType::Fixed(chip_fmt())))
+        .collect::<Result<_, _>>()?;
+
+    let s = c.sfg("despread")?;
+    let env = c.read(en);
+    for i in (1..11).rev() {
+        s.next(line[i], &env.mux(&c.q(line[i - 1]), &c.q(line[i])))?;
+    }
+    s.next(line[0], &env.mux(&c.read(chip), &c.q(line[0])))?;
+
+    // Matched filter: newest chip aligns with the LAST Barker chip.
+    let mut acc: Option<ocapi::Sig> = None;
+    for (i, reg) in line.iter().enumerate() {
+        let tap = c.q(*reg);
+        let signed = if BARKER[10 - i] {
+            tap
+        } else {
+            (-tap).to_fixed(
+                chip_fmt(),
+                ocapi::Rounding::Nearest,
+                ocapi::Overflow::Saturate,
+            )
+        };
+        acc = Some(match acc {
+            None => signed,
+            Some(a) => a + signed,
+        });
+    }
+    let corr = acc.expect("eleven taps").to_fixed(
+        corr_fmt(),
+        ocapi::Rounding::Nearest,
+        ocapi::Overflow::Saturate,
+    );
+    let d = corr.ge(&c.const_fixed(0.0, corr_fmt()));
+    let thresh = c.const_fixed(8.0, corr_fmt());
+    let neg_thresh = c.const_fixed(-8.0, corr_fmt());
+    let hit = corr.ge(&thresh) | corr.le(&neg_thresh);
+    s.drive(corr_out, &corr)?;
+    s.drive(bit_out, &d)?;
+    s.drive(peak, &hit)?;
+    c.finish()
+}
+
+/// A loopback system: spreader → (hard→soft conversion) → despreader.
+///
+/// # Errors
+///
+/// Propagates capture errors.
+pub fn build_system() -> Result<System, CoreError> {
+    // Soft conversion component: chip bool -> ±1 fixed.
+    let conv = {
+        let c = Component::build("chip_dac");
+        let chip = c.input("chip", SigType::Bool)?;
+        let out = c.output("soft", SigType::Fixed(chip_fmt()))?;
+        let s = c.sfg("dac")?;
+        let p = c.const_fixed(1.0, chip_fmt());
+        let n = c.const_fixed(-1.0, chip_fmt());
+        s.drive(out, &c.read(chip).mux(&p, &n))?;
+        c.finish()?
+    };
+
+    let mut sb = System::build("wlan_modem");
+    let tx = sb.add_component("tx", spreader("spreader")?)?;
+    let dac = sb.add_component("dac", conv)?;
+    let rx = sb.add_component("rx", despreader("despreader")?)?;
+    sb.input("bit", SigType::Bool)?;
+    sb.input("en", SigType::Bool)?;
+    sb.connect_input("bit", tx, "bit")?;
+    sb.connect_input("en", tx, "en")?;
+    sb.connect_input("en", rx, "en")?;
+    sb.connect(tx, "chip", dac, "chip")?;
+    sb.connect(dac, "soft", rx, "chip")?;
+    sb.output("chip", tx, "chip")?;
+    sb.output("corr", rx, "corr")?;
+    sb.output("rx_bit", rx, "bit")?;
+    sb.output("peak", rx, "peak")?;
+    sb.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocapi::{InterpSim, Simulator, Value};
+
+    #[test]
+    fn loopback_recovers_bits_at_peaks() {
+        let mut sim = InterpSim::new(build_system().unwrap()).unwrap();
+        sim.set_input("en", Value::Bool(true)).unwrap();
+        let data = [true, false, false, true, true, false, true, false];
+        let mut recovered = Vec::new();
+        for bit in data {
+            for _chip in 0..11 {
+                sim.set_input("bit", Value::Bool(bit)).unwrap();
+                sim.step().unwrap();
+                if sim.output("peak").unwrap() == Value::Bool(true) {
+                    recovered.push(sim.output("rx_bit").unwrap() == Value::Bool(true));
+                }
+            }
+        }
+        // The first symbol needs the pipeline to fill; afterwards one
+        // peak per symbol.
+        assert!(recovered.len() >= data.len() - 1, "{recovered:?}");
+        let offset = data.len() - recovered.len();
+        for (i, r) in recovered.iter().enumerate() {
+            assert_eq!(*r, data[i + offset - offset], "symbol {i}");
+        }
+        // Peaks carry the transmitted data in order.
+        assert_eq!(&recovered[..], &data[..recovered.len()]);
+    }
+
+    #[test]
+    fn correlation_peaks_at_eleven() {
+        let mut sim = InterpSim::new(build_system().unwrap()).unwrap();
+        sim.set_input("en", Value::Bool(true)).unwrap();
+        sim.set_input("bit", Value::Bool(true)).unwrap();
+        let mut max_corr: f64 = 0.0;
+        for _ in 0..44 {
+            sim.step().unwrap();
+            let v = sim.output("corr").unwrap().as_fixed().unwrap().to_f64();
+            max_corr = max_corr.max(v.abs());
+        }
+        assert!((max_corr - 11.0).abs() < 0.01, "max {max_corr}");
+    }
+}

@@ -1,0 +1,432 @@
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitXor, Not};
+
+use crate::FixError;
+
+/// A two's-complement bit vector with deliberately *bit-serial* arithmetic.
+///
+/// The paper notes that simulating "the quantization rather than the
+/// bit-vector representation allows significant simulation speedups" (§3).
+/// `BitVec` is the strawman: every arithmetic operation is computed bit by
+/// bit (ripple-carry addition, shift-and-add multiplication), the way an
+/// HDL simulator evaluates a vector of logic values. The
+/// `fixp_vs_bitvec` ablation benchmark compares it against [`crate::Fix`].
+///
+/// It is also genuinely useful: the synthesis and gate-level simulation
+/// crates use it as the reference semantics for word-level operators.
+///
+/// # Example
+///
+/// ```
+/// use ocapi_fixp::BitVec;
+/// # fn main() -> Result<(), ocapi_fixp::FixError> {
+/// let a = BitVec::from_i64(-3, 8)?;
+/// let b = BitVec::from_i64(5, 8)?;
+/// assert_eq!(a.ripple_add(&b)?.to_i64(), 2);
+/// assert_eq!(a.shift_add_mul(&b)?.to_i64(), -15);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BitVec {
+    /// Bits, LSB first.
+    bits: Vec<bool>,
+}
+
+impl BitVec {
+    /// An all-zero vector of `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn zeros(width: usize) -> BitVec {
+        assert!(width > 0, "bit vector width must be positive");
+        BitVec {
+            bits: vec![false; width],
+        }
+    }
+
+    /// Encodes `value` in two's complement over `width` bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FixError::Overflow`] if the value does not fit.
+    pub fn from_i64(value: i64, width: usize) -> Result<BitVec, FixError> {
+        assert!(width > 0, "bit vector width must be positive");
+        if width < 64 {
+            let lo = -(1i64 << (width - 1));
+            let hi = (1i64 << (width - 1)) - 1;
+            if value < lo || value > hi {
+                return Err(FixError::Overflow {
+                    value: value as f64,
+                });
+            }
+        }
+        let mut bits = Vec::with_capacity(width);
+        for i in 0..width {
+            bits.push((value >> i.min(63)) & 1 == 1);
+        }
+        Ok(BitVec { bits })
+    }
+
+    /// Decodes the two's-complement value.
+    ///
+    /// Widths above 64 are decoded from the low 63 bits plus sign.
+    pub fn to_i64(&self) -> i64 {
+        let mut v: i64 = 0;
+        let w = self.bits.len();
+        for i in 0..w.min(63) {
+            if self.bits[i] {
+                v |= 1 << i;
+            }
+        }
+        if self.sign() {
+            // sign extend
+            for i in w.min(63)..64 {
+                v |= 1 << i.min(63);
+            }
+            if w <= 63 {
+                v |= -1i64 << (w - 1).min(62);
+            }
+        }
+        v
+    }
+
+    /// Number of bits.
+    pub fn width(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// The bit at `index` (LSB = 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= width()`.
+    pub fn bit(&self, index: usize) -> bool {
+        self.bits[index]
+    }
+
+    /// Sets the bit at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= width()`.
+    pub fn set_bit(&mut self, index: usize, value: bool) {
+        self.bits[index] = value;
+    }
+
+    /// The sign (MSB) bit.
+    pub fn sign(&self) -> bool {
+        *self.bits.last().expect("width > 0")
+    }
+
+    /// Sign-extends (or truncates) to `width` bits.
+    pub fn resize(&self, width: usize) -> BitVec {
+        assert!(width > 0, "bit vector width must be positive");
+        let sign = self.sign();
+        let mut bits = self.bits.clone();
+        bits.resize(width, sign);
+        BitVec { bits }
+    }
+
+    /// Ripple-carry addition, wrapping at the common width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FixError::WidthMismatch`] if the operands differ in width.
+    pub fn ripple_add(&self, rhs: &BitVec) -> Result<BitVec, FixError> {
+        self.check_width(rhs)?;
+        let mut out = BitVec::zeros(self.width());
+        let mut carry = false;
+        for i in 0..self.width() {
+            let (a, b) = (self.bits[i], rhs.bits[i]);
+            out.bits[i] = a ^ b ^ carry;
+            carry = (a & b) | (carry & (a ^ b));
+        }
+        Ok(out)
+    }
+
+    /// Ripple-borrow subtraction (`self - rhs`), wrapping.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FixError::WidthMismatch`] if the operands differ in width.
+    pub fn ripple_sub(&self, rhs: &BitVec) -> Result<BitVec, FixError> {
+        self.check_width(rhs)?;
+        self.ripple_add(&rhs.negate())
+    }
+
+    /// Two's-complement negation (invert and ripple-increment).
+    pub fn negate(&self) -> BitVec {
+        let mut out = BitVec::zeros(self.width());
+        let mut carry = true;
+        for i in 0..self.width() {
+            let a = !self.bits[i];
+            out.bits[i] = a ^ carry;
+            carry &= a;
+        }
+        out
+    }
+
+    /// Signed shift-and-add multiplication, producing a double-width result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FixError::WidthMismatch`] if the operands differ in width.
+    pub fn shift_add_mul(&self, rhs: &BitVec) -> Result<BitVec, FixError> {
+        self.check_width(rhs)?;
+        let w = self.width();
+        let out_w = 2 * w;
+        let mut acc = BitVec::zeros(out_w);
+        let a = self.resize(out_w);
+        // Signed multiplication: the MSB partial product is subtracted.
+        for i in 0..w {
+            if rhs.bits[i] {
+                let shifted = a.shift_left(i);
+                acc = if i == w - 1 && rhs.sign() {
+                    acc.ripple_sub(&shifted)?
+                } else {
+                    acc.ripple_add(&shifted)?
+                };
+            }
+        }
+        Ok(acc)
+    }
+
+    /// Logical left shift by `n`, keeping the width.
+    pub fn shift_left(&self, n: usize) -> BitVec {
+        let w = self.width();
+        let mut out = BitVec::zeros(w);
+        for i in n..w {
+            out.bits[i] = self.bits[i - n];
+        }
+        out
+    }
+
+    /// Arithmetic right shift by `n`, keeping the width.
+    pub fn shift_right(&self, n: usize) -> BitVec {
+        let w = self.width();
+        let sign = self.sign();
+        let mut out = BitVec {
+            bits: vec![sign; w],
+        };
+        for i in 0..w.saturating_sub(n) {
+            out.bits[i] = self.bits[i + n];
+        }
+        out
+    }
+
+    /// Signed less-than computed from a bit-serial subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FixError::WidthMismatch`] if the operands differ in width.
+    pub fn lt(&self, rhs: &BitVec) -> Result<bool, FixError> {
+        self.check_width(rhs)?;
+        // Compare via widened subtraction so overflow cannot flip the sign.
+        let w = self.width() + 1;
+        let d = self.resize(w).ripple_sub(&rhs.resize(w))?;
+        Ok(d.sign())
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.bits.iter().filter(|&&b| b).count()
+    }
+
+    fn check_width(&self, rhs: &BitVec) -> Result<(), FixError> {
+        if self.width() != rhs.width() {
+            Err(FixError::WidthMismatch {
+                left: self.width(),
+                right: rhs.width(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl Not for &BitVec {
+    type Output = BitVec;
+    fn not(self) -> BitVec {
+        BitVec {
+            bits: self.bits.iter().map(|b| !b).collect(),
+        }
+    }
+}
+
+impl BitAnd for &BitVec {
+    type Output = BitVec;
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    fn bitand(self, rhs: &BitVec) -> BitVec {
+        assert_eq!(self.width(), rhs.width(), "width mismatch in &");
+        BitVec {
+            bits: self
+                .bits
+                .iter()
+                .zip(&rhs.bits)
+                .map(|(a, b)| a & b)
+                .collect(),
+        }
+    }
+}
+
+impl BitOr for &BitVec {
+    type Output = BitVec;
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    fn bitor(self, rhs: &BitVec) -> BitVec {
+        assert_eq!(self.width(), rhs.width(), "width mismatch in |");
+        BitVec {
+            bits: self
+                .bits
+                .iter()
+                .zip(&rhs.bits)
+                .map(|(a, b)| a | b)
+                .collect(),
+        }
+    }
+}
+
+impl BitXor for &BitVec {
+    type Output = BitVec;
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    fn bitxor(self, rhs: &BitVec) -> BitVec {
+        assert_eq!(self.width(), rhs.width(), "width mismatch in ^");
+        BitVec {
+            bits: self
+                .bits
+                .iter()
+                .zip(&rhs.bits)
+                .map(|(a, b)| a ^ b)
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for BitVec {
+    /// MSB-first binary, e.g. `0b0101`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0b")?;
+        for b in self.bits.iter().rev() {
+            write!(f, "{}", if *b { '1' } else { '0' })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        for v in -128..=127i64 {
+            let bv = BitVec::from_i64(v, 8).unwrap();
+            assert_eq!(bv.to_i64(), v, "round trip {v}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!(BitVec::from_i64(128, 8).is_err());
+        assert!(BitVec::from_i64(-129, 8).is_err());
+        assert!(BitVec::from_i64(127, 8).is_ok());
+        assert!(BitVec::from_i64(-128, 8).is_ok());
+    }
+
+    #[test]
+    fn add_sub_exhaustive_6bit() {
+        for a in -32..32i64 {
+            for b in -32..32i64 {
+                let av = BitVec::from_i64(a, 6).unwrap();
+                let bv = BitVec::from_i64(b, 6).unwrap();
+                let sum = av.ripple_add(&bv).unwrap().to_i64();
+                let expect = (a + b).rem_euclid(64);
+                let expect = if expect >= 32 { expect - 64 } else { expect };
+                assert_eq!(sum, expect, "{a}+{b}");
+                let diff = av.ripple_sub(&bv).unwrap().to_i64();
+                let expect = (a - b).rem_euclid(64);
+                let expect = if expect >= 32 { expect - 64 } else { expect };
+                assert_eq!(diff, expect, "{a}-{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn mul_exhaustive_5bit() {
+        for a in -16..16i64 {
+            for b in -16..16i64 {
+                let av = BitVec::from_i64(a, 5).unwrap();
+                let bv = BitVec::from_i64(b, 5).unwrap();
+                assert_eq!(av.shift_add_mul(&bv).unwrap().to_i64(), a * b, "{a}*{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn lt_matches_integer_compare() {
+        for a in -16..16i64 {
+            for b in -16..16i64 {
+                let av = BitVec::from_i64(a, 5).unwrap();
+                let bv = BitVec::from_i64(b, 5).unwrap();
+                assert_eq!(av.lt(&bv).unwrap(), a < b, "{a}<{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn shifts() {
+        let v = BitVec::from_i64(-4, 8).unwrap();
+        assert_eq!(v.shift_right(1).to_i64(), -2);
+        assert_eq!(v.shift_left(1).to_i64(), -8);
+        let v = BitVec::from_i64(5, 8).unwrap();
+        assert_eq!(v.shift_left(2).to_i64(), 20);
+        assert_eq!(v.shift_right(1).to_i64(), 2);
+    }
+
+    #[test]
+    fn resize_sign_extends() {
+        let v = BitVec::from_i64(-3, 4).unwrap();
+        assert_eq!(v.resize(8).to_i64(), -3);
+        assert_eq!(v.resize(8).width(), 8);
+        let v = BitVec::from_i64(5, 8).unwrap();
+        assert_eq!(v.resize(4).to_i64(), 5);
+    }
+
+    #[test]
+    fn width_mismatch_detected() {
+        let a = BitVec::zeros(4);
+        let b = BitVec::zeros(5);
+        assert!(matches!(
+            a.ripple_add(&b),
+            Err(FixError::WidthMismatch { left: 4, right: 5 })
+        ));
+    }
+
+    #[test]
+    fn logic_ops() {
+        let a = BitVec::from_i64(0b0101, 5).unwrap();
+        let b = BitVec::from_i64(0b0011, 5).unwrap();
+        assert_eq!((&a & &b).to_i64(), 0b0001);
+        assert_eq!((&a | &b).to_i64(), 0b0111);
+        assert_eq!((&a ^ &b).to_i64(), 0b0110);
+        assert_eq!((!&a).to_i64(), !0b0101i64 & 0x1f | -32);
+    }
+
+    #[test]
+    fn display_msb_first() {
+        let v = BitVec::from_i64(5, 4).unwrap();
+        assert_eq!(v.to_string(), "0b0101");
+    }
+
+    #[test]
+    fn count_ones() {
+        assert_eq!(BitVec::from_i64(0b1011, 5).unwrap().count_ones(), 3);
+    }
+}

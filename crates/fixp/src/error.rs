@@ -1,0 +1,51 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by fixed-point format construction and conversions.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FixError {
+    /// The requested format is outside the supported range.
+    ///
+    /// Wordlengths must satisfy `1 <= wl <= 63` and `0 <= iwl <= wl`.
+    InvalidFormat {
+        /// Requested total wordlength.
+        wl: u32,
+        /// Requested integer wordlength.
+        iwl: u32,
+    },
+    /// A value could not be represented where an error (rather than a
+    /// wrap or saturation) is required, e.g. bit-vector construction.
+    Overflow {
+        /// The value that did not fit, as a double.
+        value: f64,
+    },
+    /// A bit-vector operation was attempted on operands of mismatched width.
+    WidthMismatch {
+        /// Width of the left operand.
+        left: usize,
+        /// Width of the right operand.
+        right: usize,
+    },
+}
+
+impl fmt::Display for FixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FixError::InvalidFormat { wl, iwl } => {
+                write!(
+                    f,
+                    "invalid fixed-point format <{wl},{iwl}>: need 1 <= wl <= 63 and iwl <= wl"
+                )
+            }
+            FixError::Overflow { value } => {
+                write!(f, "value {value} overflows the target format")
+            }
+            FixError::WidthMismatch { left, right } => {
+                write!(f, "bit-vector width mismatch: {left} vs {right}")
+            }
+        }
+    }
+}
+
+impl Error for FixError {}

@@ -1,0 +1,560 @@
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Add, Mul, Neg, Sub};
+
+use crate::{FixError, Format, Overflow, Rounding};
+
+/// A signed fixed-point value: an integer mantissa scaled by `2^-frac_bits`.
+///
+/// `Fix` follows the paper's simulation model: arithmetic between casts is
+/// exact (the format grows as needed, like a full-precision accumulator in
+/// hardware), and quantisation happens only at explicit [`Fix::cast`]
+/// points — the places where a real design has a register or a wire of
+/// fixed width. Because the value is stored as a machine integer rather
+/// than a vector of bits, simulation is fast; see [`crate::BitVec`] for the
+/// slow bit-true alternative used in the ablation benchmark.
+///
+/// # Example
+///
+/// ```
+/// use ocapi_fixp::{Fix, Format, Rounding, Overflow};
+/// # fn main() -> Result<(), ocapi_fixp::FixError> {
+/// let acc_fmt = Format::new(20, 8)?;
+/// let coef = Fix::from_f64(0.75, Format::new(8, 2)?, Rounding::Nearest, Overflow::Saturate);
+/// let x = Fix::from_f64(-1.5, Format::new(8, 4)?, Rounding::Nearest, Overflow::Saturate);
+/// let y = (coef * x).cast(acc_fmt, Rounding::Truncate, Overflow::Saturate);
+/// assert_eq!(y.to_f64(), -1.125);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Fix {
+    mant: i64,
+    fmt: Format,
+}
+
+impl Fix {
+    /// The zero value in the given format.
+    pub fn zero(fmt: Format) -> Fix {
+        Fix { mant: 0, fmt }
+    }
+
+    /// Builds a value from a raw mantissa. The numeric value is
+    /// `mant * 2^-fmt.frac_bits()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mant` is outside the representable range of `fmt`; use
+    /// [`Fix::from_f64`] with an overflow mode for checked construction.
+    pub fn from_raw(mant: i64, fmt: Format) -> Fix {
+        assert!(
+            mant >= fmt.min_mantissa() && mant <= fmt.max_mantissa(),
+            "mantissa {mant} out of range for format {fmt}"
+        );
+        Fix { mant, fmt }
+    }
+
+    /// Quantises a double to the given format.
+    ///
+    /// Non-finite inputs saturate (NaN becomes zero).
+    pub fn from_f64(value: f64, fmt: Format, rounding: Rounding, overflow: Overflow) -> Fix {
+        if value.is_nan() {
+            return Fix::zero(fmt);
+        }
+        if value.is_infinite() {
+            let mant = if value > 0.0 {
+                fmt.max_mantissa()
+            } else {
+                fmt.min_mantissa()
+            };
+            return Fix { mant, fmt };
+        }
+        let scaled = value * f64::powi(2.0, fmt.frac_bits() as i32);
+        let rounded = match rounding {
+            Rounding::Truncate => scaled.floor(),
+            Rounding::Nearest => {
+                // ties away from zero
+                if scaled >= 0.0 {
+                    (scaled + 0.5).floor()
+                } else {
+                    (scaled - 0.5).ceil()
+                }
+            }
+            Rounding::NearestEven => {
+                let f = scaled.floor();
+                let frac = scaled - f;
+                let tie_up = frac == 0.5 && (f as i64) % 2 != 0;
+                if frac > 0.5 || tie_up {
+                    f + 1.0
+                } else {
+                    f
+                }
+            }
+            Rounding::Ceil => scaled.ceil(),
+            Rounding::TowardZero => scaled.trunc(),
+        };
+        // Clamp through i128 to avoid UB on huge doubles.
+        let as_int = rounded.clamp(i64::MIN as f64, i64::MAX as f64) as i128;
+        Fix::reduce(as_int, fmt, overflow)
+    }
+
+    /// Converts to a double. Exact for formats up to 53 mantissa bits.
+    pub fn to_f64(self) -> f64 {
+        self.mant as f64 * f64::powi(2.0, -(self.fmt.frac_bits() as i32))
+    }
+
+    /// The raw mantissa: the stored integer `value * 2^frac_bits`.
+    pub fn mantissa(self) -> i64 {
+        self.mant
+    }
+
+    /// The format this value is currently held in.
+    pub fn format(self) -> Format {
+        self.fmt
+    }
+
+    /// True if the value is exactly zero.
+    pub fn is_zero(self) -> bool {
+        self.mant == 0
+    }
+
+    /// True if the value is negative.
+    pub fn is_negative(self) -> bool {
+        self.mant < 0
+    }
+
+    /// Quantises to a (usually narrower) format, applying `rounding` to
+    /// dropped fraction bits and `overflow` if the result exceeds the
+    /// format's range. This is the simulation counterpart of assigning to a
+    /// register or wire of fixed width.
+    pub fn cast(self, fmt: Format, rounding: Rounding, overflow: Overflow) -> Fix {
+        let cur_fb = self.fmt.frac_bits() as i32;
+        let new_fb = fmt.frac_bits() as i32;
+        let mant = round_shift(self.mant as i128, cur_fb - new_fb, rounding);
+        Fix::reduce(mant, fmt, overflow)
+    }
+
+    /// Multiplies the value by `2^n` without touching the mantissa: a
+    /// free "wiring" shift that only moves the binary point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FixError::InvalidFormat`] if the shifted format leaves the
+    /// supported range.
+    pub fn scale_pow2(self, n: i32) -> Result<Fix, FixError> {
+        let iwl = self.fmt.iwl() as i64 + n as i64;
+        let wl = self.fmt.wl() as i64;
+        if iwl < 0 || iwl > wl {
+            return Err(FixError::InvalidFormat {
+                wl: wl as u32,
+                iwl: iwl.clamp(0, u32::MAX as i64) as u32,
+            });
+        }
+        Ok(Fix {
+            mant: self.mant,
+            fmt: Format::new(wl as u32, iwl as u32).expect("validated above"),
+        })
+    }
+
+    /// Absolute value (saturating on the most negative mantissa).
+    pub fn abs(self) -> Fix {
+        if self.mant == self.fmt.min_mantissa() {
+            Fix {
+                mant: self.fmt.max_mantissa(),
+                fmt: self.fmt,
+            }
+        } else {
+            Fix {
+                mant: self.mant.abs(),
+                fmt: self.fmt,
+            }
+        }
+    }
+
+    /// Fits an i128 mantissa into `fmt`, applying the overflow mode.
+    fn reduce(mant: i128, fmt: Format, overflow: Overflow) -> Fix {
+        let lo = fmt.min_mantissa() as i128;
+        let hi = fmt.max_mantissa() as i128;
+        let mant = if mant >= lo && mant <= hi {
+            mant
+        } else {
+            match overflow {
+                Overflow::Saturate => mant.clamp(lo, hi),
+                Overflow::Wrap => {
+                    let modulus = 1i128 << fmt.wl();
+                    let m = mant.rem_euclid(modulus);
+                    if m > hi {
+                        m - modulus
+                    } else {
+                        m
+                    }
+                }
+            }
+        };
+        Fix {
+            mant: mant as i64,
+            fmt,
+        }
+    }
+
+    /// Exact sum in a widened format (no quantisation). Used by the `Add`
+    /// operator; exposed so expression evaluators can call it directly.
+    pub fn wide_add(self, rhs: Fix) -> Fix {
+        let fb = self.fmt.frac_bits().max(rhs.fmt.frac_bits());
+        let a = (self.mant as i128) << (fb - self.fmt.frac_bits());
+        let b = (rhs.mant as i128) << (fb - rhs.fmt.frac_bits());
+        let iwl = self.fmt.iwl().max(rhs.fmt.iwl()) + 1;
+        Fix::fit_exact(a + b, fb, iwl)
+    }
+
+    /// Exact difference in a widened format (no quantisation).
+    pub fn wide_sub(self, rhs: Fix) -> Fix {
+        let fb = self.fmt.frac_bits().max(rhs.fmt.frac_bits());
+        let a = (self.mant as i128) << (fb - self.fmt.frac_bits());
+        let b = (rhs.mant as i128) << (fb - rhs.fmt.frac_bits());
+        let iwl = self.fmt.iwl().max(rhs.fmt.iwl()) + 1;
+        Fix::fit_exact(a - b, fb, iwl)
+    }
+
+    /// Exact product in a widened format (no quantisation).
+    pub fn wide_mul(self, rhs: Fix) -> Fix {
+        let p = self.mant as i128 * rhs.mant as i128;
+        let fb = self.fmt.frac_bits() + rhs.fmt.frac_bits();
+        let iwl = self.fmt.iwl() + rhs.fmt.iwl();
+        Fix::fit_exact(p, fb, iwl)
+    }
+
+    /// Packs an exact i128 mantissa with `fb` fraction bits and a suggested
+    /// `iwl` into a `Fix`, trimming fraction bits (exactly when possible,
+    /// truncating as a last resort) if the total wordlength exceeds 63.
+    fn fit_exact(mut mant: i128, mut fb: u32, iwl: u32) -> Fix {
+        let mut iwl = iwl.min(63);
+        // Drop exact trailing zeros first.
+        while iwl + fb > 63 && fb > 0 && mant & 1 == 0 {
+            mant >>= 1;
+            fb -= 1;
+        }
+        // Then truncate (rare: only after ~63 bits of real growth).
+        while iwl + fb > 63 && fb > 0 {
+            mant >>= 1;
+            fb -= 1;
+        }
+        let mut wl = iwl + fb;
+        // Grow iwl if the mantissa still doesn't fit (deep saturation guard).
+        while wl < 63 && (mant > ((1i128 << (wl - 1)) - 1) || mant < -(1i128 << (wl - 1))) {
+            wl += 1;
+            iwl += 1;
+        }
+        let fmt = Format::new(wl.max(1), iwl).expect("fitted format is valid");
+        Fix::reduce(mant, fmt, Overflow::Saturate)
+    }
+
+    fn aligned_cmp(self, other: Fix) -> Ordering {
+        let fb = self.fmt.frac_bits().max(other.fmt.frac_bits());
+        let a = (self.mant as i128) << (fb - self.fmt.frac_bits());
+        let b = (other.mant as i128) << (fb - other.fmt.frac_bits());
+        a.cmp(&b)
+    }
+}
+
+/// Shifts `mant` right by `shift` bits (left if negative) applying the
+/// rounding mode to dropped bits.
+fn round_shift(mant: i128, shift: i32, rounding: Rounding) -> i128 {
+    if shift <= 0 {
+        return mant << (-shift).min(63);
+    }
+    let shift = shift.min(127) as u32;
+    let floor = mant >> shift;
+    let dropped = mant - (floor << shift);
+    if dropped == 0 {
+        return floor;
+    }
+    let half = 1i128 << (shift - 1);
+    match rounding {
+        Rounding::Truncate => floor,
+        Rounding::Nearest => {
+            // Ties away from zero on the *value*, i.e. for negative values a
+            // tie rounds down.
+            if dropped > half || (dropped == half && mant >= 0) {
+                floor + 1
+            } else {
+                floor
+            }
+        }
+        Rounding::NearestEven => {
+            if dropped > half || (dropped == half && floor & 1 == 1) {
+                floor + 1
+            } else {
+                floor
+            }
+        }
+        Rounding::Ceil => floor + 1,
+        Rounding::TowardZero => {
+            if mant < 0 {
+                floor + 1
+            } else {
+                floor
+            }
+        }
+    }
+}
+
+impl Add for Fix {
+    type Output = Fix;
+    fn add(self, rhs: Fix) -> Fix {
+        self.wide_add(rhs)
+    }
+}
+
+impl Sub for Fix {
+    type Output = Fix;
+    fn sub(self, rhs: Fix) -> Fix {
+        self.wide_sub(rhs)
+    }
+}
+
+impl Mul for Fix {
+    type Output = Fix;
+    fn mul(self, rhs: Fix) -> Fix {
+        self.wide_mul(rhs)
+    }
+}
+
+impl Neg for Fix {
+    type Output = Fix;
+    fn neg(self) -> Fix {
+        Fix::zero(self.fmt).wide_sub(self)
+    }
+}
+
+impl PartialEq for Fix {
+    fn eq(&self, other: &Fix) -> bool {
+        self.aligned_cmp(*other) == Ordering::Equal
+    }
+}
+
+impl Eq for Fix {}
+
+impl PartialOrd for Fix {
+    fn partial_cmp(&self, other: &Fix) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Fix {
+    fn cmp(&self, other: &Fix) -> Ordering {
+        self.aligned_cmp(*other)
+    }
+}
+
+impl Hash for Fix {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Hash the normalised (mantissa, frac_bits) pair so that equal
+        // values in different formats hash alike.
+        let mut mant = self.mant;
+        let mut fb = self.fmt.frac_bits();
+        if mant == 0 {
+            fb = 0;
+        } else {
+            while fb > 0 && mant & 1 == 0 {
+                mant >>= 1;
+                fb -= 1;
+            }
+        }
+        mant.hash(state);
+        fb.hash(state);
+    }
+}
+
+impl Default for Fix {
+    /// Zero in the minimal format `<1,1>`.
+    fn default() -> Fix {
+        Fix::zero(Format::new(1, 1).expect("<1,1> is valid"))
+    }
+}
+
+impl fmt::Display for Fix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.to_f64(), self.fmt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fmt(wl: u32, iwl: u32) -> Format {
+        Format::new(wl, iwl).unwrap()
+    }
+
+    fn fx(v: f64, f: Format) -> Fix {
+        Fix::from_f64(v, f, Rounding::Nearest, Overflow::Saturate)
+    }
+
+    #[test]
+    fn round_trip_exact_grid_values() {
+        let f = fmt(8, 4);
+        for k in -128..=127i64 {
+            let v = k as f64 / 16.0;
+            assert_eq!(fx(v, f).to_f64(), v);
+        }
+    }
+
+    #[test]
+    fn saturation() {
+        let f = fmt(8, 4);
+        assert_eq!(fx(100.0, f).to_f64(), f.max_value());
+        assert_eq!(fx(-100.0, f).to_f64(), f.min_value());
+        assert_eq!(fx(f64::INFINITY, f).to_f64(), f.max_value());
+        assert_eq!(fx(f64::NEG_INFINITY, f).to_f64(), f.min_value());
+        assert_eq!(fx(f64::NAN, f).to_f64(), 0.0);
+    }
+
+    #[test]
+    fn wrap_overflow() {
+        let f = fmt(4, 4); // integers -8..=7
+        let v = Fix::from_f64(9.0, f, Rounding::Nearest, Overflow::Wrap);
+        assert_eq!(v.to_f64(), -7.0);
+        let v = Fix::from_f64(-9.0, f, Rounding::Nearest, Overflow::Wrap);
+        assert_eq!(v.to_f64(), 7.0);
+    }
+
+    #[test]
+    fn rounding_modes() {
+        let f = fmt(8, 8); // integer grid
+        let cases = [
+            // (value, truncate, nearest, nearest_even, ceil, toward_zero)
+            (2.5, 2.0, 3.0, 2.0, 3.0, 2.0),
+            (3.5, 3.0, 4.0, 4.0, 4.0, 3.0),
+            (-2.5, -3.0, -3.0, -2.0, -2.0, -2.0),
+            (2.3, 2.0, 2.0, 2.0, 3.0, 2.0),
+            (-2.3, -3.0, -2.0, -2.0, -2.0, -2.0),
+        ];
+        for (v, t, n, ne, c, tz) in cases {
+            assert_eq!(
+                Fix::from_f64(v, f, Rounding::Truncate, Overflow::Saturate).to_f64(),
+                t,
+                "trunc {v}"
+            );
+            assert_eq!(
+                Fix::from_f64(v, f, Rounding::Nearest, Overflow::Saturate).to_f64(),
+                n,
+                "near {v}"
+            );
+            assert_eq!(
+                Fix::from_f64(v, f, Rounding::NearestEven, Overflow::Saturate).to_f64(),
+                ne,
+                "even {v}"
+            );
+            assert_eq!(
+                Fix::from_f64(v, f, Rounding::Ceil, Overflow::Saturate).to_f64(),
+                c,
+                "ceil {v}"
+            );
+            assert_eq!(
+                Fix::from_f64(v, f, Rounding::TowardZero, Overflow::Saturate).to_f64(),
+                tz,
+                "tz {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn cast_rounds_dropped_bits() {
+        let wide = fmt(16, 4);
+        let narrow = fmt(8, 4);
+        let v = fx(1.0 + 1.0 / 4096.0, wide); // just above 1.0
+        assert_eq!(
+            v.cast(narrow, Rounding::Truncate, Overflow::Saturate)
+                .to_f64(),
+            1.0
+        );
+        assert_eq!(
+            v.cast(narrow, Rounding::Ceil, Overflow::Saturate).to_f64(),
+            1.0 + 1.0 / 16.0
+        );
+    }
+
+    #[test]
+    fn arithmetic_is_exact_before_cast() {
+        let f = fmt(8, 4);
+        let a = fx(0.0625, f);
+        let b = fx(0.0625, f);
+        let p = a * b; // 2^-8, below the lsb of <8,4>
+        assert_eq!(p.to_f64(), 0.00390625);
+        let s = a + b;
+        assert_eq!(s.to_f64(), 0.125);
+        let d = a - b;
+        assert!(d.is_zero());
+    }
+
+    #[test]
+    fn neg_and_abs() {
+        let f = fmt(8, 4);
+        let a = fx(-3.5, f);
+        assert_eq!((-a).to_f64(), 3.5);
+        assert_eq!(a.abs().to_f64(), 3.5);
+        // abs of most negative saturates
+        let m = Fix::from_raw(f.min_mantissa(), f);
+        assert_eq!(m.abs().mantissa(), f.max_mantissa());
+    }
+
+    #[test]
+    fn comparisons_across_formats() {
+        let a = fx(1.5, fmt(8, 4));
+        let b = fx(1.5, fmt(16, 8));
+        assert_eq!(a, b);
+        let c = fx(1.75, fmt(16, 8));
+        assert!(a < c);
+        assert!(c > b);
+    }
+
+    #[test]
+    fn hash_consistent_with_eq() {
+        use std::collections::hash_map::DefaultHasher;
+        fn h(v: Fix) -> u64 {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        }
+        let a = fx(1.5, fmt(8, 4));
+        let b = fx(1.5, fmt(16, 8));
+        assert_eq!(h(a), h(b));
+        let z1 = Fix::zero(fmt(8, 4));
+        let z2 = Fix::zero(fmt(32, 16));
+        assert_eq!(h(z1), h(z2));
+    }
+
+    #[test]
+    fn scale_pow2_moves_binary_point() {
+        let a = fx(1.5, fmt(8, 4));
+        let b = a.scale_pow2(1).unwrap();
+        assert_eq!(b.to_f64(), 3.0);
+        let c = a.scale_pow2(-2).unwrap();
+        assert_eq!(c.to_f64(), 0.375);
+        assert!(a.scale_pow2(10).is_err());
+    }
+
+    #[test]
+    fn growth_saturates_at_63_bits() {
+        let f = fmt(63, 32);
+        let big = Fix::from_raw(f.max_mantissa(), f);
+        let sum = big + big; // cannot widen beyond 63 bits
+        assert!(sum.to_f64() > 0.0);
+        assert!(sum.format().wl() <= 63);
+    }
+
+    #[test]
+    fn from_raw_panics_out_of_range() {
+        let f = fmt(4, 4);
+        let r = std::panic::catch_unwind(|| Fix::from_raw(8, f));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn display() {
+        let v = fx(1.25, fmt(8, 4));
+        assert_eq!(v.to_string(), "1.25<8,4>");
+    }
+}

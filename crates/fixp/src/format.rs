@@ -1,0 +1,134 @@
+use std::fmt;
+
+use crate::FixError;
+
+/// A signed fixed-point format `<wl, iwl>`.
+///
+/// `wl` is the total number of bits (including sign), `iwl` the number of
+/// integer bits (including sign). The number of fractional bits is
+/// `wl - iwl`. Values of this format lie on the grid `k * 2^-(wl-iwl)` for
+/// `-2^(wl-1) <= k < 2^(wl-1)`.
+///
+/// This mirrors the `<W,I>` notation used by the paper's fixed-point
+/// library (and later by SystemC's `sc_fixed`).
+///
+/// # Example
+///
+/// ```
+/// use ocapi_fixp::Format;
+/// # fn main() -> Result<(), ocapi_fixp::FixError> {
+/// let fmt = Format::new(12, 4)?;
+/// assert_eq!(fmt.frac_bits(), 8);
+/// assert_eq!(fmt.max_value(), 7.99609375);
+/// assert_eq!(fmt.min_value(), -8.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Format {
+    wl: u32,
+    iwl: u32,
+}
+
+impl Format {
+    /// Creates a format with `wl` total bits and `iwl` integer bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FixError::InvalidFormat`] unless `1 <= wl <= 63` and
+    /// `iwl <= wl`.
+    pub fn new(wl: u32, iwl: u32) -> Result<Format, FixError> {
+        if wl == 0 || wl > 63 || iwl > wl {
+            return Err(FixError::InvalidFormat { wl, iwl });
+        }
+        Ok(Format { wl, iwl })
+    }
+
+    /// Total wordlength in bits, including the sign bit.
+    pub fn wl(self) -> u32 {
+        self.wl
+    }
+
+    /// Integer wordlength in bits, including the sign bit.
+    pub fn iwl(self) -> u32 {
+        self.iwl
+    }
+
+    /// Number of fractional bits (`wl - iwl`).
+    pub fn frac_bits(self) -> u32 {
+        self.wl - self.iwl
+    }
+
+    /// Largest representable value.
+    pub fn max_value(self) -> f64 {
+        let max_mant = (1i64 << (self.wl - 1)) - 1;
+        max_mant as f64 / f64::powi(2.0, self.frac_bits() as i32)
+    }
+
+    /// Smallest (most negative) representable value.
+    pub fn min_value(self) -> f64 {
+        let min_mant = -(1i64 << (self.wl - 1));
+        min_mant as f64 / f64::powi(2.0, self.frac_bits() as i32)
+    }
+
+    /// The quantisation step (value of one LSB).
+    pub fn lsb(self) -> f64 {
+        f64::powi(2.0, -(self.frac_bits() as i32))
+    }
+
+    /// Largest representable mantissa (`2^(wl-1) - 1`).
+    pub fn max_mantissa(self) -> i64 {
+        (1i64 << (self.wl - 1)) - 1
+    }
+
+    /// Smallest representable mantissa (`-2^(wl-1)`).
+    pub fn min_mantissa(self) -> i64 {
+        -(1i64 << (self.wl - 1))
+    }
+}
+
+impl fmt::Display for Format {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{},{}>", self.wl, self.iwl)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_formats() {
+        assert!(Format::new(1, 0).is_ok());
+        assert!(Format::new(1, 1).is_ok());
+        assert!(Format::new(63, 63).is_ok());
+        assert!(Format::new(16, 8).is_ok());
+    }
+
+    #[test]
+    fn invalid_formats() {
+        assert_eq!(
+            Format::new(0, 0),
+            Err(FixError::InvalidFormat { wl: 0, iwl: 0 })
+        );
+        assert!(Format::new(64, 0).is_err());
+        assert!(Format::new(8, 9).is_err());
+    }
+
+    #[test]
+    fn ranges() {
+        let f = Format::new(8, 8).unwrap(); // pure integer
+        assert_eq!(f.max_value(), 127.0);
+        assert_eq!(f.min_value(), -128.0);
+        assert_eq!(f.lsb(), 1.0);
+
+        let f = Format::new(8, 1).unwrap(); // almost pure fraction
+        assert_eq!(f.max_value(), 127.0 / 128.0);
+        assert_eq!(f.min_value(), -1.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Format::new(16, 4).unwrap().to_string(), "<16,4>");
+    }
+}

@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! Fixed-point arithmetic for finite-wordlength hardware simulation.
+//!
+//! The DAC'98 design environment simulates finite wordlength effects "with a
+//! C++ fixed point library", and points out that simulating the
+//! *quantisation* rather than the *bit-vector representation* gives
+//! significant speedups (§3 of the paper). This crate is the Rust
+//! equivalent:
+//!
+//! * [`Fix`] — a signed fixed-point number described by a [`Format`]
+//!   (total wordlength and integer wordlength), stored as a scaled integer
+//!   mantissa. All arithmetic happens on machine integers; a value is
+//!   quantised only at explicit [`Fix::cast`] points, exactly like the
+//!   hardware's registers and wires.
+//! * [`Rounding`] and [`Overflow`] — the quantisation policies applied at a
+//!   cast (truncate/round-to-nearest/…, saturate/wrap).
+//! * [`BitVec`] — a deliberately bit-true, bit-serial arithmetic type used
+//!   by the `fixp_vs_bitvec` ablation benchmark to reproduce the paper's
+//!   claim that quantisation-based simulation beats bit-vector simulation.
+//!
+//! # Example
+//!
+//! ```
+//! use ocapi_fixp::{Fix, Format, Rounding, Overflow};
+//!
+//! # fn main() -> Result<(), ocapi_fixp::FixError> {
+//! let fmt = Format::new(8, 4)?;            // <8,4>: 8 bits, 4 integer bits
+//! let a = Fix::from_f64(1.25, fmt, Rounding::Nearest, Overflow::Saturate);
+//! let b = Fix::from_f64(2.5, fmt, Rounding::Nearest, Overflow::Saturate);
+//! let sum = (a + b).cast(fmt, Rounding::Nearest, Overflow::Saturate);
+//! assert_eq!(sum.to_f64(), 3.75);
+//! # Ok(())
+//! # }
+//! ```
+
+mod bitvec;
+mod error;
+mod fix;
+mod format;
+mod modes;
+
+pub use bitvec::BitVec;
+pub use error::FixError;
+pub use fix::Fix;
+pub use format::Format;
+pub use modes::{Overflow, Rounding};

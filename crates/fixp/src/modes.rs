@@ -1,0 +1,30 @@
+/// Rounding mode applied when a value is quantised to fewer fractional bits.
+///
+/// The names follow common hardware quantiser terminology; `Truncate` is the
+/// cheapest in hardware (drop bits), `Nearest` the usual DSP default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Rounding {
+    /// Round towards negative infinity (drop the low bits). The hardware
+    /// default: costs nothing.
+    #[default]
+    Truncate,
+    /// Round to the nearest grid point, ties away from zero.
+    Nearest,
+    /// Round to the nearest grid point, ties to the even mantissa
+    /// (convergent rounding — removes the DC bias of `Nearest`).
+    NearestEven,
+    /// Round towards positive infinity.
+    Ceil,
+    /// Round towards zero.
+    TowardZero,
+}
+
+/// Overflow mode applied when a value exceeds the target format's range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Overflow {
+    /// Clamp to the closest representable value (saturating arithmetic).
+    #[default]
+    Saturate,
+    /// Two's-complement wrap-around (what plain hardware does).
+    Wrap,
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the fixed-point and bit-vector types.
+
+use ocapi_fixp::{BitVec, Fix, Format, Overflow, Rounding};
+use proptest::prelude::*;
+
+fn arb_format() -> impl Strategy<Value = Format> {
+    (1u32..=32)
+        .prop_flat_map(|wl| (Just(wl), 0..=wl))
+        .prop_map(|(wl, iwl)| Format::new(wl, iwl).expect("generated format is valid"))
+}
+
+fn arb_fix() -> impl Strategy<Value = Fix> {
+    (arb_format(), any::<i64>()).prop_map(|(fmt, seed)| {
+        let span = (fmt.max_mantissa() - fmt.min_mantissa() + 1) as i128;
+        let mant = fmt.min_mantissa() + (seed as i128).rem_euclid(span) as i64;
+        Fix::from_raw(mant, fmt)
+    })
+}
+
+proptest! {
+    #[test]
+    fn quantised_value_within_half_lsb(v in -1000.0f64..1000.0, fmt in arb_format()) {
+        let q = Fix::from_f64(v, fmt, Rounding::Nearest, Overflow::Saturate);
+        let clamped = v.clamp(fmt.min_value(), fmt.max_value());
+        prop_assert!((q.to_f64() - clamped).abs() <= fmt.lsb() / 2.0 + 1e-12,
+            "{v} -> {q} (lsb {})", fmt.lsb());
+    }
+
+    #[test]
+    fn truncate_never_exceeds_value(v in -1000.0f64..1000.0, fmt in arb_format()) {
+        let q = Fix::from_f64(v, fmt, Rounding::Truncate, Overflow::Saturate);
+        let clamped = v.clamp(fmt.min_value(), fmt.max_value());
+        prop_assert!(q.to_f64() <= clamped + 1e-12);
+        prop_assert!(clamped - q.to_f64() < fmt.lsb() + 1e-12);
+    }
+
+    #[test]
+    fn add_commutes(a in arb_fix(), b in arb_fix()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn mul_commutes(a in arb_fix(), b in arb_fix()) {
+        prop_assert_eq!(a * b, b * a);
+    }
+
+    #[test]
+    fn add_matches_f64(a in arb_fix(), b in arb_fix()) {
+        // Formats are <=32 bits so f64 arithmetic is exact here.
+        prop_assert_eq!((a + b).to_f64(), a.to_f64() + b.to_f64());
+    }
+
+    #[test]
+    fn mul_matches_f64(a in arb_fix(), b in arb_fix()) {
+        prop_assert_eq!((a * b).to_f64(), a.to_f64() * b.to_f64());
+    }
+
+    #[test]
+    fn sub_is_add_neg(a in arb_fix(), b in arb_fix()) {
+        prop_assert_eq!(a - b, a + (-b));
+    }
+
+    #[test]
+    fn cast_idempotent(a in arb_fix(), fmt in arb_format()) {
+        let once = a.cast(fmt, Rounding::Nearest, Overflow::Saturate);
+        let twice = once.cast(fmt, Rounding::Nearest, Overflow::Saturate);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn ord_matches_f64(a in arb_fix(), b in arb_fix()) {
+        prop_assert_eq!(a.cmp(&b), a.to_f64().partial_cmp(&b.to_f64()).expect("finite"));
+    }
+
+    #[test]
+    fn bitvec_add_matches_wrapping(a in -512i64..512, b in -512i64..512) {
+        let (av, bv) = (BitVec::from_i64(a, 11).unwrap(), BitVec::from_i64(b, 11).unwrap());
+        let sum = av.ripple_add(&bv).unwrap().to_i64();
+        let wrapped = (a + b).rem_euclid(2048);
+        let wrapped = if wrapped >= 1024 { wrapped - 2048 } else { wrapped };
+        prop_assert_eq!(sum, wrapped);
+    }
+
+    #[test]
+    fn bitvec_mul_matches(a in -512i64..512, b in -512i64..512) {
+        let (av, bv) = (BitVec::from_i64(a, 11).unwrap(), BitVec::from_i64(b, 11).unwrap());
+        prop_assert_eq!(av.shift_add_mul(&bv).unwrap().to_i64(), a * b);
+    }
+
+    #[test]
+    fn bitvec_round_trip(v in -32768i64..32768) {
+        prop_assert_eq!(BitVec::from_i64(v, 16).unwrap().to_i64(), v);
+    }
+
+    #[test]
+    fn bitvec_negate(v in -32767i64..32768) {
+        prop_assert_eq!(BitVec::from_i64(v, 16).unwrap().negate().to_i64(), -v);
+    }
+
+    #[test]
+    fn fix_bitvec_cross_check(a in -128i64..128, b in -128i64..128) {
+        // The fast quantisation path and the slow bit-true path agree.
+        let fmt = Format::new(9, 9).unwrap();
+        let fa = Fix::from_raw(a, fmt);
+        let fb = Fix::from_raw(b, fmt);
+        let va = BitVec::from_i64(a, 9).unwrap();
+        let vb = BitVec::from_i64(b, 9).unwrap();
+        prop_assert_eq!((fa + fb).mantissa(), va.resize(10).ripple_add(&vb.resize(10)).unwrap().to_i64());
+        prop_assert_eq!((fa * fb).to_f64() as i64, va.shift_add_mul(&vb).unwrap().to_i64());
+    }
+}

@@ -1,0 +1,497 @@
+//! Stuck-at fault simulation: serial and 64-way bit-parallel.
+//!
+//! Grades a test-vector set the way a 1990s ASIC sign-off did: inject
+//! every single stuck-at-0 / stuck-at-1 fault on a gate output, re-run
+//! the vectors, and count the faults whose effect reaches an observed
+//! output. The headline use is scoring the *generated* testbenches of
+//! the paper's Figure 8 flow: vectors recorded from the system
+//! simulation double as a manufacturing test set, and fault coverage
+//! quantifies how good a test they are.
+//!
+//! Fault injection replaces the faulty gate's driver with a constant,
+//! which models the classic single-stuck-line fault on the gate output
+//! net. Two engines are provided:
+//!
+//! * [`stuck_at_coverage`] — serial: one rebuilt [`GateSim`] per fault.
+//!   Exact, flexible (the caller drives the machine with a closure),
+//!   and fast enough for the design sizes here.
+//! * [`stuck_at_coverage_parallel`] — bit-parallel: the fault-free
+//!   machine and up to 63 faulty machines share one pass, one bit lane
+//!   per machine in a `u64` per wire — the classic deductive-era
+//!   speedup. Takes explicit per-cycle bus stimulus and observes every
+//!   output bus after each clock edge.
+
+use ocapi_synth::gate::{Gate, GateKind, Netlist};
+
+use crate::GateSim;
+
+/// One undetected fault: the index of the gate whose output is stuck,
+/// and the stuck value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// Index into `netlist.gates` of the faulty gate.
+    pub gate: usize,
+    /// The stuck-at value on its output net.
+    pub stuck_at: bool,
+}
+
+/// The result of grading a vector set.
+#[derive(Debug, Clone)]
+pub struct FaultReport {
+    /// Total faults injected (2 × gate count, constants excluded).
+    pub total: usize,
+    /// Faults whose effect reached an observed output on some cycle.
+    pub detected: usize,
+    /// The faults that escaped.
+    pub undetected: Vec<Fault>,
+}
+
+impl FaultReport {
+    /// Detected / total, as a fraction in `[0, 1]`.
+    pub fn coverage(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.detected as f64 / self.total as f64
+        }
+    }
+}
+
+fn inject(net: &Netlist, fault: Fault) -> Netlist {
+    let mut n = net.clone();
+    let g = &mut n.gates[fault.gate];
+    *g = Gate {
+        kind: if fault.stuck_at {
+            GateKind::Const1
+        } else {
+            GateKind::Const0
+        },
+        inputs: Vec::new(),
+        output: g.output,
+        init: fault.stuck_at,
+    };
+    n
+}
+
+/// Runs `drive` against the fault-free netlist and against every
+/// single-stuck-at faulty machine, comparing the observed output
+/// streams.
+///
+/// ```
+/// use ocapi_gatesim::fault::stuck_at_coverage;
+/// use ocapi_synth::gate::{GateKind, Netlist};
+///
+/// let mut n = Netlist::new();
+/// let x = n.input_bus("x", 2);
+/// let y = n.gate(GateKind::Xor2, &[x[0], x[1]]);
+/// n.output_bus("y", vec![y]);
+/// let report = stuck_at_coverage(&n, |sim| {
+///     let ins = sim.netlist().input_by_name("x").unwrap().to_vec();
+///     let outs = sim.netlist().output_by_name("y").unwrap().to_vec();
+///     (0..4).map(|v| {
+///         sim.set_bus(&ins, v);
+///         sim.settle();
+///         sim.bus(&outs)
+///     }).collect()
+/// });
+/// assert_eq!(report.coverage(), 1.0); // XOR is fully testable
+/// ```
+///
+/// `drive` receives a fresh simulator and returns whatever it observed
+/// (typically one packed output word per cycle); a fault is *detected*
+/// when its observation stream differs from the fault-free one.
+/// Constant gates are not fault sites (a stuck constant is either the
+/// same circuit or the complementary constant fault, which is counted
+/// on the gate that consumes it).
+pub fn stuck_at_coverage(
+    net: &Netlist,
+    mut drive: impl FnMut(&mut GateSim) -> Vec<u64>,
+) -> FaultReport {
+    let golden = {
+        let mut sim = GateSim::new(net.clone());
+        drive(&mut sim)
+    };
+    let mut total = 0;
+    let mut detected = 0;
+    let mut undetected = Vec::new();
+    for (gi, g) in net.gates.iter().enumerate() {
+        if matches!(g.kind, GateKind::Const0 | GateKind::Const1) {
+            continue;
+        }
+        for stuck_at in [false, true] {
+            total += 1;
+            let fault = Fault { gate: gi, stuck_at };
+            let mut sim = GateSim::new(inject(net, fault));
+            if drive(&mut sim) != golden {
+                detected += 1;
+            } else {
+                undetected.push(fault);
+            }
+        }
+    }
+    FaultReport {
+        total,
+        detected,
+        undetected,
+    }
+}
+
+/// One cycle of bus-level stimulus for the parallel engine: values to
+/// apply to named input buses before the clock edge.
+#[derive(Debug, Clone, Default)]
+pub struct CycleStimulus {
+    /// `(input bus name, value)` pairs; unlisted buses hold their
+    /// previous value (zero on the first cycle).
+    pub inputs: Vec<(String, u64)>,
+}
+
+/// Bit-parallel stuck-at coverage: lane 0 simulates the fault-free
+/// machine, lanes 1..64 simulate one faulty machine each, all sharing a
+/// single evaluation pass per batch.
+///
+/// Semantics per cycle: apply the stimulus, settle the combinational
+/// logic, clock every DFF, settle again, then observe every output bus.
+/// A fault is detected when any observed bit differs from lane 0 on any
+/// cycle — including faults that make a structurally false loop
+/// oscillate (instability is observable on a tester).
+///
+/// The report is identical to [`stuck_at_coverage`] run with the same
+/// apply–settle–clock–observe driver, except for faults that make the
+/// machine oscillate: the serial kernel asserts on oscillation, while
+/// this engine counts the fault as detected and carries on.
+pub fn stuck_at_coverage_parallel(net: &Netlist, stimuli: &[CycleStimulus]) -> FaultReport {
+    let sites: Vec<Fault> = net
+        .gates
+        .iter()
+        .enumerate()
+        .filter(|(_, g)| !matches!(g.kind, GateKind::Const0 | GateKind::Const1))
+        .flat_map(|(gi, _)| [false, true].map(|stuck_at| Fault { gate: gi, stuck_at }))
+        .collect();
+
+    let mut detected = 0usize;
+    let mut undetected = Vec::new();
+    for batch in sites.chunks(63) {
+        let caught = run_batch(net, batch, stimuli);
+        for (k, f) in batch.iter().enumerate() {
+            if (caught >> (k + 1)) & 1 == 1 {
+                detected += 1;
+            } else {
+                undetected.push(*f);
+            }
+        }
+    }
+    FaultReport {
+        total: sites.len(),
+        detected,
+        undetected,
+    }
+}
+
+/// Evaluates one gate bitwise over 64 lanes.
+fn eval_lanes(kind: GateKind, i: &[u64]) -> u64 {
+    match kind {
+        GateKind::Const0 => 0,
+        GateKind::Const1 => !0,
+        GateKind::Buf => i[0],
+        GateKind::Inv => !i[0],
+        GateKind::And2 => i[0] & i[1],
+        GateKind::Or2 => i[0] | i[1],
+        GateKind::Nand2 => !(i[0] & i[1]),
+        GateKind::Nor2 => !(i[0] | i[1]),
+        GateKind::Xor2 => i[0] ^ i[1],
+        GateKind::Xnor2 => !(i[0] ^ i[1]),
+        GateKind::Mux2 => (i[0] & i[1]) | (!i[0] & i[2]),
+        GateKind::Dff => unreachable!("DFFs are clocked separately"),
+    }
+}
+
+/// Runs lane 0 (golden) + one lane per batch fault; returns the mask of
+/// lanes observed to differ from lane 0.
+fn run_batch(net: &Netlist, batch: &[Fault], stimuli: &[CycleStimulus]) -> u64 {
+    // Per-gate fault lanes: (force-to-one bits, force-mask bits).
+    let mut force_mask = vec![0u64; net.gates.len()];
+    let mut force_ones = vec![0u64; net.gates.len()];
+    for (k, f) in batch.iter().enumerate() {
+        let lane = 1u64 << (k + 1);
+        force_mask[f.gate] |= lane;
+        if f.stuck_at {
+            force_ones[f.gate] |= lane;
+        }
+    }
+
+    let broadcast = |b: bool| if b { !0u64 } else { 0u64 };
+    let mut wires = vec![0u64; net.n_wires];
+    let comb: Vec<usize> = net
+        .gates
+        .iter()
+        .enumerate()
+        .filter(|(_, g)| g.kind != GateKind::Dff)
+        .map(|(gi, _)| gi)
+        .collect();
+    let dffs: Vec<usize> = net
+        .gates
+        .iter()
+        .enumerate()
+        .filter(|(_, g)| g.kind == GateKind::Dff)
+        .map(|(gi, _)| gi)
+        .collect();
+
+    // Reset: DFF outputs at their initial value (with output faults).
+    for gi in &dffs {
+        let g = &net.gates[*gi];
+        let v = broadcast(g.init);
+        wires[g.output.index()] = (v & !force_mask[*gi]) | (force_ones[*gi] & force_mask[*gi]);
+    }
+
+    // Settle: evaluate the combinational gates to a fixed point. The
+    // pass count is bounded by the logic depth for acyclic netlists;
+    // lanes still flipping at the cap are oscillating faulty machines.
+    let mut caught = 0u64;
+    let max_passes = comb.len() + 2;
+    let settle = |wires: &mut Vec<u64>, caught: &mut u64| {
+        for pass in 0..max_passes {
+            let mut changed = 0u64;
+            for gi in &comb {
+                let g = &net.gates[*gi];
+                let mut ins = [0u64; 3];
+                for (k, w) in g.inputs.iter().enumerate() {
+                    ins[k] = wires[w.index()];
+                }
+                let mut v = eval_lanes(g.kind, &ins[..]);
+                v = (v & !force_mask[*gi]) | (force_ones[*gi] & force_mask[*gi]);
+                let w = g.output.index();
+                changed |= wires[w] ^ v;
+                wires[w] = v;
+            }
+            if changed == 0 {
+                break;
+            }
+            if pass + 1 == max_passes {
+                // Lane 0 is stable by construction (GateSim settles this
+                // netlist); flag the unstable faulty lanes as detected.
+                *caught |= changed & !1;
+            }
+        }
+    };
+    settle(&mut wires, &mut caught);
+
+    for cyc in stimuli {
+        for (name, value) in &cyc.inputs {
+            let ws = net.input_by_name(name).expect("known input bus");
+            for (k, w) in ws.iter().enumerate() {
+                wires[w.index()] = broadcast((value >> k) & 1 == 1);
+            }
+        }
+        settle(&mut wires, &mut caught);
+        // Clock edge: sample all DFF inputs simultaneously.
+        let sampled: Vec<(usize, u64)> = dffs
+            .iter()
+            .map(|gi| {
+                let g = &net.gates[*gi];
+                let v = wires[g.inputs[0].index()];
+                (
+                    g.output.index(),
+                    (v & !force_mask[*gi]) | (force_ones[*gi] & force_mask[*gi]),
+                )
+            })
+            .collect();
+        for (w, v) in sampled {
+            wires[w] = v;
+        }
+        settle(&mut wires, &mut caught);
+        // Observe every output bus against lane 0.
+        for (_, ws) in &net.outputs {
+            for w in ws {
+                let v = wires[w.index()];
+                caught |= v ^ broadcast(v & 1 == 1);
+            }
+        }
+    }
+    caught
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocapi_synth::gate::Netlist;
+
+    /// y = (a & b) | (a & !b) — redundant logic: the OR is really just
+    /// `a`, so several faults in the b-cone are untestable.
+    fn redundant() -> Netlist {
+        let mut n = Netlist::new();
+        let i = n.input_bus("x", 2);
+        let nb = n.gate(GateKind::Inv, &[i[1]]);
+        let l = n.gate(GateKind::And2, &[i[0], i[1]]);
+        let r = n.gate(GateKind::And2, &[i[0], nb]);
+        let o = n.gate(GateKind::Or2, &[l, r]);
+        n.output_bus("y", vec![o]);
+        n
+    }
+
+    fn exhaustive(sim: &mut GateSim) -> Vec<u64> {
+        let ins = sim.netlist().input_by_name("x").expect("in").to_vec();
+        let outs = sim.netlist().output_by_name("y").expect("out").to_vec();
+        (0..4)
+            .map(|x| {
+                sim.set_bus(&ins, x);
+                sim.settle();
+                sim.bus(&outs)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn redundant_logic_has_untestable_faults() {
+        let rep = stuck_at_coverage(&redundant(), exhaustive);
+        assert_eq!(rep.total, 8, "4 gates x 2 polarities");
+        assert!(
+            rep.coverage() < 1.0,
+            "redundancy must leave untestable faults: {rep:?}"
+        );
+        // But the output stuck-at faults are always caught by an
+        // exhaustive vector set.
+        assert!(rep.detected >= 4, "{rep:?}");
+    }
+
+    #[test]
+    fn irredundant_logic_reaches_full_coverage_exhaustively() {
+        // y = a XOR b: every stuck-at is detectable.
+        let mut n = Netlist::new();
+        let i = n.input_bus("x", 2);
+        let o = n.gate(GateKind::Xor2, &[i[0], i[1]]);
+        n.output_bus("y", vec![o]);
+        let rep = stuck_at_coverage(&n, exhaustive);
+        assert_eq!(rep.total, 2);
+        assert_eq!(rep.detected, 2);
+        assert_eq!(rep.coverage(), 1.0);
+    }
+
+    #[test]
+    fn empty_vector_set_detects_nothing_but_initial_state() {
+        let rep = stuck_at_coverage(&redundant(), |_| Vec::new());
+        assert_eq!(rep.detected, 0);
+        assert_eq!(rep.undetected.len(), rep.total);
+    }
+
+    /// Serial engine with the exact apply–settle–clock–observe driver
+    /// the parallel engine implements, for equivalence checks.
+    fn serial_reference(net: &Netlist, stimuli: &[CycleStimulus]) -> FaultReport {
+        stuck_at_coverage(net, |sim| {
+            let outs: Vec<Vec<_>> = sim
+                .netlist()
+                .outputs
+                .iter()
+                .map(|(_, ws)| ws.clone())
+                .collect();
+            let mut seen = Vec::new();
+            for cyc in stimuli {
+                for (name, value) in &cyc.inputs {
+                    let ws = sim.netlist().input_by_name(name).expect("in").to_vec();
+                    sim.set_bus(&ws, *value);
+                }
+                sim.settle();
+                sim.clock();
+                for ws in &outs {
+                    seen.push(sim.bus(ws));
+                }
+            }
+            seen
+        })
+    }
+
+    fn stim(values: &[u64]) -> Vec<CycleStimulus> {
+        values
+            .iter()
+            .map(|v| CycleStimulus {
+                inputs: vec![("x".into(), *v)],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_combinational_redundancy() {
+        let net = redundant();
+        let stimuli = stim(&[0, 1, 2, 3]);
+        let s = serial_reference(&net, &stimuli);
+        let p = stuck_at_coverage_parallel(&net, &stimuli);
+        assert_eq!(s.total, p.total);
+        assert_eq!(s.detected, p.detected);
+        assert_eq!(s.undetected, p.undetected);
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_sequential_logic() {
+        let mut n = Netlist::new();
+        let i = n.input_bus("x", 2);
+        let a = n.gate(GateKind::Xor2, &[i[0], i[1]]);
+        let q = n.dff(a, false);
+        let b = n.gate(GateKind::Mux2, &[q, i[0], i[1]]);
+        let q2 = n.dff(b, true);
+        n.output_bus("y", vec![q2, q]);
+        let stimuli = stim(&[1, 2, 0, 3, 1, 0, 2]);
+        let s = serial_reference(&n, &stimuli);
+        let p = stuck_at_coverage_parallel(&n, &stimuli);
+        assert_eq!(s.detected, p.detected);
+        assert_eq!(s.undetected, p.undetected);
+    }
+
+    #[test]
+    fn parallel_batches_beyond_63_faults() {
+        // A 50-gate inverter chain: 100 faults, two batches. Every fault
+        // flips the single observed output, so coverage is 100%.
+        let mut n = Netlist::new();
+        let i = n.input_bus("x", 1);
+        let mut w = i[0];
+        for _ in 0..50 {
+            w = n.gate(GateKind::Inv, &[w]);
+        }
+        n.output_bus("y", vec![w]);
+        let stimuli = stim(&[0, 1]);
+        let p = stuck_at_coverage_parallel(&n, &stimuli);
+        assert_eq!(p.total, 100);
+        assert_eq!(p.detected, 100);
+        let s = serial_reference(&n, &stimuli);
+        assert_eq!(s.detected, 100);
+    }
+
+    #[test]
+    fn sequential_fault_needs_clocking() {
+        // A DFF in the path: the fault on its input shows only after a
+        // clock edge.
+        let mut n = Netlist::new();
+        let i = n.input_bus("x", 1);
+        let inv = n.gate(GateKind::Inv, &[i[0]]);
+        let q = n.dff(inv, false);
+        n.output_bus("y", vec![q]);
+
+        // Combinational-only drive: DFF never clocks, input faults hide.
+        let comb_only = stuck_at_coverage(&n, |sim| {
+            let ins = sim.netlist().input_by_name("x").expect("in").to_vec();
+            let outs = sim.netlist().output_by_name("y").expect("out").to_vec();
+            (0..2)
+                .map(|x| {
+                    sim.set_bus(&ins, x);
+                    sim.settle();
+                    sim.bus(&outs)
+                })
+                .collect()
+        });
+        // Only DFF-output stuck-at-1 flips the (constant-0) observation.
+        assert_eq!(comb_only.detected, 1, "{comb_only:?}");
+
+        // With clocking, every fault propagates.
+        let clocked = stuck_at_coverage(&n, |sim| {
+            let ins = sim.netlist().input_by_name("x").expect("in").to_vec();
+            let outs = sim.netlist().output_by_name("y").expect("out").to_vec();
+            (0..4)
+                .map(|x| {
+                    sim.set_bus(&ins, x & 1);
+                    sim.settle();
+                    sim.clock();
+                    sim.bus(&outs)
+                })
+                .collect()
+        });
+        assert_eq!(clocked.coverage(), 1.0, "{clocked:?}");
+    }
+}

@@ -1,0 +1,277 @@
+//! The event-driven gate evaluation kernel.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use ocapi_synth::gate::{GateKind, Netlist, WireId};
+
+/// Activity counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GateSimStats {
+    /// Gate evaluations performed.
+    pub gate_evals: u64,
+    /// Wire value changes (events).
+    pub events: u64,
+}
+
+/// An event-driven simulator for a gate-level netlist.
+///
+/// Wires start at the constant/DFF initial values; undriven wires are
+/// primary inputs, set with [`GateSim::set_wire`] or [`GateSim::set_bus`].
+/// Combinational changes propagate on [`GateSim::settle`];
+/// [`GateSim::clock`] advances every flip-flop simultaneously.
+#[derive(Debug)]
+pub struct GateSim {
+    net: Netlist,
+    values: Vec<bool>,
+    fanout: Vec<Vec<u32>>,
+    /// gate indices of all DFFs
+    dffs: Vec<u32>,
+    dirty: Vec<bool>,
+    /// Min-heap on gate index: gates are created in rough dependency
+    /// order, so this evaluates close to levelized order and avoids the
+    /// exponential glitching a LIFO worklist suffers in deep adder trees.
+    worklist: BinaryHeap<Reverse<u32>>,
+    stats: GateSimStats,
+}
+
+impl GateSim {
+    /// Builds the simulator and settles the initial state.
+    pub fn new(net: Netlist) -> GateSim {
+        let mut values = vec![false; net.n_wires];
+        let mut fanout: Vec<Vec<u32>> = vec![Vec::new(); net.n_wires];
+        let mut dffs = Vec::new();
+        for (gi, g) in net.gates.iter().enumerate() {
+            match g.kind {
+                GateKind::Dff => {
+                    values[g.output.index()] = g.init;
+                    dffs.push(gi as u32);
+                }
+                GateKind::Const0 => values[g.output.index()] = false,
+                GateKind::Const1 => values[g.output.index()] = true,
+                _ => {
+                    for i in &g.inputs {
+                        fanout[i.index()].push(gi as u32);
+                    }
+                }
+            }
+        }
+        // DFF inputs still need fanout entries? No: DFFs sample on clock,
+        // not on events. Constants never change.
+        let n_gates = net.gates.len();
+        let mut sim = GateSim {
+            net,
+            values,
+            fanout,
+            dffs,
+            dirty: vec![false; n_gates],
+            worklist: BinaryHeap::new(),
+            stats: GateSimStats::default(),
+        };
+        // Initial evaluation of all combinational gates.
+        for gi in 0..n_gates {
+            sim.schedule(gi as u32);
+        }
+        sim.settle();
+        sim
+    }
+
+    /// The simulated netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.net
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> GateSimStats {
+        self.stats
+    }
+
+    /// Current value of a wire.
+    pub fn wire(&self, w: WireId) -> bool {
+        self.values[w.index()]
+    }
+
+    /// Current value of a bus as an integer (LSB first).
+    pub fn bus(&self, wires: &[WireId]) -> u64 {
+        wires
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (self.values[w.index()] as u64) << i)
+            .sum()
+    }
+
+    /// Drives a primary-input wire (takes effect at the next settle).
+    pub fn set_wire(&mut self, w: WireId, value: bool) {
+        if self.values[w.index()] != value {
+            self.values[w.index()] = value;
+            self.stats.events += 1;
+            for gi in 0..self.fanout[w.index()].len() {
+                let g = self.fanout[w.index()][gi];
+                self.schedule(g);
+            }
+        }
+    }
+
+    /// Drives a bus from the low bits of `value` (LSB first).
+    pub fn set_bus(&mut self, wires: &[WireId], value: u64) {
+        for (i, w) in wires.iter().enumerate() {
+            self.set_wire(*w, (value >> i) & 1 == 1);
+        }
+    }
+
+    fn schedule(&mut self, gate: u32) {
+        let g = &self.net.gates[gate as usize];
+        if matches!(g.kind, GateKind::Dff | GateKind::Const0 | GateKind::Const1) {
+            return;
+        }
+        if !self.dirty[gate as usize] {
+            self.dirty[gate as usize] = true;
+            self.worklist.push(Reverse(gate));
+        }
+    }
+
+    /// Propagates combinational events until quiescent. Structural false
+    /// loops (e.g. through shared-operator multiplexers) settle because
+    /// the unsensitised path stops the propagation.
+    pub fn settle(&mut self) {
+        let mut guard = 0u64;
+        let limit = (self.net.gates.len() as u64 + 1) * 1024;
+        while let Some(Reverse(gi)) = self.worklist.pop() {
+            self.dirty[gi as usize] = false;
+            guard += 1;
+            assert!(
+                guard < limit,
+                "gate-level oscillation: combinational loop did not settle"
+            );
+            let g = &self.net.gates[gi as usize];
+            let ins: [bool; 3] = {
+                let mut v = [false; 3];
+                for (k, w) in g.inputs.iter().enumerate() {
+                    v[k] = self.values[w.index()];
+                }
+                v
+            };
+            let newv = g.kind.eval(&ins[..g.kind.arity()]);
+            self.stats.gate_evals += 1;
+            let out = g.output;
+            if self.values[out.index()] != newv {
+                self.values[out.index()] = newv;
+                self.stats.events += 1;
+                for k in 0..self.fanout[out.index()].len() {
+                    let f = self.fanout[out.index()][k];
+                    self.schedule(f);
+                }
+            }
+        }
+    }
+
+    /// One clock edge: every DFF samples its input simultaneously, then
+    /// the resulting events settle.
+    pub fn clock(&mut self) {
+        let sampled: Vec<(usize, bool)> = self
+            .dffs
+            .iter()
+            .map(|gi| {
+                let g = &self.net.gates[*gi as usize];
+                (g.output.index(), self.values[g.inputs[0].index()])
+            })
+            .collect();
+        for (out, v) in sampled {
+            if self.values[out] != v {
+                self.values[out] = v;
+                self.stats.events += 1;
+                for k in 0..self.fanout[out].len() {
+                    let f = self.fanout[out][k];
+                    self.schedule(f);
+                }
+            }
+        }
+        self.settle();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocapi_synth::bitops::{ripple_add, ripple_sub};
+
+    #[test]
+    fn adder_netlist_simulates() {
+        let mut net = Netlist::new();
+        let a = net.input_bus("a", 8);
+        let b = net.input_bus("b", 8);
+        let cin = net.constant(false);
+        let (sum, _) = ripple_add(&mut net, &a, &b, cin);
+        net.output_bus("sum", sum);
+        let mut sim = GateSim::new(net);
+        for (x, y) in [(3u64, 4u64), (200, 100), (255, 1), (17, 39)] {
+            let (aw, bw) = (
+                sim.netlist().input_by_name("a").unwrap().to_vec(),
+                sim.netlist().input_by_name("b").unwrap().to_vec(),
+            );
+            sim.set_bus(&aw, x);
+            sim.set_bus(&bw, y);
+            sim.settle();
+            let s = sim.netlist().output_by_name("sum").unwrap().to_vec();
+            assert_eq!(sim.bus(&s), (x + y) & 0xff, "{x}+{y}");
+        }
+    }
+
+    #[test]
+    fn dff_clocking() {
+        let mut net = Netlist::new();
+        let d = net.input_bus("d", 4);
+        let q: Vec<WireId> = d.iter().map(|w| net.dff(*w, false)).collect();
+        net.output_bus("q", q);
+        let mut sim = GateSim::new(net);
+        let dw = sim.netlist().input_by_name("d").unwrap().to_vec();
+        let qw = sim.netlist().output_by_name("q").unwrap().to_vec();
+        sim.set_bus(&dw, 9);
+        sim.settle();
+        assert_eq!(sim.bus(&qw), 0, "before clock");
+        sim.clock();
+        assert_eq!(sim.bus(&qw), 9, "after clock");
+    }
+
+    #[test]
+    fn counter_with_feedback() {
+        // q' = q - 1 (via sub) — a registered feedback loop.
+        let mut net = Netlist::new();
+        let mut q = Vec::new();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let (qa, h) = net.dff_deferred(false);
+            q.push(qa);
+            handles.push(h);
+        }
+        let one = net.constant(true);
+        let zero = net.constant(false);
+        let one_bus = vec![one, zero, zero, zero];
+        let (dec, _) = ripple_sub(&mut net, &q, &one_bus);
+        for (h, d) in handles.iter().zip(&dec) {
+            net.connect_dff(*h, *d);
+        }
+        net.output_bus("q", q);
+        let mut sim = GateSim::new(net);
+        let qw = sim.netlist().output_by_name("q").unwrap().to_vec();
+        assert_eq!(sim.bus(&qw), 0);
+        sim.clock();
+        assert_eq!(sim.bus(&qw), 15);
+        sim.clock();
+        assert_eq!(sim.bus(&qw), 14);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut net = Netlist::new();
+        let a = net.input_bus("a", 2);
+        let x = net.gate(GateKind::Xor2, &[a[0], a[1]]);
+        net.output_bus("x", vec![x]);
+        let mut sim = GateSim::new(net);
+        let evals0 = sim.stats().gate_evals;
+        let aw = sim.netlist().input_by_name("a").unwrap().to_vec();
+        sim.set_bus(&aw, 1);
+        sim.settle();
+        assert!(sim.stats().gate_evals > evals0);
+    }
+}

@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! Event-driven gate-level netlist simulation.
+//!
+//! The slowest, most detailed row of the paper's Table 1 is netlist-level
+//! simulation ("VHDL (netlist)" / "Verilog (netlist)"). This crate
+//! provides that baseline: [`GateSim`] drives a synthesized
+//! [`ocapi_synth::gate::Netlist`] gate by gate with an event worklist, and
+//! [`GateSystemSim`] assembles a whole captured system — every timed
+//! component synthesized to gates, untimed blocks kept behavioural — and
+//! drives it through the common [`ocapi::Simulator`] interface, enabling
+//! cycle-for-cycle cross-checks against the interpreted, compiled and
+//! RT-level simulators.
+//!
+//! [`fault`] adds stuck-at fault simulation (serial and bit-parallel)
+//! on top of the kernel, used to grade the generated testbench vectors
+//! as a manufacturing test set, and [`bist`] provides the LFSR/MISR
+//! building blocks of built-in self-test.
+
+pub mod bist;
+pub mod fault;
+mod kernel;
+mod system;
+
+pub use kernel::{GateSim, GateSimStats};
+pub use system::GateSystemSim;

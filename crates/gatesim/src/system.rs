@@ -1,0 +1,372 @@
+//! Gate-level simulation of a whole captured system.
+//!
+//! Every timed component is synthesized to gates and merged into one flat
+//! netlist; untimed blocks stay behavioural (the way real netlist
+//! simulations keep vendor memory models behavioural) and fire whenever
+//! their input bits change. The result implements [`Simulator`], so the
+//! same stimuli drive interpreted, compiled, RT-level and gate-level
+//! simulation — exactly the comparison of the paper's Table 1.
+
+use ocapi::{CoreError, NetSource, SigType, Simulator, System, Trace, UntimedBlock, Value};
+use ocapi_fixp::Fix;
+use ocapi_synth::gate::{Gate, GateKind, Netlist, WireId};
+use ocapi_synth::{synthesize_with_held, SynthOptions};
+
+use crate::kernel::{GateSim, GateSimStats};
+
+fn encode(v: &Value) -> u64 {
+    match v {
+        Value::Bool(b) => *b as u64,
+        Value::Bits { bits, .. } => *bits,
+        Value::Fixed(f) => {
+            let wl = f.format().wl() as usize;
+            let mask = if wl >= 64 { u64::MAX } else { (1u64 << wl) - 1 };
+            (f.mantissa() as u64) & mask
+        }
+        Value::Float(_) => unreachable!("floats rejected before synthesis"),
+    }
+}
+
+fn decode(bits: u64, ty: SigType) -> Value {
+    match ty {
+        SigType::Bool => Value::Bool(bits & 1 == 1),
+        SigType::Bits(w) => Value::bits(w, bits),
+        SigType::Fixed(f) => {
+            let wl = f.wl();
+            // Sign-extend the mantissa.
+            let shifted = (bits << (64 - wl)) as i64 >> (64 - wl);
+            Value::Fixed(Fix::from_raw(shifted, f))
+        }
+        SigType::Float => unreachable!("floats rejected before synthesis"),
+    }
+}
+
+struct UntimedIo {
+    block: Box<dyn UntimedBlock>,
+    in_wires: Vec<Vec<WireId>>,
+    out_wires: Vec<Vec<WireId>>,
+    in_tys: Vec<SigType>,
+    out_tys: Vec<SigType>,
+    last_in: Option<Vec<Value>>,
+}
+
+/// Gate-level simulation of a captured system.
+pub struct GateSystemSim {
+    sim: GateSim,
+    untimed: Vec<UntimedIo>,
+    inputs: Vec<(String, SigType, Vec<WireId>)>,
+    outputs: Vec<(String, SigType, Vec<WireId>)>,
+    latched: Vec<Value>,
+    /// Total synthesized area in gate equivalents (before merging; Bufs
+    /// added at port boundaries are excluded).
+    area: f64,
+    cycle: u64,
+    trace: Option<Trace>,
+}
+
+impl std::fmt::Debug for GateSystemSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GateSystemSim")
+            .field("gates", &self.sim.netlist().gates.len())
+            .field("area", &self.area)
+            .finish()
+    }
+}
+
+impl GateSystemSim {
+    /// Synthesizes every timed component and assembles the flat netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::CheckFailed`] wrapping synthesis errors
+    /// (float signals).
+    pub fn new(sys: System, options: &SynthOptions) -> Result<GateSystemSim, CoreError> {
+        let mut flat = Netlist::new();
+
+        // One bus of wires per net.
+        let net_bus: Vec<Vec<WireId>> = sys
+            .nets
+            .iter()
+            .map(|n| flat.wires(n.ty.width() as usize))
+            .collect();
+
+        let mut area = 0.0;
+
+        for (ti, t) in sys.timed.iter().enumerate() {
+            // Guard inputs driven by internal nets must be registered.
+            let mut held: Vec<usize> = Vec::new();
+            for (pi, _) in t.comp.inputs.iter().enumerate() {
+                let net = sys.timed_input_net(ti, pi);
+                let internal = !matches!(
+                    sys.nets[net].source,
+                    NetSource::PrimaryInput(_) | NetSource::Constant(_)
+                );
+                if internal {
+                    held.push(pi);
+                }
+            }
+            let cn = synthesize_with_held(&t.comp, options, &held).map_err(|e| {
+                CoreError::CheckFailed {
+                    diagnostics: vec![e.to_string()],
+                }
+            })?;
+            area += cn.netlist.area();
+
+            // Wire remap: inputs alias their net wires, everything else is
+            // offset into the flat netlist.
+            let local = cn.netlist;
+            let mut remap: Vec<Option<WireId>> = vec![None; local.n_wires];
+            for (pi, _) in t.comp.inputs.iter().enumerate() {
+                let bus = local
+                    .input_by_name(&t.comp.inputs[pi].name)
+                    .expect("port bus exists");
+                let net = sys.timed_input_net(ti, pi);
+                for (b, w) in bus.iter().enumerate() {
+                    remap[w.index()] = Some(net_bus[net][b]);
+                }
+            }
+            let map = |w: WireId, flat: &mut Netlist, remap: &mut Vec<Option<WireId>>| {
+                if let Some(m) = remap[w.index()] {
+                    m
+                } else {
+                    let m = flat.wire();
+                    remap[w.index()] = Some(m);
+                    m
+                }
+            };
+            for g in &local.gates {
+                let inputs: Vec<WireId> = g
+                    .inputs
+                    .iter()
+                    .map(|w| map(*w, &mut flat, &mut remap))
+                    .collect();
+                let output = map(g.output, &mut flat, &mut remap);
+                flat.gates.push(Gate {
+                    kind: g.kind,
+                    inputs,
+                    output,
+                    init: g.init,
+                });
+            }
+            // Connect output port buses to their nets with buffers.
+            for (pi, p) in t.comp.outputs.iter().enumerate() {
+                let Some(net) = sys.nets.iter().position(|n| {
+                    matches!(n.source, NetSource::TimedOut { inst, port }
+                        if inst == ti && port == pi)
+                }) else {
+                    continue;
+                };
+                let bus = local.output_by_name(&p.name).expect("port bus exists");
+                for (b, w) in bus.iter().enumerate() {
+                    let src = map(*w, &mut flat, &mut remap);
+                    flat.gate_into(GateKind::Buf, &[src], net_bus[net][b]);
+                }
+            }
+        }
+
+        // Untimed block plumbing.
+        let in_nets: Vec<Vec<usize>> = (0..sys.untimed.len())
+            .map(|ui| {
+                (0..sys.untimed[ui].inputs.len())
+                    .map(|pi| sys.untimed_input_net(ui, pi))
+                    .collect()
+            })
+            .collect();
+        let out_nets: Vec<Vec<Option<usize>>> = (0..sys.untimed.len())
+            .map(|ui| {
+                (0..sys.untimed[ui].outputs.len())
+                    .map(|pi| {
+                        sys.nets.iter().position(|n| {
+                            matches!(n.source, NetSource::UntimedOut { inst, port }
+                                if inst == ui && port == pi)
+                        })
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let inputs: Vec<(String, SigType, Vec<WireId>)> = sys
+            .primary_inputs
+            .iter()
+            .map(|p| (p.name.clone(), p.ty, net_bus[p.net].clone()))
+            .collect();
+        let outputs: Vec<(String, SigType, Vec<WireId>)> = sys
+            .primary_outputs
+            .iter()
+            .map(|p| (p.name.clone(), sys.nets[p.net].ty, net_bus[p.net].clone()))
+            .collect();
+        let constants: Vec<(usize, Value)> = sys
+            .nets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| match &n.source {
+                NetSource::Constant(v) => Some((i, *v)),
+                _ => None,
+            })
+            .collect();
+
+        let mut untimed = Vec::new();
+        for (ui, inst) in sys.untimed.into_iter().enumerate() {
+            let in_tys: Vec<SigType> = inst.inputs.iter().map(|p| p.ty).collect();
+            let out_tys: Vec<SigType> = inst.outputs.iter().map(|p| p.ty).collect();
+            let in_wires: Vec<Vec<WireId>> =
+                in_nets[ui].iter().map(|n| net_bus[*n].clone()).collect();
+            let out_wires: Vec<Vec<WireId>> = out_nets[ui]
+                .iter()
+                .enumerate()
+                .map(|(pi, n)| match n {
+                    Some(n) => net_bus[*n].clone(),
+                    None => flat.wires(out_tys[pi].width() as usize),
+                })
+                .collect();
+            untimed.push(UntimedIo {
+                block: inst.block,
+                in_wires,
+                out_wires,
+                in_tys,
+                out_tys,
+                last_in: None,
+            });
+        }
+
+        let n_outputs = outputs.len();
+        let mut sim = GateSim::new(flat);
+        for (net, v) in constants {
+            let bus = net_bus[net].clone();
+            sim.set_bus(&bus, encode(&v));
+        }
+        sim.settle();
+
+        Ok(GateSystemSim {
+            sim,
+            untimed,
+            inputs,
+            outputs,
+            latched: vec![Value::Bool(false); n_outputs],
+            area,
+            cycle: 0,
+            trace: None,
+        })
+    }
+
+    /// Total synthesized area in gate equivalents.
+    pub fn area(&self) -> f64 {
+        self.area
+    }
+
+    /// Number of gates in the merged netlist.
+    pub fn gate_count(&self) -> usize {
+        self.sim.netlist().gates.len()
+    }
+
+    /// Kernel activity counters.
+    pub fn stats(&self) -> GateSimStats {
+        self.sim.stats()
+    }
+
+    /// Runs untimed blocks until no input pattern changes.
+    fn run_untimed(&mut self) {
+        loop {
+            let mut changed = false;
+            for u in &mut self.untimed {
+                let ins: Vec<Value> = u
+                    .in_wires
+                    .iter()
+                    .zip(&u.in_tys)
+                    .map(|(w, ty)| decode(self.sim.bus(w), *ty))
+                    .collect();
+                if u.last_in.as_ref() == Some(&ins) {
+                    continue;
+                }
+                let mut outs: Vec<Value> = u
+                    .out_wires
+                    .iter()
+                    .zip(&u.out_tys)
+                    .map(|(w, ty)| decode(self.sim.bus(w), *ty))
+                    .collect();
+                if u.block.ready(&ins) {
+                    u.block.fire(&ins, &mut outs);
+                    for (w, v) in u.out_wires.iter().zip(&outs) {
+                        self.sim.set_bus(w, encode(v));
+                    }
+                }
+                u.last_in = Some(ins);
+                changed = true;
+            }
+            self.sim.settle();
+            if !changed {
+                break;
+            }
+        }
+    }
+}
+
+impl Simulator for GateSystemSim {
+    fn set_input(&mut self, name: &str, value: Value) -> Result<(), CoreError> {
+        let (_, ty, wires) = self
+            .inputs
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .ok_or_else(|| CoreError::UnknownName {
+                kind: "primary input",
+                name: name.to_owned(),
+            })?;
+        value.check_type(*ty, &format!("primary input `{name}`"))?;
+        let wires = wires.clone();
+        self.sim.set_bus(&wires, encode(&value));
+        Ok(())
+    }
+
+    fn step(&mut self) -> Result<(), CoreError> {
+        self.sim.settle();
+        self.run_untimed();
+        for (i, (_, ty, wires)) in self.outputs.iter().enumerate() {
+            self.latched[i] = decode(self.sim.bus(wires), *ty);
+        }
+        self.sim.clock();
+        self.cycle += 1;
+        if let Some(trace) = &mut self.trace {
+            let row: Vec<Value> = self
+                .inputs
+                .iter()
+                .map(|(_, ty, w)| decode(self.sim.bus(w), *ty))
+                .chain(self.latched.iter().copied())
+                .collect();
+            trace.record_cycle(&row);
+        }
+        Ok(())
+    }
+
+    fn output(&self, name: &str) -> Result<Value, CoreError> {
+        self.outputs
+            .iter()
+            .position(|(n, _, _)| n == name)
+            .map(|i| self.latched[i])
+            .ok_or_else(|| CoreError::UnknownName {
+                kind: "primary output",
+                name: name.to_owned(),
+            })
+    }
+
+    fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    fn enable_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Trace::new(
+                self.inputs
+                    .iter()
+                    .map(|(n, t, _)| (n.clone(), *t, true))
+                    .chain(self.outputs.iter().map(|(n, t, _)| (n.clone(), *t, false))),
+            ));
+        }
+    }
+
+    fn trace(&self) -> &Trace {
+        static EMPTY: std::sync::OnceLock<Trace> = std::sync::OnceLock::new();
+        self.trace
+            .as_ref()
+            .unwrap_or_else(|| EMPTY.get_or_init(Trace::default))
+    }
+}

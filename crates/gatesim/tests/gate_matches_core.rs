@@ -1,0 +1,309 @@
+//! The acid test of the synthesis flow: gate-level simulation of the
+//! synthesized netlist must match the interpreted cycle simulator
+//! cycle-for-cycle.
+
+use ocapi::{
+    Component, Format, InterpSim, Overflow, Ram, Rounding, SigType, Simulator, System, Value,
+};
+use ocapi_gatesim::GateSystemSim;
+use ocapi_synth::controller::Encoding;
+use ocapi_synth::SynthOptions;
+
+fn accumulator_system() -> System {
+    let c = Component::build("acc");
+    let x = c.input("x", SigType::Bits(8)).unwrap();
+    let stop = c.input("stop", SigType::Bool).unwrap();
+    let sum_out = c.output("sum", SigType::Bits(8)).unwrap();
+    let acc = c.reg("acc", SigType::Bits(8)).unwrap();
+
+    let add = c.sfg("add").unwrap();
+    let q = c.q(acc);
+    let next = &q + &c.read(x);
+    add.drive(sum_out, &next).unwrap();
+    add.next(acc, &next).unwrap();
+
+    let hold = c.sfg("hold").unwrap();
+    hold.drive(sum_out, &c.q(acc)).unwrap();
+
+    let stop_s = c.read(stop);
+    let f = c.fsm().unwrap();
+    let run = f.initial("run").unwrap();
+    let frozen = f.state("frozen").unwrap();
+    f.from(run).when(&stop_s).run(hold.id()).to(frozen).unwrap();
+    f.from(run).always().run(add.id()).to(run).unwrap();
+    f.from(frozen)
+        .when(&stop_s)
+        .run(hold.id())
+        .to(frozen)
+        .unwrap();
+    f.from(frozen).always().run(add.id()).to(run).unwrap();
+    let comp = c.finish().unwrap();
+
+    let mut sb = System::build("acc_sys");
+    let u = sb.add_component("u0", comp).unwrap();
+    sb.input("x", SigType::Bits(8)).unwrap();
+    sb.input("stop", SigType::Bool).unwrap();
+    sb.connect_input("x", u, "x").unwrap();
+    sb.connect_input("stop", u, "stop").unwrap();
+    sb.output("sum", u, "sum").unwrap();
+    sb.finish().unwrap()
+}
+
+fn cross_check(build: impl Fn() -> System, options: &SynthOptions, cycles: usize) {
+    let mut interp = InterpSim::new(build()).unwrap();
+    let mut gates = GateSystemSim::new(build(), options).unwrap();
+    let out_names: Vec<String> = interp
+        .system()
+        .primary_outputs
+        .iter()
+        .map(|p| p.name.clone())
+        .collect();
+    let in_decls: Vec<(String, SigType)> = interp
+        .system()
+        .primary_inputs
+        .iter()
+        .map(|p| (p.name.clone(), p.ty))
+        .collect();
+
+    let mut seed = 0xdeadbeefu64;
+    let mut rnd = || {
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        seed >> 33
+    };
+    for cyc in 0..cycles {
+        for (name, ty) in &in_decls {
+            let v = match ty {
+                SigType::Bool => Value::Bool(rnd() & 1 == 1),
+                SigType::Bits(w) => Value::bits(*w, rnd()),
+                SigType::Fixed(f) => {
+                    let span = (f.max_mantissa() - f.min_mantissa() + 1) as u64;
+                    Value::Fixed(ocapi::Fix::from_raw(
+                        f.min_mantissa() + (rnd() % span) as i64,
+                        *f,
+                    ))
+                }
+                SigType::Float => unreachable!(),
+            };
+            interp.set_input(name, v).unwrap();
+            gates.set_input(name, v).unwrap();
+        }
+        interp.step().unwrap();
+        gates.step().unwrap();
+        for o in &out_names {
+            assert_eq!(
+                interp.output(o).unwrap(),
+                gates.output(o).unwrap(),
+                "output `{o}` diverged at cycle {cyc} with {options:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn accumulator_all_option_combinations() {
+    for share in [false, true] {
+        for minimize in [false, true] {
+            for encoding in [Encoding::Binary, Encoding::OneHot, Encoding::Gray] {
+                for optimize in [false, true] {
+                    let options = SynthOptions {
+                        share_operators: share,
+                        encoding,
+                        minimize_controller: minimize,
+                        minimize_states: minimize,
+                        optimize,
+                        adder_style: ocapi_synth::AdderStyle::Ripple,
+                    };
+                    cross_check(accumulator_system, &options, 24);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fixed_point_mac_matches() {
+    fn build() -> System {
+        let fmt = Format::new(8, 3).unwrap();
+        let acc_fmt = Format::new(12, 6).unwrap();
+        let c = Component::build("mac");
+        let a = c.input("a", SigType::Fixed(fmt)).unwrap();
+        let b = c.input("b", SigType::Fixed(fmt)).unwrap();
+        let o = c.output("o", SigType::Fixed(acc_fmt)).unwrap();
+        let acc = c.reg("acc", SigType::Fixed(acc_fmt)).unwrap();
+        let s = c.sfg("mac").unwrap();
+        let p = c.read(a) * c.read(b);
+        let sum = (c.q(acc) + p).to_fixed(acc_fmt, Rounding::Nearest, Overflow::Saturate);
+        s.drive(o, &sum).unwrap();
+        s.next(acc, &sum).unwrap();
+        let comp = c.finish().unwrap();
+        let mut sb = System::build("mac_sys");
+        let u = sb.add_component("u", comp).unwrap();
+        sb.input("a", SigType::Fixed(fmt)).unwrap();
+        sb.input("b", SigType::Fixed(fmt)).unwrap();
+        sb.connect_input("a", u, "a").unwrap();
+        sb.connect_input("b", u, "b").unwrap();
+        sb.output("o", u, "o").unwrap();
+        sb.finish().unwrap()
+    }
+    cross_check(build, &SynthOptions::default(), 40);
+}
+
+#[test]
+fn rounding_and_overflow_modes_match() {
+    for rnd in [
+        Rounding::Truncate,
+        Rounding::Nearest,
+        Rounding::NearestEven,
+        Rounding::Ceil,
+        Rounding::TowardZero,
+    ] {
+        for ovf in [Overflow::Saturate, Overflow::Wrap] {
+            let build = move || {
+                let src = Format::new(10, 5).unwrap();
+                let dst = Format::new(6, 3).unwrap();
+                let c = Component::build("quant");
+                let a = c.input("a", SigType::Fixed(src)).unwrap();
+                let o = c.output("o", SigType::Fixed(dst)).unwrap();
+                let s = c.sfg("s").unwrap();
+                s.drive(o, &c.read(a).to_fixed(dst, rnd, ovf)).unwrap();
+                let comp = c.finish().unwrap();
+                let mut sb = System::build("quant_sys");
+                let u = sb.add_component("u", comp).unwrap();
+                sb.input("a", SigType::Fixed(src)).unwrap();
+                sb.connect_input("a", u, "a").unwrap();
+                sb.output("o", u, "o").unwrap();
+                sb.finish().unwrap()
+            };
+            cross_check(build, &SynthOptions::default(), 80);
+        }
+    }
+}
+
+#[test]
+fn ram_system_matches_at_gate_level() {
+    fn build() -> System {
+        let c = Component::build("dp");
+        let rdata = c.input("rdata", SigType::Bits(8)).unwrap();
+        let addr = c.output("addr", SigType::Bits(4)).unwrap();
+        let we = c.output("we", SigType::Bool).unwrap();
+        let wdata = c.output("wdata", SigType::Bits(8)).unwrap();
+        let acc_out = c.output("acc", SigType::Bits(8)).unwrap();
+        let ptr = c.reg("ptr", SigType::Bits(4)).unwrap();
+        let acc = c.reg("accr", SigType::Bits(8)).unwrap();
+        let s = c.sfg("scan").unwrap();
+        let q = c.q(ptr);
+        s.drive(addr, &q).unwrap();
+        // Write the accumulator back every 4th address.
+        let wr = q.slice(0, 2).eq(&c.const_bits(2, 3));
+        s.drive(we, &wr).unwrap();
+        s.drive(wdata, &c.q(acc)).unwrap();
+        let newacc = c.q(acc) + c.read(rdata);
+        s.drive(acc_out, &newacc).unwrap();
+        s.next(acc, &newacc).unwrap();
+        s.next(ptr, &(q + c.const_bits(4, 1))).unwrap();
+        let comp = c.finish().unwrap();
+
+        let mut ram = Ram::new("ram", 4, SigType::Bits(8));
+        for i in 0..16 {
+            ram.preload(i, Value::bits(8, (i * 7 + 3) as u64));
+        }
+        let mut sb = System::build("ramsys");
+        let dp = sb.add_component("dp", comp).unwrap();
+        let r = sb.add_block(Box::new(ram)).unwrap();
+        sb.connect(dp, "addr", r, "addr").unwrap();
+        sb.connect(dp, "we", r, "we").unwrap();
+        sb.connect(dp, "wdata", r, "wdata").unwrap();
+        sb.connect(r, "rdata", dp, "rdata").unwrap();
+        sb.output("acc", dp, "acc").unwrap();
+        sb.finish().unwrap()
+    }
+    cross_check(build, &SynthOptions::default(), 40);
+}
+
+#[test]
+fn sharing_reduces_expensive_operator_area() {
+    // Two mutually exclusive SFGs each multiplying: with sharing, one
+    // multiplier; without, two.
+    fn build() -> Component {
+        let c = Component::build("sharer");
+        let x = c.input("x", SigType::Bits(8)).unwrap();
+        let y = c.input("y", SigType::Bits(8)).unwrap();
+        let sel = c.input("sel", SigType::Bool).unwrap();
+        let o = c.output("o", SigType::Bits(8)).unwrap();
+        let s1 = c.sfg("s1").unwrap();
+        s1.drive(o, &(c.read(x) * c.read(y))).unwrap();
+        let s2 = c.sfg("s2").unwrap();
+        let xp = c.read(x) + c.const_bits(8, 1);
+        s2.drive(o, &(xp * c.read(y))).unwrap();
+        let sel_s = c.read(sel);
+        let f = c.fsm().unwrap();
+        let s0 = f.initial("s0").unwrap();
+        f.from(s0).when(&sel_s).run(s1.id()).to(s0).unwrap();
+        f.from(s0).always().run(s2.id()).to(s0).unwrap();
+        c.finish().unwrap()
+    }
+    let shared = ocapi_synth::synthesize(
+        &build(),
+        &SynthOptions {
+            share_operators: true,
+            optimize: true,
+            ..SynthOptions::default()
+        },
+    )
+    .unwrap();
+    let flat = ocapi_synth::synthesize(
+        &build(),
+        &SynthOptions {
+            share_operators: false,
+            optimize: true,
+            ..SynthOptions::default()
+        },
+    )
+    .unwrap();
+    let shared_units: usize = shared
+        .units
+        .iter()
+        .filter(|(sig, _)| sig.starts_with("Mul"))
+        .map(|(_, n)| *n)
+        .sum();
+    assert_eq!(shared_units, 1, "{:?}", shared.units);
+    assert!(
+        shared.area() < flat.area(),
+        "sharing should reduce area: {} vs {}",
+        shared.area(),
+        flat.area()
+    );
+
+    // And the shared netlist still behaves correctly.
+    fn build_sys() -> System {
+        let mut sb = System::build("sys");
+        let u = sb.add_component("u", build()).unwrap();
+        sb.input("x", SigType::Bits(8)).unwrap();
+        sb.input("y", SigType::Bits(8)).unwrap();
+        sb.input("sel", SigType::Bool).unwrap();
+        sb.connect_input("x", u, "x").unwrap();
+        sb.connect_input("y", u, "y").unwrap();
+        sb.connect_input("sel", u, "sel").unwrap();
+        sb.output("o", u, "o").unwrap();
+        sb.finish().unwrap()
+    }
+    cross_check(build_sys, &SynthOptions::default(), 32);
+}
+
+#[test]
+fn area_reporting_is_populated() {
+    let sys = accumulator_system();
+    let gates = GateSystemSim::new(sys, &SynthOptions::default()).unwrap();
+    assert!(gates.area() > 50.0, "area = {}", gates.area());
+    assert!(gates.gate_count() > 50);
+}
+
+#[test]
+fn high_speed_adder_style_matches() {
+    // The CSA multiplier + carry-select adders must stay bit-exact.
+    let options = SynthOptions {
+        adder_style: ocapi_synth::AdderStyle::CarrySelect { block: 4 },
+        ..SynthOptions::default()
+    };
+    cross_check(accumulator_system, &options, 24);
+}

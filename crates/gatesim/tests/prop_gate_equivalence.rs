@@ -1,0 +1,192 @@
+//! Property test: for randomly generated FSMD components, gate-level
+//! simulation of the synthesized netlist is cycle-identical to the
+//! interpreted simulator — across synthesis option combinations.
+
+use ocapi::{CompiledSim, Component, InterpSim, Sig, SigType, Simulator, System, Value};
+use ocapi_gatesim::GateSystemSim;
+use ocapi_synth::controller::Encoding;
+use ocapi_synth::SynthOptions;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Step {
+    Add(u8, u8),
+    Sub(u8, u8),
+    Mul(u8, u8),
+    And(u8, u8),
+    Xor(u8, u8),
+    Not(u8),
+    Shl(u8, u8),
+    Shr(u8, u8),
+    Slice(u8, u8),
+    MuxOnSel(u8, u8),
+    LtMux(u8, u8, u8),
+    Const(u8),
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Step::Add(a, b)),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Step::Sub(a, b)),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Step::Mul(a, b)),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Step::And(a, b)),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Step::Xor(a, b)),
+        any::<u8>().prop_map(Step::Not),
+        (any::<u8>(), 0u8..8).prop_map(|(a, n)| Step::Shl(a, n)),
+        (any::<u8>(), 0u8..8).prop_map(|(a, n)| Step::Shr(a, n)),
+        (any::<u8>(), 0u8..7).prop_map(|(a, lo)| Step::Slice(a, lo)),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Step::MuxOnSel(a, b)),
+        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(a, b, c)| Step::LtMux(a, b, c)),
+        any::<u8>().prop_map(Step::Const),
+    ]
+}
+
+#[derive(Debug, Clone)]
+struct Recipe {
+    steps: Vec<Step>,
+    out_a: u8,
+    out_b: u8,
+    reg_a: u8,
+    reg_b: u8,
+    guard_const: u8,
+    stimuli: Vec<(u8, bool)>,
+}
+
+fn arb_recipe() -> impl Strategy<Value = Recipe> {
+    (
+        prop::collection::vec(arb_step(), 1..14),
+        any::<u8>(),
+        any::<u8>(),
+        any::<u8>(),
+        any::<u8>(),
+        any::<u8>(),
+        prop::collection::vec((any::<u8>(), any::<bool>()), 4..20),
+    )
+        .prop_map(
+            |(steps, out_a, out_b, reg_a, reg_b, guard_const, stimuli)| Recipe {
+                steps,
+                out_a,
+                out_b,
+                reg_a,
+                reg_b,
+                guard_const,
+                stimuli,
+            },
+        )
+}
+
+fn build_component(r: &Recipe) -> Component {
+    let c = Component::build("rand");
+    let x = c.input("x", SigType::Bits(8)).expect("input");
+    let sel = c.input("sel", SigType::Bool).expect("input");
+    let o = c.output("o", SigType::Bits(8)).expect("output");
+    let r0 = c.reg("r0", SigType::Bits(8)).expect("reg");
+    let r1 = c.reg("r1", SigType::Bits(8)).expect("reg");
+
+    let mut pool: Vec<Sig> = vec![c.read(x), c.q(r0), c.q(r1), c.const_bits(8, 0x5a)];
+    let sel_s = c.read(sel);
+    for step in &r.steps {
+        let pick = |i: &u8| pool[*i as usize % pool.len()].clone();
+        let s = match step {
+            Step::Add(a, b) => pick(a) + pick(b),
+            Step::Sub(a, b) => pick(a) - pick(b),
+            Step::Mul(a, b) => pick(a) * pick(b),
+            Step::And(a, b) => pick(a) & pick(b),
+            Step::Xor(a, b) => pick(a) ^ pick(b),
+            Step::Not(a) => !pick(a),
+            Step::Shl(a, n) => pick(a).shl(*n as u32),
+            Step::Shr(a, n) => pick(a).shr(*n as u32),
+            Step::Slice(a, lo) => pick(a).slice(*lo as u32, 8 - *lo as u32).to_bits(8),
+            Step::MuxOnSel(a, b) => sel_s.mux(&pick(a), &pick(b)),
+            Step::LtMux(a, b, cc) => pick(a).lt(&pick(b)).mux(&pick(cc), &pick(a)),
+            Step::Const(v) => c.const_bits(8, *v as u64),
+        };
+        pool.push(s);
+    }
+    let pick = |i: u8| pool[i as usize % pool.len()].clone();
+
+    let sfg_a = c.sfg("a").expect("sfg");
+    sfg_a.drive(o, &pick(r.out_a)).expect("drive");
+    sfg_a.next(r0, &pick(r.reg_a)).expect("next");
+    let sfg_b = c.sfg("b").expect("sfg");
+    sfg_b.drive(o, &pick(r.out_b)).expect("drive");
+    sfg_b.next(r0, &pick(r.reg_b)).expect("next");
+    sfg_b
+        .next(r1, &(pick(r.reg_b) ^ c.const_bits(8, 0x0f)))
+        .expect("next");
+
+    let guard = c.q(r0).lt(&c.const_bits(8, r.guard_const as u64));
+    let f = c.fsm().expect("fsm");
+    let s0 = f.initial("s0").expect("state");
+    let s1 = f.state("s1").expect("state");
+    f.from(s0).when(&guard).run(sfg_a.id()).to(s1).expect("t");
+    f.from(s0).always().run(sfg_b.id()).to(s0).expect("t");
+    f.from(s1).unless(&guard).run(sfg_b.id()).to(s0).expect("t");
+    f.from(s1).always().run(sfg_a.id()).to(s1).expect("t");
+    c.finish().expect("finish")
+}
+
+fn build_system(r: &Recipe) -> System {
+    let mut sb = System::build("prop");
+    let u = sb.add_component("u", build_component(r)).expect("add");
+    sb.input("x", SigType::Bits(8)).expect("pi");
+    sb.input("sel", SigType::Bool).expect("pi");
+    sb.connect_input("x", u, "x").expect("conn");
+    sb.connect_input("sel", u, "sel").expect("conn");
+    sb.output("o", u, "o").expect("po");
+    sb.finish().expect("system")
+}
+
+fn check(recipe: &Recipe, options: &SynthOptions) -> Result<(), TestCaseError> {
+    let mut interp = InterpSim::new(build_system(recipe)).expect("interp");
+    let mut compiled = CompiledSim::new(build_system(recipe)).expect("compiled");
+    let mut gates = GateSystemSim::new(build_system(recipe), options).expect("gates");
+    for (cyc, (x, sel)) in recipe.stimuli.iter().enumerate() {
+        for sim in [
+            &mut interp as &mut dyn Simulator,
+            &mut compiled as &mut dyn Simulator,
+            &mut gates as &mut dyn Simulator,
+        ] {
+            sim.set_input("x", Value::bits(8, *x as u64)).expect("set");
+            sim.set_input("sel", Value::Bool(*sel)).expect("set");
+            sim.step().expect("step");
+        }
+        let a = interp.output("o").expect("out");
+        prop_assert_eq!(
+            a,
+            compiled.output("o").expect("out"),
+            "compiled cycle {}",
+            cyc
+        );
+        prop_assert_eq!(a, gates.output("o").expect("out"), "gates cycle {}", cyc);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn synthesized_netlist_matches_simulators(recipe in arb_recipe()) {
+        check(&recipe, &SynthOptions::default())?;
+    }
+
+    #[test]
+    fn netlist_matches_without_sharing_or_optimisation(recipe in arb_recipe()) {
+        check(&recipe, &SynthOptions {
+            share_operators: false,
+            optimize: false,
+            minimize_controller: false,
+            minimize_states: false,
+            encoding: Encoding::OneHot,
+            adder_style: ocapi_synth::AdderStyle::CarrySelect { block: 3 },
+        })?;
+    }
+
+    #[test]
+    fn netlist_matches_with_state_minimisation(recipe in arb_recipe()) {
+        check(&recipe, &SynthOptions {
+            minimize_states: true,
+            ..SynthOptions::default()
+        })?;
+    }
+}

@@ -1,0 +1,36 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the HDL code generators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodegenError {
+    /// A float-typed signal reached code generation. Floats are for
+    /// high-level modelling; quantise to fixed point first.
+    FloatNotSynthesizable {
+        /// The component containing the float signal.
+        component: String,
+    },
+    /// A testbench was requested from an empty trace.
+    EmptyTrace,
+    /// An I/O failure while writing a generated project to disk.
+    Io {
+        /// The underlying error, rendered.
+        message: String,
+    },
+}
+
+impl fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodegenError::FloatNotSynthesizable { component } => write!(
+                f,
+                "component `{component}` contains float signals; quantise to fixed point before code generation"
+            ),
+            CodegenError::EmptyTrace => write!(f, "cannot generate a testbench from an empty trace"),
+            CodegenError::Io { message } => write!(f, "project write failed: {message}"),
+        }
+    }
+}
+
+impl Error for CodegenError {}

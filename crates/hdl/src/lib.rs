@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! HDL code generation from captured designs.
+//!
+//! The paper's environment avoids hand-written HDL entirely: "the writing
+//! of HDL is avoided through code generation from C++" (§7). The same
+//! in-memory data structure that the simulators execute is processed by a
+//! code generator to yield a synthesizable description (§5, Figure 7), with
+//! separate controller and datapath descriptions per component so that
+//! specialised synthesis tools can be applied to each (§6, Figure 8).
+//!
+//! This crate generates:
+//!
+//! * **VHDL** ([`vhdl`]) — one entity per timed component with a
+//!   controller process (state register + transition selection), dataflow-
+//!   style concurrent assignments for the datapath, and output-hold
+//!   registers matching the simulators' semantics; plus a structural
+//!   top-level entity for the whole system.
+//! * **Verilog** ([`verilog`]) — the same design in Verilog-2001.
+//! * **Testbenches** ([`testbench`]) — generated from a recorded
+//!   simulation [`ocapi::Trace`], applying the stimuli and asserting the
+//!   responses, so "the synthesis result of each component" can be
+//!   verified (§6).
+//! * **Code-size reports** ([`report`]) — the line-count comparison of
+//!   Table 1 (DSL description vs generated HDL).
+//!
+//! Floating-point signals are deliberately rejected: they exist for
+//! high-level modelling only and must be quantised to fixed point before
+//! code generation, exactly as in the original flow.
+
+mod error;
+pub mod project;
+pub mod report;
+pub mod testbench;
+pub mod verilog;
+pub mod vhdl;
+
+pub use error::CodegenError;

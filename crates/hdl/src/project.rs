@@ -1,0 +1,214 @@
+//! Writing a generated HDL project to disk.
+//!
+//! The original environment handed generated VHDL files to the synthesis
+//! tools (Figure 8). [`write_vhdl_project`] produces the same hand-off: a
+//! directory with the support package, one file per component entity, the
+//! structural top level, the self-checking testbench, and a `files.lst`
+//! compilation order.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+use ocapi::{System, Trace};
+
+use crate::{testbench, vhdl, CodegenError};
+
+/// The files a project write produced, in compilation order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProjectManifest {
+    /// File names relative to the project directory.
+    pub files: Vec<String>,
+}
+
+/// Writes the complete VHDL project for `sys` into `dir` (created if
+/// missing). When a recorded `trace` is given, a self-checking testbench
+/// is included.
+///
+/// # Errors
+///
+/// Returns [`CodegenError`] for generation failures; I/O errors are
+/// wrapped in [`CodegenError::Io`].
+pub fn write_vhdl_project(
+    sys: &System,
+    trace: Option<&Trace>,
+    dir: &Path,
+) -> Result<ProjectManifest, CodegenError> {
+    fs::create_dir_all(dir).map_err(io_err)?;
+    let mut files = Vec::new();
+
+    let emit = |name: &str, contents: &str, files: &mut Vec<String>| -> Result<(), CodegenError> {
+        let path = dir.join(name);
+        let mut f = fs::File::create(path).map_err(io_err)?;
+        f.write_all(contents.as_bytes()).map_err(io_err)?;
+        files.push(name.to_owned());
+        Ok(())
+    };
+
+    emit("ocapi_pkg.vhd", &vhdl::package_source(), &mut files)?;
+
+    // One file per distinct component, with held-guard info derived from
+    // the topology (delegate to the system generator for consistency by
+    // slicing its output — entities are self-contained units).
+    let mut seen = std::collections::HashSet::new();
+    for t in &sys.timed {
+        if seen.insert(t.comp.name.clone()) {
+            let held: Vec<usize> = t
+                .comp
+                .inputs
+                .iter()
+                .enumerate()
+                .filter(|(pi, _)| {
+                    let net = sys.timed_input_net(
+                        sys.timed
+                            .iter()
+                            .position(|x| std::ptr::eq(x, t))
+                            .expect("instance present"),
+                        *pi,
+                    );
+                    !matches!(
+                        sys.nets[net].source,
+                        ocapi::NetSource::PrimaryInput(_) | ocapi::NetSource::Constant(_)
+                    )
+                })
+                .map(|(pi, _)| pi)
+                .collect();
+            let src = vhdl::component_source_with_held(&t.comp, &held)?;
+            emit(&format!("{}.vhd", t.comp.name), &src, &mut files)?;
+        }
+    }
+
+    emit(
+        &format!("{}_top.vhd", sys.name),
+        &vhdl::system_source_top_only(sys)?,
+        &mut files,
+    )?;
+
+    if let Some(trace) = trace {
+        emit(
+            &format!("{}_tb.vhd", sys.name),
+            &testbench::vhdl_testbench(&sys.name, trace)?,
+            &mut files,
+        )?;
+    }
+
+    let list = files.join("\n") + "\n";
+    emit("files.lst", &list, &mut files)?;
+    files.pop(); // files.lst does not list itself
+    Ok(ProjectManifest { files })
+}
+
+/// Writes the complete Verilog project for `sys` into `dir` (created if
+/// missing), mirroring [`write_vhdl_project`].
+///
+/// # Errors
+///
+/// Returns [`CodegenError`] for generation failures; I/O errors are
+/// wrapped in [`CodegenError::Io`].
+pub fn write_verilog_project(
+    sys: &System,
+    trace: Option<&Trace>,
+    dir: &Path,
+) -> Result<ProjectManifest, CodegenError> {
+    fs::create_dir_all(dir).map_err(io_err)?;
+    let mut files = Vec::new();
+    let emit = |name: &str, contents: &str, files: &mut Vec<String>| -> Result<(), CodegenError> {
+        let path = dir.join(name);
+        let mut f = fs::File::create(path).map_err(io_err)?;
+        f.write_all(contents.as_bytes()).map_err(io_err)?;
+        files.push(name.to_owned());
+        Ok(())
+    };
+    emit(
+        &format!("{}.v", sys.name),
+        &crate::verilog::system_source(sys)?,
+        &mut files,
+    )?;
+    if let Some(trace) = trace {
+        emit(
+            &format!("{}_tb.v", sys.name),
+            &testbench::verilog_testbench(&sys.name, trace)?,
+            &mut files,
+        )?;
+    }
+    let list = files.join("\n") + "\n";
+    emit("files.lst", &list, &mut files)?;
+    files.pop();
+    Ok(ProjectManifest { files })
+}
+
+fn io_err(e: std::io::Error) -> CodegenError {
+    CodegenError::Io {
+        message: e.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocapi::{Component, InterpSim, SigType, Simulator, System, Value};
+
+    fn demo_system() -> System {
+        let c = Component::build("counter");
+        let out = c.output("count", SigType::Bits(4)).expect("out");
+        let r = c.reg("r", SigType::Bits(4)).expect("reg");
+        let s = c.sfg("tick").expect("sfg");
+        let q = c.q(r);
+        s.drive(out, &q).expect("drive");
+        s.next(r, &(q.clone() + c.const_bits(4, 1))).expect("next");
+        let mut sb = System::build("demo");
+        let u = sb
+            .add_component("u0", c.finish().expect("finish"))
+            .expect("add");
+        sb.output("count", u, "count").expect("po");
+        sb.finish().expect("system")
+    }
+
+    #[test]
+    fn writes_all_project_files() {
+        let dir = std::env::temp_dir().join(format!("ocapi_prj_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+
+        let mut sim = InterpSim::new(demo_system()).expect("sim");
+        sim.enable_trace();
+        sim.run(5).expect("run");
+
+        let manifest = write_vhdl_project(sim.system(), Some(sim.trace()), &dir).expect("write");
+        assert_eq!(
+            manifest.files,
+            vec![
+                "ocapi_pkg.vhd".to_owned(),
+                "counter.vhd".to_owned(),
+                "demo_top.vhd".to_owned(),
+                "demo_tb.vhd".to_owned(),
+            ]
+        );
+        for f in &manifest.files {
+            let contents = fs::read_to_string(dir.join(f)).expect("read back");
+            assert!(!contents.is_empty(), "{f} is empty");
+        }
+        let list = fs::read_to_string(dir.join("files.lst")).expect("list");
+        assert!(list.contains("counter.vhd"));
+        let tb = fs::read_to_string(dir.join("demo_tb.vhd")).expect("tb");
+        assert!(tb.contains("assert count = to_unsigned(4, 4)"));
+        let _ = Value::bits(4, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn writes_verilog_project() {
+        let dir = std::env::temp_dir().join(format!("ocapi_vprj_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let mut sim = InterpSim::new(demo_system()).expect("sim");
+        sim.enable_trace();
+        sim.run(3).expect("run");
+        let manifest = write_verilog_project(sim.system(), Some(sim.trace()), &dir).expect("write");
+        assert_eq!(
+            manifest.files,
+            vec!["demo.v".to_owned(), "demo_tb.v".to_owned()]
+        );
+        let v = fs::read_to_string(dir.join("demo.v")).expect("read");
+        assert!(v.contains("module demo_top ("));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

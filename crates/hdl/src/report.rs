@@ -1,0 +1,84 @@
+//! Code-size accounting for the Table 1 comparison.
+//!
+//! The paper reports "a factor of 5 in code size (for the
+//! interpreted-object approach) over RT-VHDL modeling" (§5). This module
+//! counts effective source lines the same way for both sides: non-empty
+//! lines that are not pure comments.
+
+use std::fmt;
+
+use ocapi::System;
+
+use crate::{verilog, vhdl, CodegenError};
+
+/// Counts effective lines of code: non-blank, not comment-only. The
+/// `comment` prefix is `//` for Rust/Verilog, `--` for VHDL.
+pub fn effective_lines(source: &str, comment: &str) -> usize {
+    source
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with(comment))
+        .count()
+}
+
+/// The code-size comparison for one design.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodeSizeReport {
+    /// Design name.
+    pub design: String,
+    /// Lines of the capture-DSL description (the "C++" column).
+    pub dsl_lines: usize,
+    /// Lines of generated VHDL (the "RT-VHDL" column).
+    pub vhdl_lines: usize,
+    /// Lines of generated Verilog.
+    pub verilog_lines: usize,
+}
+
+impl CodeSizeReport {
+    /// Builds the report for a system. `dsl_source` is the host-language
+    /// source describing the design (e.g. via `include_str!`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates code-generation failures.
+    pub fn for_system(sys: &System, dsl_source: &str) -> Result<CodeSizeReport, CodegenError> {
+        Ok(CodeSizeReport {
+            design: sys.name.clone(),
+            dsl_lines: effective_lines(dsl_source, "//"),
+            vhdl_lines: effective_lines(&vhdl::system_source(sys)?, "--"),
+            verilog_lines: effective_lines(&verilog::system_source(sys)?, "//"),
+        })
+    }
+
+    /// The paper's headline ratio: generated RT-VHDL lines per DSL line.
+    pub fn vhdl_ratio(&self) -> f64 {
+        self.vhdl_lines as f64 / self.dsl_lines.max(1) as f64
+    }
+}
+
+impl fmt::Display for CodeSizeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: DSL {} lines, VHDL {} lines ({:.1}x), Verilog {} lines",
+            self.design,
+            self.dsl_lines,
+            self.vhdl_lines,
+            self.vhdl_ratio(),
+            self.verilog_lines
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_effective_lines() {
+        let src = "\n  -- comment\nentity x is\n\n  port (a : in b);\nend;\n";
+        assert_eq!(effective_lines(src, "--"), 3);
+        let src = "// c\nfn main() {\n}\n";
+        assert_eq!(effective_lines(src, "//"), 2);
+    }
+}

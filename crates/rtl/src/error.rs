@@ -1,0 +1,35 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the event-driven RTL kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RtlError {
+    /// Delta cycles did not converge: a combinational feedback loop (the
+    /// event-driven analogue of the cycle scheduler's deadlock report).
+    DeltaOverflow {
+        /// The configured delta-cycle limit.
+        limit: usize,
+    },
+    /// A name was looked up and not found.
+    UnknownName {
+        /// What kind of thing was looked up.
+        kind: &'static str,
+        /// The failing name.
+        name: String,
+    },
+}
+
+impl fmt::Display for RtlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtlError::DeltaOverflow { limit } => write!(
+                f,
+                "delta cycles did not converge after {limit} iterations (combinational loop)"
+            ),
+            RtlError::UnknownName { kind, name } => write!(f, "unknown {kind} `{name}`"),
+        }
+    }
+}
+
+impl Error for RtlError {}

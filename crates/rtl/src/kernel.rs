@@ -1,0 +1,330 @@
+//! The event-driven simulation kernel: delta cycles, event queues,
+//! sensitivity-driven process execution.
+
+use crate::ir::{Expr, ProcessBody, RtlDesign, SignalId, Stmt, Trigger};
+use crate::RtlError;
+use ocapi::Value;
+
+/// Activity counters, useful for comparing simulation paradigms.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Signal-update events applied.
+    pub events: u64,
+    /// Process executions.
+    pub process_runs: u64,
+    /// Delta cycles executed.
+    pub deltas: u64,
+}
+
+/// An event-driven simulator for an [`RtlDesign`].
+#[derive(Debug)]
+pub struct RtlSim {
+    design: RtlDesign,
+    values: Vec<Value>,
+    /// signal -> processes sensitive to any event on it
+    sens: Vec<Vec<usize>>,
+    /// signal -> processes triggered by its rising edge
+    rising: Vec<Vec<usize>>,
+    /// scheduled assignments for the next delta
+    scheduled: Vec<(SignalId, Value)>,
+    delta_limit: usize,
+    stats: KernelStats,
+}
+
+impl RtlSim {
+    /// Builds the simulator; signals take their declared initial values
+    /// and every process runs once (VHDL elaboration semantics) at the
+    /// first [`RtlSim::settle`].
+    pub fn new(design: RtlDesign) -> RtlSim {
+        let n_sig = design.signals.len();
+        let mut sens = vec![Vec::new(); n_sig];
+        let mut rising = vec![Vec::new(); n_sig];
+        for (pi, p) in design.processes.iter().enumerate() {
+            match &p.trigger {
+                Trigger::Signals(list) => {
+                    for s in list {
+                        if !sens[s.index()].contains(&pi) {
+                            sens[s.index()].push(pi);
+                        }
+                    }
+                }
+                Trigger::Rising(s) => rising[s.index()].push(pi),
+            }
+        }
+        let values = design.signals.iter().map(|s| s.init).collect();
+        RtlSim {
+            design,
+            values,
+            sens,
+            rising,
+            scheduled: Vec::new(),
+            delta_limit: 10_000,
+            stats: KernelStats::default(),
+        }
+    }
+
+    /// The design being simulated.
+    pub fn design(&self) -> &RtlDesign {
+        &self.design
+    }
+
+    /// Activity counters so far.
+    pub fn stats(&self) -> KernelStats {
+        self.stats
+    }
+
+    /// Current value of a signal.
+    pub fn value(&self, s: SignalId) -> Value {
+        self.values[s.index()]
+    }
+
+    /// Schedules `signal <= value` for the next delta (testbench drive).
+    pub fn schedule(&mut self, s: SignalId, v: Value) {
+        self.scheduled.push((s, v));
+    }
+
+    /// Runs every process once (elaboration) and settles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError::DeltaOverflow`] on combinational feedback.
+    pub fn elaborate(&mut self) -> Result<(), RtlError> {
+        let all: Vec<usize> = (0..self.design.processes.len()).collect();
+        self.run_processes(&all);
+        self.settle()
+    }
+
+    /// Applies scheduled updates and runs deltas until no events remain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError::DeltaOverflow`] on combinational feedback.
+    pub fn settle(&mut self) -> Result<(), RtlError> {
+        for delta in 0.. {
+            if self.scheduled.is_empty() {
+                return Ok(());
+            }
+            if delta >= self.delta_limit {
+                return Err(RtlError::DeltaOverflow {
+                    limit: self.delta_limit,
+                });
+            }
+            self.stats.deltas += 1;
+            // Apply updates, collecting changed signals and edges.
+            let mut to_run: Vec<usize> = Vec::new();
+            let updates = std::mem::take(&mut self.scheduled);
+            for (s, v) in updates {
+                let old = self.values[s.index()];
+                if old == v {
+                    continue;
+                }
+                self.stats.events += 1;
+                self.values[s.index()] = v;
+                for p in &self.sens[s.index()] {
+                    if !to_run.contains(p) {
+                        to_run.push(*p);
+                    }
+                }
+                if old == Value::Bool(false) && v == Value::Bool(true) {
+                    for p in &self.rising[s.index()] {
+                        if !to_run.contains(p) {
+                            to_run.push(*p);
+                        }
+                    }
+                }
+            }
+            self.run_processes(&to_run);
+        }
+        unreachable!()
+    }
+
+    fn run_processes(&mut self, procs: &[usize]) {
+        for &pi in procs {
+            self.stats.process_runs += 1;
+            // Split borrows: processes and values are distinct fields, but
+            // Extern bodies need &mut block while reading values; stage the
+            // body execution against a snapshot of current values.
+            let (assigns, extern_io) = {
+                let p = &self.design.processes[pi];
+                match &p.body {
+                    ProcessBody::Stmts(stmts) => {
+                        let mut out = Vec::new();
+                        for s in stmts {
+                            exec_stmt(s, &self.values, &mut out);
+                        }
+                        (out, None)
+                    }
+                    ProcessBody::Extern {
+                        inputs, outputs, ..
+                    } => {
+                        let ins: Vec<Value> =
+                            inputs.iter().map(|s| self.values[s.index()]).collect();
+                        let outs: Vec<SignalId> = outputs.clone();
+                        (Vec::new(), Some((ins, outs)))
+                    }
+                }
+            };
+            self.scheduled.extend(assigns);
+            if let Some((ins, outs)) = extern_io {
+                let mut out_vals: Vec<Value> =
+                    outs.iter().map(|s| self.values[s.index()]).collect();
+                if let ProcessBody::Extern { block, .. } = &mut self.design.processes[pi].body {
+                    if block.ready(&ins) {
+                        block.fire(&ins, &mut out_vals);
+                        for (s, v) in outs.iter().zip(out_vals) {
+                            self.scheduled.push((*s, v));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn exec_stmt(stmt: &Stmt, values: &[Value], out: &mut Vec<(SignalId, Value)>) {
+    match stmt {
+        Stmt::Assign(s, e) => out.push((*s, eval(e, values))),
+        Stmt::If {
+            cond,
+            then,
+            otherwise,
+        } => {
+            let c = eval(cond, values).as_bool().expect("if condition is bool");
+            for s in if c { then } else { otherwise } {
+                exec_stmt(s, values, out);
+            }
+        }
+    }
+}
+
+fn eval(e: &Expr, values: &[Value]) -> Value {
+    match e {
+        Expr::Sig(s) => values[s.index()],
+        Expr::Const(v) => *v,
+        Expr::Un(op, a) => op.apply(eval(a, values)),
+        Expr::Bin(op, a, b) => op.apply(eval(a, values), eval(b, values)),
+        Expr::Select { c, t, e } => {
+            if eval(c, values).as_bool().expect("select condition is bool") {
+                eval(t, values)
+            } else {
+                eval(e, values)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{ProcessBody, RtlDesign, Trigger};
+    use ocapi::SigType;
+
+    fn b8(v: u64) -> Value {
+        Value::bits(8, v)
+    }
+
+    #[test]
+    fn combinational_chain_settles() {
+        // b = a + 1; c = b + 1
+        let mut d = RtlDesign::new("chain");
+        let a = d.signal("a", SigType::Bits(8), b8(0));
+        let b = d.signal("b", SigType::Bits(8), b8(0));
+        let c = d.signal("c", SigType::Bits(8), b8(0));
+        d.process(
+            "pb",
+            Trigger::Signals(vec![a]),
+            ProcessBody::Stmts(vec![Stmt::Assign(
+                b,
+                Expr::Bin(
+                    ocapi::BinOp::Add,
+                    Box::new(Expr::Sig(a)),
+                    Box::new(Expr::Const(b8(1))),
+                ),
+            )]),
+        );
+        d.process(
+            "pc",
+            Trigger::Signals(vec![b]),
+            ProcessBody::Stmts(vec![Stmt::Assign(
+                c,
+                Expr::Bin(
+                    ocapi::BinOp::Add,
+                    Box::new(Expr::Sig(b)),
+                    Box::new(Expr::Const(b8(1))),
+                ),
+            )]),
+        );
+        let mut sim = RtlSim::new(d);
+        sim.elaborate().unwrap();
+        assert_eq!(sim.value(c), b8(2));
+        sim.schedule(a, b8(10));
+        sim.settle().unwrap();
+        assert_eq!(sim.value(b), b8(11));
+        assert_eq!(sim.value(c), b8(12));
+        assert!(sim.stats().events >= 3);
+    }
+
+    #[test]
+    fn rising_edge_only_fires_on_edge() {
+        let mut d = RtlDesign::new("ff");
+        let clk = d.signal("clk", SigType::Bool, Value::Bool(false));
+        let din = d.signal("d", SigType::Bits(8), b8(0));
+        let q = d.signal("q", SigType::Bits(8), b8(0));
+        d.process(
+            "ff",
+            Trigger::Rising(clk),
+            ProcessBody::Stmts(vec![Stmt::Assign(q, Expr::Sig(din))]),
+        );
+        let mut sim = RtlSim::new(d);
+        sim.elaborate().unwrap();
+        sim.schedule(din, b8(42));
+        sim.settle().unwrap();
+        assert_eq!(sim.value(q), b8(0), "no clock edge yet");
+        sim.schedule(clk, Value::Bool(true));
+        sim.settle().unwrap();
+        assert_eq!(sim.value(q), b8(42), "captured on rising edge");
+        sim.schedule(din, b8(7));
+        sim.schedule(clk, Value::Bool(false));
+        sim.settle().unwrap();
+        assert_eq!(sim.value(q), b8(42), "falling edge does nothing");
+    }
+
+    #[test]
+    fn oscillation_detected() {
+        // a = not a: never settles.
+        let mut d = RtlDesign::new("osc");
+        let a = d.signal("a", SigType::Bool, Value::Bool(false));
+        d.process(
+            "inv",
+            Trigger::Signals(vec![a]),
+            ProcessBody::Stmts(vec![Stmt::Assign(
+                a,
+                Expr::Un(ocapi::UnOp::Not, Box::new(Expr::Sig(a))),
+            )]),
+        );
+        let mut sim = RtlSim::new(d);
+        assert!(matches!(
+            sim.elaborate(),
+            Err(RtlError::DeltaOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn no_event_no_work() {
+        let mut d = RtlDesign::new("quiet");
+        let a = d.signal("a", SigType::Bits(8), b8(3));
+        let b = d.signal("b", SigType::Bits(8), b8(0));
+        d.process(
+            "p",
+            Trigger::Signals(vec![a]),
+            ProcessBody::Stmts(vec![Stmt::Assign(b, Expr::Sig(a))]),
+        );
+        let mut sim = RtlSim::new(d);
+        sim.elaborate().unwrap();
+        let runs = sim.stats().process_runs;
+        // Writing the same value creates no event and runs no process.
+        sim.schedule(a, b8(3));
+        sim.settle().unwrap();
+        assert_eq!(sim.stats().process_runs, runs);
+    }
+}

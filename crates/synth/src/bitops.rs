@@ -1,0 +1,551 @@
+//! Bit-level construction helpers shared by datapath and controller
+//! synthesis: gate trees, ripple-carry arithmetic, array multipliers,
+//! comparators and bus utilities.
+
+use crate::gate::{GateKind, Netlist, WireId};
+
+/// Balanced OR tree; empty input gives constant 0.
+pub fn or_tree(net: &mut Netlist, wires: &[WireId]) -> WireId {
+    reduce(net, wires, GateKind::Or2, false)
+}
+
+/// Balanced AND tree; empty input gives constant 1.
+pub fn and_tree(net: &mut Netlist, wires: &[WireId]) -> WireId {
+    reduce(net, wires, GateKind::And2, true)
+}
+
+fn reduce(net: &mut Netlist, wires: &[WireId], kind: GateKind, empty: bool) -> WireId {
+    match wires.len() {
+        0 => net.constant(empty),
+        1 => wires[0],
+        _ => {
+            let mut layer = wires.to_vec();
+            while layer.len() > 1 {
+                let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+                for pair in layer.chunks(2) {
+                    if pair.len() == 2 {
+                        next.push(net.gate(kind, &[pair[0], pair[1]]));
+                    } else {
+                        next.push(pair[0]);
+                    }
+                }
+                layer = next;
+            }
+            layer[0]
+        }
+    }
+}
+
+/// A constant bus (LSB first) encoding the low `width` bits of `value`.
+pub fn const_bus(net: &mut Netlist, value: u64, width: usize) -> Vec<WireId> {
+    (0..width)
+        .map(|i| net.constant((value >> i) & 1 == 1))
+        .collect()
+}
+
+/// Per-bit 2:1 mux: `sel ? a : b`.
+///
+/// # Panics
+///
+/// Panics if the buses differ in width.
+pub fn mux_bus(net: &mut Netlist, sel: WireId, a: &[WireId], b: &[WireId]) -> Vec<WireId> {
+    assert_eq!(a.len(), b.len(), "mux bus width mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| net.gate(GateKind::Mux2, &[sel, *x, *y]))
+        .collect()
+}
+
+/// Sign-extends (or truncates) a two's-complement bus.
+pub fn sign_extend(bus: &[WireId], width: usize) -> Vec<WireId> {
+    let mut out = bus.to_vec();
+    let sign = *bus.last().expect("non-empty bus");
+    out.resize(width, sign);
+    out.truncate(width);
+    out
+}
+
+/// Zero-extends (or truncates) a bus.
+pub fn zero_extend(net: &mut Netlist, bus: &[WireId], width: usize) -> Vec<WireId> {
+    let mut out = bus.to_vec();
+    if out.len() < width {
+        let zero = net.constant(false);
+        out.resize(width, zero);
+    }
+    out.truncate(width);
+    out
+}
+
+/// Logical left shift by a constant, keeping the width (zero fill).
+pub fn shift_left(net: &mut Netlist, bus: &[WireId], n: usize) -> Vec<WireId> {
+    let zero = net.constant(false);
+    let w = bus.len();
+    (0..w)
+        .map(|i| if i < n { zero } else { bus[i - n] })
+        .collect()
+}
+
+/// Logical right shift by a constant, keeping the width (zero fill).
+pub fn shift_right(net: &mut Netlist, bus: &[WireId], n: usize) -> Vec<WireId> {
+    let zero = net.constant(false);
+    let w = bus.len();
+    (0..w)
+        .map(|i| if i + n < w { bus[i + n] } else { zero })
+        .collect()
+}
+
+/// Arithmetic right shift by a constant (sign fill).
+pub fn shift_right_arith(bus: &[WireId], n: usize) -> Vec<WireId> {
+    let w = bus.len();
+    let sign = *bus.last().expect("non-empty bus");
+    (0..w)
+        .map(|i| if i + n < w { bus[i + n] } else { sign })
+        .collect()
+}
+
+/// Carry-select addition: the bus is split into blocks of `block` bits;
+/// each block is computed twice (carry-in 0 and 1) and the real carry
+/// selects the result. Shorter critical path than ripple carry at the
+/// cost of roughly twice the adder area — the classical speed/area
+/// trade-off of high-speed datapaths.
+///
+/// # Panics
+///
+/// Panics if the buses differ in width or `block` is zero.
+pub fn carry_select_add(
+    net: &mut Netlist,
+    a: &[WireId],
+    b: &[WireId],
+    cin: WireId,
+    block: usize,
+) -> (Vec<WireId>, WireId) {
+    assert_eq!(a.len(), b.len(), "adder width mismatch");
+    assert!(block > 0, "block size must be positive");
+    let mut sum = Vec::with_capacity(a.len());
+    let mut carry = cin;
+    let mut lo = 0;
+    while lo < a.len() {
+        let hi = (lo + block).min(a.len());
+        let (ab, bb) = (&a[lo..hi], &b[lo..hi]);
+        if lo == 0 {
+            // First block: the carry-in is known, plain ripple.
+            let (s0, c0) = ripple_add(net, ab, bb, carry);
+            sum.extend(s0);
+            carry = c0;
+        } else {
+            let zero = net.constant(false);
+            let one = net.constant(true);
+            let (s0, c0) = ripple_add(net, ab, bb, zero);
+            let (s1, c1) = ripple_add(net, ab, bb, one);
+            let sel = mux_bus(net, carry, &s1, &s0);
+            sum.extend(sel);
+            carry = net.gate(GateKind::Mux2, &[carry, c1, c0]);
+        }
+        lo = hi;
+    }
+    (sum, carry)
+}
+
+/// Ripple-carry addition with carry-in; returns (sum, carry-out).
+///
+/// # Panics
+///
+/// Panics if the buses differ in width.
+pub fn ripple_add(
+    net: &mut Netlist,
+    a: &[WireId],
+    b: &[WireId],
+    cin: WireId,
+) -> (Vec<WireId>, WireId) {
+    assert_eq!(a.len(), b.len(), "adder width mismatch");
+    let mut carry = cin;
+    let mut sum = Vec::with_capacity(a.len());
+    for (x, y) in a.iter().zip(b) {
+        let axy = net.gate(GateKind::Xor2, &[*x, *y]);
+        sum.push(net.gate(GateKind::Xor2, &[axy, carry]));
+        let t1 = net.gate(GateKind::And2, &[*x, *y]);
+        let t2 = net.gate(GateKind::And2, &[carry, axy]);
+        carry = net.gate(GateKind::Or2, &[t1, t2]);
+    }
+    (sum, carry)
+}
+
+/// Two's-complement subtraction `a - b`; returns (difference, carry-out:
+/// 1 iff no borrow, i.e. `a >= b` unsigned).
+pub fn ripple_sub(net: &mut Netlist, a: &[WireId], b: &[WireId]) -> (Vec<WireId>, WireId) {
+    let nb: Vec<WireId> = b.iter().map(|w| net.gate(GateKind::Inv, &[*w])).collect();
+    let one = net.constant(true);
+    ripple_add(net, a, &nb, one)
+}
+
+/// Two's-complement negation.
+pub fn negate(net: &mut Netlist, a: &[WireId]) -> Vec<WireId> {
+    let zero: Vec<WireId> = (0..a.len()).map(|_| net.constant(false)).collect();
+    ripple_sub(net, &zero, a).0
+}
+
+/// Array multiplier keeping the low `out_w` bits (two's-complement
+/// wrap-correct when the operands are pre-extended to `out_w`).
+pub fn multiply(net: &mut Netlist, a: &[WireId], b: &[WireId], out_w: usize) -> Vec<WireId> {
+    let a = zero_extend(net, a, out_w);
+    let zero = net.constant(false);
+    let mut acc: Vec<WireId> = vec![zero; out_w];
+    for (i, bb) in b.iter().enumerate().take(out_w) {
+        // Partial product: (a << i) & b[i], over out_w bits.
+        let pp: Vec<WireId> = (0..out_w)
+            .map(|k| {
+                if k < i {
+                    zero
+                } else {
+                    net.gate(GateKind::And2, &[a[k - i], *bb])
+                }
+            })
+            .collect();
+        let zero_c = net.constant(false);
+        acc = ripple_add(net, &acc, &pp, zero_c).0;
+    }
+    acc
+}
+
+/// Array multiplier with carry-save accumulation: partial products are
+/// reduced with 3:2 compressors (no carry propagation) and only the final
+/// two addends pass through a real adder — the high-speed multiplier
+/// structure. `final_add` performs that last addition.
+pub fn multiply_csa(
+    net: &mut Netlist,
+    a: &[WireId],
+    b: &[WireId],
+    out_w: usize,
+    final_add: impl Fn(&mut Netlist, &[WireId], &[WireId]) -> Vec<WireId>,
+) -> Vec<WireId> {
+    let a = zero_extend(net, a, out_w);
+    let zero = net.constant(false);
+    // Partial products, pre-shifted to out_w bits.
+    let mut addends: Vec<Vec<WireId>> = Vec::new();
+    for (i, bb) in b.iter().enumerate().take(out_w) {
+        let pp: Vec<WireId> = (0..out_w)
+            .map(|k| {
+                if k < i {
+                    zero
+                } else {
+                    net.gate(GateKind::And2, &[a[k - i], *bb])
+                }
+            })
+            .collect();
+        addends.push(pp);
+    }
+    if addends.is_empty() {
+        return vec![zero; out_w];
+    }
+    // 3:2 reduction until two addends remain.
+    while addends.len() > 2 {
+        let mut next: Vec<Vec<WireId>> = Vec::new();
+        let mut it = addends.into_iter();
+        while let Some(x) = it.next() {
+            match (it.next(), it.next()) {
+                (Some(y), Some(z)) => {
+                    let mut sum = Vec::with_capacity(out_w);
+                    let mut carry = vec![zero; out_w];
+                    for k in 0..out_w {
+                        let axy = net.gate(GateKind::Xor2, &[x[k], y[k]]);
+                        sum.push(net.gate(GateKind::Xor2, &[axy, z[k]]));
+                        if k + 1 < out_w {
+                            let t1 = net.gate(GateKind::And2, &[x[k], y[k]]);
+                            let t2 = net.gate(GateKind::And2, &[z[k], axy]);
+                            carry[k + 1] = net.gate(GateKind::Or2, &[t1, t2]);
+                        }
+                    }
+                    next.push(sum);
+                    next.push(carry);
+                }
+                (Some(y), None) => {
+                    next.push(x);
+                    next.push(y);
+                }
+                _ => next.push(x),
+            }
+        }
+        addends = next;
+    }
+    if addends.len() == 1 {
+        return addends.pop().expect("one addend");
+    }
+    let b2 = addends.pop().expect("two addends");
+    let a2 = addends.pop().expect("two addends");
+    final_add(net, &a2, &b2)
+}
+
+/// Bitwise equality of two equal-width buses.
+pub fn equal(net: &mut Netlist, a: &[WireId], b: &[WireId]) -> WireId {
+    let bits: Vec<WireId> = a
+        .iter()
+        .zip(b)
+        .map(|(x, y)| net.gate(GateKind::Xnor2, &[*x, *y]))
+        .collect();
+    and_tree(net, &bits)
+}
+
+/// Unsigned `a < b`.
+pub fn less_unsigned(net: &mut Netlist, a: &[WireId], b: &[WireId]) -> WireId {
+    let (_, carry) = ripple_sub(net, a, b);
+    net.gate(GateKind::Inv, &[carry]) // borrow ⇔ a < b
+}
+
+/// Signed `a < b` (equal widths; extends internally to avoid overflow).
+pub fn less_signed(net: &mut Netlist, a: &[WireId], b: &[WireId]) -> WireId {
+    let w = a.len() + 1;
+    let ax = sign_extend(a, w);
+    let bx = sign_extend(b, w);
+    let (diff, _) = ripple_sub(net, &ax, &bx);
+    *diff.last().expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Netlist;
+
+    /// Levelized evaluation for these purely combinational helpers: gates
+    /// were appended in dependency order, so one pass suffices.
+    fn eval(net: &Netlist, inputs: &[(WireId, bool)]) -> Vec<bool> {
+        let mut v = vec![false; net.n_wires];
+        for (w, b) in inputs {
+            v[w.index()] = *b;
+        }
+        for g in &net.gates {
+            let ins: Vec<bool> = g.inputs.iter().map(|i| v[i.index()]).collect();
+            v[g.output.index()] = g.kind.eval(&ins);
+        }
+        v
+    }
+
+    fn drive(bus: &[WireId], value: u64) -> Vec<(WireId, bool)> {
+        bus.iter()
+            .enumerate()
+            .map(|(i, w)| (*w, (value >> i) & 1 == 1))
+            .collect()
+    }
+
+    fn read(values: &[bool], bus: &[WireId]) -> u64 {
+        bus.iter()
+            .enumerate()
+            .map(|(i, w)| (values[w.index()] as u64) << i)
+            .sum()
+    }
+
+    #[test]
+    fn csa_multiplier_matches_plain() {
+        let mut net = Netlist::new();
+        let a = net.wires(4);
+        let b = net.wires(4);
+        let p = multiply_csa(&mut net, &a, &b, 8, |n, x, y| {
+            let cin = n.constant(false);
+            carry_select_add(n, x, y, cin, 2).0
+        });
+        for x in 0..16u64 {
+            for y in 0..16u64 {
+                let mut inputs = drive(&a, x);
+                inputs.extend(drive(&b, y));
+                let v = eval(&net, &inputs);
+                assert_eq!(read(&v, &p), x * y, "{x}*{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn csa_multiplier_is_faster() {
+        fn build(csa: bool) -> Netlist {
+            let mut net = Netlist::new();
+            let a = net.input_bus("a", 16);
+            let b = net.input_bus("b", 16);
+            let p = if csa {
+                multiply_csa(&mut net, &a, &b, 16, |n, x, y| {
+                    let cin = n.constant(false);
+                    carry_select_add(n, x, y, cin, 4).0
+                })
+            } else {
+                multiply(&mut net, &a, &b, 16)
+            };
+            net.output_bus("p", p);
+            net
+        }
+        let plain = crate::timing::analyze(&build(false));
+        let fast = crate::timing::analyze(&build(true));
+        assert!(
+            fast.critical_path < plain.critical_path / 2.0,
+            "csa {} vs array {}",
+            fast.critical_path,
+            plain.critical_path
+        );
+    }
+
+    #[test]
+    fn carry_select_matches_ripple() {
+        for block in [1usize, 2, 3, 4] {
+            let mut net = Netlist::new();
+            let a = net.wires(8);
+            let b = net.wires(8);
+            let cin = net.constant(false);
+            let (sum, cout) = carry_select_add(&mut net, &a, &b, cin, block);
+            for (x, y) in [(0u64, 0u64), (255, 255), (137, 201), (1, 254), (85, 170)] {
+                let mut inputs = drive(&a, x);
+                inputs.extend(drive(&b, y));
+                let v = eval(&net, &inputs);
+                assert_eq!(read(&v, &sum), (x + y) & 0xff, "{x}+{y} block {block}");
+                assert_eq!(v[cout.index()], x + y > 255, "cout {x}+{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn carry_select_is_faster_but_larger() {
+        fn build(select: bool) -> Netlist {
+            let mut net = Netlist::new();
+            let a = net.input_bus("a", 32);
+            let b = net.input_bus("b", 32);
+            let cin = net.constant(false);
+            let (sum, _) = if select {
+                carry_select_add(&mut net, &a, &b, cin, 4)
+            } else {
+                ripple_add(&mut net, &a, &b, cin)
+            };
+            net.output_bus("s", sum);
+            net
+        }
+        let ripple = build(false);
+        let select = build(true);
+        let tr = crate::timing::analyze(&ripple);
+        let ts = crate::timing::analyze(&select);
+        assert!(
+            ts.critical_path < tr.critical_path / 2.0,
+            "select {} vs ripple {}",
+            ts.critical_path,
+            tr.critical_path
+        );
+        assert!(select.area() > ripple.area());
+    }
+
+    #[test]
+    fn adder_exhaustive_4bit() {
+        let mut net = Netlist::new();
+        let a = net.wires(4);
+        let b = net.wires(4);
+        let cin = net.constant(false);
+        let (sum, _) = ripple_add(&mut net, &a, &b, cin);
+        for x in 0..16u64 {
+            for y in 0..16u64 {
+                let mut inputs = drive(&a, x);
+                inputs.extend(drive(&b, y));
+                let v = eval(&net, &inputs);
+                assert_eq!(read(&v, &sum), (x + y) & 0xf, "{x}+{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn subtract_and_compares() {
+        let mut net = Netlist::new();
+        let a = net.wires(4);
+        let b = net.wires(4);
+        let (diff, _) = ripple_sub(&mut net, &a, &b);
+        let ltu = less_unsigned(&mut net, &a, &b);
+        let lts = less_signed(&mut net, &a, &b);
+        let eq = equal(&mut net, &a, &b);
+        for x in 0..16u64 {
+            for y in 0..16u64 {
+                let mut inputs = drive(&a, x);
+                inputs.extend(drive(&b, y));
+                let v = eval(&net, &inputs);
+                assert_eq!(read(&v, &diff), x.wrapping_sub(y) & 0xf, "{x}-{y}");
+                assert_eq!(v[ltu.index()], x < y, "ltu {x} {y}");
+                let sx = if x >= 8 { x as i64 - 16 } else { x as i64 };
+                let sy = if y >= 8 { y as i64 - 16 } else { y as i64 };
+                assert_eq!(v[lts.index()], sx < sy, "lts {sx} {sy}");
+                assert_eq!(v[eq.index()], x == y, "eq {x} {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn multiplier_exhaustive_4bit() {
+        let mut net = Netlist::new();
+        let a = net.wires(4);
+        let b = net.wires(4);
+        let p = multiply(&mut net, &a, &b, 4);
+        for x in 0..16u64 {
+            for y in 0..16u64 {
+                let mut inputs = drive(&a, x);
+                inputs.extend(drive(&b, y));
+                let v = eval(&net, &inputs);
+                assert_eq!(read(&v, &p), (x * y) & 0xf, "{x}*{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn signed_full_multiply_via_extension() {
+        let mut net = Netlist::new();
+        let a = net.wires(4);
+        let b = net.wires(4);
+        let ax = sign_extend(&a, 8);
+        let bx = sign_extend(&b, 8);
+        let p = multiply(&mut net, &ax, &bx, 8);
+        for x in 0..16u64 {
+            for y in 0..16u64 {
+                let sx = if x >= 8 { x as i64 - 16 } else { x as i64 };
+                let sy = if y >= 8 { y as i64 - 16 } else { y as i64 };
+                let mut inputs = drive(&a, x);
+                inputs.extend(drive(&b, y));
+                let v = eval(&net, &inputs);
+                assert_eq!(read(&v, &p) as i64, (sx * sy) & 0xff, "{sx}*{sy}");
+            }
+        }
+    }
+
+    #[test]
+    fn negate_matches() {
+        let mut net = Netlist::new();
+        let a = net.wires(4);
+        let n = negate(&mut net, &a);
+        for x in 0..16u64 {
+            let v = eval(&net, &drive(&a, x));
+            assert_eq!(read(&v, &n), x.wrapping_neg() & 0xf, "-{x}");
+        }
+    }
+
+    #[test]
+    fn shifts_and_extends() {
+        let mut net = Netlist::new();
+        let a = net.wires(4);
+        let sl = shift_left(&mut net, &a, 2);
+        let sr = shift_right(&mut net, &a, 1);
+        let sra = shift_right_arith(&a, 1);
+        for x in 0..16u64 {
+            let v = eval(&net, &drive(&a, x));
+            assert_eq!(read(&v, &sl), (x << 2) & 0xf);
+            assert_eq!(read(&v, &sr), x >> 1);
+            let sx = if x >= 8 { x | 0x10 } else { x };
+            assert_eq!(read(&v, &sra), (sx >> 1) & 0xf);
+        }
+    }
+
+    #[test]
+    fn trees() {
+        let mut net = Netlist::new();
+        let ws = net.wires(5);
+        let o = or_tree(&mut net, &ws);
+        let a = and_tree(&mut net, &ws);
+        for x in 0..32u64 {
+            let v = eval(&net, &drive(&ws, x));
+            assert_eq!(v[o.index()], x != 0);
+            assert_eq!(v[a.index()], x == 31);
+        }
+        // Empty trees are constants.
+        let mut net = Netlist::new();
+        let o = or_tree(&mut net, &[]);
+        let a = and_tree(&mut net, &[]);
+        let v = eval(&net, &[]);
+        assert!(!v[o.index()]);
+        assert!(v[a.index()]);
+    }
+}

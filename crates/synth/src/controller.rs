@@ -1,0 +1,326 @@
+//! Controller synthesis: FSM state encoding and transition logic.
+//!
+//! The paper uses dedicated logic synthesis for the controller half of
+//! each component (§6). Here the Mealy FSM becomes a bank of state
+//! flip-flops plus either minimised two-level logic (Quine–McCluskey over
+//! the state and condition bits) or a structural priority chain, under a
+//! choice of state encodings — the `encoding_ablation` benchmark compares
+//! their gate counts.
+
+use ocapi::Fsm;
+
+use crate::bitops::{and_tree, or_tree};
+use crate::gate::{GateKind, Netlist, WireId};
+use crate::logic;
+
+/// FSM state encoding styles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Encoding {
+    /// Dense binary: `ceil(log2(n))` flip-flops.
+    #[default]
+    Binary,
+    /// One flip-flop per state.
+    OneHot,
+    /// Gray code: binary width, adjacent codes differ in one bit.
+    Gray,
+}
+
+impl Encoding {
+    /// Number of state flip-flops for `n_states`.
+    pub fn bits(self, n_states: usize) -> usize {
+        match self {
+            Encoding::Binary | Encoding::Gray => {
+                (n_states.next_power_of_two().trailing_zeros() as usize).max(1)
+            }
+            Encoding::OneHot => n_states,
+        }
+    }
+
+    /// The code of state `idx`.
+    pub fn code(self, idx: usize, n_states: usize) -> u64 {
+        let _ = n_states;
+        match self {
+            Encoding::Binary => idx as u64,
+            Encoding::Gray => (idx ^ (idx >> 1)) as u64,
+            Encoding::OneHot => 1u64 << idx,
+        }
+    }
+
+    /// Decodes a code back to a state index, if valid.
+    pub fn decode(self, code: u64, n_states: usize) -> Option<usize> {
+        (0..n_states).find(|s| self.code(*s, n_states) == code)
+    }
+}
+
+/// The controller's interface to the datapath.
+#[derive(Debug, Clone)]
+pub struct Controller {
+    /// One select wire per SFG: high in cycles where that SFG executes.
+    pub sel: Vec<WireId>,
+    /// The state flip-flop outputs (for reports/debug).
+    pub state: Vec<WireId>,
+}
+
+/// Builds the controller into `net`.
+///
+/// `guards[t]` is the (already synthesized) condition wire of transition
+/// `t`, or `None` for unconditional transitions. `minimize` selects
+/// two-level minimisation where feasible (binary/Gray encodings with at
+/// most 14 state+condition bits); otherwise a structural priority chain
+/// is emitted.
+pub fn build(
+    net: &mut Netlist,
+    fsm: &Fsm,
+    n_sfgs: usize,
+    guards: &[Option<WireId>],
+    encoding: Encoding,
+    minimize: bool,
+) -> Controller {
+    let n_states = fsm.states.len();
+    let sb = encoding.bits(n_states);
+    let init_code = encoding.code(fsm.initial.index(), n_states);
+
+    // State flip-flops (inputs connected at the end).
+    let mut q = Vec::with_capacity(sb);
+    let mut handles = Vec::with_capacity(sb);
+    for b in 0..sb {
+        let (qw, h) = net.dff_deferred((init_code >> b) & 1 == 1);
+        q.push(qw);
+        handles.push(h);
+    }
+
+    // Distinct guard wires, in first-use order.
+    let mut guard_wires: Vec<WireId> = Vec::new();
+    let guard_idx: Vec<Option<usize>> = guards
+        .iter()
+        .map(|g| {
+            g.map(|w| {
+                if let Some(i) = guard_wires.iter().position(|x| *x == w) {
+                    i
+                } else {
+                    guard_wires.push(w);
+                    guard_wires.len() - 1
+                }
+            })
+        })
+        .collect();
+
+    let n_inputs = sb + guard_wires.len();
+    let use_qm = minimize && encoding != Encoding::OneHot && n_inputs <= 14;
+
+    let (sel, next) = if use_qm {
+        build_minimized(net, fsm, n_sfgs, &q, &guard_wires, &guard_idx, encoding, sb)
+    } else {
+        build_structural(net, fsm, n_sfgs, &q, guards, encoding, sb)
+    };
+
+    for (b, h) in handles.iter().enumerate() {
+        net.connect_dff(*h, next[b]);
+    }
+    Controller { sel, state: q }
+}
+
+/// Simulates the transition chain for one input assignment, returning
+/// (sel bitmask, next code) or `None` for invalid state codes.
+fn table_row(
+    fsm: &Fsm,
+    encoding: Encoding,
+    sb: usize,
+    guard_idx: &[Option<usize>],
+    m: u32,
+) -> Option<(u64, u64)> {
+    let n_states = fsm.states.len();
+    let state_code = (m as u64) & ((1u64 << sb) - 1);
+    let s = encoding.decode(state_code, n_states)?;
+    let mut sel = 0u64;
+    let mut next = state_code;
+    for (t, tr) in fsm.transitions.iter().enumerate() {
+        if tr.from.index() != s {
+            continue;
+        }
+        let taken = match guard_idx[t] {
+            None => true,
+            Some(g) => (m >> (sb + g)) & 1 == 1,
+        };
+        if taken {
+            for a in &tr.actions {
+                sel |= 1 << a.index();
+            }
+            next = encoding.code(tr.to.index(), n_states);
+            break;
+        }
+    }
+    Some((sel, next))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_minimized(
+    net: &mut Netlist,
+    fsm: &Fsm,
+    n_sfgs: usize,
+    q: &[WireId],
+    guard_wires: &[WireId],
+    guard_idx: &[Option<usize>],
+    encoding: Encoding,
+    sb: usize,
+) -> (Vec<WireId>, Vec<WireId>) {
+    let n_inputs = (sb + guard_wires.len()) as u32;
+    let inputs: Vec<WireId> = q.iter().chain(guard_wires).copied().collect();
+    let inv: Vec<WireId> = inputs
+        .iter()
+        .map(|w| net.gate(GateKind::Inv, &[*w]))
+        .collect();
+
+    let n_outputs = n_sfgs + sb;
+    let mut on: Vec<Vec<u32>> = vec![Vec::new(); n_outputs];
+    let mut dc: Vec<u32> = Vec::new();
+    for m in 0..(1u32 << n_inputs) {
+        match table_row(fsm, encoding, sb, guard_idx, m) {
+            None => dc.push(m),
+            Some((sel, next)) => {
+                for (k, set) in on.iter_mut().take(n_sfgs).enumerate() {
+                    if (sel >> k) & 1 == 1 {
+                        set.push(m);
+                    }
+                }
+                for (b, set) in on.iter_mut().skip(n_sfgs).enumerate() {
+                    if (next >> b) & 1 == 1 {
+                        set.push(m);
+                    }
+                }
+            }
+        }
+    }
+
+    let mut outputs = Vec::with_capacity(n_outputs);
+    for on_set in &on {
+        let sop = logic::minimize(n_inputs, on_set, &dc);
+        let products: Vec<WireId> = sop
+            .iter()
+            .map(|cube| {
+                let lits: Vec<WireId> = (0..n_inputs)
+                    .filter(|i| (cube.mask >> i) & 1 == 1)
+                    .map(|i| {
+                        if (cube.value >> i) & 1 == 1 {
+                            inputs[i as usize]
+                        } else {
+                            inv[i as usize]
+                        }
+                    })
+                    .collect();
+                and_tree(net, &lits)
+            })
+            .collect();
+        outputs.push(or_tree(net, &products));
+    }
+    let sel = outputs[..n_sfgs].to_vec();
+    let next = outputs[n_sfgs..].to_vec();
+    (sel, next)
+}
+
+fn build_structural(
+    net: &mut Netlist,
+    fsm: &Fsm,
+    n_sfgs: usize,
+    q: &[WireId],
+    guards: &[Option<WireId>],
+    encoding: Encoding,
+    sb: usize,
+) -> (Vec<WireId>, Vec<WireId>) {
+    let n_states = fsm.states.len();
+    // state_is[s] = AND over bits of XNOR(q[b], code bit).
+    let state_is: Vec<WireId> = (0..n_states)
+        .map(|s| {
+            let code = encoding.code(s, n_states);
+            let bits: Vec<WireId> = (0..sb)
+                .map(|b| {
+                    if (code >> b) & 1 == 1 {
+                        q[b]
+                    } else {
+                        net.gate(GateKind::Inv, &[q[b]])
+                    }
+                })
+                .collect();
+            and_tree(net, &bits)
+        })
+        .collect();
+
+    // take[t] for every transition, respecting priority within a state.
+    let mut take: Vec<WireId> = Vec::with_capacity(fsm.transitions.len());
+    let mut avail: Vec<WireId> = state_is.clone();
+    for (t, tr) in fsm.transitions.iter().enumerate() {
+        let s = tr.from.index();
+        let tk = match guards[t] {
+            None => avail[s],
+            Some(g) => net.gate(GateKind::And2, &[avail[s], g]),
+        };
+        take.push(tk);
+        avail[s] = match guards[t] {
+            None => net.constant(false),
+            Some(g) => {
+                let ng = net.gate(GateKind::Inv, &[g]);
+                net.gate(GateKind::And2, &[avail[s], ng])
+            }
+        };
+    }
+
+    // sel[k] = OR of take[t] where t runs sfg k.
+    let sel: Vec<WireId> = (0..n_sfgs)
+        .map(|k| {
+            let terms: Vec<WireId> = fsm
+                .transitions
+                .iter()
+                .enumerate()
+                .filter(|(_, tr)| tr.actions.iter().any(|a| a.index() == k))
+                .map(|(t, _)| take[t])
+                .collect();
+            or_tree(net, &terms)
+        })
+        .collect();
+
+    // next[b] = OR of take[t]&code_b(to) plus hold when nothing taken.
+    let any_taken = or_tree(net, &take);
+    let none_taken = net.gate(GateKind::Inv, &[any_taken]);
+    let next: Vec<WireId> = (0..sb)
+        .map(|b| {
+            let mut terms: Vec<WireId> = fsm
+                .transitions
+                .iter()
+                .enumerate()
+                .filter(|(_, tr)| (encoding.code(tr.to.index(), n_states) >> b) & 1 == 1)
+                .map(|(t, _)| take[t])
+                .collect();
+            terms.push(net.gate(GateKind::And2, &[none_taken, q[b]]));
+            or_tree(net, &terms)
+        })
+        .collect();
+    (sel, next)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoding_codes() {
+        assert_eq!(Encoding::Binary.bits(5), 3);
+        assert_eq!(Encoding::OneHot.bits(5), 5);
+        assert_eq!(Encoding::Gray.bits(4), 2);
+        assert_eq!(Encoding::Binary.code(3, 5), 3);
+        assert_eq!(Encoding::Gray.code(3, 5), 2);
+        assert_eq!(Encoding::OneHot.code(3, 5), 8);
+        assert_eq!(Encoding::Gray.decode(2, 5), Some(3));
+        assert_eq!(Encoding::Binary.decode(7, 5), None);
+    }
+
+    #[test]
+    fn gray_adjacent_codes_differ_in_one_bit() {
+        for n in 2..16usize {
+            for i in 0..n - 1 {
+                let a = Encoding::Gray.code(i, n);
+                let b = Encoding::Gray.code(i + 1, n);
+                assert_eq!((a ^ b).count_ones(), 1, "{i}");
+            }
+        }
+    }
+}

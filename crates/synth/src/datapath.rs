@@ -1,0 +1,801 @@
+//! Datapath synthesis: word-level operator sharing and expansion to gates.
+//!
+//! This is the Cathedral-3 stand-in of the flow (§6): the signal flow
+//! graphs of a component are mapped onto hardware operator *units*.
+//! Expensive operators (add/sub/mul) belonging to mutually exclusive SFGs
+//! — instructions that can never execute in the same cycle — share one
+//! unit, with input multiplexers steered by the controller's SFG-select
+//! signals. Cheap bit-level operators are duplicated, as word-level
+//! sharing would cost more in muxes than it saves.
+//!
+//! Every word operator is then expanded into the generic gate library:
+//! ripple-carry adders, two's-complement array multipliers, borrow
+//! comparators, saturating/rounding quantisers for the fixed-point casts.
+
+use std::collections::HashMap;
+
+use ocapi::{BinOp, Component, NodeKind, SigType, UnOp, Value};
+use ocapi_fixp::{Overflow, Rounding};
+
+use crate::bitops::{
+    and_tree, carry_select_add, const_bus, equal, less_signed, less_unsigned, multiply,
+    multiply_csa, mux_bus, negate, or_tree, ripple_add, ripple_sub, shift_left, shift_right,
+    shift_right_arith, sign_extend, zero_extend,
+};
+use crate::controller;
+use crate::gate::{ComponentNetlist, GateKind, Netlist, WireId};
+use crate::{AdderStyle, SynthError, SynthOptions};
+
+/// Adds two equal-width buses with the configured adder architecture.
+fn styled_add(
+    net: &mut Netlist,
+    a: &[WireId],
+    b: &[WireId],
+    cin: WireId,
+    style: AdderStyle,
+) -> Vec<WireId> {
+    match style {
+        AdderStyle::Ripple => ripple_add(net, a, b, cin).0,
+        AdderStyle::CarrySelect { block } => carry_select_add(net, a, b, cin, block).0,
+    }
+}
+
+/// Subtracts with the configured adder architecture (invert + carry-in).
+fn styled_sub(net: &mut Netlist, a: &[WireId], b: &[WireId], style: AdderStyle) -> Vec<WireId> {
+    let nb: Vec<WireId> = b.iter().map(|w| net.gate(GateKind::Inv, &[*w])).collect();
+    let one = net.constant(true);
+    styled_add(net, a, &nb, one, style)
+}
+
+/// Multiplies with the configured architecture: sequential array for
+/// ripple, carry-save reduction with a carry-select final adder for the
+/// high-speed style.
+fn styled_mul(
+    net: &mut Netlist,
+    a: &[WireId],
+    b: &[WireId],
+    out_w: usize,
+    style: AdderStyle,
+) -> Vec<WireId> {
+    match style {
+        AdderStyle::Ripple => multiply(net, a, b, out_w),
+        AdderStyle::CarrySelect { block } => multiply_csa(net, a, b, out_w, |n, x, y| {
+            let cin = n.constant(false);
+            carry_select_add(n, x, y, cin, block).0
+        }),
+    }
+}
+
+fn width(ty: SigType) -> usize {
+    ty.width() as usize
+}
+
+fn encode(v: &Value) -> (u64, usize) {
+    match v {
+        Value::Bool(b) => (*b as u64, 1),
+        Value::Bits { width, bits } => (*bits, *width as usize),
+        Value::Fixed(f) => {
+            let wl = f.format().wl() as usize;
+            let mask = if wl >= 64 { u64::MAX } else { (1u64 << wl) - 1 };
+            ((f.mantissa() as u64) & mask, wl)
+        }
+        Value::Float(_) => unreachable!("floats rejected before synthesis"),
+    }
+}
+
+/// A shared hardware operator.
+struct Unit {
+    signature: String,
+    /// Pre-allocated input pin buses (drivers connected at the end).
+    pins: Vec<Vec<WireId>>,
+    /// The unit's output bus.
+    out: Vec<WireId>,
+    /// Member nodes: (activity bitset, operand buses).
+    members: Vec<(Vec<u64>, Vec<Vec<WireId>>)>,
+}
+
+fn bitset_and_any(a: &[u64], b: &[u64]) -> bool {
+    a.iter().zip(b).any(|(x, y)| x & y != 0)
+}
+
+struct Synth<'a> {
+    comp: &'a Component,
+    net: Netlist,
+    adder_style: AdderStyle,
+    input_wires: Vec<Vec<WireId>>,
+    guard_input_wires: Vec<Vec<WireId>>,
+    reg_q: Vec<Vec<WireId>>,
+    memo: Vec<Option<Vec<WireId>>>,
+    guard_memo: Vec<Option<Vec<WireId>>>,
+    activity: Vec<Vec<u64>>,
+    node_unit: Vec<Option<usize>>,
+    units: Vec<Unit>,
+    sel: Vec<WireId>,
+}
+
+impl<'a> Synth<'a> {
+    /// OR of the select wires in an activity set.
+    fn sel_of(&mut self, activity: &[u64]) -> WireId {
+        let wires: Vec<WireId> = (0..self.sel.len())
+            .filter(|k| (activity[k / 64] >> (k % 64)) & 1 == 1)
+            .map(|k| self.sel[k])
+            .collect();
+        or_tree(&mut self.net, &wires)
+    }
+
+    /// Expands node `i` in the datapath namespace (memoized), honouring
+    /// unit bindings.
+    fn dp_wires(&mut self, i: usize) -> Vec<WireId> {
+        if let Some(w) = &self.memo[i] {
+            return w.clone();
+        }
+        let operands = self.operand_buses(i, false);
+        let out = match self.node_unit[i] {
+            Some(u) => {
+                if self.units[u].out.is_empty() {
+                    // First member: allocate pins and build the body once.
+                    let pins: Vec<Vec<WireId>> =
+                        operands.iter().map(|b| self.net.wires(b.len())).collect();
+                    let body = expand_node(&mut self.net, self.comp, i, &pins, self.adder_style);
+                    self.units[u].pins = pins;
+                    self.units[u].out = body;
+                }
+                let act = self.activity[i].clone();
+                self.units[u].members.push((act, operands));
+                self.units[u].out.clone()
+            }
+            None => expand_node(&mut self.net, self.comp, i, &operands, self.adder_style),
+        };
+        self.memo[i] = Some(out.clone());
+        out
+    }
+
+    /// Expands node `i` in the guard namespace (held inputs, no sharing).
+    fn guard_wires(&mut self, i: usize) -> Vec<WireId> {
+        if let Some(w) = &self.guard_memo[i] {
+            return w.clone();
+        }
+        let operands = self.operand_buses(i, true);
+        let out = expand_node(&mut self.net, self.comp, i, &operands, self.adder_style);
+        self.guard_memo[i] = Some(out.clone());
+        out
+    }
+
+    fn operand_buses(&mut self, i: usize, guard: bool) -> Vec<Vec<WireId>> {
+        let kind = self.comp.nodes[i].kind.clone();
+        let mut get = |n: ocapi::NodeId| -> Vec<WireId> {
+            if guard {
+                self.guard_wires(n.index())
+            } else {
+                self.dp_wires(n.index())
+            }
+        };
+        match kind {
+            NodeKind::Const(_) => Vec::new(),
+            NodeKind::Input(p) => {
+                let w = if guard {
+                    self.guard_input_wires[p.index()].clone()
+                } else {
+                    self.input_wires[p.index()].clone()
+                };
+                vec![w]
+            }
+            NodeKind::RegRead(r) => vec![self.reg_q[r.index()].clone()],
+            NodeKind::Un(_, a) => vec![get(a)],
+            NodeKind::Bin(_, a, b) => vec![get(a), get(b)],
+            NodeKind::Select {
+                cond,
+                then,
+                otherwise,
+            } => vec![get(cond), get(then), get(otherwise)],
+        }
+    }
+
+    /// Connects each unit's pin buses through priority multiplexers over
+    /// its members' operands.
+    fn connect_unit_pins(&mut self) {
+        for u in 0..self.units.len() {
+            let members = std::mem::take(&mut self.units[u].members);
+            let pins = self.units[u].pins.clone();
+            if members.is_empty() {
+                continue;
+            }
+            for (pin_idx, pin) in pins.iter().enumerate() {
+                // Default: the last member's operand; earlier members take
+                // priority via their activity select.
+                let mut cur: Vec<WireId> = members.last().expect("non-empty").1[pin_idx].clone();
+                for (act, ops) in members[..members.len() - 1].iter().rev() {
+                    let s = self.sel_of(act);
+                    cur = mux_bus(&mut self.net, s, &ops[pin_idx], &cur);
+                }
+                for (bit, w) in pin.iter().enumerate() {
+                    self.net.gate_into(GateKind::Buf, &[cur[bit]], *w);
+                }
+            }
+            self.units[u].members = members;
+        }
+    }
+}
+
+/// Is this node an expensive word operator worth sharing?
+fn shareable(comp: &Component, i: usize) -> Option<String> {
+    if let NodeKind::Bin(op, a, b) = &comp.nodes[i].kind {
+        if matches!(op, BinOp::Add | BinOp::Sub | BinOp::Mul) {
+            let (ta, tb) = (comp.nodes[a.index()].ty, comp.nodes[b.index()].ty);
+            if !matches!(ta, SigType::Bool) {
+                return Some(format!("{op:?}:{ta}x{tb}"));
+            }
+        }
+    }
+    None
+}
+
+/// Synthesizes a full component: controller + datapath + registers +
+/// output-hold logic, as one flat netlist with the component's port names
+/// on its input/output buses.
+pub(crate) fn synthesize_component(
+    comp: &Component,
+    options: &SynthOptions,
+    held_ports: &[usize],
+) -> Result<ComponentNetlist, SynthError> {
+    if comp.nodes.iter().any(|n| n.ty == SigType::Float)
+        || comp.inputs.iter().any(|p| p.ty == SigType::Float)
+        || comp.outputs.iter().any(|p| p.ty == SigType::Float)
+    {
+        return Err(SynthError::FloatNotSynthesizable {
+            component: comp.name.clone(),
+        });
+    }
+
+    let mut net = Netlist::new();
+
+    // Primary input buses.
+    let input_wires: Vec<Vec<WireId>> = comp
+        .inputs
+        .iter()
+        .map(|p| net.input_bus(&p.name, width(p.ty)))
+        .collect();
+
+    // Registers.
+    let mut reg_q: Vec<Vec<WireId>> = Vec::with_capacity(comp.regs.len());
+    let mut reg_handles: Vec<Vec<usize>> = Vec::with_capacity(comp.regs.len());
+    for r in &comp.regs {
+        let (bits, w) = encode(&r.init);
+        let mut q = Vec::with_capacity(w);
+        let mut hs = Vec::with_capacity(w);
+        for b in 0..w {
+            let (qw, h) = net.dff_deferred((bits >> b) & 1 == 1);
+            q.push(qw);
+            hs.push(h);
+        }
+        reg_q.push(q);
+        reg_handles.push(hs);
+    }
+
+    // Guard input sampling: held registers for internally driven inputs.
+    let mut guard_input_wires = input_wires.clone();
+    for p in held_ports {
+        let direct = &input_wires[*p];
+        let held: Vec<WireId> = direct.iter().map(|d| net.dff(*d, false)).collect();
+        guard_input_wires[*p] = held;
+    }
+
+    // Node activity per SFG.
+    let n_sfgs = comp.sfgs.len();
+    let words = n_sfgs.div_ceil(64).max(1);
+    let mut activity = vec![vec![0u64; words]; comp.nodes.len()];
+    for (k, sfg) in comp.sfgs.iter().enumerate() {
+        let mut stack: Vec<usize> = sfg
+            .outputs
+            .iter()
+            .map(|(_, n)| n.index())
+            .chain(sfg.reg_writes.iter().map(|(_, n)| n.index()))
+            .collect();
+        while let Some(n) = stack.pop() {
+            if (activity[n][k / 64] >> (k % 64)) & 1 == 1 {
+                continue;
+            }
+            activity[n][k / 64] |= 1 << (k % 64);
+            match &comp.nodes[n].kind {
+                NodeKind::Const(_) | NodeKind::Input(_) | NodeKind::RegRead(_) => {}
+                NodeKind::Un(_, a) => stack.push(a.index()),
+                NodeKind::Bin(_, a, b) => {
+                    stack.push(a.index());
+                    stack.push(b.index());
+                }
+                NodeKind::Select {
+                    cond,
+                    then,
+                    otherwise,
+                } => {
+                    stack.push(cond.index());
+                    stack.push(then.index());
+                    stack.push(otherwise.index());
+                }
+            }
+        }
+    }
+
+    let mut synth = Synth {
+        comp,
+        net,
+        adder_style: options.adder_style,
+        input_wires,
+        guard_input_wires,
+        reg_q,
+        memo: vec![None; comp.nodes.len()],
+        guard_memo: vec![None; comp.nodes.len()],
+        activity,
+        node_unit: vec![None; comp.nodes.len()],
+        units: Vec::new(),
+        sel: Vec::new(),
+    };
+
+    // Guard cones and controller. State minimisation (when enabled)
+    // rewrites the machine before encoding; guards survive as the same
+    // graph nodes, so the cones below stay valid.
+    let fsm = comp.fsm.as_ref().map(|f| {
+        if options.minimize_states {
+            crate::fsm_min::minimize(f).fsm
+        } else {
+            f.clone()
+        }
+    });
+    let guard_cond: Vec<Option<WireId>> = fsm
+        .iter()
+        .flat_map(|f| f.transitions.iter().map(|t| t.guard))
+        .map(|g| g.map(|g| synth.guard_wires(g.index())[0]))
+        .collect();
+    synth.sel = match &fsm {
+        Some(fsm) => {
+            controller::build(
+                &mut synth.net,
+                fsm,
+                n_sfgs,
+                &guard_cond,
+                options.encoding,
+                options.minimize_controller,
+            )
+            .sel
+        }
+        None => (0..n_sfgs).map(|_| synth.net.constant(true)).collect(),
+    };
+
+    // Operator sharing: greedy compatibility binding.
+    let mut nodes_mapped = 0usize;
+    if options.share_operators {
+        let mut by_sig: HashMap<String, Vec<usize>> = HashMap::new();
+        for i in 0..comp.nodes.len() {
+            if synth.activity[i].iter().all(|w| *w == 0) {
+                continue; // dead node
+            }
+            if let Some(sig) = shareable(comp, i) {
+                by_sig.entry(sig).or_default().push(i);
+            }
+        }
+        let mut sigs: Vec<_> = by_sig.into_iter().collect();
+        sigs.sort();
+        for (sig, nodes) in sigs {
+            let mut unit_ids: Vec<usize> = Vec::new();
+            for i in nodes {
+                nodes_mapped += 1;
+                let mut placed = false;
+                for &u in &unit_ids {
+                    let conflict = unit_conflicts(&synth, u, &synth.activity[i]);
+                    if !conflict {
+                        synth.node_unit[i] = Some(u);
+                        // Reserve the activity by noting a phantom member;
+                        // the real operands are registered at expansion.
+                        synth.units[u]
+                            .members
+                            .push((synth.activity[i].clone(), Vec::new()));
+                        placed = true;
+                        break;
+                    }
+                }
+                if !placed {
+                    synth.units.push(Unit {
+                        signature: sig.clone(),
+                        pins: Vec::new(),
+                        out: Vec::new(),
+                        members: vec![(synth.activity[i].clone(), Vec::new())],
+                    });
+                    synth.node_unit[i] = Some(synth.units.len() - 1);
+                    unit_ids.push(synth.units.len() - 1);
+                }
+            }
+        }
+        // Drop the phantom reservations before expansion fills real ones.
+        for u in &mut synth.units {
+            u.members.clear();
+        }
+    }
+
+    // Expand the datapath.
+    let mut out_bus: Vec<Option<Vec<WireId>>> = vec![None; comp.outputs.len()];
+    for (pi, p) in comp.outputs.iter().enumerate() {
+        let drivers: Vec<(usize, usize)> = comp
+            .sfgs
+            .iter()
+            .enumerate()
+            .flat_map(|(k, sfg)| {
+                sfg.outputs
+                    .iter()
+                    .filter(|(port, _)| port.index() == pi)
+                    .map(move |(_, n)| (k, n.index()))
+            })
+            .collect();
+        if drivers.is_empty() {
+            // Undriven output: constant zeros.
+            let w = width(p.ty);
+            let z = synth.net.constant(false);
+            out_bus[pi] = Some(vec![z; w]);
+            continue;
+        }
+        let w = width(p.ty);
+        // Hold register.
+        let mut hold_q = Vec::with_capacity(w);
+        let mut hold_h = Vec::with_capacity(w);
+        for _ in 0..w {
+            let (q, h) = synth.net.dff_deferred(false);
+            hold_q.push(q);
+            hold_h.push(h);
+        }
+        let mut cur = hold_q.clone();
+        for (k, n) in drivers.iter().rev() {
+            let val = synth.dp_wires(*n);
+            let s = synth.sel[*k];
+            cur = mux_bus(&mut synth.net, s, &val, &cur);
+        }
+        for (b, h) in hold_h.iter().enumerate() {
+            synth.net.connect_dff(*h, cur[b]);
+        }
+        out_bus[pi] = Some(cur);
+    }
+
+    // Register next values.
+    for (ri, _) in comp.regs.iter().enumerate() {
+        let drivers: Vec<(usize, usize)> = comp
+            .sfgs
+            .iter()
+            .enumerate()
+            .flat_map(|(k, sfg)| {
+                sfg.reg_writes
+                    .iter()
+                    .filter(|(reg, _)| reg.index() == ri)
+                    .map(move |(_, n)| (k, n.index()))
+            })
+            .collect();
+        let mut cur = synth.reg_q[ri].clone();
+        for (k, n) in drivers.iter().rev() {
+            let val = synth.dp_wires(*n);
+            let s = synth.sel[*k];
+            cur = mux_bus(&mut synth.net, s, &val, &cur);
+        }
+        for (b, h) in reg_handles[ri].iter().enumerate() {
+            synth.net.connect_dff(*h, cur[b]);
+        }
+    }
+
+    // Unit input multiplexers.
+    synth.connect_unit_pins();
+
+    // Output buses.
+    let mut net = synth.net;
+    for (pi, p) in comp.outputs.iter().enumerate() {
+        net.output_bus(&p.name, out_bus[pi].clone().expect("filled above"));
+    }
+
+    // Unit statistics.
+    let mut unit_stats: HashMap<String, usize> = HashMap::new();
+    for u in &synth.units {
+        *unit_stats.entry(u.signature.clone()).or_insert(0) += 1;
+    }
+    let mut units: Vec<(String, usize)> = unit_stats.into_iter().collect();
+    units.sort();
+    if !options.share_operators {
+        nodes_mapped = comp.nodes.len();
+    }
+
+    Ok(ComponentNetlist {
+        name: comp.name.clone(),
+        netlist: net,
+        units,
+        nodes_mapped,
+    })
+}
+
+fn unit_conflicts(synth: &Synth<'_>, u: usize, activity: &[u64]) -> bool {
+    synth.units[u]
+        .members
+        .iter()
+        .any(|(act, _)| bitset_and_any(act, activity))
+}
+
+/// Expands one expression node into gates given its operand buses.
+fn expand_node(
+    net: &mut Netlist,
+    comp: &Component,
+    i: usize,
+    operands: &[Vec<WireId>],
+    adder: AdderStyle,
+) -> Vec<WireId> {
+    let node = &comp.nodes[i];
+    match &node.kind {
+        NodeKind::Const(v) => {
+            let (bits, w) = encode(v);
+            const_bus(net, bits, w)
+        }
+        NodeKind::Input(_) | NodeKind::RegRead(_) => operands[0].clone(),
+        NodeKind::Un(op, a) => {
+            let a_ty = comp.nodes[a.index()].ty;
+            expand_un(net, *op, &operands[0], a_ty, node.ty)
+        }
+        NodeKind::Bin(op, a, b) => {
+            let (ta, tb) = (comp.nodes[a.index()].ty, comp.nodes[b.index()].ty);
+            expand_bin(net, *op, &operands[0], &operands[1], ta, tb, node.ty, adder)
+        }
+        NodeKind::Select { .. } => mux_bus(net, operands[0][0], &operands[1], &operands[2]),
+    }
+}
+
+fn expand_un(
+    net: &mut Netlist,
+    op: UnOp,
+    a: &[WireId],
+    a_ty: SigType,
+    out_ty: SigType,
+) -> Vec<WireId> {
+    match op {
+        UnOp::Not => a.iter().map(|w| net.gate(GateKind::Inv, &[*w])).collect(),
+        UnOp::Neg => match a_ty {
+            SigType::Fixed(_) => {
+                let w = width(out_ty);
+                let ext = sign_extend(a, w);
+                negate(net, &ext)
+            }
+            _ => negate(net, a),
+        },
+        UnOp::Shl(n) => shift_left(net, a, n as usize),
+        UnOp::Shr(n) => shift_right(net, a, n as usize),
+        UnOp::Slice { lo, width: w } => a[lo as usize..(lo + w) as usize].to_vec(),
+        UnOp::ToFixed(fmt, rnd, ovf) => {
+            let sf = match a_ty {
+                SigType::Fixed(f) => f,
+                _ => unreachable!("floats rejected before synthesis"),
+            };
+            expand_to_fixed(net, a, sf, fmt, rnd, ovf)
+        }
+        UnOp::ToBits(w) => {
+            let w = w as usize;
+            match a_ty {
+                SigType::Bool => zero_extend(net, a, w),
+                SigType::Bits(_) => zero_extend(net, a, w),
+                SigType::Fixed(_) => {
+                    let s = sign_extend(a, w.max(a.len()));
+                    s[..w].to_vec()
+                }
+                SigType::Float => unreachable!(),
+            }
+        }
+        UnOp::ToFloat => unreachable!("floats rejected before synthesis"),
+        UnOp::ToBool => vec![or_tree(net, a)],
+    }
+}
+
+fn expand_to_fixed(
+    net: &mut Netlist,
+    a: &[WireId],
+    sf: ocapi::Format,
+    fmt: ocapi::Format,
+    rnd: Rounding,
+    ovf: Overflow,
+) -> Vec<WireId> {
+    let sh = sf.frac_bits() as i64 - fmt.frac_bits() as i64;
+    // Shift to the target binary point, exactly.
+    let shifted: Vec<WireId> = if sh <= 0 {
+        // Gain fractional bits: prepend zeros (exact, width grows).
+        let mut v: Vec<WireId> = (0..(-sh) as usize).map(|_| net.constant(false)).collect();
+        v.extend_from_slice(a);
+        v
+    } else {
+        let sh = sh as usize;
+        let ww = a.len() + sh + 1;
+        let ext = sign_extend(a, ww);
+        let sign = *a.last().expect("non-empty");
+        let t: Vec<WireId> = match rnd {
+            Rounding::Truncate => ext,
+            Rounding::Nearest => {
+                // x + half - (x < 0): one adder with a carry-in trick.
+                let half_m1 = const_bus(net, (1u64 << (sh - 1)).wrapping_sub(1), ww);
+                let cin = net.gate(GateKind::Inv, &[sign]);
+                ripple_add(net, &ext, &half_m1, cin).0
+            }
+            Rounding::NearestEven => {
+                let half = const_bus(net, 1u64 << (sh - 1), ww);
+                let zero = net.constant(false);
+                let t0 = ripple_add(net, &ext, &half, zero).0;
+                // tie: dropped bits of x equal exactly half.
+                let low_or = or_tree(net, &a[..sh - 1]);
+                let low_zero = net.gate(GateKind::Inv, &[low_or]);
+                let tie = net.gate(GateKind::And2, &[a[sh - 1], low_zero]);
+                // r0 lsb after shift is t0[sh]; subtract (tie & lsb).
+                let dec = net.gate(GateKind::And2, &[tie, t0[sh]]);
+                let dec_bus = {
+                    let mut v = vec![dec];
+                    let z = net.constant(false);
+                    v.resize(ww, z);
+                    // Shift the decrement up to the bit it applies to.
+                    shift_left(net, &v, sh)
+                };
+                ripple_sub(net, &t0, &dec_bus).0
+            }
+            Rounding::Ceil => {
+                let add = const_bus(net, (1u64 << sh) - 1, ww);
+                let zero = net.constant(false);
+                ripple_add(net, &ext, &add, zero).0
+            }
+            Rounding::TowardZero => {
+                // x + (sign ? 2^sh - 1 : 0).
+                let addend: Vec<WireId> = (0..ww)
+                    .map(|b| if b < sh { sign } else { net.constant(false) })
+                    .collect();
+                let zero = net.constant(false);
+                ripple_add(net, &ext, &addend, zero).0
+            }
+        };
+        shift_right_arith(&t, sh)
+    };
+    fit_width(net, &shifted, fmt, ovf)
+}
+
+/// Fits a two's-complement bus into `fmt.wl()` bits, wrapping or
+/// saturating.
+fn fit_width(net: &mut Netlist, bus: &[WireId], fmt: ocapi::Format, ovf: Overflow) -> Vec<WireId> {
+    let wl = fmt.wl() as usize;
+    if bus.len() <= wl {
+        return sign_extend(bus, wl);
+    }
+    match ovf {
+        Overflow::Wrap => bus[..wl].to_vec(),
+        Overflow::Saturate => {
+            // Fits iff all bits above wl-1 equal bit wl-1.
+            let msb = bus[wl - 1];
+            let agree: Vec<WireId> = bus[wl..]
+                .iter()
+                .map(|b| net.gate(GateKind::Xnor2, &[*b, msb]))
+                .collect();
+            let fits = and_tree(net, &agree);
+            let sign = *bus.last().expect("non-empty");
+            let max_b = const_bus(net, fmt.max_mantissa() as u64, wl);
+            let min_b = const_bus(net, fmt.min_mantissa() as u64, wl);
+            let clamp = mux_bus(net, sign, &min_b, &max_b);
+            mux_bus(net, fits, &bus[..wl], &clamp)
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn expand_bin(
+    net: &mut Netlist,
+    op: BinOp,
+    a: &[WireId],
+    b: &[WireId],
+    ta: SigType,
+    tb: SigType,
+    out_ty: SigType,
+    adder: AdderStyle,
+) -> Vec<WireId> {
+    match op {
+        BinOp::Add | BinOp::Sub => match (ta, tb, out_ty) {
+            (SigType::Fixed(fa), SigType::Fixed(fb), SigType::Fixed(fo)) => {
+                let (ax, bx) =
+                    align_fixed_pair(net, a, b, fa, fb, fo.frac_bits(), fo.wl() as usize);
+                if op == BinOp::Add {
+                    let zero = net.constant(false);
+                    styled_add(net, &ax, &bx, zero, adder)
+                } else {
+                    styled_sub(net, &ax, &bx, adder)
+                }
+            }
+            _ => {
+                if op == BinOp::Add {
+                    let zero = net.constant(false);
+                    styled_add(net, a, b, zero, adder)
+                } else {
+                    styled_sub(net, a, b, adder)
+                }
+            }
+        },
+        BinOp::Mul => {
+            let w = width(out_ty);
+            match ta {
+                SigType::Fixed(_) => {
+                    let ax = sign_extend(a, w);
+                    let bx = sign_extend(b, w);
+                    styled_mul(net, &ax, &bx, w, adder)
+                }
+                _ => styled_mul(net, a, b, w, adder),
+            }
+        }
+        BinOp::And => zip_gate(net, GateKind::And2, a, b),
+        BinOp::Or => zip_gate(net, GateKind::Or2, a, b),
+        BinOp::Xor => zip_gate(net, GateKind::Xor2, a, b),
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+            let (ax, bx, signed) = match (ta, tb) {
+                (SigType::Fixed(fa), SigType::Fixed(fb)) => {
+                    let fbc = fa.frac_bits().max(fb.frac_bits());
+                    let wa = fa.wl() + (fbc - fa.frac_bits());
+                    let wb = fb.wl() + (fbc - fb.frac_bits());
+                    let w = wa.max(wb) as usize;
+                    let ax = grow_shift(net, a, (fbc - fa.frac_bits()) as usize, w);
+                    let bx = grow_shift(net, b, (fbc - fb.frac_bits()) as usize, w);
+                    (ax, bx, true)
+                }
+                _ => (a.to_vec(), b.to_vec(), false),
+            };
+            let bit = match op {
+                BinOp::Eq => equal(net, &ax, &bx),
+                BinOp::Ne => {
+                    let e = equal(net, &ax, &bx);
+                    net.gate(GateKind::Inv, &[e])
+                }
+                BinOp::Lt | BinOp::Ge => {
+                    let lt = if signed {
+                        less_signed(net, &ax, &bx)
+                    } else {
+                        less_unsigned(net, &ax, &bx)
+                    };
+                    if op == BinOp::Lt {
+                        lt
+                    } else {
+                        net.gate(GateKind::Inv, &[lt])
+                    }
+                }
+                BinOp::Gt | BinOp::Le => {
+                    let gt = if signed {
+                        less_signed(net, &bx, &ax)
+                    } else {
+                        less_unsigned(net, &bx, &ax)
+                    };
+                    if op == BinOp::Gt {
+                        gt
+                    } else {
+                        net.gate(GateKind::Inv, &[gt])
+                    }
+                }
+                _ => unreachable!(),
+            };
+            vec![bit]
+        }
+    }
+}
+
+/// Exact fixed-point alignment: prepend `sh` zero LSBs, then sign-extend
+/// to `w` bits.
+fn grow_shift(net: &mut Netlist, a: &[WireId], sh: usize, w: usize) -> Vec<WireId> {
+    let mut v: Vec<WireId> = (0..sh).map(|_| net.constant(false)).collect();
+    v.extend_from_slice(a);
+    sign_extend(&v, w)
+}
+
+fn align_fixed_pair(
+    net: &mut Netlist,
+    a: &[WireId],
+    b: &[WireId],
+    fa: ocapi::Format,
+    fb: ocapi::Format,
+    fb_out: u32,
+    w: usize,
+) -> (Vec<WireId>, Vec<WireId>) {
+    let ax = grow_shift(net, a, (fb_out - fa.frac_bits()) as usize, w);
+    let bx = grow_shift(net, b, (fb_out - fb.frac_bits()) as usize, w);
+    (ax, bx)
+}
+
+fn zip_gate(net: &mut Netlist, kind: GateKind, a: &[WireId], b: &[WireId]) -> Vec<WireId> {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| net.gate(kind, &[*x, *y]))
+        .collect()
+}

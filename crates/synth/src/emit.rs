@@ -1,0 +1,368 @@
+//! Structural HDL emission of synthesized netlists.
+//!
+//! The paper's flow (§6, Figure 8) ends with a gate-level netlist handed
+//! to the foundry tools. This module writes a [`Netlist`] out as
+//! structural Verilog (primitive-gate instantiations) or structural
+//! VHDL (one concurrent assignment per gate), the interchange formats
+//! that flow consumed. The Verilog form round-trips through
+//! [`crate::parse::verilog_netlist`].
+//!
+//! Emission is deterministic: gates appear in netlist order, wires are
+//! named `n<index>`, and every statement sits on its own line.
+
+use std::fmt::Write as _;
+
+use crate::gate::{GateKind, Netlist};
+
+/// Returns the wire name used in emitted HDL.
+fn w(id: crate::gate::WireId) -> String {
+    format!("n{}", id.index())
+}
+
+/// Collects, per wire, whether it is the output of a DFF (needs a `reg`
+/// declaration in Verilog) and whether it is driven at all.
+struct WireRoles {
+    dff_out: Vec<bool>,
+    driven: Vec<bool>,
+}
+
+fn roles(net: &Netlist) -> WireRoles {
+    let mut dff_out = vec![false; net.n_wires];
+    let mut driven = vec![false; net.n_wires];
+    for g in &net.gates {
+        driven[g.output.index()] = true;
+        if g.kind == GateKind::Dff {
+            dff_out[g.output.index()] = true;
+        }
+    }
+    for (_, ws) in &net.inputs {
+        for x in ws {
+            driven[x.index()] = true;
+        }
+    }
+    WireRoles { dff_out, driven }
+}
+
+/// Verilog primitive name for a combinational gate, when one exists.
+fn verilog_primitive(kind: GateKind) -> Option<&'static str> {
+    match kind {
+        GateKind::Inv => Some("not"),
+        GateKind::And2 => Some("and"),
+        GateKind::Or2 => Some("or"),
+        GateKind::Nand2 => Some("nand"),
+        GateKind::Nor2 => Some("nor"),
+        GateKind::Xor2 => Some("xor"),
+        GateKind::Xnor2 => Some("xnor"),
+        _ => None,
+    }
+}
+
+/// Writes a [`Netlist`] as a structural Verilog module.
+///
+/// The module has an implicit `clk`/`rst` pin pair; every named input
+/// and output bus of the netlist becomes a vector port (single-bit
+/// buses become scalar ports). Flip-flops reset asynchronously to their
+/// initial value. The output parses back with
+/// [`crate::parse::verilog_netlist`].
+pub fn verilog_netlist(name: &str, net: &Netlist) -> String {
+    let r = roles(net);
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "// {name}: {} gates, {} FF, {:.0} gate-eq",
+        net.combinational_count(),
+        net.dff_count(),
+        net.area()
+    );
+    let mut ports: Vec<String> = vec!["clk".into(), "rst".into()];
+    ports.extend(net.inputs.iter().map(|(n, _)| n.clone()));
+    ports.extend(net.outputs.iter().map(|(n, _)| n.clone()));
+    let _ = writeln!(s, "module {name} ({});", ports.join(", "));
+    let _ = writeln!(s, "  input clk;");
+    let _ = writeln!(s, "  input rst;");
+    for (n, ws) in &net.inputs {
+        if ws.len() == 1 {
+            let _ = writeln!(s, "  input {n};");
+        } else {
+            let _ = writeln!(s, "  input [{}:0] {n};", ws.len() - 1);
+        }
+    }
+    for (n, ws) in &net.outputs {
+        if ws.len() == 1 {
+            let _ = writeln!(s, "  output {n};");
+        } else {
+            let _ = writeln!(s, "  output [{}:0] {n};", ws.len() - 1);
+        }
+    }
+    for i in 0..net.n_wires {
+        let kw = if r.dff_out[i] { "reg" } else { "wire" };
+        let _ = writeln!(s, "  {kw} n{i};");
+    }
+    // Input port binding.
+    for (n, ws) in &net.inputs {
+        for (k, x) in ws.iter().enumerate() {
+            if ws.len() == 1 {
+                let _ = writeln!(s, "  assign {} = {n};", w(*x));
+            } else {
+                let _ = writeln!(s, "  assign {} = {n}[{k}];", w(*x));
+            }
+        }
+    }
+    // Referenced-but-undriven wires float low, matching the gate-level
+    // simulator's default.
+    for i in 0..net.n_wires {
+        if !r.driven[i] {
+            let _ = writeln!(s, "  assign n{i} = 1'b0;");
+        }
+    }
+    // Gates.
+    for (gi, g) in net.gates.iter().enumerate() {
+        let o = w(g.output);
+        match g.kind {
+            GateKind::Const0 => {
+                let _ = writeln!(s, "  assign {o} = 1'b0;");
+            }
+            GateKind::Const1 => {
+                let _ = writeln!(s, "  assign {o} = 1'b1;");
+            }
+            GateKind::Buf => {
+                let _ = writeln!(s, "  assign {o} = {};", w(g.inputs[0]));
+            }
+            GateKind::Mux2 => {
+                let _ = writeln!(
+                    s,
+                    "  assign {o} = {} ? {} : {};",
+                    w(g.inputs[0]),
+                    w(g.inputs[1]),
+                    w(g.inputs[2])
+                );
+            }
+            GateKind::Dff => {
+                let init = if g.init { "1'b1" } else { "1'b0" };
+                let _ = writeln!(
+                    s,
+                    "  always @(posedge clk or posedge rst) if (rst) {o} <= {init}; else {o} <= {};",
+                    w(g.inputs[0])
+                );
+            }
+            kind => {
+                let prim = verilog_primitive(kind).expect("combinational primitive");
+                let ins: Vec<String> = g.inputs.iter().map(|x| w(*x)).collect();
+                let _ = writeln!(s, "  {prim} g{gi} ({o}, {});", ins.join(", "));
+            }
+        }
+    }
+    // Output port binding.
+    for (n, ws) in &net.outputs {
+        for (k, x) in ws.iter().enumerate() {
+            if ws.len() == 1 {
+                let _ = writeln!(s, "  assign {n} = {};", w(*x));
+            } else {
+                let _ = writeln!(s, "  assign {n}[{k}] = {};", w(*x));
+            }
+        }
+    }
+    s.push_str("endmodule\n");
+    s
+}
+
+/// Writes a [`Netlist`] as a structural VHDL architecture: one
+/// concurrent assignment per combinational gate and a single clocked
+/// process for all flip-flops (asynchronous reset to the initial
+/// values).
+pub fn vhdl_netlist(name: &str, net: &Netlist) -> String {
+    let r = roles(net);
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "-- {name}: gate-level netlist, {:.0} gate-eq",
+        net.area()
+    );
+    let _ = writeln!(s, "library ieee;");
+    let _ = writeln!(s, "use ieee.std_logic_1164.all;");
+    s.push('\n');
+    let _ = writeln!(s, "entity {name} is");
+    let _ = writeln!(s, "  port (");
+    let _ = writeln!(s, "    clk : in std_logic;");
+    let mut decls: Vec<String> = vec!["    rst : in std_logic".into()];
+    for (n, ws) in &net.inputs {
+        if ws.len() == 1 {
+            decls.push(format!("    {n} : in std_logic"));
+        } else {
+            decls.push(format!(
+                "    {n} : in std_logic_vector({} downto 0)",
+                ws.len() - 1
+            ));
+        }
+    }
+    for (n, ws) in &net.outputs {
+        if ws.len() == 1 {
+            decls.push(format!("    {n} : out std_logic"));
+        } else {
+            decls.push(format!(
+                "    {n} : out std_logic_vector({} downto 0)",
+                ws.len() - 1
+            ));
+        }
+    }
+    let _ = writeln!(s, "{}", decls.join(";\n"));
+    let _ = writeln!(s, "  );");
+    let _ = writeln!(s, "end entity;");
+    s.push('\n');
+    let _ = writeln!(s, "architecture netlist of {name} is");
+    for i in 0..net.n_wires {
+        let _ = writeln!(s, "  signal n{i} : std_logic;");
+    }
+    let _ = writeln!(s, "begin");
+    for (n, ws) in &net.inputs {
+        for (k, x) in ws.iter().enumerate() {
+            if ws.len() == 1 {
+                let _ = writeln!(s, "  {} <= {n};", w(*x));
+            } else {
+                let _ = writeln!(s, "  {} <= {n}({k});", w(*x));
+            }
+        }
+    }
+    for i in 0..net.n_wires {
+        if !r.driven[i] {
+            let _ = writeln!(s, "  n{i} <= '0';");
+        }
+    }
+    for g in &net.gates {
+        let o = w(g.output);
+        let i = |k: usize| w(g.inputs[k]);
+        match g.kind {
+            GateKind::Const0 => {
+                let _ = writeln!(s, "  {o} <= '0';");
+            }
+            GateKind::Const1 => {
+                let _ = writeln!(s, "  {o} <= '1';");
+            }
+            GateKind::Buf => {
+                let _ = writeln!(s, "  {o} <= {};", i(0));
+            }
+            GateKind::Inv => {
+                let _ = writeln!(s, "  {o} <= not {};", i(0));
+            }
+            GateKind::And2 => {
+                let _ = writeln!(s, "  {o} <= {} and {};", i(0), i(1));
+            }
+            GateKind::Or2 => {
+                let _ = writeln!(s, "  {o} <= {} or {};", i(0), i(1));
+            }
+            GateKind::Nand2 => {
+                let _ = writeln!(s, "  {o} <= {} nand {};", i(0), i(1));
+            }
+            GateKind::Nor2 => {
+                let _ = writeln!(s, "  {o} <= {} nor {};", i(0), i(1));
+            }
+            GateKind::Xor2 => {
+                let _ = writeln!(s, "  {o} <= {} xor {};", i(0), i(1));
+            }
+            GateKind::Xnor2 => {
+                let _ = writeln!(s, "  {o} <= {} xnor {};", i(0), i(1));
+            }
+            GateKind::Mux2 => {
+                let _ = writeln!(s, "  {o} <= {} when {} = '1' else {};", i(1), i(0), i(2));
+            }
+            GateKind::Dff => {} // emitted in the clocked process below
+        }
+    }
+    if net.dff_count() > 0 {
+        let _ = writeln!(s, "  registers : process (clk, rst)");
+        let _ = writeln!(s, "  begin");
+        let _ = writeln!(s, "    if rst = '1' then");
+        for g in &net.gates {
+            if g.kind == GateKind::Dff {
+                let v = if g.init { "'1'" } else { "'0'" };
+                let _ = writeln!(s, "      {} <= {v};", w(g.output));
+            }
+        }
+        let _ = writeln!(s, "    elsif rising_edge(clk) then");
+        for g in &net.gates {
+            if g.kind == GateKind::Dff {
+                let _ = writeln!(s, "      {} <= {};", w(g.output), w(g.inputs[0]));
+            }
+        }
+        let _ = writeln!(s, "    end if;");
+        let _ = writeln!(s, "  end process;");
+    }
+    for (n, ws) in &net.outputs {
+        for (k, x) in ws.iter().enumerate() {
+            if ws.len() == 1 {
+                let _ = writeln!(s, "  {n} <= {};", w(*x));
+            } else {
+                let _ = writeln!(s, "  {n}({k}) <= {};", w(*x));
+            }
+        }
+    }
+    let _ = writeln!(s, "end architecture;");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::GateKind;
+
+    fn small() -> Netlist {
+        let mut n = Netlist::new();
+        let a = n.input_bus("a", 2);
+        let b = n.input_bus("b", 1);
+        let x = n.gate(GateKind::Nand2, &[a[0], a[1]]);
+        let y = n.gate(GateKind::Mux2, &[b[0], x, a[0]]);
+        let q = n.dff(y, true);
+        let k = n.constant(false);
+        let o = n.gate(GateKind::Xor2, &[q, k]);
+        n.output_bus("y", vec![o]);
+        n
+    }
+
+    #[test]
+    fn verilog_has_module_ports_and_primitives() {
+        let v = verilog_netlist("dut", &small());
+        assert!(v.contains("module dut (clk, rst, a, b, y);"));
+        assert!(v.contains("input [1:0] a;"));
+        assert!(v.contains("input b;"));
+        assert!(v.contains("output y;"));
+        assert!(v.contains("nand g"));
+        assert!(v.contains("? "));
+        assert!(v.contains("always @(posedge clk or posedge rst)"));
+        assert!(v.contains("<= 1'b1;"), "init-high reset value");
+        assert!(v.ends_with("endmodule\n"));
+    }
+
+    #[test]
+    fn vhdl_has_entity_and_register_process() {
+        let v = vhdl_netlist("dut", &small());
+        assert!(v.contains("entity dut is"));
+        assert!(v.contains("a : in std_logic_vector(1 downto 0)"));
+        assert!(v.contains("y : out std_logic"));
+        assert!(v.contains(" nand "));
+        assert!(v.contains("when"));
+        assert!(v.contains("rising_edge(clk)"));
+        assert!(v.contains("end architecture;"));
+    }
+
+    #[test]
+    fn dff_outputs_declared_reg_in_verilog() {
+        let net = small();
+        let dff_wire = net
+            .gates
+            .iter()
+            .find(|g| g.kind == GateKind::Dff)
+            .expect("dff")
+            .output;
+        let v = verilog_netlist("dut", &net);
+        assert!(v.contains(&format!("reg n{};", dff_wire.index())));
+    }
+
+    #[test]
+    fn emission_is_deterministic() {
+        assert_eq!(
+            verilog_netlist("dut", &small()),
+            verilog_netlist("dut", &small())
+        );
+        assert_eq!(vhdl_netlist("dut", &small()), vhdl_netlist("dut", &small()));
+    }
+}

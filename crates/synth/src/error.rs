@@ -1,0 +1,37 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by synthesis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SynthError {
+    /// A float-typed signal reached synthesis; quantise to fixed point
+    /// first.
+    FloatNotSynthesizable {
+        /// The offending component.
+        component: String,
+    },
+    /// A structural netlist file could not be parsed.
+    Parse {
+        /// 1-based line number of the offending statement.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthError::FloatNotSynthesizable { component } => write!(
+                f,
+                "component `{component}` contains float signals; quantise to fixed point before synthesis"
+            ),
+            SynthError::Parse { line, message } => {
+                write!(f, "netlist parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for SynthError {}

@@ -1,0 +1,229 @@
+//! Two-level logic minimisation (Quine–McCluskey with don't-cares).
+//!
+//! Used by the controller synthesis — the stand-in for the "pure logic
+//! synthesis such as FSM synthesis" that the paper delegates to Synopsys
+//! DC (§6). Exact prime-implicant generation plus a greedy set cover,
+//! practical up to ~14 inputs.
+
+/// A product term over `n` inputs: covers minterm `m` iff
+/// `(m & mask) == value`. Bits outside `mask` are don't-cares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Cube {
+    /// Which input bits this cube tests.
+    pub mask: u32,
+    /// Required values of the tested bits (subset of `mask`).
+    pub value: u32,
+}
+
+impl Cube {
+    /// Does the cube cover a minterm?
+    pub fn covers(&self, minterm: u32) -> bool {
+        (minterm & self.mask) == self.value
+    }
+
+    /// Number of literals in the product term.
+    pub fn literals(&self) -> u32 {
+        self.mask.count_ones()
+    }
+}
+
+/// Minimises the single-output function given by its on-set and
+/// don't-care set, returning a (near-)minimal sum of products.
+///
+/// # Panics
+///
+/// Panics if `n_inputs` exceeds 20 (the exact algorithm would explode).
+pub fn minimize(n_inputs: u32, on_set: &[u32], dc_set: &[u32]) -> Vec<Cube> {
+    assert!(n_inputs <= 20, "QM limited to 20 inputs");
+    if on_set.is_empty() {
+        return Vec::new();
+    }
+    let full: Vec<u32> = on_set.iter().chain(dc_set).copied().collect();
+    if full.len() == 1 << n_inputs {
+        // Tautology.
+        return vec![Cube { mask: 0, value: 0 }];
+    }
+
+    let all_mask = if n_inputs == 32 {
+        u32::MAX
+    } else {
+        (1u32 << n_inputs) - 1
+    };
+
+    // Iteratively combine cubes differing in exactly one tested bit.
+    let mut current: Vec<Cube> = full
+        .iter()
+        .map(|m| Cube {
+            mask: all_mask,
+            value: *m,
+        })
+        .collect();
+    current.sort_by_key(|c| (c.mask, c.value));
+    current.dedup();
+    let mut primes: Vec<Cube> = Vec::new();
+    while !current.is_empty() {
+        let mut combined_flag = vec![false; current.len()];
+        let mut next: Vec<Cube> = Vec::new();
+        for i in 0..current.len() {
+            for j in (i + 1)..current.len() {
+                let (a, b) = (current[i], current[j]);
+                if a.mask != b.mask {
+                    continue;
+                }
+                let diff = a.value ^ b.value;
+                if diff.count_ones() == 1 {
+                    combined_flag[i] = true;
+                    combined_flag[j] = true;
+                    next.push(Cube {
+                        mask: a.mask & !diff,
+                        value: a.value & !diff,
+                    });
+                }
+            }
+        }
+        for (i, c) in current.iter().enumerate() {
+            if !combined_flag[i] {
+                primes.push(*c);
+            }
+        }
+        next.sort_by_key(|c| (c.mask, c.value));
+        next.dedup();
+        current = next;
+    }
+
+    // Greedy cover of the on-set (don't-cares need not be covered).
+    let mut uncovered: Vec<u32> = on_set.to_vec();
+    uncovered.sort_unstable();
+    uncovered.dedup();
+    let mut chosen: Vec<Cube> = Vec::new();
+    // Essential primes first.
+    loop {
+        let mut essential: Option<Cube> = None;
+        'outer: for &m in &uncovered {
+            let mut cover: Option<Cube> = None;
+            for p in &primes {
+                if p.covers(m) {
+                    if cover.is_some() {
+                        continue 'outer; // covered by several primes
+                    }
+                    cover = Some(*p);
+                }
+            }
+            if let Some(c) = cover {
+                essential = Some(c);
+                break;
+            }
+        }
+        match essential {
+            Some(c) => {
+                chosen.push(c);
+                uncovered.retain(|m| !c.covers(*m));
+                if uncovered.is_empty() {
+                    return chosen;
+                }
+            }
+            None => break,
+        }
+    }
+    // Greedy: repeatedly take the prime covering the most uncovered
+    // minterms (ties: fewer literals).
+    while !uncovered.is_empty() {
+        let best = primes
+            .iter()
+            .max_by_key(|p| {
+                (
+                    uncovered.iter().filter(|m| p.covers(**m)).count(),
+                    std::cmp::Reverse(p.literals()),
+                )
+            })
+            .copied()
+            .expect("primes cover the on-set");
+        chosen.push(best);
+        uncovered.retain(|m| !best.covers(*m));
+    }
+    chosen
+}
+
+/// Evaluates a sum of products on a minterm (for verification).
+pub fn eval_sop(cubes: &[Cube], minterm: u32) -> bool {
+    cubes.iter().any(|c| c.covers(minterm))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_check(n: u32, on: &[u32], dc: &[u32]) {
+        let sop = minimize(n, on, dc);
+        for m in 0..(1u32 << n) {
+            let expect_on = on.contains(&m);
+            let is_dc = dc.contains(&m);
+            let got = eval_sop(&sop, m);
+            if !is_dc {
+                assert_eq!(got, expect_on, "minterm {m:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn classic_example() {
+        // f(a,b,c,d) with on-set from the textbook QM example.
+        let on = [4, 8, 10, 11, 12, 15];
+        let dc = [9, 14];
+        brute_check(4, &on, &dc);
+        let sop = minimize(4, &on, &dc);
+        // Known minimal result has 3 terms or fewer literals total <= 8.
+        assert!(sop.len() <= 3, "{sop:?}");
+    }
+
+    #[test]
+    fn xor_is_not_compressible() {
+        let on = [1, 2];
+        brute_check(2, &on, &[]);
+        assert_eq!(minimize(2, &on, &[]).len(), 2);
+    }
+
+    #[test]
+    fn tautology() {
+        let on: Vec<u32> = (0..8).collect();
+        let sop = minimize(3, &on, &[]);
+        assert_eq!(sop, vec![Cube { mask: 0, value: 0 }]);
+    }
+
+    #[test]
+    fn empty_on_set() {
+        assert!(minimize(4, &[], &[1, 2]).is_empty());
+    }
+
+    #[test]
+    fn dc_enables_merging() {
+        // on = {0}, dc = {1}: a single cube !b (or even fewer literals).
+        let sop = minimize(1, &[0], &[1]);
+        assert_eq!(sop.len(), 1);
+        assert_eq!(sop[0].literals(), 0); // becomes the constant-1 cube
+    }
+
+    #[test]
+    fn random_functions_verified() {
+        // Deterministic pseudo-random functions, brute-force verified.
+        let mut seed = 0x12345678u32;
+        let mut rnd = || {
+            seed = seed.wrapping_mul(1664525).wrapping_add(1013904223);
+            seed
+        };
+        for _ in 0..25 {
+            let n = 3 + (rnd() % 4); // 3..=6 inputs
+            let size = 1u32 << n;
+            let mut on = Vec::new();
+            let mut dc = Vec::new();
+            for m in 0..size {
+                match rnd() % 4 {
+                    0 => on.push(m),
+                    1 => dc.push(m),
+                    _ => {}
+                }
+            }
+            brute_check(n, &on, &dc);
+        }
+    }
+}

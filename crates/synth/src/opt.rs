@@ -1,0 +1,496 @@
+//! Gate-level post-optimisation.
+//!
+//! "The combined netlists of datapath and controller are also
+//! post-optimized … to perform gate-level netlist optimizations" (§6).
+//! The passes run to a fixed point:
+//!
+//! 1. **Constant propagation** — gates with constant inputs fold to
+//!    constants or simpler gates.
+//! 2. **Buffer and inverter-pair removal** — `Buf` and `Inv(Inv(x))`
+//!    rewire to their source.
+//! 3. **Structural deduplication** — identical gates on identical inputs
+//!    merge (common subexpression elimination).
+//! 4. **Dead-gate sweep** — gates driving nothing observable disappear.
+
+use std::collections::HashMap;
+
+use crate::gate::{Gate, GateKind, Netlist, WireId};
+
+/// Runs all passes to a fixed point. Output and input buses keep their
+/// wire identities; internal wires may be rewired or dropped.
+pub fn optimize(net: &mut Netlist) {
+    loop {
+        let mut changed = false;
+        changed |= fold_constants(net);
+        changed |= fold_static_dffs(net);
+        changed |= dedup(net);
+        changed |= sweep(net);
+        if !changed {
+            break;
+        }
+    }
+}
+
+/// Folds flip-flops that can never change state: a DFF whose data input
+/// is itself (`q -> d`) or a constant equal to its initial value is a
+/// constant driver.
+fn fold_static_dffs(net: &mut Netlist) -> bool {
+    let mut konst: HashMap<WireId, bool> = HashMap::new();
+    for g in &net.gates {
+        match g.kind {
+            GateKind::Const0 => {
+                konst.insert(g.output, false);
+            }
+            GateKind::Const1 => {
+                konst.insert(g.output, true);
+            }
+            _ => {}
+        }
+    }
+    let mut changed = false;
+    for g in &mut net.gates {
+        if g.kind != GateKind::Dff {
+            continue;
+        }
+        let static_self = g.inputs[0] == g.output;
+        let static_const = konst.get(&g.inputs[0]) == Some(&g.init);
+        if static_self || static_const {
+            g.kind = if g.init {
+                GateKind::Const1
+            } else {
+                GateKind::Const0
+            };
+            g.inputs.clear();
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// Substitution map: wire -> replacement wire.
+fn apply_subst(net: &mut Netlist, subst: &HashMap<WireId, WireId>) {
+    if subst.is_empty() {
+        return;
+    }
+    let look = |w: WireId| -> WireId {
+        let mut w = w;
+        while let Some(&n) = subst.get(&w) {
+            if n == w {
+                break;
+            }
+            w = n;
+        }
+        w
+    };
+    for g in &mut net.gates {
+        for i in &mut g.inputs {
+            *i = look(*i);
+        }
+    }
+    for (_, bus) in &mut net.outputs {
+        for w in bus {
+            *w = look(*w);
+        }
+    }
+}
+
+/// Constant folding plus buffer/inverter-chain elimination.
+fn fold_constants(net: &mut Netlist) -> bool {
+    // Wire facts: Some(true/false) = constant; source = buf/inv chains.
+    let mut konst: HashMap<WireId, bool> = HashMap::new();
+    for g in &net.gates {
+        match g.kind {
+            GateKind::Const0 => {
+                konst.insert(g.output, false);
+            }
+            GateKind::Const1 => {
+                konst.insert(g.output, true);
+            }
+            _ => {}
+        }
+    }
+
+    let mut subst: HashMap<WireId, WireId> = HashMap::new();
+    let mut changed = false;
+    // Iterate in order: inputs of a gate may have been constant-folded by
+    // an earlier iteration of the loop in `optimize`.
+    let mut new_gates: Vec<Gate> = Vec::with_capacity(net.gates.len());
+    let mut const_wire: HashMap<bool, WireId> = HashMap::new();
+    for g in &net.gates {
+        let kv: Vec<Option<bool>> = g.inputs.iter().map(|i| konst.get(i).copied()).collect();
+        let mut replace_const = |value: bool,
+                                 out: WireId,
+                                 _new_gates: &mut Vec<Gate>,
+                                 konst: &mut HashMap<WireId, bool>|
+         -> Option<Gate> {
+            konst.insert(out, value);
+            // Re-emit as a constant driver to keep the wire defined.
+            let _ = const_wire.entry(value).or_insert(out);
+            Some(Gate {
+                kind: if value {
+                    GateKind::Const1
+                } else {
+                    GateKind::Const0
+                },
+                inputs: Vec::new(),
+                output: out,
+                init: value,
+            })
+        };
+        let out = g.output;
+        // Idempotence / annihilation on equal inputs.
+        if g.inputs.len() == 2 && g.inputs[0] == g.inputs[1] {
+            match g.kind {
+                GateKind::And2 | GateKind::Or2 => {
+                    subst.insert(out, g.inputs[0]);
+                    changed = true;
+                    continue;
+                }
+                GateKind::Xor2 => {
+                    changed = true;
+                    if let Some(g2) = replace_const(false, out, &mut new_gates, &mut konst) {
+                        new_gates.push(g2);
+                    }
+                    continue;
+                }
+                GateKind::Xnor2 => {
+                    changed = true;
+                    if let Some(g2) = replace_const(true, out, &mut new_gates, &mut konst) {
+                        new_gates.push(g2);
+                    }
+                    continue;
+                }
+                GateKind::Nand2 | GateKind::Nor2 => {
+                    changed = true;
+                    new_gates.push(Gate {
+                        kind: GateKind::Inv,
+                        inputs: vec![g.inputs[0]],
+                        output: out,
+                        init: false,
+                    });
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        let replacement: Option<Gate> = match g.kind {
+            GateKind::Buf => {
+                subst.insert(out, g.inputs[0]);
+                changed = true;
+                None
+            }
+            GateKind::Inv => match kv[0] {
+                Some(v) => {
+                    changed = true;
+                    replace_const(!v, out, &mut new_gates, &mut konst)
+                }
+                None => Some(g.clone()),
+            },
+            GateKind::And2 | GateKind::Nand2 | GateKind::Or2 | GateKind::Nor2 => {
+                let (ident, kills, inverted) = match g.kind {
+                    GateKind::And2 => (true, false, false),
+                    GateKind::Nand2 => (true, false, true),
+                    GateKind::Or2 => (false, true, false),
+                    GateKind::Nor2 => (false, true, true),
+                    _ => unreachable!(),
+                };
+                match (kv[0], kv[1]) {
+                    (Some(a), Some(b)) => {
+                        let v = match g.kind {
+                            GateKind::And2 => a & b,
+                            GateKind::Nand2 => !(a & b),
+                            GateKind::Or2 => a | b,
+                            GateKind::Nor2 => !(a | b),
+                            _ => unreachable!(),
+                        };
+                        changed = true;
+                        replace_const(v, out, &mut new_gates, &mut konst)
+                    }
+                    (Some(c), None) | (None, Some(c)) => {
+                        let other = if kv[0].is_some() {
+                            g.inputs[1]
+                        } else {
+                            g.inputs[0]
+                        };
+                        if c == kills {
+                            changed = true;
+                            replace_const(kills != inverted, out, &mut new_gates, &mut konst)
+                        } else if c == ident && !inverted {
+                            subst.insert(out, other);
+                            changed = true;
+                            None
+                        } else {
+                            // ident with inversion -> Inv(other)
+                            changed = true;
+                            Some(Gate {
+                                kind: GateKind::Inv,
+                                inputs: vec![other],
+                                output: out,
+                                init: false,
+                            })
+                        }
+                    }
+                    (None, None) => Some(g.clone()),
+                }
+            }
+            GateKind::Xor2 | GateKind::Xnor2 => {
+                let invert_base = g.kind == GateKind::Xnor2;
+                match (kv[0], kv[1]) {
+                    (Some(a), Some(b)) => {
+                        changed = true;
+                        replace_const((a ^ b) != invert_base, out, &mut new_gates, &mut konst)
+                    }
+                    (Some(c), None) | (None, Some(c)) => {
+                        let other = if kv[0].is_some() {
+                            g.inputs[1]
+                        } else {
+                            g.inputs[0]
+                        };
+                        changed = true;
+                        if c != invert_base {
+                            // XOR with 1 (or XNOR with 0): inverter.
+                            Some(Gate {
+                                kind: GateKind::Inv,
+                                inputs: vec![other],
+                                output: out,
+                                init: false,
+                            })
+                        } else {
+                            subst.insert(out, other);
+                            None
+                        }
+                    }
+                    (None, None) => Some(g.clone()),
+                }
+            }
+            GateKind::Mux2 => match kv[0] {
+                Some(true) => {
+                    subst.insert(out, g.inputs[1]);
+                    changed = true;
+                    None
+                }
+                Some(false) => {
+                    subst.insert(out, g.inputs[2]);
+                    changed = true;
+                    None
+                }
+                None => {
+                    if g.inputs[1] == g.inputs[2] {
+                        subst.insert(out, g.inputs[1]);
+                        changed = true;
+                        None
+                    } else {
+                        Some(g.clone())
+                    }
+                }
+            },
+            GateKind::Const0 | GateKind::Const1 | GateKind::Dff => Some(g.clone()),
+        };
+        if let Some(g) = replacement {
+            new_gates.push(g);
+        }
+    }
+    net.gates = new_gates;
+    apply_subst(net, &subst);
+
+    // Inverter pairs: Inv(Inv(x)) -> x.
+    let mut inv_of: HashMap<WireId, WireId> = HashMap::new();
+    for g in &net.gates {
+        if g.kind == GateKind::Inv {
+            inv_of.insert(g.output, g.inputs[0]);
+        }
+    }
+    let mut subst: HashMap<WireId, WireId> = HashMap::new();
+    for g in &net.gates {
+        if g.kind == GateKind::Inv {
+            if let Some(&src) = inv_of.get(&g.inputs[0]) {
+                subst.insert(g.output, src);
+                changed = true;
+            }
+        }
+    }
+    apply_subst(net, &subst);
+    changed
+}
+
+/// Structural deduplication of identical gates.
+fn dedup(net: &mut Netlist) -> bool {
+    let mut seen: HashMap<(GateKind, Vec<WireId>), WireId> = HashMap::new();
+    let mut subst: HashMap<WireId, WireId> = HashMap::new();
+    let mut changed = false;
+    for g in &net.gates {
+        if g.kind == GateKind::Dff {
+            continue; // state is not shareable without init/timing checks
+        }
+        // Normalise commutative inputs.
+        let mut ins = g.inputs.clone();
+        if matches!(
+            g.kind,
+            GateKind::And2
+                | GateKind::Or2
+                | GateKind::Nand2
+                | GateKind::Nor2
+                | GateKind::Xor2
+                | GateKind::Xnor2
+        ) {
+            ins.sort_by_key(|w| w.index());
+        }
+        match seen.entry((g.kind, ins)) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                subst.insert(g.output, *e.get());
+                changed = true;
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(g.output);
+            }
+        }
+    }
+    if changed {
+        // Drop the duplicate gates themselves.
+        let dead: std::collections::HashSet<WireId> = subst.keys().copied().collect();
+        net.gates.retain(|g| !dead.contains(&g.output));
+        apply_subst(net, &subst);
+    }
+    changed
+}
+
+/// Removes gates whose outputs are unobservable (not reaching a primary
+/// output or any flip-flop input).
+fn sweep(net: &mut Netlist) -> bool {
+    let mut driver: HashMap<WireId, usize> = HashMap::new();
+    for (i, g) in net.gates.iter().enumerate() {
+        driver.insert(g.output, i);
+    }
+    let mut live = vec![false; net.gates.len()];
+    let mut stack: Vec<WireId> = Vec::new();
+    for (_, bus) in &net.outputs {
+        stack.extend(bus.iter().copied());
+    }
+    for g in &net.gates {
+        if g.kind == GateKind::Dff {
+            // All flip-flops are observable state.
+            stack.push(g.output);
+        }
+    }
+    while let Some(w) = stack.pop() {
+        if let Some(&gi) = driver.get(&w) {
+            if live[gi] {
+                continue;
+            }
+            live[gi] = true;
+            stack.extend(net.gates[gi].inputs.iter().copied());
+        }
+    }
+    let before = net.gates.len();
+    let mut keep = live.into_iter();
+    net.gates.retain(|_| keep.next().expect("length matches"));
+    net.gates.len() != before
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_folding_collapses_logic() {
+        let mut n = Netlist::new();
+        let a = n.input_bus("a", 1)[0];
+        let one = n.constant(true);
+        let x = n.gate(GateKind::And2, &[a, one]); // = a
+        let y = n.gate(GateKind::Xor2, &[x, one]); // = !a
+        let z = n.gate(GateKind::Inv, &[y]); // = a
+        let zz = n.gate(GateKind::Inv, &[z]); // = !a
+        n.output_bus("y", vec![zz]);
+        optimize(&mut n);
+        // All that remains observable is a single inverter.
+        assert_eq!(n.combinational_count(), 1, "{:?}", n.gates);
+        assert_eq!(
+            n.gates.iter().filter(|g| g.kind == GateKind::Inv).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn dedup_merges_common_subexpressions() {
+        let mut n = Netlist::new();
+        let a = n.input_bus("a", 1)[0];
+        let b = n.input_bus("b", 1)[0];
+        let x1 = n.gate(GateKind::And2, &[a, b]);
+        let x2 = n.gate(GateKind::And2, &[b, a]); // commutative duplicate
+        let y = n.gate(GateKind::Or2, &[x1, x2]); // folds to x1
+        n.output_bus("y", vec![y]);
+        optimize(&mut n);
+        assert_eq!(n.combinational_count(), 1);
+    }
+
+    #[test]
+    fn sweep_removes_dead_logic() {
+        let mut n = Netlist::new();
+        let a = n.input_bus("a", 1)[0];
+        let _dead = n.gate(GateKind::Inv, &[a]);
+        let live = n.gate(GateKind::Inv, &[a]);
+        n.output_bus("y", vec![live]);
+        optimize(&mut n);
+        assert_eq!(n.combinational_count(), 1);
+    }
+
+    #[test]
+    fn mux_with_equal_branches_folds() {
+        let mut n = Netlist::new();
+        let s = n.input_bus("s", 1)[0];
+        let a = n.input_bus("a", 1)[0];
+        let m = n.gate(GateKind::Mux2, &[s, a, a]);
+        n.output_bus("y", vec![m]);
+        optimize(&mut n);
+        assert_eq!(n.combinational_count(), 0);
+        assert_eq!(n.output_by_name("y").unwrap()[0], a);
+    }
+
+    #[test]
+    fn static_dff_folds_to_constant() {
+        let mut n = Netlist::new();
+        // Self-feedback DFF initialised to 1: always 1.
+        let (q, h) = n.dff_deferred(true);
+        n.connect_dff(h, q);
+        let a = n.input_bus("a", 1)[0];
+        let y = n.gate(GateKind::And2, &[a, q]); // = a
+        n.output_bus("y", vec![y]);
+        optimize(&mut n);
+        assert_eq!(n.dff_count(), 0, "{:?}", n.gates);
+        assert_eq!(n.output_by_name("y").unwrap()[0], a);
+    }
+
+    #[test]
+    fn dff_with_matching_constant_input_folds() {
+        let mut n = Netlist::new();
+        let zero = n.constant(false);
+        let q = n.dff(zero, false); // starts 0, stays 0
+        let a = n.input_bus("a", 1)[0];
+        let y = n.gate(GateKind::Or2, &[a, q]); // = a
+        n.output_bus("y", vec![y]);
+        optimize(&mut n);
+        assert_eq!(n.dff_count(), 0);
+        assert_eq!(n.output_by_name("y").unwrap()[0], a);
+    }
+
+    #[test]
+    fn dff_that_changes_once_is_kept() {
+        let mut n = Netlist::new();
+        let one = n.constant(true);
+        let q = n.dff(one, false); // 0 for one cycle, then 1 forever
+        n.output_bus("y", vec![q]);
+        optimize(&mut n);
+        assert_eq!(n.dff_count(), 1);
+    }
+
+    #[test]
+    fn dff_is_preserved() {
+        let mut n = Netlist::new();
+        let a = n.input_bus("a", 1)[0];
+        let q = n.dff(a, false);
+        let _unused_but_state = q;
+        n.output_bus("y", vec![a]);
+        optimize(&mut n);
+        assert_eq!(n.dff_count(), 1);
+    }
+}

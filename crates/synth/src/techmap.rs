@@ -1,0 +1,274 @@
+//! Technology mapping to a NAND/INV cell subset.
+//!
+//! The generic gate library keeps word-operator expansion readable
+//! (AND/OR/XOR/MUX), but a standard-cell hand-off of the era wanted the
+//! netlist in the cheap cells the library is characterised around —
+//! NAND2 (the 1.0 gate-equivalent unit) and the inverter. This pass
+//! rewrites every combinational gate into `{Nand2, Inv}` structures:
+//!
+//! | gate | mapping |
+//! |---|---|
+//! | `And2(a,b)` | `Inv(Nand(a,b))` |
+//! | `Or2(a,b)` | `Nand(Inv(a), Inv(b))` |
+//! | `Nor2(a,b)` | `Inv(Nand(Inv(a), Inv(b)))` |
+//! | `Xor2(a,b)` | `Nand(Nand(a,m), Nand(b,m))` with `m = Nand(a,b)` |
+//! | `Xnor2(a,b)` | `Inv(Xor2)` |
+//! | `Mux2(s,a,b)` | `Nand(Nand(s,a), Nand(Inv(s),b))` |
+//! | `Buf(a)` | `Inv(Inv(a))` |
+//!
+//! Flip-flops and constants pass through. The expansion is locally
+//! area-increasing (OR2 costs 1.5 as a cell but 2.0 as NAND+2×INV), so
+//! run [`crate::opt::optimize`] afterwards: inverter pairs straddling
+//! gate boundaries cancel and shared NAND structures deduplicate, which
+//! recovers most of the overhead — the classic map-then-clean flow.
+
+use std::collections::HashMap;
+
+use crate::gate::{Gate, GateKind, Netlist, WireId};
+
+/// Rewrites all combinational logic into NAND2/INV cells, in place.
+/// Returns the number of gates rewritten. Input/output buses and DFFs
+/// keep their wire identities, so the mapped netlist is drop-in
+/// equivalent (and simulates identically in the gate-level kernel).
+///
+/// ```
+/// use ocapi_synth::gate::{GateKind, Netlist};
+/// use ocapi_synth::techmap;
+///
+/// let mut n = Netlist::new();
+/// let x = n.input_bus("x", 2);
+/// let y = n.gate(GateKind::Or2, &[x[0], x[1]]);
+/// n.output_bus("y", vec![y]);
+/// let rewritten = techmap::to_nand_inv(&mut n);
+/// assert_eq!(rewritten, 1);
+/// assert!(techmap::is_nand_inv(&n));
+/// ```
+pub fn to_nand_inv(net: &mut Netlist) -> usize {
+    let old = std::mem::take(&mut net.gates);
+    let mut mapped = 0usize;
+    // Memoise inverters so `Or2` chains don't replicate `Inv(a)`.
+    let mut inv_of: HashMap<WireId, WireId> = HashMap::new();
+    let mut out = Vec::with_capacity(old.len() * 2);
+
+    // Local helpers appending to `out` while allocating wires on `net`.
+    fn push(out: &mut Vec<Gate>, kind: GateKind, inputs: &[WireId], output: WireId) {
+        out.push(Gate {
+            kind,
+            inputs: inputs.to_vec(),
+            output,
+            init: matches!(kind, GateKind::Const1),
+        });
+    }
+    fn nand(net: &mut Netlist, out: &mut Vec<Gate>, a: WireId, b: WireId) -> WireId {
+        let o = net.wire();
+        push(out, GateKind::Nand2, &[a, b], o);
+        o
+    }
+    fn nand_into(out: &mut Vec<Gate>, a: WireId, b: WireId, o: WireId) {
+        push(out, GateKind::Nand2, &[a, b], o);
+    }
+    fn inv(
+        net: &mut Netlist,
+        out: &mut Vec<Gate>,
+        memo: &mut HashMap<WireId, WireId>,
+        a: WireId,
+    ) -> WireId {
+        if let Some(w) = memo.get(&a) {
+            return *w;
+        }
+        let o = net.wire();
+        push(out, GateKind::Inv, &[a], o);
+        memo.insert(a, o);
+        o
+    }
+    fn inv_into(out: &mut Vec<Gate>, a: WireId, o: WireId) {
+        push(out, GateKind::Inv, &[a], o);
+    }
+
+    for g in old {
+        let o = g.output;
+        match g.kind {
+            GateKind::Const0 | GateKind::Const1 | GateKind::Inv | GateKind::Nand2 => {
+                out.push(g);
+            }
+            GateKind::Dff => out.push(g),
+            GateKind::Buf => {
+                // Two inverters; the optimiser collapses them, but the
+                // mapping itself must stay in the target set.
+                let m = inv(net, &mut out, &mut inv_of, g.inputs[0]);
+                inv_into(&mut out, m, o);
+                mapped += 1;
+            }
+            GateKind::And2 => {
+                let m = nand(net, &mut out, g.inputs[0], g.inputs[1]);
+                inv_into(&mut out, m, o);
+                mapped += 1;
+            }
+            GateKind::Or2 => {
+                let na = inv(net, &mut out, &mut inv_of, g.inputs[0]);
+                let nb = inv(net, &mut out, &mut inv_of, g.inputs[1]);
+                nand_into(&mut out, na, nb, o);
+                mapped += 1;
+            }
+            GateKind::Nor2 => {
+                let na = inv(net, &mut out, &mut inv_of, g.inputs[0]);
+                let nb = inv(net, &mut out, &mut inv_of, g.inputs[1]);
+                let m = nand(net, &mut out, na, nb);
+                inv_into(&mut out, m, o);
+                mapped += 1;
+            }
+            GateKind::Xor2 => {
+                let (a, b) = (g.inputs[0], g.inputs[1]);
+                let m = nand(net, &mut out, a, b);
+                let l = nand(net, &mut out, a, m);
+                let r = nand(net, &mut out, b, m);
+                nand_into(&mut out, l, r, o);
+                mapped += 1;
+            }
+            GateKind::Xnor2 => {
+                let (a, b) = (g.inputs[0], g.inputs[1]);
+                let m = nand(net, &mut out, a, b);
+                let l = nand(net, &mut out, a, m);
+                let r = nand(net, &mut out, b, m);
+                let x = nand(net, &mut out, l, r);
+                inv_into(&mut out, x, o);
+                mapped += 1;
+            }
+            GateKind::Mux2 => {
+                let (s, a, b) = (g.inputs[0], g.inputs[1], g.inputs[2]);
+                let ns = inv(net, &mut out, &mut inv_of, s);
+                let l = nand(net, &mut out, s, a);
+                let r = nand(net, &mut out, ns, b);
+                nand_into(&mut out, l, r, o);
+                mapped += 1;
+            }
+        }
+    }
+    net.gates = out;
+    mapped
+}
+
+/// True when the netlist contains only NAND2/INV combinational cells
+/// (plus DFFs and constants).
+pub fn is_nand_inv(net: &Netlist) -> bool {
+    net.gates.iter().all(|g| {
+        matches!(
+            g.kind,
+            GateKind::Nand2 | GateKind::Inv | GateKind::Dff | GateKind::Const0 | GateKind::Const1
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opt;
+
+    /// Evaluates a purely combinational netlist by topological walk
+    /// (test-local; the real simulator lives in `ocapi-gatesim`).
+    fn eval(net: &Netlist, x: u64) -> u64 {
+        let mut vals = vec![false; net.n_wires];
+        let ins = net.input_by_name("x").expect("in");
+        for (k, w) in ins.iter().enumerate() {
+            vals[w.index()] = (x >> k) & 1 == 1;
+        }
+        // Gates were appended respecting def-before-use except for the
+        // memoised inverters; iterate to a fixed point (DAG: bounded).
+        for _ in 0..net.gates.len() + 1 {
+            for g in &net.gates {
+                if g.kind == GateKind::Dff {
+                    continue;
+                }
+                let iv: Vec<bool> = g.inputs.iter().map(|w| vals[w.index()]).collect();
+                vals[g.output.index()] = g.kind.eval(&iv);
+            }
+        }
+        let outs = net.output_by_name("y").expect("out");
+        outs.iter()
+            .enumerate()
+            .fold(0u64, |acc, (k, w)| acc | ((vals[w.index()] as u64) << k))
+    }
+
+    fn one_gate(kind: GateKind) -> Netlist {
+        let mut n = Netlist::new();
+        let x = n.input_bus("x", kind.arity());
+        let o = n.gate(kind, &x);
+        n.output_bus("y", vec![o]);
+        n
+    }
+
+    #[test]
+    fn every_gate_maps_truth_table_exactly() {
+        for kind in [
+            GateKind::Buf,
+            GateKind::Inv,
+            GateKind::And2,
+            GateKind::Or2,
+            GateKind::Nand2,
+            GateKind::Nor2,
+            GateKind::Xor2,
+            GateKind::Xnor2,
+            GateKind::Mux2,
+        ] {
+            let reference = one_gate(kind);
+            let mut mapped = one_gate(kind);
+            to_nand_inv(&mut mapped);
+            assert!(is_nand_inv(&mapped), "{kind:?} not fully mapped");
+            for x in 0..(1u64 << kind.arity()) {
+                assert_eq!(
+                    eval(&reference, x),
+                    eval(&mapped, x),
+                    "{kind:?} diverges on input {x:b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shared_inverters_are_memoised() {
+        // Two ORs over the same inputs: Inv(a)/Inv(b) must appear once.
+        let mut n = Netlist::new();
+        let x = n.input_bus("x", 2);
+        let o1 = n.gate(GateKind::Or2, &[x[0], x[1]]);
+        let o2 = n.gate(GateKind::Or2, &[x[0], x[1]]);
+        n.output_bus("y", vec![o1, o2]);
+        to_nand_inv(&mut n);
+        let invs = n.gates.iter().filter(|g| g.kind == GateKind::Inv).count();
+        assert_eq!(invs, 2, "one inverter per input, shared across ORs");
+    }
+
+    #[test]
+    fn map_then_optimize_recovers_overhead() {
+        // AND feeding AND: Inv(Nand) then Nand(Inv(..),..) patterns let
+        // the optimiser cancel inverter pairs.
+        let mut n = Netlist::new();
+        let x = n.input_bus("x", 3);
+        let a = n.gate(GateKind::And2, &[x[0], x[1]]);
+        let b = n.gate(GateKind::Or2, &[a, x[2]]);
+        n.output_bus("y", vec![b]);
+        let unmapped_area = n.area();
+        to_nand_inv(&mut n);
+        let raw_mapped = n.area();
+        opt::optimize(&mut n);
+        assert!(is_nand_inv(&n));
+        assert!(raw_mapped > unmapped_area, "local expansion costs area");
+        assert!(
+            n.area() <= raw_mapped,
+            "clean-up must not grow the mapped netlist"
+        );
+    }
+
+    #[test]
+    fn dffs_and_constants_pass_through() {
+        let mut n = Netlist::new();
+        let x = n.input_bus("x", 1);
+        let k = n.constant(true);
+        let a = n.gate(GateKind::Xor2, &[x[0], k]);
+        let q = n.dff(a, false);
+        n.output_bus("y", vec![q]);
+        to_nand_inv(&mut n);
+        assert!(is_nand_inv(&n));
+        assert_eq!(n.dff_count(), 1);
+        assert!(n.gates.iter().any(|g| matches!(g.kind, GateKind::Const1)));
+    }
+}

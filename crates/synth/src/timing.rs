@@ -1,0 +1,199 @@
+//! Static timing analysis of synthesized netlists.
+//!
+//! The paper's designs are *high speed* ASICs; after synthesis the
+//! question is always "what clock can this run at?". This module computes
+//! the longest register-to-register (or port-to-port) combinational path
+//! through the gate netlist under a simple per-gate delay model, and
+//! reports the critical path for the area/speed trade-off discussions of
+//! §6.
+
+use crate::gate::{GateKind, Netlist, WireId};
+
+/// Per-gate delay in arbitrary "gate delay" units (NAND2 = 1.0), roughly
+/// following relative standard-cell delays.
+pub fn gate_delay(kind: GateKind) -> f64 {
+    match kind {
+        GateKind::Const0 | GateKind::Const1 => 0.0,
+        GateKind::Buf => 0.5,
+        GateKind::Inv => 0.5,
+        GateKind::Nand2 | GateKind::Nor2 => 1.0,
+        GateKind::And2 | GateKind::Or2 => 1.5,
+        GateKind::Xor2 | GateKind::Xnor2 => 2.0,
+        GateKind::Mux2 => 2.0,
+        // Clock-to-Q; the setup margin is accounted in `TimingReport`.
+        GateKind::Dff => 1.0,
+    }
+}
+
+/// The result of a timing pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingReport {
+    /// Longest combinational delay (gate-delay units) between timing
+    /// endpoints (DFF outputs / primary inputs → DFF inputs / primary
+    /// outputs).
+    pub critical_path: f64,
+    /// The wires along the critical path, source first.
+    pub path: Vec<WireId>,
+    /// Combinational depth (gate count) of the critical path.
+    pub depth: usize,
+}
+
+impl TimingReport {
+    /// Estimated maximum clock frequency if one gate-delay unit is
+    /// `nand2_ps` picoseconds (a 0.7 µm NAND2 is ~300 ps, the paper's
+    /// technology).
+    pub fn max_clock_mhz(&self, nand2_ps: f64) -> f64 {
+        let period_ps = self.critical_path.max(1.0) * nand2_ps;
+        1e6 / period_ps
+    }
+}
+
+/// Computes the longest combinational path of a netlist.
+///
+/// Endpoints are DFF boundaries and primary inputs/outputs; DFF
+/// clock-to-Q is included at path starts. Combinational loops broken only
+/// by multiplexer selection (shared operator units) are handled by
+/// treating the netlist as a DAG over its topological prefix — gates on a
+/// cycle are skipped with their arrival left at the maximum seen, which
+/// over-approximates never-sensitised false paths (safe for a maximum
+/// estimate).
+pub fn analyze(net: &Netlist) -> TimingReport {
+    // Arrival time per wire; undriven wires (primary inputs) start at 0,
+    // DFF outputs start at clock-to-Q.
+    let mut arrival = vec![0.0f64; net.n_wires];
+    let mut from = vec![None::<WireId>; net.n_wires];
+
+    // Iterate to a fixed point over the (mostly ordered) gate list; the
+    // iteration count is bounded to keep structural false loops finite.
+    for _round in 0..64 {
+        let mut changed = false;
+        for g in &net.gates {
+            let out = g.output.index();
+            let (start, src): (f64, Option<WireId>) = match g.kind {
+                GateKind::Dff => (gate_delay(GateKind::Dff), None),
+                GateKind::Const0 | GateKind::Const1 => (0.0, None),
+                _ => {
+                    let mut best = f64::NEG_INFINITY;
+                    let mut best_src = None;
+                    for i in &g.inputs {
+                        if arrival[i.index()] > best {
+                            best = arrival[i.index()];
+                            best_src = Some(*i);
+                        }
+                    }
+                    if best_src.is_none() {
+                        best = 0.0;
+                    }
+                    (best + gate_delay(g.kind), best_src)
+                }
+            };
+            if start > arrival[out] + 1e-12 {
+                arrival[out] = start;
+                from[out] = src;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Timing endpoints: DFF data inputs and primary outputs.
+    let mut worst = 0.0;
+    let mut end: Option<WireId> = None;
+    for g in &net.gates {
+        if g.kind == GateKind::Dff {
+            let a = arrival[g.inputs[0].index()];
+            if a > worst {
+                worst = a;
+                end = Some(g.inputs[0]);
+            }
+        }
+    }
+    for (_, bus) in &net.outputs {
+        for w in bus {
+            if arrival[w.index()] > worst {
+                worst = arrival[w.index()];
+                end = Some(*w);
+            }
+        }
+    }
+
+    // Reconstruct the path.
+    let mut path = Vec::new();
+    let mut cur = end;
+    while let Some(w) = cur {
+        path.push(w);
+        if path.len() > net.n_wires {
+            break; // safety on false loops
+        }
+        cur = from[w.index()];
+    }
+    path.reverse();
+    let depth = path.len();
+    TimingReport {
+        critical_path: worst,
+        path,
+        depth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitops::ripple_add;
+
+    #[test]
+    fn ripple_adder_path_grows_linearly() {
+        fn critical(w: usize) -> f64 {
+            let mut net = Netlist::new();
+            let a = net.input_bus("a", w);
+            let b = net.input_bus("b", w);
+            let cin = net.constant(false);
+            let (sum, _) = ripple_add(&mut net, &a, &b, cin);
+            net.output_bus("s", sum);
+            analyze(&net).critical_path
+        }
+        let c4 = critical(4);
+        let c16 = critical(16);
+        assert!(c16 > c4 * 2.5, "carry chain must dominate: {c4} vs {c16}");
+    }
+
+    #[test]
+    fn registered_pipeline_cuts_the_path() {
+        // a -> 8 inverters -> out, vs the same with a DFF in the middle.
+        fn build(pipelined: bool) -> Netlist {
+            let mut net = Netlist::new();
+            let a = net.input_bus("a", 1)[0];
+            let mut w = a;
+            for i in 0..8 {
+                w = net.gate(GateKind::Inv, &[w]);
+                if pipelined && i == 3 {
+                    w = net.dff(w, false);
+                }
+            }
+            net.output_bus("y", vec![w]);
+            net
+        }
+        let flat = analyze(&build(false));
+        let piped = analyze(&build(true));
+        assert_eq!(flat.critical_path, 8.0 * 0.5);
+        // Worst stage: 4 inverters plus clock-to-Q.
+        assert!(piped.critical_path < flat.critical_path);
+        assert_eq!(piped.critical_path, 1.0 + 4.0 * 0.5);
+    }
+
+    #[test]
+    fn path_reconstruction_is_connected() {
+        let mut net = Netlist::new();
+        let a = net.input_bus("a", 1)[0];
+        let x = net.gate(GateKind::Inv, &[a]);
+        let y = net.gate(GateKind::And2, &[x, a]);
+        net.output_bus("y", vec![y]);
+        let rep = analyze(&net);
+        assert_eq!(rep.critical_path, 0.5 + 1.5);
+        assert_eq!(rep.path.first(), Some(&a));
+        assert_eq!(rep.path.last(), Some(&y));
+        assert!(rep.max_clock_mhz(300.0) > 0.0);
+    }
+}

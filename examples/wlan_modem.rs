@@ -1,0 +1,36 @@
+//! The wireless-LAN modem demonstrator: Barker-11 spreading loopback with
+//! the correlation profile printed per chip.
+//!
+//! Run with `cargo run --example wlan_modem`.
+
+use asic_dse::ocapi::{InterpSim, Simulator, Value};
+use asic_dse::ocapi_designs::wlan;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut sim = InterpSim::new(wlan::build_system()?)?;
+    sim.set_input("en", Value::Bool(true))?;
+
+    let data = [true, false, true, true];
+    println!("spreading {data:?} over Barker-11, correlating back:\n");
+    for bit in data {
+        for chip in 0..11 {
+            sim.set_input("bit", Value::Bool(bit))?;
+            sim.step()?;
+            let corr = sim.output("corr")?.as_fixed().expect("fixed").to_f64();
+            let peak = sim.output("peak")? == Value::Bool(true);
+            let rx = sim.output("rx_bit")? == Value::Bool(true);
+            let bar_len = (corr.abs() * 2.0) as usize;
+            let bar: String = std::iter::repeat_n('#', bar_len).collect();
+            println!(
+                "chip {chip:>2}: corr {corr:>5.1} {bar}{}",
+                if peak {
+                    format!("  <- peak, bit = {rx}")
+                } else {
+                    String::new()
+                }
+            );
+        }
+        println!();
+    }
+    Ok(())
+}

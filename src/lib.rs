@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! Umbrella crate re-exporting the full design environment.
+//!
+//! This workspace reproduces the DAC 1998 paper *"A Programming Environment
+//! for the Design of Complex High Speed ASICs"* (Schaumont, Vernalde,
+//! Rijnders, Engels, Bolsens — IMEC) in Rust. The original system captured
+//! hardware as C++ objects (signals, signal-flow graphs, finite state
+//! machines), simulated it with a three-phase cycle scheduler, and generated
+//! synthesizable HDL plus testbenches from the same data structure.
+//!
+//! See the individual crates for detail:
+//! * [`ocapi`] — the core DSL: signals, SFGs, FSMs, untimed processes,
+//!   data-flow and cycle schedulers, interpreted and compiled simulators.
+//! * [`ocapi_fixp`] — fixed-point arithmetic (finite-wordlength simulation).
+//! * [`ocapi_hdl`] — VHDL/Verilog code generation and testbench generation.
+//! * [`ocapi_rtl`] — event-driven RT-level simulation kernel (the "VHDL RT"
+//!   baseline of Table 1).
+//! * [`ocapi_synth`] — datapath and controller synthesis to a gate netlist.
+//! * [`ocapi_gatesim`] — event-driven gate-level netlist simulation.
+//! * [`ocapi_designs`] — the DECT transceiver and HCOR correlator driver
+//!   designs plus the demonstrator designs from the paper's conclusions.
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs` for a complete timed component built with
+//! the FSM/SFG DSL, simulated with both the interpreted and compiled
+//! back-ends.
+
+pub use ocapi;
+pub use ocapi_designs;
+pub use ocapi_fixp;
+pub use ocapi_gatesim;
+pub use ocapi_hdl;
+pub use ocapi_rtl;
+pub use ocapi_synth;

@@ -1,0 +1,110 @@
+//! The §3.3 architecture experiment as an assertion: the DECT design
+//! switched from a data-driven to a centrally-controlled architecture
+//! because global exceptions (the hold request) are O(1) under central
+//! control but O(pipeline depth) under local data-driven control.
+
+use asic_dse::ocapi::{Component, CoreError, InterpSim, SigType, Simulator, System, Value};
+use asic_dse::ocapi_designs::dect::burst::{generate, BurstConfig};
+use asic_dse::ocapi_designs::dect::transceiver::{build_system, TransceiverConfig};
+
+fn stage(name: &str) -> Result<Component, CoreError> {
+    let c = Component::build(name);
+    let stall_in = c.input("stall_in", SigType::Bool)?;
+    let d_in = c.input("d_in", SigType::Bits(16))?;
+    let stall_out = c.output("stall_out", SigType::Bool)?;
+    let d_out = c.output("d_out", SigType::Bits(16))?;
+    let data = c.reg("data", SigType::Bits(16))?;
+    let stall_r = c.reg("stall_r", SigType::Bool)?;
+    let s = c.sfg("s")?;
+    let st = c.read(stall_in);
+    let q = c.q(data);
+    s.next(data, &st.mux(&q, &c.read(d_in)))?;
+    s.next(stall_r, &st)?;
+    s.drive(d_out, &q)?;
+    s.drive(stall_out, &c.q(stall_r))?;
+    c.finish()
+}
+
+fn pipeline(k: usize) -> Result<System, CoreError> {
+    let mut sb = System::build("pipeline");
+    let src = {
+        let c = Component::build("src");
+        let stall = c.input("stall_in", SigType::Bool)?;
+        let out = c.output("d_out", SigType::Bits(16))?;
+        let cnt = c.reg("cnt", SigType::Bits(16))?;
+        let s = c.sfg("s")?;
+        let q = c.q(cnt);
+        s.next(
+            cnt,
+            &c.read(stall).mux(&q, &(q.clone() + c.const_bits(16, 1))),
+        )?;
+        s.drive(out, &q)?;
+        c.finish()?
+    };
+    let src_id = sb.add_component("src", src)?;
+    let mut stages = Vec::new();
+    for i in 0..k {
+        stages.push(sb.add_component(&format!("st{i}"), stage(&format!("stage{i}"))?)?);
+    }
+    sb.connect(src_id, "d_out", stages[0], "d_in")?;
+    for i in 1..k {
+        sb.connect(stages[i - 1], "d_out", stages[i], "d_in")?;
+    }
+    sb.input("stall", SigType::Bool)?;
+    sb.connect_input("stall", stages[k - 1], "stall_in")?;
+    for i in (0..k - 1).rev() {
+        sb.connect(stages[i + 1], "stall_out", stages[i], "stall_in")?;
+    }
+    sb.connect(stages[0], "stall_out", src_id, "stall_in")?;
+    sb.output("head", src_id, "d_out")?;
+    sb.finish()
+}
+
+fn dataflow_freeze_latency(k: usize) -> u64 {
+    let mut sim = InterpSim::new(pipeline(k).expect("build")).expect("sim");
+    sim.set_input("stall", Value::Bool(false)).expect("set");
+    sim.run(10).expect("warmup");
+    sim.set_input("stall", Value::Bool(true)).expect("set");
+    let mut prev = sim.output("head").expect("out");
+    for cycle in 1..500 {
+        sim.step().expect("step");
+        let cur = sim.output("head").expect("out");
+        if cur == prev {
+            return cycle;
+        }
+        prev = cur;
+    }
+    panic!("source never froze");
+}
+
+#[test]
+fn central_control_freezes_in_one_cycle() {
+    let cfg = TransceiverConfig::default();
+    let burst = generate(&BurstConfig::default());
+    let mut sim = InterpSim::new(build_system(&cfg).expect("build")).expect("sim");
+    sim.set_input("hold_request", Value::Bool(false))
+        .expect("set");
+    sim.set_input("sample", Value::Fixed(burst.samples[0]))
+        .expect("set");
+    sim.run(10).expect("warmup");
+    sim.set_input("hold_request", Value::Bool(true))
+        .expect("set");
+    sim.step().expect("step");
+    assert_eq!(
+        sim.output("holding").expect("out"),
+        Value::Bool(true),
+        "central control must freeze on the next instruction fetch"
+    );
+}
+
+#[test]
+fn data_driven_freeze_latency_grows_with_depth() {
+    let l4 = dataflow_freeze_latency(4);
+    let l16 = dataflow_freeze_latency(16);
+    let l32 = dataflow_freeze_latency(32);
+    assert!(l4 >= 4, "at least one handshake per stage: {l4}");
+    assert!(l16 > l4, "{l16} vs {l4}");
+    assert!(l32 > l16, "{l32} vs {l16}");
+    // The growth is linear in depth (one registered handshake per stage).
+    assert_eq!(l32 - l16, 16);
+}
