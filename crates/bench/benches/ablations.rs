@@ -4,13 +4,25 @@
 //! * fixed-point quantisation vs bit-vector simulation (§3),
 //! * three-phase cycle-scheduler overhead vs untimed chain length (§4),
 //! * dynamic data-flow scheduling vs a precomputed static SDF schedule.
+//!
+//! A plain timing harness (`cargo bench -p ocapi-bench --bench
+//! ablations`): no registry dependencies, median of repeated runs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ocapi::dataflow::{DataflowGraph, FnActor, Sink, Source};
 use ocapi::{
     CompiledSim, Component, FnBlock, InterpSim, PortDecl, SigType, Simulator, System, Value,
 };
+use ocapi_bench::timed;
 use ocapi_fixp::{BitVec, Fix, Format, Overflow, Rounding};
+
+const REPS: usize = 10;
+
+fn report<T>(label: &str, mut f: impl FnMut() -> T) {
+    f(); // warm-up
+    let mut secs: Vec<f64> = (0..REPS).map(|_| timed(&mut f).1).collect();
+    secs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    println!("{label:<40} {:>10.3} ms/run", secs[secs.len() / 2] * 1e3);
+}
 
 /// A chain of `n` accumulate-and-forward components.
 fn chain_system(n: usize) -> System {
@@ -43,25 +55,20 @@ fn chain_system(n: usize) -> System {
     sb.finish().expect("system")
 }
 
-fn interp_vs_compiled_scaling(c: &mut Criterion) {
-    let mut g = c.benchmark_group("interp_vs_compiled_scaling");
-    g.sample_size(10);
+fn interp_vs_compiled_scaling() {
     for n in [4usize, 16, 64] {
         let mut interp = InterpSim::new(chain_system(n)).expect("sim");
         interp.set_input("x", Value::bits(16, 3)).expect("set");
-        g.bench_with_input(BenchmarkId::new("interpreted", n), &n, |b, _| {
-            b.iter(|| interp.run(256).expect("run"))
+        report(&format!("interpreted/{n}"), || {
+            interp.run(256).expect("run")
         });
         let mut compiled = CompiledSim::new(chain_system(n)).expect("sim");
         compiled.set_input("x", Value::bits(16, 3)).expect("set");
-        g.bench_with_input(BenchmarkId::new("compiled", n), &n, |b, _| {
-            b.iter(|| compiled.run(256).expect("run"))
-        });
+        report(&format!("compiled/{n}"), || compiled.run(256).expect("run"));
     }
-    g.finish();
 }
 
-fn fixp_vs_bitvec(c: &mut Criterion) {
+fn fixp_vs_bitvec() {
     // A 16-tap MAC at 12-bit precision: the paper's argument for
     // simulating quantisation instead of bit vectors.
     let fmt = Format::new(12, 4).expect("fmt");
@@ -94,38 +101,32 @@ fn fixp_vs_bitvec(c: &mut Criterion) {
         .map(|f| BitVec::from_i64(f.mantissa(), 12).expect("bv"))
         .collect();
 
-    let mut g = c.benchmark_group("fixp_vs_bitvec");
-    g.bench_function("quantisation_fix", |b| {
-        b.iter(|| {
-            let mut acc = Fix::zero(Format::new(24, 10).expect("fmt"));
-            for w in xs_fix.windows(16) {
-                for (x, co) in w.iter().zip(&coefs_fix) {
-                    acc = (acc + *x * *co).cast(
-                        Format::new(24, 10).expect("fmt"),
-                        Rounding::Truncate,
-                        Overflow::Wrap,
-                    );
-                }
+    report("fixp_vs_bitvec/quantisation_fix", || {
+        let mut acc = Fix::zero(Format::new(24, 10).expect("fmt"));
+        for w in xs_fix.windows(16) {
+            for (x, co) in w.iter().zip(&coefs_fix) {
+                acc = (acc + *x * *co).cast(
+                    Format::new(24, 10).expect("fmt"),
+                    Rounding::Truncate,
+                    Overflow::Wrap,
+                );
             }
-            acc
-        })
+        }
+        acc
     });
-    g.bench_function("bit_vector", |b| {
-        b.iter(|| {
-            let mut acc = BitVec::zeros(24);
-            for w in xs_bv.windows(16) {
-                for (x, co) in w.iter().zip(&coefs_bv) {
-                    let p = x.shift_add_mul(co).expect("mul");
-                    acc = acc.ripple_add(&p).expect("add");
-                }
+    report("fixp_vs_bitvec/bit_vector", || {
+        let mut acc = BitVec::zeros(24);
+        for w in xs_bv.windows(16) {
+            for (x, co) in w.iter().zip(&coefs_bv) {
+                let p = x.shift_add_mul(co).expect("mul");
+                acc = acc.ripple_add(&p).expect("add");
             }
-            acc
-        })
+        }
+        acc
     });
-    g.finish();
 }
 
-fn scheduler_phase_overhead(c: &mut Criterion) {
+fn scheduler_phase_overhead() {
     // A loop of timed + untimed components of growing length: the
     // evaluation phase must order the untimed firings data-dependently.
     fn looped(n_untimed: usize) -> System {
@@ -166,18 +167,15 @@ fn scheduler_phase_overhead(c: &mut Criterion) {
         sb.output("probe", h, "o").expect("po");
         sb.finish().expect("system")
     }
-    let mut g = c.benchmark_group("cycle_scheduler_phases");
-    g.sample_size(20);
     for n in [1usize, 8, 32] {
         let mut sim = InterpSim::new(looped(n)).expect("sim");
-        g.bench_with_input(BenchmarkId::new("untimed_chain", n), &n, |b, _| {
-            b.iter(|| sim.run(64).expect("run"))
+        report(&format!("scheduler/untimed_chain/{n}"), || {
+            sim.run(64).expect("run")
         });
     }
-    g.finish();
 }
 
-fn dataflow_scheduling(c: &mut Criterion) {
+fn dataflow_scheduling() {
     fn graph(tokens: usize) -> DataflowGraph {
         let mut g = DataflowGraph::new();
         let src = g.add(Box::new(Source::new(
@@ -199,24 +197,19 @@ fn dataflow_scheduling(c: &mut Criterion) {
         g.connect(f2, 0, sink, 0, &[]).expect("conn");
         g
     }
-    let mut g = c.benchmark_group("dataflow_scheduler");
-    g.bench_function("dynamic_run_4096_tokens", |b| {
-        b.iter(|| {
-            let mut dg = graph(4096);
-            dg.run(u64::MAX).expect("run")
-        })
+    report("dataflow/dynamic_run_4096_tokens", || {
+        let mut dg = graph(4096);
+        dg.run(u64::MAX).expect("run")
     });
-    g.bench_function("static_schedule_construction", |b| {
-        b.iter(|| graph(16).static_schedule().expect("schedule"))
+    report("dataflow/static_schedule_construction", || {
+        graph(16).static_schedule().expect("schedule")
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    interp_vs_compiled_scaling,
-    fixp_vs_bitvec,
-    scheduler_phase_overhead,
-    dataflow_scheduling
-);
-criterion_main!(benches);
+fn main() {
+    println!("ablations: median of {REPS} runs\n");
+    interp_vs_compiled_scaling();
+    fixp_vs_bitvec();
+    scheduler_phase_overhead();
+    dataflow_scheduling();
+}

@@ -2,15 +2,26 @@
 //! operator sharing, controller minimisation, and HDL generation — the
 //! run-time side of the paper's §6 ("run times less than 15 minutes even
 //! for the most complex … datapath").
+//!
+//! A plain timing harness (`cargo bench -p ocapi-bench --bench
+//! synthesis`): no registry dependencies, median of repeated runs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use ocapi_bench::padded_sequencer;
+use ocapi_bench::{padded_sequencer, timed};
 use ocapi_designs::dect::transceiver::{build_system, TransceiverConfig};
 use ocapi_designs::hcor;
 use ocapi_hdl::{verilog, vhdl};
 use ocapi_synth::{synthesize, SynthOptions};
 
-fn bench(c: &mut Criterion) {
+const REPS: usize = 20;
+
+fn report<T>(label: &str, mut f: impl FnMut() -> T) {
+    f(); // warm-up
+    let mut secs: Vec<f64> = (0..REPS).map(|_| timed(&mut f).1).collect();
+    secs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    println!("{label:<32} {:>10.3} ms/run", secs[secs.len() / 2] * 1e3);
+}
+
+fn main() {
     let sys = build_system(&TransceiverConfig::default()).expect("build");
     let mac = sys
         .timed
@@ -21,68 +32,56 @@ fn bench(c: &mut Criterion) {
         .clone();
     let hcor_comp = hcor::build_component().expect("build");
 
-    let mut g = c.benchmark_group("synthesis");
-    g.sample_size(20);
-    g.bench_function("datapath_mac_shared", |b| {
-        b.iter(|| synthesize(&mac, &SynthOptions::default()).expect("synthesis"))
+    println!("synthesis: median of {REPS} runs\n");
+
+    report("datapath_mac_shared", || {
+        synthesize(&mac, &SynthOptions::default()).expect("synthesis")
     });
-    g.bench_function("datapath_mac_flat", |b| {
-        b.iter(|| {
-            synthesize(
-                &mac,
-                &SynthOptions {
-                    share_operators: false,
-                    ..SynthOptions::default()
-                },
-            )
-            .expect("synthesis")
-        })
+    report("datapath_mac_flat", || {
+        synthesize(
+            &mac,
+            &SynthOptions {
+                share_operators: false,
+                ..SynthOptions::default()
+            },
+        )
+        .expect("synthesis")
     });
-    g.bench_function("controller_hcor_minimized", |b| {
-        b.iter(|| synthesize(&hcor_comp, &SynthOptions::default()).expect("synthesis"))
+    report("controller_hcor_minimized", || {
+        synthesize(&hcor_comp, &SynthOptions::default()).expect("synthesis")
     });
-    g.bench_function("controller_hcor_structural", |b| {
-        b.iter(|| {
-            synthesize(
-                &hcor_comp,
-                &SynthOptions {
-                    minimize_controller: false,
-                    ..SynthOptions::default()
-                },
-            )
-            .expect("synthesis")
-        })
+    report("controller_hcor_structural", || {
+        synthesize(
+            &hcor_comp,
+            &SynthOptions {
+                minimize_controller: false,
+                ..SynthOptions::default()
+            },
+        )
+        .expect("synthesis")
     });
-    g.bench_function("vhdl_generation_dect", |b| {
-        b.iter(|| vhdl::system_source(&sys).expect("codegen"))
+    report("vhdl_generation_dect", || {
+        vhdl::system_source(&sys).expect("codegen")
     });
-    g.bench_function("verilog_generation_dect", |b| {
-        b.iter(|| verilog::system_source(&sys).expect("codegen"))
+    report("verilog_generation_dect", || {
+        verilog::system_source(&sys).expect("codegen")
     });
 
     // Back-end passes on the synthesized MAC netlist.
     let mac_net = synthesize(&mac, &SynthOptions::default()).expect("synthesis");
-    g.bench_function("techmap_nand_inv_mac", |b| {
-        b.iter(|| {
-            let mut n = mac_net.netlist.clone();
-            ocapi_synth::techmap::to_nand_inv(&mut n);
-            ocapi_synth::opt::optimize(&mut n);
-            n
-        })
+    report("techmap_nand_inv_mac", || {
+        let mut n = mac_net.netlist.clone();
+        ocapi_synth::techmap::to_nand_inv(&mut n);
+        ocapi_synth::opt::optimize(&mut n);
+        n
     });
-    g.bench_function("netlist_emit_parse_roundtrip_mac", |b| {
-        b.iter(|| {
-            let src = ocapi_synth::emit::verilog_netlist("mac", &mac_net.netlist);
-            ocapi_synth::parse::verilog_netlist(&src).expect("parse")
-        })
+    report("netlist_emit_parse_roundtrip_mac", || {
+        let src = ocapi_synth::emit::verilog_netlist("mac", &mac_net.netlist);
+        ocapi_synth::parse::verilog_netlist(&src).expect("parse")
     });
-    g.bench_function("fsm_minimize_padded_seq", |b| {
-        let comp = padded_sequencer(16).expect("build");
-        let fsm = comp.fsm.clone().expect("fsm");
-        b.iter(|| ocapi_synth::fsm_min::minimize(&fsm))
+    let comp = padded_sequencer(16).expect("build");
+    let fsm = comp.fsm.clone().expect("fsm");
+    report("fsm_minimize_padded_seq", || {
+        ocapi_synth::fsm_min::minimize(&fsm)
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

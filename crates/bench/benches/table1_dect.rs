@@ -1,13 +1,18 @@
 //! Table 1, DECT rows: simulation speed of the four paradigms on the
 //! complete transceiver.
+//!
+//! A plain timing harness (`cargo bench -p ocapi-bench --bench
+//! table1_dect`): no registry dependencies, median of repeated runs.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use ocapi::{CompiledSim, InterpSim};
+use ocapi::{CompiledSim, InterpSim, Simulator};
+use ocapi_bench::timed;
 use ocapi_designs::dect::burst::{generate, Burst, BurstConfig};
 use ocapi_designs::dect::transceiver::{build_system, run_burst, TransceiverConfig};
 use ocapi_gatesim::GateSystemSim;
 use ocapi_rtl::RtlSystemSim;
 use ocapi_synth::SynthOptions;
+
+const REPS: usize = 10;
 
 fn burst(payload: usize) -> Burst {
     generate(&BurstConfig {
@@ -16,41 +21,39 @@ fn burst(payload: usize) -> Burst {
     })
 }
 
-fn bench(c: &mut Criterion) {
+fn report(label: &str, sim: &mut dyn Simulator, b: &Burst) {
+    run_burst(sim, b, None).expect("burst"); // warm-up
+    let mut secs: Vec<f64> = (0..REPS)
+        .map(|_| timed(|| run_burst(sim, b, None).expect("burst")).1)
+        .collect();
+    secs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let median = secs[secs.len() / 2];
+    let cycles = (b.samples.len() * 4) as f64;
+    println!(
+        "{label:<18} {:>10.3} ms/burst {:>12.0} cycles/s",
+        median * 1e3,
+        cycles / median
+    );
+}
+
+fn main() {
     let cfg = TransceiverConfig::default();
-    let mut g = c.benchmark_group("table1_dect");
-    g.sample_size(10);
+    println!("table1_dect: median of {REPS} runs\n");
 
     let b96 = burst(96);
-    g.throughput(Throughput::Elements((b96.samples.len() * 4) as u64));
-
     let mut interp = InterpSim::new(build_system(&cfg).expect("build")).expect("sim");
-    g.bench_function("interpreted_obj", |b| {
-        b.iter(|| run_burst(&mut interp, &b96, None).expect("burst"))
-    });
+    report("interpreted_obj", &mut interp, &b96);
 
     let mut compiled = CompiledSim::new(build_system(&cfg).expect("build")).expect("sim");
-    g.bench_function("compiled", |b| {
-        b.iter(|| run_burst(&mut compiled, &b96, None).expect("burst"))
-    });
+    report("compiled", &mut compiled, &b96);
 
     let mut rtl = RtlSystemSim::new(build_system(&cfg).expect("build")).expect("sim");
-    g.bench_function("rtl_event_driven", |b| {
-        b.iter(|| run_burst(&mut rtl, &b96, None).expect("burst"))
-    });
+    report("rtl_event_driven", &mut rtl, &b96);
 
     // Netlist simulation is orders of magnitude slower; use a small burst.
     let b8 = burst(8);
     let mut gates =
         GateSystemSim::new(build_system(&cfg).expect("build"), &SynthOptions::default())
             .expect("sim");
-    g.throughput(Throughput::Elements((b8.samples.len() * 4) as u64));
-    g.bench_function("gate_netlist", |b| {
-        b.iter(|| run_burst(&mut gates, &b8, None).expect("burst"))
-    });
-
-    g.finish();
+    report("gate_netlist", &mut gates, &b8);
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,14 +1,18 @@
 //! Table 1, HCOR rows: simulation speed of the four paradigms on the
 //! header correlator.
+//!
+//! A plain timing harness (`cargo bench -p ocapi-bench --bench
+//! table1_hcor`): no registry dependencies, median of repeated runs.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use ocapi::{CompiledSim, InterpSim, Simulator, Value};
+use ocapi_bench::timed;
 use ocapi_designs::hcor;
 use ocapi_gatesim::GateSystemSim;
 use ocapi_rtl::RtlSystemSim;
 use ocapi_synth::SynthOptions;
 
 const CYCLES: u64 = 512;
+const REPS: usize = 20;
 
 fn drive(sim: &mut dyn Simulator, bits: &[bool]) {
     sim.set_input("enable", Value::Bool(true)).expect("set");
@@ -19,30 +23,38 @@ fn drive(sim: &mut dyn Simulator, bits: &[bool]) {
     }
 }
 
-fn bench(c: &mut Criterion) {
+fn report(label: &str, sim: &mut dyn Simulator, bits: &[bool]) {
+    drive(sim, bits); // warm-up
+    let mut secs: Vec<f64> = (0..REPS).map(|_| timed(|| drive(sim, bits)).1).collect();
+    secs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let median = secs[secs.len() / 2];
+    println!(
+        "{label:<18} {:>10.3} ms/run {:>12.0} cycles/s",
+        median * 1e3,
+        bits.len() as f64 / median
+    );
+}
+
+fn main() {
     let bits = hcor::test_pattern((CYCLES as usize - 32) / 2, 5);
-    let mut g = c.benchmark_group("table1_hcor");
-    g.throughput(Throughput::Elements(bits.len() as u64));
-    g.sample_size(20);
+    println!(
+        "table1_hcor: {} cycles per run, median of {REPS} runs\n",
+        bits.len()
+    );
 
     let mut interp = InterpSim::new(hcor::build_system().expect("build")).expect("sim");
-    g.bench_function("interpreted_obj", |b| b.iter(|| drive(&mut interp, &bits)));
+    report("interpreted_obj", &mut interp, &bits);
 
     let mut compiled = CompiledSim::new(hcor::build_system().expect("build")).expect("sim");
-    g.bench_function("compiled", |b| b.iter(|| drive(&mut compiled, &bits)));
+    report("compiled", &mut compiled, &bits);
 
     let mut rtl = RtlSystemSim::new(hcor::build_system().expect("build")).expect("sim");
-    g.bench_function("rtl_event_driven", |b| b.iter(|| drive(&mut rtl, &bits)));
+    report("rtl_event_driven", &mut rtl, &bits);
 
     let mut gates = GateSystemSim::new(
         hcor::build_system().expect("build"),
         &SynthOptions::default(),
     )
     .expect("sim");
-    g.bench_function("gate_netlist", |b| b.iter(|| drive(&mut gates, &bits)));
-
-    g.finish();
+    report("gate_netlist", &mut gates, &bits);
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,22 +1,30 @@
-//! Stuck-at fault coverage of the generated verification testbenches —
-//! an extension of the paper's Figure 8 story: the testbench vectors
-//! recorded from system simulation double as a manufacturing test set,
-//! and fault simulation grades them.
+//! Fault coverage and fault tolerance of the HCOR correlator, at two
+//! levels of the paper's design hierarchy:
 //!
-//! Compares three vector sets on the synthesized HCOR correlator:
-//! the functional burst pattern the generated testbench replays, pure
-//! random bits, and a short all-idle set (lower bound).
+//! * **Gate level** — stuck-at coverage of the generated verification
+//!   testbenches, an extension of the paper's Figure 8 story: the
+//!   testbench vectors recorded from system simulation double as a
+//!   manufacturing test set, and fault simulation grades them.
+//! * **System level** — a cycle-true [`FaultySim`] campaign over every
+//!   register and net of the captured system, classifying each injected
+//!   fault as masked, silently corrupting, or detected.
 //!
 //! Run with `cargo run --release -p ocapi-bench --bin fault_coverage`.
 
+use ocapi::rng::XorShift64;
+use ocapi::sim::fault::{run_campaign, FaultEvent, FaultPlan};
+use ocapi::{InterpSim, Simulator, Value};
 use ocapi_designs::hcor;
 use ocapi_gatesim::fault::{stuck_at_coverage, stuck_at_coverage_parallel, CycleStimulus};
-use ocapi_gatesim::GateSim;
+use ocapi_gatesim::{GateError, GateSim};
 use ocapi_synth::{synthesize, SynthOptions};
 
 /// Drives the HCOR netlist with a bit stream (cycling through the given
 /// thresholds) and observes every output every cycle.
-fn drive<'a>(bits: &'a [bool], thresholds: &'a [u64]) -> impl FnMut(&mut GateSim) -> Vec<u64> + 'a {
+fn drive<'a>(
+    bits: &'a [bool],
+    thresholds: &'a [u64],
+) -> impl FnMut(&mut GateSim) -> Result<Vec<u64>, GateError> + 'a {
     move |sim: &mut GateSim| {
         let bit = sim.netlist().input_by_name("bit_in").expect("in").to_vec();
         let en = sim.netlist().input_by_name("enable").expect("in").to_vec();
@@ -42,19 +50,130 @@ fn drive<'a>(bits: &'a [bool], thresholds: &'a [u64]) -> impl FnMut(&mut GateSim
                 sim.set_bus(&bit, *b as u64);
                 sim.set_bus(&en, 1);
                 sim.set_bus(&th, thresholds[(k / 32) % thresholds.len()]);
-                sim.settle();
-                sim.clock();
-                sim.bus(&corr) | (sim.bus(&det) << 8) | (sim.bus(&pos) << 16)
+                sim.settle()?;
+                sim.clock()?;
+                Ok(sim.bus(&corr) | (sim.bus(&det) << 8) | (sim.bus(&pos) << 16))
             })
             .collect()
     }
 }
 
-fn xorshift(state: &mut u64) -> u64 {
-    *state ^= *state << 13;
-    *state ^= *state >> 7;
-    *state ^= *state << 17;
-    *state
+/// System-level fault campaign: sweep every fault site of the captured
+/// HCOR system with transient flips and stuck-at faults, running the
+/// interpreted simulator under [`ocapi::FaultySim`].
+fn system_level_campaign() {
+    let sys = hcor::build_system().expect("build");
+    let sites = FaultPlan::sites(&sys);
+    let bits = hcor::test_pattern(112, 7);
+    let cycles = bits.len() as u64;
+
+    // One transient flip mid-burst and one five-cycle stuck-at-1 per
+    // site, on a low and a high bit of the site's word.
+    let mut events: Vec<FaultEvent> = Vec::new();
+    for site in &sites {
+        let width = FaultPlan::site_width(&sys, site);
+        events.push(FaultEvent::flip(site.clone(), 0, cycles / 3));
+        events.push(FaultEvent::flip(site.clone(), width - 1, cycles / 2));
+        events.push(FaultEvent::stuck_at(site.clone(), 0, true, cycles / 4, 5));
+    }
+
+    let stimulus = |sim: &mut dyn Simulator, cycle: u64| {
+        sim.set_input("enable", Value::Bool(true))?;
+        sim.set_input("threshold", Value::bits(5, 11))?;
+        sim.set_input("bit_in", Value::Bool(bits[cycle as usize]))?;
+        Ok(())
+    };
+
+    let report = run_campaign(
+        || InterpSim::new(hcor::build_system().expect("build")),
+        stimulus,
+        cycles,
+        &events,
+    )
+    .expect("campaign");
+
+    println!(
+        "\nsystem-level FaultySim campaign on HCOR ({} sites, {} injections, {} cycles each):",
+        sites.len(),
+        report.total(),
+        cycles
+    );
+    println!(
+        "  masked             {:>6}  ({:.1}%)",
+        report.masked(),
+        100.0 * report.masked() as f64 / report.total() as f64
+    );
+    println!(
+        "  silent corruption  {:>6}  ({:.1}%)",
+        report.silent(),
+        100.0 * report.silent_rate()
+    );
+    println!("  detected (error)   {:>6}", report.detected());
+    if let Some(lat) = report.mean_detection_latency() {
+        println!("  mean latency to first visible effect: {lat:.1} cycles");
+    }
+
+    // Graceful degradation: per-cycle output corruption and sync
+    // detection vs injected fault rate. Random single-cycle flips at
+    // increasing per-cycle probability, compared against the fault-free
+    // run cycle by cycle.
+    let outputs = ["detect", "corr", "sync_pos"];
+    let mut golden: Vec<Vec<Value>> = Vec::with_capacity(bits.len());
+    let mut sim = InterpSim::new(hcor::build_system().expect("build")).expect("sim");
+    for b in &bits {
+        sim.set_input("enable", Value::Bool(true)).expect("set");
+        sim.set_input("threshold", Value::bits(5, 11)).expect("set");
+        sim.set_input("bit_in", Value::Bool(*b)).expect("set");
+        sim.step().expect("step");
+        golden.push(outputs.map(|o| sim.output(o).expect("out")).to_vec());
+    }
+
+    println!("\ngraceful degradation vs injected fault rate (random single-cycle flips):");
+    println!(
+        "  {:>10} {:>6} {:>16} {:>12}",
+        "fault rate", "runs", "corrupted cycles", "sync found"
+    );
+    for rate in [0.0, 0.05, 0.2, 0.5, 1.0, 2.0f64] {
+        let runs = 20u64;
+        let mut detects = 0u64;
+        let mut corrupted = 0u64;
+        for seed in 0..runs {
+            // `rate` > 1 approximates multiple faults per cycle by
+            // stacking independent random plans.
+            let mut plan = FaultPlan::random(&sys, cycles, rate.min(1.0), 0xfa117 + seed);
+            if rate > 1.0 {
+                for e in FaultPlan::random(&sys, cycles, rate - 1.0, 0x5eed + seed).events() {
+                    plan.push(e.clone());
+                }
+            }
+            let mut sim = ocapi::FaultySim::new(
+                InterpSim::new(hcor::build_system().expect("build")).expect("sim"),
+                plan,
+            );
+            let mut detected = false;
+            for (cyc, b) in bits.iter().enumerate() {
+                if sim.set_input("enable", Value::Bool(true)).is_err()
+                    || sim.set_input("threshold", Value::bits(5, 11)).is_err()
+                    || sim.set_input("bit_in", Value::Bool(*b)).is_err()
+                    || sim.step().is_err()
+                {
+                    break;
+                }
+                let now: Vec<Value> = outputs.map(|o| sim.output(o).expect("out")).to_vec();
+                if now != golden[cyc] {
+                    corrupted += 1;
+                }
+                if now[0] == Value::Bool(true) {
+                    detected = true;
+                }
+            }
+            detects += detected as u64;
+        }
+        println!(
+            "  {rate:>10.2} {runs:>6} {:>15.1}% {detects:>9}/{runs}",
+            100.0 * corrupted as f64 / (runs * cycles) as f64
+        );
+    }
 }
 
 fn main() {
@@ -88,9 +207,9 @@ fn main() {
         vec![15, 11, 31, 9],
     ));
     // Random bits, same lengths.
-    let mut st = 0x2545f4914f6cdd1du64;
+    let mut rng = XorShift64::new(0x2545f4914f6cdd1d);
     for n in [64usize, 256] {
-        let bits = (0..n).map(|_| xorshift(&mut st) & 1 == 1).collect();
+        let bits = (0..n).map(|_| rng.next_bool()).collect();
         sets.push((format!("random bits ({n})"), bits, vec![11]));
     }
     // The lower bound: a constant stream never exercises the datapath.
@@ -98,7 +217,8 @@ fn main() {
 
     let mut best: Option<ocapi_gatesim::fault::FaultReport> = None;
     for (label, bits, thresholds) in &sets {
-        let rep = stuck_at_coverage(&netlist.netlist, drive(bits, thresholds));
+        let rep =
+            stuck_at_coverage(&netlist.netlist, drive(bits, thresholds)).expect("fault grade");
         println!(
             "{:<38} {:>8} {:>10} {:>9.1}%",
             label,
@@ -145,7 +265,7 @@ fn main() {
                 }
             }
             let rep = stuck_at_coverage_parallel(&netlist.netlist, &stim);
-            let sig = bist::golden_signature(&netlist.netlist, &stim);
+            let sig = bist::golden_signature(&netlist.netlist, &stim).expect("bist");
             println!(
                 "{:<38} {:>8} {:>10} {:>9.1}%   signature {:08x}",
                 format!("{label} ({patterns})"),
@@ -171,7 +291,7 @@ fn main() {
         })
         .collect();
     let t = std::time::Instant::now();
-    let serial = stuck_at_coverage(&netlist.netlist, drive(&bits, &[11]));
+    let serial = stuck_at_coverage(&netlist.netlist, drive(&bits, &[11])).expect("fault grade");
     let t_serial = t.elapsed().as_secs_f64();
     let t = std::time::Instant::now();
     let parallel = stuck_at_coverage_parallel(&netlist.netlist, &stimuli);
@@ -203,4 +323,6 @@ fn main() {
          the kind of DFT finding fault grading exists to surface.\n\
          A constant stream tests almost nothing."
     );
+
+    system_level_campaign();
 }

@@ -13,8 +13,9 @@
 //! * `exception_latency` — the §3.3 experiment: global-exception latency
 //!   under central control vs a data-driven pipeline.
 //!
-//! The Criterion benches in `benches/` time the same workloads with
-//! statistical rigour.
+//! The plain timing harnesses in `benches/` (run with `cargo bench`)
+//! time the same workloads, reporting the median of repeated runs with
+//! no registry dependencies.
 
 use std::alloc::{GlobalAlloc, Layout, System as SysAlloc};
 use std::sync::atomic::{AtomicUsize, Ordering};

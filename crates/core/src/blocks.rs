@@ -147,11 +147,16 @@ impl UntimedBlock for Ram {
     }
 
     fn fire(&mut self, inputs: &[Value], outputs: &mut [Value]) {
-        let addr = inputs[0].as_bits().expect("addr is bits") as usize;
-        let we = inputs[1].as_bool().expect("we is bool");
-        outputs[0] = self.words[addr];
+        // Port types are checked at system build; a mistyped value can
+        // only mean corrupted state, so read as an idle access rather
+        // than panicking mid-simulation.
+        let addr = inputs[0].as_bits().unwrap_or(0) as usize;
+        let we = inputs[1].as_bool().unwrap_or(false);
+        outputs[0] = self.words.get(addr).copied().unwrap_or(self.ty.zero());
         if we {
-            self.words[addr] = inputs[2];
+            if let Some(w) = self.words.get_mut(addr) {
+                *w = inputs[2];
+            }
         }
     }
 
@@ -233,8 +238,8 @@ impl UntimedBlock for Rom {
     }
 
     fn fire(&mut self, inputs: &[Value], outputs: &mut [Value]) {
-        let addr = inputs[0].as_bits().expect("addr is bits") as usize;
-        outputs[0] = self.words[addr];
+        let addr = inputs[0].as_bits().unwrap_or(0) as usize;
+        outputs[0] = self.words.get(addr).copied().unwrap_or(self.ty.zero());
     }
 
     fn memory_spec(&self) -> Option<MemorySpec> {

@@ -405,7 +405,7 @@ impl DataflowGraph {
             }
         }
         if self.queued_tokens() > 0 {
-            let blocked: Vec<String> = self
+            let mut blocked: Vec<String> = self
                 .actors
                 .iter()
                 .enumerate()
@@ -419,6 +419,7 @@ impl DataflowGraph {
                 .map(|(_, actor)| actor.name().to_owned())
                 .collect();
             if !blocked.is_empty() {
+                blocked.sort();
                 return Err(CoreError::DataflowDeadlock { blocked });
             }
         }
@@ -572,13 +573,14 @@ impl DataflowGraph {
                 }
             }
             if !progressed {
-                let blocked = self
+                let mut blocked: Vec<String> = self
                     .actors
                     .iter()
                     .enumerate()
                     .filter(|(a, _)| remaining[*a] > 0)
                     .map(|(_, actor)| actor.name().to_owned())
                     .collect();
+                blocked.sort();
                 return Err(CoreError::DataflowDeadlock { blocked });
             }
         }

@@ -87,6 +87,12 @@ pub enum CoreError {
     },
     /// A signal handle from one component was used inside another.
     ForeignSignal,
+    /// The simulator back-end does not implement the requested operation
+    /// (e.g. state peeking on a back-end without observable state).
+    Unsupported {
+        /// The unimplemented operation.
+        op: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -132,6 +138,9 @@ impl fmt::Display for CoreError {
             }
             CoreError::ForeignSignal => {
                 write!(f, "signal belongs to a different component")
+            }
+            CoreError::Unsupported { op } => {
+                write!(f, "unsupported simulator operation: {op}")
             }
         }
     }

@@ -135,6 +135,16 @@ impl ComponentBuilder {
     }
 }
 
+/// Looks up the component's FSM, reporting a typed error instead of
+/// panicking if it was never created (unreachable through the builder,
+/// which only exists once `fsm()` succeeded).
+fn fsm_mut<'a>(comp: &str, fsm: &'a mut Option<Fsm>) -> Result<&'a mut Fsm, CoreError> {
+    fsm.as_mut().ok_or_else(|| CoreError::UnknownName {
+        kind: "fsm",
+        name: comp.to_owned(),
+    })
+}
+
 impl FsmBuilder {
     /// Declares the initial (reset) state.
     ///
@@ -143,12 +153,9 @@ impl FsmBuilder {
     /// Returns [`CoreError::DuplicateName`] on a state-name clash.
     pub fn initial(&self, name: &str) -> Result<StateRef, CoreError> {
         let s = self.state(name)?;
-        self.inner
-            .borrow_mut()
-            .fsm
-            .as_mut()
-            .expect("fsm exists")
-            .initial = s;
+        let inner = &mut *self.inner.borrow_mut();
+        let fsm = fsm_mut(&inner.name, &mut inner.fsm)?;
+        fsm.initial = s;
         Ok(s)
     }
 
@@ -158,8 +165,8 @@ impl FsmBuilder {
     ///
     /// Returns [`CoreError::DuplicateName`] on a state-name clash.
     pub fn state(&self, name: &str) -> Result<StateRef, CoreError> {
-        let mut inner = self.inner.borrow_mut();
-        let fsm = inner.fsm.as_mut().expect("fsm exists");
+        let inner = &mut *self.inner.borrow_mut();
+        let fsm = fsm_mut(&inner.name, &mut inner.fsm)?;
         if fsm.states.iter().any(|s| s == name) {
             return Err(CoreError::DuplicateName {
                 kind: "fsm state",
@@ -244,7 +251,7 @@ impl TransitionBuilder {
     /// exist (cannot normally happen when using [`SfgRef`]s from the same
     /// builder).
     pub fn to(self, to: StateRef) -> Result<(), CoreError> {
-        let mut inner = self.inner.borrow_mut();
+        let inner = &mut *self.inner.borrow_mut();
         let n_sfgs = inner.sfgs.len() as u32;
         for a in &self.actions {
             if a.0 >= n_sfgs {
@@ -254,7 +261,7 @@ impl TransitionBuilder {
                 });
             }
         }
-        let fsm = inner.fsm.as_mut().expect("fsm exists");
+        let fsm = fsm_mut(&inner.name, &mut inner.fsm)?;
         fsm.transitions.push(Transition {
             from: self.from,
             guard: self.guard,

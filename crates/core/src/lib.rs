@@ -68,7 +68,8 @@ mod comp;
 pub mod dataflow;
 mod error;
 mod fsm;
-mod sim;
+pub mod rng;
+pub mod sim;
 mod system;
 mod trace;
 mod value;
@@ -80,6 +81,10 @@ pub use comp::{
 };
 pub use error::CoreError;
 pub use fsm::{Fsm, FsmBuilder, StateRef, Transition, TransitionBuilder};
+pub use sim::fault::{
+    run_campaign, CampaignReport, FaultEvent, FaultKind, FaultOutcome, FaultPlan, FaultSite,
+    FaultySim,
+};
 pub use sim::{CompiledSim, InterpSim, Simulator};
 pub use system::{
     InstanceId, Net, NetSink, NetSource, PrimaryInput, PrimaryOutput, System, SystemBuilder,

@@ -1209,14 +1209,18 @@ fn topo_sort(b: &Builder, sys: &System, untimed_io: &[UntimedIo]) -> Result<Vec<
         }
     }
     if order.len() != n {
-        let cycle: Vec<String> = b
+        let mut cycle: Vec<String> = b
             .instrs
             .iter()
             .enumerate()
             .filter(|(i, _)| indeg[*i] > 0)
-            .take(16)
             .map(|(_, instr)| describe(instr, sys))
             .collect();
+        // Deterministic diagnostics: sort before truncating so the
+        // reported subset does not depend on hash/emission order.
+        cycle.sort();
+        cycle.dedup();
+        cycle.truncate(16);
         return Err(CoreError::NotCompilable { cycle });
     }
     Ok(order.into_iter().map(|i| b.instrs[i].clone()).collect())
@@ -1352,5 +1356,49 @@ impl Simulator for CompiledSim {
         self.trace
             .as_ref()
             .unwrap_or_else(|| EMPTY.get_or_init(Trace::default))
+    }
+
+    fn peek_net(&self, name: &str) -> Result<Value, CoreError> {
+        let i = self
+            .sys
+            .nets
+            .iter()
+            .position(|n| n.name == name)
+            .ok_or_else(|| CoreError::UnknownName {
+                kind: "net",
+                name: name.to_owned(),
+            })?;
+        let sl = self.net_slot[i] as usize;
+        Ok(decode(self.slots[sl], self.slot_ty[sl]))
+    }
+
+    fn poke_net(&mut self, name: &str, value: Value) -> Result<(), CoreError> {
+        let i = self
+            .sys
+            .nets
+            .iter()
+            .position(|n| n.name == name)
+            .ok_or_else(|| CoreError::UnknownName {
+                kind: "net",
+                name: name.to_owned(),
+            })?;
+        value.check_type(self.sys.nets[i].ty, &format!("net `{name}`"))?;
+        self.slots[self.net_slot[i] as usize] = encode(&value);
+        Ok(())
+    }
+
+    fn peek_reg(&self, instance: &str, reg: &str) -> Result<Value, CoreError> {
+        let (i, j) = crate::sim::interp::find_reg(&self.sys, instance, reg)?;
+        Ok(decode(self.regs[i][j], self.sys.timed[i].comp.regs[j].ty))
+    }
+
+    fn poke_reg(&mut self, instance: &str, reg: &str, value: Value) -> Result<(), CoreError> {
+        let (i, j) = crate::sim::interp::find_reg(&self.sys, instance, reg)?;
+        value.check_type(
+            self.sys.timed[i].comp.regs[j].ty,
+            &format!("register `{instance}.{reg}`"),
+        )?;
+        self.regs[i][j] = encode(&value);
+        Ok(())
     }
 }

@@ -1,7 +1,8 @@
 //! Shared expression evaluation over the component node graph.
 
 use crate::comp::{Component, NodeId, NodeKind};
-use crate::value::Value;
+use crate::value::{SigType, Value};
+use crate::CoreError;
 
 /// Per-component memo table, invalidated by bumping the epoch instead of
 /// clearing (cheap per-cycle reset).
@@ -30,28 +31,31 @@ impl EvalCache {
 /// Evaluates `id` in `comp`, reading input ports through `inputs` and
 /// register current values from `regs`. Results are memoized in `cache`
 /// for the current epoch, so shared subexpressions are computed once.
+///
+/// Returns [`CoreError::ValueType`] if a select/guard condition does not
+/// evaluate to a boolean — the kernel reports this instead of panicking.
 pub(crate) fn eval_node(
     comp: &Component,
     id: NodeId,
     inputs: &impl Fn(usize) -> Value,
     regs: &[Value],
     cache: &mut EvalCache,
-) -> Value {
+) -> Result<Value, CoreError> {
     let i = id.index();
     if cache.stamp[i] == cache.epoch && cache.epoch > 0 {
-        return cache.values[i];
+        return Ok(cache.values[i]);
     }
     let v = match &comp.nodes[i].kind {
         NodeKind::Const(v) => *v,
         NodeKind::Input(p) => inputs(p.index()),
         NodeKind::RegRead(r) => regs[r.index()],
         NodeKind::Un(op, a) => {
-            let a = eval_node(comp, *a, inputs, regs, cache);
+            let a = eval_node(comp, *a, inputs, regs, cache)?;
             op.apply(a)
         }
         NodeKind::Bin(op, a, b) => {
-            let a = eval_node(comp, *a, inputs, regs, cache);
-            let b = eval_node(comp, *b, inputs, regs, cache);
+            let a = eval_node(comp, *a, inputs, regs, cache)?;
+            let b = eval_node(comp, *b, inputs, regs, cache)?;
             op.apply(a, b)
         }
         NodeKind::Select {
@@ -59,18 +63,23 @@ pub(crate) fn eval_node(
             then,
             otherwise,
         } => {
-            let c = eval_node(comp, *cond, inputs, regs, cache);
+            let c = eval_node(comp, *cond, inputs, regs, cache)?;
             // Both branches are evaluated, like hardware muxes do.
-            let t = eval_node(comp, *then, inputs, regs, cache);
-            let e = eval_node(comp, *otherwise, inputs, regs, cache);
-            if c.as_bool().expect("select condition is bool") {
-                t
-            } else {
-                e
+            let t = eval_node(comp, *then, inputs, regs, cache)?;
+            let e = eval_node(comp, *otherwise, inputs, regs, cache)?;
+            match c.as_bool() {
+                Some(true) => t,
+                Some(false) => e,
+                None => {
+                    return Err(CoreError::ValueType {
+                        context: format!("select condition in `{}`", comp.name),
+                        expected: SigType::Bool,
+                    })
+                }
             }
         }
     };
     cache.values[i] = v;
     cache.stamp[i] = cache.epoch;
-    v
+    Ok(v)
 }

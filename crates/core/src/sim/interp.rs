@@ -23,7 +23,7 @@ use crate::sim::eval::{eval_node, EvalCache};
 use crate::sim::Simulator;
 use crate::system::{NetSource, System};
 use crate::trace::Trace;
-use crate::value::Value;
+use crate::value::{SigType, Value};
 use crate::CoreError;
 
 #[derive(Debug, Clone, Copy)]
@@ -307,9 +307,12 @@ impl Simulator for InterpSim {
                         Some(g) => {
                             let in_nets = &sys.timed_in_net[i];
                             let held = |p: usize| nets[in_nets[p]];
-                            eval_node(comp, g, &held, &self.regs[i], &mut self.caches[i])
+                            eval_node(comp, g, &held, &self.regs[i], &mut self.caches[i])?
                                 .as_bool()
-                                .expect("guard is bool")
+                                .ok_or_else(|| CoreError::ValueType {
+                                    context: format!("fsm guard in `{}`", t.name),
+                                    expected: SigType::Bool,
+                                })?
                         }
                     };
                     if take {
@@ -395,7 +398,7 @@ impl Simulator for InterpSim {
                         &read,
                         &self.regs[pend.inst],
                         &mut self.caches[pend.inst],
-                    );
+                    )?;
                     match pend.target {
                         Target::Out { port, .. } => {
                             if let Some(net) = self.out_net[pend.inst][port] {
@@ -470,6 +473,8 @@ impl Simulator for InterpSim {
                         .filter(|(_, f)| !**f)
                         .map(|(u, _)| format!("{} (untimed)", sys.untimed[u].block.name())),
                 );
+                // Deterministic diagnostics regardless of work-list order.
+                waiting.sort();
                 return Err(CoreError::CombinationalLoop { waiting });
             }
         }
@@ -524,4 +529,65 @@ impl Simulator for InterpSim {
             .as_ref()
             .unwrap_or_else(|| EMPTY.get_or_init(Trace::default))
     }
+
+    fn peek_net(&self, name: &str) -> Result<Value, CoreError> {
+        self.net_value(name)
+    }
+
+    fn poke_net(&mut self, name: &str, value: Value) -> Result<(), CoreError> {
+        let i = self
+            .sys
+            .nets
+            .iter()
+            .position(|n| n.name == name)
+            .ok_or_else(|| CoreError::UnknownName {
+                kind: "net",
+                name: name.to_owned(),
+            })?;
+        value.check_type(self.sys.nets[i].ty, &format!("net `{name}`"))?;
+        self.nets[i] = value;
+        Ok(())
+    }
+
+    fn peek_reg(&self, instance: &str, reg: &str) -> Result<Value, CoreError> {
+        let (i, j) = find_reg(&self.sys, instance, reg)?;
+        Ok(self.regs[i][j])
+    }
+
+    fn poke_reg(&mut self, instance: &str, reg: &str, value: Value) -> Result<(), CoreError> {
+        let (i, j) = find_reg(&self.sys, instance, reg)?;
+        value.check_type(
+            self.sys.timed[i].comp.regs[j].ty,
+            &format!("register `{instance}.{reg}`"),
+        )?;
+        self.regs[i][j] = value;
+        Ok(())
+    }
+}
+
+/// Resolves `instance.reg` to (timed-instance index, register index).
+pub(crate) fn find_reg(
+    sys: &System,
+    instance: &str,
+    reg: &str,
+) -> Result<(usize, usize), CoreError> {
+    let (i, t) = sys
+        .timed
+        .iter()
+        .enumerate()
+        .find(|(_, t)| t.name == instance)
+        .ok_or_else(|| CoreError::UnknownName {
+            kind: "instance",
+            name: instance.to_owned(),
+        })?;
+    let j = t
+        .comp
+        .regs
+        .iter()
+        .position(|r| r.name == reg)
+        .ok_or_else(|| CoreError::UnknownName {
+            kind: "register",
+            name: format!("{instance}.{reg}"),
+        })?;
+    Ok((i, j))
 }

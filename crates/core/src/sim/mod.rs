@@ -7,9 +7,16 @@
 //! the two back-ends; both implement [`Simulator`] and produce identical
 //! cycle-by-cycle behaviour (see the `codegen_equivalence` integration
 //! test).
+//!
+//! The kernels in this module are **panic-free on constructible
+//! designs**: every runtime failure (combinational loops, type-confused
+//! guards, unknown names) surfaces as a typed [`CoreError`], never an
+//! abort. The lint gates below keep it that way.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 mod compiled;
 mod eval;
+pub mod fault;
 mod interp;
 
 pub use compiled::CompiledSim;
@@ -65,5 +72,65 @@ pub trait Simulator {
             self.step()?;
         }
         Ok(())
+    }
+
+    /// Observes the current value on a named net (`instance.port` or a
+    /// primary-input name). Used by the fault injector to read state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownName`] for an unknown net, or
+    /// [`CoreError::Unsupported`] on back-ends without observable nets.
+    fn peek_net(&self, name: &str) -> Result<Value, CoreError> {
+        let _ = name;
+        Err(CoreError::Unsupported {
+            op: "peek_net".to_owned(),
+        })
+    }
+
+    /// Overwrites the value held on a named net — the fault injector's
+    /// corruption primitive. The value must match the net's type.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownName`] for an unknown net,
+    /// [`CoreError::ValueType`] for a type mismatch, or
+    /// [`CoreError::Unsupported`] on back-ends without pokeable nets.
+    fn poke_net(&mut self, name: &str, value: Value) -> Result<(), CoreError> {
+        let _ = (name, value);
+        Err(CoreError::Unsupported {
+            op: "poke_net".to_owned(),
+        })
+    }
+
+    /// Observes the current value of register `reg` in timed instance
+    /// `instance`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownName`] for an unknown instance or
+    /// register, or [`CoreError::Unsupported`] on back-ends without
+    /// observable registers.
+    fn peek_reg(&self, instance: &str, reg: &str) -> Result<Value, CoreError> {
+        let _ = (instance, reg);
+        Err(CoreError::Unsupported {
+            op: "peek_reg".to_owned(),
+        })
+    }
+
+    /// Overwrites the current value of register `reg` in timed instance
+    /// `instance`. The value must match the register's declared type.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownName`] for an unknown instance or
+    /// register, [`CoreError::ValueType`] for a type mismatch, or
+    /// [`CoreError::Unsupported`] on back-ends without pokeable
+    /// registers.
+    fn poke_reg(&mut self, instance: &str, reg: &str, value: Value) -> Result<(), CoreError> {
+        let _ = (instance, reg, value);
+        Err(CoreError::Unsupported {
+            op: "poke_reg".to_owned(),
+        })
     }
 }

@@ -431,27 +431,40 @@ impl SystemBuilder {
             nets[net].sinks.push(*sink);
         }
 
-        // Every input must be driven.
-        for (inst, ports) in timed_in_net.iter().enumerate() {
-            for (port, net) in ports.iter().enumerate() {
-                if net.is_none() {
-                    return Err(CoreError::UnconnectedInput {
-                        instance: self.timed[inst].name.clone(),
-                        port: self.timed[inst].comp.inputs[port].name.clone(),
-                    });
-                }
-            }
-        }
-        for (inst, ports) in untimed_in_net.iter().enumerate() {
-            for (port, net) in ports.iter().enumerate() {
-                if net.is_none() {
-                    return Err(CoreError::UnconnectedInput {
-                        instance: self.untimed[inst].block.name().to_owned(),
-                        port: self.untimed[inst].inputs[port].name.clone(),
-                    });
-                }
-            }
-        }
+        // Every input must be driven; the conversion to plain net
+        // indices doubles as the check.
+        let timed_in_net: Vec<Vec<usize>> = timed_in_net
+            .into_iter()
+            .enumerate()
+            .map(|(inst, ports)| {
+                ports
+                    .into_iter()
+                    .enumerate()
+                    .map(|(port, net)| {
+                        net.ok_or_else(|| CoreError::UnconnectedInput {
+                            instance: self.timed[inst].name.clone(),
+                            port: self.timed[inst].comp.inputs[port].name.clone(),
+                        })
+                    })
+                    .collect::<Result<_, _>>()
+            })
+            .collect::<Result<_, _>>()?;
+        let untimed_in_net: Vec<Vec<usize>> = untimed_in_net
+            .into_iter()
+            .enumerate()
+            .map(|(inst, ports)| {
+                ports
+                    .into_iter()
+                    .enumerate()
+                    .map(|(port, net)| {
+                        net.ok_or_else(|| CoreError::UnconnectedInput {
+                            instance: self.untimed[inst].block.name().to_owned(),
+                            port: self.untimed[inst].inputs[port].name.clone(),
+                        })
+                    })
+                    .collect::<Result<_, _>>()
+            })
+            .collect::<Result<_, _>>()?;
 
         // Primary inputs always get a net, even unconnected ones (so the
         // testbench can still set them and traces can record them).
@@ -489,14 +502,8 @@ impl SystemBuilder {
             nets,
             primary_inputs,
             primary_outputs,
-            timed_in_net: timed_in_net
-                .into_iter()
-                .map(|v| v.into_iter().map(|o| o.expect("checked above")).collect())
-                .collect(),
-            untimed_in_net: untimed_in_net
-                .into_iter()
-                .map(|v| v.into_iter().map(|o| o.expect("checked above")).collect())
-                .collect(),
+            timed_in_net,
+            untimed_in_net,
         })
     }
 

@@ -1,9 +1,14 @@
 //! Property test: for randomly generated FSMD components and random
 //! stimuli, the interpreted (three-phase cycle scheduler) and compiled
 //! (levelized tape) simulators produce identical cycle-by-cycle outputs.
+//!
+//! Randomness comes from the in-tree deterministic [`XorShift64`] PRNG
+//! (the build must work with no registry access, so no `proptest`); every
+//! case is reproducible from its seed. Enable the `slow-tests` feature to
+//! multiply the number of cases.
 
+use ocapi::rng::XorShift64;
 use ocapi::{CompiledSim, Component, InterpSim, Sig, SigType, Simulator, System, Value};
-use proptest::prelude::*;
 
 /// Recipe for one expression node, interpreted against a growing pool.
 #[derive(Debug, Clone)]
@@ -20,19 +25,22 @@ enum ExprStep {
     Const(u8),
 }
 
-fn arb_step() -> impl Strategy<Value = ExprStep> {
-    prop_oneof![
-        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| ExprStep::Add(a, b)),
-        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| ExprStep::Sub(a, b)),
-        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| ExprStep::Mul(a, b)),
-        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| ExprStep::And(a, b)),
-        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| ExprStep::Xor(a, b)),
-        any::<u8>().prop_map(ExprStep::Not),
-        (any::<u8>(), 0u8..8).prop_map(|(a, n)| ExprStep::Shl(a, n)),
-        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| ExprStep::MuxOnB(a, b)),
-        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(a, b, c)| ExprStep::CmpLtToMux(a, b, c)),
-        any::<u8>().prop_map(ExprStep::Const),
-    ]
+fn random_step(rng: &mut XorShift64) -> ExprStep {
+    let a = rng.next_u64() as u8;
+    let b = rng.next_u64() as u8;
+    let c = rng.next_u64() as u8;
+    match rng.below(10) {
+        0 => ExprStep::Add(a, b),
+        1 => ExprStep::Sub(a, b),
+        2 => ExprStep::Mul(a, b),
+        3 => ExprStep::And(a, b),
+        4 => ExprStep::Xor(a, b),
+        5 => ExprStep::Not(a),
+        6 => ExprStep::Shl(a, b % 8),
+        7 => ExprStep::MuxOnB(a, b),
+        8 => ExprStep::CmpLtToMux(a, b, c),
+        _ => ExprStep::Const(a),
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -48,27 +56,20 @@ struct Recipe {
     stimuli: Vec<(u8, bool)>,
 }
 
-fn arb_recipe() -> impl Strategy<Value = Recipe> {
-    (
-        prop::collection::vec(arb_step(), 1..24),
-        any::<u8>(),
-        any::<u8>(),
-        any::<u8>(),
-        any::<u8>(),
-        any::<u8>(),
-        prop::collection::vec((any::<u8>(), any::<bool>()), 1..40),
-    )
-        .prop_map(
-            |(steps, out_a, out_b, reg_a, reg_b, guard_const, stimuli)| Recipe {
-                steps,
-                out_a,
-                out_b,
-                reg_a,
-                reg_b,
-                guard_const,
-                stimuli,
-            },
-        )
+fn random_recipe(rng: &mut XorShift64) -> Recipe {
+    let steps = (0..1 + rng.index(23)).map(|_| random_step(rng)).collect();
+    let stimuli = (0..1 + rng.index(39))
+        .map(|_| (rng.next_u64() as u8, rng.next_bool()))
+        .collect();
+    Recipe {
+        steps,
+        out_a: rng.next_u64() as u8,
+        out_b: rng.next_u64() as u8,
+        reg_a: rng.next_u64() as u8,
+        reg_b: rng.next_u64() as u8,
+        guard_const: rng.next_u64() as u8,
+        stimuli,
+    }
 }
 
 fn build_system(r: &Recipe) -> System {
@@ -132,28 +133,41 @@ fn build_system(r: &Recipe) -> System {
     sb.finish().expect("system")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-    #[test]
-    fn interp_and_compiled_agree(recipe in arb_recipe()) {
+fn cases() -> u64 {
+    if cfg!(feature = "slow-tests") {
+        512
+    } else {
+        64
+    }
+}
+
+#[test]
+fn interp_and_compiled_agree() {
+    for seed in 0..cases() {
+        let mut rng = XorShift64::new(0x5eed_0000 + seed);
+        let recipe = random_recipe(&mut rng);
         let mut interp = InterpSim::new(build_system(&recipe)).expect("interp");
         let mut compiled = CompiledSim::new(build_system(&recipe)).expect("compiled");
         for (cyc, (x, sel)) in recipe.stimuli.iter().enumerate() {
-            for sim in [&mut interp as &mut dyn Simulator, &mut compiled as &mut dyn Simulator] {
+            for sim in [
+                &mut interp as &mut dyn Simulator,
+                &mut compiled as &mut dyn Simulator,
+            ] {
                 sim.set_input("x", Value::bits(8, *x as u64)).expect("set");
                 sim.set_input("sel", Value::Bool(*sel)).expect("set");
                 sim.step().expect("step");
             }
-            prop_assert_eq!(
+            assert_eq!(
                 interp.output("o").expect("out"),
                 compiled.output("o").expect("out"),
-                "divergence at cycle {}", cyc
+                "seed {seed}: divergence at cycle {cyc}"
             );
         }
         // FSM states also agree at the end.
-        prop_assert_eq!(
+        assert_eq!(
             interp.state_name("u").expect("state"),
-            compiled.state_name("u").expect("state")
+            compiled.state_name("u").expect("state"),
+            "seed {seed}: final state"
         );
     }
 }

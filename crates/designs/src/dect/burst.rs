@@ -9,9 +9,8 @@
 //! equalizer datapaths see exactly the kind of signal the paper's chip
 //! equalises.
 
+use ocapi::rng::XorShift64;
 use ocapi_fixp::{Fix, Overflow, Rounding};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::hcor::SYNC_WORD;
 
@@ -65,11 +64,11 @@ pub fn s_field() -> Vec<bool> {
 
 /// Generates a burst through the synthetic channel.
 pub fn generate(cfg: &BurstConfig) -> Burst {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = XorShift64::new(cfg.seed);
     let mut bits = s_field();
     let payload_start = bits.len();
     for _ in 0..cfg.payload_len {
-        bits.push(rng.random::<bool>());
+        bits.push(rng.next_bool());
     }
 
     // BPSK-style symbols through the multipath FIR.
@@ -83,7 +82,7 @@ pub fn generate(cfg: &BurstConfig) -> Burst {
                 acc += h * symbols[n - k];
             }
         }
-        acc += cfg.noise * (rng.random::<f64>() * 2.0 - 1.0);
+        acc += cfg.noise * (rng.next_f64() * 2.0 - 1.0);
         samples.push(Fix::from_f64(
             acc,
             fmt,

@@ -117,7 +117,9 @@ impl BitVec {
 
     /// The sign (MSB) bit.
     pub fn sign(&self) -> bool {
-        *self.bits.last().expect("width > 0")
+        // Constructors keep the vector non-empty; an empty one would
+        // only mean a zero-width value, whose sign is false.
+        self.bits.last().copied().unwrap_or(false)
     }
 
     /// Sign-extends (or truncates) to `width` bits.

@@ -153,7 +153,7 @@ impl Fix {
         }
         Ok(Fix {
             mant: self.mant,
-            fmt: Format::new(wl as u32, iwl as u32).expect("validated above"),
+            fmt: Format::new(wl as u32, iwl as u32)?,
         })
     }
 
@@ -246,7 +246,7 @@ impl Fix {
             wl += 1;
             iwl += 1;
         }
-        let fmt = Format::new(wl.max(1), iwl).expect("fitted format is valid");
+        let fmt = Format::clamped(wl, iwl);
         Fix::reduce(mant, fmt, Overflow::Saturate)
     }
 
@@ -370,7 +370,7 @@ impl Hash for Fix {
 impl Default for Fix {
     /// Zero in the minimal format `<1,1>`.
     fn default() -> Fix {
-        Fix::zero(Format::new(1, 1).expect("<1,1> is valid"))
+        Fix::zero(Format::clamped(1, 1))
     }
 }
 

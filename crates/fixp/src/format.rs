@@ -44,6 +44,17 @@ impl Format {
         Ok(Format { wl, iwl })
     }
 
+    /// Infallible constructor for internal callers whose arithmetic
+    /// already guarantees validity: clamps `wl` into `1..=63` and `iwl`
+    /// into `0..=wl` instead of panicking or erroring.
+    pub(crate) fn clamped(wl: u32, iwl: u32) -> Format {
+        let wl = wl.clamp(1, 63);
+        Format {
+            wl,
+            iwl: iwl.min(wl),
+        }
+    }
+
     /// Total wordlength in bits, including the sign bit.
     pub fn wl(self) -> u32 {
         self.wl

@@ -1,111 +1,206 @@
 //! Property-based tests for the fixed-point and bit-vector types.
+//!
+//! Randomness comes from a local deterministic xorshift64* generator —
+//! `ocapi-fixp` sits below the core crate in the dependency graph, and
+//! the build must work with no registry access, so no `proptest`. Every
+//! case reproduces from its seed; the `slow-tests` feature multiplies
+//! the case count.
 
 use ocapi_fixp::{BitVec, Fix, Format, Overflow, Rounding};
-use proptest::prelude::*;
 
-fn arb_format() -> impl Strategy<Value = Format> {
-    (1u32..=32)
-        .prop_flat_map(|wl| (Just(wl), 0..=wl))
-        .prop_map(|(wl, iwl)| Format::new(wl, iwl).expect("generated format is valid"))
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed | 1)
+    }
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+    fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + self.below((hi - lo) as u64) as i64
+    }
+    fn f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
 }
 
-fn arb_fix() -> impl Strategy<Value = Fix> {
-    (arb_format(), any::<i64>()).prop_map(|(fmt, seed)| {
-        let span = (fmt.max_mantissa() - fmt.min_mantissa() + 1) as i128;
-        let mant = fmt.min_mantissa() + (seed as i128).rem_euclid(span) as i64;
-        Fix::from_raw(mant, fmt)
-    })
+fn cases() -> u64 {
+    if cfg!(feature = "slow-tests") {
+        2048
+    } else {
+        256
+    }
 }
 
-proptest! {
-    #[test]
-    fn quantised_value_within_half_lsb(v in -1000.0f64..1000.0, fmt in arb_format()) {
+fn random_format(rng: &mut Rng) -> Format {
+    let wl = 1 + rng.below(32) as u32;
+    let iwl = rng.below(u64::from(wl) + 1) as u32;
+    Format::new(wl, iwl).expect("generated format is valid")
+}
+
+fn random_fix(rng: &mut Rng) -> Fix {
+    let fmt = random_format(rng);
+    let span = (fmt.max_mantissa() - fmt.min_mantissa() + 1) as i128;
+    let mant = fmt.min_mantissa() + (rng.next() as i64 as i128).rem_euclid(span) as i64;
+    Fix::from_raw(mant, fmt)
+}
+
+fn random_v(rng: &mut Rng) -> f64 {
+    rng.f64() * 2000.0 - 1000.0
+}
+
+#[test]
+fn quantised_value_within_half_lsb() {
+    for seed in 0..cases() {
+        let rng = &mut Rng::new(0x01 << 32 | seed);
+        let (v, fmt) = (random_v(rng), random_format(rng));
         let q = Fix::from_f64(v, fmt, Rounding::Nearest, Overflow::Saturate);
         let clamped = v.clamp(fmt.min_value(), fmt.max_value());
-        prop_assert!((q.to_f64() - clamped).abs() <= fmt.lsb() / 2.0 + 1e-12,
-            "{v} -> {q} (lsb {})", fmt.lsb());
+        assert!(
+            (q.to_f64() - clamped).abs() <= fmt.lsb() / 2.0 + 1e-12,
+            "{v} -> {q} (lsb {})",
+            fmt.lsb()
+        );
     }
+}
 
-    #[test]
-    fn truncate_never_exceeds_value(v in -1000.0f64..1000.0, fmt in arb_format()) {
+#[test]
+fn truncate_never_exceeds_value() {
+    for seed in 0..cases() {
+        let rng = &mut Rng::new(0x02 << 32 | seed);
+        let (v, fmt) = (random_v(rng), random_format(rng));
         let q = Fix::from_f64(v, fmt, Rounding::Truncate, Overflow::Saturate);
         let clamped = v.clamp(fmt.min_value(), fmt.max_value());
-        prop_assert!(q.to_f64() <= clamped + 1e-12);
-        prop_assert!(clamped - q.to_f64() < fmt.lsb() + 1e-12);
+        assert!(q.to_f64() <= clamped + 1e-12);
+        assert!(clamped - q.to_f64() < fmt.lsb() + 1e-12);
     }
+}
 
-    #[test]
-    fn add_commutes(a in arb_fix(), b in arb_fix()) {
-        prop_assert_eq!(a + b, b + a);
+#[test]
+fn add_and_mul_commute() {
+    for seed in 0..cases() {
+        let rng = &mut Rng::new(0x03 << 32 | seed);
+        let (a, b) = (random_fix(rng), random_fix(rng));
+        assert_eq!(a + b, b + a);
+        assert_eq!(a * b, b * a);
     }
+}
 
-    #[test]
-    fn mul_commutes(a in arb_fix(), b in arb_fix()) {
-        prop_assert_eq!(a * b, b * a);
+#[test]
+fn add_and_mul_match_f64() {
+    // Formats are <=32 bits so f64 arithmetic is exact here.
+    for seed in 0..cases() {
+        let rng = &mut Rng::new(0x04 << 32 | seed);
+        let (a, b) = (random_fix(rng), random_fix(rng));
+        assert_eq!((a + b).to_f64(), a.to_f64() + b.to_f64());
+        assert_eq!((a * b).to_f64(), a.to_f64() * b.to_f64());
     }
+}
 
-    #[test]
-    fn add_matches_f64(a in arb_fix(), b in arb_fix()) {
-        // Formats are <=32 bits so f64 arithmetic is exact here.
-        prop_assert_eq!((a + b).to_f64(), a.to_f64() + b.to_f64());
+#[test]
+fn sub_is_add_neg() {
+    for seed in 0..cases() {
+        let rng = &mut Rng::new(0x05 << 32 | seed);
+        let (a, b) = (random_fix(rng), random_fix(rng));
+        assert_eq!(a - b, a + (-b));
     }
+}
 
-    #[test]
-    fn mul_matches_f64(a in arb_fix(), b in arb_fix()) {
-        prop_assert_eq!((a * b).to_f64(), a.to_f64() * b.to_f64());
-    }
-
-    #[test]
-    fn sub_is_add_neg(a in arb_fix(), b in arb_fix()) {
-        prop_assert_eq!(a - b, a + (-b));
-    }
-
-    #[test]
-    fn cast_idempotent(a in arb_fix(), fmt in arb_format()) {
+#[test]
+fn cast_idempotent() {
+    for seed in 0..cases() {
+        let rng = &mut Rng::new(0x06 << 32 | seed);
+        let (a, fmt) = (random_fix(rng), random_format(rng));
         let once = a.cast(fmt, Rounding::Nearest, Overflow::Saturate);
         let twice = once.cast(fmt, Rounding::Nearest, Overflow::Saturate);
-        prop_assert_eq!(once, twice);
+        assert_eq!(once, twice);
     }
+}
 
-    #[test]
-    fn ord_matches_f64(a in arb_fix(), b in arb_fix()) {
-        prop_assert_eq!(a.cmp(&b), a.to_f64().partial_cmp(&b.to_f64()).expect("finite"));
+#[test]
+fn ord_matches_f64() {
+    for seed in 0..cases() {
+        let rng = &mut Rng::new(0x07 << 32 | seed);
+        let (a, b) = (random_fix(rng), random_fix(rng));
+        assert_eq!(
+            a.cmp(&b),
+            a.to_f64().partial_cmp(&b.to_f64()).expect("finite")
+        );
     }
+}
 
-    #[test]
-    fn bitvec_add_matches_wrapping(a in -512i64..512, b in -512i64..512) {
-        let (av, bv) = (BitVec::from_i64(a, 11).unwrap(), BitVec::from_i64(b, 11).unwrap());
+#[test]
+fn bitvec_add_matches_wrapping() {
+    for seed in 0..cases() {
+        let rng = &mut Rng::new(0x08 << 32 | seed);
+        let (a, b) = (rng.range_i64(-512, 512), rng.range_i64(-512, 512));
+        let (av, bv) = (
+            BitVec::from_i64(a, 11).unwrap(),
+            BitVec::from_i64(b, 11).unwrap(),
+        );
         let sum = av.ripple_add(&bv).unwrap().to_i64();
         let wrapped = (a + b).rem_euclid(2048);
-        let wrapped = if wrapped >= 1024 { wrapped - 2048 } else { wrapped };
-        prop_assert_eq!(sum, wrapped);
+        let wrapped = if wrapped >= 1024 {
+            wrapped - 2048
+        } else {
+            wrapped
+        };
+        assert_eq!(sum, wrapped);
     }
+}
 
-    #[test]
-    fn bitvec_mul_matches(a in -512i64..512, b in -512i64..512) {
-        let (av, bv) = (BitVec::from_i64(a, 11).unwrap(), BitVec::from_i64(b, 11).unwrap());
-        prop_assert_eq!(av.shift_add_mul(&bv).unwrap().to_i64(), a * b);
+#[test]
+fn bitvec_mul_matches() {
+    for seed in 0..cases() {
+        let rng = &mut Rng::new(0x09 << 32 | seed);
+        let (a, b) = (rng.range_i64(-512, 512), rng.range_i64(-512, 512));
+        let (av, bv) = (
+            BitVec::from_i64(a, 11).unwrap(),
+            BitVec::from_i64(b, 11).unwrap(),
+        );
+        assert_eq!(av.shift_add_mul(&bv).unwrap().to_i64(), a * b);
     }
+}
 
-    #[test]
-    fn bitvec_round_trip(v in -32768i64..32768) {
-        prop_assert_eq!(BitVec::from_i64(v, 16).unwrap().to_i64(), v);
+#[test]
+fn bitvec_round_trip_and_negate() {
+    for seed in 0..cases() {
+        let rng = &mut Rng::new(0x0a << 32 | seed);
+        let v = rng.range_i64(-32768, 32768);
+        assert_eq!(BitVec::from_i64(v, 16).unwrap().to_i64(), v);
+        if v != -32768 {
+            assert_eq!(BitVec::from_i64(v, 16).unwrap().negate().to_i64(), -v);
+        }
     }
+}
 
-    #[test]
-    fn bitvec_negate(v in -32767i64..32768) {
-        prop_assert_eq!(BitVec::from_i64(v, 16).unwrap().negate().to_i64(), -v);
-    }
-
-    #[test]
-    fn fix_bitvec_cross_check(a in -128i64..128, b in -128i64..128) {
-        // The fast quantisation path and the slow bit-true path agree.
+#[test]
+fn fix_bitvec_cross_check() {
+    // The fast quantisation path and the slow bit-true path agree.
+    for seed in 0..cases() {
+        let rng = &mut Rng::new(0x0b << 32 | seed);
+        let (a, b) = (rng.range_i64(-128, 128), rng.range_i64(-128, 128));
         let fmt = Format::new(9, 9).unwrap();
         let fa = Fix::from_raw(a, fmt);
         let fb = Fix::from_raw(b, fmt);
         let va = BitVec::from_i64(a, 9).unwrap();
         let vb = BitVec::from_i64(b, 9).unwrap();
-        prop_assert_eq!((fa + fb).mantissa(), va.resize(10).ripple_add(&vb.resize(10)).unwrap().to_i64());
-        prop_assert_eq!((fa * fb).to_f64() as i64, va.shift_add_mul(&vb).unwrap().to_i64());
+        assert_eq!(
+            (fa + fb).mantissa(),
+            va.resize(10).ripple_add(&vb.resize(10)).unwrap().to_i64()
+        );
+        assert_eq!(
+            (fa * fb).to_f64() as i64,
+            va.shift_add_mul(&vb).unwrap().to_i64()
+        );
     }
 }

@@ -12,7 +12,7 @@
 use ocapi_synth::gate::Netlist;
 
 use crate::fault::CycleStimulus;
-use crate::GateSim;
+use crate::{GateError, GateSim};
 
 /// Maximal-length feedback masks for the Fibonacci recurrence
 /// `b = parity(state & mask)` with a left shift (tap `k` of the
@@ -176,25 +176,35 @@ pub fn lfsr_stimulus(net: &Netlist, patterns: usize, seed: u64) -> Vec<CycleStim
 /// Runs the fault-free machine under LFSR stimulus and compresses every
 /// output bus into a MISR each cycle: the reference signature a BIST
 /// comparison would be fused against.
-pub fn golden_signature(net: &Netlist, stimuli: &[CycleStimulus]) -> BistReport {
-    let mut sim = GateSim::new(net.clone());
+///
+/// # Errors
+///
+/// Returns [`GateError::Oscillation`] when the good machine itself does
+/// not settle — a design bug the BIST run cannot paper over.
+pub fn golden_signature(net: &Netlist, stimuli: &[CycleStimulus]) -> Result<BistReport, GateError> {
+    let mut sim = GateSim::new(net.clone())?;
     let outs: Vec<Vec<_>> = net.outputs.iter().map(|(_, ws)| ws.clone()).collect();
     let mut misr = Misr::new(16);
     for cyc in stimuli {
         for (name, value) in &cyc.inputs {
-            let ws = sim.netlist().input_by_name(name).expect("in").to_vec();
+            // Unknown bus names are skipped, matching the parallel
+            // fault engine's stimulus contract.
+            let Some(ws) = sim.netlist().input_by_name(name) else {
+                continue;
+            };
+            let ws = ws.to_vec();
             sim.set_bus(&ws, *value);
         }
-        sim.settle();
-        sim.clock();
+        sim.settle()?;
+        sim.clock()?;
         for ws in &outs {
             misr.absorb_wide(sim.bus(ws), ws.len() as u32);
         }
     }
-    BistReport {
+    Ok(BistReport {
         signature: misr.signature(),
         patterns: stimuli.len(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -253,10 +263,10 @@ mod tests {
         n.output_bus("y", vec![o, q]);
 
         let s64 = lfsr_stimulus(&n, 64, 0xace1);
-        let r1 = golden_signature(&n, &s64);
-        let r2 = golden_signature(&n, &s64);
+        let r1 = golden_signature(&n, &s64).expect("bist");
+        let r2 = golden_signature(&n, &s64).expect("bist");
         assert_eq!(r1.signature, r2.signature, "deterministic");
-        let r3 = golden_signature(&n, &lfsr_stimulus(&n, 64, 0xbeef));
+        let r3 = golden_signature(&n, &lfsr_stimulus(&n, 64, 0xbeef)).expect("bist");
         assert_ne!(r1.signature, r3.signature, "seed-sensitive");
     }
 }

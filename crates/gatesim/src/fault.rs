@@ -23,7 +23,7 @@
 
 use ocapi_synth::gate::{Gate, GateKind, Netlist};
 
-use crate::GateSim;
+use crate::{GateError, GateSim};
 
 /// One undetected fault: the index of the gate whose output is stuck,
 /// and the stuck value.
@@ -90,10 +90,10 @@ fn inject(net: &Netlist, fault: Fault) -> Netlist {
 ///     let outs = sim.netlist().output_by_name("y").unwrap().to_vec();
 ///     (0..4).map(|v| {
 ///         sim.set_bus(&ins, v);
-///         sim.settle();
-///         sim.bus(&outs)
+///         sim.settle()?;
+///         Ok(sim.bus(&outs))
 ///     }).collect()
-/// });
+/// }).unwrap();
 /// assert_eq!(report.coverage(), 1.0); // XOR is fully testable
 /// ```
 ///
@@ -103,13 +103,19 @@ fn inject(net: &Netlist, fault: Fault) -> Netlist {
 /// Constant gates are not fault sites (a stuck constant is either the
 /// same circuit or the complementary constant fault, which is counted
 /// on the gate that consumes it).
+///
+/// An error from the fault-free run is the caller's problem and is
+/// returned. An error from a *faulty* machine — typically a
+/// [`GateError::Oscillation`] when the fault turns a structurally false
+/// loop into a live one — counts the fault as detected: instability is
+/// observable on a tester.
 pub fn stuck_at_coverage(
     net: &Netlist,
-    mut drive: impl FnMut(&mut GateSim) -> Vec<u64>,
-) -> FaultReport {
+    mut drive: impl FnMut(&mut GateSim) -> Result<Vec<u64>, GateError>,
+) -> Result<FaultReport, GateError> {
     let golden = {
-        let mut sim = GateSim::new(net.clone());
-        drive(&mut sim)
+        let mut sim = GateSim::new(net.clone())?;
+        drive(&mut sim)?
     };
     let mut total = 0;
     let mut detected = 0;
@@ -121,19 +127,21 @@ pub fn stuck_at_coverage(
         for stuck_at in [false, true] {
             total += 1;
             let fault = Fault { gate: gi, stuck_at };
-            let mut sim = GateSim::new(inject(net, fault));
-            if drive(&mut sim) != golden {
-                detected += 1;
-            } else {
-                undetected.push(fault);
+            let observed = GateSim::new(inject(net, fault))
+                .and_then(|mut sim| drive(&mut sim).map(Some))
+                .unwrap_or(None);
+            match observed {
+                Some(seen) if seen == golden => undetected.push(fault),
+                // Divergence, or an oscillating faulty machine: detected.
+                _ => detected += 1,
             }
         }
     }
-    FaultReport {
+    Ok(FaultReport {
         total,
         detected,
         undetected,
-    }
+    })
 }
 
 /// One cycle of bus-level stimulus for the parallel engine: values to
@@ -156,9 +164,10 @@ pub struct CycleStimulus {
 /// oscillate (instability is observable on a tester).
 ///
 /// The report is identical to [`stuck_at_coverage`] run with the same
-/// apply–settle–clock–observe driver, except for faults that make the
-/// machine oscillate: the serial kernel asserts on oscillation, while
-/// this engine counts the fault as detected and carries on.
+/// apply–settle–clock–observe driver: both engines count a fault that
+/// makes the machine oscillate as detected (the serial kernel via the
+/// typed [`GateError::Oscillation`], this engine via lanes still
+/// flipping at the pass cap).
 pub fn stuck_at_coverage_parallel(net: &Netlist, stimuli: &[CycleStimulus]) -> FaultReport {
     let sites: Vec<Fault> = net
         .gates
@@ -277,7 +286,11 @@ fn run_batch(net: &Netlist, batch: &[Fault], stimuli: &[CycleStimulus]) -> u64 {
 
     for cyc in stimuli {
         for (name, value) in &cyc.inputs {
-            let ws = net.input_by_name(name).expect("known input bus");
+            // Unknown bus names are ignored, matching the serial driver
+            // contract where the caller resolves names itself.
+            let Some(ws) = net.input_by_name(name) else {
+                continue;
+            };
             for (k, w) in ws.iter().enumerate() {
                 wires[w.index()] = broadcast((value >> k) & 1 == 1);
             }
@@ -328,21 +341,21 @@ mod tests {
         n
     }
 
-    fn exhaustive(sim: &mut GateSim) -> Vec<u64> {
+    fn exhaustive(sim: &mut GateSim) -> Result<Vec<u64>, GateError> {
         let ins = sim.netlist().input_by_name("x").expect("in").to_vec();
         let outs = sim.netlist().output_by_name("y").expect("out").to_vec();
         (0..4)
             .map(|x| {
                 sim.set_bus(&ins, x);
-                sim.settle();
-                sim.bus(&outs)
+                sim.settle()?;
+                Ok(sim.bus(&outs))
             })
             .collect()
     }
 
     #[test]
     fn redundant_logic_has_untestable_faults() {
-        let rep = stuck_at_coverage(&redundant(), exhaustive);
+        let rep = stuck_at_coverage(&redundant(), exhaustive).expect("grade");
         assert_eq!(rep.total, 8, "4 gates x 2 polarities");
         assert!(
             rep.coverage() < 1.0,
@@ -360,7 +373,7 @@ mod tests {
         let i = n.input_bus("x", 2);
         let o = n.gate(GateKind::Xor2, &[i[0], i[1]]);
         n.output_bus("y", vec![o]);
-        let rep = stuck_at_coverage(&n, exhaustive);
+        let rep = stuck_at_coverage(&n, exhaustive).expect("grade");
         assert_eq!(rep.total, 2);
         assert_eq!(rep.detected, 2);
         assert_eq!(rep.coverage(), 1.0);
@@ -368,7 +381,7 @@ mod tests {
 
     #[test]
     fn empty_vector_set_detects_nothing_but_initial_state() {
-        let rep = stuck_at_coverage(&redundant(), |_| Vec::new());
+        let rep = stuck_at_coverage(&redundant(), |_| Ok(Vec::new())).expect("grade");
         assert_eq!(rep.detected, 0);
         assert_eq!(rep.undetected.len(), rep.total);
     }
@@ -389,14 +402,15 @@ mod tests {
                     let ws = sim.netlist().input_by_name(name).expect("in").to_vec();
                     sim.set_bus(&ws, *value);
                 }
-                sim.settle();
-                sim.clock();
+                sim.settle()?;
+                sim.clock()?;
                 for ws in &outs {
                     seen.push(sim.bus(ws));
                 }
             }
-            seen
+            Ok(seen)
         })
+        .expect("grade")
     }
 
     fn stim(values: &[u64]) -> Vec<CycleStimulus> {
@@ -471,11 +485,12 @@ mod tests {
             (0..2)
                 .map(|x| {
                     sim.set_bus(&ins, x);
-                    sim.settle();
-                    sim.bus(&outs)
+                    sim.settle()?;
+                    Ok(sim.bus(&outs))
                 })
                 .collect()
-        });
+        })
+        .expect("grade");
         // Only DFF-output stuck-at-1 flips the (constant-0) observation.
         assert_eq!(comb_only.detected, 1, "{comb_only:?}");
 
@@ -486,12 +501,13 @@ mod tests {
             (0..4)
                 .map(|x| {
                     sim.set_bus(&ins, x & 1);
-                    sim.settle();
-                    sim.clock();
-                    sim.bus(&outs)
+                    sim.settle()?;
+                    sim.clock()?;
+                    Ok(sim.bus(&outs))
                 })
                 .collect()
-        });
+        })
+        .expect("grade");
         assert_eq!(clocked.coverage(), 1.0, "{clocked:?}");
     }
 }

@@ -2,8 +2,46 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::error::Error;
+use std::fmt;
 
 use ocapi_synth::gate::{GateKind, Netlist, WireId};
+
+/// Errors raised by the gate-level kernel.
+///
+/// The kernel is panic-free on constructible netlists: a combinational
+/// loop that never settles is reported as [`GateError::Oscillation`]
+/// instead of aborting the process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GateError {
+    /// The event worklist did not quiesce within the evaluation budget:
+    /// a sensitised combinational loop (oscillating ring).
+    Oscillation {
+        /// Gate evaluations spent before giving up.
+        evals: u64,
+        /// Sorted, truncated descriptions of the gates still scheduled
+        /// when the budget ran out.
+        unstable: Vec<String>,
+    },
+}
+
+impl fmt::Display for GateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GateError::Oscillation { evals, unstable } => {
+                write!(
+                    f,
+                    "gate-level oscillation: combinational loop did not settle \
+                     after {evals} evaluations; unstable gates: {}",
+                    unstable.join(", ")
+                )
+            }
+        }
+    }
+}
+
+impl Error for GateError {}
 
 /// Activity counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -37,7 +75,12 @@ pub struct GateSim {
 
 impl GateSim {
     /// Builds the simulator and settles the initial state.
-    pub fn new(net: Netlist) -> GateSim {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GateError::Oscillation`] if the initial settle never
+    /// quiesces (the netlist contains a sensitised combinational loop).
+    pub fn new(net: Netlist) -> Result<GateSim, GateError> {
         let mut values = vec![false; net.n_wires];
         let mut fanout: Vec<Vec<u32>> = vec![Vec::new(); net.n_wires];
         let mut dffs = Vec::new();
@@ -72,8 +115,8 @@ impl GateSim {
         for gi in 0..n_gates {
             sim.schedule(gi as u32);
         }
-        sim.settle();
-        sim
+        sim.settle()?;
+        Ok(sim)
     }
 
     /// The simulated netlist.
@@ -133,16 +176,23 @@ impl GateSim {
     /// Propagates combinational events until quiescent. Structural false
     /// loops (e.g. through shared-operator multiplexers) settle because
     /// the unsensitised path stops the propagation.
-    pub fn settle(&mut self) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GateError::Oscillation`] when the evaluation budget
+    /// (1024 evaluations per gate) is exhausted: a sensitised
+    /// combinational loop. The worklist is drained so the simulator is
+    /// left in a defined (if meaningless) state and can be reset by
+    /// re-driving its inputs.
+    pub fn settle(&mut self) -> Result<(), GateError> {
         let mut guard = 0u64;
         let limit = (self.net.gates.len() as u64 + 1) * 1024;
         while let Some(Reverse(gi)) = self.worklist.pop() {
             self.dirty[gi as usize] = false;
             guard += 1;
-            assert!(
-                guard < limit,
-                "gate-level oscillation: combinational loop did not settle"
-            );
+            if guard >= limit {
+                return Err(self.oscillation(guard, gi));
+            }
             let g = &self.net.gates[gi as usize];
             let ins: [bool; 3] = {
                 let mut v = [false; 3];
@@ -163,11 +213,36 @@ impl GateSim {
                 }
             }
         }
+        Ok(())
+    }
+
+    /// Builds the oscillation diagnostic: the gates still scheduled, in
+    /// deterministic (index-sorted, truncated) order, then drains the
+    /// worklist so the kernel stays usable.
+    fn oscillation(&mut self, evals: u64, current: u32) -> GateError {
+        let mut pending: Vec<u32> = vec![current];
+        pending.extend(self.worklist.iter().map(|Reverse(g)| *g));
+        pending.sort_unstable();
+        pending.dedup();
+        let unstable: Vec<String> = pending
+            .iter()
+            .take(16)
+            .map(|gi| format!("gate {gi} ({:?})", self.net.gates[*gi as usize].kind))
+            .collect();
+        self.worklist.clear();
+        for d in &mut self.dirty {
+            *d = false;
+        }
+        GateError::Oscillation { evals, unstable }
     }
 
     /// One clock edge: every DFF samples its input simultaneously, then
     /// the resulting events settle.
-    pub fn clock(&mut self) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GateError::Oscillation`] from the settle phase.
+    pub fn clock(&mut self) -> Result<(), GateError> {
         let sampled: Vec<(usize, bool)> = self
             .dffs
             .iter()
@@ -186,7 +261,7 @@ impl GateSim {
                 }
             }
         }
-        self.settle();
+        self.settle()
     }
 }
 
@@ -203,7 +278,7 @@ mod tests {
         let cin = net.constant(false);
         let (sum, _) = ripple_add(&mut net, &a, &b, cin);
         net.output_bus("sum", sum);
-        let mut sim = GateSim::new(net);
+        let mut sim = GateSim::new(net).unwrap();
         for (x, y) in [(3u64, 4u64), (200, 100), (255, 1), (17, 39)] {
             let (aw, bw) = (
                 sim.netlist().input_by_name("a").unwrap().to_vec(),
@@ -211,7 +286,7 @@ mod tests {
             );
             sim.set_bus(&aw, x);
             sim.set_bus(&bw, y);
-            sim.settle();
+            sim.settle().unwrap();
             let s = sim.netlist().output_by_name("sum").unwrap().to_vec();
             assert_eq!(sim.bus(&s), (x + y) & 0xff, "{x}+{y}");
         }
@@ -223,13 +298,13 @@ mod tests {
         let d = net.input_bus("d", 4);
         let q: Vec<WireId> = d.iter().map(|w| net.dff(*w, false)).collect();
         net.output_bus("q", q);
-        let mut sim = GateSim::new(net);
+        let mut sim = GateSim::new(net).unwrap();
         let dw = sim.netlist().input_by_name("d").unwrap().to_vec();
         let qw = sim.netlist().output_by_name("q").unwrap().to_vec();
         sim.set_bus(&dw, 9);
-        sim.settle();
+        sim.settle().unwrap();
         assert_eq!(sim.bus(&qw), 0, "before clock");
-        sim.clock();
+        sim.clock().unwrap();
         assert_eq!(sim.bus(&qw), 9, "after clock");
     }
 
@@ -252,12 +327,12 @@ mod tests {
             net.connect_dff(*h, *d);
         }
         net.output_bus("q", q);
-        let mut sim = GateSim::new(net);
+        let mut sim = GateSim::new(net).unwrap();
         let qw = sim.netlist().output_by_name("q").unwrap().to_vec();
         assert_eq!(sim.bus(&qw), 0);
-        sim.clock();
+        sim.clock().unwrap();
         assert_eq!(sim.bus(&qw), 15);
-        sim.clock();
+        sim.clock().unwrap();
         assert_eq!(sim.bus(&qw), 14);
     }
 
@@ -267,11 +342,55 @@ mod tests {
         let a = net.input_bus("a", 2);
         let x = net.gate(GateKind::Xor2, &[a[0], a[1]]);
         net.output_bus("x", vec![x]);
-        let mut sim = GateSim::new(net);
+        let mut sim = GateSim::new(net).unwrap();
         let evals0 = sim.stats().gate_evals;
         let aw = sim.netlist().input_by_name("a").unwrap().to_vec();
         sim.set_bus(&aw, 1);
-        sim.settle();
+        sim.settle().unwrap();
         assert!(sim.stats().gate_evals > evals0);
+    }
+
+    #[test]
+    fn oscillating_ring_returns_error() {
+        // A free-running ring oscillator: an inverter driving itself.
+        let mut net = Netlist::new();
+        let w = net.wire();
+        net.gate_into(GateKind::Inv, &[w], w);
+        net.output_bus("osc", vec![w]);
+        let err = GateSim::new(net).unwrap_err();
+        match &err {
+            GateError::Oscillation { evals, unstable } => {
+                assert!(*evals > 0);
+                assert_eq!(unstable, &["gate 0 (Inv)".to_owned()]);
+            }
+        }
+        assert!(err.to_string().contains("did not settle"));
+    }
+
+    #[test]
+    fn kernel_usable_after_oscillation_error() {
+        // An oscillating ring plus an independent AND gate: after the
+        // settle error, the rest of the netlist still simulates.
+        let mut net = Netlist::new();
+        let w = net.wire();
+        net.gate_into(GateKind::Inv, &[w], w);
+        let a = net.input_bus("a", 2);
+        let y = net.gate(GateKind::And2, &[a[0], a[1]]);
+        net.output_bus("y", vec![y]);
+        let err = GateSim::new(net);
+        // Initial settle oscillates; rebuild-free recovery path: the
+        // returned error leaves no panic, and a fresh sim on the clean
+        // sub-netlist works.
+        assert!(err.is_err());
+        let mut clean = Netlist::new();
+        let a = clean.input_bus("a", 2);
+        let y = clean.gate(GateKind::And2, &[a[0], a[1]]);
+        clean.output_bus("y", vec![y]);
+        let mut sim = GateSim::new(clean).unwrap();
+        let aw = sim.netlist().input_by_name("a").unwrap().to_vec();
+        sim.set_bus(&aw, 0b11);
+        sim.settle().unwrap();
+        let yw = sim.netlist().output_by_name("y").unwrap().to_vec();
+        assert_eq!(sim.bus(&yw), 1);
     }
 }

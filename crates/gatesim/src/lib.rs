@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 //! Event-driven gate-level netlist simulation.
 //!
@@ -22,5 +23,5 @@ pub mod fault;
 mod kernel;
 mod system;
 
-pub use kernel::{GateSim, GateSimStats};
+pub use kernel::{GateError, GateSim, GateSimStats};
 pub use system::GateSystemSim;

@@ -12,7 +12,17 @@ use ocapi_fixp::Fix;
 use ocapi_synth::gate::{Gate, GateKind, Netlist, WireId};
 use ocapi_synth::{synthesize_with_held, SynthOptions};
 
-use crate::kernel::{GateSim, GateSimStats};
+use crate::kernel::{GateError, GateSim, GateSimStats};
+
+/// Lifts a gate-kernel failure into the system-level error vocabulary: an
+/// oscillating netlist is the gate-level face of a combinational loop.
+fn gate_err(e: GateError) -> CoreError {
+    match e {
+        GateError::Oscillation { unstable, .. } => {
+            CoreError::CombinationalLoop { waiting: unstable }
+        }
+    }
+}
 
 fn encode(v: &Value) -> u64 {
     match v {
@@ -23,7 +33,10 @@ fn encode(v: &Value) -> u64 {
             let mask = if wl >= 64 { u64::MAX } else { (1u64 << wl) - 1 };
             (f.mantissa() as u64) & mask
         }
-        Value::Float(_) => unreachable!("floats rejected before synthesis"),
+        // Synthesis rejects float signals on timed components, but
+        // untimed blocks stay behavioural and may carry floats as a
+        // 64-bit pattern.
+        Value::Float(x) => x.to_bits(),
     }
 }
 
@@ -37,7 +50,7 @@ fn decode(bits: u64, ty: SigType) -> Value {
             let shifted = (bits << (64 - wl)) as i64 >> (64 - wl);
             Value::Fixed(Fix::from_raw(shifted, f))
         }
-        SigType::Float => unreachable!("floats rejected before synthesis"),
+        SigType::Float => Value::Float(f64::from_bits(bits)),
     }
 }
 
@@ -119,7 +132,10 @@ impl GateSystemSim {
             for (pi, _) in t.comp.inputs.iter().enumerate() {
                 let bus = local
                     .input_by_name(&t.comp.inputs[pi].name)
-                    .expect("port bus exists");
+                    .ok_or_else(|| CoreError::UnknownName {
+                        kind: "synthesized input bus",
+                        name: t.comp.inputs[pi].name.clone(),
+                    })?;
                 let net = sys.timed_input_net(ti, pi);
                 for (b, w) in bus.iter().enumerate() {
                     remap[w.index()] = Some(net_bus[net][b]);
@@ -156,7 +172,12 @@ impl GateSystemSim {
                 }) else {
                     continue;
                 };
-                let bus = local.output_by_name(&p.name).expect("port bus exists");
+                let bus = local
+                    .output_by_name(&p.name)
+                    .ok_or_else(|| CoreError::UnknownName {
+                        kind: "synthesized output bus",
+                        name: p.name.clone(),
+                    })?;
                 for (b, w) in bus.iter().enumerate() {
                     let src = map(*w, &mut flat, &mut remap);
                     flat.gate_into(GateKind::Buf, &[src], net_bus[net][b]);
@@ -230,12 +251,12 @@ impl GateSystemSim {
         }
 
         let n_outputs = outputs.len();
-        let mut sim = GateSim::new(flat);
+        let mut sim = GateSim::new(flat).map_err(gate_err)?;
         for (net, v) in constants {
             let bus = net_bus[net].clone();
             sim.set_bus(&bus, encode(&v));
         }
-        sim.settle();
+        sim.settle().map_err(gate_err)?;
 
         Ok(GateSystemSim {
             sim,
@@ -265,7 +286,7 @@ impl GateSystemSim {
     }
 
     /// Runs untimed blocks until no input pattern changes.
-    fn run_untimed(&mut self) {
+    fn run_untimed(&mut self) -> Result<(), CoreError> {
         loop {
             let mut changed = false;
             for u in &mut self.untimed {
@@ -293,11 +314,12 @@ impl GateSystemSim {
                 u.last_in = Some(ins);
                 changed = true;
             }
-            self.sim.settle();
+            self.sim.settle().map_err(gate_err)?;
             if !changed {
                 break;
             }
         }
+        Ok(())
     }
 }
 
@@ -318,12 +340,12 @@ impl Simulator for GateSystemSim {
     }
 
     fn step(&mut self) -> Result<(), CoreError> {
-        self.sim.settle();
-        self.run_untimed();
+        self.sim.settle().map_err(gate_err)?;
+        self.run_untimed()?;
         for (i, (_, ty, wires)) in self.outputs.iter().enumerate() {
             self.latched[i] = decode(self.sim.bus(wires), *ty);
         }
-        self.sim.clock();
+        self.sim.clock().map_err(gate_err)?;
         self.cycle += 1;
         if let Some(trace) = &mut self.trace {
             let row: Vec<Value> = self

@@ -4,13 +4,15 @@
 //!   behave identically (the Figure 8 hand-off is lossless), and
 //! * `opt::optimize` must never change a netlist's function.
 //!
-//! Both are property-tested on randomly generated netlists and checked
-//! on a real synthesized design.
+//! Both are property-tested on randomly generated netlists, with
+//! randomness from the in-tree deterministic [`XorShift64`] PRNG (no
+//! registry access needed); every case reproduces from its seed, and
+//! the `slow-tests` feature multiplies the case count.
 
+use ocapi::rng::XorShift64;
 use ocapi_gatesim::GateSim;
 use ocapi_synth::gate::{GateKind, Netlist};
 use ocapi_synth::{emit, opt, parse, techmap};
-use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 struct Recipe {
@@ -18,12 +20,29 @@ struct Recipe {
     stimuli: Vec<u8>,
 }
 
-fn arb_recipe() -> impl Strategy<Value = Recipe> {
-    (
-        prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 1..40),
-        prop::collection::vec(any::<u8>(), 2..16),
-    )
-        .prop_map(|(ops, stimuli)| Recipe { ops, stimuli })
+fn random_recipe(rng: &mut XorShift64) -> Recipe {
+    let ops = (0..1 + rng.index(39))
+        .map(|_| {
+            (
+                rng.next_u64() as u8,
+                rng.next_u64() as u8,
+                rng.next_u64() as u8,
+                rng.next_u64() as u8,
+            )
+        })
+        .collect();
+    let stimuli = (0..2 + rng.index(14))
+        .map(|_| rng.next_u64() as u8)
+        .collect();
+    Recipe { ops, stimuli }
+}
+
+fn cases() -> u64 {
+    if cfg!(feature = "slow-tests") {
+        192
+    } else {
+        48
+    }
 }
 
 /// Builds a random (but always legal and acyclic) netlist from a recipe:
@@ -58,94 +77,123 @@ fn build(r: &Recipe) -> Netlist {
 
 /// Drives two netlists with the same stimulus and asserts the output
 /// bus matches after every settle and every clock edge.
-fn assert_equivalent(a: Netlist, b: Netlist, stimuli: &[u8]) -> Result<(), TestCaseError> {
-    let mut sa = GateSim::new(a);
-    let mut sb = GateSim::new(b);
+fn assert_equivalent(a: Netlist, b: Netlist, stimuli: &[u8]) {
+    let mut sa = GateSim::new(a).expect("sim a");
+    let mut sb = GateSim::new(b).expect("sim b");
     for (cyc, x) in stimuli.iter().enumerate() {
         for s in [&mut sa, &mut sb] {
             let inp = s.netlist().input_by_name("x").expect("bus").to_vec();
             s.set_bus(&inp, *x as u64 & 0xf);
-            s.settle();
+            s.settle().expect("settle");
         }
         let oa = sa.netlist().output_by_name("y").expect("bus").to_vec();
         let ob = sb.netlist().output_by_name("y").expect("bus").to_vec();
-        prop_assert_eq!(sa.bus(&oa), sb.bus(&ob), "combinational, cycle {}", cyc);
-        sa.clock();
-        sb.clock();
-        prop_assert_eq!(sa.bus(&oa), sb.bus(&ob), "registered, cycle {}", cyc);
+        assert_eq!(sa.bus(&oa), sb.bus(&ob), "combinational, cycle {cyc}");
+        sa.clock().expect("clock");
+        sb.clock().expect("clock");
+        assert_eq!(sa.bus(&oa), sb.bus(&ob), "registered, cycle {cyc}");
     }
-    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn verilog_round_trip_preserves_function(recipe in arb_recipe()) {
+#[test]
+fn verilog_round_trip_preserves_function() {
+    for seed in 0..cases() {
+        let recipe = random_recipe(&mut XorShift64::new(0x0e71 + seed));
         let original = build(&recipe);
         let src = emit::verilog_netlist("dut", &original);
         let parsed = parse::verilog_netlist(&src).expect("emitted netlist must parse");
-        prop_assert_eq!(parsed.name.as_str(), "dut");
-        assert_equivalent(original, parsed.netlist, &recipe.stimuli)?;
+        assert_eq!(parsed.name.as_str(), "dut");
+        assert_equivalent(original, parsed.netlist, &recipe.stimuli);
     }
+}
 
-    #[test]
-    fn optimize_preserves_function(recipe in arb_recipe()) {
+#[test]
+fn optimize_preserves_function() {
+    for seed in 0..cases() {
+        let recipe = random_recipe(&mut XorShift64::new(0x10d0 + seed));
         let original = build(&recipe);
         let mut optimized = original.clone();
         opt::optimize(&mut optimized);
-        prop_assert!(optimized.area() <= original.area(), "optimisation must not grow area");
-        assert_equivalent(original, optimized, &recipe.stimuli)?;
+        assert!(
+            optimized.area() <= original.area(),
+            "seed {seed}: optimisation must not grow area"
+        );
+        assert_equivalent(original, optimized, &recipe.stimuli);
     }
+}
 
-    #[test]
-    fn optimized_netlist_round_trips(recipe in arb_recipe()) {
+#[test]
+fn optimized_netlist_round_trips() {
+    for seed in 0..cases() {
+        let recipe = random_recipe(&mut XorShift64::new(0x2bd0 + seed));
         let mut net = build(&recipe);
         opt::optimize(&mut net);
         let src = emit::verilog_netlist("dut", &net);
         let parsed = parse::verilog_netlist(&src).expect("parse");
-        assert_equivalent(net, parsed.netlist, &recipe.stimuli)?;
+        assert_equivalent(net, parsed.netlist, &recipe.stimuli);
     }
+}
 
-    #[test]
-    fn parallel_fault_simulation_matches_serial(recipe in arb_recipe()) {
-        use ocapi_gatesim::fault::{stuck_at_coverage, stuck_at_coverage_parallel, CycleStimulus};
+#[test]
+fn parallel_fault_simulation_matches_serial() {
+    use ocapi_gatesim::fault::{stuck_at_coverage, stuck_at_coverage_parallel, CycleStimulus};
+    for seed in 0..cases() {
+        let recipe = random_recipe(&mut XorShift64::new(0xfa17 + seed));
         let net = build(&recipe);
-        let stimuli: Vec<CycleStimulus> = recipe.stimuli.iter().map(|x| CycleStimulus {
-            inputs: vec![("x".into(), *x as u64 & 0xf)],
-        }).collect();
+        let stimuli: Vec<CycleStimulus> = recipe
+            .stimuli
+            .iter()
+            .map(|x| CycleStimulus {
+                inputs: vec![("x".into(), *x as u64 & 0xf)],
+            })
+            .collect();
         let serial = stuck_at_coverage(&net, |sim| {
-            let outs: Vec<Vec<_>> = sim.netlist().outputs.iter().map(|(_, ws)| ws.clone()).collect();
+            let outs: Vec<Vec<_>> = sim
+                .netlist()
+                .outputs
+                .iter()
+                .map(|(_, ws)| ws.clone())
+                .collect();
             let mut seen = Vec::new();
             for cyc in &stimuli {
                 for (name, value) in &cyc.inputs {
                     let ws = sim.netlist().input_by_name(name).expect("in").to_vec();
                     sim.set_bus(&ws, *value);
                 }
-                sim.settle();
-                sim.clock();
+                sim.settle()?;
+                sim.clock()?;
                 for ws in &outs {
                     seen.push(sim.bus(ws));
                 }
             }
-            seen
-        });
+            Ok(seen)
+        })
+        .expect("serial grade");
         let parallel = stuck_at_coverage_parallel(&net, &stimuli);
-        prop_assert_eq!(serial.total, parallel.total);
-        prop_assert_eq!(serial.detected, parallel.detected);
-        prop_assert_eq!(serial.undetected, parallel.undetected);
+        assert_eq!(serial.total, parallel.total, "seed {seed}");
+        assert_eq!(serial.detected, parallel.detected, "seed {seed}");
+        assert_eq!(serial.undetected, parallel.undetected, "seed {seed}");
     }
+}
 
-    #[test]
-    fn nand_inv_mapping_preserves_function(recipe in arb_recipe()) {
+#[test]
+fn nand_inv_mapping_preserves_function() {
+    for seed in 0..cases() {
+        let recipe = random_recipe(&mut XorShift64::new(0x9a9d + seed));
         let original = build(&recipe);
         let mut mapped = original.clone();
         techmap::to_nand_inv(&mut mapped);
-        prop_assert!(techmap::is_nand_inv(&mapped), "mapping must reach the target cell set");
-        assert_equivalent(original.clone(), mapped.clone(), &recipe.stimuli)?;
+        assert!(
+            techmap::is_nand_inv(&mapped),
+            "seed {seed}: mapping must reach the target cell set"
+        );
+        assert_equivalent(original.clone(), mapped.clone(), &recipe.stimuli);
         // And the classic map-then-clean flow stays equivalent too.
         opt::optimize(&mut mapped);
-        prop_assert!(techmap::is_nand_inv(&mapped), "clean-up must stay in the cell set");
-        assert_equivalent(original, mapped, &recipe.stimuli)?;
+        assert!(
+            techmap::is_nand_inv(&mapped),
+            "seed {seed}: clean-up must stay in the cell set"
+        );
+        assert_equivalent(original, mapped, &recipe.stimuli);
     }
 }

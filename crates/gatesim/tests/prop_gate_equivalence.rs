@@ -1,12 +1,16 @@
 //! Property test: for randomly generated FSMD components, gate-level
 //! simulation of the synthesized netlist is cycle-identical to the
 //! interpreted simulator — across synthesis option combinations.
+//!
+//! Randomness comes from the in-tree deterministic [`XorShift64`] PRNG
+//! (no registry access); every case reproduces from its seed, and the
+//! `slow-tests` feature multiplies the case count.
 
+use ocapi::rng::XorShift64;
 use ocapi::{CompiledSim, Component, InterpSim, Sig, SigType, Simulator, System, Value};
 use ocapi_gatesim::GateSystemSim;
 use ocapi_synth::controller::Encoding;
 use ocapi_synth::SynthOptions;
-use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum Step {
@@ -24,21 +28,24 @@ enum Step {
     Const(u8),
 }
 
-fn arb_step() -> impl Strategy<Value = Step> {
-    prop_oneof![
-        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Step::Add(a, b)),
-        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Step::Sub(a, b)),
-        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Step::Mul(a, b)),
-        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Step::And(a, b)),
-        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Step::Xor(a, b)),
-        any::<u8>().prop_map(Step::Not),
-        (any::<u8>(), 0u8..8).prop_map(|(a, n)| Step::Shl(a, n)),
-        (any::<u8>(), 0u8..8).prop_map(|(a, n)| Step::Shr(a, n)),
-        (any::<u8>(), 0u8..7).prop_map(|(a, lo)| Step::Slice(a, lo)),
-        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Step::MuxOnSel(a, b)),
-        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(a, b, c)| Step::LtMux(a, b, c)),
-        any::<u8>().prop_map(Step::Const),
-    ]
+fn random_step(rng: &mut XorShift64) -> Step {
+    let a = rng.next_u64() as u8;
+    let b = rng.next_u64() as u8;
+    let c = rng.next_u64() as u8;
+    match rng.below(12) {
+        0 => Step::Add(a, b),
+        1 => Step::Sub(a, b),
+        2 => Step::Mul(a, b),
+        3 => Step::And(a, b),
+        4 => Step::Xor(a, b),
+        5 => Step::Not(a),
+        6 => Step::Shl(a, b % 8),
+        7 => Step::Shr(a, b % 8),
+        8 => Step::Slice(a, b % 7),
+        9 => Step::MuxOnSel(a, b),
+        10 => Step::LtMux(a, b, c),
+        _ => Step::Const(a),
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -52,27 +59,28 @@ struct Recipe {
     stimuli: Vec<(u8, bool)>,
 }
 
-fn arb_recipe() -> impl Strategy<Value = Recipe> {
-    (
-        prop::collection::vec(arb_step(), 1..14),
-        any::<u8>(),
-        any::<u8>(),
-        any::<u8>(),
-        any::<u8>(),
-        any::<u8>(),
-        prop::collection::vec((any::<u8>(), any::<bool>()), 4..20),
-    )
-        .prop_map(
-            |(steps, out_a, out_b, reg_a, reg_b, guard_const, stimuli)| Recipe {
-                steps,
-                out_a,
-                out_b,
-                reg_a,
-                reg_b,
-                guard_const,
-                stimuli,
-            },
-        )
+fn random_recipe(rng: &mut XorShift64) -> Recipe {
+    let steps = (0..1 + rng.index(13)).map(|_| random_step(rng)).collect();
+    let stimuli = (0..4 + rng.index(16))
+        .map(|_| (rng.next_u64() as u8, rng.next_bool()))
+        .collect();
+    Recipe {
+        steps,
+        out_a: rng.next_u64() as u8,
+        out_b: rng.next_u64() as u8,
+        reg_a: rng.next_u64() as u8,
+        reg_b: rng.next_u64() as u8,
+        guard_const: rng.next_u64() as u8,
+        stimuli,
+    }
+}
+
+fn cases() -> u64 {
+    if cfg!(feature = "slow-tests") {
+        96
+    } else {
+        24
+    }
 }
 
 fn build_component(r: &Recipe) -> Component {
@@ -137,7 +145,7 @@ fn build_system(r: &Recipe) -> System {
     sb.finish().expect("system")
 }
 
-fn check(recipe: &Recipe, options: &SynthOptions) -> Result<(), TestCaseError> {
+fn check(seed: u64, recipe: &Recipe, options: &SynthOptions) {
     let mut interp = InterpSim::new(build_system(recipe)).expect("interp");
     let mut compiled = CompiledSim::new(build_system(recipe)).expect("compiled");
     let mut gates = GateSystemSim::new(build_system(recipe), options).expect("gates");
@@ -152,41 +160,57 @@ fn check(recipe: &Recipe, options: &SynthOptions) -> Result<(), TestCaseError> {
             sim.step().expect("step");
         }
         let a = interp.output("o").expect("out");
-        prop_assert_eq!(
+        assert_eq!(
             a,
             compiled.output("o").expect("out"),
-            "compiled cycle {}",
-            cyc
+            "seed {seed}: compiled cycle {cyc}"
         );
-        prop_assert_eq!(a, gates.output("o").expect("out"), "gates cycle {}", cyc);
+        assert_eq!(
+            a,
+            gates.output("o").expect("out"),
+            "seed {seed}: gates cycle {cyc}"
+        );
     }
-    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-    #[test]
-    fn synthesized_netlist_matches_simulators(recipe in arb_recipe()) {
-        check(&recipe, &SynthOptions::default())?;
+#[test]
+fn synthesized_netlist_matches_simulators() {
+    for seed in 0..cases() {
+        let recipe = random_recipe(&mut XorShift64::new(0x6a7e + seed));
+        check(seed, &recipe, &SynthOptions::default());
     }
+}
 
-    #[test]
-    fn netlist_matches_without_sharing_or_optimisation(recipe in arb_recipe()) {
-        check(&recipe, &SynthOptions {
-            share_operators: false,
-            optimize: false,
-            minimize_controller: false,
-            minimize_states: false,
-            encoding: Encoding::OneHot,
-            adder_style: ocapi_synth::AdderStyle::CarrySelect { block: 3 },
-        })?;
+#[test]
+fn netlist_matches_without_sharing_or_optimisation() {
+    for seed in 0..cases() {
+        let recipe = random_recipe(&mut XorShift64::new(0xba5e + seed));
+        check(
+            seed,
+            &recipe,
+            &SynthOptions {
+                share_operators: false,
+                optimize: false,
+                minimize_controller: false,
+                minimize_states: false,
+                encoding: Encoding::OneHot,
+                adder_style: ocapi_synth::AdderStyle::CarrySelect { block: 3 },
+            },
+        );
     }
+}
 
-    #[test]
-    fn netlist_matches_with_state_minimisation(recipe in arb_recipe()) {
-        check(&recipe, &SynthOptions {
-            minimize_states: true,
-            ..SynthOptions::default()
-        })?;
+#[test]
+fn netlist_matches_with_state_minimisation() {
+    for seed in 0..cases() {
+        let recipe = random_recipe(&mut XorShift64::new(0x517e + seed));
+        check(
+            seed,
+            &recipe,
+            &SynthOptions {
+                minimize_states: true,
+                ..SynthOptions::default()
+            },
+        );
     }
 }

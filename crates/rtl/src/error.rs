@@ -18,6 +18,15 @@ pub enum RtlError {
         /// The failing name.
         name: String,
     },
+    /// A value had the wrong type where the IR demanded another — e.g.
+    /// a non-boolean condition reaching an `if` or a select. Malformed
+    /// IR is constructible by hand (and by fault injection on a net the
+    /// design later branches on), so the kernel reports it instead of
+    /// panicking.
+    Type {
+        /// Where the mismatch was detected.
+        context: &'static str,
+    },
 }
 
 impl fmt::Display for RtlError {
@@ -28,6 +37,9 @@ impl fmt::Display for RtlError {
                 "delta cycles did not converge after {limit} iterations (combinational loop)"
             ),
             RtlError::UnknownName { kind, name } => write!(f, "unknown {kind} `{name}`"),
+            RtlError::Type { context } => {
+                write!(f, "type mismatch in RTL evaluation: {context}")
+            }
         }
     }
 }

@@ -90,7 +90,7 @@ impl RtlSim {
     /// Returns [`RtlError::DeltaOverflow`] on combinational feedback.
     pub fn elaborate(&mut self) -> Result<(), RtlError> {
         let all: Vec<usize> = (0..self.design.processes.len()).collect();
-        self.run_processes(&all);
+        self.run_processes(&all)?;
         self.settle()
     }
 
@@ -133,12 +133,16 @@ impl RtlSim {
                     }
                 }
             }
-            self.run_processes(&to_run);
+            self.run_processes(&to_run)?;
         }
-        unreachable!()
+        // `for delta in 0..` either returns Ok (queue drained) or
+        // Err (limit hit) from inside the loop.
+        Err(RtlError::DeltaOverflow {
+            limit: self.delta_limit,
+        })
     }
 
-    fn run_processes(&mut self, procs: &[usize]) {
+    fn run_processes(&mut self, procs: &[usize]) -> Result<(), RtlError> {
         for &pi in procs {
             self.stats.process_runs += 1;
             // Split borrows: processes and values are distinct fields, but
@@ -150,7 +154,7 @@ impl RtlSim {
                     ProcessBody::Stmts(stmts) => {
                         let mut out = Vec::new();
                         for s in stmts {
-                            exec_stmt(s, &self.values, &mut out);
+                            exec_stmt(s, &self.values, &mut out)?;
                         }
                         (out, None)
                     }
@@ -178,39 +182,50 @@ impl RtlSim {
                 }
             }
         }
+        Ok(())
     }
 }
 
-fn exec_stmt(stmt: &Stmt, values: &[Value], out: &mut Vec<(SignalId, Value)>) {
+fn exec_stmt(
+    stmt: &Stmt,
+    values: &[Value],
+    out: &mut Vec<(SignalId, Value)>,
+) -> Result<(), RtlError> {
     match stmt {
-        Stmt::Assign(s, e) => out.push((*s, eval(e, values))),
+        Stmt::Assign(s, e) => out.push((*s, eval(e, values)?)),
         Stmt::If {
             cond,
             then,
             otherwise,
         } => {
-            let c = eval(cond, values).as_bool().expect("if condition is bool");
+            let c = eval(cond, values)?.as_bool().ok_or(RtlError::Type {
+                context: "if condition is not a boolean",
+            })?;
             for s in if c { then } else { otherwise } {
-                exec_stmt(s, values, out);
+                exec_stmt(s, values, out)?;
             }
         }
     }
+    Ok(())
 }
 
-fn eval(e: &Expr, values: &[Value]) -> Value {
-    match e {
+fn eval(e: &Expr, values: &[Value]) -> Result<Value, RtlError> {
+    Ok(match e {
         Expr::Sig(s) => values[s.index()],
         Expr::Const(v) => *v,
-        Expr::Un(op, a) => op.apply(eval(a, values)),
-        Expr::Bin(op, a, b) => op.apply(eval(a, values), eval(b, values)),
+        Expr::Un(op, a) => op.apply(eval(a, values)?),
+        Expr::Bin(op, a, b) => op.apply(eval(a, values)?, eval(b, values)?),
         Expr::Select { c, t, e } => {
-            if eval(c, values).as_bool().expect("select condition is bool") {
-                eval(t, values)
+            let cond = eval(c, values)?.as_bool().ok_or(RtlError::Type {
+                context: "select condition is not a boolean",
+            })?;
+            if cond {
+                eval(t, values)?
             } else {
-                eval(e, values)
+                eval(e, values)?
             }
         }
-    }
+    })
 }
 
 #[cfg(test)]
@@ -307,6 +322,31 @@ mod tests {
             sim.elaborate(),
             Err(RtlError::DeltaOverflow { .. })
         ));
+    }
+
+    #[test]
+    fn non_boolean_condition_is_a_typed_error() {
+        // Malformed-but-constructible IR: an 8-bit signal used as an
+        // `if` condition must surface as RtlError::Type, not a panic.
+        let mut d = RtlDesign::new("badif");
+        let a = d.signal("a", SigType::Bits(8), b8(1));
+        let b = d.signal("b", SigType::Bits(8), b8(0));
+        d.process(
+            "p",
+            Trigger::Signals(vec![a]),
+            ProcessBody::Stmts(vec![Stmt::If {
+                cond: Expr::Sig(a),
+                then: vec![Stmt::Assign(b, Expr::Sig(a))],
+                otherwise: vec![],
+            }]),
+        );
+        let mut sim = RtlSim::new(d);
+        let err = sim.elaborate().unwrap_err();
+        assert!(matches!(err, RtlError::Type { .. }));
+        assert_eq!(
+            err.to_string(),
+            "type mismatch in RTL evaluation: if condition is not a boolean"
+        );
     }
 
     #[test]

@@ -3,10 +3,10 @@
 //! internally-driven FSM guards (held-register sampling) and fixed-point
 //! datapaths.
 
+use ocapi::rng::XorShift64;
 use ocapi::{Component, InterpSim, Sig, SigType, Simulator, System, Value};
 use ocapi_fixp::{Fix, Format, Overflow, Rounding};
 use ocapi_rtl::RtlSystemSim;
-use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 struct Recipe {
@@ -16,19 +16,27 @@ struct Recipe {
     stimuli: Vec<(i8, bool)>,
 }
 
-fn arb_recipe() -> impl Strategy<Value = Recipe> {
-    (
-        prop::collection::vec((any::<u8>(), any::<u8>()), 1..8),
-        any::<u8>(),
-        any::<i8>(),
-        prop::collection::vec((any::<i8>(), any::<bool>()), 4..24),
-    )
-        .prop_map(|(muls, out_pick, guard_const, stimuli)| Recipe {
-            muls,
-            out_pick,
-            guard_const,
-            stimuli,
-        })
+fn random_recipe(rng: &mut XorShift64) -> Recipe {
+    let muls = (0..1 + rng.index(7))
+        .map(|_| (rng.next_u64() as u8, rng.next_u64() as u8))
+        .collect();
+    let stimuli = (0..4 + rng.index(20))
+        .map(|_| (rng.next_u64() as i8, rng.next_bool()))
+        .collect();
+    Recipe {
+        muls,
+        out_pick: rng.next_u64() as u8,
+        guard_const: rng.next_u64() as i8,
+        stimuli,
+    }
+}
+
+fn cases() -> u64 {
+    if cfg!(feature = "slow-tests") {
+        128
+    } else {
+        32
+    }
 }
 
 fn fmt() -> Format {
@@ -111,10 +119,10 @@ fn build_system(r: &Recipe) -> System {
     sb.finish().expect("system")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-    #[test]
-    fn rtl_matches_interp_on_random_fixed_point_fsmds(recipe in arb_recipe()) {
+#[test]
+fn rtl_matches_interp_on_random_fixed_point_fsmds() {
+    for seed in 0..cases() {
+        let recipe = random_recipe(&mut XorShift64::new(0x12e7 + seed));
         let mut interp = InterpSim::new(build_system(&recipe)).expect("interp");
         let mut rtl = RtlSystemSim::new(build_system(&recipe)).expect("rtl");
         for (cyc, (x, en)) in recipe.stimuli.iter().enumerate() {
@@ -124,20 +132,23 @@ proptest! {
                 Rounding::Nearest,
                 Overflow::Saturate,
             ));
-            for sim in [&mut interp as &mut dyn Simulator, &mut rtl as &mut dyn Simulator] {
+            for sim in [
+                &mut interp as &mut dyn Simulator,
+                &mut rtl as &mut dyn Simulator,
+            ] {
                 sim.set_input("x", xv).expect("set");
                 sim.set_input("en", Value::Bool(*en)).expect("set");
                 sim.step().expect("step");
             }
-            prop_assert_eq!(
+            assert_eq!(
                 interp.output("o").expect("out"),
                 rtl.output("o").expect("out"),
-                "output o diverged at cycle {}", cyc
+                "seed {seed}: output o diverged at cycle {cyc}"
             );
-            prop_assert_eq!(
+            assert_eq!(
                 interp.output("cnt").expect("out"),
                 rtl.output("cnt").expect("out"),
-                "guard-driven counter diverged at cycle {}", cyc
+                "seed {seed}: guard-driven counter diverged at cycle {cyc}"
             );
         }
     }

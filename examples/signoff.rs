@@ -71,14 +71,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             sim.set_bus(&bit, *b as u64);
             sim.set_bus(&en, 1);
             sim.set_bus(&th, 11);
-            sim.settle();
-            sim.clock();
+            sim.settle()?;
+            sim.clock()?;
             for ws in &outs {
                 seen.push(sim.bus(ws));
             }
         }
-        seen
-    });
+        Ok(seen)
+    })?;
     println!(
         "stuck-at fault coverage of the testbench vectors: {}/{} = {:.1}%",
         report.detected,

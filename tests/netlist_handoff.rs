@@ -20,8 +20,8 @@ fn synthesized_hcor_round_trips_through_verilog() {
     assert_eq!(parsed.name, synthesized.name);
 
     // Drive original and re-imported netlists with the same bit stream.
-    let mut orig = GateSim::new(synthesized.netlist.clone());
-    let mut back = GateSim::new(parsed.netlist);
+    let mut orig = GateSim::new(synthesized.netlist.clone()).expect("sim");
+    let mut back = GateSim::new(parsed.netlist).expect("sim");
     let bits = hcor::test_pattern(400, 7);
     for b in &bits {
         for s in [&mut orig, &mut back] {
@@ -31,8 +31,8 @@ fn synthesized_hcor_round_trips_through_verilog() {
             s.set_bus(&bit, *b as u64);
             s.set_bus(&en, 1);
             s.set_bus(&th, 11);
-            s.settle();
-            s.clock();
+            s.settle().expect("settle");
+            s.clock().expect("clock");
         }
         let d_o = orig
             .netlist()
