@@ -3,142 +3,105 @@
 //! equalizer's training — the evaluation a receiver designer runs before
 //! committing an architecture (an extension beyond the paper's Table 1,
 //! using only the machinery the paper describes). A second sweep injects
-//! random hardware faults into the running receiver with [`FaultySim`]
+//! random hardware faults into the running receiver with `FaultySim`
 //! and plots BER versus injected fault rate: the graceful-degradation
 //! curve of the architecture itself.
 //!
-//! Run with `cargo run --release -p ocapi-bench --bin ber_sweep`.
+//! Bursts are independent seeded runs, so the sweep shards across the
+//! `--threads N` worker pool with bit-identical totals for every `N`
+//! (the CI determinism job diffs the `--json` output at 1 vs 4
+//! threads). Run with:
+//!
+//! `cargo run --release -p ocapi-bench --bin ber_sweep -- [--threads N] [--quick]`
 
-use ocapi::sim::fault::FaultPlan;
-use ocapi::{FaultySim, InterpSim};
-use ocapi_designs::dect::burst::{generate, BurstConfig};
-use ocapi_designs::dect::transceiver::{
-    build_system, run_burst, TransceiverConfig, CYCLES_PER_SYMBOL,
-};
-use ocapi_designs::dect::DELAY;
-
-/// Runs `n_bursts` bursts and returns (errors, bits). With `adapt` off
-/// the LMS update instruction is removed from the program: a fixed
-/// centre-tap receiver, the no-equalizer baseline.
-fn measure(channel: &[f64], noise: f64, adapt: bool, n_bursts: u64) -> (u64, u64) {
-    let cfg = TransceiverConfig {
-        train: adapt,
-        agc: false,
-        adapt,
-    };
-    let mut errors = 0;
-    let mut bits = 0;
-    for seed in 0..n_bursts {
-        let burst = generate(&BurstConfig {
-            payload_len: 160,
-            channel: channel.to_vec(),
-            noise,
-            seed: 1000 + seed,
-        });
-        let mut sim = InterpSim::new(build_system(&cfg).expect("build")).expect("sim");
-        let records = run_burst(&mut sim, &burst, None).expect("burst");
-        for (k, rec) in records.iter().enumerate().skip(burst.payload_start + DELAY) {
-            bits += 1;
-            if burst.bits[k - DELAY] != rec.bit {
-                errors += 1;
-            }
-        }
-    }
-    (errors, bits)
-}
-
-/// Same measurement with random transient bit flips injected into the
-/// receiver's registers and nets at `rate` faults per clock cycle.
-fn measure_with_faults(channel: &[f64], noise: f64, rate: f64, n_bursts: u64) -> (u64, u64) {
-    let cfg = TransceiverConfig {
-        train: true,
-        agc: false,
-        adapt: true,
-    };
-    let mut errors = 0;
-    let mut bits = 0;
-    for seed in 0..n_bursts {
-        let burst = generate(&BurstConfig {
-            payload_len: 160,
-            channel: channel.to_vec(),
-            noise,
-            seed: 1000 + seed,
-        });
-        let sys = build_system(&cfg).expect("build");
-        let cycles = (burst.samples.len() * CYCLES_PER_SYMBOL) as u64;
-        let plan = FaultPlan::random(&sys, cycles, rate, 0xdec7 + seed);
-        let mut sim = FaultySim::new(InterpSim::new(sys).expect("sim"), plan);
-        // A heavily faulted run may trip a typed error (that is the
-        // detection path working); count its burst as fully errored.
-        match run_burst(&mut sim, &burst, None) {
-            Ok(records) => {
-                for (k, rec) in records.iter().enumerate().skip(burst.payload_start + DELAY) {
-                    bits += 1;
-                    if burst.bits[k - DELAY] != rec.bit {
-                        errors += 1;
-                    }
-                }
-            }
-            Err(_) => {
-                let n = burst.bits.len().saturating_sub(burst.payload_start + DELAY) as u64;
-                bits += n;
-                errors += n;
-            }
-        }
-    }
-    (errors, bits)
-}
-
-fn fmt_ber(errors: u64, bits: u64) -> String {
-    if errors == 0 {
-        format!("<{:.1e}", 1.0 / bits as f64)
-    } else {
-        format!("{:.2e}", errors as f64 / bits as f64)
-    }
-}
+use ocapi_bench::ber::{fmt_ber, measure, measure_with_faults};
+use ocapi_bench::{parse_args, timed, Reporter};
 
 fn main() {
-    let bursts = 8;
-    println!("DECT payload BER (160-bit payloads x {bursts} bursts per point)\n");
+    let args = parse_args("ber_sweep");
+    let pool = args.pool();
+    let mut rep = Reporter::new("ber_sweep");
+
+    let (bursts, payload) = if args.quick { (2, 64) } else { (8, 160) };
+    println!("DECT payload BER ({payload}-bit payloads x {bursts} bursts per point)\n");
     println!(
         "{:<22} {:>7} {:>14} {:>15}",
         "channel", "noise", "BER equalized", "BER fixed-tap"
     );
-    for channel in [
-        vec![1.0],
-        vec![1.0, 0.45],
-        vec![1.0, 0.65, 0.35],
-        vec![0.8, 0.7, -0.3],
-    ] {
-        for noise in [0.05, 0.25, 0.45] {
-            let (e1, b1) = measure(&channel, noise, true, bursts);
-            let (e0, b0) = measure(&channel, noise, false, bursts);
-            println!(
-                "{:<22} {:>7.2} {:>14} {:>15}",
-                format!("{channel:?}"),
-                noise,
-                fmt_ber(e1, b1),
-                fmt_ber(e0, b0)
-            );
+    let channels: &[Vec<f64>] = if args.quick {
+        &[vec![1.0], vec![1.0, 0.65, 0.35]]
+    } else {
+        &[
+            vec![1.0],
+            vec![1.0, 0.45],
+            vec![1.0, 0.65, 0.35],
+            vec![0.8, 0.7, -0.3],
+        ]
+    };
+    let noises: &[f64] = if args.quick {
+        &[0.05, 0.45]
+    } else {
+        &[0.05, 0.25, 0.45]
+    };
+
+    let mut total_runs = 0u64;
+    let (_, sweep_secs) = timed(|| {
+        for channel in channels {
+            for &noise in noises {
+                let eq = measure(&pool, channel, noise, true, bursts, payload);
+                let fixed = measure(&pool, channel, noise, false, bursts, payload);
+                total_runs += 2 * bursts;
+                println!(
+                    "{:<22} {:>7.2} {:>14} {:>15}",
+                    format!("{channel:?}"),
+                    noise,
+                    fmt_ber(eq),
+                    fmt_ber(fixed)
+                );
+                let key = format!("ch{channel:?}_n{noise}");
+                rep.result_u64(&format!("{key}_eq_errors"), eq.errors);
+                rep.result_u64(&format!("{key}_eq_bits"), eq.bits);
+                rep.result_u64(&format!("{key}_fixed_errors"), fixed.errors);
+                rep.result_u64(&format!("{key}_fixed_bits"), fixed.bits);
+            }
         }
-    }
+    });
+
     // Fault-injection sweep: BER of the equalized receiver on a mild
     // channel as random transient flips hit the hardware.
     println!("\nBER vs injected hardware fault rate (channel [1.0, 0.45], noise 0.05):");
     println!("{:<22} {:>14}", "faults per cycle", "BER equalized");
-    for rate in [0.0, 1e-4, 1e-3, 1e-2, 5e-2, 2e-1] {
-        let (e, b) = measure_with_faults(&[1.0, 0.45], 0.05, rate, bursts);
-        println!("{rate:<22} {:>14}", fmt_ber(e, b));
+    let rates: &[f64] = if args.quick {
+        &[0.0, 1e-2, 2e-1]
+    } else {
+        &[0.0, 1e-4, 1e-3, 1e-2, 5e-2, 2e-1]
+    };
+    let (_, fault_secs) = timed(|| {
+        for &rate in rates {
+            let c = measure_with_faults(&pool, &[1.0, 0.45], 0.05, rate, bursts, payload);
+            total_runs += bursts;
+            println!("{rate:<22} {:>14}", fmt_ber(c));
+            rep.result_u64(&format!("fault_r{rate}_errors"), c.errors);
+            rep.result_u64(&format!("fault_r{rate}_bits"), c.bits);
+        }
+    });
+
+    if !args.quick {
+        println!(
+            "\nReading the sweep: on the hard-but-equalisable channel\n\
+             [1.0, 0.65, 0.35] the trained equalizer buys two orders of\n\
+             magnitude of BER at low noise — the gates of the 11 MAC datapaths\n\
+             earning their keep. The severe non-minimum-phase channel\n\
+             [0.8, 0.7, -0.3] defeats a short linear equalizer regardless\n\
+             (decision feedback territory), and at very high noise the\n\
+             decision-directed tail of the adaptation can even misadapt —\n\
+             both classical, expected behaviours."
+        );
     }
 
-    println!(
-        "\nReading the sweep: on the hard-but-equalisable channel\n\
-         [1.0, 0.65, 0.35] the trained equalizer buys two orders of\n\
-         magnitude of BER at low noise — the gates of the 11 MAC datapaths\n\
-         earning their keep. The severe non-minimum-phase channel\n\
-         [0.8, 0.7, -0.3] defeats a short linear equalizer regardless\n\
-         (decision feedback territory), and at very high noise the\n\
-         decision-directed tail of the adaptation can even misadapt —\n\
-         both classical, expected behaviours."
-    );
+    let wall = sweep_secs + fault_secs;
+    rep.perf_f64("sweep_wall_secs", wall);
+    rep.perf_u64("burst_runs", total_runs);
+    rep.perf_f64("runs_per_sec", total_runs as f64 / wall.max(1e-12));
+    rep.write(&args).expect("write reports");
 }

@@ -9,9 +9,15 @@
 //! locally-controlled data-driven pipeline a stall propagates backwards
 //! one handshake per cycle, so freeze latency grows with pipeline depth.
 //!
-//! Run with `cargo run --release -p ocapi-bench --bin exception_latency`.
+//! Each pipeline depth is an independent build-and-run, so the depth
+//! sweep shards across the `--threads N` pool (latencies merged in
+//! depth order — identical for every thread count). Run with:
+//!
+//! `cargo run --release -p ocapi-bench --bin exception_latency -- [--threads N] [--quick]`
 
+use ocapi::sim::par::map_indexed;
 use ocapi::{Component, CoreError, InterpSim, SigType, Simulator, System, Value};
+use ocapi_bench::{parse_args, timed, Reporter};
 use ocapi_designs::dect::burst::{generate, BurstConfig};
 use ocapi_designs::dect::transceiver::{build_system, TransceiverConfig};
 
@@ -113,18 +119,35 @@ fn central_freeze_latency() -> u64 {
 }
 
 fn main() {
+    let args = parse_args("exception_latency");
+    let pool = args.pool();
+    let mut rep = Reporter::new("exception_latency");
     println!("global-exception freeze latency (§3.3 architecture change):\n");
     let central = central_freeze_latency();
     println!("  central control (DECT transceiver): {central} cycle(s)");
+    rep.result_u64("central_freeze_cycles", central);
     println!("\n  data-driven pipeline (stall handshake, one per stage):");
     println!("  {:<10} {:>16}", "stages", "freeze latency");
-    for k in [4usize, 8, 16, 32] {
-        let lat = dataflow_freeze_latency(k);
+    let depths: &[usize] = if args.quick {
+        &[4, 8, 16]
+    } else {
+        &[4, 8, 16, 32]
+    };
+    let (lats, secs) = timed(|| {
+        map_indexed(&pool, depths, |_, &k| {
+            Ok::<_, CoreError>(dataflow_freeze_latency(k))
+        })
+        .expect("depth sweep")
+    });
+    for (&k, &lat) in depths.iter().zip(&lats) {
         println!("  {k:<10} {lat:>14} cy");
+        rep.result_u64(&format!("dataflow_freeze_cycles_d{k}"), lat);
     }
+    rep.perf_f64("depth_sweep_secs", secs);
     println!(
         "\n  conclusion: central control freezes in O(1); the data-driven\n  \
          architecture needs O(depth) — with the 29-DECT-symbol latency\n  \
          budget this is why the paper switched architectures mid-design."
     );
+    rep.write(&args).expect("write reports");
 }

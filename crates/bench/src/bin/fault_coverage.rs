@@ -5,76 +5,64 @@
 //!   testbenches, an extension of the paper's Figure 8 story: the
 //!   testbench vectors recorded from system simulation double as a
 //!   manufacturing test set, and fault simulation grades them.
-//! * **System level** — a cycle-true [`FaultySim`] campaign over every
+//! * **System level** — a cycle-true `FaultySim` campaign over every
 //!   register and net of the captured system, classifying each injected
 //!   fault as masked, silently corrupting, or detected.
 //!
-//! Run with `cargo run --release -p ocapi-bench --bin fault_coverage`.
+//! Both levels shard across the `--threads N` worker pool (fault
+//! batches at gate level, fault events at system level) with
+//! bit-identical reports for every `N`; the campaign is additionally
+//! timed at one thread and at `N` threads, and the measured speedup
+//! lands in the `--perf-json` record. Run with:
+//!
+//! `cargo run --release -p ocapi-bench --bin fault_coverage -- [--threads N] [--quick]`
 
 use ocapi::rng::XorShift64;
-use ocapi::sim::fault::{run_campaign, FaultEvent, FaultPlan};
+use ocapi::sim::fault::{run_campaign_par, FaultEvent, FaultPlan};
+use ocapi::sim::par::{map_indexed_stats, ParConfig};
 use ocapi::{InterpSim, Simulator, Value};
+use ocapi_bench::{parse_args, timed, BenchArgs, Reporter};
 use ocapi_designs::hcor;
-use ocapi_gatesim::fault::{stuck_at_coverage, stuck_at_coverage_parallel, CycleStimulus};
-use ocapi_gatesim::{GateError, GateSim};
+use ocapi_gatesim::fault::{stuck_at_coverage_sharded, CycleStimulus};
 use ocapi_synth::{synthesize, SynthOptions};
 
-/// Drives the HCOR netlist with a bit stream (cycling through the given
-/// thresholds) and observes every output every cycle.
-fn drive<'a>(
-    bits: &'a [bool],
-    thresholds: &'a [u64],
-) -> impl FnMut(&mut GateSim) -> Result<Vec<u64>, GateError> + 'a {
-    move |sim: &mut GateSim| {
-        let bit = sim.netlist().input_by_name("bit_in").expect("in").to_vec();
-        let en = sim.netlist().input_by_name("enable").expect("in").to_vec();
-        let th = sim
-            .netlist()
-            .input_by_name("threshold")
-            .expect("in")
-            .to_vec();
-        let corr = sim.netlist().output_by_name("corr").expect("out").to_vec();
-        let det = sim
-            .netlist()
-            .output_by_name("detect")
-            .expect("out")
-            .to_vec();
-        let pos = sim
-            .netlist()
-            .output_by_name("sync_pos")
-            .expect("out")
-            .to_vec();
-        bits.iter()
-            .enumerate()
-            .map(|(k, b)| {
-                sim.set_bus(&bit, *b as u64);
-                sim.set_bus(&en, 1);
-                sim.set_bus(&th, thresholds[(k / 32) % thresholds.len()]);
-                sim.settle()?;
-                sim.clock()?;
-                Ok(sim.bus(&corr) | (sim.bus(&det) << 8) | (sim.bus(&pos) << 16))
-            })
-            .collect()
-    }
+/// Apply–settle–clock–observe stimulus for the HCOR netlist: a bit
+/// stream with the thresholds cycled every 32 symbols.
+fn stimuli_for(bits: &[bool], thresholds: &[u64]) -> Vec<CycleStimulus> {
+    bits.iter()
+        .enumerate()
+        .map(|(k, b)| CycleStimulus {
+            inputs: vec![
+                ("bit_in".into(), *b as u64),
+                ("enable".into(), 1),
+                ("threshold".into(), thresholds[(k / 32) % thresholds.len()]),
+            ],
+        })
+        .collect()
 }
 
 /// System-level fault campaign: sweep every fault site of the captured
 /// HCOR system with transient flips and stuck-at faults, running the
-/// interpreted simulator under [`ocapi::FaultySim`].
-fn system_level_campaign() {
+/// interpreted simulator under `FaultySim` — sharded over fault events,
+/// timed at 1 and at N threads for the perf trajectory.
+fn system_level_campaign(args: &BenchArgs, rep: &mut Reporter) {
+    let pool = args.pool();
     let sys = hcor::build_system().expect("build");
     let sites = FaultPlan::sites(&sys);
-    let bits = hcor::test_pattern(112, 7);
+    let bits = hcor::test_pattern(if args.quick { 128 } else { 256 }, 7);
     let cycles = bits.len() as u64;
 
-    // One transient flip mid-burst and one five-cycle stuck-at-1 per
-    // site, on a low and a high bit of the site's word.
+    // Exhaustive over bit positions: four transient flips spread across
+    // the burst and one nine-cycle stuck-at-1 per bit of every site.
     let mut events: Vec<FaultEvent> = Vec::new();
     for site in &sites {
         let width = FaultPlan::site_width(&sys, site);
-        events.push(FaultEvent::flip(site.clone(), 0, cycles / 3));
-        events.push(FaultEvent::flip(site.clone(), width - 1, cycles / 2));
-        events.push(FaultEvent::stuck_at(site.clone(), 0, true, cycles / 4, 5));
+        for bit in 0..width {
+            for k in 1..=4u64 {
+                events.push(FaultEvent::flip(site.clone(), bit, k * cycles / 5));
+            }
+            events.push(FaultEvent::stuck_at(site.clone(), bit, true, cycles / 4, 9));
+        }
     }
 
     let stimulus = |sim: &mut dyn Simulator, cycle: u64| {
@@ -83,14 +71,27 @@ fn system_level_campaign() {
         sim.set_input("bit_in", Value::Bool(bits[cycle as usize]))?;
         Ok(())
     };
+    let make_sim = || InterpSim::new(hcor::build_system()?);
 
-    let report = run_campaign(
-        || InterpSim::new(hcor::build_system().expect("build")),
-        stimulus,
-        cycles,
-        &events,
-    )
-    .expect("campaign");
+    // The perf-trajectory measurement: same campaign at one worker and
+    // at the requested pool width. Reports are asserted identical —
+    // the determinism contract, enforced on every benchmark run.
+    let (serial_report, secs_t1) = timed(|| {
+        run_campaign_par(&ParConfig::single(), make_sim, stimulus, cycles, &events)
+            .expect("campaign")
+    });
+    let (report, secs_tn) = if pool.threads() > 1 {
+        let (r, s) = timed(|| {
+            run_campaign_par(&pool, make_sim, stimulus, cycles, &events).expect("campaign")
+        });
+        assert_eq!(
+            r.outcomes, serial_report.outcomes,
+            "thread-count determinism violated"
+        );
+        (r, s)
+    } else {
+        (serial_report, secs_t1)
+    };
 
     println!(
         "\nsystem-level FaultySim campaign on HCOR ({} sites, {} injections, {} cycles each):",
@@ -112,11 +113,32 @@ fn system_level_campaign() {
     if let Some(lat) = report.mean_detection_latency() {
         println!("  mean latency to first visible effect: {lat:.1} cycles");
     }
+    println!(
+        "  campaign wall: {secs_t1:.2}s at 1 thread, {secs_tn:.2}s at {} ({:.2}x)",
+        pool.threads(),
+        secs_t1 / secs_tn.max(1e-12)
+    );
+
+    rep.result_u64("campaign_injections", report.total() as u64);
+    rep.result_u64("campaign_masked", report.masked() as u64);
+    rep.result_u64("campaign_silent", report.silent() as u64);
+    rep.result_u64("campaign_detected", report.detected() as u64);
+    rep.perf_f64("campaign_secs_t1", secs_t1);
+    rep.perf_f64("campaign_secs_tn", secs_tn);
+    rep.perf_f64("campaign_speedup", secs_t1 / secs_tn.max(1e-12));
+    rep.perf_f64(
+        "campaign_runs_per_sec",
+        report.total() as f64 / secs_tn.max(1e-12),
+    );
+    rep.perf_f64(
+        "campaign_cycles_per_sec",
+        (report.total() as u64 * cycles) as f64 / secs_tn.max(1e-12),
+    );
 
     // Graceful degradation: per-cycle output corruption and sync
     // detection vs injected fault rate. Random single-cycle flips at
     // increasing per-cycle probability, compared against the fault-free
-    // run cycle by cycle.
+    // run cycle by cycle. Each (rate, seed) run is one work item.
     let outputs = ["detect", "corr", "sync_pos"];
     let mut golden: Vec<Vec<Value>> = Vec::with_capacity(bits.len());
     let mut sim = InterpSim::new(hcor::build_system().expect("build")).expect("sim");
@@ -133,23 +155,33 @@ fn system_level_campaign() {
         "  {:>10} {:>6} {:>16} {:>12}",
         "fault rate", "runs", "corrupted cycles", "sync found"
     );
-    for rate in [0.0, 0.05, 0.2, 0.5, 1.0, 2.0f64] {
-        let runs = 20u64;
-        let mut detects = 0u64;
-        let mut corrupted = 0u64;
-        for seed in 0..runs {
-            // `rate` > 1 approximates multiple faults per cycle by
-            // stacking independent random plans.
-            let mut plan = FaultPlan::random(&sys, cycles, rate.min(1.0), 0xfa117 + seed);
-            if rate > 1.0 {
-                for e in FaultPlan::random(&sys, cycles, rate - 1.0, 0x5eed + seed).events() {
-                    plan.push(e.clone());
+    let rates: &[f64] = if args.quick {
+        &[0.0, 0.2, 1.0]
+    } else {
+        &[0.0, 0.05, 0.2, 0.5, 1.0, 2.0]
+    };
+    let runs = if args.quick { 8u64 } else { 20u64 };
+    let mut degrade_stats = None;
+    for &rate in rates {
+        // Plans are built sequentially (the captured `System` holds
+        // `dyn` blocks and cannot cross threads); the simulation runs
+        // they drive are the work items. `rate` > 1 approximates
+        // multiple faults per cycle by stacking independent plans.
+        let plans: Vec<FaultPlan> = (0..runs)
+            .map(|seed| {
+                let mut plan = FaultPlan::random(&sys, cycles, rate.min(1.0), 0xfa117 + seed);
+                if rate > 1.0 {
+                    for e in FaultPlan::random(&sys, cycles, rate - 1.0, 0x5eed + seed).events() {
+                        plan.push(e.clone());
+                    }
                 }
-            }
-            let mut sim = ocapi::FaultySim::new(
-                InterpSim::new(hcor::build_system().expect("build")).expect("sim"),
-                plan,
-            );
+                plan
+            })
+            .collect();
+        let (outcomes, stats) = map_indexed_stats(&pool, &plans, |_, plan| {
+            let mut sim =
+                ocapi::FaultySim::new(InterpSim::new(hcor::build_system()?)?, plan.clone());
+            let mut corrupted = 0u64;
             let mut detected = false;
             for (cyc, b) in bits.iter().enumerate() {
                 if sim.set_input("enable", Value::Bool(true)).is_err()
@@ -167,24 +199,41 @@ fn system_level_campaign() {
                     detected = true;
                 }
             }
-            detects += detected as u64;
-        }
+            Ok::<_, ocapi::CoreError>((corrupted, detected))
+        });
+        let outcomes = outcomes.expect("degradation runs");
+        let corrupted: u64 = outcomes.iter().map(|(c, _)| c).sum();
+        let detects = outcomes.iter().filter(|(_, d)| *d).count() as u64;
         println!(
             "  {rate:>10.2} {runs:>6} {:>15.1}% {detects:>9}/{runs}",
             100.0 * corrupted as f64 / (runs * cycles) as f64
         );
+        rep.result_u64(&format!("degrade_r{rate}_corrupted"), corrupted);
+        rep.result_u64(&format!("degrade_r{rate}_detects"), detects);
+        degrade_stats = Some(stats);
+    }
+    if let Some(stats) = degrade_stats {
+        rep.perf_pool("degrade", &stats);
     }
 }
 
 fn main() {
+    let args = parse_args("fault_coverage");
+    let pool = args.pool();
+    let mut rep = Reporter::new("fault_coverage");
+
     let comp = hcor::build_component().expect("build");
     let netlist = synthesize(&comp, &SynthOptions::default()).expect("synthesis");
+    let n_gates = netlist.netlist.combinational_count();
+    let n_ffs = netlist.netlist.dff_count();
     println!(
         "HCOR netlist: {} gates, {} FF — {} stuck-at faults",
-        netlist.netlist.combinational_count(),
-        netlist.netlist.dff_count(),
-        2 * (netlist.netlist.combinational_count() + netlist.netlist.dff_count())
+        n_gates,
+        n_ffs,
+        2 * (n_gates + n_ffs)
     );
+    rep.result_u64("netlist_gates", n_gates as u64);
+    rep.result_u64("netlist_ffs", n_ffs as u64);
     println!(
         "\n{:<38} {:>8} {:>10} {:>10}",
         "vector set", "cycles", "detected", "coverage"
@@ -193,22 +242,25 @@ fn main() {
     let mut sets: Vec<(String, Vec<bool>, Vec<u64>)> = Vec::new();
     // The functional pattern the generated testbench replays (burst with
     // the sync word at a known offset), at two lengths.
-    for n in [64usize, 256] {
+    let lengths: &[usize] = if args.quick { &[64] } else { &[64, 256] };
+    for &n in lengths {
         sets.push((
             format!("generated testbench (burst, {n})"),
             hcor::test_pattern(n, 7),
             vec![11],
         ));
     }
-    // The same burst with a threshold sweep between segments.
-    sets.push((
-        "burst + threshold sweep (256)".into(),
-        hcor::test_pattern(256, 7),
-        vec![15, 11, 31, 9],
-    ));
+    if !args.quick {
+        // The same burst with a threshold sweep between segments.
+        sets.push((
+            "burst + threshold sweep (256)".into(),
+            hcor::test_pattern(256, 7),
+            vec![15, 11, 31, 9],
+        ));
+    }
     // Random bits, same lengths.
     let mut rng = XorShift64::new(0x2545f4914f6cdd1d);
-    for n in [64usize, 256] {
+    for &n in lengths {
         let bits = (0..n).map(|_| rng.next_bool()).collect();
         sets.push((format!("random bits ({n})"), bits, vec![11]));
     }
@@ -216,20 +268,32 @@ fn main() {
     sets.push(("all-zero idle (64)".into(), vec![false; 64], vec![11]));
 
     let mut best: Option<ocapi_gatesim::fault::FaultReport> = None;
+    let mut grade_secs = 0.0f64;
+    let mut grade_faults = 0u64;
     for (label, bits, thresholds) in &sets {
-        let rep =
-            stuck_at_coverage(&netlist.netlist, drive(bits, thresholds)).expect("fault grade");
+        let stim = stimuli_for(bits, thresholds);
+        let (graded, secs) =
+            timed(|| stuck_at_coverage_sharded(&netlist.netlist, &stim, &pool).expect("grade"));
+        grade_secs += secs;
+        grade_faults += graded.total as u64;
         println!(
             "{:<38} {:>8} {:>10} {:>9.1}%",
             label,
             bits.len(),
-            rep.detected,
-            100.0 * rep.coverage()
+            graded.detected,
+            100.0 * graded.coverage()
         );
-        if best.as_ref().is_none_or(|b| rep.detected > b.detected) {
-            best = Some(rep);
+        rep.result_u64(&format!("set_{label}_detected"), graded.detected as u64);
+        rep.result_u64(&format!("set_{label}_total"), graded.total as u64);
+        if best.as_ref().is_none_or(|b| graded.detected > b.detected) {
+            best = Some(graded);
         }
     }
+    rep.perf_f64("grade_wall_secs", grade_secs);
+    rep.perf_f64(
+        "grade_faults_per_sec",
+        grade_faults as f64 / grade_secs.max(1e-12),
+    );
 
     // Where do the escapes of the best set live?
     let best = best.expect("at least one set");
@@ -241,9 +305,10 @@ fn main() {
     println!("\nundetected faults of the best set, by gate kind:");
     for (k, n) in &by_kind {
         println!("  {k:<8} {n:>6}");
+        rep.result_u64(&format!("best_undetected_{k}"), *n as u64);
     }
 
-    // BIST: pseudo-random LFSR patterns, graded with the parallel
+    // BIST: pseudo-random LFSR patterns, graded with the sharded
     // engine; the MISR signature is what an on-chip comparison fuses.
     use ocapi_gatesim::bist;
     // Two BIST disciplines: fully random, and enable held high (classic
@@ -252,8 +317,9 @@ fn main() {
     // random low threshold freezes the machine and everything behind
     // the lock becomes unobservable — this design needs a reset between
     // BIST sessions, which is itself a finding fault grading surfaces.
+    let pattern_counts: &[usize] = if args.quick { &[256] } else { &[256, 2048] };
     for (label, constrain) in [("LFSR BIST", false), ("LFSR BIST, enable held", true)] {
-        for patterns in [256usize, 2048] {
+        for &patterns in pattern_counts {
             let mut stim = bist::lfsr_stimulus(&netlist.netlist, patterns, 0xace1);
             if constrain {
                 for cyc in &mut stim {
@@ -264,65 +330,70 @@ fn main() {
                     }
                 }
             }
-            let rep = stuck_at_coverage_parallel(&netlist.netlist, &stim);
-            let sig = bist::golden_signature(&netlist.netlist, &stim).expect("bist");
+            let signoff = bist::bist_signoff(&netlist.netlist, &stim, &pool).expect("bist");
             println!(
                 "{:<38} {:>8} {:>10} {:>9.1}%   signature {:08x}",
                 format!("{label} ({patterns})"),
                 patterns,
-                rep.detected,
-                100.0 * rep.coverage(),
-                sig.signature
+                signoff.coverage.detected,
+                100.0 * signoff.coverage.coverage(),
+                signoff.report.signature
+            );
+            rep.result_str(
+                &format!("bist_{label}_{patterns}_signature"),
+                &format!("{:08x}", signoff.report.signature),
+            );
+            rep.result_u64(
+                &format!("bist_{label}_{patterns}_detected"),
+                signoff.coverage.detected as u64,
             );
         }
     }
 
-    // Engine ablation: serial (one rebuilt simulator per fault) vs the
-    // 64-way bit-parallel engine, on the longest vector set.
-    let bits = hcor::test_pattern(256, 7);
-    let stimuli: Vec<CycleStimulus> = bits
-        .iter()
-        .map(|b| CycleStimulus {
-            inputs: vec![
-                ("bit_in".into(), *b as u64),
-                ("enable".into(), 1),
-                ("threshold".into(), 11),
-            ],
-        })
-        .collect();
-    let t = std::time::Instant::now();
-    let serial = stuck_at_coverage(&netlist.netlist, drive(&bits, &[11])).expect("fault grade");
-    let t_serial = t.elapsed().as_secs_f64();
-    let t = std::time::Instant::now();
-    let parallel = stuck_at_coverage_parallel(&netlist.netlist, &stimuli);
-    let t_parallel = t.elapsed().as_secs_f64();
-    assert_eq!(serial.detected, parallel.detected, "engines disagree");
-    assert_eq!(serial.undetected, parallel.undetected, "engines disagree");
+    // Engine ablation: the 64-way bit-parallel engine single-threaded
+    // vs sharded across the pool, on the longest vector set graded.
+    let bits = hcor::test_pattern(if args.quick { 64 } else { 256 }, 7);
+    let stimuli = stimuli_for(&bits, &[11]);
+    let (serial, t_serial) = timed(|| {
+        stuck_at_coverage_sharded(&netlist.netlist, &stimuli, &ParConfig::single())
+            .expect("fault grade")
+    });
+    let (sharded, t_sharded) =
+        timed(|| stuck_at_coverage_sharded(&netlist.netlist, &stimuli, &pool).expect("grade"));
+    assert_eq!(serial.detected, sharded.detected, "engines disagree");
+    assert_eq!(serial.undetected, sharded.undetected, "engines disagree");
     println!(
-        "\nengine ablation on the 256-symbol burst ({} faults, identical reports):",
+        "\nengine ablation on the {}-symbol burst ({} faults, identical reports):",
+        bits.len(),
         serial.total
     );
-    println!("  serial       {t_serial:>8.2} s");
+    println!("  bit-parallel, 1 thread   {t_serial:>8.3} s");
     println!(
-        "  bit-parallel {t_parallel:>8.2} s   ({:.0}x faster)",
-        t_serial / t_parallel
+        "  bit-parallel, {} thread(s) {t_sharded:>8.3} s   ({:.1}x)",
+        pool.threads(),
+        t_serial / t_sharded.max(1e-12)
     );
+    rep.perf_f64("ablation_secs_t1", t_serial);
+    rep.perf_f64("ablation_secs_tn", t_sharded);
 
-    println!(
-        "\nReading the table: any data-rich stream (functional burst or\n\
-         random) saturates the datapath cone within one correlator fill,\n\
-         so doubling the vector count buys nothing — the remaining faults\n\
-         sit in logic those vectors never sensitise: the high bits of the\n\
-         16-bit sync-position counter (a longer burst would reach them)\n\
-         and the threshold comparator cone under a fixed threshold.\n\
-         Sweeping the threshold across segments (high first, so the\n\
-         terminal locked state arrives late) recovers part of that.\n\
-         LFSR BIST plateaus low for the same reason: a random low\n\
-         threshold locks the FSM within a few cycles and the lock is\n\
-         terminal — this design needs a reset between BIST sessions,\n\
-         the kind of DFT finding fault grading exists to surface.\n\
-         A constant stream tests almost nothing."
-    );
+    if !args.quick {
+        println!(
+            "\nReading the table: any data-rich stream (functional burst or\n\
+             random) saturates the datapath cone within one correlator fill,\n\
+             so doubling the vector count buys nothing — the remaining faults\n\
+             sit in logic those vectors never sensitise: the high bits of the\n\
+             16-bit sync-position counter (a longer burst would reach them)\n\
+             and the threshold comparator cone under a fixed threshold.\n\
+             Sweeping the threshold across segments (high first, so the\n\
+             terminal locked state arrives late) recovers part of that.\n\
+             LFSR BIST plateaus low for the same reason: a random low\n\
+             threshold locks the FSM within a few cycles and the lock is\n\
+             terminal — this design needs a reset between BIST sessions,\n\
+             the kind of DFT finding fault grading exists to surface.\n\
+             A constant stream tests almost nothing."
+        );
+    }
 
-    system_level_campaign();
+    system_level_campaign(&args, &mut rep);
+    rep.write(&args).expect("write reports");
 }

@@ -10,10 +10,16 @@
 //! * `VHDL/Verilog (netlist)` → [`ocapi_gatesim::GateSystemSim`]
 //!   (event-driven gate-level simulation of the synthesized netlist).
 //!
-//! Run with `cargo run --release -p ocapi-bench --bin table1`.
+//! The simulator drive loops are inherently serial (one sim, one clock);
+//! the `--threads N` pool shards the synthesis runs behind the gate-eq
+//! column instead. `--quick` shrinks the driven pattern lengths for CI.
+//! Run with:
+//!
+//! `cargo run --release -p ocapi-bench --bin table1 -- [--threads N] [--quick]`
 
-use ocapi::{CompiledSim, InterpSim, Simulator, System, Value};
-use ocapi_bench::{mb, timed, CountingAlloc};
+use ocapi::sim::par::map_indexed;
+use ocapi::{CompiledSim, Component, CoreError, InterpSim, ParConfig, Simulator, System, Value};
+use ocapi_bench::{mb, parse_args, timed, BenchArgs, CountingAlloc, Reporter};
 use ocapi_designs::dect::burst::{generate, BurstConfig};
 use ocapi_designs::dect::transceiver::{self, TransceiverConfig};
 use ocapi_designs::hcor;
@@ -67,10 +73,18 @@ fn hdl_lines(sys: &System) -> (usize, usize) {
     (effective_lines(&v, "--"), effective_lines(&vl, "//"))
 }
 
-fn gate_count(sys: &System) -> f64 {
+/// Total gate-eq area of the system: every timed component synthesized
+/// independently across the worker pool, areas summed in component
+/// order (finished `Component`s are plain data, so they shard freely).
+fn gate_count(sys: &System, pool: &ParConfig) -> f64 {
+    let comps: Vec<Component> = sys.timed.iter().map(|t| t.comp.clone()).collect();
+    let nets = map_indexed(pool, &comps, |_, c| {
+        Ok::<_, CoreError>(synthesize(c, &SynthOptions::default()).expect("synthesis"))
+    })
+    .expect("synthesis runs");
     let mut rep = ChipReport::new(&sys.name);
-    for t in &sys.timed {
-        rep.add(&synthesize(&t.comp, &SynthOptions::default()).expect("synthesis"));
+    for n in &nets {
+        rep.add(n);
     }
     rep.total_area()
 }
@@ -89,8 +103,8 @@ fn print_design(name: &str, gates: f64, rows: &[Row]) {
     }
 }
 
-fn hcor_table() {
-    let bits = hcor::test_pattern(3000, 99);
+fn hcor_table(args: &BenchArgs, rep: &mut Reporter) {
+    let bits = hcor::test_pattern(if args.quick { 256 } else { 3000 }, 99);
     let drive_bits = bits.clone();
     let drive = move |sim: &mut dyn Simulator| -> u64 {
         sim.set_input("enable", Value::Bool(true)).expect("set");
@@ -105,7 +119,11 @@ fn hcor_table() {
     let sys = hcor::build_system().expect("build");
     let (vhdl_l, verilog_l) = hdl_lines(&sys);
     let dsl_l = dsl_lines(&["hcor"]);
-    let gates = gate_count(&sys);
+    let gates = gate_count(&sys, &args.pool());
+    rep.result_u64("hcor_dsl_lines", dsl_l as u64);
+    rep.result_u64("hcor_vhdl_lines", vhdl_l as u64);
+    rep.result_u64("hcor_verilog_lines", verilog_l as u64);
+    rep.result_f64("hcor_gate_eq", gates);
 
     let (interp_speed, interp_mem) = measure(
         || InterpSim::new(hcor::build_system().expect("build")).expect("sim"),
@@ -160,9 +178,13 @@ fn hcor_table() {
             },
         ],
     );
+    rep.perf_f64("hcor_interp_cycles_per_sec", interp_speed);
+    rep.perf_f64("hcor_compiled_cycles_per_sec", comp_speed);
+    rep.perf_f64("hcor_rtl_cycles_per_sec", rtl_speed);
+    rep.perf_f64("hcor_gate_cycles_per_sec", gate_speed);
 }
 
-fn dect_table() {
+fn dect_table(args: &BenchArgs, rep: &mut Reporter) {
     let cfg = TransceiverConfig::default();
     let make_burst = |n: usize| {
         generate(&BurstConfig {
@@ -184,19 +206,30 @@ fn dect_table() {
         "dect/datapaths",
         "dect/transceiver",
     ]);
-    let gates = gate_count(&sys);
+    let gates = gate_count(&sys, &args.pool());
+    rep.result_u64("dect_dsl_lines", dsl_l as u64);
+    rep.result_u64("dect_vhdl_lines", vhdl_l as u64);
+    rep.result_u64("dect_verilog_lines", verilog_l as u64);
+    rep.result_f64("dect_gate_eq", gates);
 
+    // Payload lengths per paradigm, scaled to each kernel's speed (and
+    // shrunk further under `--quick`).
+    let (p_obj, p_rtl, p_gate) = if args.quick {
+        (128, 64, 8)
+    } else {
+        (960, 480, 32)
+    };
     let (interp_speed, interp_mem) = measure(
         || InterpSim::new(transceiver::build_system(&cfg).expect("build")).expect("sim"),
-        |s| drive(s, 960),
+        |s| drive(s, p_obj),
     );
     let (comp_speed, comp_mem) = measure(
         || CompiledSim::new(transceiver::build_system(&cfg).expect("build")).expect("sim"),
-        |s| drive(s, 960),
+        |s| drive(s, p_obj),
     );
     let (rtl_speed, rtl_mem) = measure(
         || RtlSystemSim::new(transceiver::build_system(&cfg).expect("build")).expect("sim"),
-        |s| drive(s, 480),
+        |s| drive(s, p_rtl),
     );
     let (gate_speed, gate_mem) = measure(
         || {
@@ -206,7 +239,7 @@ fn dect_table() {
             )
             .expect("sim")
         },
-        |s| drive(s, 32),
+        |s| drive(s, p_gate),
     );
 
     print_design(
@@ -239,18 +272,25 @@ fn dect_table() {
             },
         ],
     );
+    rep.perf_f64("dect_interp_cycles_per_sec", interp_speed);
+    rep.perf_f64("dect_compiled_cycles_per_sec", comp_speed);
+    rep.perf_f64("dect_rtl_cycles_per_sec", rtl_speed);
+    rep.perf_f64("dect_gate_cycles_per_sec", gate_speed);
 }
 
 fn main() {
+    let args = parse_args("table1");
+    let mut rep = Reporter::new("table1");
     println!("Table 1 reproduction: performances of interpreted and compiled approaches");
     println!("(speed measured on this machine; see EXPERIMENTS.md for the comparison)");
-    hcor_table();
-    dect_table();
+    hcor_table(&args, &mut rep);
+    dect_table(&args, &mut rep);
     println!("\ncode-size ratio (generated RT-VHDL lines / DSL lines):");
     let hs = hcor::build_system().expect("build");
     let (hv, _) = hdl_lines(&hs);
     let hd = dsl_lines(&["hcor"]);
     println!("  HCOR: {:.1}x", hv as f64 / hd as f64);
+    rep.result_f64("hcor_code_ratio", hv as f64 / hd as f64);
     let ds = transceiver::build_system(&TransceiverConfig::default()).expect("build");
     let (dv, _) = hdl_lines(&ds);
     let dd = dsl_lines(&[
@@ -260,4 +300,6 @@ fn main() {
         "dect/transceiver",
     ]);
     println!("  DECT: {:.1}x", dv as f64 / dd as f64);
+    rep.result_f64("dect_code_ratio", dv as f64 / dd as f64);
+    rep.write(&args).expect("write reports");
 }

@@ -6,9 +6,16 @@
 //!   level" of §6),
 //! * FSM state encodings for the controllers (binary / one-hot / Gray).
 //!
-//! Run with `cargo run --release -p ocapi-bench --bin table_gates`.
+//! Each component synthesizes independently, so the inventory and the
+//! static-timing sweep shard across the `--threads N` worker pool (one
+//! synthesis run per work item, results merged in component order).
+//! Run with:
+//!
+//! `cargo run --release -p ocapi-bench --bin table_gates -- [--threads N] [--quick]`
 
-use ocapi_bench::{padded_sequencer, timed};
+use ocapi::sim::par::map_indexed;
+use ocapi::{Component, CoreError};
+use ocapi_bench::{padded_sequencer, parse_args, timed, Reporter};
 use ocapi_designs::dect::transceiver::{build_system, TransceiverConfig};
 use ocapi_designs::hcor;
 use ocapi_synth::controller::Encoding;
@@ -60,23 +67,32 @@ fn cathedral_demo() -> Result<ocapi::Component, ocapi::CoreError> {
 }
 
 fn main() {
+    let args = parse_args("table_gates");
+    let pool = args.pool();
+    let mut rep = Reporter::new("table_gates");
     let sys = build_system(&TransceiverConfig::default()).expect("build");
 
-    // Chip inventory.
-    let mut report = ChipReport::new("dect");
-    let (_, secs) = timed(|| {
-        for t in &sys.timed {
-            report.add(&synthesize(&t.comp, &SynthOptions::default()).expect("synthesis"));
-        }
+    // Chip inventory: one synthesis run per component, sharded across
+    // the pool and merged in component order (so the table is identical
+    // for every thread count). The same netlists feed the timing sweep.
+    let comps: Vec<Component> = sys.timed.iter().map(|t| t.comp.clone()).collect();
+    let (nets, secs) = timed(|| {
+        map_indexed(&pool, &comps, |_, c| {
+            Ok::<_, CoreError>(synthesize(c, &SynthOptions::default()).expect("synthesis"))
+        })
+        .expect("synthesis runs")
     });
+    let mut report = ChipReport::new("dect");
+    for n in &nets {
+        report.add(n);
+    }
     println!("DECT transceiver gate inventory (defaults: sharing on, binary encoding):\n");
     println!("{}", report.table());
 
     // Static timing: the slowest component bounds the chip clock.
     println!("critical paths (gate-delay units; ~300 ps/unit in 0.7 um):");
     let mut worst = (String::new(), 0.0f64);
-    for t in &sys.timed {
-        let cn = synthesize(&t.comp, &SynthOptions::default()).expect("synthesis");
+    for (t, cn) in sys.timed.iter().zip(&nets) {
         let rep = timing::analyze(&cn.netlist);
         if rep.critical_path > worst.1 {
             worst = (t.name.clone(), rep.critical_path);
@@ -100,7 +116,19 @@ fn main() {
         sys.timed.len() - 2,
         sys.untimed.len()
     );
-    println!("synthesis time for all components: {:.2}s\n", secs);
+    println!(
+        "synthesis time for all components: {:.2}s at {} thread(s)\n",
+        secs,
+        pool.threads()
+    );
+    rep.result_f64("chip_gate_eq", report.total_area());
+    rep.result_f64("chip_critical_path", worst.1);
+    rep.result_u64("chip_components", sys.timed.len() as u64);
+    rep.perf_f64("synthesis_secs", secs);
+    rep.perf_f64(
+        "synthesis_comps_per_sec",
+        sys.timed.len() as f64 / secs.max(1e-12),
+    );
 
     // Sharing ablation. The DECT MAC decodes its instructions with
     // select expressions inside one SFG, so its two multipliers are
@@ -130,6 +158,8 @@ fn main() {
             flat.area(),
             100.0 * (1.0 - shared.area() / flat.area())
         );
+        rep.result_f64("vliw_alu_shared_area", shared.area());
+        rep.result_f64("vliw_alu_flat_area", flat.area());
     }
     for name in ["dp_mac0", "pc_ctrl", "dp_slice"] {
         let comp = &sys
@@ -285,7 +315,8 @@ fn main() {
         "  {:<10} {:>8} {:>10} {:>14} {:>14}",
         "waits", "states", "reduced", "plain area", "minimised area"
     );
-    for waits in [2usize, 8, 16] {
+    let wait_sizes: &[usize] = if args.quick { &[2, 8] } else { &[2, 8, 16] };
+    for &waits in wait_sizes {
         let comp = padded_sequencer(waits).expect("build");
         let fsm = comp.fsm.as_ref().expect("fsm");
         let reduced = ocapi_synth::fsm_min::minimize(fsm);
@@ -312,4 +343,5 @@ fn main() {
         let merged = ocapi_synth::fsm_min::minimize(comp.fsm.as_ref().expect("fsm")).merged;
         assert_eq!(merged, 0, "{label} unexpectedly reducible");
     }
+    rep.write(&args).expect("write reports");
 }

@@ -1,0 +1,129 @@
+//! The shared command-line interface of every benchmark binary.
+//!
+//! Before this module the five bins diverged in argument handling (and
+//! mostly ignored `argv` altogether); now each parses the same flag
+//! set through [`parse_args`] and exits non-zero with a usage message
+//! on anything it does not understand, so CI invocations fail loudly
+//! instead of silently running the wrong workload.
+//!
+//! Flags:
+//!
+//! * `--threads N` / `-t N` — worker-pool width for the sharded
+//!   engines. Results are bit-identical for every `N`; see
+//!   `ocapi::sim::par`.
+//! * `--quick` / `-q` — a CI-sized workload (same code paths, smaller
+//!   vector sets) for the `bench-smoke` and `determinism` jobs.
+//! * `--json PATH` — write the *deterministic* results (counts,
+//!   signatures, BER points — never timings or the thread count) as
+//!   JSON. Byte-identical across thread counts; the CI determinism job
+//!   diffs this file between `--threads 1` and `--threads 4`.
+//! * `--perf-json PATH` — write the throughput metrics (wall seconds,
+//!   cycles/sec, runs/sec, per-worker utilization) as JSON; CI merges
+//!   these into the `BENCH_PR.json` trajectory artifact.
+
+use ocapi::ParConfig;
+
+/// Parsed benchmark options, shared by all five bins.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchArgs {
+    /// Binary name, for usage and report headers.
+    pub bin: String,
+    /// Worker threads for the sharded engines (≥ 1).
+    pub threads: usize,
+    /// CI-sized workload.
+    pub quick: bool,
+    /// Destination for the deterministic results JSON.
+    pub json: Option<String>,
+    /// Destination for the performance-metrics JSON.
+    pub perf_json: Option<String>,
+}
+
+impl BenchArgs {
+    /// Defaults: one thread, full workload, no JSON files.
+    pub fn defaults(bin: &str) -> BenchArgs {
+        BenchArgs {
+            bin: bin.to_owned(),
+            threads: 1,
+            quick: false,
+            json: None,
+            perf_json: None,
+        }
+    }
+
+    /// The worker pool these options select.
+    pub fn pool(&self) -> ParConfig {
+        ParConfig::new(self.threads)
+    }
+}
+
+/// The usage text for `bin`.
+pub fn usage(bin: &str) -> String {
+    format!(
+        "usage: {bin} [--threads N] [--quick] [--json PATH] [--perf-json PATH]\n\
+         \n\
+         \x20 -t, --threads N    worker threads for the sharded engines (default 1;\n\
+         \x20                    results are bit-identical for every N)\n\
+         \x20 -q, --quick        CI-sized workload (same code paths, smaller sets)\n\
+         \x20     --json PATH    write deterministic results as JSON (no timings)\n\
+         \x20     --perf-json PATH\n\
+         \x20                    write throughput metrics as JSON (BENCH_PR data)\n\
+         \x20 -h, --help         show this message"
+    )
+}
+
+/// Parses an explicit argument list (everything after `argv[0]`).
+///
+/// Pure and in-process for testability; [`parse_args`] is the exiting
+/// wrapper the bins call.
+///
+/// # Errors
+///
+/// Returns a human-readable message for an unknown flag, a missing or
+/// malformed flag value, or a stray positional argument.
+pub fn parse_arg_list(bin: &str, args: &[String]) -> Result<BenchArgs, String> {
+    let mut out = BenchArgs::defaults(bin);
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threads" | "-t" => {
+                let v = it.next().ok_or_else(|| format!("{arg} requires a value"))?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("{arg} expects a positive integer, got `{v}`"))?;
+                if n == 0 {
+                    return Err(format!("{arg} must be at least 1"));
+                }
+                out.threads = n;
+            }
+            "--quick" | "-q" => out.quick = true,
+            "--json" => {
+                let v = it.next().ok_or_else(|| format!("{arg} requires a path"))?;
+                out.json = Some(v.clone());
+            }
+            "--perf-json" => {
+                let v = it.next().ok_or_else(|| format!("{arg} requires a path"))?;
+                out.perf_json = Some(v.clone());
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(out)
+}
+
+/// Parses `std::env::args()`. On `--help` prints usage and exits 0; on
+/// any parse error prints the error plus usage to stderr and exits 2.
+pub fn parse_args(bin: &str) -> BenchArgs {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match parse_arg_list(bin, &argv) {
+        Ok(args) => args,
+        Err(msg) if msg.is_empty() => {
+            println!("{}", usage(bin));
+            std::process::exit(0);
+        }
+        Err(msg) => {
+            eprintln!("{bin}: {msg}\n\n{}", usage(bin));
+            std::process::exit(2);
+        }
+    }
+}

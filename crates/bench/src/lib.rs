@@ -20,6 +20,13 @@
 use std::alloc::{GlobalAlloc, Layout, System as SysAlloc};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+pub mod ber;
+pub mod cli;
+pub mod report;
+
+pub use cli::{parse_arg_list, parse_args, usage, BenchArgs};
+pub use report::Reporter;
+
 /// A counting allocator for the "process size" column of Table 1: tracks
 /// live and peak heap bytes.
 pub struct CountingAlloc;

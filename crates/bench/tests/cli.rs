@@ -1,0 +1,78 @@
+//! The shared benchmark CLI: parsing contract for every bin, plus
+//! thread-count invariance of the sharded BER measurement (the property
+//! the CI determinism job checks end-to-end on the built binaries).
+
+use ocapi::ParConfig;
+use ocapi_bench::ber::measure;
+use ocapi_bench::{parse_arg_list, BenchArgs};
+
+fn argv(args: &[&str]) -> Vec<String> {
+    args.iter().map(|s| (*s).to_owned()).collect()
+}
+
+#[test]
+fn defaults_are_one_thread_full_workload() {
+    let a = parse_arg_list("bin", &[]).expect("defaults parse");
+    assert_eq!(a, BenchArgs::defaults("bin"));
+    assert_eq!(a.threads, 1);
+    assert!(!a.quick);
+    assert_eq!(a.json, None);
+    assert_eq!(a.perf_json, None);
+}
+
+#[test]
+fn flags_parse_in_any_order() {
+    let a = parse_arg_list(
+        "bin",
+        &argv(&[
+            "--quick",
+            "-t",
+            "4",
+            "--json",
+            "r.json",
+            "--perf-json",
+            "p.json",
+        ]),
+    )
+    .expect("parse");
+    assert_eq!(a.threads, 4);
+    assert!(a.quick);
+    assert_eq!(a.json.as_deref(), Some("r.json"));
+    assert_eq!(a.perf_json.as_deref(), Some("p.json"));
+    assert_eq!(a.pool().threads(), 4);
+}
+
+#[test]
+fn unknown_flags_and_bad_values_are_errors() {
+    assert!(parse_arg_list("bin", &argv(&["--bogus"])).is_err());
+    assert!(parse_arg_list("bin", &argv(&["stray"])).is_err());
+    assert!(parse_arg_list("bin", &argv(&["--threads"])).is_err());
+    assert!(parse_arg_list("bin", &argv(&["--threads", "zero"])).is_err());
+    assert!(parse_arg_list("bin", &argv(&["--threads", "0"])).is_err());
+    assert!(parse_arg_list("bin", &argv(&["--json"])).is_err());
+    // `--help` uses the empty-message sentinel, distinct from errors.
+    assert_eq!(
+        parse_arg_list("bin", &argv(&["--help"])).unwrap_err(),
+        String::new()
+    );
+}
+
+#[test]
+fn ber_counts_invariant_across_thread_counts() {
+    // A tiny sweep point, measured at 1, 2 and 8 workers: the summed
+    // (errors, bits) totals must be bit-identical because every burst
+    // carries its own explicit seed and the merge is order-keyed.
+    let baseline = measure(&ParConfig::new(1), &[1.0, 0.65, 0.35], 0.4, true, 3, 24);
+    assert!(baseline.bits > 0, "the measurement must compare bits");
+    for threads in [2usize, 8] {
+        let c = measure(
+            &ParConfig::new(threads),
+            &[1.0, 0.65, 0.35],
+            0.4,
+            true,
+            3,
+            24,
+        );
+        assert_eq!(c, baseline, "BER totals diverged at {threads} thread(s)");
+    }
+}

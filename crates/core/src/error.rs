@@ -93,6 +93,14 @@ pub enum CoreError {
         /// The unimplemented operation.
         op: String,
     },
+    /// A worker of the sharded execution engine panicked while
+    /// processing the given work item. The panic was contained at the
+    /// item boundary (the pool survives and every other item ran); the
+    /// index identifies the poisoned run deterministically.
+    WorkerPanic {
+        /// Index of the work item whose closure panicked.
+        index: usize,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -141,6 +149,9 @@ impl fmt::Display for CoreError {
             }
             CoreError::Unsupported { op } => {
                 write!(f, "unsupported simulator operation: {op}")
+            }
+            CoreError::WorkerPanic { index } => {
+                write!(f, "sharded work item {index} panicked in a worker thread")
             }
         }
     }

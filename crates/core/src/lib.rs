@@ -82,9 +82,10 @@ pub use comp::{
 pub use error::CoreError;
 pub use fsm::{Fsm, FsmBuilder, StateRef, Transition, TransitionBuilder};
 pub use sim::fault::{
-    run_campaign, CampaignReport, FaultEvent, FaultKind, FaultOutcome, FaultPlan, FaultSite,
-    FaultySim,
+    run_campaign, run_campaign_par, CampaignReport, FaultEvent, FaultKind, FaultOutcome, FaultPlan,
+    FaultSite, FaultySim,
 };
+pub use sim::par::{ParConfig, ParError, PoolStats};
 pub use sim::{CompiledSim, InterpSim, Simulator};
 pub use system::{
     InstanceId, Net, NetSink, NetSource, PrimaryInput, PrimaryOutput, System, SystemBuilder,

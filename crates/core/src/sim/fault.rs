@@ -502,6 +502,52 @@ fn first_output_divergence(golden: &Trace, faulty: &Trace) -> Option<u64> {
     None
 }
 
+/// Runs the golden (fault-free) reference over `cycles` cycles and
+/// returns its recorded trace.
+fn golden_trace<S: Simulator>(
+    make_sim: &mut impl FnMut() -> Result<S, CoreError>,
+    stimulus: &mut impl FnMut(&mut dyn Simulator, u64) -> Result<(), CoreError>,
+    cycles: u64,
+) -> Result<Trace, CoreError> {
+    let mut golden_sim = make_sim()?;
+    golden_sim.enable_trace();
+    for c in 0..cycles {
+        stimulus(&mut golden_sim, c)?;
+        golden_sim.step()?;
+    }
+    Ok(golden_sim.trace().clone())
+}
+
+/// One faulty run, classified against the golden trace. This is the
+/// work item of both the sequential and the sharded campaign drivers,
+/// so the two are outcome-identical by construction.
+fn run_event<S: Simulator>(
+    make_sim: &mut impl FnMut() -> Result<S, CoreError>,
+    stimulus: &mut impl FnMut(&mut dyn Simulator, u64) -> Result<(), CoreError>,
+    cycles: u64,
+    golden: &Trace,
+    event: &FaultEvent,
+) -> Result<FaultOutcome, CoreError> {
+    let plan = FaultPlan::new().with(event.clone());
+    let mut sim = FaultySim::new(make_sim()?, plan);
+    sim.enable_trace();
+    let mut detected: Option<(u64, CoreError)> = None;
+    for c in 0..cycles {
+        stimulus(&mut sim, c)?;
+        if let Err(e) = sim.step() {
+            detected = Some((c, e));
+            break;
+        }
+    }
+    Ok(match detected {
+        Some((cycle, error)) => FaultOutcome::Detected { cycle, error },
+        None => match first_output_divergence(golden, sim.trace()) {
+            Some(first_divergence) => FaultOutcome::SilentCorruption { first_divergence },
+            None => FaultOutcome::Masked,
+        },
+    })
+}
+
 /// Runs a fault campaign: one golden run plus one faulty run per event,
 /// each over `cycles` cycles with the same `stimulus` closure (called
 /// before every step with the current cycle number).
@@ -509,6 +555,9 @@ fn first_output_divergence(golden: &Trace, faulty: &Trace) -> Option<u64> {
 /// `make_sim` builds a fresh simulator per run, so runs are independent;
 /// any back-end with peek/poke support works, and mixing back-ends
 /// across campaigns is fine because they are cycle-equivalent.
+///
+/// For large campaigns, [`run_campaign_par`] shards the faulty runs
+/// across worker threads and produces the identical report.
 ///
 /// # Errors
 ///
@@ -522,38 +571,56 @@ pub fn run_campaign<S: Simulator>(
     cycles: u64,
     events: &[FaultEvent],
 ) -> Result<CampaignReport, CoreError> {
-    // Golden run.
-    let mut golden_sim = make_sim()?;
-    golden_sim.enable_trace();
-    for c in 0..cycles {
-        stimulus(&mut golden_sim, c)?;
-        golden_sim.step()?;
-    }
-    let golden = golden_sim.trace().clone();
-
+    let golden = golden_trace(&mut make_sim, &mut stimulus, cycles)?;
     let mut report = CampaignReport::default();
     for event in events {
-        let plan = FaultPlan::new().with(event.clone());
-        let mut sim = FaultySim::new(make_sim()?, plan);
-        sim.enable_trace();
-        let mut detected: Option<(u64, CoreError)> = None;
-        for c in 0..cycles {
-            stimulus(&mut sim, c)?;
-            if let Err(e) = sim.step() {
-                detected = Some((c, e));
-                break;
-            }
-        }
-        let outcome = match detected {
-            Some((cycle, error)) => FaultOutcome::Detected { cycle, error },
-            None => match first_output_divergence(&golden, sim.trace()) {
-                Some(first_divergence) => FaultOutcome::SilentCorruption { first_divergence },
-                None => FaultOutcome::Masked,
-            },
-        };
+        let outcome = run_event(&mut make_sim, &mut stimulus, cycles, &golden, event)?;
         report.outcomes.push((event.clone(), outcome));
     }
     Ok(report)
+}
+
+/// [`run_campaign`] with the faulty runs sharded across
+/// [`ParConfig::threads`](crate::sim::par::ParConfig::threads) worker
+/// threads.
+///
+/// The golden run executes once on the calling thread; every fault
+/// event is then an independent work item of the
+/// [`par`](crate::sim::par) engine. Because each item builds its own
+/// simulator, is classified against the shared golden trace, and the
+/// merged report is assembled in event order, the returned
+/// [`CampaignReport`] is **bit-identical for every thread count** —
+/// `ParConfig::single()` reproduces [`run_campaign`] exactly.
+///
+/// # Errors
+///
+/// As [`run_campaign`], plus [`CoreError::WorkerPanic`] when a faulty
+/// run's closure panics in a worker (the campaign still surfaces an
+/// error instead of hanging or aborting, and the reported failure is
+/// always the lowest-indexed one).
+pub fn run_campaign_par<S: Simulator>(
+    pool: &crate::sim::par::ParConfig,
+    make_sim: impl Fn() -> Result<S, CoreError> + Sync,
+    stimulus: impl Fn(&mut dyn Simulator, u64) -> Result<(), CoreError> + Sync,
+    cycles: u64,
+    events: &[FaultEvent],
+) -> Result<CampaignReport, CoreError> {
+    let golden = golden_trace(&mut || make_sim(), &mut |s, c| stimulus(s, c), cycles)?;
+    let outcomes = crate::sim::par::map_indexed(pool, events, |_, event| {
+        run_event(
+            &mut || make_sim(),
+            &mut |s, c| stimulus(s, c),
+            cycles,
+            &golden,
+            event,
+        )
+        .map(|outcome| (event.clone(), outcome))
+    })
+    .map_err(|e| match e {
+        crate::sim::par::ParError::Task { error, .. } => error,
+        crate::sim::par::ParError::Panic { index } => CoreError::WorkerPanic { index },
+    })?;
+    Ok(CampaignReport { outcomes })
 }
 
 #[cfg(test)]

@@ -18,6 +18,7 @@ mod compiled;
 mod eval;
 pub mod fault;
 mod interp;
+pub mod par;
 
 pub use compiled::CompiledSim;
 pub use interp::InterpSim;

@@ -1,0 +1,369 @@
+//! Deterministic work-sharding across a scoped thread pool.
+//!
+//! Simulation throughput is the bottleneck of the whole design loop —
+//! the reason the paper grew a compiled back-end at all. The workloads
+//! layered on top of the simulators (fault campaigns, BER sweeps, BIST
+//! grading, seeded equivalence sweeps) are embarrassingly parallel:
+//! many independent runs whose results are merged. This module fans
+//! those runs across a pool of `std::thread::scope` workers while
+//! keeping one property absolute:
+//!
+//! > **Results are bit-identical for every thread count.** Running with
+//! > one worker reproduces the single-threaded outputs exactly; running
+//! > with eight merely finishes sooner.
+//!
+//! Three rules buy that determinism:
+//!
+//! 1. **Per-item seeding, not per-thread seeding.** Any randomness a
+//!    work item needs is derived from `(base seed, item index)` — see
+//!    [`XorShift64::stream`](crate::rng::XorShift64::stream) — never
+//!    from which worker happens to execute it.
+//! 2. **Order-independent merge.** Workers pull items from a shared
+//!    atomic cursor (dynamic load balancing), but every result is keyed
+//!    by its item index and the merged output is assembled in index
+//!    order, so the interleaving of workers is invisible.
+//! 3. **Deterministic failure selection.** All items run to completion
+//!    even when some fail; the reported failure is the one with the
+//!    *lowest index*, which is the same failure a sequential loop would
+//!    hit first. A panicking item is caught ([`ParError::Panic`]) and
+//!    surfaces as an error — never a hang, never a torn-down process.
+//!
+//! The pool is built on the standard library only: the workspace builds
+//! fully offline, with zero registry dependencies.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Worker-pool configuration for the sharded engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParConfig {
+    threads: usize,
+}
+
+impl ParConfig {
+    /// A pool of `threads` workers (0 is clamped to 1).
+    pub fn new(threads: usize) -> ParConfig {
+        ParConfig {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The single-threaded pool: sequential execution, identical
+    /// results, no spawned threads at all.
+    pub fn single() -> ParConfig {
+        ParConfig { threads: 1 }
+    }
+
+    /// One worker per available hardware thread (1 when the platform
+    /// cannot report parallelism).
+    pub fn available() -> ParConfig {
+        ParConfig::new(std::thread::available_parallelism().map_or(1, |n| n.get()))
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl Default for ParConfig {
+    fn default() -> ParConfig {
+        ParConfig::single()
+    }
+}
+
+/// A failure of a sharded map, pinned to the work item that caused it.
+///
+/// When several items fail, the reported one is always the item with
+/// the lowest index — exactly the failure a sequential loop over the
+/// same items would report first, for any thread count.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParError<E> {
+    /// The worker closure returned an error for item `index`.
+    Task {
+        /// Index of the failing work item.
+        index: usize,
+        /// The error it returned.
+        error: E,
+    },
+    /// The worker closure panicked on item `index`. The panic was
+    /// caught at the item boundary: the pool survives, every other item
+    /// still runs, and the caller gets an error instead of a poisoned
+    /// pool or a hang.
+    Panic {
+        /// Index of the work item whose closure panicked.
+        index: usize,
+    },
+}
+
+impl<E: std::fmt::Display> std::fmt::Display for ParError<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParError::Task { index, error } => {
+                write!(f, "sharded work item {index} failed: {error}")
+            }
+            ParError::Panic { index } => {
+                write!(f, "sharded work item {index} panicked")
+            }
+        }
+    }
+}
+
+impl<E: std::fmt::Debug + std::fmt::Display> std::error::Error for ParError<E> {}
+
+/// Throughput observability for one sharded map: what each worker did
+/// and how busy it was, for the machine-readable benchmark reports.
+#[derive(Debug, Clone, Default)]
+pub struct PoolStats {
+    /// Workers spawned (1 = sequential fast path).
+    pub threads: usize,
+    /// Total work items processed.
+    pub items: usize,
+    /// Items completed by each worker.
+    pub per_worker_items: Vec<usize>,
+    /// Seconds each worker spent inside the work closure.
+    pub per_worker_busy: Vec<f64>,
+    /// Wall-clock seconds for the whole map.
+    pub wall_secs: f64,
+}
+
+impl PoolStats {
+    /// Items per wall-clock second (0 for an empty or instant map).
+    pub fn items_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.items as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean worker utilization in `[0, 1]`: busy time over wall time,
+    /// averaged across workers.
+    pub fn utilization(&self) -> f64 {
+        if self.per_worker_busy.is_empty() || self.wall_secs <= 0.0 {
+            return 0.0;
+        }
+        let busy: f64 = self.per_worker_busy.iter().sum();
+        (busy / (self.wall_secs * self.per_worker_busy.len() as f64)).min(1.0)
+    }
+}
+
+/// What one item produced, kept until the order-restoring merge.
+enum Slot<R, E> {
+    Done(R),
+    Failed(E),
+    Panicked,
+}
+
+/// Maps `f` over `items` on a pool of [`ParConfig::threads`] workers,
+/// returning the results in item order.
+///
+/// See the module docs for the determinism contract: identical output
+/// for every thread count, including which failure is reported.
+///
+/// # Errors
+///
+/// Returns the lowest-indexed [`ParError`] after **all** items have
+/// run: [`ParError::Task`] wrapping the closure's error, or
+/// [`ParError::Panic`] when the closure panicked on that item.
+pub fn map_indexed<T, R, E, F>(pool: &ParConfig, items: &[T], f: F) -> Result<Vec<R>, ParError<E>>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
+    map_indexed_stats(pool, items, f).0
+}
+
+/// [`map_indexed`] plus the [`PoolStats`] of the run, for the
+/// throughput-observability path of the benchmark harnesses.
+pub fn map_indexed_stats<T, R, E, F>(
+    pool: &ParConfig,
+    items: &[T],
+    f: F,
+) -> (Result<Vec<R>, ParError<E>>, PoolStats)
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
+    let started = Instant::now();
+    let n = items.len();
+    let workers = pool.threads.min(n.max(1));
+
+    // One guarded call, shared by both paths, so sequential and
+    // threaded execution have byte-identical per-item semantics.
+    let run_one = |i: usize| -> Slot<R, E> {
+        match catch_unwind(AssertUnwindSafe(|| f(i, &items[i]))) {
+            Ok(Ok(r)) => Slot::Done(r),
+            Ok(Err(e)) => Slot::Failed(e),
+            Err(_) => Slot::Panicked,
+        }
+    };
+
+    let mut stats = PoolStats {
+        threads: workers,
+        items: n,
+        per_worker_items: vec![0; workers],
+        per_worker_busy: vec![0.0; workers],
+        wall_secs: 0.0,
+    };
+
+    let mut slots: Vec<Option<Slot<R, E>>> = Vec::with_capacity(n);
+    if workers <= 1 {
+        for i in 0..n {
+            let t0 = Instant::now();
+            slots.push(Some(run_one(i)));
+            stats.per_worker_busy[0] += t0.elapsed().as_secs_f64();
+            stats.per_worker_items[0] += 1;
+        }
+    } else {
+        slots.resize_with(n, || None);
+        let cursor = AtomicUsize::new(0);
+        let worker_results = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut mine: Vec<(usize, Slot<R, E>)> = Vec::new();
+                        let mut busy = 0.0f64;
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            let t0 = Instant::now();
+                            let slot = run_one(i);
+                            busy += t0.elapsed().as_secs_f64();
+                            mine.push((i, slot));
+                        }
+                        (mine, busy)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join()).collect::<Vec<_>>()
+        });
+        // A worker's join only fails if the loop itself panicked (the
+        // item closure is guarded); its claimed items then stay None
+        // and are reported as panics by the merge below.
+        for (w, joined) in worker_results.into_iter().enumerate() {
+            if let Ok((mine, busy)) = joined {
+                stats.per_worker_items[w] = mine.len();
+                stats.per_worker_busy[w] = busy;
+                for (i, slot) in mine {
+                    slots[i] = Some(slot);
+                }
+            }
+        }
+    }
+    stats.wall_secs = started.elapsed().as_secs_f64();
+
+    // Order-restoring merge with deterministic failure selection: the
+    // lowest-indexed failure wins, as in a sequential loop.
+    let mut out = Vec::with_capacity(n);
+    for (index, slot) in slots.into_iter().enumerate() {
+        match slot {
+            Some(Slot::Done(r)) => out.push(r),
+            Some(Slot::Failed(error)) => return (Err(ParError::Task { index, error }), stats),
+            Some(Slot::Panicked) | None => return (Err(ParError::Panic { index }), stats),
+        }
+    }
+    (Ok(out), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_item_order() {
+        for threads in [1usize, 2, 3, 8] {
+            let pool = ParConfig::new(threads);
+            let items: Vec<u64> = (0..37).collect();
+            let out: Vec<u64> =
+                map_indexed(&pool, &items, |i, x| Ok::<_, ()>(x * 3 + i as u64)).unwrap();
+            assert_eq!(out, items.iter().map(|x| x * 4).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let items: Vec<u32> = Vec::new();
+        let out = map_indexed(&ParConfig::new(4), &items, |_, x| Ok::<_, ()>(*x)).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn lowest_index_error_wins_for_any_thread_count() {
+        let items: Vec<usize> = (0..64).collect();
+        for threads in [1usize, 2, 8] {
+            let err = map_indexed(&ParConfig::new(threads), &items, |_, x| {
+                if *x == 9 || *x == 41 {
+                    Err(format!("bad {x}"))
+                } else {
+                    Ok(*x)
+                }
+            })
+            .unwrap_err();
+            assert_eq!(
+                err,
+                ParError::Task {
+                    index: 9,
+                    error: "bad 9".to_owned()
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn panicking_item_surfaces_as_error_not_hang() {
+        let items: Vec<usize> = (0..16).collect();
+        for threads in [1usize, 2, 8] {
+            let err = map_indexed(&ParConfig::new(threads), &items, |_, x| {
+                if *x == 5 {
+                    panic!("poisoned shard");
+                }
+                Ok::<_, String>(*x)
+            })
+            .unwrap_err();
+            assert_eq!(err, ParError::Panic { index: 5 });
+        }
+    }
+
+    #[test]
+    fn panic_before_error_selects_the_panic() {
+        // Item 3 panics, item 7 errors: index order decides, so the
+        // panic is reported for every thread count.
+        let items: Vec<usize> = (0..12).collect();
+        for threads in [1usize, 4] {
+            let err = map_indexed(&ParConfig::new(threads), &items, |_, x| match *x {
+                3 => panic!("first failure"),
+                7 => Err("later failure"),
+                _ => Ok(*x),
+            })
+            .unwrap_err();
+            assert_eq!(err, ParError::Panic { index: 3 });
+        }
+    }
+
+    #[test]
+    fn stats_account_for_every_item() {
+        let items: Vec<u64> = (0..100).collect();
+        let (out, stats) =
+            map_indexed_stats(&ParConfig::new(4), &items, |_, x| Ok::<_, ()>(*x + 1));
+        assert_eq!(out.unwrap().len(), 100);
+        assert_eq!(stats.items, 100);
+        assert_eq!(stats.threads, 4);
+        assert_eq!(stats.per_worker_items.iter().sum::<usize>(), 100);
+        assert!(stats.utilization() >= 0.0 && stats.utilization() <= 1.0);
+    }
+
+    #[test]
+    fn config_clamps_and_reports() {
+        assert_eq!(ParConfig::new(0).threads(), 1);
+        assert_eq!(ParConfig::single().threads(), 1);
+        assert!(ParConfig::available().threads() >= 1);
+    }
+}

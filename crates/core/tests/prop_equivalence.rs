@@ -141,9 +141,9 @@ fn cases() -> u64 {
     }
 }
 
-#[test]
-fn interp_and_compiled_agree() {
-    for seed in 0..cases() {
+/// One property case, reproducible from its seed alone.
+fn check_seed(seed: u64) {
+    {
         let mut rng = XorShift64::new(0x5eed_0000 + seed);
         let recipe = random_recipe(&mut rng);
         let mut interp = InterpSim::new(build_system(&recipe)).expect("interp");
@@ -169,5 +169,23 @@ fn interp_and_compiled_agree() {
             compiled.state_name("u").expect("state"),
             "seed {seed}: final state"
         );
+    }
+}
+
+#[test]
+fn interp_and_compiled_agree() {
+    // Each seed is an independent case, so the loop shards across the
+    // machine's cores via the deterministic worker pool; a failing
+    // case panics in its shard and surfaces with its seed index.
+    let seeds: Vec<u64> = (0..cases()).collect();
+    match ocapi::sim::par::map_indexed(&ocapi::ParConfig::available(), &seeds, |_, &seed| {
+        check_seed(seed);
+        Ok::<_, ocapi::CoreError>(())
+    }) {
+        Ok(_) => {}
+        Err(ocapi::ParError::Panic { index }) => {
+            panic!("property case for seed {index} failed (assertion output above)")
+        }
+        Err(ocapi::ParError::Task { index, error }) => panic!("case {index}: {error}"),
     }
 }

@@ -207,6 +207,68 @@ pub fn golden_signature(net: &Netlist, stimuli: &[CycleStimulus]) -> Result<Bist
     })
 }
 
+/// Runs independent BIST *sessions*, one per `block_len`-pattern block
+/// of `stimuli`, sharded across
+/// [`ParConfig::threads`](ocapi::ParConfig::threads) worker threads.
+///
+/// Each block starts from a freshly reset machine and a fresh MISR —
+/// the discipline a production BIST controller uses when a design (like
+/// the HCOR lock state) needs a reset between sessions to keep later
+/// logic observable. The blocks are independent work items, so they fan
+/// perfectly across the pool, and the returned signatures are merged in
+/// block order: **bit-identical for every thread count**.
+///
+/// # Errors
+///
+/// Returns [`GateError::Oscillation`] if the fault-free machine fails
+/// to settle inside any block, or [`GateError::WorkerPanic`] if a
+/// worker panics on a block (contained — never a hang).
+pub fn block_signatures(
+    net: &Netlist,
+    stimuli: &[CycleStimulus],
+    block_len: usize,
+    pool: &ocapi::ParConfig,
+) -> Result<Vec<BistReport>, GateError> {
+    let blocks: Vec<&[CycleStimulus]> = stimuli.chunks(block_len.max(1)).collect();
+    ocapi::sim::par::map_indexed(pool, &blocks, |_, block| golden_signature(net, block)).map_err(
+        |e| match e {
+            ocapi::ParError::Task { error, .. } => error,
+            ocapi::ParError::Panic { index } => GateError::WorkerPanic { index },
+        },
+    )
+}
+
+/// A complete BIST sign-off: the fused good-machine signature plus the
+/// stuck-at coverage the pattern set achieves.
+#[derive(Debug, Clone)]
+pub struct BistSignoff {
+    /// The good-machine signature a production part is compared against.
+    pub report: BistReport,
+    /// Stuck-at coverage of the pattern set (which faults the signature
+    /// comparison would actually catch).
+    pub coverage: crate::fault::FaultReport,
+}
+
+/// Answers the sign-off question in one call: runs the good machine for
+/// the fused signature and grades the same pattern set for stuck-at
+/// coverage, with the fault batches sharded across `pool` (see
+/// [`crate::fault::stuck_at_coverage_sharded`]). Deterministic for any
+/// thread count.
+///
+/// # Errors
+///
+/// As [`golden_signature`] and
+/// [`stuck_at_coverage_sharded`](crate::fault::stuck_at_coverage_sharded).
+pub fn bist_signoff(
+    net: &Netlist,
+    stimuli: &[CycleStimulus],
+    pool: &ocapi::ParConfig,
+) -> Result<BistSignoff, GateError> {
+    let report = golden_signature(net, stimuli)?;
+    let coverage = crate::fault::stuck_at_coverage_sharded(net, stimuli, pool)?;
+    Ok(BistSignoff { report, coverage })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,5 +330,47 @@ mod tests {
         assert_eq!(r1.signature, r2.signature, "deterministic");
         let r3 = golden_signature(&n, &lfsr_stimulus(&n, 64, 0xbeef)).expect("bist");
         assert_ne!(r1.signature, r3.signature, "seed-sensitive");
+    }
+
+    fn demo_netlist() -> Netlist {
+        let mut n = Netlist::new();
+        let i = n.input_bus("x", 4);
+        let a = n.gate(GateKind::Xor2, &[i[0], i[1]]);
+        let b = n.gate(GateKind::Nand2, &[i[2], i[3]]);
+        let q = n.dff(a, false);
+        let o = n.gate(GateKind::Mux2, &[q, b, i[0]]);
+        n.output_bus("y", vec![o, q]);
+        n
+    }
+
+    #[test]
+    fn block_signatures_invariant_across_thread_counts() {
+        let n = demo_netlist();
+        let stim = lfsr_stimulus(&n, 96, 0xace1);
+        let baseline: Vec<u64> = stim
+            .chunks(16)
+            .map(|block| golden_signature(&n, block).expect("bist").signature)
+            .collect();
+        for threads in [1usize, 2, 8] {
+            let sigs =
+                block_signatures(&n, &stim, 16, &ocapi::ParConfig::new(threads)).expect("blocks");
+            assert_eq!(sigs.len(), 6);
+            let got: Vec<u64> = sigs.iter().map(|r| r.signature).collect();
+            assert_eq!(got, baseline, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn signoff_matches_single_threaded_engines() {
+        let n = demo_netlist();
+        let stim = lfsr_stimulus(&n, 64, 0xace1);
+        let serial_cov = crate::fault::stuck_at_coverage_parallel(&n, &stim);
+        let serial_sig = golden_signature(&n, &stim).expect("bist").signature;
+        for threads in [1usize, 4] {
+            let s = bist_signoff(&n, &stim, &ocapi::ParConfig::new(threads)).expect("signoff");
+            assert_eq!(s.report.signature, serial_sig);
+            assert_eq!(s.coverage.detected, serial_cov.detected);
+            assert_eq!(s.coverage.undetected, serial_cov.undetected);
+        }
     }
 }

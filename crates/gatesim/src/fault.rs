@@ -169,31 +169,83 @@ pub struct CycleStimulus {
 /// typed [`GateError::Oscillation`], this engine via lanes still
 /// flipping at the pass cap).
 pub fn stuck_at_coverage_parallel(net: &Netlist, stimuli: &[CycleStimulus]) -> FaultReport {
-    let sites: Vec<Fault> = net
-        .gates
-        .iter()
-        .enumerate()
-        .filter(|(_, g)| !matches!(g.kind, GateKind::Const0 | GateKind::Const1))
-        .flat_map(|(gi, _)| [false, true].map(|stuck_at| Fault { gate: gi, stuck_at }))
-        .collect();
-
+    let sites = fault_sites(net);
     let mut detected = 0usize;
     let mut undetected = Vec::new();
     for batch in sites.chunks(63) {
         let caught = run_batch(net, batch, stimuli);
-        for (k, f) in batch.iter().enumerate() {
-            if (caught >> (k + 1)) & 1 == 1 {
-                detected += 1;
-            } else {
-                undetected.push(*f);
-            }
-        }
+        collect_batch(batch, caught, &mut detected, &mut undetected);
     }
     FaultReport {
         total: sites.len(),
         detected,
         undetected,
     }
+}
+
+/// Every single-stuck-at fault site of `net`, in gate order (constants
+/// excluded), stuck-at-0 before stuck-at-1 per gate.
+fn fault_sites(net: &Netlist) -> Vec<Fault> {
+    net.gates
+        .iter()
+        .enumerate()
+        .filter(|(_, g)| !matches!(g.kind, GateKind::Const0 | GateKind::Const1))
+        .flat_map(|(gi, _)| [false, true].map(|stuck_at| Fault { gate: gi, stuck_at }))
+        .collect()
+}
+
+/// Splits one batch's caught-lane mask into the detected count and the
+/// escaped faults, in batch order.
+fn collect_batch(batch: &[Fault], caught: u64, detected: &mut usize, undetected: &mut Vec<Fault>) {
+    for (k, f) in batch.iter().enumerate() {
+        if (caught >> (k + 1)) & 1 == 1 {
+            *detected += 1;
+        } else {
+            undetected.push(*f);
+        }
+    }
+}
+
+/// [`stuck_at_coverage_parallel`] with the 63-fault batches sharded
+/// across [`ParConfig::threads`](ocapi::ParConfig::threads) worker
+/// threads: each worker grades whole batches independently, and the
+/// per-batch results are merged in batch order.
+///
+/// Because the batch boundaries and the per-batch bit-parallel kernel
+/// are identical to the single-threaded engine, the report is
+/// **bit-identical for every thread count** — including the order of
+/// `undetected`. `ParConfig::single()` reproduces
+/// [`stuck_at_coverage_parallel`] exactly.
+///
+/// # Errors
+///
+/// Returns [`GateError::WorkerPanic`] if a worker panics while grading
+/// a batch (contained at the batch boundary — never a hang).
+pub fn stuck_at_coverage_sharded(
+    net: &Netlist,
+    stimuli: &[CycleStimulus],
+    pool: &ocapi::ParConfig,
+) -> Result<FaultReport, GateError> {
+    let sites = fault_sites(net);
+    let batches: Vec<&[Fault]> = sites.chunks(63).collect();
+    let masks = ocapi::sim::par::map_indexed(pool, &batches, |_, batch| {
+        Ok::<u64, GateError>(run_batch(net, batch, stimuli))
+    })
+    .map_err(|e| match e {
+        ocapi::ParError::Task { error, .. } => error,
+        ocapi::ParError::Panic { index } => GateError::WorkerPanic { index },
+    })?;
+
+    let mut detected = 0usize;
+    let mut undetected = Vec::new();
+    for (batch, caught) in batches.iter().zip(masks) {
+        collect_batch(batch, caught, &mut detected, &mut undetected);
+    }
+    Ok(FaultReport {
+        total: sites.len(),
+        detected,
+        undetected,
+    })
 }
 
 /// Evaluates one gate bitwise over 64 lanes.

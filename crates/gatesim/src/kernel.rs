@@ -24,6 +24,14 @@ pub enum GateError {
         /// when the budget ran out.
         unstable: Vec<String>,
     },
+    /// A worker of the sharded fault/BIST engine panicked while
+    /// processing the given work item (fault batch or pattern block).
+    /// The panic was contained at the item boundary; the index
+    /// identifies the poisoned shard deterministically.
+    WorkerPanic {
+        /// Index of the work item whose worker panicked.
+        index: usize,
+    },
 }
 
 impl fmt::Display for GateError {
@@ -36,6 +44,9 @@ impl fmt::Display for GateError {
                      after {evals} evaluations; unstable gates: {}",
                     unstable.join(", ")
                 )
+            }
+            GateError::WorkerPanic { index } => {
+                write!(f, "sharded work item {index} panicked in a worker thread")
             }
         }
     }
@@ -363,6 +374,7 @@ mod tests {
                 assert!(*evals > 0);
                 assert_eq!(unstable, &["gate 0 (Inv)".to_owned()]);
             }
+            other => panic!("expected oscillation, got {other:?}"),
         }
         assert!(err.to_string().contains("did not settle"));
     }

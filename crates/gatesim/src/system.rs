@@ -21,6 +21,7 @@ fn gate_err(e: GateError) -> CoreError {
         GateError::Oscillation { unstable, .. } => {
             CoreError::CombinationalLoop { waiting: unstable }
         }
+        GateError::WorkerPanic { index } => CoreError::WorkerPanic { index },
     }
 }
 

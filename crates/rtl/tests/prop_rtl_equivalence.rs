@@ -119,9 +119,9 @@ fn build_system(r: &Recipe) -> System {
     sb.finish().expect("system")
 }
 
-#[test]
-fn rtl_matches_interp_on_random_fixed_point_fsmds() {
-    for seed in 0..cases() {
+/// One property case, reproducible from its seed alone.
+fn check_seed(seed: u64) {
+    {
         let recipe = random_recipe(&mut XorShift64::new(0x12e7 + seed));
         let mut interp = InterpSim::new(build_system(&recipe)).expect("interp");
         let mut rtl = RtlSystemSim::new(build_system(&recipe)).expect("rtl");
@@ -151,5 +151,22 @@ fn rtl_matches_interp_on_random_fixed_point_fsmds() {
                 "seed {seed}: guard-driven counter diverged at cycle {cyc}"
             );
         }
+    }
+}
+
+#[test]
+fn rtl_matches_interp_on_random_fixed_point_fsmds() {
+    // Independent seeds shard across the deterministic worker pool; a
+    // failing case panics in its shard and surfaces with its seed.
+    let seeds: Vec<u64> = (0..cases()).collect();
+    match ocapi::sim::par::map_indexed(&ocapi::ParConfig::available(), &seeds, |_, &seed| {
+        check_seed(seed);
+        Ok::<_, ocapi::CoreError>(())
+    }) {
+        Ok(_) => {}
+        Err(ocapi::ParError::Panic { index }) => {
+            panic!("property case for seed {index} failed (assertion output above)")
+        }
+        Err(ocapi::ParError::Task { index, error }) => panic!("case {index}: {error}"),
     }
 }
