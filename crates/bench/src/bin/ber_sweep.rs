@@ -15,12 +15,15 @@
 //! `cargo run --release -p ocapi-bench --bin ber_sweep -- [--threads N] [--quick]`
 
 use ocapi_bench::ber::{fmt_ber, measure, measure_with_faults};
-use ocapi_bench::{parse_args, timed, Reporter};
+use ocapi_bench::{parse_args, timed, write_profile, Reporter};
+use ocapi_obs::Registry;
 
 fn main() {
     let args = parse_args("ber_sweep");
     let pool = args.pool();
     let mut rep = Reporter::new("ber_sweep");
+    let obs = Registry::new();
+    let root = obs.span("ber_sweep");
 
     let (bursts, payload) = if args.quick { (2, 64) } else { (8, 160) };
     println!("DECT payload BER ({payload}-bit payloads x {bursts} bursts per point)\n");
@@ -45,6 +48,7 @@ fn main() {
     };
 
     let mut total_runs = 0u64;
+    let t_sweep = root.child("noise_sweep").timer();
     let (_, sweep_secs) = timed(|| {
         for channel in channels {
             for &noise in noises {
@@ -66,6 +70,7 @@ fn main() {
             }
         }
     });
+    drop(t_sweep);
 
     // Fault-injection sweep: BER of the equalized receiver on a mild
     // channel as random transient flips hit the hardware.
@@ -76,6 +81,7 @@ fn main() {
     } else {
         &[0.0, 1e-4, 1e-3, 1e-2, 5e-2, 2e-1]
     };
+    let t_fault = root.child("fault_sweep").timer();
     let (_, fault_secs) = timed(|| {
         for &rate in rates {
             let c = measure_with_faults(&pool, &[1.0, 0.45], 0.05, rate, bursts, payload);
@@ -85,6 +91,8 @@ fn main() {
             rep.result_u64(&format!("fault_r{rate}_bits"), c.bits);
         }
     });
+    drop(t_fault);
+    obs.counter("ber.burst_runs").add(total_runs);
 
     if !args.quick {
         println!(
@@ -104,4 +112,5 @@ fn main() {
     rep.perf_u64("burst_runs", total_runs);
     rep.perf_f64("runs_per_sec", total_runs as f64 / wall.max(1e-12));
     rep.write(&args).expect("write reports");
+    write_profile(&args, &obs).expect("write profile");
 }

@@ -17,9 +17,10 @@
 
 use ocapi::sim::par::map_indexed;
 use ocapi::{Component, CoreError, InterpSim, SigType, Simulator, System, Value};
-use ocapi_bench::{parse_args, timed, Reporter};
+use ocapi_bench::{parse_args, timed, write_profile, Reporter};
 use ocapi_designs::dect::burst::{generate, BurstConfig};
 use ocapi_designs::dect::transceiver::{build_system, TransceiverConfig};
+use ocapi_obs::Registry;
 
 /// One stage of a data-driven pipeline with a registered stall handshake.
 fn stage(name: &str) -> Result<Component, CoreError> {
@@ -122,8 +123,12 @@ fn main() {
     let args = parse_args("exception_latency");
     let pool = args.pool();
     let mut rep = Reporter::new("exception_latency");
+    let obs = Registry::new();
+    let root = obs.span("exception_latency");
     println!("global-exception freeze latency (§3.3 architecture change):\n");
+    let t_central = root.child("central").timer();
     let central = central_freeze_latency();
+    drop(t_central);
     println!("  central control (DECT transceiver): {central} cycle(s)");
     rep.result_u64("central_freeze_cycles", central);
     println!("\n  data-driven pipeline (stall handshake, one per stage):");
@@ -133,12 +138,16 @@ fn main() {
     } else {
         &[4, 8, 16, 32]
     };
+    let t_sweep = root.child("depth_sweep").timer();
     let (lats, secs) = timed(|| {
         map_indexed(&pool, depths, |_, &k| {
             Ok::<_, CoreError>(dataflow_freeze_latency(k))
         })
         .expect("depth sweep")
     });
+    drop(t_sweep);
+    obs.counter("exception.pipeline_builds")
+        .add(depths.len() as u64);
     for (&k, &lat) in depths.iter().zip(&lats) {
         println!("  {k:<10} {lat:>14} cy");
         rep.result_u64(&format!("dataflow_freeze_cycles_d{k}"), lat);
@@ -150,4 +159,5 @@ fn main() {
          budget this is why the paper switched architectures mid-design."
     );
     rep.write(&args).expect("write reports");
+    write_profile(&args, &obs).expect("write profile");
 }

@@ -21,9 +21,10 @@ use ocapi::rng::XorShift64;
 use ocapi::sim::fault::{run_campaign_par, FaultEvent, FaultPlan};
 use ocapi::sim::par::{map_indexed_stats, ParConfig};
 use ocapi::{InterpSim, Simulator, Value};
-use ocapi_bench::{parse_args, timed, BenchArgs, Reporter};
+use ocapi_bench::{parse_args, timed, write_profile, BenchArgs, Reporter};
 use ocapi_designs::hcor;
 use ocapi_gatesim::fault::{stuck_at_coverage_sharded, CycleStimulus};
+use ocapi_obs::Registry;
 use ocapi_synth::{synthesize, SynthOptions};
 
 /// Apply–settle–clock–observe stimulus for the HCOR netlist: a bit
@@ -45,7 +46,8 @@ fn stimuli_for(bits: &[bool], thresholds: &[u64]) -> Vec<CycleStimulus> {
 /// HCOR system with transient flips and stuck-at faults, running the
 /// interpreted simulator under `FaultySim` — sharded over fault events,
 /// timed at 1 and at N threads for the perf trajectory.
-fn system_level_campaign(args: &BenchArgs, rep: &mut Reporter) {
+fn system_level_campaign(args: &BenchArgs, rep: &mut Reporter, obs: &Registry) {
+    let root = obs.span("fault_coverage");
     let pool = args.pool();
     let sys = hcor::build_system().expect("build");
     let sites = FaultPlan::sites(&sys);
@@ -76,6 +78,7 @@ fn system_level_campaign(args: &BenchArgs, rep: &mut Reporter) {
     // The perf-trajectory measurement: same campaign at one worker and
     // at the requested pool width. Reports are asserted identical —
     // the determinism contract, enforced on every benchmark run.
+    let t_campaign = root.child("campaign").timer();
     let (serial_report, secs_t1) = timed(|| {
         run_campaign_par(&ParConfig::single(), make_sim, stimulus, cycles, &events)
             .expect("campaign")
@@ -92,6 +95,9 @@ fn system_level_campaign(args: &BenchArgs, rep: &mut Reporter) {
     } else {
         (serial_report, secs_t1)
     };
+    drop(t_campaign);
+    obs.counter("fault.campaign_injections")
+        .add(report.total() as u64);
 
     println!(
         "\nsystem-level FaultySim campaign on HCOR ({} sites, {} injections, {} cycles each):",
@@ -161,6 +167,7 @@ fn system_level_campaign(args: &BenchArgs, rep: &mut Reporter) {
         &[0.0, 0.05, 0.2, 0.5, 1.0, 2.0]
     };
     let runs = if args.quick { 8u64 } else { 20u64 };
+    let t_degrade = root.child("degrade").timer();
     let mut degrade_stats = None;
     for &rate in rates {
         // Plans are built sequentially (the captured `System` holds
@@ -181,6 +188,7 @@ fn system_level_campaign(args: &BenchArgs, rep: &mut Reporter) {
         let (outcomes, stats) = map_indexed_stats(&pool, &plans, |_, plan| {
             let mut sim =
                 ocapi::FaultySim::new(InterpSim::new(hcor::build_system()?)?, plan.clone());
+            sim.attach_obs(obs);
             let mut corrupted = 0u64;
             let mut detected = false;
             for (cyc, b) in bits.iter().enumerate() {
@@ -212,8 +220,11 @@ fn system_level_campaign(args: &BenchArgs, rep: &mut Reporter) {
         rep.result_u64(&format!("degrade_r{rate}_detects"), detects);
         degrade_stats = Some(stats);
     }
+    drop(t_degrade);
     if let Some(stats) = degrade_stats {
         rep.perf_pool("degrade", &stats);
+        obs.advisory_counter("degrade.shards_stolen")
+            .add(stats.steals);
     }
 }
 
@@ -221,6 +232,8 @@ fn main() {
     let args = parse_args("fault_coverage");
     let pool = args.pool();
     let mut rep = Reporter::new("fault_coverage");
+    let obs = Registry::new();
+    let root = obs.span("fault_coverage");
 
     let comp = hcor::build_component().expect("build");
     let netlist = synthesize(&comp, &SynthOptions::default()).expect("synthesis");
@@ -272,8 +285,10 @@ fn main() {
     let mut grade_faults = 0u64;
     for (label, bits, thresholds) in &sets {
         let stim = stimuli_for(bits, thresholds);
+        let t_grade = root.child("grade").timer();
         let (graded, secs) =
             timed(|| stuck_at_coverage_sharded(&netlist.netlist, &stim, &pool).expect("grade"));
+        drop(t_grade);
         grade_secs += secs;
         grade_faults += graded.total as u64;
         println!(
@@ -294,6 +309,7 @@ fn main() {
         "grade_faults_per_sec",
         grade_faults as f64 / grade_secs.max(1e-12),
     );
+    obs.counter("fault.graded").add(grade_faults);
 
     // Where do the escapes of the best set live?
     let best = best.expect("at least one set");
@@ -318,6 +334,7 @@ fn main() {
     // the lock becomes unobservable — this design needs a reset between
     // BIST sessions, which is itself a finding fault grading surfaces.
     let pattern_counts: &[usize] = if args.quick { &[256] } else { &[256, 2048] };
+    let t_bist = root.child("bist").timer();
     for (label, constrain) in [("LFSR BIST", false), ("LFSR BIST, enable held", true)] {
         for &patterns in pattern_counts {
             let mut stim = bist::lfsr_stimulus(&netlist.netlist, patterns, 0xace1);
@@ -349,17 +366,20 @@ fn main() {
             );
         }
     }
+    drop(t_bist);
 
     // Engine ablation: the 64-way bit-parallel engine single-threaded
     // vs sharded across the pool, on the longest vector set graded.
     let bits = hcor::test_pattern(if args.quick { 64 } else { 256 }, 7);
     let stimuli = stimuli_for(&bits, &[11]);
+    let t_abl = root.child("ablation").timer();
     let (serial, t_serial) = timed(|| {
         stuck_at_coverage_sharded(&netlist.netlist, &stimuli, &ParConfig::single())
             .expect("fault grade")
     });
     let (sharded, t_sharded) =
         timed(|| stuck_at_coverage_sharded(&netlist.netlist, &stimuli, &pool).expect("grade"));
+    drop(t_abl);
     assert_eq!(serial.detected, sharded.detected, "engines disagree");
     assert_eq!(serial.undetected, sharded.undetected, "engines disagree");
     println!(
@@ -394,6 +414,7 @@ fn main() {
         );
     }
 
-    system_level_campaign(&args, &mut rep);
+    system_level_campaign(&args, &mut rep, &obs);
     rep.write(&args).expect("write reports");
+    write_profile(&args, &obs).expect("write profile");
 }

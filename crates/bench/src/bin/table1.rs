@@ -18,17 +18,20 @@
 //! `cargo run --release -p ocapi-bench --bin table1 -- [--threads N] [--quick]`
 
 use ocapi::sim::par::map_indexed;
-use ocapi::{CompiledSim, Component, CoreError, InterpSim, ParConfig, Simulator, System, Value};
-use ocapi_bench::{mb, parse_args, timed, BenchArgs, CountingAlloc, Reporter};
+use ocapi::{
+    CompiledSim, Component, CoreError, InterpSim, ParConfig, SimObs, Simulator, System, Value,
+};
+use ocapi_bench::{mb, parse_args, timed, write_profile, BenchArgs, CountingAlloc, Reporter};
 use ocapi_designs::dect::burst::{generate, BurstConfig};
 use ocapi_designs::dect::transceiver::{self, TransceiverConfig};
 use ocapi_designs::hcor;
 use ocapi_gatesim::GateSystemSim;
 use ocapi_hdl::report::effective_lines;
 use ocapi_hdl::{verilog, vhdl};
+use ocapi_obs::Registry;
 use ocapi_rtl::RtlSystemSim;
 use ocapi_synth::report::ChipReport;
-use ocapi_synth::{synthesize, SynthOptions};
+use ocapi_synth::{synthesize_observed, SynthOptions};
 
 #[global_allocator]
 static ALLOC: CountingAlloc = CountingAlloc;
@@ -76,10 +79,12 @@ fn hdl_lines(sys: &System) -> (usize, usize) {
 /// Total gate-eq area of the system: every timed component synthesized
 /// independently across the worker pool, areas summed in component
 /// order (finished `Component`s are plain data, so they shard freely).
-fn gate_count(sys: &System, pool: &ParConfig) -> f64 {
+fn gate_count(sys: &System, pool: &ParConfig, obs: &Registry) -> f64 {
     let comps: Vec<Component> = sys.timed.iter().map(|t| t.comp.clone()).collect();
     let nets = map_indexed(pool, &comps, |_, c| {
-        Ok::<_, CoreError>(synthesize(c, &SynthOptions::default()).expect("synthesis"))
+        Ok::<_, CoreError>(
+            synthesize_observed(c, &SynthOptions::default(), &[], obs).expect("synthesis"),
+        )
     })
     .expect("synthesis runs");
     let mut rep = ChipReport::new(&sys.name);
@@ -103,7 +108,7 @@ fn print_design(name: &str, gates: f64, rows: &[Row]) {
     }
 }
 
-fn hcor_table(args: &BenchArgs, rep: &mut Reporter) {
+fn hcor_table(args: &BenchArgs, rep: &mut Reporter, obs: &Registry) {
     let bits = hcor::test_pattern(if args.quick { 256 } else { 3000 }, 99);
     let drive_bits = bits.clone();
     let drive = move |sim: &mut dyn Simulator| -> u64 {
@@ -119,18 +124,26 @@ fn hcor_table(args: &BenchArgs, rep: &mut Reporter) {
     let sys = hcor::build_system().expect("build");
     let (vhdl_l, verilog_l) = hdl_lines(&sys);
     let dsl_l = dsl_lines(&["hcor"]);
-    let gates = gate_count(&sys, &args.pool());
+    let gates = gate_count(&sys, &args.pool(), obs);
     rep.result_u64("hcor_dsl_lines", dsl_l as u64);
     rep.result_u64("hcor_vhdl_lines", vhdl_l as u64);
     rep.result_u64("hcor_verilog_lines", verilog_l as u64);
     rep.result_f64("hcor_gate_eq", gates);
 
     let (interp_speed, interp_mem) = measure(
-        || InterpSim::new(hcor::build_system().expect("build")).expect("sim"),
+        || {
+            let mut s = InterpSim::new(hcor::build_system().expect("build")).expect("sim");
+            s.attach_obs(SimObs::interp(obs));
+            s
+        },
         |s| drive(s),
     );
     let (comp_speed, comp_mem) = measure(
-        || CompiledSim::new(hcor::build_system().expect("build")).expect("sim"),
+        || {
+            let mut s = CompiledSim::new(hcor::build_system().expect("build")).expect("sim");
+            s.attach_obs(SimObs::compiled(obs));
+            s
+        },
         |s| drive(s),
     );
     let (rtl_speed, rtl_mem) = measure(
@@ -139,11 +152,13 @@ fn hcor_table(args: &BenchArgs, rep: &mut Reporter) {
     );
     let (gate_speed, gate_mem) = measure(
         || {
-            GateSystemSim::new(
+            let mut s = GateSystemSim::new(
                 hcor::build_system().expect("build"),
                 &SynthOptions::default(),
             )
-            .expect("sim")
+            .expect("sim");
+            s.attach_obs(obs);
+            s
         },
         |s| drive(s),
     );
@@ -184,7 +199,7 @@ fn hcor_table(args: &BenchArgs, rep: &mut Reporter) {
     rep.perf_f64("hcor_gate_cycles_per_sec", gate_speed);
 }
 
-fn dect_table(args: &BenchArgs, rep: &mut Reporter) {
+fn dect_table(args: &BenchArgs, rep: &mut Reporter, obs: &Registry) {
     let cfg = TransceiverConfig::default();
     let make_burst = |n: usize| {
         generate(&BurstConfig {
@@ -206,7 +221,7 @@ fn dect_table(args: &BenchArgs, rep: &mut Reporter) {
         "dect/datapaths",
         "dect/transceiver",
     ]);
-    let gates = gate_count(&sys, &args.pool());
+    let gates = gate_count(&sys, &args.pool(), obs);
     rep.result_u64("dect_dsl_lines", dsl_l as u64);
     rep.result_u64("dect_vhdl_lines", vhdl_l as u64);
     rep.result_u64("dect_verilog_lines", verilog_l as u64);
@@ -220,11 +235,21 @@ fn dect_table(args: &BenchArgs, rep: &mut Reporter) {
         (960, 480, 32)
     };
     let (interp_speed, interp_mem) = measure(
-        || InterpSim::new(transceiver::build_system(&cfg).expect("build")).expect("sim"),
+        || {
+            let mut s =
+                InterpSim::new(transceiver::build_system(&cfg).expect("build")).expect("sim");
+            s.attach_obs(SimObs::interp(obs));
+            s
+        },
         |s| drive(s, p_obj),
     );
     let (comp_speed, comp_mem) = measure(
-        || CompiledSim::new(transceiver::build_system(&cfg).expect("build")).expect("sim"),
+        || {
+            let mut s =
+                CompiledSim::new(transceiver::build_system(&cfg).expect("build")).expect("sim");
+            s.attach_obs(SimObs::compiled(obs));
+            s
+        },
         |s| drive(s, p_obj),
     );
     let (rtl_speed, rtl_mem) = measure(
@@ -233,11 +258,13 @@ fn dect_table(args: &BenchArgs, rep: &mut Reporter) {
     );
     let (gate_speed, gate_mem) = measure(
         || {
-            GateSystemSim::new(
+            let mut s = GateSystemSim::new(
                 transceiver::build_system(&cfg).expect("build"),
                 &SynthOptions::default(),
             )
-            .expect("sim")
+            .expect("sim");
+            s.attach_obs(obs);
+            s
         },
         |s| drive(s, p_gate),
     );
@@ -281,10 +308,11 @@ fn dect_table(args: &BenchArgs, rep: &mut Reporter) {
 fn main() {
     let args = parse_args("table1");
     let mut rep = Reporter::new("table1");
+    let obs = Registry::new();
     println!("Table 1 reproduction: performances of interpreted and compiled approaches");
     println!("(speed measured on this machine; see EXPERIMENTS.md for the comparison)");
-    hcor_table(&args, &mut rep);
-    dect_table(&args, &mut rep);
+    hcor_table(&args, &mut rep, &obs);
+    dect_table(&args, &mut rep, &obs);
     println!("\ncode-size ratio (generated RT-VHDL lines / DSL lines):");
     let hs = hcor::build_system().expect("build");
     let (hv, _) = hdl_lines(&hs);
@@ -302,4 +330,5 @@ fn main() {
     println!("  DECT: {:.1}x", dv as f64 / dd as f64);
     rep.result_f64("dect_code_ratio", dv as f64 / dd as f64);
     rep.write(&args).expect("write reports");
+    write_profile(&args, &obs).expect("write profile");
 }

@@ -15,12 +15,13 @@
 
 use ocapi::sim::par::map_indexed;
 use ocapi::{Component, CoreError};
-use ocapi_bench::{padded_sequencer, parse_args, timed, Reporter};
+use ocapi_bench::{padded_sequencer, parse_args, timed, write_profile, Reporter};
 use ocapi_designs::dect::transceiver::{build_system, TransceiverConfig};
 use ocapi_designs::hcor;
+use ocapi_obs::Registry;
 use ocapi_synth::controller::Encoding;
 use ocapi_synth::report::ChipReport;
-use ocapi_synth::{synthesize, timing, AdderStyle, SynthOptions};
+use ocapi_synth::{synthesize, synthesize_observed, timing, AdderStyle, SynthOptions};
 
 /// A 4-instruction FSM datapath in the Cathedral-3 style: each
 /// instruction is its own SFG, so the multiplier units are mutually
@@ -70,18 +71,24 @@ fn main() {
     let args = parse_args("table_gates");
     let pool = args.pool();
     let mut rep = Reporter::new("table_gates");
+    let obs = Registry::new();
+    let root = obs.span("table_gates");
     let sys = build_system(&TransceiverConfig::default()).expect("build");
 
     // Chip inventory: one synthesis run per component, sharded across
     // the pool and merged in component order (so the table is identical
     // for every thread count). The same netlists feed the timing sweep.
     let comps: Vec<Component> = sys.timed.iter().map(|t| t.comp.clone()).collect();
+    let t_inv = root.child("inventory").timer();
     let (nets, secs) = timed(|| {
         map_indexed(&pool, &comps, |_, c| {
-            Ok::<_, CoreError>(synthesize(c, &SynthOptions::default()).expect("synthesis"))
+            Ok::<_, CoreError>(
+                synthesize_observed(c, &SynthOptions::default(), &[], &obs).expect("synthesis"),
+            )
         })
         .expect("synthesis runs")
     });
+    drop(t_inv);
     let mut report = ChipReport::new("dect");
     for n in &nets {
         report.add(n);
@@ -136,6 +143,7 @@ fn main() {
     // instructions are separate FSM-selected SFGs (like the paper's
     // 57-instruction datapath) shows where word-level sharing pays off:
     let cathedral = cathedral_demo().expect("build");
+    let t_abl = root.child("ablations").timer();
     println!("operator-sharing ablation (per component, gate-eq):");
     println!(
         "  {:<16} {:>12} {:>12} {:>9}",
@@ -343,5 +351,7 @@ fn main() {
         let merged = ocapi_synth::fsm_min::minimize(comp.fsm.as_ref().expect("fsm")).merged;
         assert_eq!(merged, 0, "{label} unexpectedly reducible");
     }
+    drop(t_abl);
     rep.write(&args).expect("write reports");
+    write_profile(&args, &obs).expect("write profile");
 }

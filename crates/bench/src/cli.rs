@@ -20,6 +20,10 @@
 //! * `--perf-json PATH` — write the throughput metrics (wall seconds,
 //!   cycles/sec, runs/sec, per-worker utilization) as JSON; CI merges
 //!   these into the `BENCH_PR.json` trajectory artifact.
+//! * `--profile-json PATH` — write the observability profile (counter
+//!   totals, span call-tree, per-phase timings) as JSON. The
+//!   `deterministic` section is byte-identical across thread counts;
+//!   the `timing` section is advisory wall-clock data.
 
 use ocapi::ParConfig;
 
@@ -36,6 +40,8 @@ pub struct BenchArgs {
     pub json: Option<String>,
     /// Destination for the performance-metrics JSON.
     pub perf_json: Option<String>,
+    /// Destination for the observability-profile JSON.
+    pub profile_json: Option<String>,
 }
 
 impl BenchArgs {
@@ -47,6 +53,7 @@ impl BenchArgs {
             quick: false,
             json: None,
             perf_json: None,
+            profile_json: None,
         }
     }
 
@@ -59,7 +66,7 @@ impl BenchArgs {
 /// The usage text for `bin`.
 pub fn usage(bin: &str) -> String {
     format!(
-        "usage: {bin} [--threads N] [--quick] [--json PATH] [--perf-json PATH]\n\
+        "usage: {bin} [--threads N] [--quick] [--json PATH] [--perf-json PATH] [--profile-json PATH]\n\
          \n\
          \x20 -t, --threads N    worker threads for the sharded engines (default 1;\n\
          \x20                    results are bit-identical for every N)\n\
@@ -67,6 +74,9 @@ pub fn usage(bin: &str) -> String {
          \x20     --json PATH    write deterministic results as JSON (no timings)\n\
          \x20     --perf-json PATH\n\
          \x20                    write throughput metrics as JSON (BENCH_PR data)\n\
+         \x20     --profile-json PATH\n\
+         \x20                    write the observability profile (counters, span\n\
+         \x20                    tree, per-phase timings) as JSON\n\
          \x20 -h, --help         show this message"
     )
 }
@@ -103,6 +113,10 @@ pub fn parse_arg_list(bin: &str, args: &[String]) -> Result<BenchArgs, String> {
             "--perf-json" => {
                 let v = it.next().ok_or_else(|| format!("{arg} requires a path"))?;
                 out.perf_json = Some(v.clone());
+            }
+            "--profile-json" => {
+                let v = it.next().ok_or_else(|| format!("{arg} requires a path"))?;
+                out.profile_json = Some(v.clone());
             }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument `{other}`")),

@@ -25,7 +25,7 @@ pub mod cli;
 pub mod report;
 
 pub use cli::{parse_arg_list, parse_args, usage, BenchArgs};
-pub use report::Reporter;
+pub use report::{write_profile, Reporter};
 
 /// A counting allocator for the "process size" column of Table 1: tracks
 /// live and peak heap bytes.
@@ -76,9 +76,9 @@ pub fn mb(bytes: usize) -> String {
 
 /// Times a closure, returning (result, seconds).
 pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
-    let t0 = std::time::Instant::now();
+    let sw = ocapi_obs::Stopwatch::start();
     let r = f();
-    (r, t0.elapsed().as_secs_f64())
+    (r, sw.elapsed_secs())
 }
 
 /// A sequencer whose wait loop was hand-unrolled into `waits` identical

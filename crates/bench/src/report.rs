@@ -151,3 +151,19 @@ impl Reporter {
         Ok(())
     }
 }
+
+/// Writes the observability profile (`--profile-json`) if the CLI asked
+/// for it. The document's `deterministic` section (counter totals, span
+/// tree structure, event totals) is byte-identical across thread counts;
+/// `timing` carries the advisory wall-clock data.
+///
+/// # Errors
+///
+/// Propagates I/O errors from creating or writing the file.
+pub fn write_profile(args: &BenchArgs, reg: &ocapi_obs::Registry) -> std::io::Result<()> {
+    if let Some(path) = &args.profile_json {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(reg.profile_json(&args.bin).as_bytes())?;
+    }
+    Ok(())
+}

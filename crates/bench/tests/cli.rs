@@ -18,6 +18,7 @@ fn defaults_are_one_thread_full_workload() {
     assert!(!a.quick);
     assert_eq!(a.json, None);
     assert_eq!(a.perf_json, None);
+    assert_eq!(a.profile_json, None);
 }
 
 #[test]
@@ -32,6 +33,8 @@ fn flags_parse_in_any_order() {
             "r.json",
             "--perf-json",
             "p.json",
+            "--profile-json",
+            "prof.json",
         ]),
     )
     .expect("parse");
@@ -39,6 +42,7 @@ fn flags_parse_in_any_order() {
     assert!(a.quick);
     assert_eq!(a.json.as_deref(), Some("r.json"));
     assert_eq!(a.perf_json.as_deref(), Some("p.json"));
+    assert_eq!(a.profile_json.as_deref(), Some("prof.json"));
     assert_eq!(a.pool().threads(), 4);
 }
 
@@ -50,6 +54,7 @@ fn unknown_flags_and_bad_values_are_errors() {
     assert!(parse_arg_list("bin", &argv(&["--threads", "zero"])).is_err());
     assert!(parse_arg_list("bin", &argv(&["--threads", "0"])).is_err());
     assert!(parse_arg_list("bin", &argv(&["--json"])).is_err());
+    assert!(parse_arg_list("bin", &argv(&["--profile-json"])).is_err());
     // `--help` uses the empty-message sentinel, distinct from errors.
     assert_eq!(
         parse_arg_list("bin", &argv(&["--help"])).unwrap_err(),

@@ -93,6 +93,14 @@ pub enum CoreError {
         /// The unimplemented operation.
         op: String,
     },
+    /// A trace row of the wrong width was recorded: the number of values
+    /// did not match the number of declared trace signals.
+    TraceShape {
+        /// Declared signal count of the trace.
+        expected: usize,
+        /// Number of values in the rejected row.
+        got: usize,
+    },
     /// A worker of the sharded execution engine panicked while
     /// processing the given work item. The panic was contained at the
     /// item boundary (the pool survives and every other item ran); the
@@ -149,6 +157,12 @@ impl fmt::Display for CoreError {
             }
             CoreError::Unsupported { op } => {
                 write!(f, "unsupported simulator operation: {op}")
+            }
+            CoreError::TraceShape { expected, got } => {
+                write!(
+                    f,
+                    "trace width mismatch: {expected} signals declared, {got} values recorded"
+                )
             }
             CoreError::WorkerPanic { index } => {
                 write!(f, "sharded work item {index} panicked in a worker thread")

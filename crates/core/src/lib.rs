@@ -85,7 +85,8 @@ pub use sim::fault::{
     run_campaign, run_campaign_par, CampaignReport, FaultEvent, FaultKind, FaultOutcome, FaultPlan,
     FaultSite, FaultySim,
 };
-pub use sim::par::{ParConfig, ParError, PoolStats};
+pub use sim::obs::SimObs;
+pub use sim::par::{ParConfig, ParError, PoolStats, Stopwatch};
 pub use sim::{CompiledSim, InterpSim, Simulator};
 pub use system::{
     InstanceId, Net, NetSink, NetSource, PrimaryInput, PrimaryOutput, System, SystemBuilder,

@@ -31,6 +31,7 @@ use std::collections::HashMap;
 use ocapi_fixp::{Fix, Format, Overflow, Rounding};
 
 use crate::comp::{Component, NodeId, NodeKind};
+use crate::sim::obs::SimObs;
 use crate::sim::Simulator;
 use crate::system::{NetSource, System};
 use crate::trace::Trace;
@@ -346,6 +347,7 @@ pub struct CompiledSim {
     out_buf: Vec<Value>,
     cycle: u64,
     trace: Option<Trace>,
+    obs: Option<SimObs>,
 }
 
 impl std::fmt::Debug for CompiledSim {
@@ -643,6 +645,7 @@ impl CompiledSim {
             out_buf: Vec::new(),
             cycle: 0,
             trace: None,
+            obs: None,
             sys,
         })
     }
@@ -650,6 +653,14 @@ impl CompiledSim {
     /// The simulated system.
     pub fn system(&self) -> &System {
         &self.sys
+    }
+
+    /// Attaches an observability bundle (counters + phase spans, see
+    /// [`SimObs::compiled`]): every subsequent [`Simulator::step`]
+    /// reports cycle, SFG-activation and register-update counts and
+    /// per-phase wall time. Detached simulators pay nothing.
+    pub fn attach_obs(&mut self, obs: SimObs) {
+        self.obs = Some(obs);
     }
 
     /// Number of instructions executed per cycle (tape + guard pre-tape).
@@ -1252,11 +1263,20 @@ impl Simulator for CompiledSim {
 
     fn step(&mut self) -> Result<(), CoreError> {
         // Guard evaluation over held values.
+        let t_pre = self
+            .obs
+            .as_ref()
+            .and_then(|o| o.sp_pre.as_ref())
+            .map(|s| s.timer());
         self.exec(true);
+        drop(t_pre);
 
         // Transition selection.
+        let t_select = self.obs.as_ref().map(|o| o.sp_select.timer());
+        let mut firings = 0u64;
         for i in 0..self.sys.timed.len() {
             if self.fsm_tables[i].is_empty() {
+                firings += self.active[i].len() as u64;
                 for a in &mut self.active[i] {
                     *a = true;
                 }
@@ -1282,15 +1302,23 @@ impl Simulator for CompiledSim {
                 let sfgs = self.fsm_tables[i][state][ti].sfgs.clone();
                 self.states[i] = to;
                 for sk in sfgs {
+                    if !self.active[i][sk as usize] {
+                        firings += 1;
+                    }
                     self.active[i][sk as usize] = true;
                 }
             }
         }
+        drop(t_select);
 
         // Main tape.
+        let t_eval = self.obs.as_ref().map(|o| o.sp_eval.timer());
         self.exec(false);
+        drop(t_eval);
 
         // Register update.
+        let t_commit = self.obs.as_ref().map(|o| o.sp_commit.timer());
+        let mut reg_update_count = 0u64;
         for wi in 0..self.reg_writes.len() {
             let w = &self.reg_writes[wi];
             let act = &self.active[w.inst as usize];
@@ -1303,11 +1331,14 @@ impl Simulator for CompiledSim {
             }
             if let Some(v) = val {
                 self.regs[w.inst as usize][w.reg as usize] = v;
+                reg_update_count += 1;
             }
         }
+        drop(t_commit);
 
         self.cycle += 1;
         if let Some(trace) = &mut self.trace {
+            let _t_trace = self.obs.as_ref().map(|o| o.sp_trace.timer());
             let row: Vec<Value> = self
                 .sys
                 .primary_inputs
@@ -1321,7 +1352,13 @@ impl Simulator for CompiledSim {
                     decode(self.slots[sl], self.slot_ty[sl])
                 }))
                 .collect();
-            trace.record_cycle(&row);
+            trace.record_cycle(&row)?;
+        }
+
+        if let Some(o) = &self.obs {
+            o.cycles.incr();
+            o.sfg_firings.add(firings);
+            o.reg_updates.add(reg_update_count);
         }
         Ok(())
     }

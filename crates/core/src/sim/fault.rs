@@ -39,6 +39,7 @@ use crate::value::Value;
 use crate::CoreError;
 
 use ocapi_fixp::Fix;
+use ocapi_obs::{Counter, EventLog, Registry};
 
 /// A state element a fault can target.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -293,12 +294,24 @@ pub(crate) fn corrupt(v: Value, kind: FaultKind) -> Value {
 pub struct FaultySim<S: Simulator> {
     inner: S,
     plan: FaultPlan,
+    obs: Option<(Counter, EventLog)>,
 }
 
 impl<S: Simulator> FaultySim<S> {
     /// Wraps `inner`, scheduling the faults of `plan`.
     pub fn new(inner: S, plan: FaultPlan) -> FaultySim<S> {
-        FaultySim { inner, plan }
+        FaultySim {
+            inner,
+            plan,
+            obs: None,
+        }
+    }
+
+    /// Starts reporting into `reg`: every applied fault bumps the
+    /// `fault.injected` counter and logs a cycle-stamped `"fault"` event
+    /// (site + corruption kind) for forensics.
+    pub fn attach_obs(&mut self, reg: &Registry) {
+        self.obs = Some((reg.counter("fault.injected"), reg.events().clone()));
     }
 
     /// The wrapped simulator.
@@ -337,6 +350,14 @@ impl<S: Simulator> FaultySim<S> {
                     let v = self.inner.peek_reg(&instance, &reg)?;
                     self.inner.poke_reg(&instance, &reg, corrupt(v, kind))?;
                 }
+            }
+            if let Some((injected, events)) = &self.obs {
+                injected.incr();
+                events.record(
+                    now,
+                    "fault",
+                    format!("{} {:?}", self.plan.events[i].site, kind),
+                );
             }
         }
         Ok(())

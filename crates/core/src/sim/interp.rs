@@ -20,6 +20,7 @@
 use crate::comp::{NodeId, Reg};
 use crate::fsm::StateRef;
 use crate::sim::eval::{eval_node, EvalCache};
+use crate::sim::obs::SimObs;
 use crate::sim::Simulator;
 use crate::system::{NetSource, System};
 use crate::trace::Trace;
@@ -81,6 +82,7 @@ pub struct InterpSim {
     cycle: u64,
     trace: Option<Trace>,
     full_trace: Option<Trace>,
+    obs: Option<SimObs>,
 }
 
 impl InterpSim {
@@ -145,7 +147,17 @@ impl InterpSim {
             cycle: 0,
             trace: None,
             full_trace: None,
+            obs: None,
         })
+    }
+
+    /// Attaches an observability bundle (counters + phase spans +
+    /// event log, see [`SimObs::interp`]): every subsequent
+    /// [`Simulator::step`] reports cycle, SFG-firing, convergence and
+    /// register-update counts and per-phase wall time. Detached
+    /// simulators pay nothing.
+    pub fn attach_obs(&mut self, obs: SimObs) {
+        self.obs = Some(obs);
     }
 
     /// The simulated system.
@@ -294,6 +306,7 @@ impl Simulator for InterpSim {
         }
 
         // Phase 0: transition selection, marking SFGs for execution.
+        let t_select = self.obs.as_ref().map(|o| o.sp_select.timer());
         let mut pending: Vec<Pend> = Vec::new();
         let mut next_states = self.states.clone();
         for (i, t) in sys.timed.iter().enumerate() {
@@ -370,12 +383,18 @@ impl Simulator for InterpSim {
             self.caches[i].bump();
         }
 
+        drop(t_select);
+
         // Phases 1+2: token production and evaluation as one work list.
+        let t_eval = self.obs.as_ref().map(|o| o.sp_eval.timer());
+        let mut firings = 0u64;
+        let mut iterations = 0u64;
         let mut reg_writes: Vec<(usize, Reg, Value)> = Vec::new();
         let mut fired = vec![false; sys.untimed.len()];
         let mut in_buf: Vec<Value> = Vec::new();
         let mut out_buf: Vec<Value> = Vec::new();
         loop {
+            iterations += 1;
             let mut progress = false;
 
             let mut i = 0;
@@ -411,6 +430,7 @@ impl Simulator for InterpSim {
                         }
                     }
                     pending.swap_remove(i);
+                    firings += 1;
                     progress = true;
                 } else {
                     i += 1;
@@ -445,6 +465,7 @@ impl Simulator for InterpSim {
                     }
                 }
                 fired[u] = true;
+                firings += 1;
                 progress = true;
             }
 
@@ -475,28 +496,45 @@ impl Simulator for InterpSim {
                 );
                 // Deterministic diagnostics regardless of work-list order.
                 waiting.sort();
+                if let Some(o) = &self.obs {
+                    o.events.record(self.cycle, "deadlock", waiting.join(", "));
+                }
                 return Err(CoreError::CombinationalLoop { waiting });
             }
         }
+        drop(t_eval);
 
         // Phase 3: register update and state commit.
+        let t_commit = self.obs.as_ref().map(|o| o.sp_commit.timer());
+        let reg_update_count = reg_writes.len() as u64;
         for (inst, reg, v) in reg_writes {
             self.regs[inst][reg.index()] = v;
         }
         self.states = next_states;
         self.cycle += 1;
+        drop(t_commit);
 
-        if let Some(trace) = &mut self.trace {
-            let row: Vec<Value> = sys
-                .primary_inputs
-                .iter()
-                .map(|p| nets[p.net])
-                .chain(sys.primary_outputs.iter().map(|p| nets[p.net]))
-                .collect();
-            trace.record_cycle(&row);
+        if self.trace.is_some() || self.full_trace.is_some() {
+            let _t_trace = self.obs.as_ref().map(|o| o.sp_trace.timer());
+            if let Some(trace) = &mut self.trace {
+                let row: Vec<Value> = sys
+                    .primary_inputs
+                    .iter()
+                    .map(|p| nets[p.net])
+                    .chain(sys.primary_outputs.iter().map(|p| nets[p.net]))
+                    .collect();
+                trace.record_cycle(&row)?;
+            }
+            if let Some(trace) = &mut self.full_trace {
+                trace.record_cycle(nets)?;
+            }
         }
-        if let Some(trace) = &mut self.full_trace {
-            trace.record_cycle(nets);
+
+        if let Some(o) = &self.obs {
+            o.cycles.incr();
+            o.sfg_firings.add(firings);
+            o.convergence_iters.add(iterations);
+            o.reg_updates.add(reg_update_count);
         }
         Ok(())
     }

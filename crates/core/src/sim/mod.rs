@@ -18,10 +18,12 @@ mod compiled;
 mod eval;
 pub mod fault;
 mod interp;
+pub mod obs;
 pub mod par;
 
 pub use compiled::CompiledSim;
 pub use interp::InterpSim;
+pub use obs::SimObs;
 
 use crate::trace::Trace;
 use crate::value::Value;

@@ -1,0 +1,124 @@
+//! Observability bundles for the simulation back-ends.
+//!
+//! A [`SimObs`] is the set of counters, phase spans and the event-log
+//! handle one simulator reports into, resolved once from an
+//! [`ocapi_obs::Registry`] at attach time so the per-cycle cost is a
+//! handful of relaxed atomic adds and one clock read per phase. A
+//! simulator with no bundle attached pays a single `Option` test per
+//! phase and nothing else.
+//!
+//! Counter names are `{backend}.{what}` (`interp.cycles`,
+//! `compiled.sfg_firings`, …); the phase spans hang off one root span
+//! per back-end, mirroring the paper's three-phase cycle scheduler:
+//!
+//! * `interp` → `transition_select`, `evaluate`, `register_update`,
+//!   `trace`
+//! * `compiled` → `guard_pre_tape`, `transition_select`, `tape`,
+//!   `register_update`, `trace`
+//!
+//! Both the span *structure* and the per-span hit counts are pure
+//! functions of the workload — the deterministic half of the obs
+//! contract — while the recorded durations land in the profile's
+//! `timing` section only.
+
+use ocapi_obs::{Counter, EventLog, Registry, Span};
+
+/// Counter + span + event-log handles for one simulator back-end.
+///
+/// Build with [`SimObs::interp`] or [`SimObs::compiled`] and hand to
+/// `InterpSim::attach_obs` / `CompiledSim::attach_obs`. Cloning shares
+/// the underlying atomics, so several simulators of the same back-end
+/// attached to one registry aggregate into the same counters and spans.
+#[derive(Debug, Clone)]
+pub struct SimObs {
+    /// Completed clock cycles.
+    pub(crate) cycles: Counter,
+    /// Signal-flow graphs (and untimed blocks) fired.
+    pub(crate) sfg_firings: Counter,
+    /// Work-list convergence iterations of the evaluation phase
+    /// (0 for the compiled back-end: its tape is statically scheduled).
+    pub(crate) convergence_iters: Counter,
+    /// Register writes committed.
+    pub(crate) reg_updates: Counter,
+    /// Guard pre-tape execution (compiled back-end only).
+    pub(crate) sp_pre: Option<Span>,
+    /// Transition selection (phase 0).
+    pub(crate) sp_select: Span,
+    /// Token production + evaluation (phases 1+2) / main tape.
+    pub(crate) sp_eval: Span,
+    /// Register update and state commit (phase 3).
+    pub(crate) sp_commit: Span,
+    /// Trace recording, when enabled.
+    pub(crate) sp_trace: Span,
+    /// Forensics sink (deadlocks).
+    pub(crate) events: EventLog,
+}
+
+impl SimObs {
+    /// The bundle for the interpreted (cycle-scheduler) back-end.
+    pub fn interp(reg: &Registry) -> SimObs {
+        SimObs::attach(reg, "interp", "evaluate", false)
+    }
+
+    /// The bundle for the compiled (levelized-tape) back-end.
+    pub fn compiled(reg: &Registry) -> SimObs {
+        SimObs::attach(reg, "compiled", "tape", true)
+    }
+
+    fn attach(reg: &Registry, backend: &str, eval_label: &str, pre: bool) -> SimObs {
+        let root = reg.span(backend);
+        SimObs {
+            cycles: reg.counter(&format!("{backend}.cycles")),
+            sfg_firings: reg.counter(&format!("{backend}.sfg_firings")),
+            convergence_iters: reg.counter(&format!("{backend}.convergence_iters")),
+            reg_updates: reg.counter(&format!("{backend}.reg_updates")),
+            sp_pre: pre.then(|| root.child("guard_pre_tape")),
+            sp_select: root.child("transition_select"),
+            sp_eval: root.child(eval_label),
+            sp_commit: root.child("register_update"),
+            sp_trace: root.child("trace"),
+            events: reg.events().clone(),
+        }
+    }
+
+    /// The cycles counter (e.g. for throughput reporting).
+    pub fn cycles(&self) -> &Counter {
+        &self.cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attach_creates_the_phase_tree_up_front() {
+        let reg = Registry::new();
+        let _i = SimObs::interp(&reg);
+        let _c = SimObs::compiled(&reg);
+        let roots = reg.roots();
+        assert_eq!(roots.len(), 2);
+        let labels: Vec<Vec<String>> = roots
+            .iter()
+            .map(|r| r.children().iter().map(|c| c.label().to_owned()).collect())
+            .collect();
+        // Sorted by label: compiled first, interp second.
+        assert_eq!(roots[0].label(), "compiled");
+        assert!(labels[0].iter().any(|l| l == "guard_pre_tape"));
+        assert!(labels[0].iter().any(|l| l == "tape"));
+        assert_eq!(roots[1].label(), "interp");
+        assert!(labels[1].iter().any(|l| l == "evaluate"));
+        assert!(labels[1].len() >= 4 && labels[0].len() >= 4);
+    }
+
+    #[test]
+    fn two_attaches_share_counters() {
+        let reg = Registry::new();
+        let a = SimObs::interp(&reg);
+        let b = SimObs::interp(&reg);
+        a.cycles.add(2);
+        b.cycles.add(3);
+        assert_eq!(reg.counter("interp.cycles").get(), 5);
+        assert_eq!(reg.roots().len(), 1);
+    }
+}

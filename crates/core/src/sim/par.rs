@@ -33,7 +33,11 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Instant;
+
+// The per-worker bookkeeping types live in the observability crate so
+// the bench harnesses and this engine share one definition; re-exported
+// here (and from the crate root) for compatibility.
+pub use ocapi_obs::{PoolStats, Stopwatch};
 
 /// Worker-pool configuration for the sharded engines.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -112,43 +116,6 @@ impl<E: std::fmt::Display> std::fmt::Display for ParError<E> {
 
 impl<E: std::fmt::Debug + std::fmt::Display> std::error::Error for ParError<E> {}
 
-/// Throughput observability for one sharded map: what each worker did
-/// and how busy it was, for the machine-readable benchmark reports.
-#[derive(Debug, Clone, Default)]
-pub struct PoolStats {
-    /// Workers spawned (1 = sequential fast path).
-    pub threads: usize,
-    /// Total work items processed.
-    pub items: usize,
-    /// Items completed by each worker.
-    pub per_worker_items: Vec<usize>,
-    /// Seconds each worker spent inside the work closure.
-    pub per_worker_busy: Vec<f64>,
-    /// Wall-clock seconds for the whole map.
-    pub wall_secs: f64,
-}
-
-impl PoolStats {
-    /// Items per wall-clock second (0 for an empty or instant map).
-    pub fn items_per_sec(&self) -> f64 {
-        if self.wall_secs > 0.0 {
-            self.items as f64 / self.wall_secs
-        } else {
-            0.0
-        }
-    }
-
-    /// Mean worker utilization in `[0, 1]`: busy time over wall time,
-    /// averaged across workers.
-    pub fn utilization(&self) -> f64 {
-        if self.per_worker_busy.is_empty() || self.wall_secs <= 0.0 {
-            return 0.0;
-        }
-        let busy: f64 = self.per_worker_busy.iter().sum();
-        (busy / (self.wall_secs * self.per_worker_busy.len() as f64)).min(1.0)
-    }
-}
-
 /// What one item produced, kept until the order-restoring merge.
 enum Slot<R, E> {
     Done(R),
@@ -190,7 +157,7 @@ where
     E: Send,
     F: Fn(usize, &T) -> Result<R, E> + Sync,
 {
-    let started = Instant::now();
+    let started = Stopwatch::start();
     let n = items.len();
     let workers = pool.threads.min(n.max(1));
 
@@ -210,36 +177,46 @@ where
         per_worker_items: vec![0; workers],
         per_worker_busy: vec![0.0; workers],
         wall_secs: 0.0,
+        steals: 0,
     };
 
     let mut slots: Vec<Option<Slot<R, E>>> = Vec::with_capacity(n);
     if workers <= 1 {
         for i in 0..n {
-            let t0 = Instant::now();
+            let t0 = Stopwatch::start();
             slots.push(Some(run_one(i)));
-            stats.per_worker_busy[0] += t0.elapsed().as_secs_f64();
+            stats.per_worker_busy[0] += t0.elapsed_secs();
             stats.per_worker_items[0] += 1;
         }
     } else {
         slots.resize_with(n, || None);
         let cursor = AtomicUsize::new(0);
+        let cursor = &cursor;
+        let run_one = &run_one;
         let worker_results = std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    s.spawn(|| {
+                .map(|w| {
+                    s.spawn(move || {
                         let mut mine: Vec<(usize, Slot<R, E>)> = Vec::new();
                         let mut busy = 0.0f64;
+                        let mut steals = 0u64;
                         loop {
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
                             if i >= n {
                                 break;
                             }
-                            let t0 = Instant::now();
+                            // An item is "stolen" when the dynamic
+                            // cursor hands it to a different worker than
+                            // a static block partition would have.
+                            if i * workers / n != w {
+                                steals += 1;
+                            }
+                            let t0 = Stopwatch::start();
                             let slot = run_one(i);
-                            busy += t0.elapsed().as_secs_f64();
+                            busy += t0.elapsed_secs();
                             mine.push((i, slot));
                         }
-                        (mine, busy)
+                        (mine, busy, steals)
                     })
                 })
                 .collect();
@@ -249,16 +226,17 @@ where
         // item closure is guarded); its claimed items then stay None
         // and are reported as panics by the merge below.
         for (w, joined) in worker_results.into_iter().enumerate() {
-            if let Ok((mine, busy)) = joined {
+            if let Ok((mine, busy, steals)) = joined {
                 stats.per_worker_items[w] = mine.len();
                 stats.per_worker_busy[w] = busy;
+                stats.steals += steals;
                 for (i, slot) in mine {
                     slots[i] = Some(slot);
                 }
             }
         }
     }
-    stats.wall_secs = started.elapsed().as_secs_f64();
+    stats.wall_secs = started.elapsed_secs();
 
     // Order-restoring merge with deterministic failure selection: the
     // lowest-indexed failure wins, as in a sequential loop.

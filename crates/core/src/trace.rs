@@ -9,6 +9,7 @@
 use std::fmt::Write as _;
 
 use crate::value::{SigType, Value};
+use crate::CoreError;
 
 /// One recorded signal: name, type and per-cycle values.
 #[derive(Debug, Clone, PartialEq)]
@@ -48,14 +49,22 @@ impl Trace {
 
     /// Appends one cycle of values (same order as the declarations).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `values` has the wrong length.
-    pub fn record_cycle(&mut self, values: &[Value]) {
-        assert_eq!(values.len(), self.signals.len(), "trace width mismatch");
+    /// Returns [`CoreError::TraceShape`] — recording nothing — when
+    /// `values` has a different length than the declared signals, so a
+    /// malformed row can never tear the trace (partial columns).
+    pub fn record_cycle(&mut self, values: &[Value]) -> Result<(), CoreError> {
+        if values.len() != self.signals.len() {
+            return Err(CoreError::TraceShape {
+                expected: self.signals.len(),
+                got: values.len(),
+            });
+        }
         for (s, v) in self.signals.iter_mut().zip(values) {
             s.values.push(*v);
         }
+        Ok(())
     }
 
     /// Number of recorded cycles.
@@ -124,19 +133,42 @@ mod tests {
             ("a".to_owned(), SigType::Bool, true),
             ("y".to_owned(), SigType::Bits(4), false),
         ]);
-        t.record_cycle(&[Value::Bool(true), Value::bits(4, 3)]);
-        t.record_cycle(&[Value::Bool(false), Value::bits(4, 9)]);
+        t.record_cycle(&[Value::Bool(true), Value::bits(4, 3)])
+            .unwrap();
+        t.record_cycle(&[Value::Bool(false), Value::bits(4, 9)])
+            .unwrap();
         assert_eq!(t.len(), 2);
         assert_eq!(t.signal("y").map(|s| s.values[1]), Some(Value::bits(4, 9)));
         assert!(t.signal("nope").is_none());
     }
 
     #[test]
+    fn wrong_width_row_is_rejected_whole() {
+        let mut t = Trace::new([
+            ("a".to_owned(), SigType::Bool, true),
+            ("y".to_owned(), SigType::Bits(4), false),
+        ]);
+        let err = t.record_cycle(&[Value::Bool(true)]).unwrap_err();
+        assert_eq!(
+            err,
+            CoreError::TraceShape {
+                expected: 2,
+                got: 1
+            }
+        );
+        // The malformed row recorded nothing: no partial columns.
+        assert!(t.is_empty());
+        t.record_cycle(&[Value::Bool(true), Value::bits(4, 1)])
+            .unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
     fn vcd_has_headers_and_changes() {
         let mut t = Trace::new([("a".to_owned(), SigType::Bool, true)]);
-        t.record_cycle(&[Value::Bool(true)]);
-        t.record_cycle(&[Value::Bool(true)]); // no change: no dump line
-        t.record_cycle(&[Value::Bool(false)]);
+        t.record_cycle(&[Value::Bool(true)]).unwrap();
+        t.record_cycle(&[Value::Bool(true)]).unwrap(); // no change: no dump line
+        t.record_cycle(&[Value::Bool(false)]).unwrap();
         let vcd = t.to_vcd();
         assert!(vcd.contains("$var wire 1 s0 a $end"));
         assert!(vcd.contains("#0\n1s0"));

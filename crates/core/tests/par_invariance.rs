@@ -3,13 +3,21 @@
 //! sequential `run_campaign` for every worker-pool width, and a shard
 //! that panics must surface as a typed error (never hang the pool, and
 //! always the same error regardless of thread count).
+//!
+//! The same contract covers the observability registry: counter totals,
+//! span-tree structure and hit counts, and event totals are workload
+//! functions, so the registry's `deterministic` JSON must be
+//! byte-identical at every `--threads` width (only the `timing` section
+//! may differ).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use ocapi::sim::par::map_indexed;
 use ocapi::{
     run_campaign, run_campaign_par, Component, CoreError, FaultEvent, FaultPlan, InterpSim,
-    ParConfig, SigType, Simulator, System, Value,
+    ParConfig, SigType, SimObs, Simulator, System, Value,
 };
+use ocapi_obs::Registry;
 
 /// A small FSMD with enough state to make faults interesting: an
 /// enabled counter feeding a saturating accumulator.
@@ -78,6 +86,56 @@ fn campaign_report_invariant_across_thread_counts() {
         assert_eq!(par.silent(), baseline.silent());
         assert_eq!(par.detected(), baseline.detected());
     }
+}
+
+/// Runs the same 12-shard simulation workload at the given pool width
+/// with every shard instrumented into one shared registry, and returns
+/// the registry's deterministic export.
+fn obs_workload(threads: usize) -> String {
+    let reg = Registry::new();
+    let pool = ParConfig::new(threads);
+    let shards: Vec<u64> = (0..12).collect();
+    map_indexed(&pool, &shards, |_, &seed| {
+        let mut sim = InterpSim::new(small_system()?)?;
+        sim.attach_obs(SimObs::interp(&reg));
+        for cycle in 0..32u64 {
+            sim.set_input("en", Value::Bool((cycle + seed) % 5 != 2))?;
+            sim.step()?;
+        }
+        Ok::<_, CoreError>(())
+    })
+    .expect("instrumented shards");
+    reg.deterministic_json()
+}
+
+#[test]
+fn obs_counters_and_span_structure_invariant_across_thread_counts() {
+    let baseline = obs_workload(1);
+    // Sanity: the export actually carries the instrumented data.
+    assert!(baseline.contains("\"interp.cycles\": 384"), "{baseline}");
+    assert!(baseline.contains("\"label\": \"interp\""));
+    assert!(baseline.contains("\"label\": \"transition_select\""));
+    for threads in [2usize, 8] {
+        assert_eq!(
+            obs_workload(threads),
+            baseline,
+            "deterministic obs section diverged at {threads} thread(s)"
+        );
+    }
+}
+
+#[test]
+fn advisory_counters_stay_out_of_the_deterministic_section() {
+    let reg = Registry::new();
+    reg.counter("work.done").add(7);
+    reg.advisory_counter("pool.shards_stolen").add(3);
+    let det = reg.deterministic_json();
+    assert!(det.contains("work.done"));
+    assert!(
+        !det.contains("shards_stolen"),
+        "scheduling-dependent counters must export under timing only"
+    );
+    assert!(reg.timing_json().contains("shards_stolen"));
 }
 
 #[test]

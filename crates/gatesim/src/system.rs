@@ -9,6 +9,7 @@
 
 use ocapi::{CoreError, NetSource, SigType, Simulator, System, Trace, UntimedBlock, Value};
 use ocapi_fixp::Fix;
+use ocapi_obs::{Counter, Registry, Span};
 use ocapi_synth::gate::{Gate, GateKind, Netlist, WireId};
 use ocapi_synth::{synthesize_with_held, SynthOptions};
 
@@ -64,6 +65,17 @@ struct UntimedIo {
     last_in: Option<Vec<Value>>,
 }
 
+/// Phase spans + cycle counter of the gate-level system simulator,
+/// resolved once at attach time (root span `gatesim`, children
+/// `settle`/`untimed`/`clock`/`trace`).
+struct SysObs {
+    cycles: Counter,
+    sp_settle: Span,
+    sp_untimed: Span,
+    sp_clock: Span,
+    sp_trace: Span,
+}
+
 /// Gate-level simulation of a captured system.
 pub struct GateSystemSim {
     sim: GateSim,
@@ -76,6 +88,7 @@ pub struct GateSystemSim {
     area: f64,
     cycle: u64,
     trace: Option<Trace>,
+    obs: Option<SysObs>,
 }
 
 impl std::fmt::Debug for GateSystemSim {
@@ -268,7 +281,24 @@ impl GateSystemSim {
             area,
             cycle: 0,
             trace: None,
+            obs: None,
         })
+    }
+
+    /// Starts reporting into `reg`: per-phase spans under the `gatesim`
+    /// root, the `gatesim.cycles` counter, and the kernel's
+    /// `gate.evals`/`gate.events` counters (see
+    /// [`GateSim::attach_obs`]). Detached simulators pay nothing.
+    pub fn attach_obs(&mut self, reg: &Registry) {
+        let root = reg.span("gatesim");
+        self.obs = Some(SysObs {
+            cycles: reg.counter("gatesim.cycles"),
+            sp_settle: root.child("settle"),
+            sp_untimed: root.child("untimed"),
+            sp_clock: root.child("clock"),
+            sp_trace: root.child("trace"),
+        });
+        self.sim.attach_obs(reg);
     }
 
     /// Total synthesized area in gate equivalents.
@@ -341,21 +371,31 @@ impl Simulator for GateSystemSim {
     }
 
     fn step(&mut self) -> Result<(), CoreError> {
+        let t_settle = self.obs.as_ref().map(|o| o.sp_settle.timer());
         self.sim.settle().map_err(gate_err)?;
+        drop(t_settle);
+        let t_untimed = self.obs.as_ref().map(|o| o.sp_untimed.timer());
         self.run_untimed()?;
+        drop(t_untimed);
+        let t_clock = self.obs.as_ref().map(|o| o.sp_clock.timer());
         for (i, (_, ty, wires)) in self.outputs.iter().enumerate() {
             self.latched[i] = decode(self.sim.bus(wires), *ty);
         }
         self.sim.clock().map_err(gate_err)?;
         self.cycle += 1;
+        drop(t_clock);
         if let Some(trace) = &mut self.trace {
+            let _t_trace = self.obs.as_ref().map(|o| o.sp_trace.timer());
             let row: Vec<Value> = self
                 .inputs
                 .iter()
                 .map(|(_, ty, w)| decode(self.sim.bus(w), *ty))
                 .chain(self.latched.iter().copied())
                 .collect();
-            trace.record_cycle(&row);
+            trace.record_cycle(&row)?;
+        }
+        if let Some(o) = &self.obs {
+            o.cycles.incr();
         }
         Ok(())
     }

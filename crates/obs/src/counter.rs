@@ -1,0 +1,90 @@
+//! Cheap atomic counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct CounterInner {
+    name: String,
+    value: AtomicU64,
+}
+
+/// A named monotonic counter: a relaxed `AtomicU64` behind an `Arc`
+/// handle.
+///
+/// Increments are commutative, so a counter bumped from sharded worker
+/// threads reaches the same total for every thread count — the property
+/// that lets counters sit in the deterministic section of the profile.
+/// Cost per bump is one relaxed `fetch_add`; an unused counter costs
+/// nothing.
+#[derive(Clone)]
+pub struct Counter {
+    inner: Arc<CounterInner>,
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Counter")
+            .field("name", &self.name())
+            .field("value", &self.get())
+            .finish()
+    }
+}
+
+impl Counter {
+    /// A free-standing counter (normally obtained via
+    /// [`Registry::counter`](crate::Registry::counter), which
+    /// deduplicates by name).
+    pub fn new(name: &str) -> Counter {
+        Counter {
+            inner: Arc::new(CounterInner {
+                name: name.to_owned(),
+                value: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The counter's registered name.
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.inner.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.inner.value.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_incr() {
+        let c = Counter::new("t");
+        c.incr();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        assert_eq!(c.name(), "t");
+    }
+
+    #[test]
+    fn clones_share_the_value() {
+        let a = Counter::new("shared");
+        let b = a.clone();
+        a.add(2);
+        b.add(3);
+        assert_eq!(a.get(), 5);
+    }
+}

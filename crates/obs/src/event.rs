@@ -1,0 +1,171 @@
+//! The bounded, cycle-stamped event log.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One logged event: a simulation-cycle stamp, a producer kind, and a
+/// human-readable detail string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// The simulation cycle at which the event was recorded (0 when the
+    /// producer has no cycle notion, e.g. synthesis).
+    pub cycle: u64,
+    /// Producer namespace: `"deadlock"`, `"oscillation"`, `"fault"`, …
+    pub kind: &'static str,
+    /// Free-form detail.
+    pub detail: String,
+}
+
+struct LogInner {
+    capacity: usize,
+    buf: Mutex<VecDeque<Event>>,
+    recorded: AtomicU64,
+    dropped: AtomicU64,
+}
+
+/// A bounded ring buffer of [`Event`]s for forensics (deadlocks,
+/// oscillations, injected faults).
+///
+/// Overflow semantics: the log always keeps the `capacity` *most
+/// recent* events — when full, recording a new event evicts the oldest
+/// and bumps the drop counter. `recorded` and `dropped` totals are
+/// monotone counters and belong to the deterministic profile section;
+/// the entries themselves can interleave when multiple workers record
+/// concurrently, so they export under `timing`.
+///
+/// A zero-capacity log drops everything (but still counts), which is
+/// the cheap way to keep counting semantics with no storage.
+#[derive(Clone)]
+pub struct EventLog {
+    inner: Arc<LogInner>,
+}
+
+impl std::fmt::Debug for EventLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventLog")
+            .field("capacity", &self.inner.capacity)
+            .field("recorded", &self.recorded())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+impl EventLog {
+    /// A log keeping at most `capacity` entries.
+    pub fn new(capacity: usize) -> EventLog {
+        EventLog {
+            inner: Arc::new(LogInner {
+                capacity,
+                buf: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+                recorded: AtomicU64::new(0),
+                dropped: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Records an event, evicting the oldest entry (and counting the
+    /// drop) when the buffer is full.
+    pub fn record(&self, cycle: u64, kind: &'static str, detail: impl Into<String>) {
+        self.inner.recorded.fetch_add(1, Ordering::Relaxed);
+        if self.inner.capacity == 0 {
+            self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let mut buf = self.inner.buf.lock().unwrap_or_else(|e| e.into_inner());
+        if buf.len() >= self.inner.capacity {
+            buf.pop_front();
+            self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        buf.push_back(Event {
+            cycle,
+            kind,
+            detail: detail.into(),
+        });
+    }
+
+    /// Total events ever recorded (deterministic).
+    pub fn recorded(&self) -> u64 {
+        self.inner.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Events evicted or discarded because the buffer was full
+    /// (deterministic).
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Entries currently held, oldest first.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.inner
+            .buf
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of entries currently held.
+    pub fn len(&self) -> usize {
+        self.inner
+            .buf
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .len()
+    }
+
+    /// True when nothing is currently buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order_under_capacity() {
+        let log = EventLog::new(8);
+        log.record(1, "a", "first");
+        log.record(2, "b", "second");
+        let snap = log.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].cycle, 1);
+        assert_eq!(snap[1].detail, "second");
+        assert_eq!(log.recorded(), 2);
+        assert_eq!(log.dropped(), 0);
+    }
+
+    #[test]
+    fn overflow_keeps_newest_and_counts_drops() {
+        let log = EventLog::new(3);
+        for c in 0..10u64 {
+            log.record(c, "tick", format!("e{c}"));
+        }
+        assert_eq!(log.recorded(), 10);
+        assert_eq!(log.dropped(), 7);
+        let snap = log.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(
+            snap.iter().map(|e| e.cycle).collect::<Vec<_>>(),
+            vec![7, 8, 9],
+            "the newest entries survive"
+        );
+    }
+
+    #[test]
+    fn zero_capacity_counts_but_stores_nothing() {
+        let log = EventLog::new(0);
+        log.record(5, "x", "gone");
+        assert_eq!(log.recorded(), 1);
+        assert_eq!(log.dropped(), 1);
+        assert!(log.is_empty());
+    }
+}

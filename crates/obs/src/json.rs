@@ -1,0 +1,302 @@
+//! Hand-rolled profile JSON with a hard deterministic/timing split.
+//!
+//! The workspace builds fully offline with zero registry dependencies,
+//! so the serializer is written by hand and kept boring: two-space
+//! indentation, keys sorted by the registry snapshots (name order for
+//! counters, label order for spans), numbers in Rust's
+//! shortest-roundtrip formatting.
+//!
+//! The document shape is the contract the CI determinism job relies on:
+//!
+//! ```json
+//! {
+//!   "bin": "table1",
+//!   "deterministic": {
+//!     "counters": { "compiled.cycles": 1200, ... },
+//!     "spans": [ { "label": "...", "count": N, "children": [...] } ],
+//!     "events": { "recorded": N, "dropped": M }
+//!   },
+//!   "timing": {
+//!     "counters": { "pool.shards_stolen": 7, ... },
+//!     "spans": { "compiled/tape": { "total_secs": ..., ... }, ... },
+//!     "events": [ { "cycle": C, "kind": "...", "detail": "..." } ]
+//!   }
+//! }
+//! ```
+//!
+//! Everything under `deterministic` is a pure function of the workload
+//! — byte-identical for every `--threads N`. Everything under `timing`
+//! is a measurement of one run and is stripped (`jq '{bin,
+//! deterministic}'`) before any cross-run diff.
+
+use crate::{Registry, Span};
+
+/// Escapes a string for a JSON literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders an f64 as a JSON number (NaN/inf become null, which JSON
+/// has no number for).
+pub fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+fn indent(level: usize) -> String {
+    "  ".repeat(level)
+}
+
+/// `{ "name": value, ... }` over (name, rendered-value) pairs, at the
+/// given indentation level.
+fn object(pairs: &[(String, String)], level: usize) -> String {
+    if pairs.is_empty() {
+        return "{}".to_owned();
+    }
+    let pad = indent(level + 1);
+    let body: Vec<String> = pairs
+        .iter()
+        .map(|(k, v)| format!("{pad}\"{}\": {}", escape(k), v))
+        .collect();
+    format!("{{\n{}\n{}}}", body.join(",\n"), indent(level))
+}
+
+/// The deterministic span tree: label + hit count + children, no
+/// durations.
+fn span_structure(span: &Span, level: usize) -> String {
+    let pad = indent(level);
+    let inner = indent(level + 1);
+    let kids = span.children();
+    let children = if kids.is_empty() {
+        "[]".to_owned()
+    } else {
+        let body: Vec<String> = kids.iter().map(|c| span_structure(c, level + 1)).collect();
+        format!("[\n{}\n{inner}]", body.join(",\n"))
+    };
+    format!(
+        "{pad}{{\n{inner}\"label\": \"{}\",\n{inner}\"count\": {},\n{inner}\"children\": {children}\n{pad}}}",
+        escape(span.label()),
+        span.count()
+    )
+}
+
+/// Flattens a span's timing fields into `path → stats` pairs, where
+/// `path` is slash-joined labels from the root.
+fn span_timing(span: &Span, prefix: &str, out: &mut Vec<(String, String)>, level: usize) {
+    let path = if prefix.is_empty() {
+        span.label().to_owned()
+    } else {
+        format!("{prefix}/{}", span.label())
+    };
+    let pad = indent(level + 1);
+    let stats = format!(
+        "{{\n{pad}\"total_secs\": {},\n{pad}\"exclusive_secs\": {},\n{pad}\"mean_secs\": {},\n{pad}\"min_secs\": {},\n{pad}\"max_secs\": {}\n{}}}",
+        num(span.total_secs()),
+        num(span.exclusive_secs()),
+        num(span.mean_secs()),
+        num(span.min_secs()),
+        num(span.max_secs()),
+        indent(level)
+    );
+    out.push((path.clone(), stats));
+    for c in span.children() {
+        span_timing(&c, &path, out, level);
+    }
+}
+
+/// The deterministic section: counters, span structure + hit counts,
+/// event totals. Byte-identical for every thread count of the same
+/// workload.
+pub fn deterministic_json(reg: &Registry) -> String {
+    deterministic_at(reg, 1)
+}
+
+fn deterministic_at(reg: &Registry, level: usize) -> String {
+    let pad = indent(level);
+    let inner = indent(level + 1);
+    let counters: Vec<(String, String)> = reg
+        .counters()
+        .iter()
+        .map(|c| (c.name().to_owned(), c.get().to_string()))
+        .collect();
+    let roots = reg.roots();
+    let spans = if roots.is_empty() {
+        "[]".to_owned()
+    } else {
+        let body: Vec<String> = roots.iter().map(|s| span_structure(s, level + 2)).collect();
+        format!("[\n{}\n{inner}]", body.join(",\n"))
+    };
+    let events = format!(
+        "{{\n{}\"recorded\": {},\n{}\"dropped\": {}\n{inner}}}",
+        indent(level + 2),
+        reg.events().recorded(),
+        indent(level + 2),
+        reg.events().dropped()
+    );
+    format!(
+        "{{\n{inner}\"counters\": {},\n{inner}\"spans\": {spans},\n{inner}\"events\": {events}\n{pad}}}",
+        object(&counters, level + 1)
+    )
+}
+
+/// The timing section: advisory counters, flattened span durations and
+/// the buffered event entries. Advisory — different on every run.
+pub fn timing_json(reg: &Registry) -> String {
+    timing_at(reg, 1)
+}
+
+fn timing_at(reg: &Registry, level: usize) -> String {
+    let pad = indent(level);
+    let inner = indent(level + 1);
+    let advisory: Vec<(String, String)> = reg
+        .advisory_counters()
+        .iter()
+        .map(|c| (c.name().to_owned(), c.get().to_string()))
+        .collect();
+    let mut span_stats = Vec::new();
+    for root in reg.roots() {
+        span_timing(&root, "", &mut span_stats, level + 1);
+    }
+    let entries = reg.events().snapshot();
+    let events = if entries.is_empty() {
+        "[]".to_owned()
+    } else {
+        let pad2 = indent(level + 2);
+        let body: Vec<String> = entries
+            .iter()
+            .map(|e| {
+                format!(
+                    "{pad2}{{ \"cycle\": {}, \"kind\": \"{}\", \"detail\": \"{}\" }}",
+                    e.cycle,
+                    escape(e.kind),
+                    escape(&e.detail)
+                )
+            })
+            .collect();
+        format!("[\n{}\n{inner}]", body.join(",\n"))
+    };
+    format!(
+        "{{\n{inner}\"counters\": {},\n{inner}\"spans\": {},\n{inner}\"events\": {events}\n{pad}}}",
+        object(&advisory, level + 1),
+        object(&span_stats, level + 1)
+    )
+}
+
+/// The full profile document for `bin`: the deterministic and timing
+/// sections cleanly separated so consumers can strip `timing` before
+/// byte-diffing across thread counts.
+pub fn profile_json(reg: &Registry, bin: &str) -> String {
+    format!(
+        "{{\n  \"bin\": \"{}\",\n  \"deterministic\": {},\n  \"timing\": {}\n}}\n",
+        escape(bin),
+        deterministic_at(reg, 1),
+        timing_at(reg, 1)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Registry {
+        let reg = Registry::with_event_capacity(4);
+        reg.counter("b.second").add(2);
+        reg.counter("a.first").incr();
+        reg.advisory_counter("pool.shards_stolen").add(7);
+        let root = reg.span("interp");
+        root.record_secs(1.0);
+        root.child("evaluate").record_secs(0.5);
+        root.child("commit").record_secs(0.25);
+        reg.events().record(3, "fault", "stuck@0 n7");
+        reg
+    }
+
+    #[test]
+    fn profile_has_both_sections_and_bin() {
+        let j = profile_json(&sample(), "table1");
+        assert!(j.contains("\"bin\": \"table1\""));
+        assert!(j.contains("\"deterministic\""));
+        assert!(j.contains("\"timing\""));
+    }
+
+    #[test]
+    fn deterministic_section_has_no_timing_fields() {
+        let j = deterministic_json(&sample());
+        assert!(j.contains("\"a.first\": 1"));
+        assert!(j.contains("\"b.second\": 2"));
+        assert!(j.contains("\"recorded\": 1"));
+        assert!(!j.contains("secs"), "no duration leaks: {j}");
+        assert!(
+            !j.contains("shards_stolen"),
+            "advisory counters stay out of the deterministic section"
+        );
+    }
+
+    #[test]
+    fn timing_section_flattens_span_paths() {
+        let j = timing_json(&sample());
+        assert!(j.contains("\"interp/evaluate\""));
+        assert!(j.contains("\"interp/commit\""));
+        assert!(j.contains("\"total_secs\""));
+        assert!(j.contains("\"exclusive_secs\""));
+        assert!(j.contains("\"pool.shards_stolen\": 7"));
+        assert!(j.contains("\"stuck@0 n7\""));
+    }
+
+    #[test]
+    fn span_structure_nests_children_with_counts() {
+        let j = deterministic_json(&sample());
+        let evaluate = j.find("\"evaluate\"").expect("child label present");
+        let interp = j.find("\"interp\"").expect("root label present");
+        assert!(interp < evaluate, "root precedes child");
+        assert!(j.contains("\"count\": 1"));
+    }
+
+    #[test]
+    fn escaping_and_non_finite_numbers() {
+        assert_eq!(escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+        assert_eq!(num(f64::NAN), "null");
+        assert_eq!(num(1.5), "1.5");
+    }
+
+    #[test]
+    fn parses_as_json() {
+        // Cheap structural sanity: balanced braces/brackets outside
+        // strings (the workspace has no JSON parser to round-trip with).
+        let j = profile_json(&sample(), "t");
+        let mut depth = 0i64;
+        let mut in_str = false;
+        let mut esc = false;
+        for c in j.chars() {
+            if esc {
+                esc = false;
+                continue;
+            }
+            match c {
+                '\\' if in_str => esc = true,
+                '"' => in_str = !in_str,
+                '{' | '[' if !in_str => depth += 1,
+                '}' | ']' if !in_str => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0);
+        }
+        assert_eq!(depth, 0);
+        assert!(!in_str);
+    }
+}

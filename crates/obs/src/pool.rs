@@ -1,0 +1,108 @@
+//! Worker-pool throughput bookkeeping and a small stopwatch.
+//!
+//! Extracted from `ocapi::sim::par` (which re-exports [`PoolStats`] for
+//! compatibility) so the bench harnesses and the sharding engine share
+//! one definition instead of each re-rolling `Instant` arithmetic.
+
+use std::time::Instant;
+
+/// Throughput observability for one sharded map: what each worker did
+/// and how busy it was, for the machine-readable benchmark reports.
+///
+/// Everything in here is a *measurement of one run* — worker tallies,
+/// busy fractions and steal counts all depend on the scheduler — so it
+/// belongs to the advisory/timing side of a profile, never to the
+/// deterministic section.
+#[derive(Debug, Clone, Default)]
+pub struct PoolStats {
+    /// Workers spawned (1 = sequential fast path).
+    pub threads: usize,
+    /// Total work items processed.
+    pub items: usize,
+    /// Items completed by each worker.
+    pub per_worker_items: Vec<usize>,
+    /// Seconds each worker spent inside the work closure.
+    pub per_worker_busy: Vec<f64>,
+    /// Wall-clock seconds for the whole map.
+    pub wall_secs: f64,
+    /// Items a worker claimed away from the worker that a static block
+    /// partition would have given them to. Zero on the sequential path;
+    /// a high count means dynamic load balancing is doing real work.
+    pub steals: u64,
+}
+
+impl PoolStats {
+    /// Items per wall-clock second (0 for an empty or instant map).
+    pub fn items_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.items as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean worker utilization in `[0, 1]`: busy time over wall time,
+    /// averaged across workers.
+    pub fn utilization(&self) -> f64 {
+        if self.per_worker_busy.is_empty() || self.wall_secs <= 0.0 {
+            return 0.0;
+        }
+        let busy: f64 = self.per_worker_busy.iter().sum();
+        (busy / (self.wall_secs * self.per_worker_busy.len() as f64)).min(1.0)
+    }
+}
+
+/// A started wall-clock timer; the minimal replacement for the ad-hoc
+/// `Instant::now()` pairs that used to be scattered over the bench
+/// crates.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Stopwatch {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Seconds since [`Stopwatch::start`].
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_and_utilization() {
+        let s = PoolStats {
+            threads: 2,
+            items: 10,
+            per_worker_items: vec![6, 4],
+            per_worker_busy: vec![1.0, 1.0],
+            wall_secs: 2.0,
+            steals: 1,
+        };
+        assert!((s.items_per_sec() - 5.0).abs() < 1e-9);
+        assert!((s.utilization() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_stats_are_zero_not_nan() {
+        let s = PoolStats::default();
+        assert_eq!(s.items_per_sec(), 0.0);
+        assert_eq!(s.utilization(), 0.0);
+    }
+
+    #[test]
+    fn stopwatch_moves_forward() {
+        let w = Stopwatch::start();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        assert!(w.elapsed_secs() > 0.0);
+    }
+}

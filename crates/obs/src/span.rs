@@ -1,0 +1,226 @@
+//! Hierarchical wall-clock spans: the hot-spot profiler.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+struct SpanInner {
+    label: String,
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    min_ns: AtomicU64,
+    max_ns: AtomicU64,
+    children: Mutex<Vec<Span>>,
+}
+
+/// One node of the profiler's call tree.
+///
+/// A span aggregates every visit to one labelled region: a hit count
+/// plus inclusive total/min/max wall time. The *structure* of the tree
+/// (which labels exist, who is whose child) and the hit counts are
+/// deterministic properties of the workload; the nanosecond fields are
+/// measurements and land in the profile's `timing` section only.
+/// Exclusive time (inclusive minus the children's inclusive totals) is
+/// derived at export, so recording stays one clock read per visit.
+///
+/// Handles are `Arc`-backed: cloning is cheap and every clone feeds the
+/// same node, which is what makes repeated instrument-attach calls
+/// (e.g. one per measured simulator) aggregate instead of fork.
+#[derive(Clone)]
+pub struct Span {
+    inner: Arc<SpanInner>,
+}
+
+impl std::fmt::Debug for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Span")
+            .field("label", &self.label())
+            .field("count", &self.count())
+            .finish()
+    }
+}
+
+impl Span {
+    pub(crate) fn new(label: &str) -> Span {
+        Span {
+            inner: Arc::new(SpanInner {
+                label: label.to_owned(),
+                count: AtomicU64::new(0),
+                total_ns: AtomicU64::new(0),
+                min_ns: AtomicU64::new(u64::MAX),
+                max_ns: AtomicU64::new(0),
+                children: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// The span's label.
+    pub fn label(&self) -> &str {
+        &self.inner.label
+    }
+
+    /// The child span labelled `label`, created on first use.
+    pub fn child(&self, label: &str) -> Span {
+        let mut children = self
+            .inner
+            .children
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        if let Some(c) = children.iter().find(|c| c.label() == label) {
+            return c.clone();
+        }
+        let c = Span::new(label);
+        children.push(c.clone());
+        c
+    }
+
+    /// Snapshot of the children, sorted by label (export order).
+    pub fn children(&self) -> Vec<Span> {
+        let mut v = self
+            .inner
+            .children
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        v.sort_by(|a, b| a.label().cmp(b.label()));
+        v
+    }
+
+    /// Starts a timer that records one visit (count + duration) into
+    /// this span when dropped.
+    #[must_use = "the visit is recorded when the returned timer drops"]
+    pub fn timer(&self) -> ScopedTimer {
+        ScopedTimer {
+            span: self.clone(),
+            start: Instant::now(),
+        }
+    }
+
+    /// Records one visit of `secs` seconds directly (for callers that
+    /// already measured, e.g. the worker pool).
+    pub fn record_secs(&self, secs: f64) {
+        let ns = if secs.is_finite() && secs > 0.0 {
+            (secs * 1e9) as u64
+        } else {
+            0
+        };
+        self.record_ns(ns);
+    }
+
+    fn record_ns(&self, ns: u64) {
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
+        self.inner.total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.inner.min_ns.fetch_min(ns, Ordering::Relaxed);
+        self.inner.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Number of recorded visits (deterministic).
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Inclusive wall time over all visits, in seconds (advisory).
+    pub fn total_secs(&self) -> f64 {
+        self.inner.total_ns.load(Ordering::Relaxed) as f64 / 1e9
+    }
+
+    /// Exclusive wall time: inclusive total minus the children's
+    /// inclusive totals, clamped at zero (advisory).
+    pub fn exclusive_secs(&self) -> f64 {
+        let kids: f64 = self.children().iter().map(Span::total_secs).sum();
+        (self.total_secs() - kids).max(0.0)
+    }
+
+    /// Shortest single visit in seconds (0 when never visited).
+    pub fn min_secs(&self) -> f64 {
+        let v = self.inner.min_ns.load(Ordering::Relaxed);
+        if v == u64::MAX {
+            0.0
+        } else {
+            v as f64 / 1e9
+        }
+    }
+
+    /// Longest single visit in seconds (0 when never visited).
+    pub fn max_secs(&self) -> f64 {
+        self.inner.max_ns.load(Ordering::Relaxed) as f64 / 1e9
+    }
+
+    /// Mean visit duration in seconds (0 when never visited).
+    pub fn mean_secs(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.total_secs() / n as f64
+        }
+    }
+}
+
+/// RAII guard from [`Span::timer`]: records one visit on drop.
+#[must_use = "the visit is recorded when this guard drops"]
+pub struct ScopedTimer {
+    span: Span,
+    start: Instant,
+}
+
+impl Drop for ScopedTimer {
+    fn drop(&mut self) {
+        self.span.record_ns(self.start.elapsed().as_nanos() as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_records_on_drop() {
+        let s = Span::new("t");
+        assert_eq!(s.count(), 0);
+        {
+            let _g = s.timer();
+        }
+        {
+            let _g = s.timer();
+        }
+        assert_eq!(s.count(), 2);
+        assert!(s.min_secs() <= s.max_secs());
+        assert!(s.total_secs() >= s.max_secs());
+    }
+
+    #[test]
+    fn children_aggregate_and_sort() {
+        let s = Span::new("root");
+        s.child("b").record_secs(0.25);
+        s.child("a").record_secs(0.5);
+        s.child("b").record_secs(0.25);
+        let kids = s.children();
+        assert_eq!(kids.len(), 2);
+        assert_eq!(kids[0].label(), "a");
+        assert_eq!(kids[1].label(), "b");
+        assert_eq!(kids[1].count(), 2);
+        assert!((kids[1].total_secs() - 0.5).abs() < 1e-9);
+        assert!((kids[1].mean_secs() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exclusive_subtracts_children() {
+        let s = Span::new("root");
+        s.record_secs(1.0);
+        s.child("k").record_secs(0.75);
+        assert!((s.exclusive_secs() - 0.25).abs() < 1e-9);
+        // Over-subtraction (measurement noise) clamps at zero.
+        s.child("k").record_secs(2.0);
+        assert_eq!(s.exclusive_secs(), 0.0);
+    }
+
+    #[test]
+    fn unvisited_span_reports_zeros() {
+        let s = Span::new("idle");
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.min_secs(), 0.0);
+        assert_eq!(s.max_secs(), 0.0);
+        assert_eq!(s.mean_secs(), 0.0);
+    }
+}

@@ -637,7 +637,7 @@ impl Simulator for RtlSystemSim {
                 .map(|(_, _, s)| self.sim.value(*s))
                 .chain(self.latched.iter().copied())
                 .collect();
-            trace.record_cycle(&row);
+            trace.record_cycle(&row)?;
         }
         Ok(())
     }

@@ -153,3 +153,32 @@ pub fn synthesize_with_held(
     }
     Ok(netlist)
 }
+
+/// [`synthesize_with_held`] with per-pass observability.
+///
+/// Records a `synth` span with `datapath` and `optimize` children in the
+/// registry, plus `synth.components` / `synth.gates` counters (the gate
+/// count is taken after optimisation, so it matches the final netlist).
+///
+/// # Errors
+///
+/// Returns [`SynthError::FloatNotSynthesizable`] for float signals.
+pub fn synthesize_observed(
+    comp: &Component,
+    options: &SynthOptions,
+    held_ports: &[usize],
+    reg: &ocapi_obs::Registry,
+) -> Result<gate::ComponentNetlist, SynthError> {
+    let root = reg.span("synth");
+    let t_dp = root.child("datapath").timer();
+    let mut netlist = datapath::synthesize_component(comp, options, held_ports)?;
+    drop(t_dp);
+    if options.optimize {
+        let _t_opt = root.child("optimize").timer();
+        opt::optimize(&mut netlist.netlist);
+    }
+    reg.counter("synth.components").incr();
+    reg.counter("synth.gates")
+        .add(netlist.netlist.gates.len() as u64);
+    Ok(netlist)
+}
