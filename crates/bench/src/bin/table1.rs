@@ -19,7 +19,8 @@
 
 use ocapi::sim::par::map_indexed;
 use ocapi::{
-    CompiledSim, Component, CoreError, InterpSim, ParConfig, SimObs, Simulator, System, Value,
+    CompiledSim, Component, CoreError, InterpSim, OptLevel, ParConfig, SimObs, Simulator, System,
+    Value,
 };
 use ocapi_bench::{mb, parse_args, timed, write_profile, BenchArgs, CountingAlloc, Reporter};
 use ocapi_designs::dect::burst::{generate, BurstConfig};
@@ -108,7 +109,28 @@ fn print_design(name: &str, gates: f64, rows: &[Row]) {
     }
 }
 
-fn hcor_table(args: &BenchArgs, rep: &mut Reporter, obs: &Registry) {
+/// Builds the compiled simulator at `OptLevel::None` and `Full` and
+/// records the per-cycle tape lengths under `{design}_tape_len_opt0` /
+/// `_opt2` (perf section: build-time metrics, not workload results).
+/// Returns (opt0, opt2) so `main` can aggregate the workload totals.
+fn tape_len_metrics(design: &str, rep: &mut Reporter, mk: impl Fn() -> System) -> (usize, usize) {
+    let len0 = CompiledSim::new_with(mk(), OptLevel::None)
+        .expect("sim")
+        .tape_len();
+    let full = CompiledSim::new_with(mk(), OptLevel::Full).expect("sim");
+    let len2 = full.tape_len();
+    rep.perf_u64(&format!("{design}_tape_len_opt0"), len0 as u64);
+    rep.perf_u64(&format!("{design}_tape_len_opt2"), len2 as u64);
+    let st = full.opt_stats();
+    println!(
+        "  compiled tape: {len0} micro-ops unoptimised, {len2} at --opt 2 \
+         ({} folded, {} CSE, {} dead, {} slots freed)",
+        st.folded, st.cse_hits, st.dce_removed, st.slots_saved
+    );
+    (len0, len2)
+}
+
+fn hcor_table(args: &BenchArgs, rep: &mut Reporter, obs: &Registry) -> (usize, usize) {
     let bits = hcor::test_pattern(if args.quick { 256 } else { 3000 }, 99);
     let drive_bits = bits.clone();
     let drive = move |sim: &mut dyn Simulator| -> u64 {
@@ -140,7 +162,9 @@ fn hcor_table(args: &BenchArgs, rep: &mut Reporter, obs: &Registry) {
     );
     let (comp_speed, comp_mem) = measure(
         || {
-            let mut s = CompiledSim::new(hcor::build_system().expect("build")).expect("sim");
+            let mut s =
+                CompiledSim::new_with(hcor::build_system().expect("build"), args.opt_level())
+                    .expect("sim");
             s.attach_obs(SimObs::compiled(obs));
             s
         },
@@ -197,9 +221,10 @@ fn hcor_table(args: &BenchArgs, rep: &mut Reporter, obs: &Registry) {
     rep.perf_f64("hcor_compiled_cycles_per_sec", comp_speed);
     rep.perf_f64("hcor_rtl_cycles_per_sec", rtl_speed);
     rep.perf_f64("hcor_gate_cycles_per_sec", gate_speed);
+    tape_len_metrics("hcor", rep, || hcor::build_system().expect("build"))
 }
 
-fn dect_table(args: &BenchArgs, rep: &mut Reporter, obs: &Registry) {
+fn dect_table(args: &BenchArgs, rep: &mut Reporter, obs: &Registry) -> (usize, usize) {
     let cfg = TransceiverConfig::default();
     let make_burst = |n: usize| {
         generate(&BurstConfig {
@@ -245,8 +270,11 @@ fn dect_table(args: &BenchArgs, rep: &mut Reporter, obs: &Registry) {
     );
     let (comp_speed, comp_mem) = measure(
         || {
-            let mut s =
-                CompiledSim::new(transceiver::build_system(&cfg).expect("build")).expect("sim");
+            let mut s = CompiledSim::new_with(
+                transceiver::build_system(&cfg).expect("build"),
+                args.opt_level(),
+            )
+            .expect("sim");
             s.attach_obs(SimObs::compiled(obs));
             s
         },
@@ -303,6 +331,9 @@ fn dect_table(args: &BenchArgs, rep: &mut Reporter, obs: &Registry) {
     rep.perf_f64("dect_compiled_cycles_per_sec", comp_speed);
     rep.perf_f64("dect_rtl_cycles_per_sec", rtl_speed);
     rep.perf_f64("dect_gate_cycles_per_sec", gate_speed);
+    tape_len_metrics("dect", rep, || {
+        transceiver::build_system(&cfg).expect("build")
+    })
 }
 
 fn main() {
@@ -311,8 +342,11 @@ fn main() {
     let obs = Registry::new();
     println!("Table 1 reproduction: performances of interpreted and compiled approaches");
     println!("(speed measured on this machine; see EXPERIMENTS.md for the comparison)");
-    hcor_table(&args, &mut rep, &obs);
-    dect_table(&args, &mut rep, &obs);
+    println!("compiled tape optimization: --opt {}", args.opt);
+    let (h0, h2) = hcor_table(&args, &mut rep, &obs);
+    let (d0, d2) = dect_table(&args, &mut rep, &obs);
+    rep.perf_u64("tape_len_opt0", (h0 + d0) as u64);
+    rep.perf_u64("tape_len_opt2", (h2 + d2) as u64);
     println!("\ncode-size ratio (generated RT-VHDL lines / DSL lines):");
     let hs = hcor::build_system().expect("build");
     let (hv, _) = hdl_lines(&hs);

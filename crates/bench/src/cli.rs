@@ -13,6 +13,10 @@
 //!   `ocapi::sim::par`.
 //! * `--quick` / `-q` — a CI-sized workload (same code paths, smaller
 //!   vector sets) for the `bench-smoke` and `determinism` jobs.
+//! * `--opt N` (or `--opt=N`, N in 0..=2) — tape-optimization level for
+//!   the compiled simulator (`ocapi::OptLevel`); default 2 (Full).
+//!   Deterministic results are identical at every level — only the perf
+//!   section (tape length, wall time) may differ.
 //! * `--json PATH` — write the *deterministic* results (counts,
 //!   signatures, BER points — never timings or the thread count) as
 //!   JSON. Byte-identical across thread counts; the CI determinism job
@@ -25,7 +29,7 @@
 //!   `deterministic` section is byte-identical across thread counts;
 //!   the `timing` section is advisory wall-clock data.
 
-use ocapi::ParConfig;
+use ocapi::{OptLevel, ParConfig};
 
 /// Parsed benchmark options, shared by all five bins.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,6 +40,8 @@ pub struct BenchArgs {
     pub threads: usize,
     /// CI-sized workload.
     pub quick: bool,
+    /// Compiled-simulator tape-optimization level (0, 1 or 2).
+    pub opt: u8,
     /// Destination for the deterministic results JSON.
     pub json: Option<String>,
     /// Destination for the performance-metrics JSON.
@@ -51,6 +57,7 @@ impl BenchArgs {
             bin: bin.to_owned(),
             threads: 1,
             quick: false,
+            opt: 2,
             json: None,
             perf_json: None,
             profile_json: None,
@@ -61,16 +68,29 @@ impl BenchArgs {
     pub fn pool(&self) -> ParConfig {
         ParConfig::new(self.threads)
     }
+
+    /// The compiled-simulator optimization level `--opt` selects.
+    pub fn opt_level(&self) -> OptLevel {
+        match self.opt {
+            0 => OptLevel::None,
+            1 => OptLevel::Basic,
+            _ => OptLevel::Full,
+        }
+    }
 }
 
 /// The usage text for `bin`.
 pub fn usage(bin: &str) -> String {
     format!(
-        "usage: {bin} [--threads N] [--quick] [--json PATH] [--perf-json PATH] [--profile-json PATH]\n\
+        "usage: {bin} [--threads N] [--quick] [--opt N] [--json PATH] [--perf-json PATH] [--profile-json PATH]\n\
          \n\
          \x20 -t, --threads N    worker threads for the sharded engines (default 1;\n\
          \x20                    results are bit-identical for every N)\n\
          \x20 -q, --quick        CI-sized workload (same code paths, smaller sets)\n\
+         \x20     --opt N        compiled-simulator tape optimization: 0 = none,\n\
+         \x20                    1 = fold/simplify, 2 = full (CSE + DCE + slot\n\
+         \x20                    compaction; default 2). Results are identical at\n\
+         \x20                    every level\n\
          \x20     --json PATH    write deterministic results as JSON (no timings)\n\
          \x20     --perf-json PATH\n\
          \x20                    write throughput metrics as JSON (BENCH_PR data)\n\
@@ -106,6 +126,13 @@ pub fn parse_arg_list(bin: &str, args: &[String]) -> Result<BenchArgs, String> {
                 out.threads = n;
             }
             "--quick" | "-q" => out.quick = true,
+            "--opt" => {
+                let v = it.next().ok_or_else(|| format!("{arg} requires a value"))?;
+                out.opt = parse_opt_level(arg, v)?;
+            }
+            _ if arg.starts_with("--opt=") => {
+                out.opt = parse_opt_level("--opt", &arg["--opt=".len()..])?;
+            }
             "--json" => {
                 let v = it.next().ok_or_else(|| format!("{arg} requires a path"))?;
                 out.json = Some(v.clone());
@@ -123,6 +150,14 @@ pub fn parse_arg_list(bin: &str, args: &[String]) -> Result<BenchArgs, String> {
         }
     }
     Ok(out)
+}
+
+/// Parses and range-checks an `--opt` level (0, 1 or 2).
+fn parse_opt_level(flag: &str, v: &str) -> Result<u8, String> {
+    match v.parse::<u8>() {
+        Ok(n @ 0..=2) => Ok(n),
+        _ => Err(format!("{flag} expects 0, 1 or 2, got `{v}`")),
+    }
 }
 
 /// Parses `std::env::args()`. On `--help` prints usage and exits 0; on

@@ -2,7 +2,7 @@
 //! thread-count invariance of the sharded BER measurement (the property
 //! the CI determinism job checks end-to-end on the built binaries).
 
-use ocapi::ParConfig;
+use ocapi::{OptLevel, ParConfig};
 use ocapi_bench::ber::measure;
 use ocapi_bench::{parse_arg_list, BenchArgs};
 
@@ -19,6 +19,8 @@ fn defaults_are_one_thread_full_workload() {
     assert_eq!(a.json, None);
     assert_eq!(a.perf_json, None);
     assert_eq!(a.profile_json, None);
+    assert_eq!(a.opt, 2, "full tape optimization by default");
+    assert_eq!(a.opt_level(), OptLevel::Full);
 }
 
 #[test]
@@ -60,6 +62,38 @@ fn unknown_flags_and_bad_values_are_errors() {
         parse_arg_list("bin", &argv(&["--help"])).unwrap_err(),
         String::new()
     );
+}
+
+#[test]
+fn opt_flag_parses_both_spellings() {
+    for (spelling, want, level) in [
+        (argv(&["--opt", "0"]), 0u8, OptLevel::None),
+        (argv(&["--opt=0"]), 0, OptLevel::None),
+        (argv(&["--opt", "1"]), 1, OptLevel::Basic),
+        (argv(&["--opt=1"]), 1, OptLevel::Basic),
+        (argv(&["--opt", "2"]), 2, OptLevel::Full),
+        (argv(&["--opt=2"]), 2, OptLevel::Full),
+    ] {
+        let a = parse_arg_list("bin", &spelling).expect("parse");
+        assert_eq!(a.opt, want, "{spelling:?}");
+        assert_eq!(a.opt_level(), level, "{spelling:?}");
+    }
+}
+
+#[test]
+fn malformed_opt_values_are_errors() {
+    // parse_args turns these messages into exit code 2, same as any
+    // unknown flag; only 0, 1 and 2 are valid levels.
+    for bad in ["3", "-1", "two", "", "0x1", "2.0"] {
+        let msg = parse_arg_list("bin", &argv(&["--opt", bad]))
+            .expect_err(&format!("--opt {bad} must be rejected"));
+        assert!(msg.contains("--opt"), "message names the flag: {msg}");
+        assert!(!msg.is_empty(), "not the --help sentinel");
+        let msg = parse_arg_list("bin", &argv(&[&format!("--opt={bad}")]))
+            .expect_err(&format!("--opt={bad} must be rejected"));
+        assert!(msg.contains("--opt"), "message names the flag: {msg}");
+    }
+    assert!(parse_arg_list("bin", &argv(&["--opt"])).is_err());
 }
 
 #[test]

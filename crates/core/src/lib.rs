@@ -87,7 +87,7 @@ pub use sim::fault::{
 };
 pub use sim::obs::SimObs;
 pub use sim::par::{ParConfig, ParError, PoolStats, Stopwatch};
-pub use sim::{CompiledSim, InterpSim, Simulator};
+pub use sim::{CompiledSim, InterpSim, OptLevel, OptStats, Simulator};
 pub use system::{
     InstanceId, Net, NetSink, NetSource, PrimaryInput, PrimaryOutput, System, SystemBuilder,
     TimedInstance, UntimedInstance,

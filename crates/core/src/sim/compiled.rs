@@ -32,6 +32,7 @@ use ocapi_fixp::{Fix, Format, Overflow, Rounding};
 
 use crate::comp::{Component, NodeId, NodeKind};
 use crate::sim::obs::SimObs;
+use crate::sim::opt::{self, OptEnv, OptLevel, OptStats};
 use crate::sim::Simulator;
 use crate::system::{NetSource, System};
 use crate::trace::Trace;
@@ -39,12 +40,12 @@ use crate::value::{BinOp, SigType, UnOp, Value};
 use crate::CoreError;
 
 /// Per untimed block: (input slot, type) and (output slot, type) lists.
-type UntimedIo = (Vec<(u32, SigType)>, Vec<(u32, SigType)>);
+pub(crate) type UntimedIo = (Vec<(u32, SigType)>, Vec<(u32, SigType)>);
 
-/// Generic (pre-monomorphisation) instruction, used during construction
-/// and topological sorting.
+/// Generic (pre-monomorphisation) instruction, used during construction,
+/// topological sorting and optimization (`sim::opt`).
 #[derive(Debug, Clone)]
-enum Instr {
+pub(crate) enum Instr {
     Copy {
         dst: u32,
         src: u32,
@@ -311,17 +312,17 @@ enum Micro {
 }
 
 #[derive(Debug, Clone)]
-struct CompiledTransition {
-    guard_slot: Option<u32>,
-    sfgs: Vec<u32>,
-    to: u32,
+pub(crate) struct CompiledTransition {
+    pub(crate) guard_slot: Option<u32>,
+    pub(crate) sfgs: Vec<u32>,
+    pub(crate) to: u32,
 }
 
 #[derive(Debug, Clone)]
-struct RegWriteSel {
-    inst: u32,
-    reg: u32,
-    cands: Vec<(u32, u32)>,
+pub(crate) struct RegWriteSel {
+    pub(crate) inst: u32,
+    pub(crate) reg: u32,
+    pub(crate) cands: Vec<(u32, u32)>,
 }
 
 /// The compiled (levelized, monomorphised single-pass) simulator.
@@ -348,6 +349,7 @@ pub struct CompiledSim {
     cycle: u64,
     trace: Option<Trace>,
     obs: Option<SimObs>,
+    opt_stats: OptStats,
 }
 
 impl std::fmt::Debug for CompiledSim {
@@ -360,7 +362,7 @@ impl std::fmt::Debug for CompiledSim {
     }
 }
 
-fn encode(v: &Value) -> u64 {
+pub(crate) fn encode(v: &Value) -> u64 {
     match v {
         Value::Bool(b) => *b as u64,
         Value::Bits { bits, .. } => *bits,
@@ -369,7 +371,7 @@ fn encode(v: &Value) -> u64 {
     }
 }
 
-fn decode(bits: u64, ty: SigType) -> Value {
+pub(crate) fn decode(bits: u64, ty: SigType) -> Value {
     match ty {
         SigType::Bool => Value::Bool(bits != 0),
         SigType::Bits(w) => Value::bits(w, bits),
@@ -378,7 +380,7 @@ fn decode(bits: u64, ty: SigType) -> Value {
     }
 }
 
-fn mask_of(w: u32) -> u64 {
+pub(crate) fn mask_of(w: u32) -> u64 {
     if w >= 64 {
         u64::MAX
     } else {
@@ -420,6 +422,20 @@ impl CompiledSim {
     /// cross-component dependence graph is cyclic (possible combinational
     /// loop), in which case the interpreted simulator should be used.
     pub fn new(sys: System) -> Result<CompiledSim, CoreError> {
+        CompiledSim::new_with(sys, OptLevel::default())
+    }
+
+    /// Like [`CompiledSim::new`] but with an explicit optimization level
+    /// for the evaluation tape (see [`OptLevel`]). All levels are
+    /// cycle-identical to the interpreted simulator; `Full` (the
+    /// default) additionally folds constants, shares common
+    /// subexpressions, removes dead code and compacts the state vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NotCompilable`] when the conservative
+    /// cross-component dependence graph is cyclic.
+    pub fn new_with(sys: System, level: OptLevel) -> Result<CompiledSim, CoreError> {
         let mut b = Builder {
             slots: Vec::new(),
             slot_ty: Vec::new(),
@@ -555,7 +571,7 @@ impl CompiledSim {
         }
 
         // 5. Topological sort of the instruction list.
-        let sorted = topo_sort(&b, &sys, &untimed_io)?;
+        let mut sorted = topo_sort(&b, &sys, &untimed_io)?;
 
         // 6. Guard pre-tape: duplicate guard cones reading held net values.
         let mut pre_instrs: Vec<Instr> = Vec::new();
@@ -580,11 +596,8 @@ impl CompiledSim {
             fsm_tables.push(table);
         }
 
-        // 7. Monomorphise both tapes.
-        let tape: Vec<Micro> = sorted.iter().map(|i| lower(i, &b.slot_ty)).collect();
-        let pre_tape: Vec<Micro> = pre_instrs.iter().map(|i| lower(i, &b.slot_ty)).collect();
-
-        // 8. Register write selectors.
+        // 7. Register write selectors (before the optimizer so slot
+        //    renames apply to them and they can root the liveness walk).
         let mut reg_writes = Vec::new();
         for (i, t) in sys.timed.iter().enumerate() {
             let comp = &t.comp;
@@ -610,6 +623,25 @@ impl CompiledSim {
                 }
             }
         }
+
+        // 8. Optimize both tapes over the generic instruction form.
+        let opt_stats = opt::optimize(
+            level,
+            &mut sorted,
+            &mut pre_instrs,
+            &mut OptEnv {
+                slots: &mut b.slots,
+                slot_ty: &mut b.slot_ty,
+                net_slot: &mut b.net_slot,
+                reg_writes: &mut reg_writes,
+                untimed_io: &mut untimed_io,
+                fsm_tables: &mut fsm_tables,
+            },
+        );
+
+        // 9. Monomorphise both tapes.
+        let tape: Vec<Micro> = sorted.iter().map(|i| lower(i, &b.slot_ty)).collect();
+        let pre_tape: Vec<Micro> = pre_instrs.iter().map(|i| lower(i, &b.slot_ty)).collect();
 
         let states = sys
             .timed
@@ -646,6 +678,7 @@ impl CompiledSim {
             cycle: 0,
             trace: None,
             obs: None,
+            opt_stats,
             sys,
         })
     }
@@ -658,14 +691,27 @@ impl CompiledSim {
     /// Attaches an observability bundle (counters + phase spans, see
     /// [`SimObs::compiled`]): every subsequent [`Simulator::step`]
     /// reports cycle, SFG-activation and register-update counts and
-    /// per-phase wall time. Detached simulators pay nothing.
+    /// per-phase wall time. Detached simulators pay nothing. The
+    /// build-time optimizer statistics ([`CompiledSim::opt_stats`]) are
+    /// flushed into the bundle's `compiled.opt.*` counters at attach
+    /// time; they are pure functions of the system and therefore live in
+    /// the deterministic namespace.
     pub fn attach_obs(&mut self, obs: SimObs) {
+        if let Some(oc) = &obs.opt {
+            oc.record(&self.opt_stats);
+        }
         self.obs = Some(obs);
     }
 
     /// Number of instructions executed per cycle (tape + guard pre-tape).
     pub fn tape_len(&self) -> usize {
         self.tape.len() + self.pre_tape.len()
+    }
+
+    /// What the tape optimizer did at build time (all-zero apart from
+    /// the `instrs_*`/`slots_*` totals when built at [`OptLevel::None`]).
+    pub fn opt_stats(&self) -> OptStats {
+        self.opt_stats
     }
 
     /// The current FSM state name of a timed instance.
@@ -1271,41 +1317,44 @@ impl Simulator for CompiledSim {
         self.exec(true);
         drop(t_pre);
 
-        // Transition selection.
+        // Transition selection. Disjoint field borrows let the chosen
+        // transition's sfg list be read in place — no per-cycle clone.
         let t_select = self.obs.as_ref().map(|o| o.sp_select.timer());
         let mut firings = 0u64;
-        for i in 0..self.sys.timed.len() {
-            if self.fsm_tables[i].is_empty() {
-                firings += self.active[i].len() as u64;
-                for a in &mut self.active[i] {
+        let fsm_tables = &self.fsm_tables;
+        let slots = &self.slots;
+        let states = &mut self.states;
+        let active = &mut self.active;
+        for (i, tables) in fsm_tables.iter().enumerate() {
+            if tables.is_empty() {
+                firings += active[i].len() as u64;
+                for a in &mut active[i] {
                     *a = true;
                 }
                 continue;
             }
-            for a in &mut self.active[i] {
+            for a in &mut active[i] {
                 *a = false;
             }
-            let state = self.states[i] as usize;
-            let mut chosen: Option<(u32, usize)> = None;
-            for (ti, tr) in self.fsm_tables[i][state].iter().enumerate() {
+            let state = states[i] as usize;
+            let mut chosen: Option<&CompiledTransition> = None;
+            for tr in &tables[state] {
                 let take = match tr.guard_slot {
                     None => true,
-                    Some(g) => self.slots[g as usize] != 0,
+                    Some(g) => slots[g as usize] != 0,
                 };
                 if take {
-                    chosen = Some((tr.to, ti));
+                    chosen = Some(tr);
                     break;
                 }
             }
-            if let Some((to, ti)) = chosen {
-                // Borrow dance: copy the small sfg list.
-                let sfgs = self.fsm_tables[i][state][ti].sfgs.clone();
-                self.states[i] = to;
-                for sk in sfgs {
-                    if !self.active[i][sk as usize] {
+            if let Some(tr) = chosen {
+                states[i] = tr.to;
+                for sk in &tr.sfgs {
+                    if !active[i][*sk as usize] {
                         firings += 1;
                     }
-                    self.active[i][sk as usize] = true;
+                    active[i][*sk as usize] = true;
                 }
             }
         }

@@ -75,6 +75,9 @@ pub struct InterpSim {
     regs: Vec<Vec<Value>>,
     states: Vec<StateRef>,
     caches: Vec<EvalCache>,
+    /// Per timed inst without an FSM: every SFG, precomputed so phase 0
+    /// borrows the list instead of allocating it each cycle.
+    all_sfgs: Vec<Vec<crate::comp::SfgRef>>,
     /// Per timed inst, per output port: the driven net, if any.
     out_net: Vec<Vec<Option<usize>>>,
     /// Per untimed inst, per output port: the driven net, if any.
@@ -117,6 +120,7 @@ impl InterpSim {
             .iter()
             .map(|t| EvalCache::new(t.comp.nodes.len()))
             .collect();
+        let all_sfgs = sys.timed.iter().map(|t| t.comp.all_sfg_refs()).collect();
         let mut out_net: Vec<Vec<Option<usize>>> = sys
             .timed
             .iter()
@@ -142,6 +146,7 @@ impl InterpSim {
             regs,
             states,
             caches,
+            all_sfgs,
             out_net,
             untimed_out_net,
             cycle: 0,
@@ -312,7 +317,7 @@ impl Simulator for InterpSim {
         for (i, t) in sys.timed.iter().enumerate() {
             self.caches[i].bump();
             let comp = &t.comp;
-            let active: Vec<crate::comp::SfgRef> = if let Some(fsm) = &comp.fsm {
+            let active: &[crate::comp::SfgRef] = if let Some(fsm) = &comp.fsm {
                 let mut chosen: Option<&crate::fsm::Transition> = None;
                 for tr in fsm.from_state(self.states[i]) {
                     let take = match tr.guard {
@@ -336,18 +341,18 @@ impl Simulator for InterpSim {
                 match chosen {
                     Some(tr) => {
                         next_states[i] = tr.to;
-                        tr.actions.clone()
+                        &tr.actions
                     }
-                    None => Vec::new(), // idle: stay, run nothing
+                    None => &[], // idle: stay, run nothing
                 }
             } else {
-                comp.all_sfg_refs()
+                &self.all_sfgs[i]
             };
 
             // Outputs not driven by the marked SFGs hold their value and
             // count as settled immediately.
             let mut driven = vec![false; comp.outputs.len()];
-            for sfg_ref in &active {
+            for sfg_ref in active {
                 let sfg = &comp.sfgs[sfg_ref.index()];
                 for (p, node) in &sfg.outputs {
                     driven[p.index()] = true;

@@ -19,11 +19,13 @@ mod eval;
 pub mod fault;
 mod interp;
 pub mod obs;
+pub mod opt;
 pub mod par;
 
 pub use compiled::CompiledSim;
 pub use interp::InterpSim;
 pub use obs::SimObs;
+pub use opt::{OptLevel, OptStats};
 
 use crate::trace::Trace;
 use crate::value::Value;

@@ -23,6 +23,44 @@
 
 use ocapi_obs::{Counter, EventLog, Registry, Span};
 
+use crate::sim::opt::OptStats;
+
+/// Counter handles for the compiled back-end's build-time tape
+/// optimizer. The values are pure functions of the captured system (the
+/// deterministic namespace); `CompiledSim::attach_obs` records them once
+/// per attach.
+#[derive(Debug, Clone)]
+pub(crate) struct OptCounters {
+    instrs_in: Counter,
+    instrs_out: Counter,
+    folded: Counter,
+    cse_hits: Counter,
+    dce_removed: Counter,
+    slots_saved: Counter,
+}
+
+impl OptCounters {
+    fn new(reg: &Registry, backend: &str) -> OptCounters {
+        OptCounters {
+            instrs_in: reg.counter(&format!("{backend}.opt.instrs_in")),
+            instrs_out: reg.counter(&format!("{backend}.opt.instrs_out")),
+            folded: reg.counter(&format!("{backend}.opt.folded")),
+            cse_hits: reg.counter(&format!("{backend}.opt.cse_hits")),
+            dce_removed: reg.counter(&format!("{backend}.opt.dce_removed")),
+            slots_saved: reg.counter(&format!("{backend}.opt.slots_saved")),
+        }
+    }
+
+    pub(crate) fn record(&self, s: &OptStats) {
+        self.instrs_in.add(s.instrs_in);
+        self.instrs_out.add(s.instrs_out);
+        self.folded.add(s.folded);
+        self.cse_hits.add(s.cse_hits);
+        self.dce_removed.add(s.dce_removed);
+        self.slots_saved.add(s.slots_saved);
+    }
+}
+
 /// Counter + span + event-log handles for one simulator back-end.
 ///
 /// Build with [`SimObs::interp`] or [`SimObs::compiled`] and hand to
@@ -52,6 +90,8 @@ pub struct SimObs {
     pub(crate) sp_trace: Span,
     /// Forensics sink (deadlocks).
     pub(crate) events: EventLog,
+    /// Tape-optimizer counters (compiled back-end only).
+    pub(crate) opt: Option<OptCounters>,
 }
 
 impl SimObs {
@@ -78,6 +118,7 @@ impl SimObs {
             sp_commit: root.child("register_update"),
             sp_trace: root.child("trace"),
             events: reg.events().clone(),
+            opt: pre.then(|| OptCounters::new(reg, backend)),
         }
     }
 

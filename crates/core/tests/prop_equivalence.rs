@@ -8,7 +8,7 @@
 //! multiply the number of cases.
 
 use ocapi::rng::XorShift64;
-use ocapi::{CompiledSim, Component, InterpSim, Sig, SigType, Simulator, System, Value};
+use ocapi::{CompiledSim, Component, InterpSim, OptLevel, Sig, SigType, Simulator, System, Value};
 
 /// Recipe for one expression node, interpreted against a growing pool.
 #[derive(Debug, Clone)]
@@ -141,34 +141,50 @@ fn cases() -> u64 {
     }
 }
 
-/// One property case, reproducible from its seed alone.
+/// One property case, reproducible from its seed alone. The compiled
+/// simulator is checked against the interpreter at every tape
+/// optimization level.
 fn check_seed(seed: u64) {
     {
         let mut rng = XorShift64::new(0x5eed_0000 + seed);
         let recipe = random_recipe(&mut rng);
         let mut interp = InterpSim::new(build_system(&recipe)).expect("interp");
-        let mut compiled = CompiledSim::new(build_system(&recipe)).expect("compiled");
+        let mut compiled: Vec<(OptLevel, CompiledSim)> =
+            [OptLevel::None, OptLevel::Basic, OptLevel::Full]
+                .into_iter()
+                .map(|l| {
+                    (
+                        l,
+                        CompiledSim::new_with(build_system(&recipe), l).expect("compiled"),
+                    )
+                })
+                .collect();
         for (cyc, (x, sel)) in recipe.stimuli.iter().enumerate() {
-            for sim in [
-                &mut interp as &mut dyn Simulator,
-                &mut compiled as &mut dyn Simulator,
-            ] {
+            for sim in std::iter::once(&mut interp as &mut dyn Simulator)
+                .chain(compiled.iter_mut().map(|(_, s)| s as &mut dyn Simulator))
+            {
                 sim.set_input("x", Value::bits(8, *x as u64)).expect("set");
                 sim.set_input("sel", Value::Bool(*sel)).expect("set");
                 sim.step().expect("step");
             }
-            assert_eq!(
-                interp.output("o").expect("out"),
-                compiled.output("o").expect("out"),
-                "seed {seed}: divergence at cycle {cyc}"
-            );
+            let want = interp.output("o").expect("out");
+            for (level, sim) in &compiled {
+                assert_eq!(
+                    want,
+                    sim.output("o").expect("out"),
+                    "seed {seed}: divergence at cycle {cyc} ({level:?})"
+                );
+            }
         }
         // FSM states also agree at the end.
-        assert_eq!(
-            interp.state_name("u").expect("state"),
-            compiled.state_name("u").expect("state"),
-            "seed {seed}: final state"
-        );
+        let want = interp.state_name("u").expect("state");
+        for (level, sim) in &compiled {
+            assert_eq!(
+                want,
+                sim.state_name("u").expect("state"),
+                "seed {seed}: final state ({level:?})"
+            );
+        }
     }
 }
 

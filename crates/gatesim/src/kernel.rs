@@ -95,6 +95,9 @@ pub struct GateSim {
     /// order, so this evaluates close to levelized order and avoids the
     /// exponential glitching a LIFO worklist suffers in deep adder trees.
     worklist: BinaryHeap<Reverse<u32>>,
+    /// DFF sample scratch, reused across [`GateSim::clock`] calls so a
+    /// clocked run allocates nothing per cycle.
+    sample_buf: Vec<(usize, bool)>,
     stats: GateSimStats,
     obs: Option<KernelObs>,
 }
@@ -134,7 +137,8 @@ impl GateSim {
             fanout,
             dffs,
             dirty: vec![false; n_gates],
-            worklist: BinaryHeap::new(),
+            worklist: BinaryHeap::with_capacity(n_gates),
+            sample_buf: Vec::new(),
             stats: GateSimStats::default(),
             obs: None,
         };
@@ -304,15 +308,13 @@ impl GateSim {
     ///
     /// Propagates [`GateError::Oscillation`] from the settle phase.
     pub fn clock(&mut self) -> Result<(), GateError> {
-        let sampled: Vec<(usize, bool)> = self
-            .dffs
-            .iter()
-            .map(|gi| {
-                let g = &self.net.gates[*gi as usize];
-                (g.output.index(), self.values[g.inputs[0].index()])
-            })
-            .collect();
-        for (out, v) in sampled {
+        let mut sampled = std::mem::take(&mut self.sample_buf);
+        sampled.clear();
+        sampled.extend(self.dffs.iter().map(|gi| {
+            let g = &self.net.gates[*gi as usize];
+            (g.output.index(), self.values[g.inputs[0].index()])
+        }));
+        for &(out, v) in &sampled {
             if self.values[out] != v {
                 self.values[out] = v;
                 self.stats.events += 1;
@@ -322,6 +324,7 @@ impl GateSim {
                 }
             }
         }
+        self.sample_buf = sampled;
         self.settle()
     }
 }
@@ -449,6 +452,7 @@ mod tests {
             dffs: Vec::new(),
             dirty: vec![false; clean.gates.len()],
             worklist: BinaryHeap::new(),
+            sample_buf: Vec::new(),
             stats: GateSimStats::default(),
             obs: None,
             net: clean,
