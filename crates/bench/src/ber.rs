@@ -9,10 +9,10 @@
 //! burst order.
 
 use ocapi::sim::par::{map_indexed, ParConfig, ParError};
-use ocapi::{FaultPlan, FaultySim, InterpSim};
-use ocapi_designs::dect::burst::{generate, BurstConfig};
+use ocapi::{apply_plan_lane, BatchedSim, FaultPlan, FaultySim, InterpSim, OptLevel, Value};
+use ocapi_designs::dect::burst::{generate, Burst, BurstConfig};
 use ocapi_designs::dect::transceiver::{
-    build_system, run_burst, TransceiverConfig, CYCLES_PER_SYMBOL,
+    build_system, run_burst, SymbolRecord, TransceiverConfig, CYCLES_PER_SYMBOL,
 };
 use ocapi_designs::dect::DELAY;
 
@@ -73,12 +73,7 @@ pub fn measure(
         let mut sim = InterpSim::new(build_system(&cfg).expect("build")).expect("sim");
         let records = run_burst(&mut sim, &burst, None).expect("burst");
         let mut out = BerCount::default();
-        for (k, rec) in records.iter().enumerate().skip(burst.payload_start + DELAY) {
-            out.bits += 1;
-            if burst.bits[k - DELAY] != rec.bit {
-                out.errors += 1;
-            }
-        }
+        accumulate(&mut out, &burst, Some(&records));
         Ok::<_, ocapi::CoreError>(out)
     })
     .expect("fault-free BER run");
@@ -117,26 +112,245 @@ pub fn measure_with_faults(
         let plan = FaultPlan::random(&sys, cycles, rate, 0xdec7 + seed);
         let mut sim = FaultySim::new(InterpSim::new(sys).expect("sim"), plan);
         let mut out = BerCount::default();
-        match run_burst(&mut sim, &burst, None) {
-            Ok(records) => {
-                for (k, rec) in records.iter().enumerate().skip(burst.payload_start + DELAY) {
-                    out.bits += 1;
-                    if burst.bits[k - DELAY] != rec.bit {
-                        out.errors += 1;
-                    }
-                }
-            }
-            Err(_) => {
-                let n = burst.bits.len().saturating_sub(burst.payload_start + DELAY) as u64;
-                out.bits += n;
-                out.errors += n;
-            }
-        }
+        accumulate(
+            &mut out,
+            &burst,
+            run_burst(&mut sim, &burst, None).ok().as_deref(),
+        );
         Ok::<_, ocapi::CoreError>(out)
     })
     .unwrap_or_else(|e| match e {
         ParError::Task { index, error } => panic!("burst {index} failed: {error}"),
         ParError::Panic { index } => panic!("burst {index} panicked"),
+    });
+    sum(parts)
+}
+
+/// Per-burst error accounting, shared by the scalar and batched paths:
+/// completed records are compared bit-for-bit against the transmitted
+/// payload; a burst that erred out before finishing is counted fully
+/// errored (exactly the scalar `Err` branch).
+fn accumulate(out: &mut BerCount, burst: &Burst, records: Option<&[SymbolRecord]>) {
+    match records {
+        Some(records) => {
+            for (k, rec) in records.iter().enumerate().skip(burst.payload_start + DELAY) {
+                out.bits += 1;
+                if burst.bits[k - DELAY] != rec.bit {
+                    out.errors += 1;
+                }
+            }
+        }
+        None => {
+            let n = burst.bits.len().saturating_sub(burst.payload_start + DELAY) as u64;
+            out.bits += n;
+            out.errors += n;
+        }
+    }
+}
+
+/// Per-lane burst progress for the batched driver.
+struct LaneDrive {
+    sample_idx: usize,
+    done: usize,
+    records: Vec<SymbolRecord>,
+    finished: bool,
+}
+
+/// Drives one burst per lane through a batched transceiver, mirroring
+/// [`run_burst`] (with `hold: None`) lane-for-lane: every live,
+/// unfinished lane gets its own `sample` stream and fault plan, symbols
+/// advance per lane on `holding == false`, and a lane whose fault
+/// application fails is masked off and reported as `None` (counted
+/// fully errored by the caller) while its chunk-mates keep running.
+///
+/// Because a lane steps once per batch step until it finishes — exactly
+/// the cycles the scalar driver would run — fault-plan cycle numbers
+/// line up with the scalar path and the per-burst records are
+/// bit-identical for every lane count.
+fn run_bursts_batched(
+    sim: &mut BatchedSim,
+    bursts: &[Burst],
+    plans: &[FaultPlan],
+) -> Result<Vec<Option<Vec<SymbolRecord>>>, ocapi::CoreError> {
+    use ocapi::Simulator as _;
+    let mut st: Vec<LaneDrive> = bursts
+        .iter()
+        .map(|b| LaneDrive {
+            sample_idx: 0,
+            done: 0,
+            records: Vec::with_capacity(b.samples.len()),
+            finished: false,
+        })
+        .collect();
+    sim.set_input("hold_request", Value::Bool(false))?;
+    loop {
+        let mut any = false;
+        for (l, s) in st.iter().enumerate() {
+            if s.finished || !sim.alive(l) {
+                continue;
+            }
+            any = true;
+            sim.set_input_lane(l, "sample", Value::Fixed(bursts[l].samples[s.sample_idx]))?;
+        }
+        if !any {
+            break;
+        }
+        for (l, plan) in plans.iter().enumerate() {
+            if st[l].finished || !sim.alive(l) {
+                continue;
+            }
+            if let Err(e) = apply_plan_lane(sim, l, plan) {
+                sim.fail_lane(l, e);
+            }
+        }
+        if sim.step().is_err() {
+            // Every lane is masked; per-lane outcomes are settled below.
+            break;
+        }
+        for (l, s) in st.iter_mut().enumerate() {
+            if s.finished || !sim.alive(l) {
+                continue;
+            }
+            // Held cycles issue nops and do not advance the symbol.
+            if sim.output_lane(l, "holding")? == Value::Bool(false) {
+                s.done += 1;
+            }
+            if s.done == CYCLES_PER_SYMBOL {
+                s.done = 0;
+                s.records.push(SymbolRecord {
+                    bit: sim.output_lane(l, "bit")?.as_bool().expect("bool output"),
+                    err: sim
+                        .output_lane(l, "err")?
+                        .as_fixed()
+                        .expect("fixed output")
+                        .to_f64(),
+                    detect: sim
+                        .output_lane(l, "detect")?
+                        .as_bool()
+                        .expect("bool output"),
+                });
+                s.sample_idx += 1;
+                if s.sample_idx == bursts[l].samples.len() {
+                    s.finished = true;
+                }
+            }
+        }
+    }
+    Ok(st
+        .into_iter()
+        .map(|s| s.finished.then_some(s.records))
+        .collect())
+}
+
+/// [`measure`] over the lane-batched compiled back-end: bursts are
+/// chunked into groups of `lanes` and every chunk is one work item of
+/// the `--threads` pool, walking the micro-op tape once per cycle for
+/// all of its lanes. Per-burst seeds are unchanged (`1000 + burst`), so
+/// the summed totals are bit-identical for every lane count *and*
+/// thread count; `lanes = 1` is the scalar compiled path one burst at a
+/// time.
+#[allow(clippy::too_many_arguments)]
+pub fn measure_batched(
+    pool: &ParConfig,
+    channel: &[f64],
+    noise: f64,
+    adapt: bool,
+    n_bursts: u64,
+    payload_len: usize,
+    lanes: usize,
+    level: OptLevel,
+) -> BerCount {
+    let cfg = TransceiverConfig {
+        train: adapt,
+        agc: false,
+        adapt,
+    };
+    let seeds: Vec<u64> = (0..n_bursts).collect();
+    let chunks: Vec<&[u64]> = seeds.chunks(lanes.max(1)).collect();
+    let parts = map_indexed(pool, &chunks, |_, chunk| {
+        let bursts: Vec<Burst> = chunk
+            .iter()
+            .map(|seed| {
+                generate(&BurstConfig {
+                    payload_len,
+                    channel: channel.to_vec(),
+                    noise,
+                    seed: 1000 + seed,
+                })
+            })
+            .collect();
+        let mut systems = Vec::with_capacity(chunk.len());
+        for _ in chunk.iter() {
+            systems.push(build_system(&cfg).expect("build"));
+        }
+        let mut sim = BatchedSim::new_with(systems, level).expect("sim");
+        let plans = vec![FaultPlan::new(); chunk.len()];
+        let outcomes = run_bursts_batched(&mut sim, &bursts, &plans)?;
+        let mut out = BerCount::default();
+        for (burst, records) in bursts.iter().zip(&outcomes) {
+            accumulate(&mut out, burst, records.as_deref());
+        }
+        Ok::<_, ocapi::CoreError>(out)
+    })
+    .expect("fault-free batched BER run");
+    sum(parts)
+}
+
+/// [`measure_with_faults`] over the lane-batched back-end: one
+/// independent fault plan per burst (seeded `0xdec7 + burst`, keyed on
+/// the burst's *global* index — never its lane), applied per lane
+/// before every shared tape pass. A lane whose faults trip a typed
+/// error is masked off and its burst counted fully errored, exactly as
+/// the scalar path's `Err` branch, without aborting the chunk.
+#[allow(clippy::too_many_arguments)]
+pub fn measure_with_faults_batched(
+    pool: &ParConfig,
+    channel: &[f64],
+    noise: f64,
+    rate: f64,
+    n_bursts: u64,
+    payload_len: usize,
+    lanes: usize,
+    level: OptLevel,
+) -> BerCount {
+    let cfg = TransceiverConfig {
+        train: true,
+        agc: false,
+        adapt: true,
+    };
+    let seeds: Vec<u64> = (0..n_bursts).collect();
+    let chunks: Vec<&[u64]> = seeds.chunks(lanes.max(1)).collect();
+    let parts = map_indexed(pool, &chunks, |_, chunk| {
+        let bursts: Vec<Burst> = chunk
+            .iter()
+            .map(|seed| {
+                generate(&BurstConfig {
+                    payload_len,
+                    channel: channel.to_vec(),
+                    noise,
+                    seed: 1000 + seed,
+                })
+            })
+            .collect();
+        let mut systems = Vec::with_capacity(chunk.len());
+        let mut plans = Vec::with_capacity(chunk.len());
+        for (i, seed) in chunk.iter().enumerate() {
+            let sys = build_system(&cfg).expect("build");
+            let cycles = (bursts[i].samples.len() * CYCLES_PER_SYMBOL) as u64;
+            plans.push(FaultPlan::random(&sys, cycles, rate, 0xdec7 + seed));
+            systems.push(sys);
+        }
+        let mut sim = BatchedSim::new_with(systems, level).expect("sim");
+        let outcomes = run_bursts_batched(&mut sim, &bursts, &plans)?;
+        let mut out = BerCount::default();
+        for (burst, records) in bursts.iter().zip(&outcomes) {
+            accumulate(&mut out, burst, records.as_deref());
+        }
+        Ok::<_, ocapi::CoreError>(out)
+    })
+    .unwrap_or_else(|e| match e {
+        ParError::Task { index, error } => panic!("burst chunk {index} failed: {error}"),
+        ParError::Panic { index } => panic!("burst chunk {index} panicked"),
     });
     sum(parts)
 }

@@ -8,19 +8,24 @@
 //! curve of the architecture itself.
 //!
 //! Bursts are independent seeded runs, so the sweep shards across the
-//! `--threads N` worker pool with bit-identical totals for every `N`
-//! (the CI determinism job diffs the `--json` output at 1 vs 4
-//! threads). Run with:
+//! `--threads N` worker pool with bit-identical totals for every `N`,
+//! and batches across the `--lanes N` lanes of the compiled tape
+//! executor with bit-identical totals for every lane count (the CI
+//! determinism job diffs the `--json` output across both axes). A
+//! scalar-vs-batched head-to-head on one sweep point records the
+//! batching payoff in the perf trajectory. Run with:
 //!
-//! `cargo run --release -p ocapi-bench --bin ber_sweep -- [--threads N] [--quick]`
+//! `cargo run --release -p ocapi-bench --bin ber_sweep -- [--threads N] [--lanes N] [--quick]`
 
-use ocapi_bench::ber::{fmt_ber, measure, measure_with_faults};
+use ocapi_bench::ber::{fmt_ber, measure, measure_batched, measure_with_faults_batched};
 use ocapi_bench::{parse_args, timed, write_profile, Reporter};
 use ocapi_obs::Registry;
 
 fn main() {
     let args = parse_args("ber_sweep");
     let pool = args.pool();
+    let lanes = args.lanes;
+    let level = args.opt_level();
     let mut rep = Reporter::new("ber_sweep");
     let obs = Registry::new();
     let root = obs.span("ber_sweep");
@@ -52,8 +57,10 @@ fn main() {
     let (_, sweep_secs) = timed(|| {
         for channel in channels {
             for &noise in noises {
-                let eq = measure(&pool, channel, noise, true, bursts, payload);
-                let fixed = measure(&pool, channel, noise, false, bursts, payload);
+                let eq =
+                    measure_batched(&pool, channel, noise, true, bursts, payload, lanes, level);
+                let fixed =
+                    measure_batched(&pool, channel, noise, false, bursts, payload, lanes, level);
                 total_runs += 2 * bursts;
                 println!(
                     "{:<22} {:>7.2} {:>14} {:>15}",
@@ -84,7 +91,16 @@ fn main() {
     let t_fault = root.child("fault_sweep").timer();
     let (_, fault_secs) = timed(|| {
         for &rate in rates {
-            let c = measure_with_faults(&pool, &[1.0, 0.45], 0.05, rate, bursts, payload);
+            let c = measure_with_faults_batched(
+                &pool,
+                &[1.0, 0.45],
+                0.05,
+                rate,
+                bursts,
+                payload,
+                lanes,
+                level,
+            );
             total_runs += bursts;
             println!("{rate:<22} {:>14}", fmt_ber(c));
             rep.result_u64(&format!("fault_r{rate}_errors"), c.errors);
@@ -107,10 +123,48 @@ fn main() {
         );
     }
 
+    // Scalar-vs-batched head-to-head on one equalised sweep point: the
+    // interpreted one-burst-at-a-time path against the lane-batched
+    // compiled tape at `--lanes`. Identical counts are asserted (the
+    // batching contract), and both throughputs land in the perf record
+    // — CI gates on batched_runs_per_sec rising with the lane count.
+    let hh_bursts = if args.quick { 8 } else { 16 };
+    let hh_channel = [1.0, 0.65, 0.35];
+    let t_hh = root.child("head_to_head").timer();
+    let (scalar_hh, scalar_secs) =
+        timed(|| measure(&pool, &hh_channel, 0.05, true, hh_bursts, payload));
+    let (batched_hh, batched_secs) = timed(|| {
+        measure_batched(
+            &pool,
+            &hh_channel,
+            0.05,
+            true,
+            hh_bursts,
+            payload,
+            lanes,
+            level,
+        )
+    });
+    drop(t_hh);
+    assert_eq!(batched_hh, scalar_hh, "batched BER diverged from scalar");
+    println!(
+        "\nscalar vs batched ({hh_bursts} bursts): scalar {scalar_secs:.2}s, \
+         batched x{lanes} {batched_secs:.2}s ({:.2}x)",
+        scalar_secs / batched_secs.max(1e-12)
+    );
+
     let wall = sweep_secs + fault_secs;
     rep.perf_f64("sweep_wall_secs", wall);
     rep.perf_u64("burst_runs", total_runs);
     rep.perf_f64("runs_per_sec", total_runs as f64 / wall.max(1e-12));
+    rep.perf_f64(
+        "scalar_runs_per_sec",
+        hh_bursts as f64 / scalar_secs.max(1e-12),
+    );
+    rep.perf_f64(
+        "batched_runs_per_sec",
+        hh_bursts as f64 / batched_secs.max(1e-12),
+    );
     rep.write(&args).expect("write reports");
     write_profile(&args, &obs).expect("write profile");
 }

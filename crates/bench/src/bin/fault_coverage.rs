@@ -18,7 +18,7 @@
 //! `cargo run --release -p ocapi-bench --bin fault_coverage -- [--threads N] [--quick]`
 
 use ocapi::rng::XorShift64;
-use ocapi::sim::fault::{run_campaign_par, FaultEvent, FaultPlan};
+use ocapi::sim::fault::{run_campaign_batched_par, run_campaign_par, FaultEvent, FaultPlan};
 use ocapi::sim::par::{map_indexed_stats, ParConfig};
 use ocapi::{InterpSim, Simulator, Value};
 use ocapi_bench::{parse_args, timed, write_profile, BenchArgs, Reporter};
@@ -99,6 +99,30 @@ fn system_level_campaign(args: &BenchArgs, rep: &mut Reporter, obs: &Registry) {
     obs.counter("fault.campaign_injections")
         .add(report.total() as u64);
 
+    // The same campaign through the lane-batched compiled back-end:
+    // `--lanes` fault runs share one micro-op tape walk per cycle, and
+    // the chunks shard across the same worker pool. Classification must
+    // match the scalar interpreter event-for-event — asserted on every
+    // benchmark run, like the thread-count contract above.
+    let t_batched = root.child("campaign_batched").timer();
+    let (batched, secs_batched) = timed(|| {
+        run_campaign_batched_par(
+            &pool,
+            hcor::build_system,
+            stimulus,
+            cycles,
+            &events,
+            args.lanes,
+            args.opt_level(),
+        )
+        .expect("batched campaign")
+    });
+    drop(t_batched);
+    assert_eq!(
+        batched.outcomes, report.outcomes,
+        "batched campaign classification diverged from scalar"
+    );
+
     println!(
         "\nsystem-level FaultySim campaign on HCOR ({} sites, {} injections, {} cycles each):",
         sites.len(),
@@ -124,6 +148,10 @@ fn system_level_campaign(args: &BenchArgs, rep: &mut Reporter, obs: &Registry) {
         pool.threads(),
         secs_t1 / secs_tn.max(1e-12)
     );
+    println!(
+        "  batched (compiled, {} lane(s)): {secs_batched:.2}s — identical classification",
+        args.lanes
+    );
 
     rep.result_u64("campaign_injections", report.total() as u64);
     rep.result_u64("campaign_masked", report.masked() as u64);
@@ -139,6 +167,12 @@ fn system_level_campaign(args: &BenchArgs, rep: &mut Reporter, obs: &Registry) {
     rep.perf_f64(
         "campaign_cycles_per_sec",
         (report.total() as u64 * cycles) as f64 / secs_tn.max(1e-12),
+    );
+    rep.perf_u64("campaign_lanes", args.lanes as u64);
+    rep.perf_f64("campaign_batched_secs", secs_batched);
+    rep.perf_f64(
+        "campaign_batched_runs_per_sec",
+        report.total() as f64 / secs_batched.max(1e-12),
     );
 
     // Graceful degradation: per-cycle output corruption and sync

@@ -10,17 +10,22 @@
 //! * `VHDL/Verilog (netlist)` → [`ocapi_gatesim::GateSystemSim`]
 //!   (event-driven gate-level simulation of the synthesized netlist).
 //!
+//! A `DSL (batched xN)` row drives `--lanes N` instances of each design
+//! through [`ocapi::BatchedSim`] in lockstep and reports the aggregate
+//! instance-cycles per second — the scalar-vs-batched comparison the
+//! Monte-Carlo workloads bank on.
+//!
 //! The simulator drive loops are inherently serial (one sim, one clock);
 //! the `--threads N` pool shards the synthesis runs behind the gate-eq
 //! column instead. `--quick` shrinks the driven pattern lengths for CI.
 //! Run with:
 //!
-//! `cargo run --release -p ocapi-bench --bin table1 -- [--threads N] [--quick]`
+//! `cargo run --release -p ocapi-bench --bin table1 -- [--threads N] [--lanes N] [--quick]`
 
 use ocapi::sim::par::map_indexed;
 use ocapi::{
-    CompiledSim, Component, CoreError, InterpSim, OptLevel, ParConfig, SimObs, Simulator, System,
-    Value,
+    BatchObs, BatchedSim, CompiledSim, Component, CoreError, InterpSim, OptLevel, ParConfig,
+    SimObs, Simulator, System, Value,
 };
 use ocapi_bench::{mb, parse_args, timed, write_profile, BenchArgs, CountingAlloc, Reporter};
 use ocapi_designs::dect::burst::{generate, BurstConfig};
@@ -38,7 +43,7 @@ use ocapi_synth::{synthesize_observed, SynthOptions};
 static ALLOC: CountingAlloc = CountingAlloc;
 
 struct Row {
-    kind: &'static str,
+    kind: String,
     source_lines: usize,
     cycles_per_sec: f64,
     process_mb: String,
@@ -170,6 +175,19 @@ fn hcor_table(args: &BenchArgs, rep: &mut Reporter, obs: &Registry) -> (usize, u
         },
         |s| drive(s),
     );
+    // The lane-batched compiled tape, all `--lanes` instances driven in
+    // lockstep (`BatchedSim` broadcasts inputs through the `Simulator`
+    // trait); the aggregate throughput is instance-cycles per second.
+    let lanes = args.lanes;
+    let (batch_speed, batch_mem) = measure(
+        || {
+            let mut s =
+                BatchedSim::from_fn(lanes, hcor::build_system, args.opt_level()).expect("sim");
+            s.attach_obs(BatchObs::new(obs));
+            s
+        },
+        |s| drive(s) * lanes as u64,
+    );
     let (rtl_speed, rtl_mem) = measure(
         || RtlSystemSim::new(hcor::build_system().expect("build")).expect("sim"),
         |s| drive(s),
@@ -192,25 +210,31 @@ fn hcor_table(args: &BenchArgs, rep: &mut Reporter, obs: &Registry) -> (usize, u
         gates,
         &[
             Row {
-                kind: "DSL (interpreted obj)",
+                kind: "DSL (interpreted obj)".into(),
                 source_lines: dsl_l,
                 cycles_per_sec: interp_speed,
                 process_mb: interp_mem,
             },
             Row {
-                kind: "DSL (compiled)",
+                kind: "DSL (compiled)".into(),
                 source_lines: dsl_l,
                 cycles_per_sec: comp_speed,
                 process_mb: comp_mem,
             },
             Row {
-                kind: "VHDL (RT, event-driven)",
+                kind: format!("DSL (batched x{lanes})"),
+                source_lines: dsl_l,
+                cycles_per_sec: batch_speed,
+                process_mb: batch_mem,
+            },
+            Row {
+                kind: "VHDL (RT, event-driven)".into(),
                 source_lines: vhdl_l,
                 cycles_per_sec: rtl_speed,
                 process_mb: rtl_mem,
             },
             Row {
-                kind: "Verilog (netlist)",
+                kind: "Verilog (netlist)".into(),
                 source_lines: verilog_l,
                 cycles_per_sec: gate_speed,
                 process_mb: gate_mem,
@@ -219,6 +243,7 @@ fn hcor_table(args: &BenchArgs, rep: &mut Reporter, obs: &Registry) -> (usize, u
     );
     rep.perf_f64("hcor_interp_cycles_per_sec", interp_speed);
     rep.perf_f64("hcor_compiled_cycles_per_sec", comp_speed);
+    rep.perf_f64("hcor_batched_cycles_per_sec", batch_speed);
     rep.perf_f64("hcor_rtl_cycles_per_sec", rtl_speed);
     rep.perf_f64("hcor_gate_cycles_per_sec", gate_speed);
     tape_len_metrics("hcor", rep, || hcor::build_system().expect("build"))
@@ -280,6 +305,19 @@ fn dect_table(args: &BenchArgs, rep: &mut Reporter, obs: &Registry) -> (usize, u
         },
         |s| drive(s, p_obj),
     );
+    // Lane-batched compiled tape, all lanes replaying the same burst in
+    // lockstep through the broadcasting `Simulator` trait.
+    let lanes = args.lanes;
+    let (batch_speed, batch_mem) = measure(
+        || {
+            let mut s =
+                BatchedSim::from_fn(lanes, || transceiver::build_system(&cfg), args.opt_level())
+                    .expect("sim");
+            s.attach_obs(BatchObs::new(obs));
+            s
+        },
+        |s| drive(s, p_obj) * lanes as u64,
+    );
     let (rtl_speed, rtl_mem) = measure(
         || RtlSystemSim::new(transceiver::build_system(&cfg).expect("build")).expect("sim"),
         |s| drive(s, p_rtl),
@@ -302,25 +340,31 @@ fn dect_table(args: &BenchArgs, rep: &mut Reporter, obs: &Registry) -> (usize, u
         gates,
         &[
             Row {
-                kind: "DSL (interpreted obj)",
+                kind: "DSL (interpreted obj)".into(),
                 source_lines: dsl_l,
                 cycles_per_sec: interp_speed,
                 process_mb: interp_mem,
             },
             Row {
-                kind: "DSL (compiled)",
+                kind: "DSL (compiled)".into(),
                 source_lines: dsl_l,
                 cycles_per_sec: comp_speed,
                 process_mb: comp_mem,
             },
             Row {
-                kind: "VHDL (RT, event-driven)",
+                kind: format!("DSL (batched x{lanes})"),
+                source_lines: dsl_l,
+                cycles_per_sec: batch_speed,
+                process_mb: batch_mem,
+            },
+            Row {
+                kind: "VHDL (RT, event-driven)".into(),
                 source_lines: vhdl_l,
                 cycles_per_sec: rtl_speed,
                 process_mb: rtl_mem,
             },
             Row {
-                kind: "Verilog (netlist)",
+                kind: "Verilog (netlist)".into(),
                 source_lines: verilog_l,
                 cycles_per_sec: gate_speed,
                 process_mb: gate_mem,
@@ -329,6 +373,7 @@ fn dect_table(args: &BenchArgs, rep: &mut Reporter, obs: &Registry) -> (usize, u
     );
     rep.perf_f64("dect_interp_cycles_per_sec", interp_speed);
     rep.perf_f64("dect_compiled_cycles_per_sec", comp_speed);
+    rep.perf_f64("dect_batched_cycles_per_sec", batch_speed);
     rep.perf_f64("dect_rtl_cycles_per_sec", rtl_speed);
     rep.perf_f64("dect_gate_cycles_per_sec", gate_speed);
     tape_len_metrics("dect", rep, || {

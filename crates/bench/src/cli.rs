@@ -11,6 +11,10 @@
 //! * `--threads N` / `-t N` — worker-pool width for the sharded
 //!   engines. Results are bit-identical for every `N`; see
 //!   `ocapi::sim::par`.
+//! * `--lanes N` — lane count for the batched tape executor
+//!   (`ocapi::sim::batch`): N independent instances share one micro-op
+//!   tape walk per cycle. Composes with `--threads` (each worker steps
+//!   its own batch) and results are bit-identical for every `N`.
 //! * `--quick` / `-q` — a CI-sized workload (same code paths, smaller
 //!   vector sets) for the `bench-smoke` and `determinism` jobs.
 //! * `--opt N` (or `--opt=N`, N in 0..=2) — tape-optimization level for
@@ -38,6 +42,8 @@ pub struct BenchArgs {
     pub bin: String,
     /// Worker threads for the sharded engines (≥ 1).
     pub threads: usize,
+    /// Lanes for the batched tape executor (≥ 1; 1 = scalar path).
+    pub lanes: usize,
     /// CI-sized workload.
     pub quick: bool,
     /// Compiled-simulator tape-optimization level (0, 1 or 2).
@@ -56,6 +62,7 @@ impl BenchArgs {
         BenchArgs {
             bin: bin.to_owned(),
             threads: 1,
+            lanes: 1,
             quick: false,
             opt: 2,
             json: None,
@@ -82,9 +89,12 @@ impl BenchArgs {
 /// The usage text for `bin`.
 pub fn usage(bin: &str) -> String {
     format!(
-        "usage: {bin} [--threads N] [--quick] [--opt N] [--json PATH] [--perf-json PATH] [--profile-json PATH]\n\
+        "usage: {bin} [--threads N] [--lanes N] [--quick] [--opt N] [--json PATH] [--perf-json PATH] [--profile-json PATH]\n\
          \n\
          \x20 -t, --threads N    worker threads for the sharded engines (default 1;\n\
+         \x20                    results are bit-identical for every N)\n\
+         \x20     --lanes N      lanes for the batched tape executor (default 1;\n\
+         \x20                    N instances share one tape walk per cycle —\n\
          \x20                    results are bit-identical for every N)\n\
          \x20 -q, --quick        CI-sized workload (same code paths, smaller sets)\n\
          \x20     --opt N        compiled-simulator tape optimization: 0 = none,\n\
@@ -125,6 +135,13 @@ pub fn parse_arg_list(bin: &str, args: &[String]) -> Result<BenchArgs, String> {
                 }
                 out.threads = n;
             }
+            "--lanes" => {
+                let v = it.next().ok_or_else(|| format!("{arg} requires a value"))?;
+                out.lanes = parse_lanes(arg, v)?;
+            }
+            _ if arg.starts_with("--lanes=") => {
+                out.lanes = parse_lanes("--lanes", &arg["--lanes=".len()..])?;
+            }
             "--quick" | "-q" => out.quick = true,
             "--opt" => {
                 let v = it.next().ok_or_else(|| format!("{arg} requires a value"))?;
@@ -157,6 +174,14 @@ fn parse_opt_level(flag: &str, v: &str) -> Result<u8, String> {
     match v.parse::<u8>() {
         Ok(n @ 0..=2) => Ok(n),
         _ => Err(format!("{flag} expects 0, 1 or 2, got `{v}`")),
+    }
+}
+
+/// Parses and range-checks a `--lanes` count (≥ 1).
+fn parse_lanes(flag: &str, v: &str) -> Result<usize, String> {
+    match v.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!("{flag} expects a positive integer, got `{v}`")),
     }
 }
 

@@ -126,9 +126,10 @@ impl Reporter {
     /// The perf document: run configuration plus throughput metrics.
     pub fn perf_json(&self, args: &BenchArgs) -> String {
         format!(
-            "{{\n  \"bin\": \"{}\",\n  \"threads\": {},\n  \"quick\": {},\n  \"opt\": {},\n  \"perf\": {}\n}}\n",
+            "{{\n  \"bin\": \"{}\",\n  \"threads\": {},\n  \"lanes\": {},\n  \"quick\": {},\n  \"opt\": {},\n  \"perf\": {}\n}}\n",
             escape(&self.bin),
             args.threads,
+            args.lanes,
             args.quick,
             args.opt,
             Reporter::object(&self.perf)

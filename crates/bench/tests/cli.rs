@@ -3,7 +3,9 @@
 //! the CI determinism job checks end-to-end on the built binaries).
 
 use ocapi::{OptLevel, ParConfig};
-use ocapi_bench::ber::measure;
+use ocapi_bench::ber::{
+    measure, measure_batched, measure_with_faults, measure_with_faults_batched,
+};
 use ocapi_bench::{parse_arg_list, BenchArgs};
 
 fn argv(args: &[&str]) -> Vec<String> {
@@ -21,6 +23,26 @@ fn defaults_are_one_thread_full_workload() {
     assert_eq!(a.profile_json, None);
     assert_eq!(a.opt, 2, "full tape optimization by default");
     assert_eq!(a.opt_level(), OptLevel::Full);
+    assert_eq!(a.lanes, 1, "scalar-equivalent batch width by default");
+}
+
+#[test]
+fn lanes_flag_parses_both_spellings() {
+    for spelling in [argv(&["--lanes", "8"]), argv(&["--lanes=8"])] {
+        let a = parse_arg_list("bin", &spelling).expect("parse");
+        assert_eq!(a.lanes, 8, "{spelling:?}");
+    }
+}
+
+#[test]
+fn malformed_lane_counts_are_errors() {
+    for bad in ["0", "-1", "eight", "", "2.0"] {
+        let msg = parse_arg_list("bin", &argv(&["--lanes", bad]))
+            .expect_err(&format!("--lanes {bad} must be rejected"));
+        assert!(msg.contains("--lanes"), "message names the flag: {msg}");
+        assert!(parse_arg_list("bin", &argv(&[&format!("--lanes={bad}")])).is_err());
+    }
+    assert!(parse_arg_list("bin", &argv(&["--lanes"])).is_err());
 }
 
 #[test]
@@ -113,5 +135,54 @@ fn ber_counts_invariant_across_thread_counts() {
             24,
         );
         assert_eq!(c, baseline, "BER totals diverged at {threads} thread(s)");
+    }
+}
+
+#[test]
+fn batched_ber_counts_equal_scalar_for_all_lane_and_thread_counts() {
+    // The batched executor must reproduce the scalar measurement
+    // bit-for-bit: per-burst seeds are keyed on the global burst index,
+    // so lanes × threads is pure geometry. Includes lane counts that do
+    // not divide the burst count (ragged final chunk).
+    let channel = [1.0, 0.65, 0.35];
+    let scalar = measure(&ParConfig::new(1), &channel, 0.4, true, 5, 24);
+    for lanes in [1usize, 3, 8] {
+        for threads in [1usize, 4] {
+            let c = measure_batched(
+                &ParConfig::new(threads),
+                &channel,
+                0.4,
+                true,
+                5,
+                24,
+                lanes,
+                OptLevel::Full,
+            );
+            assert_eq!(
+                c, scalar,
+                "fault-free diverged at {lanes} lanes, {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_faulty_ber_counts_equal_scalar() {
+    // The faulted variant exercises per-lane fault plans and the
+    // masked-lane (fully-errored burst) accounting path.
+    let channel = [1.0, 0.65, 0.35];
+    let scalar = measure_with_faults(&ParConfig::new(1), &channel, 0.2, 0.02, 4, 24);
+    for lanes in [1usize, 3] {
+        let c = measure_with_faults_batched(
+            &ParConfig::new(2),
+            &channel,
+            0.2,
+            0.02,
+            4,
+            24,
+            lanes,
+            OptLevel::Full,
+        );
+        assert_eq!(c, scalar, "faulted totals diverged at {lanes} lanes");
     }
 }

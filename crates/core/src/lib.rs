@@ -82,12 +82,13 @@ pub use comp::{
 pub use error::CoreError;
 pub use fsm::{Fsm, FsmBuilder, StateRef, Transition, TransitionBuilder};
 pub use sim::fault::{
-    run_campaign, run_campaign_par, CampaignReport, FaultEvent, FaultKind, FaultOutcome, FaultPlan,
-    FaultSite, FaultySim,
+    apply_plan_lane, run_campaign, run_campaign_batched, run_campaign_batched_par,
+    run_campaign_par, CampaignReport, FaultEvent, FaultKind, FaultOutcome, FaultPlan, FaultSite,
+    FaultySim,
 };
-pub use sim::obs::SimObs;
+pub use sim::obs::{BatchObs, SimObs};
 pub use sim::par::{ParConfig, ParError, PoolStats, Stopwatch};
-pub use sim::{CompiledSim, InterpSim, OptLevel, OptStats, Simulator};
+pub use sim::{BatchedSim, CompiledSim, InterpSim, OptLevel, OptStats, Simulator};
 pub use system::{
     InstanceId, Net, NetSink, NetSource, PrimaryInput, PrimaryOutput, System, SystemBuilder,
     TimedInstance, UntimedInstance,

@@ -1,0 +1,1071 @@
+//! Lane-batched execution of the compiled micro-op tape.
+//!
+//! The compiled back-end exists to make the statistical workloads
+//! tractable — the paper's environment runs "a BER simulation in
+//! minutes" by regenerating an application-specific simulator. Its
+//! Monte-Carlo consumers (BER sweeps, fault campaigns) run *many
+//! independent instances of the same design*, so re-walking the
+//! identical tape once per instance pays the full instruction-dispatch
+//! cost N times for one design's worth of control flow.
+//!
+//! [`BatchedSim`] amortizes that cost: one [`Program`] (the monomorphised
+//! tape of `sim::compiled`) is executed over N independent *lanes* in a
+//! single pass. State is struct-of-arrays — every slot of the scalar
+//! state vector becomes a lane-major stripe of N `u64`s — and each
+//! micro-op is applied across all lanes in a tight inner loop, so the
+//! tape walk (instruction decode, dispatch, operand indexing) is paid
+//! once per cycle instead of once per instance.
+//!
+//! Lanes stay *independent*:
+//!
+//! * every lane has its own FSM states, SFG activation flags, register
+//!   file and untimed-block state (one [`System`] per lane);
+//! * control-flow divergence is handled per lane — transition selection
+//!   and `Drive`/`Fire` resolution read the lane's own stripe;
+//! * a per-lane error (a trace fault, a failed fault-injection poke)
+//!   **masks the lane off** instead of aborting the batch: the lane's
+//!   stripes freeze, its first error and cycle are recorded, and the
+//!   remaining lanes keep running.
+//!
+//! Results are bit-identical to running N scalar [`CompiledSim`]s: the
+//! `batch` integration suite asserts every output and every `peek_net`
+//! value matches lane-for-lane at every optimization level.
+//!
+//! **Seeding contract** (composes with the `sim::par` sharding model,
+//! DESIGN.md §7): batching never introduces randomness of its own. A
+//! driver that batches work items over lanes must derive each item's
+//! randomness from the item's *global index* (e.g.
+//! [`XorShift64::stream`](crate::rng::XorShift64::stream) or an explicit
+//! per-item seed), exactly as the scalar path does — then lanes × threads
+//! is pure geometry and every classification and BER total is
+//! byte-identical for any `--lanes`/`--threads` combination.
+//!
+//! [`CompiledSim`]: crate::CompiledSim
+//! [`Program`]: crate::sim::compiled::Program
+
+use crate::sim::compiled::{
+    build_program, decode, encode, init_regs, init_states, make_trace, CompiledTransition, Micro,
+    Program,
+};
+use crate::sim::obs::BatchObs;
+use crate::sim::opt::{OptLevel, OptStats};
+use crate::sim::Simulator;
+use crate::system::System;
+use crate::trace::Trace;
+use crate::value::Value;
+use crate::CoreError;
+
+/// The lane-batched tape executor. See the [module docs](self).
+///
+/// Construct with [`BatchedSim::new`] / [`BatchedSim::new_with`] from one
+/// structurally identical [`System`] per lane (the systems carry the
+/// per-lane untimed-block state), or with [`BatchedSim::from_fn`] from a
+/// builder closure. Drive either through the lane-addressed methods
+/// (`set_input_lane`, `output_lane`, …) or through the [`Simulator`]
+/// trait, which *broadcasts* writes to every live lane and reads lane 0 —
+/// a 1-lane batch behaves exactly like a scalar [`CompiledSim`].
+///
+/// [`CompiledSim`]: crate::CompiledSim
+pub struct BatchedSim {
+    /// One system per lane; `systems[0]` is the one the tape was
+    /// compiled from, every lane's untimed blocks live in its own copy.
+    systems: Vec<System>,
+    prog: Program,
+    lanes: usize,
+    /// Lane-major stripes: slot `k` of lane `l` is `slots[k*lanes + l]`.
+    slots: Vec<u64>,
+    /// FSM state per (instance, lane): `states[i*lanes + l]`.
+    states: Vec<u32>,
+    /// Per instance: SFG activation stripes `active[i][k*lanes + l]`.
+    active: Vec<Vec<bool>>,
+    /// Per instance: register stripes `regs[i][r*lanes + l]`.
+    regs: Vec<Vec<u64>>,
+    /// Lane-active mask: `false` = masked off by a per-lane error.
+    alive: Vec<bool>,
+    /// First error per masked lane: (cycle before the failing step, error).
+    errors: Vec<Option<(u64, CoreError)>>,
+    in_buf: Vec<Value>,
+    out_buf: Vec<Value>,
+    cycle: u64,
+    traces: Option<Vec<Trace>>,
+    obs: Option<BatchObs>,
+}
+
+impl std::fmt::Debug for BatchedSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchedSim")
+            .field("system", &self.systems[0].name)
+            .field("lanes", &self.lanes)
+            .field("tape_len", &self.prog.tape.len())
+            .finish()
+    }
+}
+
+/// One structural difference between two lane systems, rendered.
+fn shape_diff(a: &System, b: &System, lane: usize) -> Option<String> {
+    if a.name != b.name {
+        return Some(format!("lane {lane}: system `{}` != `{}`", b.name, a.name));
+    }
+    if a.timed.len() != b.timed.len()
+        || a.untimed.len() != b.untimed.len()
+        || a.nets.len() != b.nets.len()
+        || a.primary_inputs.len() != b.primary_inputs.len()
+        || a.primary_outputs.len() != b.primary_outputs.len()
+    {
+        return Some(format!("lane {lane}: element counts differ from lane 0"));
+    }
+    for (x, y) in a.timed.iter().zip(&b.timed) {
+        if x.name != y.name
+            || x.comp.name != y.comp.name
+            || x.comp.nodes.len() != y.comp.nodes.len()
+            || x.comp.sfgs.len() != y.comp.sfgs.len()
+            || x.comp.regs.len() != y.comp.regs.len()
+        {
+            return Some(format!(
+                "lane {lane}: timed instance `{}` differs from lane 0",
+                y.name
+            ));
+        }
+    }
+    for (i, (x, y)) in a.nets.iter().zip(&b.nets).enumerate() {
+        if x.name != y.name || x.ty != y.ty {
+            return Some(format!(
+                "lane {lane}: net {i} (`{}`) differs from lane 0",
+                y.name
+            ));
+        }
+    }
+    for (x, y) in a.untimed.iter().zip(&b.untimed) {
+        if x.block.name() != y.block.name() {
+            return Some(format!(
+                "lane {lane}: untimed block `{}` differs from lane 0",
+                y.block.name()
+            ));
+        }
+    }
+    None
+}
+
+impl BatchedSim {
+    /// Compiles `systems[0]` and runs all lanes through its tape at the
+    /// default optimization level. One lane per system.
+    ///
+    /// # Errors
+    ///
+    /// As [`BatchedSim::new_with`].
+    pub fn new(systems: Vec<System>) -> Result<BatchedSim, CoreError> {
+        BatchedSim::new_with(systems, OptLevel::default())
+    }
+
+    /// [`BatchedSim::new`] with an explicit tape-optimization level.
+    ///
+    /// All systems must be structurally identical (same components,
+    /// nets, ports — e.g. built by the same closure); each lane keeps
+    /// its own system for per-lane untimed-block state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::CheckFailed`] when `systems` is empty or the
+    /// lanes are not structurally identical, and
+    /// [`CoreError::NotCompilable`] when the design has no static
+    /// single-pass schedule.
+    pub fn new_with(systems: Vec<System>, level: OptLevel) -> Result<BatchedSim, CoreError> {
+        if systems.is_empty() {
+            return Err(CoreError::CheckFailed {
+                diagnostics: vec!["a batched simulator needs at least one lane".to_owned()],
+            });
+        }
+        let diags: Vec<String> = systems
+            .iter()
+            .enumerate()
+            .skip(1)
+            .filter_map(|(l, s)| shape_diff(&systems[0], s, l))
+            .collect();
+        if !diags.is_empty() {
+            return Err(CoreError::CheckFailed { diagnostics: diags });
+        }
+        let prog = build_program(&systems[0], level)?;
+        let lanes = systems.len();
+        let sys0 = &systems[0];
+
+        let mut slots = vec![0u64; prog.init_slots.len() * lanes];
+        for (k, v) in prog.init_slots.iter().enumerate() {
+            slots[k * lanes..(k + 1) * lanes].fill(*v);
+        }
+        let states = init_states(sys0)
+            .into_iter()
+            .flat_map(|s| std::iter::repeat_n(s, lanes))
+            .collect();
+        let active = sys0
+            .timed
+            .iter()
+            .map(|t| vec![false; t.comp.sfgs.len() * lanes])
+            .collect();
+        let regs = init_regs(sys0)
+            .into_iter()
+            .map(|rs| {
+                let mut stripe = vec![0u64; rs.len() * lanes];
+                for (r, v) in rs.iter().enumerate() {
+                    stripe[r * lanes..(r + 1) * lanes].fill(*v);
+                }
+                stripe
+            })
+            .collect();
+
+        Ok(BatchedSim {
+            prog,
+            lanes,
+            slots,
+            states,
+            active,
+            regs,
+            alive: vec![true; lanes],
+            errors: vec![None; lanes],
+            in_buf: Vec::new(),
+            out_buf: Vec::new(),
+            cycle: 0,
+            traces: None,
+            obs: None,
+            systems,
+        })
+    }
+
+    /// Builds `lanes` systems with `make_sys` and batches them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `make_sys` errors, plus everything
+    /// [`BatchedSim::new_with`] reports.
+    pub fn from_fn(
+        lanes: usize,
+        mut make_sys: impl FnMut() -> Result<System, CoreError>,
+        level: OptLevel,
+    ) -> Result<BatchedSim, CoreError> {
+        let mut systems = Vec::with_capacity(lanes);
+        for _ in 0..lanes.max(1) {
+            systems.push(make_sys()?);
+        }
+        BatchedSim::new_with(systems, level)
+    }
+
+    /// Number of lanes (live and masked).
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Whether `lane` is still live (not masked off by an error).
+    pub fn alive(&self, lane: usize) -> bool {
+        self.alive.get(lane).copied().unwrap_or(false)
+    }
+
+    /// Number of lanes masked off so far.
+    pub fn masked_lanes(&self) -> usize {
+        self.alive.iter().filter(|a| !**a).count()
+    }
+
+    /// The first error of a masked lane, with the cycle (as counted
+    /// before the failing step) at which it surfaced. `None` while the
+    /// lane is live.
+    pub fn lane_error(&self, lane: usize) -> Option<&(u64, CoreError)> {
+        self.errors.get(lane).and_then(|e| e.as_ref())
+    }
+
+    /// Masks `lane` off with `error`, recorded at the current cycle.
+    /// This is the masking entry point for batch drivers: a failed
+    /// per-lane poke (fault injection) masks that lane instead of
+    /// poisoning the batch. Masking a dead or out-of-range lane is a
+    /// no-op (the first error wins).
+    pub fn fail_lane(&mut self, lane: usize, error: CoreError) {
+        let cycle = self.cycle;
+        self.mask_lane(lane, cycle, error);
+    }
+
+    fn mask_lane(&mut self, lane: usize, cycle: u64, error: CoreError) {
+        if lane < self.lanes && self.alive[lane] {
+            self.alive[lane] = false;
+            self.errors[lane] = Some((cycle, error));
+            if let Some(o) = &self.obs {
+                o.masked_lanes.incr();
+            }
+        }
+    }
+
+    /// The lane-0 system (the one the tape was compiled from).
+    pub fn system(&self) -> &System {
+        &self.systems[0]
+    }
+
+    /// Instructions executed per batched cycle (tape + guard pre-tape);
+    /// each is applied to every live lane.
+    pub fn tape_len(&self) -> usize {
+        self.prog.tape.len() + self.prog.pre_tape.len()
+    }
+
+    /// What the tape optimizer did at build time.
+    pub fn opt_stats(&self) -> OptStats {
+        self.prog.opt_stats
+    }
+
+    /// Attaches the batch observability bundle: flushes the
+    /// (deterministic) `batch.lanes` counter once, then every batched
+    /// step bumps `batch.tape_passes`, every masking event bumps
+    /// `batch.masked_lanes`, and the per-phase spans time the shared
+    /// tape walk.
+    pub fn attach_obs(&mut self, obs: BatchObs) {
+        obs.lanes.add(self.lanes as u64);
+        self.obs = Some(obs);
+    }
+
+    /// Sets a primary input of one lane for the coming cycle(s). Writes
+    /// to masked lanes are ignored (their state is frozen).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownName`] for an unknown input or lane
+    /// and [`CoreError::ValueType`] for a type mismatch.
+    pub fn set_input_lane(
+        &mut self,
+        lane: usize,
+        name: &str,
+        value: Value,
+    ) -> Result<(), CoreError> {
+        let slot = self.input_slot(name, &value)?;
+        self.check_lane(lane)?;
+        if self.alive[lane] {
+            self.slots[slot * self.lanes + lane] = encode(&value);
+        }
+        Ok(())
+    }
+
+    /// Reads a primary output of one lane (the value driven in the last
+    /// completed cycle; frozen for masked lanes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownName`] for an unknown output or lane.
+    pub fn output_lane(&self, lane: usize, name: &str) -> Result<Value, CoreError> {
+        self.check_lane(lane)?;
+        let sys = &self.systems[0];
+        sys.primary_outputs
+            .iter()
+            .find(|p| p.name == name)
+            .map(|p| self.read_net_slot(p.net, lane))
+            .ok_or_else(|| CoreError::UnknownName {
+                kind: "primary output",
+                name: name.to_owned(),
+            })
+    }
+
+    /// Observes the current value on a named net of one lane.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownName`] for an unknown net or lane.
+    pub fn peek_net_lane(&self, lane: usize, name: &str) -> Result<Value, CoreError> {
+        self.check_lane(lane)?;
+        let i = self.net_index(name)?;
+        Ok(self.read_net_slot(i, lane))
+    }
+
+    /// Overwrites the value held on a named net of one lane — the
+    /// per-lane fault-injection primitive. Writes to masked lanes are
+    /// ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownName`] for an unknown net or lane and
+    /// [`CoreError::ValueType`] for a type mismatch.
+    pub fn poke_net_lane(
+        &mut self,
+        lane: usize,
+        name: &str,
+        value: Value,
+    ) -> Result<(), CoreError> {
+        self.check_lane(lane)?;
+        let i = self.net_index(name)?;
+        value.check_type(self.systems[0].nets[i].ty, &format!("net `{name}`"))?;
+        if self.alive[lane] {
+            self.slots[self.prog.net_slot[i] as usize * self.lanes + lane] = encode(&value);
+        }
+        Ok(())
+    }
+
+    /// Observes a register of one lane.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownName`] for an unknown instance,
+    /// register or lane.
+    pub fn peek_reg_lane(
+        &self,
+        lane: usize,
+        instance: &str,
+        reg: &str,
+    ) -> Result<Value, CoreError> {
+        self.check_lane(lane)?;
+        let (i, j) = crate::sim::interp::find_reg(&self.systems[0], instance, reg)?;
+        Ok(decode(
+            self.regs[i][j * self.lanes + lane],
+            self.systems[0].timed[i].comp.regs[j].ty,
+        ))
+    }
+
+    /// Overwrites a register of one lane. Writes to masked lanes are
+    /// ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownName`] for an unknown instance,
+    /// register or lane and [`CoreError::ValueType`] for a type
+    /// mismatch.
+    pub fn poke_reg_lane(
+        &mut self,
+        lane: usize,
+        instance: &str,
+        reg: &str,
+        value: Value,
+    ) -> Result<(), CoreError> {
+        self.check_lane(lane)?;
+        let (i, j) = crate::sim::interp::find_reg(&self.systems[0], instance, reg)?;
+        value.check_type(
+            self.systems[0].timed[i].comp.regs[j].ty,
+            &format!("register `{instance}.{reg}`"),
+        )?;
+        if self.alive[lane] {
+            self.regs[i][j * self.lanes + lane] = encode(&value);
+        }
+        Ok(())
+    }
+
+    /// The recorded trace of one lane (`None` before
+    /// [`Simulator::enable_trace`] or for an out-of-range lane). A
+    /// masked lane's trace ends at its failing cycle.
+    pub fn trace_lane(&self, lane: usize) -> Option<&Trace> {
+        self.traces.as_ref().and_then(|t| t.get(lane))
+    }
+
+    /// The current FSM state name of a timed instance in one lane.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownName`] if the lane or instance does
+    /// not exist or the instance has no FSM.
+    pub fn state_name_lane(&self, lane: usize, instance: &str) -> Result<&str, CoreError> {
+        self.check_lane(lane)?;
+        let sys = &self.systems[0];
+        let (i, t) = sys
+            .timed
+            .iter()
+            .enumerate()
+            .find(|(_, t)| t.name == instance)
+            .ok_or_else(|| CoreError::UnknownName {
+                kind: "instance",
+                name: instance.to_owned(),
+            })?;
+        let fsm = t.comp.fsm.as_ref().ok_or_else(|| CoreError::UnknownName {
+            kind: "fsm",
+            name: instance.to_owned(),
+        })?;
+        Ok(&fsm.states[self.states[i * self.lanes + lane] as usize])
+    }
+
+    fn check_lane(&self, lane: usize) -> Result<(), CoreError> {
+        if lane < self.lanes {
+            Ok(())
+        } else {
+            Err(CoreError::UnknownName {
+                kind: "lane",
+                name: lane.to_string(),
+            })
+        }
+    }
+
+    fn net_index(&self, name: &str) -> Result<usize, CoreError> {
+        self.systems[0]
+            .nets
+            .iter()
+            .position(|n| n.name == name)
+            .ok_or_else(|| CoreError::UnknownName {
+                kind: "net",
+                name: name.to_owned(),
+            })
+    }
+
+    fn input_slot(&self, name: &str, value: &Value) -> Result<usize, CoreError> {
+        let pi = self.systems[0]
+            .primary_inputs
+            .iter()
+            .find(|p| p.name == name)
+            .ok_or_else(|| CoreError::UnknownName {
+                kind: "primary input",
+                name: name.to_owned(),
+            })?;
+        value.check_type(pi.ty, &format!("primary input `{name}`"))?;
+        Ok(self.prog.net_slot[pi.net] as usize)
+    }
+
+    fn read_net_slot(&self, net: usize, lane: usize) -> Value {
+        let sl = self.prog.net_slot[net] as usize;
+        decode(self.slots[sl * self.lanes + lane], self.prog.slot_ty[sl])
+    }
+
+    /// The error of the lowest-indexed masked lane (every lane is dead
+    /// when this is called).
+    fn first_error(&self) -> CoreError {
+        self.errors
+            .iter()
+            .flatten()
+            .map(|(_, e)| e.clone())
+            .next()
+            .unwrap_or(CoreError::Unsupported {
+                op: "batched step with no lanes".to_owned(),
+            })
+    }
+
+    /// One pass of the selected tape over every live lane: each micro-op
+    /// runs its own tight inner lane loop over the slot stripes.
+    ///
+    /// The loop comes in two shapes, chosen once per pass: while no lane
+    /// is masked (the overwhelmingly common case) the inner loop carries
+    /// no per-lane branch, so the stripes stream through unconditionally
+    /// and the optimizer can unroll and vectorize; once any lane is
+    /// masked, every store is guarded by the lane mask so a dead lane's
+    /// stripes stay frozen.
+    fn exec(&mut self, pre: bool) {
+        let lanes = self.lanes;
+        let instrs: &[Micro] = if pre {
+            &self.prog.pre_tape
+        } else {
+            &self.prog.tape
+        };
+        let untimed_io = &self.prog.untimed_io;
+        let s = &mut self.slots;
+        let alive = &self.alive;
+        let all_alive = alive.iter().all(|a| *a);
+        let regs = &self.regs;
+        let active = &self.active;
+        let systems = &mut self.systems;
+        let in_buf = &mut self.in_buf;
+        let out_buf = &mut self.out_buf;
+
+        // `at!(x, l)` — slot `x` of lane `l` in the striped state vector.
+        macro_rules! at {
+            ($x:expr, $l:ident) => {
+                s[*$x as usize * lanes + $l]
+            };
+        }
+        // Applies `$val` to `$dst` across every live lane: branch-free
+        // over all lanes while none is masked, mask-guarded after.
+        macro_rules! lanewise {
+            ($dst:expr, |$l:ident| $val:expr) => {{
+                let d = *$dst as usize * lanes;
+                // One range check up front lets the per-lane store checks
+                // fold away in the branch-free loop below.
+                assert!(d + lanes <= s.len());
+                if all_alive {
+                    for $l in 0..lanes {
+                        s[d + $l] = $val;
+                    }
+                } else {
+                    for $l in 0..lanes {
+                        if alive[$l] {
+                            s[d + $l] = $val;
+                        }
+                    }
+                }
+            }};
+        }
+
+        for m in instrs {
+            match m {
+                Micro::Copy { dst, src } => lanewise!(dst, |l| at!(src, l)),
+                Micro::RegRead { dst, inst, reg } => {
+                    let r = &regs[*inst as usize];
+                    let base = *reg as usize * lanes;
+                    lanewise!(dst, |l| r[base + l]);
+                }
+                Micro::AddB { dst, a, b, mask } => {
+                    lanewise!(dst, |l| at!(a, l).wrapping_add(at!(b, l)) & mask);
+                }
+                Micro::SubB { dst, a, b, mask } => {
+                    lanewise!(dst, |l| at!(a, l).wrapping_sub(at!(b, l)) & mask);
+                }
+                Micro::MulB { dst, a, b, mask } => {
+                    lanewise!(dst, |l| at!(a, l).wrapping_mul(at!(b, l)) & mask);
+                }
+                Micro::AndU { dst, a, b } => lanewise!(dst, |l| at!(a, l) & at!(b, l)),
+                Micro::OrU { dst, a, b } => lanewise!(dst, |l| at!(a, l) | at!(b, l)),
+                Micro::XorU { dst, a, b } => lanewise!(dst, |l| at!(a, l) ^ at!(b, l)),
+                Micro::NotU { dst, a, mask } => lanewise!(dst, |l| !at!(a, l) & mask),
+                Micro::NegB { dst, a, mask } => {
+                    lanewise!(dst, |l| at!(a, l).wrapping_neg() & mask);
+                }
+                Micro::ShlB { dst, a, n, mask } => {
+                    if *n >= 64 {
+                        lanewise!(dst, |l| {
+                            let _ = l;
+                            0
+                        });
+                    } else {
+                        lanewise!(dst, |l| (at!(a, l) << n) & mask);
+                    }
+                }
+                Micro::ShrB { dst, a, n } => {
+                    if *n >= 64 {
+                        lanewise!(dst, |l| {
+                            let _ = l;
+                            0
+                        });
+                    } else {
+                        lanewise!(dst, |l| at!(a, l) >> n);
+                    }
+                }
+                Micro::ShrMask { dst, a, n, mask } => {
+                    if *n >= 64 {
+                        lanewise!(dst, |l| {
+                            let _ = l;
+                            0
+                        });
+                    } else {
+                        lanewise!(dst, |l| (at!(a, l) >> n) & mask);
+                    }
+                }
+                Micro::CmpU { dst, a, b, kind } => {
+                    lanewise!(dst, |l| kind.apply(at!(a, l).cmp(&at!(b, l))) as u64);
+                }
+                Micro::AddF {
+                    dst,
+                    a,
+                    b,
+                    sha,
+                    shb,
+                } => {
+                    lanewise!(dst, |l| {
+                        let x = (at!(a, l) as i64) << sha;
+                        let y = (at!(b, l) as i64) << shb;
+                        (x + y) as u64
+                    });
+                }
+                Micro::SubF {
+                    dst,
+                    a,
+                    b,
+                    sha,
+                    shb,
+                } => {
+                    lanewise!(dst, |l| {
+                        let x = (at!(a, l) as i64) << sha;
+                        let y = (at!(b, l) as i64) << shb;
+                        (x - y) as u64
+                    });
+                }
+                Micro::MulF { dst, a, b } => {
+                    lanewise!(dst, |l| {
+                        let p = at!(a, l) as i64 as i128 * at!(b, l) as i64 as i128;
+                        p as i64 as u64
+                    });
+                }
+                Micro::NegF { dst, a } => {
+                    lanewise!(dst, |l| (at!(a, l) as i64).wrapping_neg() as u64);
+                }
+                Micro::CmpF {
+                    dst,
+                    a,
+                    b,
+                    sha,
+                    shb,
+                    kind,
+                } => {
+                    lanewise!(dst, |l| {
+                        let x = (at!(a, l) as i64 as i128) << sha;
+                        let y = (at!(b, l) as i64 as i128) << shb;
+                        kind.apply(x.cmp(&y)) as u64
+                    });
+                }
+                Micro::CastF {
+                    dst,
+                    a,
+                    src,
+                    target,
+                    rnd,
+                    ovf,
+                } => {
+                    lanewise!(dst, |l| {
+                        let v = ocapi_fixp::Fix::from_raw(at!(a, l) as i64, *src);
+                        v.cast(*target, *rnd, *ovf).mantissa() as u64
+                    });
+                }
+                Micro::FloatToFix {
+                    dst,
+                    a,
+                    target,
+                    rnd,
+                    ovf,
+                } => {
+                    lanewise!(dst, |l| {
+                        let x = f64::from_bits(at!(a, l));
+                        ocapi_fixp::Fix::from_f64(x, *target, *rnd, *ovf).mantissa() as u64
+                    });
+                }
+                Micro::AddFl { dst, a, b } => {
+                    lanewise!(dst, |l| {
+                        (f64::from_bits(at!(a, l)) + f64::from_bits(at!(b, l))).to_bits()
+                    });
+                }
+                Micro::SubFl { dst, a, b } => {
+                    lanewise!(dst, |l| {
+                        (f64::from_bits(at!(a, l)) - f64::from_bits(at!(b, l))).to_bits()
+                    });
+                }
+                Micro::MulFl { dst, a, b } => {
+                    lanewise!(dst, |l| {
+                        (f64::from_bits(at!(a, l)) * f64::from_bits(at!(b, l))).to_bits()
+                    });
+                }
+                Micro::NegFl { dst, a } => {
+                    lanewise!(dst, |l| (-f64::from_bits(at!(a, l))).to_bits());
+                }
+                Micro::CmpFl { dst, a, b, kind } => {
+                    lanewise!(dst, |l| {
+                        let o = f64::from_bits(at!(a, l))
+                            .partial_cmp(&f64::from_bits(at!(b, l)))
+                            .unwrap_or(std::cmp::Ordering::Equal);
+                        kind.apply(o) as u64
+                    });
+                }
+                Micro::MaskTo { dst, a, mask } => lanewise!(dst, |l| at!(a, l) & mask),
+                Micro::NonZero { dst, a } => lanewise!(dst, |l| (at!(a, l) != 0) as u64),
+                Micro::NonZeroFloat { dst, a } => {
+                    lanewise!(dst, |l| (f64::from_bits(at!(a, l)) != 0.0) as u64);
+                }
+                Micro::ToFloatBits { dst, a } => {
+                    lanewise!(dst, |l| (at!(a, l) as f64).to_bits());
+                }
+                Micro::ToFloatFix { dst, a, frac_bits } => {
+                    lanewise!(dst, |l| {
+                        (at!(a, l) as i64 as f64 * f64::powi(2.0, -(*frac_bits as i32))).to_bits()
+                    });
+                }
+                Micro::SelectU { dst, c, t, e } => {
+                    lanewise!(dst, |l| if at!(c, l) != 0 { at!(t, l) } else { at!(e, l) });
+                }
+                Micro::Drive {
+                    net_slot,
+                    inst,
+                    cands,
+                } => {
+                    let act = &active[*inst as usize];
+                    let d = *net_slot as usize * lanes;
+                    for l in 0..lanes {
+                        if !all_alive && !alive[l] {
+                            continue;
+                        }
+                        for (sfg, src) in cands {
+                            if act[*sfg as usize * lanes + l] {
+                                s[d + l] = s[*src as usize * lanes + l];
+                                break;
+                            }
+                        }
+                    }
+                }
+                Micro::Fire { inst } => {
+                    let u = *inst as usize;
+                    let (ins, outs) = &untimed_io[u];
+                    for l in 0..lanes {
+                        if !alive[l] {
+                            continue;
+                        }
+                        in_buf.clear();
+                        in_buf.extend(
+                            ins.iter()
+                                .map(|(sl, ty)| decode(s[*sl as usize * lanes + l], *ty)),
+                        );
+                        out_buf.clear();
+                        out_buf.extend(
+                            outs.iter()
+                                .map(|(sl, ty)| decode(s[*sl as usize * lanes + l], *ty)),
+                        );
+                        let block = &mut systems[l].untimed[u].block;
+                        if block.ready(in_buf) {
+                            block.fire(in_buf, out_buf);
+                            for ((sl, _), v) in outs.iter().zip(out_buf.iter()) {
+                                s[*sl as usize * lanes + l] = encode(v);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Simulator for BatchedSim {
+    /// Broadcasts to every live lane.
+    fn set_input(&mut self, name: &str, value: Value) -> Result<(), CoreError> {
+        let slot = self.input_slot(name, &value)?;
+        let bits = encode(&value);
+        let base = slot * self.lanes;
+        for l in 0..self.lanes {
+            if self.alive[l] {
+                self.slots[base + l] = bits;
+            }
+        }
+        Ok(())
+    }
+
+    /// One batched cycle: guard pre-tape, per-lane transition selection,
+    /// one shared tape pass, per-lane register commit, per-lane trace.
+    /// A lane whose trace recording fails is masked off (see
+    /// [`BatchedSim::fail_lane`]); the step itself only errors once
+    /// *every* lane is masked, returning the lowest-indexed lane's
+    /// error — so a 1-lane batch reports errors exactly like the scalar
+    /// compiled back-end.
+    fn step(&mut self) -> Result<(), CoreError> {
+        if !self.alive.iter().any(|a| *a) {
+            return Err(self.first_error());
+        }
+        let c0 = self.cycle;
+
+        // Guard evaluation over held values.
+        let t_pre = self.obs.as_ref().map(|o| o.sp_pre.timer());
+        self.exec(true);
+        drop(t_pre);
+
+        // Per-lane transition selection.
+        let t_select = self.obs.as_ref().map(|o| o.sp_select.timer());
+        let lanes = self.lanes;
+        let fsm_tables = &self.prog.fsm_tables;
+        let slots = &self.slots;
+        let states = &mut self.states;
+        let active = &mut self.active;
+        for (i, tables) in fsm_tables.iter().enumerate() {
+            let act = &mut active[i];
+            if tables.is_empty() {
+                for a in act.iter_mut() {
+                    *a = true;
+                }
+                continue;
+            }
+            let nsfg = act.len() / lanes;
+            for l in 0..lanes {
+                if !self.alive[l] {
+                    continue;
+                }
+                for k in 0..nsfg {
+                    act[k * lanes + l] = false;
+                }
+                let st = states[i * lanes + l] as usize;
+                let mut chosen: Option<&CompiledTransition> = None;
+                for tr in &tables[st] {
+                    let take = match tr.guard_slot {
+                        None => true,
+                        Some(g) => slots[g as usize * lanes + l] != 0,
+                    };
+                    if take {
+                        chosen = Some(tr);
+                        break;
+                    }
+                }
+                if let Some(tr) = chosen {
+                    states[i * lanes + l] = tr.to;
+                    for sk in &tr.sfgs {
+                        act[*sk as usize * lanes + l] = true;
+                    }
+                }
+            }
+        }
+        drop(t_select);
+
+        // Main tape: one walk, all lanes.
+        let t_eval = self.obs.as_ref().map(|o| o.sp_eval.timer());
+        self.exec(false);
+        drop(t_eval);
+        if let Some(o) = &self.obs {
+            o.tape_passes.incr();
+        }
+
+        // Per-lane register commit.
+        let t_commit = self.obs.as_ref().map(|o| o.sp_commit.timer());
+        for w in &self.prog.reg_writes {
+            let act = &self.active[w.inst as usize];
+            let rf = &mut self.regs[w.inst as usize];
+            for l in 0..lanes {
+                if !self.alive[l] {
+                    continue;
+                }
+                for (sfg, src) in &w.cands {
+                    if act[*sfg as usize * lanes + l] {
+                        rf[w.reg as usize * lanes + l] = self.slots[*src as usize * lanes + l];
+                        break;
+                    }
+                }
+            }
+        }
+        drop(t_commit);
+
+        self.cycle += 1;
+
+        // Per-lane trace; a failing lane is masked, not fatal.
+        let mut failed: Vec<(usize, CoreError)> = Vec::new();
+        if let Some(traces) = &mut self.traces {
+            let _t_trace = self.obs.as_ref().map(|o| o.sp_trace.timer());
+            let sys = &self.systems[0];
+            for (l, trace) in traces.iter_mut().enumerate() {
+                if !self.alive[l] {
+                    continue;
+                }
+                let row: Vec<Value> = sys
+                    .primary_inputs
+                    .iter()
+                    .map(|p| p.net)
+                    .chain(sys.primary_outputs.iter().map(|p| p.net))
+                    .map(|net| {
+                        let sl = self.prog.net_slot[net] as usize;
+                        decode(self.slots[sl * lanes + l], self.prog.slot_ty[sl])
+                    })
+                    .collect();
+                if let Err(e) = trace.record_cycle(&row) {
+                    failed.push((l, e));
+                }
+            }
+        }
+        for (l, e) in failed {
+            self.mask_lane(l, c0, e);
+        }
+
+        if !self.alive.iter().any(|a| *a) {
+            return Err(self.first_error());
+        }
+        Ok(())
+    }
+
+    /// Lane 0's value.
+    fn output(&self, name: &str) -> Result<Value, CoreError> {
+        self.output_lane(0, name)
+    }
+
+    fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Starts recording one trace per lane.
+    fn enable_trace(&mut self) {
+        if self.traces.is_none() {
+            self.traces = Some(
+                (0..self.lanes)
+                    .map(|_| make_trace(&self.systems[0]))
+                    .collect(),
+            );
+        }
+    }
+
+    /// Lane 0's trace (see [`BatchedSim::trace_lane`]).
+    fn trace(&self) -> &Trace {
+        static EMPTY: std::sync::OnceLock<Trace> = std::sync::OnceLock::new();
+        self.trace_lane(0)
+            .unwrap_or_else(|| EMPTY.get_or_init(Trace::default))
+    }
+
+    /// Lane 0's value.
+    fn peek_net(&self, name: &str) -> Result<Value, CoreError> {
+        self.peek_net_lane(0, name)
+    }
+
+    /// Broadcasts to every live lane.
+    fn poke_net(&mut self, name: &str, value: Value) -> Result<(), CoreError> {
+        let i = self.net_index(name)?;
+        value.check_type(self.systems[0].nets[i].ty, &format!("net `{name}`"))?;
+        let base = self.prog.net_slot[i] as usize * self.lanes;
+        let bits = encode(&value);
+        for l in 0..self.lanes {
+            if self.alive[l] {
+                self.slots[base + l] = bits;
+            }
+        }
+        Ok(())
+    }
+
+    /// Lane 0's value.
+    fn peek_reg(&self, instance: &str, reg: &str) -> Result<Value, CoreError> {
+        self.peek_reg_lane(0, instance, reg)
+    }
+
+    /// Broadcasts to every live lane.
+    fn poke_reg(&mut self, instance: &str, reg: &str, value: Value) -> Result<(), CoreError> {
+        let (i, j) = crate::sim::interp::find_reg(&self.systems[0], instance, reg)?;
+        value.check_type(
+            self.systems[0].timed[i].comp.regs[j].ty,
+            &format!("register `{instance}.{reg}`"),
+        )?;
+        let bits = encode(&value);
+        for l in 0..self.lanes {
+            if self.alive[l] {
+                self.regs[i][j * self.lanes + l] = bits;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::SigType;
+    use crate::Component;
+    use ocapi_obs::Registry;
+
+    fn counter_system() -> System {
+        let c = Component::build("counter");
+        let out = c.output("count", SigType::Bits(8)).unwrap();
+        let r = c.reg("r", SigType::Bits(8)).unwrap();
+        let sfg = c.sfg("tick").unwrap();
+        let q = c.q(r);
+        sfg.drive(out, &q).unwrap();
+        sfg.next(r, &(q.clone() + c.const_bits(8, 1))).unwrap();
+        let comp = c.finish().unwrap();
+        let mut sb = System::build("demo");
+        let inst = sb.add_component("u0", comp).unwrap();
+        sb.output("count", inst, "count").unwrap();
+        sb.finish().unwrap()
+    }
+
+    #[test]
+    fn obs_counts_lanes_tape_passes_and_maskings() {
+        let reg = Registry::new();
+        let mut sim = BatchedSim::from_fn(4, || Ok(counter_system()), OptLevel::Full).unwrap();
+        sim.attach_obs(BatchObs::new(&reg));
+        sim.run(5).unwrap();
+        sim.fail_lane(
+            2,
+            CoreError::Unsupported {
+                op: "test mask".to_owned(),
+            },
+        );
+        sim.run(3).unwrap();
+        // Deterministic counters: lane slots once, one tape pass per
+        // batched step (not per lane), one masking event.
+        assert_eq!(reg.counter("batch.lanes").get(), 4);
+        assert_eq!(reg.counter("batch.tape_passes").get(), 8);
+        assert_eq!(reg.counter("batch.masked_lanes").get(), 1);
+        // The phase tree hangs off one `batch` root.
+        let roots = reg.roots();
+        let batch_root = roots.iter().find(|r| r.label() == "batch").unwrap();
+        let labels: Vec<String> = batch_root
+            .children()
+            .iter()
+            .map(|c| c.label().to_owned())
+            .collect();
+        for want in [
+            "guard_pre_tape",
+            "transition_select",
+            "tape",
+            "register_update",
+            "trace",
+        ] {
+            assert!(labels.iter().any(|l| l == want), "missing span `{want}`");
+        }
+        // Masked lanes freeze; live lanes keep counting.
+        assert_eq!(sim.output_lane(2, "count").unwrap(), Value::bits(8, 4));
+        assert_eq!(sim.output_lane(0, "count").unwrap(), Value::bits(8, 7));
+    }
+}

@@ -84,7 +84,7 @@ pub(crate) enum Instr {
 
 /// Comparison kinds shared by the specialised compare micro-ops.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Cmp {
+pub(crate) enum Cmp {
     Eq,
     Ne,
     Lt,
@@ -107,7 +107,7 @@ impl Cmp {
     }
 
     #[inline]
-    fn apply(self, o: std::cmp::Ordering) -> bool {
+    pub(crate) fn apply(self, o: std::cmp::Ordering) -> bool {
         match self {
             Cmp::Eq => o.is_eq(),
             Cmp::Ne => o.is_ne(),
@@ -120,8 +120,11 @@ impl Cmp {
 }
 
 /// A monomorphised micro-instruction over raw `u64` slots.
+///
+/// Crate-visible so the lane-batched executor (`sim::batch`) can walk
+/// the same tape with its own (strided, multi-lane) inner loops.
 #[derive(Debug, Clone)]
-enum Micro {
+pub(crate) enum Micro {
     Copy {
         dst: u32,
         src: u32,
@@ -412,6 +415,261 @@ impl Builder {
     }
 }
 
+/// The immutable result of levelizing and monomorphising one system:
+/// everything [`CompiledSim`] needs apart from the mutable per-instance
+/// state. Crate-visible so `sim::batch` can replicate the state over N
+/// lanes while sharing one tape walk.
+#[derive(Debug, Clone)]
+pub(crate) struct Program {
+    pub(crate) init_slots: Vec<u64>,
+    pub(crate) slot_ty: Vec<SigType>,
+    pub(crate) pre_tape: Vec<Micro>,
+    pub(crate) tape: Vec<Micro>,
+    pub(crate) fsm_tables: Vec<Vec<Vec<CompiledTransition>>>,
+    pub(crate) reg_writes: Vec<RegWriteSel>,
+    pub(crate) net_slot: Vec<u32>,
+    pub(crate) untimed_io: Vec<UntimedIo>,
+    pub(crate) opt_stats: OptStats,
+}
+
+/// Initial FSM state per timed instance.
+pub(crate) fn init_states(sys: &System) -> Vec<u32> {
+    sys.timed
+        .iter()
+        .map(|t| t.comp.fsm.as_ref().map_or(0, |f| f.initial.0))
+        .collect()
+}
+
+/// Initial register file (encoded) per timed instance.
+pub(crate) fn init_regs(sys: &System) -> Vec<Vec<u64>> {
+    sys.timed
+        .iter()
+        .map(|t| t.comp.regs.iter().map(|r| encode(&r.init)).collect())
+        .collect()
+}
+
+/// Levelizes and monomorphises `sys` into a [`Program`].
+pub(crate) fn build_program(sys: &System, level: OptLevel) -> Result<Program, CoreError> {
+    let mut b = Builder {
+        slots: Vec::new(),
+        slot_ty: Vec::new(),
+        node_slot: Vec::new(),
+        net_slot: Vec::new(),
+        instrs: Vec::new(),
+        producer: HashMap::new(),
+    };
+
+    // 1. Net slots.
+    for net in &sys.nets {
+        let init = match &net.source {
+            NetSource::Constant(v) => *v,
+            _ => net.ty.zero(),
+        };
+        let s = b.alloc(init);
+        b.net_slot.push(s);
+    }
+
+    // 2. Node slots per timed instance. Input nodes alias their net's
+    //    slot; constants are prefilled.
+    for (i, t) in sys.timed.iter().enumerate() {
+        let comp = &t.comp;
+        let mut slots = Vec::with_capacity(comp.nodes.len());
+        for node in &comp.nodes {
+            let s = match &node.kind {
+                NodeKind::Input(p) => b.net_slot[sys.timed_in_net[i][p.index()]],
+                NodeKind::Const(v) => b.alloc(*v),
+                _ => b.alloc(node.ty.zero()),
+            };
+            slots.push(s);
+        }
+        b.node_slot.push(slots);
+    }
+
+    // 3. Instructions for every non-trivial node.
+    for (i, t) in sys.timed.iter().enumerate() {
+        let comp = &t.comp;
+        for (n, node) in comp.nodes.iter().enumerate() {
+            let dst = b.node_slot[i][n];
+            match &node.kind {
+                NodeKind::Const(_) | NodeKind::Input(_) => {}
+                NodeKind::RegRead(r) => b.emit(
+                    Instr::RegRead {
+                        dst,
+                        inst: i as u32,
+                        reg: r.0,
+                    },
+                    dst,
+                ),
+                NodeKind::Un(op, a) => {
+                    let a = b.node_slot[i][a.index()];
+                    b.emit(Instr::Un { op: *op, dst, a }, dst);
+                }
+                NodeKind::Bin(op, x, y) => {
+                    let a = b.node_slot[i][x.index()];
+                    let b2 = b.node_slot[i][y.index()];
+                    b.emit(
+                        Instr::Bin {
+                            op: *op,
+                            dst,
+                            a,
+                            b: b2,
+                        },
+                        dst,
+                    );
+                }
+                NodeKind::Select {
+                    cond,
+                    then,
+                    otherwise,
+                } => {
+                    let c = b.node_slot[i][cond.index()];
+                    let tt = b.node_slot[i][then.index()];
+                    let e = b.node_slot[i][otherwise.index()];
+                    b.emit(Instr::Select { dst, c, t: tt, e }, dst);
+                }
+            }
+        }
+    }
+
+    // 4. Drive instructions for timed-driven nets, Fire for untimed.
+    for (ni, net) in sys.nets.iter().enumerate() {
+        if let NetSource::TimedOut { inst, port } = net.source {
+            let comp = &sys.timed[inst].comp;
+            let cands: Vec<(u32, u32)> = comp
+                .sfgs
+                .iter()
+                .enumerate()
+                .flat_map(|(si, sfg)| {
+                    sfg.outputs
+                        .iter()
+                        .filter(|(p, _)| p.index() == port)
+                        .map(move |(_, node)| (si as u32, node))
+                })
+                .map(|(si, node)| (si, b.node_slot[inst][node.index()]))
+                .collect();
+            let net_slot = b.net_slot[ni];
+            b.emit(
+                Instr::Drive {
+                    net_slot,
+                    inst: inst as u32,
+                    cands,
+                },
+                net_slot,
+            );
+        }
+    }
+    let mut untimed_io = Vec::new();
+    for (u, inst) in sys.untimed.iter().enumerate() {
+        let in_slots: Vec<(u32, SigType)> = sys.untimed_in_net[u]
+            .iter()
+            .zip(&inst.inputs)
+            .map(|(n, p)| (b.net_slot[*n], p.ty))
+            .collect();
+        let mut out_slots = Vec::new();
+        for (p, decl) in inst.outputs.iter().enumerate() {
+            let net = sys.nets.iter().position(|n| {
+                    matches!(n.source, NetSource::UntimedOut { inst: i2, port } if i2 == u && port == p)
+                });
+            let slot = match net {
+                Some(n) => b.net_slot[n],
+                None => b.alloc(decl.ty.zero()),
+            };
+            out_slots.push((slot, decl.ty));
+        }
+        let fire_idx = b.instrs.len();
+        b.instrs.push(Instr::Fire { inst: u as u32 });
+        for (s, _) in &out_slots {
+            b.producer.insert(*s, fire_idx);
+        }
+        untimed_io.push((in_slots, out_slots));
+    }
+
+    // 5. Topological sort of the instruction list.
+    let mut sorted = topo_sort(&b, sys, &untimed_io)?;
+
+    // 6. Guard pre-tape: duplicate guard cones reading held net values.
+    let mut pre_instrs: Vec<Instr> = Vec::new();
+    let mut fsm_tables = Vec::new();
+    for (i, t) in sys.timed.iter().enumerate() {
+        let comp = &t.comp;
+        let mut memo: HashMap<NodeId, u32> = HashMap::new();
+        let mut table: Vec<Vec<CompiledTransition>> = Vec::new();
+        if let Some(fsm) = &comp.fsm {
+            table.resize(fsm.states.len(), Vec::new());
+            for tr in &fsm.transitions {
+                let guard_slot = tr
+                    .guard
+                    .map(|g| emit_guard_cone(comp, g, i, sys, &mut b, &mut memo, &mut pre_instrs));
+                table[tr.from.index()].push(CompiledTransition {
+                    guard_slot,
+                    sfgs: tr.actions.iter().map(|s| s.0).collect(),
+                    to: tr.to.0,
+                });
+            }
+        }
+        fsm_tables.push(table);
+    }
+
+    // 7. Register write selectors (before the optimizer so slot
+    //    renames apply to them and they can root the liveness walk).
+    let mut reg_writes = Vec::new();
+    for (i, t) in sys.timed.iter().enumerate() {
+        let comp = &t.comp;
+        for r in 0..comp.regs.len() {
+            let cands: Vec<(u32, u32)> = comp
+                .sfgs
+                .iter()
+                .enumerate()
+                .flat_map(|(si, sfg)| {
+                    sfg.reg_writes
+                        .iter()
+                        .filter(|(reg, _)| reg.index() == r)
+                        .map(move |(_, node)| (si as u32, node))
+                })
+                .map(|(si, node)| (si, b.node_slot[i][node.index()]))
+                .collect();
+            if !cands.is_empty() {
+                reg_writes.push(RegWriteSel {
+                    inst: i as u32,
+                    reg: r as u32,
+                    cands,
+                });
+            }
+        }
+    }
+
+    // 8. Optimize both tapes over the generic instruction form.
+    let opt_stats = opt::optimize(
+        level,
+        &mut sorted,
+        &mut pre_instrs,
+        &mut OptEnv {
+            slots: &mut b.slots,
+            slot_ty: &mut b.slot_ty,
+            net_slot: &mut b.net_slot,
+            reg_writes: &mut reg_writes,
+            untimed_io: &mut untimed_io,
+            fsm_tables: &mut fsm_tables,
+        },
+    );
+
+    // 9. Monomorphise both tapes.
+    let tape: Vec<Micro> = sorted.iter().map(|i| lower(i, &b.slot_ty)).collect();
+    let pre_tape: Vec<Micro> = pre_instrs.iter().map(|i| lower(i, &b.slot_ty)).collect();
+
+    Ok(Program {
+        init_slots: b.slots,
+        slot_ty: b.slot_ty,
+        pre_tape,
+        tape,
+        fsm_tables,
+        reg_writes,
+        net_slot: b.net_slot,
+        untimed_io,
+        opt_stats,
+    })
+}
+
 impl CompiledSim {
     /// Levelizes and monomorphises the system into a static evaluation
     /// tape.
@@ -436,249 +694,33 @@ impl CompiledSim {
     /// Returns [`CoreError::NotCompilable`] when the conservative
     /// cross-component dependence graph is cyclic.
     pub fn new_with(sys: System, level: OptLevel) -> Result<CompiledSim, CoreError> {
-        let mut b = Builder {
-            slots: Vec::new(),
-            slot_ty: Vec::new(),
-            node_slot: Vec::new(),
-            net_slot: Vec::new(),
-            instrs: Vec::new(),
-            producer: HashMap::new(),
-        };
-
-        // 1. Net slots.
-        for net in &sys.nets {
-            let init = match &net.source {
-                NetSource::Constant(v) => *v,
-                _ => net.ty.zero(),
-            };
-            let s = b.alloc(init);
-            b.net_slot.push(s);
-        }
-
-        // 2. Node slots per timed instance. Input nodes alias their net's
-        //    slot; constants are prefilled.
-        for (i, t) in sys.timed.iter().enumerate() {
-            let comp = &t.comp;
-            let mut slots = Vec::with_capacity(comp.nodes.len());
-            for node in &comp.nodes {
-                let s = match &node.kind {
-                    NodeKind::Input(p) => b.net_slot[sys.timed_in_net[i][p.index()]],
-                    NodeKind::Const(v) => b.alloc(*v),
-                    _ => b.alloc(node.ty.zero()),
-                };
-                slots.push(s);
-            }
-            b.node_slot.push(slots);
-        }
-
-        // 3. Instructions for every non-trivial node.
-        for (i, t) in sys.timed.iter().enumerate() {
-            let comp = &t.comp;
-            for (n, node) in comp.nodes.iter().enumerate() {
-                let dst = b.node_slot[i][n];
-                match &node.kind {
-                    NodeKind::Const(_) | NodeKind::Input(_) => {}
-                    NodeKind::RegRead(r) => b.emit(
-                        Instr::RegRead {
-                            dst,
-                            inst: i as u32,
-                            reg: r.0,
-                        },
-                        dst,
-                    ),
-                    NodeKind::Un(op, a) => {
-                        let a = b.node_slot[i][a.index()];
-                        b.emit(Instr::Un { op: *op, dst, a }, dst);
-                    }
-                    NodeKind::Bin(op, x, y) => {
-                        let a = b.node_slot[i][x.index()];
-                        let b2 = b.node_slot[i][y.index()];
-                        b.emit(
-                            Instr::Bin {
-                                op: *op,
-                                dst,
-                                a,
-                                b: b2,
-                            },
-                            dst,
-                        );
-                    }
-                    NodeKind::Select {
-                        cond,
-                        then,
-                        otherwise,
-                    } => {
-                        let c = b.node_slot[i][cond.index()];
-                        let tt = b.node_slot[i][then.index()];
-                        let e = b.node_slot[i][otherwise.index()];
-                        b.emit(Instr::Select { dst, c, t: tt, e }, dst);
-                    }
-                }
-            }
-        }
-
-        // 4. Drive instructions for timed-driven nets, Fire for untimed.
-        for (ni, net) in sys.nets.iter().enumerate() {
-            if let NetSource::TimedOut { inst, port } = net.source {
-                let comp = &sys.timed[inst].comp;
-                let cands: Vec<(u32, u32)> = comp
-                    .sfgs
-                    .iter()
-                    .enumerate()
-                    .flat_map(|(si, sfg)| {
-                        sfg.outputs
-                            .iter()
-                            .filter(|(p, _)| p.index() == port)
-                            .map(move |(_, node)| (si as u32, node))
-                    })
-                    .map(|(si, node)| (si, b.node_slot[inst][node.index()]))
-                    .collect();
-                let net_slot = b.net_slot[ni];
-                b.emit(
-                    Instr::Drive {
-                        net_slot,
-                        inst: inst as u32,
-                        cands,
-                    },
-                    net_slot,
-                );
-            }
-        }
-        let mut untimed_io = Vec::new();
-        for (u, inst) in sys.untimed.iter().enumerate() {
-            let in_slots: Vec<(u32, SigType)> = sys.untimed_in_net[u]
-                .iter()
-                .zip(&inst.inputs)
-                .map(|(n, p)| (b.net_slot[*n], p.ty))
-                .collect();
-            let mut out_slots = Vec::new();
-            for (p, decl) in inst.outputs.iter().enumerate() {
-                let net = sys.nets.iter().position(|n| {
-                    matches!(n.source, NetSource::UntimedOut { inst: i2, port } if i2 == u && port == p)
-                });
-                let slot = match net {
-                    Some(n) => b.net_slot[n],
-                    None => b.alloc(decl.ty.zero()),
-                };
-                out_slots.push((slot, decl.ty));
-            }
-            let fire_idx = b.instrs.len();
-            b.instrs.push(Instr::Fire { inst: u as u32 });
-            for (s, _) in &out_slots {
-                b.producer.insert(*s, fire_idx);
-            }
-            untimed_io.push((in_slots, out_slots));
-        }
-
-        // 5. Topological sort of the instruction list.
-        let mut sorted = topo_sort(&b, &sys, &untimed_io)?;
-
-        // 6. Guard pre-tape: duplicate guard cones reading held net values.
-        let mut pre_instrs: Vec<Instr> = Vec::new();
-        let mut fsm_tables = Vec::new();
-        for (i, t) in sys.timed.iter().enumerate() {
-            let comp = &t.comp;
-            let mut memo: HashMap<NodeId, u32> = HashMap::new();
-            let mut table: Vec<Vec<CompiledTransition>> = Vec::new();
-            if let Some(fsm) = &comp.fsm {
-                table.resize(fsm.states.len(), Vec::new());
-                for tr in &fsm.transitions {
-                    let guard_slot = tr.guard.map(|g| {
-                        emit_guard_cone(comp, g, i, &sys, &mut b, &mut memo, &mut pre_instrs)
-                    });
-                    table[tr.from.index()].push(CompiledTransition {
-                        guard_slot,
-                        sfgs: tr.actions.iter().map(|s| s.0).collect(),
-                        to: tr.to.0,
-                    });
-                }
-            }
-            fsm_tables.push(table);
-        }
-
-        // 7. Register write selectors (before the optimizer so slot
-        //    renames apply to them and they can root the liveness walk).
-        let mut reg_writes = Vec::new();
-        for (i, t) in sys.timed.iter().enumerate() {
-            let comp = &t.comp;
-            for r in 0..comp.regs.len() {
-                let cands: Vec<(u32, u32)> = comp
-                    .sfgs
-                    .iter()
-                    .enumerate()
-                    .flat_map(|(si, sfg)| {
-                        sfg.reg_writes
-                            .iter()
-                            .filter(|(reg, _)| reg.index() == r)
-                            .map(move |(_, node)| (si as u32, node))
-                    })
-                    .map(|(si, node)| (si, b.node_slot[i][node.index()]))
-                    .collect();
-                if !cands.is_empty() {
-                    reg_writes.push(RegWriteSel {
-                        inst: i as u32,
-                        reg: r as u32,
-                        cands,
-                    });
-                }
-            }
-        }
-
-        // 8. Optimize both tapes over the generic instruction form.
-        let opt_stats = opt::optimize(
-            level,
-            &mut sorted,
-            &mut pre_instrs,
-            &mut OptEnv {
-                slots: &mut b.slots,
-                slot_ty: &mut b.slot_ty,
-                net_slot: &mut b.net_slot,
-                reg_writes: &mut reg_writes,
-                untimed_io: &mut untimed_io,
-                fsm_tables: &mut fsm_tables,
-            },
-        );
-
-        // 9. Monomorphise both tapes.
-        let tape: Vec<Micro> = sorted.iter().map(|i| lower(i, &b.slot_ty)).collect();
-        let pre_tape: Vec<Micro> = pre_instrs.iter().map(|i| lower(i, &b.slot_ty)).collect();
-
-        let states = sys
-            .timed
-            .iter()
-            .map(|t| t.comp.fsm.as_ref().map_or(0, |f| f.initial.0))
-            .collect();
+        let prog = build_program(&sys, level)?;
+        let states = init_states(&sys);
         let active = sys
             .timed
             .iter()
             .map(|t| vec![false; t.comp.sfgs.len()])
             .collect();
-        let regs = sys
-            .timed
-            .iter()
-            .map(|t| t.comp.regs.iter().map(|r| encode(&r.init)).collect())
-            .collect();
-
-        let slots = b.slots;
+        let regs = init_regs(&sys);
         Ok(CompiledSim {
-            init_slots: slots.clone(),
-            slots,
-            slot_ty: b.slot_ty,
-            pre_tape,
-            tape,
-            fsm_tables,
-            reg_writes,
+            slots: prog.init_slots.clone(),
+            init_slots: prog.init_slots,
+            slot_ty: prog.slot_ty,
+            pre_tape: prog.pre_tape,
+            tape: prog.tape,
+            fsm_tables: prog.fsm_tables,
+            reg_writes: prog.reg_writes,
             states,
             active,
             regs,
-            net_slot: b.net_slot,
-            untimed_io,
+            net_slot: prog.net_slot,
+            untimed_io: prog.untimed_io,
             in_buf: Vec::new(),
             out_buf: Vec::new(),
             cycle: 0,
             trace: None,
             obs: None,
-            opt_stats,
+            opt_stats: prog.opt_stats,
             sys,
         })
     }
@@ -1131,7 +1173,7 @@ impl Micro {
     }
 }
 
-fn make_trace(sys: &System) -> Trace {
+pub(crate) fn make_trace(sys: &System) -> Trace {
     Trace::new(
         sys.primary_inputs
             .iter()

@@ -644,6 +644,204 @@ pub fn run_campaign_par<S: Simulator>(
     Ok(CampaignReport { outcomes })
 }
 
+/// Applies every event of `plan` active at the batch's current cycle to
+/// one lane of a [`BatchedSim`](crate::sim::batch::BatchedSim),
+/// mirroring `FaultySim::apply_faults` exactly (peek, corrupt, poke — in
+/// event order). Lane-batched Monte-Carlo drivers call this before each
+/// step and mask the lane
+/// ([`BatchedSim::fail_lane`](crate::sim::batch::BatchedSim::fail_lane))
+/// when it fails, so one lane's bad fault site never aborts its batch.
+///
+/// # Errors
+///
+/// Returns the first peek/poke error ([`CoreError::UnknownName`] for an
+/// unknown site, [`CoreError::ValueType`] for a type conflict).
+pub fn apply_plan_lane(
+    sim: &mut crate::sim::batch::BatchedSim,
+    lane: usize,
+    plan: &FaultPlan,
+) -> Result<(), CoreError> {
+    let now = sim.cycle();
+    for event in plan.events() {
+        if !event.active_at(now) {
+            continue;
+        }
+        match &event.site {
+            FaultSite::Net(name) => {
+                let v = sim.peek_net_lane(lane, name)?;
+                sim.poke_net_lane(lane, name, corrupt(v, event.kind))?;
+            }
+            FaultSite::Reg { instance, reg } => {
+                let v = sim.peek_reg_lane(lane, instance, reg)?;
+                sim.poke_reg_lane(lane, instance, reg, corrupt(v, event.kind))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// One batched chunk of faulty runs: `chunk.len()` lanes stepped through
+/// one shared tape walk per cycle, each lane injecting its own event.
+/// This is the work item of both batched campaign drivers, so — as with
+/// [`run_event`] — the sequential and sharded paths are
+/// outcome-identical by construction.
+///
+/// Per-lane semantics replicate [`run_event`] exactly: a failing fault
+/// application or step masks *that lane* at the pre-step cycle (becoming
+/// its [`FaultOutcome::Detected`] record) while the remaining lanes keep
+/// running; surviving lanes are classified against the golden trace.
+fn run_event_chunk(
+    make_sys: &mut impl FnMut() -> Result<System, CoreError>,
+    stimulus: &mut impl FnMut(&mut dyn Simulator, u64) -> Result<(), CoreError>,
+    cycles: u64,
+    golden: &Trace,
+    chunk: &[FaultEvent],
+    level: crate::sim::opt::OptLevel,
+) -> Result<Vec<FaultOutcome>, CoreError> {
+    let mut systems = Vec::with_capacity(chunk.len());
+    for _ in 0..chunk.len() {
+        systems.push(make_sys()?);
+    }
+    let mut sim = crate::sim::batch::BatchedSim::new_with(systems, level)?;
+    sim.enable_trace();
+    let plans: Vec<FaultPlan> = chunk
+        .iter()
+        .map(|e| FaultPlan::new().with(e.clone()))
+        .collect();
+    for c in 0..cycles {
+        stimulus(&mut sim, c)?;
+        for (lane, plan) in plans.iter().enumerate() {
+            if !sim.alive(lane) {
+                continue;
+            }
+            if let Err(e) = apply_plan_lane(&mut sim, lane, plan) {
+                sim.fail_lane(lane, e);
+            }
+        }
+        if sim.step().is_err() {
+            // Every lane is masked; the per-lane errors are recorded.
+            break;
+        }
+    }
+    Ok((0..chunk.len())
+        .map(|lane| match sim.lane_error(lane) {
+            Some((cycle, error)) => FaultOutcome::Detected {
+                cycle: *cycle,
+                error: error.clone(),
+            },
+            None => match sim
+                .trace_lane(lane)
+                .and_then(|t| first_output_divergence(golden, t))
+            {
+                Some(first_divergence) => FaultOutcome::SilentCorruption { first_divergence },
+                None => FaultOutcome::Masked,
+            },
+        })
+        .collect())
+}
+
+/// [`run_campaign`] over the lane-batched compiled back-end
+/// ([`BatchedSim`](crate::sim::batch::BatchedSim)): events are grouped
+/// into chunks of `lanes` and every chunk walks the micro-op tape once
+/// per cycle for all of its lanes.
+///
+/// The golden run uses the scalar compiled back-end at the same `level`.
+/// `stimulus` must be a pure function of the cycle number (it is invoked
+/// once per cycle and broadcast to every live lane), which every
+/// campaign stimulus already satisfies — per-run divergence comes from
+/// the injected faults, never the stimulus.
+///
+/// **Determinism:** a lane runs the event at global index
+/// `chunk * lanes + lane` and injects exactly what the scalar path
+/// injects for that index, so the classification of every event is
+/// byte-identical to [`run_campaign`] over the compiled back-end for
+/// every lane count — `lanes = 1` reproduces it one run at a time.
+/// Drivers that *sample* per-event randomness must key it on that global
+/// index (e.g. [`XorShift64::stream`]), never on lane position.
+///
+/// # Errors
+///
+/// As [`run_campaign`]: errors from system construction, the golden run
+/// and stimulus application propagate; per-lane faulty-run errors are
+/// recorded as [`FaultOutcome::Detected`].
+pub fn run_campaign_batched(
+    mut make_sys: impl FnMut() -> Result<System, CoreError>,
+    mut stimulus: impl FnMut(&mut dyn Simulator, u64) -> Result<(), CoreError>,
+    cycles: u64,
+    events: &[FaultEvent],
+    lanes: usize,
+    level: crate::sim::opt::OptLevel,
+) -> Result<CampaignReport, CoreError> {
+    let lanes = lanes.max(1);
+    let golden = golden_trace(
+        &mut || crate::sim::compiled::CompiledSim::new_with(make_sys()?, level),
+        &mut stimulus,
+        cycles,
+    )?;
+    let mut report = CampaignReport::default();
+    for chunk in events.chunks(lanes) {
+        let outcomes =
+            run_event_chunk(&mut make_sys, &mut stimulus, cycles, &golden, chunk, level)?;
+        report.outcomes.extend(chunk.iter().cloned().zip(outcomes));
+    }
+    Ok(report)
+}
+
+/// [`run_campaign_batched`] with the chunks sharded across
+/// [`ParConfig::threads`](crate::sim::par::ParConfig::threads) worker
+/// threads — the lanes × threads composition of DESIGN.md §7/§10.
+///
+/// Chunk composition depends only on the event order and `lanes`, and
+/// the merged report is assembled in chunk order, so the returned
+/// [`CampaignReport`] is bit-identical for every thread count *and*
+/// every lane count.
+///
+/// # Errors
+///
+/// As [`run_campaign_batched`], plus [`CoreError::WorkerPanic`] when a
+/// chunk's closure panics in a worker.
+pub fn run_campaign_batched_par(
+    pool: &crate::sim::par::ParConfig,
+    make_sys: impl Fn() -> Result<System, CoreError> + Sync,
+    stimulus: impl Fn(&mut dyn Simulator, u64) -> Result<(), CoreError> + Sync,
+    cycles: u64,
+    events: &[FaultEvent],
+    lanes: usize,
+    level: crate::sim::opt::OptLevel,
+) -> Result<CampaignReport, CoreError> {
+    let lanes = lanes.max(1);
+    let golden = golden_trace(
+        &mut || crate::sim::compiled::CompiledSim::new_with(make_sys()?, level),
+        &mut |s, c| stimulus(s, c),
+        cycles,
+    )?;
+    let chunks: Vec<&[FaultEvent]> = events.chunks(lanes).collect();
+    let parts = crate::sim::par::map_indexed(pool, &chunks, |_, chunk| {
+        run_event_chunk(
+            &mut || make_sys(),
+            &mut |s, c| stimulus(s, c),
+            cycles,
+            &golden,
+            chunk,
+            level,
+        )
+        .map(|outcomes| {
+            chunk
+                .iter()
+                .cloned()
+                .zip(outcomes)
+                .collect::<Vec<(FaultEvent, FaultOutcome)>>()
+        })
+    })
+    .map_err(|e| match e {
+        crate::sim::par::ParError::Task { error, .. } => error,
+        crate::sim::par::ParError::Panic { index } => CoreError::WorkerPanic { index },
+    })?;
+    Ok(CampaignReport {
+        outcomes: parts.into_iter().flatten().collect(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -14,6 +14,7 @@
 //! abort. The lint gates below keep it that way.
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
+pub mod batch;
 mod compiled;
 mod eval;
 pub mod fault;
@@ -22,9 +23,10 @@ pub mod obs;
 pub mod opt;
 pub mod par;
 
+pub use batch::BatchedSim;
 pub use compiled::CompiledSim;
 pub use interp::InterpSim;
-pub use obs::SimObs;
+pub use obs::{BatchObs, SimObs};
 pub use opt::{OptLevel, OptStats};
 
 use crate::trace::Trace;

@@ -128,6 +128,61 @@ impl SimObs {
     }
 }
 
+/// Observability bundle for the lane-batched executor
+/// (`ocapi::sim::batch::BatchedSim`).
+///
+/// All three counters are **deterministic** — pure functions of the
+/// workload and the lane geometry, never of wall time or thread
+/// scheduling:
+///
+/// * `batch.lanes` — lane slots attached (flushed once per
+///   `BatchedSim::attach_obs`, like the optimizer counters);
+/// * `batch.masked_lanes` — lanes masked off mid-run by a per-lane
+///   error (incremented at the masking event);
+/// * `batch.tape_passes` — full walks of the main tape (one per batched
+///   step, regardless of lane count — the amortization the batch
+///   exists for).
+///
+/// The phase spans hang off a `batch` root and mirror the compiled
+/// back-end's tree: `guard_pre_tape`, `transition_select`, `tape`,
+/// `register_update`, `trace`.
+#[derive(Debug, Clone)]
+pub struct BatchObs {
+    /// Lane slots attached (flushed at attach time).
+    pub(crate) lanes: Counter,
+    /// Lanes masked off by a per-lane error.
+    pub(crate) masked_lanes: Counter,
+    /// Full tape walks (one per batched step).
+    pub(crate) tape_passes: Counter,
+    /// Guard pre-tape execution.
+    pub(crate) sp_pre: Span,
+    /// Per-lane transition selection.
+    pub(crate) sp_select: Span,
+    /// Main tape execution across all live lanes.
+    pub(crate) sp_eval: Span,
+    /// Per-lane register commit.
+    pub(crate) sp_commit: Span,
+    /// Per-lane trace recording, when enabled.
+    pub(crate) sp_trace: Span,
+}
+
+impl BatchObs {
+    /// The bundle for the lane-batched executor, resolved from `reg`.
+    pub fn new(reg: &Registry) -> BatchObs {
+        let root = reg.span("batch");
+        BatchObs {
+            lanes: reg.counter("batch.lanes"),
+            masked_lanes: reg.counter("batch.masked_lanes"),
+            tape_passes: reg.counter("batch.tape_passes"),
+            sp_pre: root.child("guard_pre_tape"),
+            sp_select: root.child("transition_select"),
+            sp_eval: root.child("tape"),
+            sp_commit: root.child("register_update"),
+            sp_trace: root.child("trace"),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,421 @@
+//! Differential suite for the lane-batched tape executor: every output
+//! and every observable net of a [`BatchedSim`] must be bit-identical to
+//! a scalar [`CompiledSim`] run of the same lane, at every optimization
+//! level, for every tested lane count — including runs where one lane
+//! errors mid-flight and is masked off rather than poisoning the batch.
+
+use ocapi::{
+    run_campaign, run_campaign_batched, run_campaign_batched_par, BatchedSim, CompiledSim,
+    Component, CoreError, FaultEvent, FaultOutcome, FaultSite, OptLevel, ParConfig, Ram, SigType,
+    Simulator, System, Value,
+};
+
+/// The FSM accumulator from the equivalence suite: lanes that receive
+/// different `stop` sequences diverge in control flow, exercising the
+/// per-lane transition selectors.
+fn acc_system() -> System {
+    let c = Component::build("acc");
+    let x = c.input("x", SigType::Bits(8)).unwrap();
+    let stop = c.input("stop", SigType::Bool).unwrap();
+    let sum_out = c.output("sum", SigType::Bits(8)).unwrap();
+    let acc = c.reg("acc", SigType::Bits(8)).unwrap();
+
+    let add = c.sfg("add").unwrap();
+    let q = c.q(acc);
+    let next = &q + &c.read(x);
+    add.drive(sum_out, &q).unwrap();
+    add.next(acc, &next).unwrap();
+
+    let hold = c.sfg("hold").unwrap();
+    hold.drive(sum_out, &c.q(acc)).unwrap();
+
+    let stop_s = c.read(stop);
+    let f = c.fsm().unwrap();
+    let run = f.initial("run").unwrap();
+    let frozen = f.state("frozen").unwrap();
+    f.from(run).when(&stop_s).run(hold.id()).to(frozen).unwrap();
+    f.from(run).always().run(add.id()).to(run).unwrap();
+    f.from(frozen).always().run(hold.id()).to(frozen).unwrap();
+    let comp = c.finish().unwrap();
+
+    let mut sb = System::build("acc_sys");
+    let u = sb.add_component("u0", comp).unwrap();
+    sb.input("x", SigType::Bits(8)).unwrap();
+    sb.input("stop", SigType::Bool).unwrap();
+    sb.connect_input("x", u, "x").unwrap();
+    sb.connect_input("stop", u, "stop").unwrap();
+    sb.output("sum", u, "sum").unwrap();
+    sb.finish().unwrap()
+}
+
+/// A float IIR with compare + select, exercising the float micro-ops.
+fn float_system() -> System {
+    let c = Component::build("float_iir");
+    let x = c.input("x", SigType::Float).unwrap();
+    let y = c.output("y", SigType::Float).unwrap();
+    let st = c.reg("st", SigType::Float).unwrap();
+    let s = c.sfg("step").unwrap();
+    let q = c.q(st);
+    let half = c.constant(Value::Float(0.5));
+    let next = q.clone() * half + c.read(x);
+    let clipped = next
+        .gt(&c.constant(Value::Float(4.0)))
+        .mux(&c.constant(Value::Float(4.0)), &next);
+    s.drive(y, &clipped).unwrap();
+    s.next(st, &clipped).unwrap();
+    let comp = c.finish().unwrap();
+    let mut sb = System::build("float_sys");
+    let u = sb.add_component("u", comp).unwrap();
+    sb.input("x", SigType::Float).unwrap();
+    sb.connect_input("x", u, "x").unwrap();
+    sb.output("y", u, "y").unwrap();
+    sb.finish().unwrap()
+}
+
+/// A RAM-in-the-loop system whose writes come from a primary input:
+/// lanes fed different data diverge *inside the untimed block*, proving
+/// per-lane `Fire` state isolation.
+fn ram_system() -> System {
+    let c = Component::build("dp");
+    let rdata = c.input("rdata", SigType::Bits(8)).unwrap();
+    let wdata_in = c.input("wdata_in", SigType::Bits(8)).unwrap();
+    let addr = c.output("addr", SigType::Bits(4)).unwrap();
+    let we = c.output("we", SigType::Bool).unwrap();
+    let wdata = c.output("wdata", SigType::Bits(8)).unwrap();
+    let y = c.output("y", SigType::Bits(8)).unwrap();
+    let ptr = c.reg("ptr", SigType::Bits(4)).unwrap();
+    let s = c.sfg("scan").unwrap();
+    let q = c.q(ptr);
+    s.drive(addr, &q).unwrap();
+    s.drive(we, &c.const_bool(true)).unwrap();
+    s.drive(wdata, &c.read(wdata_in)).unwrap();
+    s.drive(y, &c.read(rdata)).unwrap();
+    s.next(ptr, &(q + c.const_bits(4, 1))).unwrap();
+    let comp = c.finish().unwrap();
+
+    let mut sb = System::build("ramsys");
+    let dp = sb.add_component("dp", comp).unwrap();
+    let r = sb
+        .add_block(Box::new(Ram::new("ram", 4, SigType::Bits(8))))
+        .unwrap();
+    sb.input("wdata_in", SigType::Bits(8)).unwrap();
+    sb.connect_input("wdata_in", dp, "wdata_in").unwrap();
+    sb.connect(dp, "addr", r, "addr").unwrap();
+    sb.connect(dp, "we", r, "we").unwrap();
+    sb.connect(dp, "wdata", r, "wdata").unwrap();
+    sb.connect(r, "rdata", dp, "rdata").unwrap();
+    sb.output("y", dp, "y").unwrap();
+    sb.finish().unwrap()
+}
+
+/// Drives a batch and one scalar compiled sim per lane through the same
+/// per-lane stimulus and asserts every output and every net matches
+/// bit-for-bit, every cycle.
+fn assert_batch_matches_scalar(
+    make: &dyn Fn() -> System,
+    stimulus: &dyn Fn(usize, u64) -> Vec<(&'static str, Value)>,
+    lanes: usize,
+    level: OptLevel,
+    cycles: u64,
+) {
+    let mut batch = BatchedSim::from_fn(lanes, || Ok(make()), level).unwrap();
+    let mut scalars: Vec<CompiledSim> = (0..lanes)
+        .map(|_| CompiledSim::new_with(make(), level).unwrap())
+        .collect();
+    let nets: Vec<String> = batch.system().nets.iter().map(|n| n.name.clone()).collect();
+    let outs: Vec<String> = batch
+        .system()
+        .primary_outputs
+        .iter()
+        .map(|p| p.name.clone())
+        .collect();
+    for c in 0..cycles {
+        for (l, scalar) in scalars.iter_mut().enumerate() {
+            for (name, v) in stimulus(l, c) {
+                batch.set_input_lane(l, name, v).unwrap();
+                scalar.set_input(name, v).unwrap();
+            }
+        }
+        batch.step().unwrap();
+        for s in &mut scalars {
+            s.step().unwrap();
+        }
+        for (l, s) in scalars.iter().enumerate() {
+            for o in &outs {
+                assert_eq!(
+                    batch.output_lane(l, o).unwrap(),
+                    s.output(o).unwrap(),
+                    "output `{o}` lane {l} cycle {c} lanes={lanes} level={level:?}"
+                );
+            }
+            for n in &nets {
+                assert_eq!(
+                    batch.peek_net_lane(l, n).unwrap(),
+                    s.peek_net(n).unwrap(),
+                    "net `{n}` lane {l} cycle {c} lanes={lanes} level={level:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_fsm_system_matches_scalar_lanes_1_3_8() {
+    for level in [OptLevel::None, OptLevel::Full] {
+        for lanes in [1usize, 3, 8] {
+            assert_batch_matches_scalar(
+                &acc_system,
+                &|l, c| {
+                    vec![
+                        ("x", Value::bits(8, (3 * l as u64 + c + 1) & 0xff)),
+                        // Lanes freeze at different cycles → control-flow
+                        // divergence across the batch.
+                        ("stop", Value::Bool(c == 4 + 2 * l as u64)),
+                    ]
+                },
+                lanes,
+                level,
+                16,
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_float_system_matches_scalar_lanes_1_3_8() {
+    for level in [OptLevel::None, OptLevel::Full] {
+        for lanes in [1usize, 3, 8] {
+            assert_batch_matches_scalar(
+                &float_system,
+                &|l, c| {
+                    let x = (l as f64 + 1.0) * 0.75 - (c as f64) * 0.3;
+                    vec![("x", Value::Float(x))]
+                },
+                lanes,
+                level,
+                12,
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_ram_system_matches_scalar_lanes_1_3_8() {
+    for level in [OptLevel::None, OptLevel::Full] {
+        for lanes in [1usize, 3, 8] {
+            assert_batch_matches_scalar(
+                &ram_system,
+                &|l, c| vec![("wdata_in", Value::bits(8, (l as u64 * 37 + c * 5) & 0xff))],
+                lanes,
+                level,
+                20,
+            );
+        }
+    }
+}
+
+/// A lane failed mid-run is masked off: its state freezes at the failing
+/// cycle, its error is recorded, and the surviving lanes keep matching
+/// their scalar references exactly.
+#[test]
+fn masked_lane_does_not_poison_the_batch() {
+    let lanes = 3;
+    let mut batch = BatchedSim::from_fn(lanes, || Ok(acc_system()), OptLevel::Full).unwrap();
+    let mut scalars: Vec<CompiledSim> = (0..lanes)
+        .map(|_| CompiledSim::new_with(acc_system(), OptLevel::Full).unwrap())
+        .collect();
+    batch.enable_trace();
+
+    let drive = |batch: &mut BatchedSim, scalars: &mut Vec<CompiledSim>, c: u64| {
+        for (l, scalar) in scalars.iter_mut().enumerate() {
+            let x = Value::bits(8, l as u64 + c + 1);
+            batch.set_input_lane(l, "x", x).unwrap();
+            batch.set_input_lane(l, "stop", Value::Bool(false)).unwrap();
+            scalar.set_input("x", x).unwrap();
+            scalar.set_input("stop", Value::Bool(false)).unwrap();
+        }
+    };
+
+    for c in 0..5 {
+        drive(&mut batch, &mut scalars, c);
+        batch.step().unwrap();
+        for s in scalars.iter_mut() {
+            s.step().unwrap();
+        }
+    }
+
+    // Lane 1 hits a per-lane error (e.g. a failed fault poke) at cycle 5.
+    let frozen = batch.output_lane(1, "sum").unwrap();
+    batch.fail_lane(
+        1,
+        CoreError::UnknownName {
+            kind: "net",
+            name: "injected".into(),
+        },
+    );
+    assert!(!batch.alive(1));
+    assert_eq!(batch.masked_lanes(), 1);
+    let (cycle, err) = batch.lane_error(1).unwrap();
+    assert_eq!(*cycle, 5);
+    assert!(matches!(err, CoreError::UnknownName { .. }));
+
+    for c in 5..10 {
+        drive(&mut batch, &mut scalars, c);
+        batch.step().unwrap(); // lanes 0 and 2 still live → Ok
+        for s in scalars.iter_mut() {
+            s.step().unwrap();
+        }
+    }
+
+    // Survivors still match their scalar twins; the masked lane froze.
+    for l in [0usize, 2] {
+        assert_eq!(
+            batch.output_lane(l, "sum").unwrap(),
+            scalars[l].output("sum").unwrap(),
+            "surviving lane {l}"
+        );
+    }
+    assert_eq!(batch.output_lane(1, "sum").unwrap(), frozen);
+    assert_eq!(batch.trace_lane(1).unwrap().len(), 5);
+    assert_eq!(batch.trace_lane(0).unwrap().len(), 10);
+
+    // Masking the remaining lanes makes step() surface the lowest-lane
+    // error, scalar-style.
+    batch.fail_lane(
+        0,
+        CoreError::UnknownName {
+            kind: "net",
+            name: "a".into(),
+        },
+    );
+    batch.fail_lane(
+        2,
+        CoreError::UnknownName {
+            kind: "net",
+            name: "c".into(),
+        },
+    );
+    match batch.step() {
+        Err(CoreError::UnknownName { name, .. }) => assert_eq!(name, "a"),
+        other => panic!("expected lowest-lane error, got {other:?}"),
+    }
+}
+
+/// A 1-lane batch is a scalar simulator: the `Simulator` facade
+/// (broadcast writes, lane-0 reads) reproduces `CompiledSim` exactly.
+#[test]
+fn single_lane_batch_is_scalar_via_trait() {
+    let mut batch = BatchedSim::new(vec![acc_system()]).unwrap();
+    let mut scalar = CompiledSim::new(acc_system()).unwrap();
+    batch.enable_trace();
+    scalar.enable_trace();
+    for c in 0..12u64 {
+        for sim in [&mut batch as &mut dyn Simulator, &mut scalar] {
+            sim.set_input("x", Value::bits(8, c + 1)).unwrap();
+            sim.set_input("stop", Value::Bool(c == 7)).unwrap();
+            sim.step().unwrap();
+        }
+        assert_eq!(batch.output("sum").unwrap(), scalar.output("sum").unwrap());
+    }
+    assert_eq!(batch.trace(), scalar.trace());
+    assert_eq!(batch.cycle(), scalar.cycle());
+}
+
+fn campaign_events() -> Vec<FaultEvent> {
+    vec![
+        // Register MSB flip mid-run: visible on the output → silent.
+        FaultEvent::flip(FaultSite::reg("u0", "acc"), 7, 2),
+        // Flip after the run window: no effect → masked.
+        FaultEvent::flip(FaultSite::reg("u0", "acc"), 0, 50),
+        // Unknown site: the poke fails → detected at the event cycle.
+        FaultEvent::flip(FaultSite::net("no_such_net"), 0, 3),
+        FaultEvent::flip(FaultSite::reg("u0", "acc"), 6, 5),
+        FaultEvent::flip(FaultSite::net("x"), 2, 4),
+        FaultEvent::stuck_at(FaultSite::reg("u0", "acc"), 1, true, 1, 6),
+        FaultEvent::flip(FaultSite::reg("u0", "acc"), 3, 9),
+    ]
+}
+
+fn campaign_stimulus(sim: &mut dyn Simulator, c: u64) -> Result<(), CoreError> {
+    sim.set_input("x", Value::bits(8, (c + 1) & 0xff))?;
+    sim.set_input("stop", Value::Bool(false))?;
+    Ok(())
+}
+
+/// The batched campaign classifies every event exactly as the scalar
+/// one, for every lane count and thread count: lanes × threads is pure
+/// geometry.
+#[test]
+fn batched_campaign_outcomes_equal_scalar_for_all_geometries() {
+    let events = campaign_events();
+    let scalar = run_campaign(
+        || CompiledSim::new_with(acc_system(), OptLevel::Full),
+        campaign_stimulus,
+        10,
+        &events,
+    )
+    .unwrap();
+    assert_eq!(scalar.total(), events.len());
+    assert!(scalar.silent() >= 1);
+    assert!(scalar.masked() >= 1);
+    assert!(scalar.detected() >= 1);
+
+    for lanes in [1usize, 3, 8] {
+        let batched = run_campaign_batched(
+            || Ok(acc_system()),
+            campaign_stimulus,
+            10,
+            &events,
+            lanes,
+            OptLevel::Full,
+        )
+        .unwrap();
+        assert_eq!(
+            scalar.outcomes, batched.outcomes,
+            "lanes={lanes} diverged from scalar campaign"
+        );
+        for threads in [1usize, 4] {
+            let pool = ParConfig::new(threads);
+            let par = run_campaign_batched_par(
+                &pool,
+                || Ok(acc_system()),
+                |s, c| campaign_stimulus(s, c),
+                10,
+                &events,
+                lanes,
+                OptLevel::Full,
+            )
+            .unwrap();
+            assert_eq!(
+                scalar.outcomes, par.outcomes,
+                "lanes={lanes} threads={threads} diverged from scalar campaign"
+            );
+        }
+    }
+
+    // The detected event really is the unknown-site poke, masked at its
+    // own cycle without touching its chunk-mates.
+    match &scalar.outcomes[2].1 {
+        FaultOutcome::Detected { cycle, error } => {
+            assert_eq!(*cycle, 3);
+            assert!(matches!(error, CoreError::UnknownName { .. }));
+        }
+        other => panic!("expected detected outcome, got {other:?}"),
+    }
+}
+
+/// Structural lane mismatches are rejected up front with diagnostics.
+#[test]
+fn mismatched_lane_systems_are_rejected() {
+    let err = BatchedSim::new(vec![acc_system(), float_system()]).unwrap_err();
+    match err {
+        CoreError::CheckFailed { diagnostics } => {
+            assert!(!diagnostics.is_empty());
+        }
+        other => panic!("expected CheckFailed, got {other:?}"),
+    }
+    assert!(matches!(
+        BatchedSim::new(Vec::new()),
+        Err(CoreError::CheckFailed { .. })
+    ));
+}

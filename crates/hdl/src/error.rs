@@ -13,6 +13,17 @@ pub enum CodegenError {
     },
     /// A testbench was requested from an empty trace.
     EmptyTrace,
+    /// Two instances of one component disagree on whether a guard-feeding
+    /// input is internally driven. The entity is emitted once per
+    /// component, and a guard either reads the pin directly or a
+    /// registered (held) copy — it cannot do both, so the instances
+    /// cannot share an entity.
+    HeldGuardConflict {
+        /// The component emitted once.
+        component: String,
+        /// The guard-feeding input port the instances disagree on.
+        port: String,
+    },
     /// An I/O failure while writing a generated project to disk.
     Io {
         /// The underlying error, rendered.
@@ -28,6 +39,11 @@ impl fmt::Display for CodegenError {
                 "component `{component}` contains float signals; quantise to fixed point before code generation"
             ),
             CodegenError::EmptyTrace => write!(f, "cannot generate a testbench from an empty trace"),
+            CodegenError::HeldGuardConflict { component, port } => write!(
+                f,
+                "instances of component `{component}` disagree on whether guard input `{port}` \
+                 is internally driven; one shared entity cannot register and not register it"
+            ),
             CodegenError::Io { message } => write!(f, "project write failed: {message}"),
         }
     }

@@ -1,0 +1,308 @@
+//! Identifier legalisation shared by the VHDL and Verilog back-ends.
+//!
+//! User-chosen names flow straight into generated source, so a port
+//! called `signal` or `reg` must not collide with a keyword of the
+//! target language. Illegal characters are mapped to `_` and reserved
+//! words are renamed with an `_esc` suffix — per language, because the
+//! two keyword sets barely overlap (`signal` is only reserved in VHDL,
+//! `reg` only in Verilog) and VHDL matches case-insensitively while
+//! Verilog is case-sensitive.
+
+/// VHDL-2008 reserved words. VHDL identifiers are case-insensitive, so
+/// membership is tested ignoring ASCII case.
+const VHDL_RESERVED: &[&str] = &[
+    "abs",
+    "access",
+    "after",
+    "alias",
+    "all",
+    "and",
+    "architecture",
+    "array",
+    "assert",
+    "assume",
+    "attribute",
+    "begin",
+    "block",
+    "body",
+    "buffer",
+    "bus",
+    "case",
+    "component",
+    "configuration",
+    "constant",
+    "context",
+    "cover",
+    "default",
+    "disconnect",
+    "downto",
+    "else",
+    "elsif",
+    "end",
+    "entity",
+    "exit",
+    "fairness",
+    "file",
+    "for",
+    "force",
+    "function",
+    "generate",
+    "generic",
+    "group",
+    "guarded",
+    "if",
+    "impure",
+    "in",
+    "inertial",
+    "inout",
+    "is",
+    "label",
+    "library",
+    "linkage",
+    "literal",
+    "loop",
+    "map",
+    "mod",
+    "nand",
+    "new",
+    "next",
+    "nor",
+    "not",
+    "null",
+    "of",
+    "on",
+    "open",
+    "or",
+    "others",
+    "out",
+    "package",
+    "parameter",
+    "port",
+    "postponed",
+    "procedure",
+    "process",
+    "property",
+    "protected",
+    "pure",
+    "range",
+    "record",
+    "register",
+    "reject",
+    "release",
+    "rem",
+    "report",
+    "restrict",
+    "return",
+    "rol",
+    "ror",
+    "select",
+    "sequence",
+    "severity",
+    "shared",
+    "signal",
+    "sla",
+    "sll",
+    "sra",
+    "srl",
+    "strong",
+    "subtype",
+    "then",
+    "to",
+    "transport",
+    "type",
+    "unaffected",
+    "units",
+    "until",
+    "use",
+    "variable",
+    "vmode",
+    "vprop",
+    "vunit",
+    "wait",
+    "when",
+    "while",
+    "with",
+    "xnor",
+    "xor",
+];
+
+/// Verilog-2005 reserved words. Verilog identifiers are case-sensitive
+/// and every keyword is lower-case, so membership is an exact match.
+const VERILOG_RESERVED: &[&str] = &[
+    "always",
+    "and",
+    "assign",
+    "automatic",
+    "begin",
+    "buf",
+    "bufif0",
+    "bufif1",
+    "case",
+    "casex",
+    "casez",
+    "cell",
+    "cmos",
+    "config",
+    "deassign",
+    "default",
+    "defparam",
+    "design",
+    "disable",
+    "edge",
+    "else",
+    "end",
+    "endcase",
+    "endconfig",
+    "endfunction",
+    "endgenerate",
+    "endmodule",
+    "endprimitive",
+    "endspecify",
+    "endtable",
+    "endtask",
+    "event",
+    "for",
+    "force",
+    "forever",
+    "fork",
+    "function",
+    "generate",
+    "genvar",
+    "highz0",
+    "highz1",
+    "if",
+    "ifnone",
+    "incdir",
+    "include",
+    "initial",
+    "inout",
+    "input",
+    "instance",
+    "integer",
+    "join",
+    "large",
+    "liblist",
+    "library",
+    "localparam",
+    "macromodule",
+    "medium",
+    "module",
+    "nand",
+    "negedge",
+    "nmos",
+    "nor",
+    "noshowcancelled",
+    "not",
+    "notif0",
+    "notif1",
+    "or",
+    "output",
+    "parameter",
+    "pmos",
+    "posedge",
+    "primitive",
+    "pull0",
+    "pull1",
+    "pulldown",
+    "pullup",
+    "pulsestyle_ondetect",
+    "pulsestyle_onevent",
+    "rcmos",
+    "real",
+    "realtime",
+    "reg",
+    "release",
+    "repeat",
+    "rnmos",
+    "rpmos",
+    "rtran",
+    "rtranif0",
+    "rtranif1",
+    "scalared",
+    "showcancelled",
+    "signed",
+    "small",
+    "specify",
+    "specparam",
+    "strong0",
+    "strong1",
+    "supply0",
+    "supply1",
+    "table",
+    "task",
+    "time",
+    "tran",
+    "tranif0",
+    "tranif1",
+    "tri",
+    "tri0",
+    "tri1",
+    "triand",
+    "trior",
+    "trireg",
+    "unsigned",
+    "use",
+    "uwire",
+    "vectored",
+    "wait",
+    "wand",
+    "weak0",
+    "weak1",
+    "while",
+    "wire",
+    "wor",
+    "xnor",
+    "xor",
+];
+
+fn map_chars(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// Legalises `name` as a VHDL identifier.
+pub(crate) fn vhdl(name: &str) -> String {
+    let s = map_chars(name);
+    if VHDL_RESERVED.iter().any(|w| w.eq_ignore_ascii_case(&s)) {
+        format!("{s}_esc")
+    } else {
+        s
+    }
+}
+
+/// Legalises `name` as a Verilog identifier.
+pub(crate) fn verilog(name: &str) -> String {
+    let s = map_chars(name);
+    if VERILOG_RESERVED.contains(&s.as_str()) {
+        format!("{s}_esc")
+    } else {
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_is_per_language() {
+        // `signal` is VHDL-only, `reg` is Verilog-only.
+        assert_eq!(vhdl("signal"), "signal_esc");
+        assert_eq!(verilog("signal"), "signal");
+        assert_eq!(verilog("reg"), "reg_esc");
+        assert_eq!(vhdl("reg"), "reg");
+    }
+
+    #[test]
+    fn vhdl_matches_case_insensitively_verilog_exactly() {
+        assert_eq!(vhdl("Signal"), "Signal_esc");
+        assert_eq!(verilog("Reg"), "Reg");
+    }
+
+    #[test]
+    fn illegal_characters_still_map_to_underscore() {
+        assert_eq!(vhdl("a-b.c"), "a_b_c");
+        assert_eq!(verilog("a-b.c"), "a_b_c");
+    }
+}

@@ -29,6 +29,7 @@
 //! code generation, exactly as in the original flow.
 
 mod error;
+mod ident;
 pub mod project;
 pub mod report;
 pub mod testbench;

@@ -47,46 +47,81 @@ pub fn write_vhdl_project(
 
     emit("ocapi_pkg.vhd", &vhdl::package_source(), &mut files)?;
 
-    // One file per distinct component, with held-guard info derived from
-    // the topology (delegate to the system generator for consistency by
-    // slicing its output — entities are self-contained units).
-    let mut seen = std::collections::HashSet::new();
-    for t in &sys.timed {
-        if seen.insert(t.comp.name.clone()) {
-            let held: Vec<usize> = t
-                .comp
-                .inputs
-                .iter()
-                .enumerate()
-                .filter(|(pi, _)| {
-                    let net = sys.timed_input_net(
-                        sys.timed
-                            .iter()
-                            .position(|x| std::ptr::eq(x, t))
-                            .expect("instance present"),
-                        *pi,
-                    );
-                    !matches!(
-                        sys.nets[net].source,
-                        ocapi::NetSource::PrimaryInput(_) | ocapi::NetSource::Constant(_)
-                    )
-                })
-                .map(|(pi, _)| pi)
-                .collect();
-            let src = vhdl::component_source_with_held(&t.comp, &held)?;
-            emit(&format!("{}.vhd", t.comp.name), &src, &mut files)?;
+    // One file per distinct component. Held-port info depends on what
+    // drives each *instance's* pins, so it is derived per instance and
+    // merged: for ports outside every guard cone the union of held sets
+    // is safe (held-ness only suppresses an unused output registration),
+    // but a guard samples either the pin or its held copy, so all
+    // instances of a component must agree on the held-ness of each
+    // guard-feeding port — disagreement is a typed error.
+    let mut order: Vec<&str> = Vec::new();
+    let mut merged: std::collections::HashMap<&str, (&ocapi::Component, Vec<usize>, Vec<usize>)> =
+        std::collections::HashMap::new();
+    for (ti, t) in sys.timed.iter().enumerate() {
+        let held: Vec<usize> = (0..t.comp.inputs.len())
+            .filter(|&pi| {
+                let net = sys.timed_input_net(ti, pi);
+                !matches!(
+                    sys.nets[net].source,
+                    ocapi::NetSource::PrimaryInput(_) | ocapi::NetSource::Constant(_)
+                )
+            })
+            .collect();
+        let gports = guard_ports(&t.comp);
+        let guard_held: Vec<usize> = held
+            .iter()
+            .copied()
+            .filter(|pi| gports.contains(pi))
+            .collect();
+        match merged.get_mut(t.comp.name.as_str()) {
+            None => {
+                order.push(&t.comp.name);
+                merged.insert(&t.comp.name, (&t.comp, held, guard_held));
+            }
+            Some((comp, union, first_guard_held)) => {
+                if *first_guard_held != guard_held {
+                    let pi = first_guard_held
+                        .iter()
+                        .chain(&guard_held)
+                        .copied()
+                        .find(|p| first_guard_held.contains(p) != guard_held.contains(p))
+                        .unwrap_or(0);
+                    return Err(CodegenError::HeldGuardConflict {
+                        component: comp.name.clone(),
+                        port: comp
+                            .inputs
+                            .get(pi)
+                            .map(|p| p.name.clone())
+                            .unwrap_or_default(),
+                    });
+                }
+                for pi in held {
+                    if let Err(at) = union.binary_search(&pi) {
+                        union.insert(at, pi);
+                    }
+                }
+            }
         }
+    }
+    for name in order {
+        let (comp, held, _) = &merged[name];
+        let src = vhdl::component_source_with_held(comp, held)?;
+        emit(
+            &format!("{}.vhd", crate::ident::vhdl(name)),
+            &src,
+            &mut files,
+        )?;
     }
 
     emit(
-        &format!("{}_top.vhd", sys.name),
+        &format!("{}_top.vhd", crate::ident::vhdl(&sys.name)),
         &vhdl::system_source_top_only(sys)?,
         &mut files,
     )?;
 
     if let Some(trace) = trace {
         emit(
-            &format!("{}_tb.vhd", sys.name),
+            &format!("{}_tb.vhd", crate::ident::vhdl(&sys.name)),
             &testbench::vhdl_testbench(&sys.name, trace)?,
             &mut files,
         )?;
@@ -120,13 +155,13 @@ pub fn write_verilog_project(
         Ok(())
     };
     emit(
-        &format!("{}.v", sys.name),
+        &format!("{}.v", crate::ident::verilog(&sys.name)),
         &crate::verilog::system_source(sys)?,
         &mut files,
     )?;
     if let Some(trace) = trace {
         emit(
-            &format!("{}_tb.v", sys.name),
+            &format!("{}_tb.v", crate::ident::verilog(&sys.name)),
             &testbench::verilog_testbench(&sys.name, trace)?,
             &mut files,
         )?;
@@ -135,6 +170,20 @@ pub fn write_verilog_project(
     emit("files.lst", &list, &mut files)?;
     files.pop();
     Ok(ProjectManifest { files })
+}
+
+/// The sorted, deduplicated set of input-port indices feeding any FSM
+/// transition guard of `comp`.
+fn guard_ports(comp: &ocapi::Component) -> Vec<usize> {
+    let mut ports: Vec<usize> = comp
+        .fsm
+        .iter()
+        .flat_map(|f| f.transitions.iter().filter_map(|t| t.guard))
+        .flat_map(|g| comp.input_deps(g).iter().map(|&p| p as usize))
+        .collect();
+    ports.sort_unstable();
+    ports.dedup();
+    ports
 }
 
 fn io_err(e: std::io::Error) -> CodegenError {
@@ -192,6 +241,85 @@ mod tests {
         let tb = fs::read_to_string(dir.join("demo_tb.vhd")).expect("tb");
         assert!(tb.contains("assert count = to_unsigned(4, 4)"));
         let _ = Value::bits(4, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// A counter that only ticks while its Bool input `go` holds, read
+    /// through an FSM transition guard.
+    fn guarded_component() -> Component {
+        let c = Component::build("gated");
+        let go = c.input("go", SigType::Bool).expect("in");
+        let out = c.output("q", SigType::Bits(4)).expect("out");
+        let r = c.reg("r", SigType::Bits(4)).expect("reg");
+        let go_sig = c.read(go);
+        let s = c.sfg("tick").expect("sfg");
+        let q = c.q(r);
+        s.drive(out, &q).expect("drive");
+        s.next(r, &(q.clone() + c.const_bits(4, 1))).expect("next");
+        let fsm = c.fsm().expect("fsm");
+        let s0 = fsm.initial("s0").expect("s0");
+        fsm.from(s0).when(&go_sig).run(s.id()).to(s0).expect("t");
+        c.finish().expect("finish")
+    }
+
+    fn bool_driver() -> Component {
+        let c = Component::build("driver");
+        let out = c.output("go", SigType::Bool).expect("out");
+        let s = c.sfg("main").expect("sfg");
+        s.drive(out, &c.const_bool(true)).expect("drive");
+        c.finish().expect("finish")
+    }
+
+    #[test]
+    fn held_guard_conflict_is_a_typed_error() {
+        // u0 reads its guard input from a primary input (not held);
+        // u1 reads it from another component's output (held). One
+        // shared `gated` entity cannot do both.
+        let mut sb = System::build("mix");
+        sb.input("go", SigType::Bool).expect("pi");
+        let u0 = sb.add_component("u0", guarded_component()).expect("u0");
+        let u1 = sb.add_component("u1", guarded_component()).expect("u1");
+        let d = sb.add_component("d", bool_driver()).expect("d");
+        sb.connect_input("go", u0, "go").expect("pi wire");
+        sb.connect(d, "go", u1, "go").expect("wire");
+        sb.output("q0", u0, "q").expect("po0");
+        sb.output("q1", u1, "q").expect("po1");
+        let sys = sb.finish().expect("system");
+
+        let dir = std::env::temp_dir().join(format!("ocapi_conflict_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let err = write_vhdl_project(&sys, None, &dir).expect_err("conflict");
+        assert_eq!(
+            err,
+            CodegenError::HeldGuardConflict {
+                component: "gated".to_owned(),
+                port: "go".to_owned(),
+            }
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn identical_instances_share_one_entity_file() {
+        let mut sb = System::build("twin");
+        sb.input("go", SigType::Bool).expect("pi");
+        let u0 = sb.add_component("u0", guarded_component()).expect("u0");
+        let u1 = sb.add_component("u1", guarded_component()).expect("u1");
+        sb.connect_input("go", u0, "go").expect("w0");
+        sb.connect_input("go", u1, "go").expect("w1");
+        sb.output("q0", u0, "q").expect("po0");
+        sb.output("q1", u1, "q").expect("po1");
+        let sys = sb.finish().expect("system");
+
+        let dir = std::env::temp_dir().join(format!("ocapi_twin_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let manifest = write_vhdl_project(&sys, None, &dir).expect("write");
+        let entity_files: Vec<_> = manifest
+            .files
+            .iter()
+            .filter(|f| f.as_str() == "gated.vhd")
+            .collect();
+        assert_eq!(entity_files.len(), 1, "one file per distinct component");
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -12,12 +12,6 @@ use ocapi::{SigType, Trace, Value};
 
 use crate::CodegenError;
 
-fn sanitize(name: &str) -> String {
-    name.chars()
-        .map(|c| if c.is_alphanumeric() { c } else { '_' })
-        .collect()
-}
-
 fn vhdl_ty(t: SigType) -> String {
     match t {
         SigType::Bool => "std_logic".to_owned(),
@@ -63,6 +57,7 @@ pub fn vhdl_testbench(dut: &str, trace: &Trace) -> Result<String, CodegenError> 
     if trace.is_empty() {
         return Err(CodegenError::EmptyTrace);
     }
+    let sanitize = crate::ident::vhdl;
     let dut = sanitize(dut);
     let mut out = String::new();
     let _ = writeln!(out, "library ieee;");
@@ -132,6 +127,7 @@ pub fn verilog_testbench(dut: &str, trace: &Trace) -> Result<String, CodegenErro
     if trace.is_empty() {
         return Err(CodegenError::EmptyTrace);
     }
+    let sanitize = crate::ident::verilog;
     let dut = sanitize(dut);
     let mut out = String::new();
     let _ = writeln!(out, "`timescale 1ns/1ps");

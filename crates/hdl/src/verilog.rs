@@ -363,9 +363,7 @@ pub fn memory_model(name: &str, spec: &ocapi::MemorySpec) -> String {
 }
 
 fn sanitize(name: &str) -> String {
-    name.chars()
-        .map(|c| if c.is_alphanumeric() { c } else { '_' })
-        .collect()
+    crate::ident::verilog(name)
 }
 
 fn check_no_floats(comp: &Component) -> Result<(), CodegenError> {

@@ -370,9 +370,7 @@ impl<'a> Emitter<'a> {
 }
 
 fn sanitize(name: &str) -> String {
-    name.chars()
-        .map(|c| if c.is_alphanumeric() { c } else { '_' })
-        .collect()
+    crate::ident::vhdl(name)
 }
 
 fn check_no_floats(comp: &Component) -> Result<(), CodegenError> {

@@ -323,3 +323,83 @@ fn verilog_memory_models_generated() {
     assert!(src.contains("mem[0] = 4'd15;"));
     assert!(src.contains("assign data = mem[addr];"));
 }
+
+/// Ports named after HDL keywords: `signal` is reserved in VHDL only,
+/// `reg` in Verilog only, `case` in both.
+fn reserved_name_component() -> Component {
+    let c = Component::build("escapee");
+    let a = c.input("signal", SigType::Bits(4)).unwrap();
+    let b = c.input("reg", SigType::Bits(4)).unwrap();
+    let out = c.output("case", SigType::Bits(4)).unwrap();
+    let s = c.sfg("main").unwrap();
+    s.drive(out, &(c.read(a) + c.read(b))).unwrap();
+    c.finish().unwrap()
+}
+
+#[test]
+fn vhdl_escapes_reserved_identifiers() {
+    let src = vhdl::component_source(&reserved_name_component()).unwrap();
+    assert!(
+        src.contains("signal_esc : in unsigned(3 downto 0)"),
+        "{src}"
+    );
+    assert!(src.contains("case_esc : out unsigned(3 downto 0)"), "{src}");
+    // `reg` is not a VHDL keyword and must stay untouched.
+    assert!(src.contains("reg : in unsigned(3 downto 0)"), "{src}");
+    assert!(!src.contains("reg_esc"), "{src}");
+}
+
+#[test]
+fn verilog_escapes_reserved_identifiers() {
+    let src = verilog::component_source(&reserved_name_component()).unwrap();
+    assert!(src.contains("input wire [3:0] reg_esc"), "{src}");
+    assert!(src.contains("output wire [3:0] case_esc"), "{src}");
+    // `signal` is not a Verilog keyword and must stay untouched.
+    assert!(src.contains("input wire [3:0] signal"), "{src}");
+    assert!(!src.contains("signal_esc"), "{src}");
+}
+
+#[test]
+fn testbench_and_file_names_escape_reserved_words() {
+    // A system named `with` (VHDL keyword) whose ports carry reserved
+    // names: escaping must reach the testbench and the files.lst names.
+    let c = Component::build("escapee2");
+    let a = c.input("signal", SigType::Bits(4)).unwrap();
+    let out = c.output("case", SigType::Bits(4)).unwrap();
+    let s = c.sfg("main").unwrap();
+    s.drive(out, &c.read(a)).unwrap();
+    let comp = c.finish().unwrap();
+
+    let mut sb = System::build("with");
+    let u = sb.add_component("u0", comp).unwrap();
+    sb.input("signal", SigType::Bits(4)).unwrap();
+    sb.connect_input("signal", u, "signal").unwrap();
+    sb.output("case", u, "case").unwrap();
+    let sys = sb.finish().unwrap();
+
+    let mut sim = InterpSim::new(sys).unwrap();
+    sim.enable_trace();
+    sim.set_input("signal", Value::bits(4, 3)).unwrap();
+    sim.run(2).unwrap();
+
+    let tb = testbench::vhdl_testbench("with", sim.trace()).unwrap();
+    assert!(tb.contains("entity with_esc_tb is end entity;"), "{tb}");
+    assert!(tb.contains("signal_esc <= to_unsigned(3, 4);"), "{tb}");
+    let vtb = testbench::verilog_testbench("with", sim.trace()).unwrap();
+    // `with` and `signal` are fine in Verilog; `case` is not.
+    assert!(vtb.contains("module with_tb;"), "{vtb}");
+    assert!(vtb.contains("wire [3:0] case_esc;"), "{vtb}");
+
+    let dir = std::env::temp_dir().join(format!("ocapi_resv_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let manifest =
+        ocapi_hdl::project::write_vhdl_project(sim.system(), Some(sim.trace()), &dir).unwrap();
+    assert!(
+        manifest.files.contains(&"with_esc_top.vhd".to_owned()),
+        "{:?}",
+        manifest.files
+    );
+    let list = std::fs::read_to_string(dir.join("files.lst")).unwrap();
+    assert!(list.contains("with_esc_tb.vhd"), "{list}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
