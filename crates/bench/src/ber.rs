@@ -6,15 +6,24 @@
 //! the fault plan), so the bursts fan across the worker pool of
 //! `ocapi::sim::par` and the summed `(errors, bits)` totals are
 //! **bit-identical for every thread count** — integer sums merged in
-//! burst order.
+//! burst order. The batched paths additionally run under the
+//! [`Robust`] envelope: bounded retry per chunk, and per-burst
+//! checkpoint manifests so a killed sweep resumes (`--resume`) to
+//! byte-identical totals.
 
 use ocapi::sim::par::{map_indexed, ParConfig, ParError};
-use ocapi::{apply_plan_lane, BatchedSim, FaultPlan, FaultySim, InterpSim, OptLevel, Value};
+use ocapi::{
+    apply_plan_lane, BatchedSim, CoreError, FaultPlan, FaultySim, InterpSim, OptLevel, SigType,
+    Value,
+};
 use ocapi_designs::dect::burst::{generate, Burst, BurstConfig};
 use ocapi_designs::dect::transceiver::{
     build_system, run_burst, SymbolRecord, TransceiverConfig, CYCLES_PER_SYMBOL,
 };
 use ocapi_designs::dect::DELAY;
+
+use crate::checkpoint::{fingerprint, Robust};
+use crate::error::BenchError;
 
 /// Accumulated payload-bit errors over a set of bursts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -34,6 +43,21 @@ impl BerCount {
             self.errors as f64 / self.bits as f64
         }
     }
+
+    /// Checkpoint payload: `errors,bits`. Round-trips exactly, so a
+    /// resumed sweep's totals are bit-identical.
+    pub fn encode(&self) -> String {
+        format!("{},{}", self.errors, self.bits)
+    }
+
+    /// Parses [`BerCount::encode`]'s payload.
+    pub fn decode(s: &str) -> Option<BerCount> {
+        let (e, b) = s.split_once(',')?;
+        Some(BerCount {
+            errors: e.parse().ok()?,
+            bits: b.parse().ok()?,
+        })
+    }
 }
 
 fn sum(parts: Vec<BerCount>) -> BerCount {
@@ -45,10 +69,46 @@ fn sum(parts: Vec<BerCount>) -> BerCount {
         })
 }
 
+fn par_err(e: ParError<CoreError>) -> BenchError {
+    match e {
+        ParError::Task { index, error } => BenchError::Item { index, error },
+        ParError::Panic { index } => BenchError::Panic { index },
+    }
+}
+
+/// The workload fingerprint of one sweep point: everything that
+/// determines per-burst values — and nothing that only routes work
+/// (thread count, lane count), so checkpoints resume across topologies.
+fn point_fingerprint(
+    stream: &str,
+    channel: &[f64],
+    noise: f64,
+    knob: u64,
+    n_bursts: u64,
+    payload_len: usize,
+) -> u64 {
+    let taps: Vec<String> = channel.iter().map(|t| t.to_bits().to_string()).collect();
+    fingerprint(&[
+        "ber",
+        stream,
+        &taps.join(";"),
+        &noise.to_bits().to_string(),
+        &knob.to_string(),
+        &n_bursts.to_string(),
+        &payload_len.to_string(),
+    ])
+}
+
 /// Runs `n_bursts` payload bursts (one work item each) and counts
 /// payload-bit errors. With `adapt` off the LMS update instruction is
 /// removed from the program: a fixed centre-tap receiver, the
 /// no-equalizer baseline.
+///
+/// # Errors
+///
+/// [`BenchError::Item`]/[`BenchError::Panic`] for the lowest-indexed
+/// burst whose run failed (system build, simulation, or a worker
+/// panic).
 pub fn measure(
     pool: &ParConfig,
     channel: &[f64],
@@ -56,7 +116,7 @@ pub fn measure(
     adapt: bool,
     n_bursts: u64,
     payload_len: usize,
-) -> BerCount {
+) -> Result<BerCount, BenchError> {
     let cfg = TransceiverConfig {
         train: adapt,
         agc: false,
@@ -70,14 +130,14 @@ pub fn measure(
             noise,
             seed: 1000 + seed,
         });
-        let mut sim = InterpSim::new(build_system(&cfg).expect("build")).expect("sim");
-        let records = run_burst(&mut sim, &burst, None).expect("burst");
+        let mut sim = InterpSim::new(build_system(&cfg)?)?;
+        let records = run_burst(&mut sim, &burst, None)?;
         let mut out = BerCount::default();
         accumulate(&mut out, &burst, Some(&records));
-        Ok::<_, ocapi::CoreError>(out)
+        Ok::<_, CoreError>(out)
     })
-    .expect("fault-free BER run");
-    sum(parts)
+    .map_err(par_err)?;
+    Ok(sum(parts))
 }
 
 /// Same measurement with random transient bit flips injected into the
@@ -86,6 +146,11 @@ pub fn measure(
 ///
 /// A heavily faulted run may trip a typed error — that is the detection
 /// path working — and its burst is counted as fully errored.
+///
+/// # Errors
+///
+/// As [`measure`]; faulty-run errors are absorbed into the error count,
+/// so only build/stimulus failures surface.
 pub fn measure_with_faults(
     pool: &ParConfig,
     channel: &[f64],
@@ -93,7 +158,7 @@ pub fn measure_with_faults(
     rate: f64,
     n_bursts: u64,
     payload_len: usize,
-) -> BerCount {
+) -> Result<BerCount, BenchError> {
     let cfg = TransceiverConfig {
         train: true,
         agc: false,
@@ -107,23 +172,20 @@ pub fn measure_with_faults(
             noise,
             seed: 1000 + seed,
         });
-        let sys = build_system(&cfg).expect("build");
+        let sys = build_system(&cfg)?;
         let cycles = (burst.samples.len() * CYCLES_PER_SYMBOL) as u64;
         let plan = FaultPlan::random(&sys, cycles, rate, 0xdec7 + seed);
-        let mut sim = FaultySim::new(InterpSim::new(sys).expect("sim"), plan);
+        let mut sim = FaultySim::new(InterpSim::new(sys)?, plan);
         let mut out = BerCount::default();
         accumulate(
             &mut out,
             &burst,
             run_burst(&mut sim, &burst, None).ok().as_deref(),
         );
-        Ok::<_, ocapi::CoreError>(out)
+        Ok::<_, CoreError>(out)
     })
-    .unwrap_or_else(|e| match e {
-        ParError::Task { index, error } => panic!("burst {index} failed: {error}"),
-        ParError::Panic { index } => panic!("burst {index} panicked"),
-    });
-    sum(parts)
+    .map_err(par_err)?;
+    Ok(sum(parts))
 }
 
 /// Per-burst error accounting, shared by the scalar and batched paths:
@@ -145,6 +207,15 @@ fn accumulate(out: &mut BerCount, burst: &Burst, records: Option<&[SymbolRecord]
             out.bits += n;
             out.errors += n;
         }
+    }
+}
+
+/// An output of a type the driver did not expect — a driver bug, not a
+/// workload condition.
+fn bad_output(name: &str, expected: SigType) -> CoreError {
+    CoreError::ValueType {
+        context: format!("batched BER driver output `{name}`"),
+        expected,
     }
 }
 
@@ -171,7 +242,7 @@ fn run_bursts_batched(
     sim: &mut BatchedSim,
     bursts: &[Burst],
     plans: &[FaultPlan],
-) -> Result<Vec<Option<Vec<SymbolRecord>>>, ocapi::CoreError> {
+) -> Result<Vec<Option<Vec<SymbolRecord>>>, CoreError> {
     use ocapi::Simulator as _;
     let mut st: Vec<LaneDrive> = bursts
         .iter()
@@ -218,16 +289,19 @@ fn run_bursts_batched(
             if s.done == CYCLES_PER_SYMBOL {
                 s.done = 0;
                 s.records.push(SymbolRecord {
-                    bit: sim.output_lane(l, "bit")?.as_bool().expect("bool output"),
+                    bit: sim
+                        .output_lane(l, "bit")?
+                        .as_bool()
+                        .ok_or_else(|| bad_output("bit", SigType::Bool))?,
                     err: sim
                         .output_lane(l, "err")?
                         .as_fixed()
-                        .expect("fixed output")
+                        .ok_or_else(|| bad_output("err", SigType::Bool))?
                         .to_f64(),
                     detect: sim
                         .output_lane(l, "detect")?
                         .as_bool()
-                        .expect("bool output"),
+                        .ok_or_else(|| bad_output("detect", SigType::Bool))?,
                 });
                 s.sample_idx += 1;
                 if s.sample_idx == bursts[l].samples.len() {
@@ -242,16 +316,72 @@ fn run_bursts_batched(
         .collect())
 }
 
+/// One chunk of the batched measurement: the bursts at `seeds` (global
+/// burst indices), one per lane, through one shared tape walk per
+/// cycle. `fault_rate` of `None` runs fault-free; `Some(rate)` builds
+/// one independent plan per burst, seeded on the global index.
+fn batched_chunk(
+    cfg: &TransceiverConfig,
+    channel: &[f64],
+    noise: f64,
+    fault_rate: Option<f64>,
+    payload_len: usize,
+    level: OptLevel,
+    seeds: &[usize],
+) -> Result<Vec<BerCount>, CoreError> {
+    let bursts: Vec<Burst> = seeds
+        .iter()
+        .map(|seed| {
+            generate(&BurstConfig {
+                payload_len,
+                channel: channel.to_vec(),
+                noise,
+                seed: 1000 + *seed as u64,
+            })
+        })
+        .collect();
+    let mut systems = Vec::with_capacity(seeds.len());
+    let mut plans = Vec::with_capacity(seeds.len());
+    for (i, seed) in seeds.iter().enumerate() {
+        let sys = build_system(cfg)?;
+        plans.push(match fault_rate {
+            Some(rate) => {
+                let cycles = (bursts[i].samples.len() * CYCLES_PER_SYMBOL) as u64;
+                FaultPlan::random(&sys, cycles, rate, 0xdec7 + *seed as u64)
+            }
+            None => FaultPlan::new(),
+        });
+        systems.push(sys);
+    }
+    let mut sim = BatchedSim::new_with(systems, level)?;
+    let outcomes = run_bursts_batched(&mut sim, &bursts, &plans)?;
+    Ok(bursts
+        .iter()
+        .zip(&outcomes)
+        .map(|(burst, records)| {
+            let mut out = BerCount::default();
+            accumulate(&mut out, burst, records.as_deref());
+            out
+        })
+        .collect())
+}
+
 /// [`measure`] over the lane-batched compiled back-end: bursts are
 /// chunked into groups of `lanes` and every chunk is one work item of
 /// the `--threads` pool, walking the micro-op tape once per cycle for
 /// all of its lanes. Per-burst seeds are unchanged (`1000 + burst`), so
 /// the summed totals are bit-identical for every lane count *and*
 /// thread count; `lanes = 1` is the scalar compiled path one burst at a
-/// time.
+/// time. Under a checkpointing [`Robust`] envelope, per-burst counts
+/// land in the `stream` manifest and `--resume` skips completed bursts.
+///
+/// # Errors
+///
+/// As [`measure`], plus checkpoint manifest I/O and decode errors.
 #[allow(clippy::too_many_arguments)]
 pub fn measure_batched(
-    pool: &ParConfig,
+    rb: &Robust,
+    stream: &str,
     channel: &[f64],
     noise: f64,
     adapt: bool,
@@ -259,41 +389,23 @@ pub fn measure_batched(
     payload_len: usize,
     lanes: usize,
     level: OptLevel,
-) -> BerCount {
+) -> Result<BerCount, BenchError> {
     let cfg = TransceiverConfig {
         train: adapt,
         agc: false,
         adapt,
     };
-    let seeds: Vec<u64> = (0..n_bursts).collect();
-    let chunks: Vec<&[u64]> = seeds.chunks(lanes.max(1)).collect();
-    let parts = map_indexed(pool, &chunks, |_, chunk| {
-        let bursts: Vec<Burst> = chunk
-            .iter()
-            .map(|seed| {
-                generate(&BurstConfig {
-                    payload_len,
-                    channel: channel.to_vec(),
-                    noise,
-                    seed: 1000 + seed,
-                })
-            })
-            .collect();
-        let mut systems = Vec::with_capacity(chunk.len());
-        for _ in chunk.iter() {
-            systems.push(build_system(&cfg).expect("build"));
-        }
-        let mut sim = BatchedSim::new_with(systems, level).expect("sim");
-        let plans = vec![FaultPlan::new(); chunk.len()];
-        let outcomes = run_bursts_batched(&mut sim, &bursts, &plans)?;
-        let mut out = BerCount::default();
-        for (burst, records) in bursts.iter().zip(&outcomes) {
-            accumulate(&mut out, burst, records.as_deref());
-        }
-        Ok::<_, ocapi::CoreError>(out)
-    })
-    .expect("fault-free batched BER run");
-    sum(parts)
+    let fp = point_fingerprint(stream, channel, noise, adapt as u64, n_bursts, payload_len);
+    let parts = rb.run_chunked(
+        stream,
+        fp,
+        n_bursts as usize,
+        lanes.max(1),
+        BerCount::encode,
+        BerCount::decode,
+        |seeds| batched_chunk(&cfg, channel, noise, None, payload_len, level, seeds),
+    )?;
+    Ok(sum(parts))
 }
 
 /// [`measure_with_faults`] over the lane-batched back-end: one
@@ -301,10 +413,17 @@ pub fn measure_batched(
 /// the burst's *global* index — never its lane), applied per lane
 /// before every shared tape pass. A lane whose faults trip a typed
 /// error is masked off and its burst counted fully errored, exactly as
-/// the scalar path's `Err` branch, without aborting the chunk.
+/// the scalar path's `Err` branch, without aborting the chunk. Under a
+/// checkpointing [`Robust`] envelope, per-burst counts land in the
+/// `stream` manifest and `--resume` skips completed bursts.
+///
+/// # Errors
+///
+/// As [`measure_batched`].
 #[allow(clippy::too_many_arguments)]
 pub fn measure_with_faults_batched(
-    pool: &ParConfig,
+    rb: &Robust,
+    stream: &str,
     channel: &[f64],
     noise: f64,
     rate: f64,
@@ -312,47 +431,30 @@ pub fn measure_with_faults_batched(
     payload_len: usize,
     lanes: usize,
     level: OptLevel,
-) -> BerCount {
+) -> Result<BerCount, BenchError> {
     let cfg = TransceiverConfig {
         train: true,
         agc: false,
         adapt: true,
     };
-    let seeds: Vec<u64> = (0..n_bursts).collect();
-    let chunks: Vec<&[u64]> = seeds.chunks(lanes.max(1)).collect();
-    let parts = map_indexed(pool, &chunks, |_, chunk| {
-        let bursts: Vec<Burst> = chunk
-            .iter()
-            .map(|seed| {
-                generate(&BurstConfig {
-                    payload_len,
-                    channel: channel.to_vec(),
-                    noise,
-                    seed: 1000 + seed,
-                })
-            })
-            .collect();
-        let mut systems = Vec::with_capacity(chunk.len());
-        let mut plans = Vec::with_capacity(chunk.len());
-        for (i, seed) in chunk.iter().enumerate() {
-            let sys = build_system(&cfg).expect("build");
-            let cycles = (bursts[i].samples.len() * CYCLES_PER_SYMBOL) as u64;
-            plans.push(FaultPlan::random(&sys, cycles, rate, 0xdec7 + seed));
-            systems.push(sys);
-        }
-        let mut sim = BatchedSim::new_with(systems, level).expect("sim");
-        let outcomes = run_bursts_batched(&mut sim, &bursts, &plans)?;
-        let mut out = BerCount::default();
-        for (burst, records) in bursts.iter().zip(&outcomes) {
-            accumulate(&mut out, burst, records.as_deref());
-        }
-        Ok::<_, ocapi::CoreError>(out)
-    })
-    .unwrap_or_else(|e| match e {
-        ParError::Task { index, error } => panic!("burst chunk {index} failed: {error}"),
-        ParError::Panic { index } => panic!("burst chunk {index} panicked"),
-    });
-    sum(parts)
+    let fp = point_fingerprint(
+        stream,
+        channel,
+        noise,
+        rate.to_bits(),
+        n_bursts,
+        payload_len,
+    );
+    let parts = rb.run_chunked(
+        stream,
+        fp,
+        n_bursts as usize,
+        lanes.max(1),
+        BerCount::encode,
+        BerCount::decode,
+        |seeds| batched_chunk(&cfg, channel, noise, Some(rate), payload_len, level, seeds),
+    )?;
+    Ok(sum(parts))
 }
 
 /// Formats a BER for the tables: `<1/bits` when no errors were seen.

@@ -11,23 +11,36 @@
 //! `--threads N` worker pool with bit-identical totals for every `N`,
 //! and batches across the `--lanes N` lanes of the compiled tape
 //! executor with bit-identical totals for every lane count (the CI
-//! determinism job diffs the `--json` output across both axes). A
+//! determinism job diffs the `--json` output across both axes). With
+//! `--checkpoint DIR` every sweep point writes an atomic per-burst
+//! manifest, and a killed run resumed with `--resume` produces
+//! byte-identical JSON — the CI kill-and-resume job enforces this. A
 //! scalar-vs-batched head-to-head on one sweep point records the
 //! batching payoff in the perf trajectory. Run with:
 //!
 //! `cargo run --release -p ocapi-bench --bin ber_sweep -- [--threads N] [--lanes N] [--quick]`
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use ocapi_bench::ber::{fmt_ber, measure, measure_batched, measure_with_faults_batched};
-use ocapi_bench::{parse_args, timed, write_profile, Reporter};
+use ocapi_bench::{parse_args, timed, write_profile, BenchError, Reporter, Robust};
 use ocapi_obs::Registry;
 
 fn main() {
     let args = parse_args("ber_sweep");
+    if let Err(e) = run(&args) {
+        eprintln!("ber_sweep: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run(args: &ocapi_bench::BenchArgs) -> Result<(), BenchError> {
     let pool = args.pool();
     let lanes = args.lanes;
     let level = args.opt_level();
     let mut rep = Reporter::new("ber_sweep");
     let obs = Registry::new();
+    let rb = Robust::new(args, &pool, Some(&obs));
     let root = obs.span("ber_sweep");
 
     let (bursts, payload) = if args.quick { (2, 64) } else { (8, 160) };
@@ -54,29 +67,47 @@ fn main() {
 
     let mut total_runs = 0u64;
     let t_sweep = root.child("noise_sweep").timer();
-    let (_, sweep_secs) = timed(|| {
-        for channel in channels {
-            for &noise in noises {
-                let eq =
-                    measure_batched(&pool, channel, noise, true, bursts, payload, lanes, level);
-                let fixed =
-                    measure_batched(&pool, channel, noise, false, bursts, payload, lanes, level);
-                total_runs += 2 * bursts;
-                println!(
-                    "{:<22} {:>7.2} {:>14} {:>15}",
-                    format!("{channel:?}"),
-                    noise,
-                    fmt_ber(eq),
-                    fmt_ber(fixed)
-                );
-                let key = format!("ch{channel:?}_n{noise}");
-                rep.result_u64(&format!("{key}_eq_errors"), eq.errors);
-                rep.result_u64(&format!("{key}_eq_bits"), eq.bits);
-                rep.result_u64(&format!("{key}_fixed_errors"), fixed.errors);
-                rep.result_u64(&format!("{key}_fixed_bits"), fixed.bits);
-            }
+    let sw_sweep = ocapi_obs::Stopwatch::start();
+    for channel in channels {
+        for &noise in noises {
+            let key = format!("ch{channel:?}_n{noise}");
+            let eq = measure_batched(
+                &rb,
+                &format!("eq_{key}"),
+                channel,
+                noise,
+                true,
+                bursts,
+                payload,
+                lanes,
+                level,
+            )?;
+            let fixed = measure_batched(
+                &rb,
+                &format!("fixed_{key}"),
+                channel,
+                noise,
+                false,
+                bursts,
+                payload,
+                lanes,
+                level,
+            )?;
+            total_runs += 2 * bursts;
+            println!(
+                "{:<22} {:>7.2} {:>14} {:>15}",
+                format!("{channel:?}"),
+                noise,
+                fmt_ber(eq),
+                fmt_ber(fixed)
+            );
+            rep.result_u64(&format!("{key}_eq_errors"), eq.errors);
+            rep.result_u64(&format!("{key}_eq_bits"), eq.bits);
+            rep.result_u64(&format!("{key}_fixed_errors"), fixed.errors);
+            rep.result_u64(&format!("{key}_fixed_bits"), fixed.bits);
         }
-    });
+    }
+    let sweep_secs = sw_sweep.elapsed_secs();
     drop(t_sweep);
 
     // Fault-injection sweep: BER of the equalized receiver on a mild
@@ -89,24 +120,25 @@ fn main() {
         &[0.0, 1e-4, 1e-3, 1e-2, 5e-2, 2e-1]
     };
     let t_fault = root.child("fault_sweep").timer();
-    let (_, fault_secs) = timed(|| {
-        for &rate in rates {
-            let c = measure_with_faults_batched(
-                &pool,
-                &[1.0, 0.45],
-                0.05,
-                rate,
-                bursts,
-                payload,
-                lanes,
-                level,
-            );
-            total_runs += bursts;
-            println!("{rate:<22} {:>14}", fmt_ber(c));
-            rep.result_u64(&format!("fault_r{rate}_errors"), c.errors);
-            rep.result_u64(&format!("fault_r{rate}_bits"), c.bits);
-        }
-    });
+    let sw_fault = ocapi_obs::Stopwatch::start();
+    for &rate in rates {
+        let c = measure_with_faults_batched(
+            &rb,
+            &format!("fault_r{rate}"),
+            &[1.0, 0.45],
+            0.05,
+            rate,
+            bursts,
+            payload,
+            lanes,
+            level,
+        )?;
+        total_runs += bursts;
+        println!("{rate:<22} {:>14}", fmt_ber(c));
+        rep.result_u64(&format!("fault_r{rate}_errors"), c.errors);
+        rep.result_u64(&format!("fault_r{rate}_bits"), c.bits);
+    }
+    let fault_secs = sw_fault.elapsed_secs();
     drop(t_fault);
     obs.counter("ber.burst_runs").add(total_runs);
 
@@ -128,14 +160,18 @@ fn main() {
     // compiled tape at `--lanes`. Identical counts are asserted (the
     // batching contract), and both throughputs land in the perf record
     // — CI gates on batched_runs_per_sec rising with the lane count.
+    // Deliberately uncheckpointed: it is a timing probe, not a campaign.
     let hh_bursts = if args.quick { 8 } else { 16 };
     let hh_channel = [1.0, 0.65, 0.35];
+    let rb_plain = Robust::plain(&pool);
     let t_hh = root.child("head_to_head").timer();
     let (scalar_hh, scalar_secs) =
         timed(|| measure(&pool, &hh_channel, 0.05, true, hh_bursts, payload));
+    let scalar_hh = scalar_hh?;
     let (batched_hh, batched_secs) = timed(|| {
         measure_batched(
-            &pool,
+            &rb_plain,
+            "head_to_head",
             &hh_channel,
             0.05,
             true,
@@ -145,6 +181,7 @@ fn main() {
             level,
         )
     });
+    let batched_hh = batched_hh?;
     drop(t_hh);
     assert_eq!(batched_hh, scalar_hh, "batched BER diverged from scalar");
     println!(
@@ -165,6 +202,7 @@ fn main() {
         "batched_runs_per_sec",
         hh_bursts as f64 / batched_secs.max(1e-12),
     );
-    rep.write(&args).expect("write reports");
-    write_profile(&args, &obs).expect("write profile");
+    rep.write(args)?;
+    write_profile(args, &obs)?;
+    Ok(())
 }

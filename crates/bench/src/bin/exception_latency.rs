@@ -15,9 +15,11 @@
 //!
 //! `cargo run --release -p ocapi-bench --bin exception_latency -- [--threads N] [--quick]`
 
-use ocapi::sim::par::map_indexed;
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use ocapi::sim::par::{map_indexed, ParError};
 use ocapi::{Component, CoreError, InterpSim, SigType, Simulator, System, Value};
-use ocapi_bench::{parse_args, timed, write_profile, Reporter};
+use ocapi_bench::{parse_args, timed, write_profile, BenchArgs, BenchError, Reporter};
 use ocapi_designs::dect::burst::{generate, BurstConfig};
 use ocapi_designs::dect::transceiver::{build_system, TransceiverConfig};
 use ocapi_obs::Registry;
@@ -80,54 +82,66 @@ fn pipeline(k: usize) -> Result<System, CoreError> {
     sb.finish()
 }
 
+/// The experiment's own failure mode: the machine never reached the
+/// frozen state within the probe window.
+fn never_froze(what: &str) -> CoreError {
+    CoreError::CheckFailed {
+        diagnostics: vec![format!("{what} never froze within the probe window")],
+    }
+}
+
 /// Cycles from asserting the sink stall until the source stops advancing.
-fn dataflow_freeze_latency(k: usize) -> u64 {
-    let mut sim = InterpSim::new(pipeline(k).expect("build")).expect("sim");
-    sim.set_input("stall", Value::Bool(false)).expect("set");
-    sim.run(10).expect("warmup");
-    sim.set_input("stall", Value::Bool(true)).expect("set");
-    let mut prev = sim.output("head").expect("out");
+fn dataflow_freeze_latency(k: usize) -> Result<u64, CoreError> {
+    let mut sim = InterpSim::new(pipeline(k)?)?;
+    sim.set_input("stall", Value::Bool(false))?;
+    sim.run(10)?;
+    sim.set_input("stall", Value::Bool(true))?;
+    let mut prev = sim.output("head")?;
     for cycle in 1..200 {
-        sim.step().expect("step");
-        let cur = sim.output("head").expect("out");
+        sim.step()?;
+        let cur = sim.output("head")?;
         if cur == prev {
-            return cycle;
+            return Ok(cycle);
         }
         prev = cur;
     }
-    panic!("source never froze");
+    Err(never_froze("pipeline source"))
 }
 
 /// Cycles from asserting hold_request until the DECT machine issues nops.
-fn central_freeze_latency() -> u64 {
+fn central_freeze_latency() -> Result<u64, CoreError> {
     let cfg = TransceiverConfig::default();
-    let mut sim = InterpSim::new(build_system(&cfg).expect("build")).expect("sim");
+    let mut sim = InterpSim::new(build_system(&cfg)?)?;
     let burst = generate(&BurstConfig::default());
-    sim.set_input("hold_request", Value::Bool(false))
-        .expect("set");
-    sim.set_input("sample", Value::Fixed(burst.samples[0]))
-        .expect("set");
-    sim.run(10).expect("warmup");
-    sim.set_input("hold_request", Value::Bool(true))
-        .expect("set");
+    sim.set_input("hold_request", Value::Bool(false))?;
+    sim.set_input("sample", Value::Fixed(burst.samples[0]))?;
+    sim.run(10)?;
+    sim.set_input("hold_request", Value::Bool(true))?;
     for cycle in 1..50 {
-        sim.step().expect("step");
-        if sim.output("holding").expect("out") == Value::Bool(true) {
-            return cycle;
+        sim.step()?;
+        if sim.output("holding")? == Value::Bool(true) {
+            return Ok(cycle);
         }
     }
-    panic!("machine never held");
+    Err(never_froze("DECT machine"))
 }
 
 fn main() {
     let args = parse_args("exception_latency");
+    if let Err(e) = run(&args) {
+        eprintln!("exception_latency: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run(args: &BenchArgs) -> Result<(), BenchError> {
     let pool = args.pool();
     let mut rep = Reporter::new("exception_latency");
     let obs = Registry::new();
     let root = obs.span("exception_latency");
     println!("global-exception freeze latency (§3.3 architecture change):\n");
     let t_central = root.child("central").timer();
-    let central = central_freeze_latency();
+    let central = central_freeze_latency()?;
     drop(t_central);
     println!("  central control (DECT transceiver): {central} cycle(s)");
     rep.result_u64("central_freeze_cycles", central);
@@ -139,12 +153,11 @@ fn main() {
         &[4, 8, 16, 32]
     };
     let t_sweep = root.child("depth_sweep").timer();
-    let (lats, secs) = timed(|| {
-        map_indexed(&pool, depths, |_, &k| {
-            Ok::<_, CoreError>(dataflow_freeze_latency(k))
-        })
-        .expect("depth sweep")
-    });
+    let (lats, secs) = timed(|| map_indexed(&pool, depths, |_, &k| dataflow_freeze_latency(k)));
+    let lats = lats.map_err(|e| match e {
+        ParError::Task { index, error } => BenchError::Item { index, error },
+        ParError::Panic { index } => BenchError::Panic { index },
+    })?;
     drop(t_sweep);
     obs.counter("exception.pipeline_builds")
         .add(depths.len() as u64);
@@ -158,6 +171,7 @@ fn main() {
          architecture needs O(depth) — with the 29-DECT-symbol latency\n  \
          budget this is why the paper switched architectures mid-design."
     );
-    rep.write(&args).expect("write reports");
-    write_profile(&args, &obs).expect("write profile");
+    rep.write(args)?;
+    write_profile(args, &obs)?;
+    Ok(())
 }

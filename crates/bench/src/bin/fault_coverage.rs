@@ -7,21 +7,28 @@
 //!   manufacturing test set, and fault simulation grades them.
 //! * **System level** — a cycle-true `FaultySim` campaign over every
 //!   register and net of the captured system, classifying each injected
-//!   fault as masked, silently corrupting, or detected.
+//!   fault as masked, silently corrupting, detected, or timed out
+//!   (killed by a watchdog budget).
 //!
 //! Both levels shard across the `--threads N` worker pool (fault
 //! batches at gate level, fault events at system level) with
 //! bit-identical reports for every `N`; the campaign is additionally
 //! timed at one thread and at `N` threads, and the measured speedup
-//! lands in the `--perf-json` record. Run with:
+//! lands in the `--perf-json` record. The graceful-degradation sweep
+//! checkpoints per run under `--checkpoint DIR` and resumes with
+//! `--resume` to byte-identical JSON. Run with:
 //!
 //! `cargo run --release -p ocapi-bench --bin fault_coverage -- [--threads N] [--quick]`
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use ocapi::rng::XorShift64;
 use ocapi::sim::fault::{run_campaign_batched_par, run_campaign_par, FaultEvent, FaultPlan};
-use ocapi::sim::par::{map_indexed_stats, ParConfig};
+use ocapi::sim::par::ParConfig;
 use ocapi::{InterpSim, Simulator, Value};
-use ocapi_bench::{parse_args, timed, write_profile, BenchArgs, Reporter};
+use ocapi_bench::{
+    fingerprint, parse_args, timed, write_profile, BenchArgs, BenchError, Reporter, Robust,
+};
 use ocapi_designs::hcor;
 use ocapi_gatesim::fault::{stuck_at_coverage_sharded, CycleStimulus};
 use ocapi_obs::Registry;
@@ -46,10 +53,15 @@ fn stimuli_for(bits: &[bool], thresholds: &[u64]) -> Vec<CycleStimulus> {
 /// HCOR system with transient flips and stuck-at faults, running the
 /// interpreted simulator under `FaultySim` — sharded over fault events,
 /// timed at 1 and at N threads for the perf trajectory.
-fn system_level_campaign(args: &BenchArgs, rep: &mut Reporter, obs: &Registry) {
+fn system_level_campaign(
+    args: &BenchArgs,
+    rep: &mut Reporter,
+    obs: &Registry,
+) -> Result<(), BenchError> {
     let root = obs.span("fault_coverage");
     let pool = args.pool();
-    let sys = hcor::build_system().expect("build");
+    let rb = Robust::new(args, &pool, Some(obs));
+    let sys = hcor::build_system()?;
     let sites = FaultPlan::sites(&sys);
     let bits = hcor::test_pattern(if args.quick { 128 } else { 256 }, 7);
     let cycles = bits.len() as u64;
@@ -79,14 +91,12 @@ fn system_level_campaign(args: &BenchArgs, rep: &mut Reporter, obs: &Registry) {
     // at the requested pool width. Reports are asserted identical —
     // the determinism contract, enforced on every benchmark run.
     let t_campaign = root.child("campaign").timer();
-    let (serial_report, secs_t1) = timed(|| {
-        run_campaign_par(&ParConfig::single(), make_sim, stimulus, cycles, &events)
-            .expect("campaign")
-    });
+    let (serial_report, secs_t1) =
+        timed(|| run_campaign_par(&ParConfig::single(), make_sim, stimulus, cycles, &events));
+    let serial_report = serial_report?;
     let (report, secs_tn) = if pool.threads() > 1 {
-        let (r, s) = timed(|| {
-            run_campaign_par(&pool, make_sim, stimulus, cycles, &events).expect("campaign")
-        });
+        let (r, s) = timed(|| run_campaign_par(&pool, make_sim, stimulus, cycles, &events));
+        let r = r?;
         assert_eq!(
             r.outcomes, serial_report.outcomes,
             "thread-count determinism violated"
@@ -98,6 +108,8 @@ fn system_level_campaign(args: &BenchArgs, rep: &mut Reporter, obs: &Registry) {
     drop(t_campaign);
     obs.counter("fault.campaign_injections")
         .add(report.total() as u64);
+    obs.counter("robust.budget_hits")
+        .add(report.timed_out() as u64);
 
     // The same campaign through the lane-batched compiled back-end:
     // `--lanes` fault runs share one micro-op tape walk per cycle, and
@@ -115,8 +127,8 @@ fn system_level_campaign(args: &BenchArgs, rep: &mut Reporter, obs: &Registry) {
             args.lanes,
             args.opt_level(),
         )
-        .expect("batched campaign")
     });
+    let batched = batched?;
     drop(t_batched);
     assert_eq!(
         batched.outcomes, report.outcomes,
@@ -140,6 +152,9 @@ fn system_level_campaign(args: &BenchArgs, rep: &mut Reporter, obs: &Registry) {
         100.0 * report.silent_rate()
     );
     println!("  detected (error)   {:>6}", report.detected());
+    if report.timed_out() > 0 {
+        println!("  timed out (budget) {:>6}", report.timed_out());
+    }
     if let Some(lat) = report.mean_detection_latency() {
         println!("  mean latency to first visible effect: {lat:.1} cycles");
     }
@@ -157,6 +172,7 @@ fn system_level_campaign(args: &BenchArgs, rep: &mut Reporter, obs: &Registry) {
     rep.result_u64("campaign_masked", report.masked() as u64);
     rep.result_u64("campaign_silent", report.silent() as u64);
     rep.result_u64("campaign_detected", report.detected() as u64);
+    rep.result_u64("campaign_timed_out", report.timed_out() as u64);
     rep.perf_f64("campaign_secs_t1", secs_t1);
     rep.perf_f64("campaign_secs_tn", secs_tn);
     rep.perf_f64("campaign_speedup", secs_t1 / secs_tn.max(1e-12));
@@ -178,16 +194,21 @@ fn system_level_campaign(args: &BenchArgs, rep: &mut Reporter, obs: &Registry) {
     // Graceful degradation: per-cycle output corruption and sync
     // detection vs injected fault rate. Random single-cycle flips at
     // increasing per-cycle probability, compared against the fault-free
-    // run cycle by cycle. Each (rate, seed) run is one work item.
+    // run cycle by cycle. Each (rate, seed) run is one work item,
+    // checkpointed per run under `--checkpoint`.
     let outputs = ["detect", "corr", "sync_pos"];
     let mut golden: Vec<Vec<Value>> = Vec::with_capacity(bits.len());
-    let mut sim = InterpSim::new(hcor::build_system().expect("build")).expect("sim");
+    let mut sim = InterpSim::new(hcor::build_system()?)?;
     for b in &bits {
-        sim.set_input("enable", Value::Bool(true)).expect("set");
-        sim.set_input("threshold", Value::bits(5, 11)).expect("set");
-        sim.set_input("bit_in", Value::Bool(*b)).expect("set");
-        sim.step().expect("step");
-        golden.push(outputs.map(|o| sim.output(o).expect("out")).to_vec());
+        sim.set_input("enable", Value::Bool(true))?;
+        sim.set_input("threshold", Value::bits(5, 11))?;
+        sim.set_input("bit_in", Value::Bool(*b))?;
+        sim.step()?;
+        let mut row = Vec::with_capacity(outputs.len());
+        for o in outputs {
+            row.push(sim.output(o)?);
+        }
+        golden.push(row);
     }
 
     println!("\ngraceful degradation vs injected fault rate (random single-cycle flips):");
@@ -202,7 +223,7 @@ fn system_level_campaign(args: &BenchArgs, rep: &mut Reporter, obs: &Registry) {
     };
     let runs = if args.quick { 8u64 } else { 20u64 };
     let t_degrade = root.child("degrade").timer();
-    let mut degrade_stats = None;
+    let sw_degrade = ocapi_obs::Stopwatch::start();
     for &rate in rates {
         // Plans are built sequentially (the captured `System` holds
         // `dyn` blocks and cannot cross threads); the simulation runs
@@ -219,31 +240,51 @@ fn system_level_campaign(args: &BenchArgs, rep: &mut Reporter, obs: &Registry) {
                 plan
             })
             .collect();
-        let (outcomes, stats) = map_indexed_stats(&pool, &plans, |_, plan| {
-            let mut sim =
-                ocapi::FaultySim::new(InterpSim::new(hcor::build_system()?)?, plan.clone());
-            sim.attach_obs(obs);
-            let mut corrupted = 0u64;
-            let mut detected = false;
-            for (cyc, b) in bits.iter().enumerate() {
-                if sim.set_input("enable", Value::Bool(true)).is_err()
-                    || sim.set_input("threshold", Value::bits(5, 11)).is_err()
-                    || sim.set_input("bit_in", Value::Bool(*b)).is_err()
-                    || sim.step().is_err()
-                {
-                    break;
+        let fp = fingerprint(&[
+            "degrade",
+            &rate.to_bits().to_string(),
+            &runs.to_string(),
+            &cycles.to_string(),
+        ]);
+        let outcomes = rb.run_chunked(
+            &format!("degrade_r{rate}"),
+            fp,
+            runs as usize,
+            1,
+            |(c, d): &(u64, bool)| format!("{c},{}", *d as u8),
+            |s| {
+                let (c, d) = s.split_once(',')?;
+                Some((c.parse().ok()?, d == "1"))
+            },
+            |idxs| {
+                let plan = &plans[idxs[0]];
+                let mut sim =
+                    ocapi::FaultySim::new(InterpSim::new(hcor::build_system()?)?, plan.clone());
+                sim.attach_obs(obs);
+                let mut corrupted = 0u64;
+                let mut detected = false;
+                for (cyc, b) in bits.iter().enumerate() {
+                    if sim.set_input("enable", Value::Bool(true)).is_err()
+                        || sim.set_input("threshold", Value::bits(5, 11)).is_err()
+                        || sim.set_input("bit_in", Value::Bool(*b)).is_err()
+                        || sim.step().is_err()
+                    {
+                        break;
+                    }
+                    let mut now = Vec::with_capacity(outputs.len());
+                    for o in outputs {
+                        now.push(sim.output(o)?);
+                    }
+                    if now != golden[cyc] {
+                        corrupted += 1;
+                    }
+                    if now[0] == Value::Bool(true) {
+                        detected = true;
+                    }
                 }
-                let now: Vec<Value> = outputs.map(|o| sim.output(o).expect("out")).to_vec();
-                if now != golden[cyc] {
-                    corrupted += 1;
-                }
-                if now[0] == Value::Bool(true) {
-                    detected = true;
-                }
-            }
-            Ok::<_, ocapi::CoreError>((corrupted, detected))
-        });
-        let outcomes = outcomes.expect("degradation runs");
+                Ok(vec![(corrupted, detected)])
+            },
+        )?;
         let corrupted: u64 = outcomes.iter().map(|(c, _)| c).sum();
         let detects = outcomes.iter().filter(|(_, d)| *d).count() as u64;
         println!(
@@ -252,25 +293,34 @@ fn system_level_campaign(args: &BenchArgs, rep: &mut Reporter, obs: &Registry) {
         );
         rep.result_u64(&format!("degrade_r{rate}_corrupted"), corrupted);
         rep.result_u64(&format!("degrade_r{rate}_detects"), detects);
-        degrade_stats = Some(stats);
     }
+    let degrade_secs = sw_degrade.elapsed_secs();
     drop(t_degrade);
-    if let Some(stats) = degrade_stats {
-        rep.perf_pool("degrade", &stats);
-        obs.advisory_counter("degrade.shards_stolen")
-            .add(stats.steals);
-    }
+    rep.perf_f64("degrade_wall_secs", degrade_secs);
+    rep.perf_u64("degrade_runs", runs * rates.len() as u64);
+    rep.perf_f64(
+        "degrade_runs_per_sec",
+        (runs * rates.len() as u64) as f64 / degrade_secs.max(1e-12),
+    );
+    Ok(())
 }
 
 fn main() {
     let args = parse_args("fault_coverage");
+    if let Err(e) = run(&args) {
+        eprintln!("fault_coverage: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run(args: &BenchArgs) -> Result<(), BenchError> {
     let pool = args.pool();
     let mut rep = Reporter::new("fault_coverage");
     let obs = Registry::new();
     let root = obs.span("fault_coverage");
 
-    let comp = hcor::build_component().expect("build");
-    let netlist = synthesize(&comp, &SynthOptions::default()).expect("synthesis");
+    let comp = hcor::build_component()?;
+    let netlist = synthesize(&comp, &SynthOptions::default())?;
     let n_gates = netlist.netlist.combinational_count();
     let n_ffs = netlist.netlist.dff_count();
     println!(
@@ -320,8 +370,8 @@ fn main() {
     for (label, bits, thresholds) in &sets {
         let stim = stimuli_for(bits, thresholds);
         let t_grade = root.child("grade").timer();
-        let (graded, secs) =
-            timed(|| stuck_at_coverage_sharded(&netlist.netlist, &stim, &pool).expect("grade"));
+        let (graded, secs) = timed(|| stuck_at_coverage_sharded(&netlist.netlist, &stim, &pool));
+        let graded = graded?;
         drop(t_grade);
         grade_secs += secs;
         grade_faults += graded.total as u64;
@@ -346,7 +396,7 @@ fn main() {
     obs.counter("fault.graded").add(grade_faults);
 
     // Where do the escapes of the best set live?
-    let best = best.expect("at least one set");
+    let best = best.ok_or_else(|| BenchError::Driver("no vector sets graded".into()))?;
     let mut by_kind: std::collections::BTreeMap<String, usize> = Default::default();
     for f in &best.undetected {
         let kind = netlist.netlist.gates[f.gate].kind;
@@ -381,7 +431,7 @@ fn main() {
                     }
                 }
             }
-            let signoff = bist::bist_signoff(&netlist.netlist, &stim, &pool).expect("bist");
+            let signoff = bist::bist_signoff(&netlist.netlist, &stim, &pool)?;
             println!(
                 "{:<38} {:>8} {:>10} {:>9.1}%   signature {:08x}",
                 format!("{label} ({patterns})"),
@@ -407,12 +457,12 @@ fn main() {
     let bits = hcor::test_pattern(if args.quick { 64 } else { 256 }, 7);
     let stimuli = stimuli_for(&bits, &[11]);
     let t_abl = root.child("ablation").timer();
-    let (serial, t_serial) = timed(|| {
-        stuck_at_coverage_sharded(&netlist.netlist, &stimuli, &ParConfig::single())
-            .expect("fault grade")
-    });
+    let (serial, t_serial) =
+        timed(|| stuck_at_coverage_sharded(&netlist.netlist, &stimuli, &ParConfig::single()));
+    let serial = serial?;
     let (sharded, t_sharded) =
-        timed(|| stuck_at_coverage_sharded(&netlist.netlist, &stimuli, &pool).expect("grade"));
+        timed(|| stuck_at_coverage_sharded(&netlist.netlist, &stimuli, &pool));
+    let sharded = sharded?;
     drop(t_abl);
     assert_eq!(serial.detected, sharded.detected, "engines disagree");
     assert_eq!(serial.undetected, sharded.undetected, "engines disagree");
@@ -448,7 +498,8 @@ fn main() {
         );
     }
 
-    system_level_campaign(&args, &mut rep, &obs);
-    rep.write(&args).expect("write reports");
-    write_profile(&args, &obs).expect("write profile");
+    system_level_campaign(args, &mut rep, &obs)?;
+    rep.write(args)?;
+    write_profile(args, &obs)?;
+    Ok(())
 }

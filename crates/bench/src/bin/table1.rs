@@ -22,12 +22,16 @@
 //!
 //! `cargo run --release -p ocapi-bench --bin table1 -- [--threads N] [--lanes N] [--quick]`
 
-use ocapi::sim::par::map_indexed;
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use ocapi::sim::par::{map_indexed, ParError};
 use ocapi::{
     BatchObs, BatchedSim, CompiledSim, Component, CoreError, InterpSim, OptLevel, ParConfig,
     SimObs, Simulator, System, Value,
 };
-use ocapi_bench::{mb, parse_args, timed, write_profile, BenchArgs, CountingAlloc, Reporter};
+use ocapi_bench::{
+    mb, parse_args, timed, write_profile, BenchArgs, BenchError, CountingAlloc, Reporter,
+};
 use ocapi_designs::dect::burst::{generate, BurstConfig};
 use ocapi_designs::dect::transceiver::{self, TransceiverConfig};
 use ocapi_designs::hcor;
@@ -52,16 +56,17 @@ struct Row {
 /// Measures one simulator: build under allocation accounting, run the
 /// driver, report speed and peak footprint.
 fn measure<S: Simulator>(
-    build: impl FnOnce() -> S,
-    drive: impl Fn(&mut S) -> u64,
-) -> (f64, String) {
+    build: impl FnOnce() -> Result<S, BenchError>,
+    drive: impl Fn(&mut S) -> Result<u64, CoreError>,
+) -> Result<(f64, String), BenchError> {
     CountingAlloc::reset_peak();
     let before = CountingAlloc::live();
-    let mut sim = build();
+    let mut sim = build()?;
     let (cycles, secs) = timed(|| drive(&mut sim));
+    let cycles = cycles?;
     let peak = CountingAlloc::peak().saturating_sub(before);
     drop(sim);
-    (cycles as f64 / secs, mb(peak))
+    Ok((cycles as f64 / secs, mb(peak)))
 }
 
 fn dsl_lines(keys: &[&str]) -> usize {
@@ -76,28 +81,29 @@ fn dsl_lines(keys: &[&str]) -> usize {
         .sum()
 }
 
-fn hdl_lines(sys: &System) -> (usize, usize) {
-    let v = vhdl::system_source(sys).expect("vhdl generation");
-    let vl = verilog::system_source(sys).expect("verilog generation");
-    (effective_lines(&v, "--"), effective_lines(&vl, "//"))
+fn hdl_lines(sys: &System) -> Result<(usize, usize), BenchError> {
+    let v = vhdl::system_source(sys)?;
+    let vl = verilog::system_source(sys)?;
+    Ok((effective_lines(&v, "--"), effective_lines(&vl, "//")))
 }
 
 /// Total gate-eq area of the system: every timed component synthesized
 /// independently across the worker pool, areas summed in component
 /// order (finished `Component`s are plain data, so they shard freely).
-fn gate_count(sys: &System, pool: &ParConfig, obs: &Registry) -> f64 {
+fn gate_count(sys: &System, pool: &ParConfig, obs: &Registry) -> Result<f64, BenchError> {
     let comps: Vec<Component> = sys.timed.iter().map(|t| t.comp.clone()).collect();
     let nets = map_indexed(pool, &comps, |_, c| {
-        Ok::<_, CoreError>(
-            synthesize_observed(c, &SynthOptions::default(), &[], obs).expect("synthesis"),
-        )
+        synthesize_observed(c, &SynthOptions::default(), &[], obs)
     })
-    .expect("synthesis runs");
+    .map_err(|e| match e {
+        ParError::Task { error, .. } => BenchError::Synth(error),
+        ParError::Panic { index } => BenchError::Panic { index },
+    })?;
     let mut rep = ChipReport::new(&sys.name);
     for n in &nets {
         rep.add(n);
     }
-    rep.total_area()
+    Ok(rep.total_area())
 }
 
 fn print_design(name: &str, gates: f64, rows: &[Row]) {
@@ -117,12 +123,14 @@ fn print_design(name: &str, gates: f64, rows: &[Row]) {
 /// Builds the compiled simulator at `OptLevel::None` and `Full` and
 /// records the per-cycle tape lengths under `{design}_tape_len_opt0` /
 /// `_opt2` (perf section: build-time metrics, not workload results).
-/// Returns (opt0, opt2) so `main` can aggregate the workload totals.
-fn tape_len_metrics(design: &str, rep: &mut Reporter, mk: impl Fn() -> System) -> (usize, usize) {
-    let len0 = CompiledSim::new_with(mk(), OptLevel::None)
-        .expect("sim")
-        .tape_len();
-    let full = CompiledSim::new_with(mk(), OptLevel::Full).expect("sim");
+/// Returns (opt0, opt2) so `run` can aggregate the workload totals.
+fn tape_len_metrics(
+    design: &str,
+    rep: &mut Reporter,
+    mk: impl Fn() -> Result<System, CoreError>,
+) -> Result<(usize, usize), BenchError> {
+    let len0 = CompiledSim::new_with(mk()?, OptLevel::None)?.tape_len();
+    let full = CompiledSim::new_with(mk()?, OptLevel::Full)?;
     let len2 = full.tape_len();
     rep.perf_u64(&format!("{design}_tape_len_opt0"), len0 as u64);
     rep.perf_u64(&format!("{design}_tape_len_opt2"), len2 as u64);
@@ -132,26 +140,30 @@ fn tape_len_metrics(design: &str, rep: &mut Reporter, mk: impl Fn() -> System) -
          ({} folded, {} CSE, {} dead, {} slots freed)",
         st.folded, st.cse_hits, st.dce_removed, st.slots_saved
     );
-    (len0, len2)
+    Ok((len0, len2))
 }
 
-fn hcor_table(args: &BenchArgs, rep: &mut Reporter, obs: &Registry) -> (usize, usize) {
+fn hcor_table(
+    args: &BenchArgs,
+    rep: &mut Reporter,
+    obs: &Registry,
+) -> Result<(usize, usize), BenchError> {
     let bits = hcor::test_pattern(if args.quick { 256 } else { 3000 }, 99);
     let drive_bits = bits.clone();
-    let drive = move |sim: &mut dyn Simulator| -> u64 {
-        sim.set_input("enable", Value::Bool(true)).expect("set");
-        sim.set_input("threshold", Value::bits(5, 17)).expect("set"); // never locks
+    let drive = move |sim: &mut dyn Simulator| -> Result<u64, CoreError> {
+        sim.set_input("enable", Value::Bool(true))?;
+        sim.set_input("threshold", Value::bits(5, 17))?; // never locks
         for b in &drive_bits {
-            sim.set_input("bit_in", Value::Bool(*b)).expect("set");
-            sim.step().expect("step");
+            sim.set_input("bit_in", Value::Bool(*b))?;
+            sim.step()?;
         }
-        drive_bits.len() as u64
+        Ok(drive_bits.len() as u64)
     };
 
-    let sys = hcor::build_system().expect("build");
-    let (vhdl_l, verilog_l) = hdl_lines(&sys);
+    let sys = hcor::build_system()?;
+    let (vhdl_l, verilog_l) = hdl_lines(&sys)?;
     let dsl_l = dsl_lines(&["hcor"]);
-    let gates = gate_count(&sys, &args.pool(), obs);
+    let gates = gate_count(&sys, &args.pool(), obs)?;
     rep.result_u64("hcor_dsl_lines", dsl_l as u64);
     rep.result_u64("hcor_vhdl_lines", vhdl_l as u64);
     rep.result_u64("hcor_verilog_lines", verilog_l as u64);
@@ -159,51 +171,44 @@ fn hcor_table(args: &BenchArgs, rep: &mut Reporter, obs: &Registry) -> (usize, u
 
     let (interp_speed, interp_mem) = measure(
         || {
-            let mut s = InterpSim::new(hcor::build_system().expect("build")).expect("sim");
+            let mut s = InterpSim::new(hcor::build_system()?)?;
             s.attach_obs(SimObs::interp(obs));
-            s
+            Ok(s)
         },
         |s| drive(s),
-    );
+    )?;
     let (comp_speed, comp_mem) = measure(
         || {
-            let mut s =
-                CompiledSim::new_with(hcor::build_system().expect("build"), args.opt_level())
-                    .expect("sim");
+            let mut s = CompiledSim::new_with(hcor::build_system()?, args.opt_level())?;
             s.attach_obs(SimObs::compiled(obs));
-            s
+            Ok(s)
         },
         |s| drive(s),
-    );
+    )?;
     // The lane-batched compiled tape, all `--lanes` instances driven in
     // lockstep (`BatchedSim` broadcasts inputs through the `Simulator`
     // trait); the aggregate throughput is instance-cycles per second.
     let lanes = args.lanes;
     let (batch_speed, batch_mem) = measure(
         || {
-            let mut s =
-                BatchedSim::from_fn(lanes, hcor::build_system, args.opt_level()).expect("sim");
+            let mut s = BatchedSim::from_fn(lanes, hcor::build_system, args.opt_level())?;
             s.attach_obs(BatchObs::new(obs));
-            s
+            Ok(s)
         },
-        |s| drive(s) * lanes as u64,
-    );
+        |s| Ok(drive(s)? * lanes as u64),
+    )?;
     let (rtl_speed, rtl_mem) = measure(
-        || RtlSystemSim::new(hcor::build_system().expect("build")).expect("sim"),
+        || Ok(RtlSystemSim::new(hcor::build_system()?)?),
         |s| drive(s),
-    );
+    )?;
     let (gate_speed, gate_mem) = measure(
         || {
-            let mut s = GateSystemSim::new(
-                hcor::build_system().expect("build"),
-                &SynthOptions::default(),
-            )
-            .expect("sim");
+            let mut s = GateSystemSim::new(hcor::build_system()?, &SynthOptions::default())?;
             s.attach_obs(obs);
-            s
+            Ok(s)
         },
         |s| drive(s),
-    );
+    )?;
 
     print_design(
         "HCOR (header correlator)",
@@ -246,10 +251,14 @@ fn hcor_table(args: &BenchArgs, rep: &mut Reporter, obs: &Registry) -> (usize, u
     rep.perf_f64("hcor_batched_cycles_per_sec", batch_speed);
     rep.perf_f64("hcor_rtl_cycles_per_sec", rtl_speed);
     rep.perf_f64("hcor_gate_cycles_per_sec", gate_speed);
-    tape_len_metrics("hcor", rep, || hcor::build_system().expect("build"))
+    tape_len_metrics("hcor", rep, hcor::build_system)
 }
 
-fn dect_table(args: &BenchArgs, rep: &mut Reporter, obs: &Registry) -> (usize, usize) {
+fn dect_table(
+    args: &BenchArgs,
+    rep: &mut Reporter,
+    obs: &Registry,
+) -> Result<(usize, usize), BenchError> {
     let cfg = TransceiverConfig::default();
     let make_burst = |n: usize| {
         generate(&BurstConfig {
@@ -257,21 +266,21 @@ fn dect_table(args: &BenchArgs, rep: &mut Reporter, obs: &Registry) -> (usize, u
             ..BurstConfig::default()
         })
     };
-    let drive = |sim: &mut dyn Simulator, payload: usize| -> u64 {
+    let drive = |sim: &mut dyn Simulator, payload: usize| -> Result<u64, CoreError> {
         let burst = make_burst(payload);
-        transceiver::run_burst(sim, &burst, None).expect("burst");
-        (burst.samples.len() * transceiver::CYCLES_PER_SYMBOL) as u64
+        transceiver::run_burst(sim, &burst, None)?;
+        Ok((burst.samples.len() * transceiver::CYCLES_PER_SYMBOL) as u64)
     };
 
-    let sys = transceiver::build_system(&cfg).expect("build");
-    let (vhdl_l, verilog_l) = hdl_lines(&sys);
+    let sys = transceiver::build_system(&cfg)?;
+    let (vhdl_l, verilog_l) = hdl_lines(&sys)?;
     let dsl_l = dsl_lines(&[
         "hcor",
         "dect/pc_controller",
         "dect/datapaths",
         "dect/transceiver",
     ]);
-    let gates = gate_count(&sys, &args.pool(), obs);
+    let gates = gate_count(&sys, &args.pool(), obs)?;
     rep.result_u64("dect_dsl_lines", dsl_l as u64);
     rep.result_u64("dect_vhdl_lines", vhdl_l as u64);
     rep.result_u64("dect_verilog_lines", verilog_l as u64);
@@ -286,54 +295,45 @@ fn dect_table(args: &BenchArgs, rep: &mut Reporter, obs: &Registry) -> (usize, u
     };
     let (interp_speed, interp_mem) = measure(
         || {
-            let mut s =
-                InterpSim::new(transceiver::build_system(&cfg).expect("build")).expect("sim");
+            let mut s = InterpSim::new(transceiver::build_system(&cfg)?)?;
             s.attach_obs(SimObs::interp(obs));
-            s
+            Ok(s)
         },
         |s| drive(s, p_obj),
-    );
+    )?;
     let (comp_speed, comp_mem) = measure(
         || {
-            let mut s = CompiledSim::new_with(
-                transceiver::build_system(&cfg).expect("build"),
-                args.opt_level(),
-            )
-            .expect("sim");
+            let mut s = CompiledSim::new_with(transceiver::build_system(&cfg)?, args.opt_level())?;
             s.attach_obs(SimObs::compiled(obs));
-            s
+            Ok(s)
         },
         |s| drive(s, p_obj),
-    );
+    )?;
     // Lane-batched compiled tape, all lanes replaying the same burst in
     // lockstep through the broadcasting `Simulator` trait.
     let lanes = args.lanes;
     let (batch_speed, batch_mem) = measure(
         || {
             let mut s =
-                BatchedSim::from_fn(lanes, || transceiver::build_system(&cfg), args.opt_level())
-                    .expect("sim");
+                BatchedSim::from_fn(lanes, || transceiver::build_system(&cfg), args.opt_level())?;
             s.attach_obs(BatchObs::new(obs));
-            s
+            Ok(s)
         },
-        |s| drive(s, p_obj) * lanes as u64,
-    );
+        |s| Ok(drive(s, p_obj)? * lanes as u64),
+    )?;
     let (rtl_speed, rtl_mem) = measure(
-        || RtlSystemSim::new(transceiver::build_system(&cfg).expect("build")).expect("sim"),
+        || Ok(RtlSystemSim::new(transceiver::build_system(&cfg)?)?),
         |s| drive(s, p_rtl),
-    );
+    )?;
     let (gate_speed, gate_mem) = measure(
         || {
-            let mut s = GateSystemSim::new(
-                transceiver::build_system(&cfg).expect("build"),
-                &SynthOptions::default(),
-            )
-            .expect("sim");
+            let mut s =
+                GateSystemSim::new(transceiver::build_system(&cfg)?, &SynthOptions::default())?;
             s.attach_obs(obs);
-            s
+            Ok(s)
         },
         |s| drive(s, p_gate),
-    );
+    )?;
 
     print_design(
         "DECT (radiolink transceiver)",
@@ -376,30 +376,35 @@ fn dect_table(args: &BenchArgs, rep: &mut Reporter, obs: &Registry) -> (usize, u
     rep.perf_f64("dect_batched_cycles_per_sec", batch_speed);
     rep.perf_f64("dect_rtl_cycles_per_sec", rtl_speed);
     rep.perf_f64("dect_gate_cycles_per_sec", gate_speed);
-    tape_len_metrics("dect", rep, || {
-        transceiver::build_system(&cfg).expect("build")
-    })
+    tape_len_metrics("dect", rep, || transceiver::build_system(&cfg))
 }
 
 fn main() {
     let args = parse_args("table1");
+    if let Err(e) = run(&args) {
+        eprintln!("table1: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run(args: &BenchArgs) -> Result<(), BenchError> {
     let mut rep = Reporter::new("table1");
     let obs = Registry::new();
     println!("Table 1 reproduction: performances of interpreted and compiled approaches");
     println!("(speed measured on this machine; see EXPERIMENTS.md for the comparison)");
     println!("compiled tape optimization: --opt {}", args.opt);
-    let (h0, h2) = hcor_table(&args, &mut rep, &obs);
-    let (d0, d2) = dect_table(&args, &mut rep, &obs);
+    let (h0, h2) = hcor_table(args, &mut rep, &obs)?;
+    let (d0, d2) = dect_table(args, &mut rep, &obs)?;
     rep.perf_u64("tape_len_opt0", (h0 + d0) as u64);
     rep.perf_u64("tape_len_opt2", (h2 + d2) as u64);
     println!("\ncode-size ratio (generated RT-VHDL lines / DSL lines):");
-    let hs = hcor::build_system().expect("build");
-    let (hv, _) = hdl_lines(&hs);
+    let hs = hcor::build_system()?;
+    let (hv, _) = hdl_lines(&hs)?;
     let hd = dsl_lines(&["hcor"]);
     println!("  HCOR: {:.1}x", hv as f64 / hd as f64);
     rep.result_f64("hcor_code_ratio", hv as f64 / hd as f64);
-    let ds = transceiver::build_system(&TransceiverConfig::default()).expect("build");
-    let (dv, _) = hdl_lines(&ds);
+    let ds = transceiver::build_system(&TransceiverConfig::default())?;
+    let (dv, _) = hdl_lines(&ds)?;
     let dd = dsl_lines(&[
         "hcor",
         "dect/pc_controller",
@@ -408,6 +413,7 @@ fn main() {
     ]);
     println!("  DECT: {:.1}x", dv as f64 / dd as f64);
     rep.result_f64("dect_code_ratio", dv as f64 / dd as f64);
-    rep.write(&args).expect("write reports");
-    write_profile(&args, &obs).expect("write profile");
+    rep.write(args)?;
+    write_profile(args, &obs)?;
+    Ok(())
 }

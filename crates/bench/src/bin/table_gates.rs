@@ -13,9 +13,13 @@
 //!
 //! `cargo run --release -p ocapi-bench --bin table_gates -- [--threads N] [--quick]`
 
-use ocapi::sim::par::map_indexed;
-use ocapi::{Component, CoreError};
-use ocapi_bench::{padded_sequencer, parse_args, timed, write_profile, Reporter};
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use ocapi::sim::par::{map_indexed, ParError};
+use ocapi::Component;
+use ocapi_bench::{
+    padded_sequencer, parse_args, timed, write_profile, BenchArgs, BenchError, Reporter,
+};
 use ocapi_designs::dect::transceiver::{build_system, TransceiverConfig};
 use ocapi_designs::hcor;
 use ocapi_obs::Registry;
@@ -26,10 +30,11 @@ use ocapi_synth::{synthesize, synthesize_observed, timing, AdderStyle, SynthOpti
 /// A 4-instruction FSM datapath in the Cathedral-3 style: each
 /// instruction is its own SFG, so the multiplier units are mutually
 /// exclusive and can share one hardware multiplier.
-fn cathedral_demo() -> Result<ocapi::Component, ocapi::CoreError> {
+fn cathedral_demo() -> Result<ocapi::Component, BenchError> {
     use ocapi::{Component, SigType};
     use ocapi_fixp::Format;
-    let fmt = Format::new(12, 4).expect("static format");
+    let fmt =
+        Format::new(12, 4).map_err(|e| BenchError::Driver(format!("fixed-point format: {e}")))?;
     let c = Component::build("vliw_alu");
     let op = c.input("op", SigType::Bits(2))?;
     let a = c.input("a", SigType::Fixed(fmt))?;
@@ -64,16 +69,32 @@ fn cathedral_demo() -> Result<ocapi::Component, ocapi::CoreError> {
         let g = opv.eq(&c.const_bits(2, k as u64));
         f.from(s0).when(&g).run(*sfg).to(s0)?;
     }
-    c.finish()
+    Ok(c.finish()?)
+}
+
+/// Looks up a timed component of the system by name.
+fn timed_comp<'a>(sys: &'a ocapi::System, name: &str) -> Result<&'a Component, BenchError> {
+    sys.timed
+        .iter()
+        .find(|t| t.name == name)
+        .map(|t| &t.comp)
+        .ok_or_else(|| BenchError::Driver(format!("component `{name}` missing from system")))
 }
 
 fn main() {
     let args = parse_args("table_gates");
+    if let Err(e) = run(&args) {
+        eprintln!("table_gates: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run(args: &BenchArgs) -> Result<(), BenchError> {
     let pool = args.pool();
     let mut rep = Reporter::new("table_gates");
     let obs = Registry::new();
     let root = obs.span("table_gates");
-    let sys = build_system(&TransceiverConfig::default()).expect("build");
+    let sys = build_system(&TransceiverConfig::default())?;
 
     // Chip inventory: one synthesis run per component, sharded across
     // the pool and merged in component order (so the table is identical
@@ -82,12 +103,13 @@ fn main() {
     let t_inv = root.child("inventory").timer();
     let (nets, secs) = timed(|| {
         map_indexed(&pool, &comps, |_, c| {
-            Ok::<_, CoreError>(
-                synthesize_observed(c, &SynthOptions::default(), &[], &obs).expect("synthesis"),
-            )
+            synthesize_observed(c, &SynthOptions::default(), &[], &obs)
         })
-        .expect("synthesis runs")
     });
+    let nets = nets.map_err(|e| match e {
+        ParError::Task { error, .. } => BenchError::Synth(error),
+        ParError::Panic { index } => BenchError::Panic { index },
+    })?;
     drop(t_inv);
     let mut report = ChipReport::new("dect");
     for n in &nets {
@@ -142,7 +164,7 @@ fn main() {
     // co-active and cannot share. A Cathedral-3-style datapath whose
     // instructions are separate FSM-selected SFGs (like the paper's
     // 57-instruction datapath) shows where word-level sharing pays off:
-    let cathedral = cathedral_demo().expect("build");
+    let cathedral = cathedral_demo()?;
     let t_abl = root.child("ablations").timer();
     println!("operator-sharing ablation (per component, gate-eq):");
     println!(
@@ -150,15 +172,14 @@ fn main() {
         "component", "shared", "flat", "saving"
     );
     {
-        let shared = synthesize(&cathedral, &SynthOptions::default()).expect("synthesis");
+        let shared = synthesize(&cathedral, &SynthOptions::default())?;
         let flat = synthesize(
             &cathedral,
             &SynthOptions {
                 share_operators: false,
                 ..SynthOptions::default()
             },
-        )
-        .expect("synthesis");
+        )?;
         println!(
             "  {:<16} {:>12.0} {:>12.0} {:>8.1}%  (4-instruction FSM datapath)",
             "vliw_alu",
@@ -170,28 +191,21 @@ fn main() {
         rep.result_f64("vliw_alu_flat_area", flat.area());
     }
     for name in ["dp_mac0", "pc_ctrl", "dp_slice"] {
-        let comp = &sys
-            .timed
-            .iter()
-            .find(|t| t.name == name)
-            .expect("component exists")
-            .comp;
+        let comp = timed_comp(&sys, name)?;
         let shared = synthesize(
             comp,
             &SynthOptions {
                 share_operators: true,
                 ..SynthOptions::default()
             },
-        )
-        .expect("synthesis");
+        )?;
         let flat = synthesize(
             comp,
             &SynthOptions {
                 share_operators: false,
                 ..SynthOptions::default()
             },
-        )
-        .expect("synthesis");
+        )?;
         println!(
             "  {:<16} {:>12.0} {:>12.0} {:>8.1}%",
             name,
@@ -207,31 +221,25 @@ fn main() {
         "  {:<16} {:>10} {:>10} {:>10}",
         "component", "binary", "one-hot", "gray"
     );
-    let hcor_comp = hcor::build_component().expect("build");
-    let pc = &sys
-        .timed
-        .iter()
-        .find(|t| t.name == "pc_ctrl")
-        .expect("pc exists")
-        .comp;
+    let hcor_comp = hcor::build_component()?;
+    let pc = timed_comp(&sys, "pc_ctrl")?;
     for (name, comp) in [("pc_ctrl", pc), ("hcor", &hcor_comp)] {
-        let area = |e: Encoding| {
-            synthesize(
+        let area = |e: Encoding| -> Result<f64, BenchError> {
+            Ok(synthesize(
                 comp,
                 &SynthOptions {
                     encoding: e,
                     ..SynthOptions::default()
                 },
-            )
-            .expect("synthesis")
-            .area()
+            )?
+            .area())
         };
         println!(
             "  {:<16} {:>10.0} {:>10.0} {:>10.0}",
             name,
-            area(Encoding::Binary),
-            area(Encoding::OneHot),
-            area(Encoding::Gray)
+            area(Encoding::Binary)?,
+            area(Encoding::OneHot)?,
+            area(Encoding::Gray)?
         );
     }
 
@@ -241,12 +249,7 @@ fn main() {
         "  {:<24} {:>12} {:>18}",
         "style", "gate-eq", "critical path"
     );
-    let mac = &sys
-        .timed
-        .iter()
-        .find(|t| t.name == "dp_mac0")
-        .expect("exists")
-        .comp;
+    let mac = timed_comp(&sys, "dp_mac0")?;
     for (label, style) in [
         ("ripple-carry", AdderStyle::Ripple),
         ("carry-select (4)", AdderStyle::CarrySelect { block: 4 }),
@@ -258,8 +261,7 @@ fn main() {
                 adder_style: style,
                 ..SynthOptions::default()
             },
-        )
-        .expect("synthesis");
+        )?;
         let t = timing::analyze(&cn.netlist);
         println!(
             "  {:<24} {:>12.0} {:>13.1} units",
@@ -271,21 +273,14 @@ fn main() {
 
     // Post-optimisation effect.
     println!("\ngate-level post-optimisation (dp_mac0):");
-    let comp = &sys
-        .timed
-        .iter()
-        .find(|t| t.name == "dp_mac0")
-        .expect("exists")
-        .comp;
     let raw = synthesize(
-        comp,
+        mac,
         &SynthOptions {
             optimize: false,
             ..SynthOptions::default()
         },
-    )
-    .expect("synthesis");
-    let opt = synthesize(comp, &SynthOptions::default()).expect("synthesis");
+    )?;
+    let opt = synthesize(mac, &SynthOptions::default())?;
     println!(
         "  raw {:.0} gate-eq -> optimized {:.0} gate-eq ({:.1}% saved)",
         raw.area(),
@@ -299,8 +294,8 @@ fn main() {
         "  {:<12} {:>14} {:>14} {:>16} {:>16}",
         "component", "generic area", "mapped area", "generic path", "mapped path"
     );
-    for (label, comp) in [("hcor", &hcor_comp), ("dp_mac0", comp), ("pc_ctrl", pc)] {
-        let generic = synthesize(comp, &SynthOptions::default()).expect("synthesis");
+    for (label, comp) in [("hcor", &hcor_comp), ("dp_mac0", mac), ("pc_ctrl", pc)] {
+        let generic = synthesize(comp, &SynthOptions::default())?;
         let mut mapped = generic.netlist.clone();
         ocapi_synth::techmap::to_nand_inv(&mut mapped);
         ocapi_synth::opt::optimize(&mut mapped);
@@ -325,18 +320,20 @@ fn main() {
     );
     let wait_sizes: &[usize] = if args.quick { &[2, 8] } else { &[2, 8, 16] };
     for &waits in wait_sizes {
-        let comp = padded_sequencer(waits).expect("build");
-        let fsm = comp.fsm.as_ref().expect("fsm");
+        let comp = padded_sequencer(waits)?;
+        let fsm = comp
+            .fsm
+            .as_ref()
+            .ok_or_else(|| BenchError::Driver("padded sequencer lost its FSM".into()))?;
         let reduced = ocapi_synth::fsm_min::minimize(fsm);
-        let plain = synthesize(&comp, &SynthOptions::default()).expect("synthesis");
+        let plain = synthesize(&comp, &SynthOptions::default())?;
         let min = synthesize(
             &comp,
             &SynthOptions {
                 minimize_states: true,
                 ..SynthOptions::default()
             },
-        )
-        .expect("synthesis");
+        )?;
         println!(
             "  {:<10} {:>8} {:>10} {:>14.0} {:>14.0}",
             waits,
@@ -348,10 +345,15 @@ fn main() {
     }
     println!("  (captured production FSMs are already minimal: pc_ctrl and hcor merge 0 states)");
     for (label, comp) in [("pc_ctrl", pc), ("hcor", &hcor_comp)] {
-        let merged = ocapi_synth::fsm_min::minimize(comp.fsm.as_ref().expect("fsm")).merged;
+        let fsm = comp
+            .fsm
+            .as_ref()
+            .ok_or_else(|| BenchError::Driver(format!("{label} has no FSM")))?;
+        let merged = ocapi_synth::fsm_min::minimize(fsm).merged;
         assert_eq!(merged, 0, "{label} unexpectedly reducible");
     }
     drop(t_abl);
-    rep.write(&args).expect("write reports");
-    write_profile(&args, &obs).expect("write profile");
+    rep.write(args)?;
+    write_profile(args, &obs)?;
+    Ok(())
 }

@@ -1,0 +1,474 @@
+//! Crash-safe checkpoint/resume for long campaigns and BER sweeps.
+//!
+//! A sharded run is a list of independent, deterministic work items
+//! (fault events, payload bursts, degradation runs). This module
+//! persists each completed item's result into a per-stream **manifest**
+//! — one plain-text file per seed stream, written atomically
+//! (temp file + fsync + rename) every `--checkpoint-every` items — so a
+//! killed run can resume with `--resume` and skip everything already
+//! done. Because every item's result is a pure function of its global
+//! index, a resumed run produces **byte-identical** JSON output to an
+//! uninterrupted one, at any `--lanes` × `--threads` combination: lane
+//! and thread topology decide only *which worker* computes an item,
+//! never its value.
+//!
+//! The manifest format is deliberately boring (the workspace builds
+//! offline with zero registry dependencies, so there is no JSON parser
+//! to lean on):
+//!
+//! ```text
+//! ocapi-checkpoint v1
+//! stream <name>
+//! fingerprint <16-hex-digit workload fingerprint>
+//! <index> <payload>
+//! ...
+//! ```
+//!
+//! The fingerprint hashes the workload parameters that determine item
+//! values (channel taps, noise, burst counts — never the thread or lane
+//! count); resuming against a manifest with a different fingerprint is
+//! a typed [`BenchError::Checkpoint`], not silent corruption.
+
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use ocapi::sim::par::{map_indexed_retry, ParError};
+use ocapi::{CoreError, ParConfig};
+use ocapi_obs::Registry;
+
+use crate::cli::BenchArgs;
+use crate::error::BenchError;
+
+const MAGIC: &str = "ocapi-checkpoint v1";
+
+/// FNV-1a 64 over a list of textual workload parameters: the stream
+/// fingerprint. Stable across platforms and sessions.
+pub fn fingerprint(parts: &[&str]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for p in parts {
+        for b in p.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        // Separator so ["ab","c"] and ["a","bc"] differ.
+        h ^= 0x1f;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// One stream's manifest: the completed item payloads, keyed by global
+/// item index, plus the workload fingerprint guarding against resuming
+/// the wrong run.
+#[derive(Debug)]
+pub struct CheckpointStream {
+    path: PathBuf,
+    stream: String,
+    fingerprint: u64,
+    done: BTreeMap<usize, String>,
+    resumed: usize,
+}
+
+/// Filename-safe rendering of a stream name; a short hash of the raw
+/// name keeps distinct streams distinct after sanitising.
+fn stream_file(stream: &str) -> String {
+    let safe: String = stream
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    format!("{safe}-{:08x}.ckpt", fingerprint(&[stream]) as u32)
+}
+
+impl CheckpointStream {
+    /// Opens (and with `resume`, loads) the manifest for `stream` in
+    /// `dir`. Without `resume` an existing manifest is ignored and will
+    /// be overwritten at the first flush — a fresh run.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating the directory or reading the manifest, and
+    /// [`BenchError::Checkpoint`] for a damaged manifest or one written
+    /// by a different workload (fingerprint mismatch).
+    pub fn open(
+        dir: &str,
+        stream: &str,
+        fingerprint: u64,
+        resume: bool,
+    ) -> Result<CheckpointStream, BenchError> {
+        std::fs::create_dir_all(dir)?;
+        let path = PathBuf::from(dir).join(stream_file(stream));
+        let mut st = CheckpointStream {
+            path,
+            stream: stream.to_owned(),
+            fingerprint,
+            done: BTreeMap::new(),
+            resumed: 0,
+        };
+        if resume && st.path.exists() {
+            let text = std::fs::read_to_string(&st.path)?;
+            st.load(&text)?;
+            st.resumed = st.done.len();
+        }
+        Ok(st)
+    }
+
+    fn load(&mut self, text: &str) -> Result<(), BenchError> {
+        let bad = |msg: String| BenchError::Checkpoint(format!("`{}`: {msg}", self.stream));
+        let mut lines = text.lines();
+        if lines.next() != Some(MAGIC) {
+            return Err(bad("not a checkpoint manifest".into()));
+        }
+        match lines.next().and_then(|l| l.strip_prefix("stream ")) {
+            Some(s) if s == self.stream => {}
+            other => {
+                return Err(bad(format!(
+                    "manifest belongs to stream `{}`",
+                    other.unwrap_or("?")
+                )))
+            }
+        }
+        let fp = lines
+            .next()
+            .and_then(|l| l.strip_prefix("fingerprint "))
+            .and_then(|h| u64::from_str_radix(h, 16).ok())
+            .ok_or_else(|| bad("missing fingerprint".into()))?;
+        if fp != self.fingerprint {
+            return Err(bad(format!(
+                "workload fingerprint mismatch: manifest {fp:#018x}, run {:#018x} — \
+                 the checkpoint was written by a different workload configuration",
+                self.fingerprint
+            )));
+        }
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let (idx, payload) = line
+                .split_once(' ')
+                .ok_or_else(|| bad(format!("malformed item line `{line}`")))?;
+            let idx: usize = idx
+                .parse()
+                .map_err(|_| bad(format!("malformed item index `{idx}`")))?;
+            self.done.insert(idx, payload.to_owned());
+        }
+        Ok(())
+    }
+
+    /// The recorded payload of item `index`, if completed.
+    pub fn completed(&self, index: usize) -> Option<&str> {
+        self.done.get(&index).map(String::as_str)
+    }
+
+    /// Number of items loaded from disk at open time (0 without
+    /// `--resume`).
+    pub fn resumed(&self) -> usize {
+        self.resumed
+    }
+
+    /// Records item `index` as completed. Not persisted until
+    /// [`CheckpointStream::flush`]. Payloads must be single-line.
+    pub fn record(&mut self, index: usize, payload: String) {
+        debug_assert!(!payload.contains('\n'));
+        self.done.insert(index, payload);
+    }
+
+    /// Atomically persists the manifest: the full document is written to
+    /// a sibling temp file, fsynced, and renamed over the manifest path,
+    /// so a kill at any instant leaves either the old or the new
+    /// manifest — never a torn one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from writing, syncing or renaming.
+    pub fn flush(&self) -> Result<(), BenchError> {
+        let mut doc = String::with_capacity(64 + self.done.len() * 16);
+        doc.push_str(MAGIC);
+        doc.push('\n');
+        doc.push_str(&format!("stream {}\n", self.stream));
+        doc.push_str(&format!("fingerprint {:016x}\n", self.fingerprint));
+        for (i, p) in &self.done {
+            doc.push_str(&format!("{i} {p}\n"));
+        }
+        let tmp = self.path.with_extension("ckpt.tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(doc.as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        Ok(())
+    }
+}
+
+/// The robustness envelope of a sharded run: worker pool, bounded
+/// retries, and (optionally) checkpointing — built once per bin from the
+/// parsed [`BenchArgs`] and threaded through the drivers.
+#[derive(Debug, Clone, Copy)]
+pub struct Robust<'a> {
+    /// The worker pool.
+    pub pool: &'a ParConfig,
+    /// Attempts per item (≥ 1); retries re-run the item with its
+    /// original index-derived seed, so a recovered item is bit-identical
+    /// to a first-try success.
+    pub attempts: u32,
+    /// Flush the manifest every this many completed items.
+    pub every: u64,
+    /// Checkpoint directory (`--checkpoint`); `None` disables
+    /// checkpointing entirely.
+    pub dir: Option<&'a str>,
+    /// Load existing manifests and skip completed items (`--resume`).
+    pub resume: bool,
+    /// Robustness counters (`robust.*`) land here when attached.
+    pub obs: Option<&'a Registry>,
+}
+
+impl<'a> Robust<'a> {
+    /// The envelope `args` selects, reporting into `obs`.
+    pub fn new(args: &'a BenchArgs, pool: &'a ParConfig, obs: Option<&'a Registry>) -> Robust<'a> {
+        Robust {
+            pool,
+            attempts: args.retries,
+            every: args.checkpoint_every,
+            dir: args.checkpoint.as_deref(),
+            resume: args.resume,
+            obs,
+        }
+    }
+
+    /// A plain envelope with no checkpointing and no retries — the
+    /// pre-robustness behaviour, for tests and default paths.
+    pub fn plain(pool: &'a ParConfig) -> Robust<'a> {
+        Robust {
+            pool,
+            attempts: 1,
+            every: u64::MAX,
+            dir: None,
+            resume: false,
+            obs: None,
+        }
+    }
+
+    fn counter(&self, name: &str, delta: u64) {
+        if delta > 0 {
+            if let Some(obs) = self.obs {
+                obs.counter(name).add(delta);
+            }
+        }
+    }
+
+    /// Runs `n_items` work items through `run`, `chunk` items per work
+    /// unit (1 = scalar; `--lanes` for lane-batched drivers), with
+    /// bounded retry, periodic checkpointing, and resume.
+    ///
+    /// `run` receives the **global indices** of one chunk's items and
+    /// returns one result per index; item values must depend only on the
+    /// global index (the determinism contract of every driver here), so
+    /// re-chunking the leftover items of a resumed run cannot change
+    /// them. Results come back in item order — identical for every
+    /// chunk size, thread count, retry count, and resume history.
+    ///
+    /// # Errors
+    ///
+    /// [`BenchError::Item`]/[`BenchError::Panic`] for the
+    /// lowest-indexed chunk that still fails after `attempts` tries
+    /// (completed chunks of the same group are checkpointed first, so
+    /// the failed run still advances), plus manifest I/O and decode
+    /// errors.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_chunked<R: Send>(
+        &self,
+        stream: &str,
+        fp: u64,
+        n_items: usize,
+        chunk: usize,
+        encode: impl Fn(&R) -> String,
+        decode: impl Fn(&str) -> Option<R>,
+        run: impl Fn(&[usize]) -> Result<Vec<R>, CoreError> + Sync,
+    ) -> Result<Vec<R>, BenchError> {
+        let chunk = chunk.max(1);
+        let mut manifest = match self.dir {
+            Some(dir) => Some(CheckpointStream::open(dir, stream, fp, self.resume)?),
+            None => None,
+        };
+        let mut results: Vec<Option<R>> = (0..n_items).map(|_| None).collect();
+        if let Some(st) = &manifest {
+            for (i, slot) in results.iter_mut().enumerate() {
+                if let Some(payload) = st.completed(i) {
+                    *slot = Some(decode(payload).ok_or_else(|| {
+                        BenchError::Checkpoint(format!(
+                            "`{stream}`: malformed payload for item {i}"
+                        ))
+                    })?);
+                }
+            }
+            self.counter("robust.items_resumed", st.resumed() as u64);
+        }
+        let missing: Vec<usize> = (0..n_items).filter(|i| results[*i].is_none()).collect();
+        let chunks: Vec<&[usize]> = missing.chunks(chunk).collect();
+        // Chunks per manifest flush; without checkpointing, one group.
+        let per_group = if manifest.is_some() {
+            (self.every.max(1) as usize).div_ceil(chunk).max(1)
+        } else {
+            chunks.len().max(1)
+        };
+        for group in chunks.chunks(per_group) {
+            let (res, stats) =
+                map_indexed_retry(self.pool, group, self.attempts, |_, idxs| run(idxs));
+            self.counter("robust.retries", stats.retries);
+            let res = res.map_err(|e| match e {
+                ParError::Task { index, error } => {
+                    if matches!(error, CoreError::BudgetExceeded { .. }) {
+                        self.counter("robust.budget_hits", 1);
+                    }
+                    BenchError::Item {
+                        index: group[index][0],
+                        error,
+                    }
+                }
+                ParError::Panic { index } => BenchError::Panic {
+                    index: group[index][0],
+                },
+            })?;
+            for (idxs, rs) in group.iter().zip(res) {
+                if rs.len() != idxs.len() {
+                    return Err(BenchError::Checkpoint(format!(
+                        "`{stream}`: chunk returned {} results for {} items",
+                        rs.len(),
+                        idxs.len()
+                    )));
+                }
+                for (i, r) in idxs.iter().zip(rs) {
+                    if let Some(st) = &mut manifest {
+                        st.record(*i, encode(&r));
+                    }
+                    results[*i] = Some(r);
+                }
+            }
+            if let Some(st) = &manifest {
+                st.flush()?;
+                self.counter("robust.checkpoints_written", 1);
+            }
+        }
+        results
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| {
+                r.ok_or_else(|| BenchError::Checkpoint(format!("`{stream}`: item {i} missing")))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> String {
+        let d = std::env::temp_dir().join(format!("ocapi-ckpt-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn fingerprint_separates_parameter_boundaries() {
+        assert_ne!(fingerprint(&["ab", "c"]), fingerprint(&["a", "bc"]));
+        assert_eq!(fingerprint(&["x", "y"]), fingerprint(&["x", "y"]));
+    }
+
+    #[test]
+    fn manifest_round_trips_and_survives_reopen() {
+        let dir = tmpdir("roundtrip");
+        let mut st = CheckpointStream::open(&dir, "s1", 42, false).unwrap();
+        st.record(3, "7,100".into());
+        st.record(0, "0,100".into());
+        st.flush().unwrap();
+        let st2 = CheckpointStream::open(&dir, "s1", 42, true).unwrap();
+        assert_eq!(st2.resumed(), 2);
+        assert_eq!(st2.completed(0), Some("0,100"));
+        assert_eq!(st2.completed(3), Some("7,100"));
+        assert_eq!(st2.completed(1), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_a_typed_error() {
+        let dir = tmpdir("mismatch");
+        let mut st = CheckpointStream::open(&dir, "s1", 1, false).unwrap();
+        st.record(0, "x".into());
+        st.flush().unwrap();
+        let err = CheckpointStream::open(&dir, "s1", 2, true).unwrap_err();
+        assert!(matches!(err, BenchError::Checkpoint(_)));
+        assert!(err.to_string().contains("fingerprint mismatch"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn without_resume_existing_manifest_is_ignored() {
+        let dir = tmpdir("noresume");
+        let mut st = CheckpointStream::open(&dir, "s1", 1, false).unwrap();
+        st.record(0, "x".into());
+        st.flush().unwrap();
+        // Different fingerprint, no --resume: opens clean, no error.
+        let st2 = CheckpointStream::open(&dir, "s1", 2, false).unwrap();
+        assert_eq!(st2.resumed(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_chunked_resumes_to_identical_results() {
+        let dir = tmpdir("resume-ident");
+        let pool = ParConfig::new(2);
+        let args_base = crate::cli::BenchArgs::defaults("t");
+        let mut args = args_base.clone();
+        args.checkpoint = Some(dir.clone());
+        args.checkpoint_every = 2;
+        let enc = |r: &u64| r.to_string();
+        let dec = |s: &str| s.parse::<u64>().ok();
+        let run = |idxs: &[usize]| Ok(idxs.iter().map(|i| (*i as u64) * 10).collect::<Vec<u64>>());
+        // Full uninterrupted run.
+        let rb = Robust::new(&args, &pool, None);
+        let full = rb.run_chunked("s", 7, 9, 3, enc, dec, run).unwrap();
+        // Simulate a partial run: manifest holding only items 0..4.
+        let mut st = CheckpointStream::open(&dir, "s", 7, false).unwrap();
+        for i in 0..4usize {
+            st.record(i, (i as u64 * 10).to_string());
+        }
+        st.flush().unwrap();
+        let mut args2 = args.clone();
+        args2.resume = true;
+        let rb2 = Robust::new(&args2, &pool, None);
+        // Different chunking on resume: results still identical.
+        let resumed = rb2.run_chunked("s", 7, 9, 2, enc, dec, run).unwrap();
+        assert_eq!(resumed, full);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_chunked_retries_flaky_items() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let pool = ParConfig::new(1);
+        let args = crate::cli::BenchArgs {
+            retries: 3,
+            ..crate::cli::BenchArgs::defaults("t")
+        };
+        let rb = Robust::new(&args, &pool, None);
+        let tries = AtomicU32::new(0);
+        let out = rb.run_chunked(
+            "s",
+            0,
+            4,
+            1,
+            |r: &u64| r.to_string(),
+            |s| s.parse().ok(),
+            |idxs| {
+                let i = idxs[0];
+                if i == 2 && tries.fetch_add(1, Ordering::SeqCst) < 2 {
+                    return Err(ocapi::CoreError::WorkerPanic { index: i });
+                }
+                Ok(vec![i as u64])
+            },
+        );
+        assert_eq!(out.unwrap(), vec![0, 1, 2, 3]);
+    }
+}

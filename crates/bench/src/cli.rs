@@ -54,6 +54,17 @@ pub struct BenchArgs {
     pub perf_json: Option<String>,
     /// Destination for the observability-profile JSON.
     pub profile_json: Option<String>,
+    /// Checkpoint directory for crash-safe campaigns (`--checkpoint`).
+    pub checkpoint: Option<String>,
+    /// Completed items between manifest flushes (`--checkpoint-every`).
+    pub checkpoint_every: u64,
+    /// Skip items already recorded in the checkpoint manifests
+    /// (`--resume`; requires `--checkpoint`).
+    pub resume: bool,
+    /// Attempts per sharded work item (≥ 1; `--retries`). Retried items
+    /// re-run with their original index-derived seeds, so recovery is
+    /// bit-identical to a first-try success.
+    pub retries: u32,
 }
 
 impl BenchArgs {
@@ -68,6 +79,10 @@ impl BenchArgs {
             json: None,
             perf_json: None,
             profile_json: None,
+            checkpoint: None,
+            checkpoint_every: 64,
+            resume: false,
+            retries: 1,
         }
     }
 
@@ -90,6 +105,7 @@ impl BenchArgs {
 pub fn usage(bin: &str) -> String {
     format!(
         "usage: {bin} [--threads N] [--lanes N] [--quick] [--opt N] [--json PATH] [--perf-json PATH] [--profile-json PATH]\n\
+         \x20      [--checkpoint DIR] [--checkpoint-every N] [--resume] [--retries N]\n\
          \n\
          \x20 -t, --threads N    worker threads for the sharded engines (default 1;\n\
          \x20                    results are bit-identical for every N)\n\
@@ -107,6 +123,19 @@ pub fn usage(bin: &str) -> String {
          \x20     --profile-json PATH\n\
          \x20                    write the observability profile (counters, span\n\
          \x20                    tree, per-phase timings) as JSON\n\
+         \x20     --checkpoint DIR\n\
+         \x20                    write atomic checkpoint manifests of completed\n\
+         \x20                    work items into DIR (crash-safe: temp + fsync +\n\
+         \x20                    rename, never torn)\n\
+         \x20     --checkpoint-every N\n\
+         \x20                    flush manifests every N completed items\n\
+         \x20                    (default 64)\n\
+         \x20     --resume       skip items recorded in DIR's manifests; the\n\
+         \x20                    resumed JSON output is byte-identical to an\n\
+         \x20                    uninterrupted run at any --lanes x --threads\n\
+         \x20     --retries N    attempts per sharded work item (default 1);\n\
+         \x20                    retried items rerun with their original seeds,\n\
+         \x20                    so recovery is bit-identical\n\
          \x20 -h, --help         show this message"
     )
 }
@@ -162,11 +191,43 @@ pub fn parse_arg_list(bin: &str, args: &[String]) -> Result<BenchArgs, String> {
                 let v = it.next().ok_or_else(|| format!("{arg} requires a path"))?;
                 out.profile_json = Some(v.clone());
             }
+            "--checkpoint" => {
+                let v = it.next().ok_or_else(|| format!("{arg} requires a path"))?;
+                out.checkpoint = Some(v.clone());
+            }
+            "--checkpoint-every" => {
+                let v = it.next().ok_or_else(|| format!("{arg} requires a value"))?;
+                out.checkpoint_every = parse_at_least_one(arg, v)?;
+            }
+            _ if arg.starts_with("--checkpoint-every=") => {
+                out.checkpoint_every =
+                    parse_at_least_one("--checkpoint-every", &arg["--checkpoint-every=".len()..])?;
+            }
+            "--resume" => out.resume = true,
+            "--retries" => {
+                let v = it.next().ok_or_else(|| format!("{arg} requires a value"))?;
+                out.retries = parse_at_least_one(arg, v)? as u32;
+            }
+            _ if arg.starts_with("--retries=") => {
+                out.retries = parse_at_least_one("--retries", &arg["--retries=".len()..])? as u32;
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
+    if out.resume && out.checkpoint.is_none() {
+        return Err("--resume requires --checkpoint DIR".to_owned());
+    }
     Ok(out)
+}
+
+/// Parses a count that must be at least 1 (checkpoint interval, retry
+/// attempts).
+fn parse_at_least_one(flag: &str, v: &str) -> Result<u64, String> {
+    match v.parse::<u64>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!("{flag} expects a positive integer, got `{v}`")),
+    }
 }
 
 /// Parses and range-checks an `--opt` level (0, 1 or 2).

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 //! Shared infrastructure for the benchmark harnesses that regenerate the
 //! paper's evaluation (Table 1 and the figure-level experiments).
@@ -21,11 +22,15 @@ use std::alloc::{GlobalAlloc, Layout, System as SysAlloc};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 pub mod ber;
+pub mod checkpoint;
 pub mod cli;
+pub mod error;
 pub mod report;
 
+pub use checkpoint::{fingerprint, CheckpointStream, Robust};
 pub use cli::{parse_arg_list, parse_args, usage, BenchArgs};
-pub use report::{write_profile, Reporter};
+pub use error::BenchError;
+pub use report::{write_atomic, write_profile, Reporter};
 
 /// A counting allocator for the "process size" column of Table 1: tracks
 /// live and peak heap bytes.

@@ -136,22 +136,43 @@ impl Reporter {
         )
     }
 
-    /// Writes whichever files the CLI asked for.
+    /// Writes whichever files the CLI asked for, atomically (see
+    /// [`write_atomic`]): a crash or kill during the write leaves either
+    /// the previous file or the complete new one, never a torn JSON.
     ///
     /// # Errors
     ///
-    /// Propagates I/O errors from creating or writing the files.
+    /// Propagates I/O errors from creating, writing or renaming.
     pub fn write(&self, args: &BenchArgs) -> std::io::Result<()> {
         if let Some(path) = &args.json {
-            let mut f = std::fs::File::create(path)?;
-            f.write_all(self.results_json().as_bytes())?;
+            write_atomic(path, self.results_json().as_bytes())?;
         }
         if let Some(path) = &args.perf_json {
-            let mut f = std::fs::File::create(path)?;
-            f.write_all(self.perf_json(args).as_bytes())?;
+            write_atomic(path, self.perf_json(args).as_bytes())?;
         }
         Ok(())
     }
+}
+
+/// Atomically replaces `path` with `contents`: the bytes are written to
+/// a sibling temp file, fsynced to disk, and renamed over `path`. On a
+/// POSIX filesystem the rename is atomic, so readers (and a run killed
+/// mid-write) see either the old file or the complete new one — the
+/// write discipline shared by every `--json`/`--perf-json`/
+/// `--profile-json` report and by the checkpoint manifests.
+///
+/// # Errors
+///
+/// Propagates I/O errors from creating, writing, syncing or renaming.
+pub fn write_atomic(path: &str, contents: &[u8]) -> std::io::Result<()> {
+    let tmp = format!("{path}.tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(contents)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
 }
 
 /// Writes the observability profile (`--profile-json`) if the CLI asked
@@ -161,11 +182,10 @@ impl Reporter {
 ///
 /// # Errors
 ///
-/// Propagates I/O errors from creating or writing the file.
+/// Propagates I/O errors from creating, writing or renaming the file.
 pub fn write_profile(args: &BenchArgs, reg: &ocapi_obs::Registry) -> std::io::Result<()> {
     if let Some(path) = &args.profile_json {
-        let mut f = std::fs::File::create(path)?;
-        f.write_all(reg.profile_json(&args.bin).as_bytes())?;
+        write_atomic(path, reg.profile_json(&args.bin).as_bytes())?;
     }
     Ok(())
 }

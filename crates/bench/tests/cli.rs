@@ -6,7 +6,7 @@ use ocapi::{OptLevel, ParConfig};
 use ocapi_bench::ber::{
     measure, measure_batched, measure_with_faults, measure_with_faults_batched,
 };
-use ocapi_bench::{parse_arg_list, BenchArgs};
+use ocapi_bench::{parse_arg_list, BenchArgs, Robust};
 
 fn argv(args: &[&str]) -> Vec<String> {
     args.iter().map(|s| (*s).to_owned()).collect()
@@ -123,7 +123,8 @@ fn ber_counts_invariant_across_thread_counts() {
     // A tiny sweep point, measured at 1, 2 and 8 workers: the summed
     // (errors, bits) totals must be bit-identical because every burst
     // carries its own explicit seed and the merge is order-keyed.
-    let baseline = measure(&ParConfig::new(1), &[1.0, 0.65, 0.35], 0.4, true, 3, 24);
+    let baseline =
+        measure(&ParConfig::new(1), &[1.0, 0.65, 0.35], 0.4, true, 3, 24).expect("measure");
     assert!(baseline.bits > 0, "the measurement must compare bits");
     for threads in [2usize, 8] {
         let c = measure(
@@ -133,7 +134,8 @@ fn ber_counts_invariant_across_thread_counts() {
             true,
             3,
             24,
-        );
+        )
+        .expect("measure");
         assert_eq!(c, baseline, "BER totals diverged at {threads} thread(s)");
     }
 }
@@ -145,11 +147,13 @@ fn batched_ber_counts_equal_scalar_for_all_lane_and_thread_counts() {
     // so lanes × threads is pure geometry. Includes lane counts that do
     // not divide the burst count (ragged final chunk).
     let channel = [1.0, 0.65, 0.35];
-    let scalar = measure(&ParConfig::new(1), &channel, 0.4, true, 5, 24);
+    let scalar = measure(&ParConfig::new(1), &channel, 0.4, true, 5, 24).expect("measure");
     for lanes in [1usize, 3, 8] {
         for threads in [1usize, 4] {
+            let pool = ParConfig::new(threads);
             let c = measure_batched(
-                &ParConfig::new(threads),
+                &Robust::plain(&pool),
+                "test_eq",
                 &channel,
                 0.4,
                 true,
@@ -157,7 +161,8 @@ fn batched_ber_counts_equal_scalar_for_all_lane_and_thread_counts() {
                 24,
                 lanes,
                 OptLevel::Full,
-            );
+            )
+            .expect("measure");
             assert_eq!(
                 c, scalar,
                 "fault-free diverged at {lanes} lanes, {threads} threads"
@@ -171,10 +176,13 @@ fn batched_faulty_ber_counts_equal_scalar() {
     // The faulted variant exercises per-lane fault plans and the
     // masked-lane (fully-errored burst) accounting path.
     let channel = [1.0, 0.65, 0.35];
-    let scalar = measure_with_faults(&ParConfig::new(1), &channel, 0.2, 0.02, 4, 24);
+    let scalar =
+        measure_with_faults(&ParConfig::new(1), &channel, 0.2, 0.02, 4, 24).expect("measure");
+    let pool = ParConfig::new(2);
     for lanes in [1usize, 3] {
         let c = measure_with_faults_batched(
-            &ParConfig::new(2),
+            &Robust::plain(&pool),
+            "test_fault",
             &channel,
             0.2,
             0.02,
@@ -182,7 +190,8 @@ fn batched_faulty_ber_counts_equal_scalar() {
             24,
             lanes,
             OptLevel::Full,
-        );
+        )
+        .expect("measure");
         assert_eq!(c, scalar, "faulted totals diverged at {lanes} lanes");
     }
 }

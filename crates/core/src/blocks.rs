@@ -62,6 +62,22 @@ pub trait UntimedBlock {
     fn memory_spec(&self) -> Option<MemorySpec> {
         None
     }
+
+    /// The block's internal state as raw words (see [`Value::to_raw`]),
+    /// for simulator snapshots. Stateless blocks (the default) return
+    /// an empty vector. A stateful block must override this *and*
+    /// [`UntimedBlock::restore_state`] as an exact pair.
+    fn snapshot_state(&self) -> Vec<u64> {
+        Vec::new()
+    }
+
+    /// Restores state captured by [`UntimedBlock::snapshot_state`].
+    /// Returns `false` when the words do not fit this block (wrong
+    /// length), in which case the block is left unchanged. The default
+    /// (stateless) implementation accepts only an empty slice.
+    fn restore_state(&mut self, words: &[u64]) -> bool {
+        words.is_empty()
+    }
 }
 
 impl fmt::Debug for dyn UntimedBlock {
@@ -173,6 +189,20 @@ impl UntimedBlock for Ram {
             word: self.ty,
             contents: self.words.clone(),
         })
+    }
+
+    fn snapshot_state(&self) -> Vec<u64> {
+        self.words.iter().map(Value::to_raw).collect()
+    }
+
+    fn restore_state(&mut self, words: &[u64]) -> bool {
+        if words.len() != self.words.len() {
+            return false;
+        }
+        for (slot, raw) in self.words.iter_mut().zip(words) {
+            *slot = Value::from_raw(self.ty, *raw);
+        }
+        true
     }
 }
 

@@ -109,6 +109,30 @@ pub enum CoreError {
         /// Index of the work item whose closure panicked.
         index: usize,
     },
+    /// A watchdog budget attached to the simulator ran out. The run is
+    /// stopped with a typed error instead of hanging: campaigns classify
+    /// the item as timed out and keep going.
+    BudgetExceeded {
+        /// Which budget was exhausted.
+        kind: crate::sim::budget::BudgetKind,
+        /// The cycle count at which the budget tripped.
+        at_cycle: u64,
+    },
+    /// A snapshot was offered to a simulator whose design hash does not
+    /// match the one the snapshot was taken from (different design, or
+    /// the same design compiled at a different optimization level).
+    SnapshotMismatch {
+        /// Design hash of the simulator refusing the restore.
+        expected: u64,
+        /// Design hash recorded in the snapshot.
+        got: u64,
+    },
+    /// A snapshot byte stream or section was malformed (bad magic,
+    /// unsupported version, checksum failure, wrong section shape).
+    SnapshotFormat {
+        /// What was wrong with it.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -166,6 +190,19 @@ impl fmt::Display for CoreError {
             }
             CoreError::WorkerPanic { index } => {
                 write!(f, "sharded work item {index} panicked in a worker thread")
+            }
+            CoreError::BudgetExceeded { kind, at_cycle } => {
+                write!(f, "{kind} budget exceeded at cycle {at_cycle}")
+            }
+            CoreError::SnapshotMismatch { expected, got } => {
+                write!(
+                    f,
+                    "snapshot design hash {got:#018x} does not match simulator \
+                     design hash {expected:#018x}"
+                )
+            }
+            CoreError::SnapshotFormat { reason } => {
+                write!(f, "malformed snapshot: {reason}")
             }
         }
     }

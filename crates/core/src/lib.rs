@@ -81,13 +81,16 @@ pub use comp::{
 };
 pub use error::CoreError;
 pub use fsm::{Fsm, FsmBuilder, StateRef, Transition, TransitionBuilder};
+pub use sim::budget::{Budget, BudgetKind};
+pub use sim::chaos::{ChaosEvent, ChaosKind, ChaosPlan};
 pub use sim::fault::{
     apply_plan_lane, run_campaign, run_campaign_batched, run_campaign_batched_par,
     run_campaign_par, CampaignReport, FaultEvent, FaultKind, FaultOutcome, FaultPlan, FaultSite,
     FaultySim,
 };
 pub use sim::obs::{BatchObs, SimObs};
-pub use sim::par::{ParConfig, ParError, PoolStats, Stopwatch};
+pub use sim::par::{map_indexed_retry, ParConfig, ParError, PoolStats, RetryStats, Stopwatch};
+pub use sim::snapshot::{SimSnapshot, SnapshotBackend};
 pub use sim::{BatchedSim, CompiledSim, InterpSim, OptLevel, OptStats, Simulator};
 pub use system::{
     InstanceId, Net, NetSink, NetSource, PrimaryInput, PrimaryOutput, System, SystemBuilder,

@@ -43,12 +43,14 @@
 //! [`CompiledSim`]: crate::CompiledSim
 //! [`Program`]: crate::sim::compiled::Program
 
+use crate::sim::budget::Budget;
 use crate::sim::compiled::{
     build_program, decode, encode, init_regs, init_states, make_trace, CompiledTransition, Micro,
     Program,
 };
 use crate::sim::obs::BatchObs;
 use crate::sim::opt::{OptLevel, OptStats};
+use crate::sim::snapshot::{SimSnapshot, SnapshotBackend};
 use crate::sim::Simulator;
 use crate::system::System;
 use crate::trace::Trace;
@@ -89,6 +91,8 @@ pub struct BatchedSim {
     cycle: u64,
     traces: Option<Vec<Trace>>,
     obs: Option<BatchObs>,
+    budget: Budget,
+    design_hash: u64,
 }
 
 impl std::fmt::Debug for BatchedSim {
@@ -185,6 +189,7 @@ impl BatchedSim {
             return Err(CoreError::CheckFailed { diagnostics: diags });
         }
         let prog = build_program(&systems[0], level)?;
+        let design_hash = crate::sim::snapshot::hash_program(&systems[0], &prog);
         let lanes = systems.len();
         let sys0 = &systems[0];
 
@@ -226,8 +231,132 @@ impl BatchedSim {
             cycle: 0,
             traces: None,
             obs: None,
+            budget: Budget::none(),
+            design_hash,
             systems,
         })
+    }
+
+    /// Attaches watchdog limits ([`Budget`]) to the whole batch:
+    /// subsequent steps fail with [`CoreError::BudgetExceeded`] —
+    /// a batch-wide error, not a lane masking — instead of running
+    /// past them.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
+    }
+
+    /// The design hash keying this batch's lane snapshots — identical
+    /// to [`crate::CompiledSim::design_hash`] for the same system and
+    /// optimization level, so lane snapshots and scalar compiled
+    /// snapshots are interchangeable.
+    pub fn design_hash(&self) -> u64 {
+        self.design_hash
+    }
+
+    /// Captures the complete state of one (live) lane as a
+    /// [`SimSnapshot`] — the same shape a [`crate::CompiledSim`] of
+    /// this system produces. Lanes step in lock-step, so the snapshot
+    /// carries the batch-wide cycle count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownName`] for an out-of-range lane and
+    /// the lane's own recorded error when it has been masked off.
+    pub fn snapshot_lane(&self, lane: usize) -> Result<SimSnapshot, CoreError> {
+        self.check_lane(lane)?;
+        if let Some((_, e)) = self.lane_error(lane) {
+            return Err(e.clone());
+        }
+        let lanes = self.lanes;
+        let mut s = SimSnapshot::new(SnapshotBackend::Compiled, self.design_hash, self.cycle);
+        let n_slots = self.prog.init_slots.len();
+        s.push_section(
+            "slots",
+            (0..n_slots).map(|k| self.slots[k * lanes + lane]).collect(),
+        );
+        s.push_section(
+            "states",
+            (0..self.systems[0].timed.len())
+                .map(|i| u64::from(self.states[i * lanes + lane]))
+                .collect(),
+        );
+        let mut regs = Vec::new();
+        for rf in &self.regs {
+            let n_regs = rf.len() / lanes;
+            for r in 0..n_regs {
+                regs.push(rf[r * lanes + lane]);
+            }
+        }
+        s.push_section("regs", regs);
+        for (i, u) in self.systems[lane].untimed.iter().enumerate() {
+            let words = u.block.snapshot_state();
+            if !words.is_empty() {
+                s.push_section(&format!("untimed.{i}"), words);
+            }
+        }
+        Ok(s)
+    }
+
+    /// Restores one lane from a snapshot taken by
+    /// [`BatchedSim::snapshot_lane`] or [`crate::CompiledSim::snapshot`]
+    /// on the same build. The lane is revived if it was masked, and the
+    /// batch-wide cycle counter is set to the snapshot's cycle — lanes
+    /// step in lock-step, so restore every lane from snapshots of the
+    /// same cycle.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownName`] for an out-of-range lane,
+    /// [`CoreError::SnapshotMismatch`] for a snapshot of a different
+    /// design or optimization level, and [`CoreError::SnapshotFormat`]
+    /// for damaged sections.
+    pub fn restore_lane(&mut self, lane: usize, snap: &SimSnapshot) -> Result<(), CoreError> {
+        self.check_lane(lane)?;
+        snap.check(SnapshotBackend::Compiled, self.design_hash)?;
+        let lanes = self.lanes;
+        let n_slots = self.prog.init_slots.len();
+        let slot_words = snap.section_exact("slots", n_slots)?;
+        let state_words = snap.section_exact("states", self.systems[0].timed.len())?;
+        let n_regs: usize = self.regs.iter().map(|rf| rf.len() / lanes).sum();
+        let reg_words = snap.section_exact("regs", n_regs)?;
+        for (i, t) in self.systems[0].timed.iter().enumerate() {
+            let idx = state_words[i];
+            let n_states = t.comp.fsm.as_ref().map_or(1, |f| f.states.len() as u64);
+            if idx >= n_states {
+                return Err(CoreError::SnapshotFormat {
+                    reason: format!("state selector {idx} out of range for `{}`", t.name),
+                });
+            }
+        }
+        for (k, w) in slot_words.iter().enumerate() {
+            self.slots[k * lanes + lane] = *w;
+        }
+        for (i, w) in state_words.iter().enumerate() {
+            self.states[i * lanes + lane] = *w as u32;
+        }
+        let mut k = 0;
+        for rf in &mut self.regs {
+            let n = rf.len() / lanes;
+            for r in 0..n {
+                rf[r * lanes + lane] = reg_words[k];
+                k += 1;
+            }
+        }
+        for (i, u) in self.systems[lane].untimed.iter_mut().enumerate() {
+            let words = snap.section(&format!("untimed.{i}")).unwrap_or(&[]);
+            if !u.block.restore_state(words) {
+                return Err(CoreError::SnapshotFormat {
+                    reason: format!(
+                        "untimed block `{}` rejected its state section",
+                        u.block.name()
+                    ),
+                });
+            }
+        }
+        self.alive[lane] = true;
+        self.errors[lane] = None;
+        self.cycle = snap.cycle();
+        Ok(())
     }
 
     /// Builds `lanes` systems with `make_sys` and batches them.
@@ -821,6 +950,7 @@ impl Simulator for BatchedSim {
     /// error — so a 1-lane batch reports errors exactly like the scalar
     /// compiled back-end.
     fn step(&mut self) -> Result<(), CoreError> {
+        self.budget.check_cycle(self.cycle)?;
         if !self.alive.iter().any(|a| *a) {
             return Err(self.first_error());
         }

@@ -1,0 +1,209 @@
+//! Watchdog budgets for long-horizon simulation runs.
+//!
+//! A Monte-Carlo campaign over millions of bursts cannot afford one
+//! oscillating design or runaway settle loop to hang a worker forever.
+//! A [`Budget`] attached to a simulator turns "too much work" into the
+//! typed error [`CoreError::BudgetExceeded`] so the campaign layer can
+//! classify the item as timed out and keep going — the shard never
+//! aborts, the pool never hangs.
+//!
+//! Two of the three limits are **deterministic**: the cycle budget and
+//! the settle-iteration budget trip at exactly the same point on every
+//! machine and thread count, so they are safe to use in runs whose
+//! output must be bit-reproducible. The wall-clock deadline is
+//! **advisory**: it depends on host speed and is meant for interactive
+//! use and CI safety nets, not for reproducible classification.
+
+use std::fmt;
+use std::time::Instant;
+
+use crate::CoreError;
+
+/// Which watchdog limit tripped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum BudgetKind {
+    /// The per-run cycle budget ([`Budget::with_max_cycles`]).
+    Cycles,
+    /// The per-cycle settle/evaluation-iteration budget
+    /// ([`Budget::with_max_settle_iters`]).
+    SettleIterations,
+    /// The advisory wall-clock deadline ([`Budget::with_deadline`]).
+    WallClock,
+}
+
+impl fmt::Display for BudgetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetKind::Cycles => write!(f, "cycle"),
+            BudgetKind::SettleIterations => write!(f, "settle-iteration"),
+            BudgetKind::WallClock => write!(f, "wall-clock"),
+        }
+    }
+}
+
+/// A set of per-run watchdog limits. All limits default to "unlimited";
+/// the zero-cost [`Budget::none`] is what every simulator starts with.
+///
+/// ```
+/// use ocapi::sim::budget::Budget;
+///
+/// let b = Budget::none().with_max_cycles(1_000_000);
+/// assert!(b.check_cycle(999_999).is_ok());
+/// assert!(b.check_cycle(1_000_000).is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Budget {
+    max_cycles: Option<u64>,
+    max_settle_iters: Option<u64>,
+    deadline: Option<Instant>,
+}
+
+impl Budget {
+    /// No limits at all — the default for every simulator.
+    pub fn none() -> Budget {
+        Budget::default()
+    }
+
+    /// Limits the run to `n` completed cycles: the step that would
+    /// begin cycle `n` fails with [`CoreError::BudgetExceeded`].
+    /// Deterministic.
+    pub fn with_max_cycles(mut self, n: u64) -> Budget {
+        self.max_cycles = Some(n);
+        self
+    }
+
+    /// Limits every settle loop (the interpreted scheduler's evaluation
+    /// phase, the gate kernel's event propagation) to `n` iterations per
+    /// cycle. Deterministic.
+    pub fn with_max_settle_iters(mut self, n: u64) -> Budget {
+        self.max_settle_iters = Some(n);
+        self
+    }
+
+    /// Advisory wall-clock deadline: steps after `deadline` fail with
+    /// [`CoreError::BudgetExceeded`]. **Not deterministic** — do not use
+    /// where bit-reproducible output is required.
+    pub fn with_deadline(mut self, deadline: Instant) -> Budget {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The configured cycle limit, if any.
+    pub fn max_cycles(&self) -> Option<u64> {
+        self.max_cycles
+    }
+
+    /// The configured settle-iteration limit, if any.
+    pub fn max_settle_iters(&self) -> Option<u64> {
+        self.max_settle_iters
+    }
+
+    /// True when no limit is set (the common fast path).
+    pub fn is_none(&self) -> bool {
+        self.max_cycles.is_none() && self.max_settle_iters.is_none() && self.deadline.is_none()
+    }
+
+    /// Checks the cycle budget and the wall-clock deadline at the start
+    /// of a step that would complete cycle `cycle + 1`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BudgetExceeded`] when a limit is exhausted.
+    pub fn check_cycle(&self, cycle: u64) -> Result<(), CoreError> {
+        if let Some(max) = self.max_cycles {
+            if cycle >= max {
+                return Err(CoreError::BudgetExceeded {
+                    kind: BudgetKind::Cycles,
+                    at_cycle: cycle,
+                });
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(CoreError::BudgetExceeded {
+                    kind: BudgetKind::WallClock,
+                    at_cycle: cycle,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks the settle-iteration budget inside an evaluation loop.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BudgetExceeded`] when `iters` exceeds the limit.
+    pub fn check_settle(&self, iters: u64, cycle: u64) -> Result<(), CoreError> {
+        if let Some(max) = self.max_settle_iters {
+            if iters > max {
+                return Err(CoreError::BudgetExceeded {
+                    kind: BudgetKind::SettleIterations,
+                    at_cycle: cycle,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_budget_never_trips() {
+        let b = Budget::none();
+        assert!(b.is_none());
+        assert!(b.check_cycle(u64::MAX).is_ok());
+        assert!(b.check_settle(u64::MAX, 0).is_ok());
+    }
+
+    #[test]
+    fn cycle_budget_trips_at_limit() {
+        let b = Budget::none().with_max_cycles(10);
+        assert!(b.check_cycle(9).is_ok());
+        match b.check_cycle(10) {
+            Err(CoreError::BudgetExceeded { kind, at_cycle }) => {
+                assert_eq!(kind, BudgetKind::Cycles);
+                assert_eq!(at_cycle, 10);
+            }
+            other => panic!("expected budget error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn settle_budget_trips_past_limit() {
+        let b = Budget::none().with_max_settle_iters(4);
+        assert!(b.check_settle(4, 7).is_ok());
+        match b.check_settle(5, 7) {
+            Err(CoreError::BudgetExceeded { kind, at_cycle }) => {
+                assert_eq!(kind, BudgetKind::SettleIterations);
+                assert_eq!(at_cycle, 7);
+            }
+            other => panic!("expected budget error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn elapsed_deadline_trips() {
+        let b = Budget::none().with_deadline(Instant::now());
+        match b.check_cycle(3) {
+            Err(CoreError::BudgetExceeded { kind, at_cycle }) => {
+                assert_eq!(kind, BudgetKind::WallClock);
+                assert_eq!(at_cycle, 3);
+            }
+            other => panic!("expected budget error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn display_names_the_kind() {
+        let e = CoreError::BudgetExceeded {
+            kind: BudgetKind::Cycles,
+            at_cycle: 42,
+        };
+        assert_eq!(e.to_string(), "cycle budget exceeded at cycle 42");
+    }
+}

@@ -1,0 +1,181 @@
+//! Deterministic fault injection for the worker pool — a chaos harness.
+//!
+//! Robustness claims ("a panicked item is retried", "a budget-killed
+//! item is classified, not fatal") are only trustworthy if they are
+//! *tested*, and testing them needs failures that strike at exactly
+//! chosen places. A [`ChaosPlan`] injects a panic, an artificial delay,
+//! or a synthetic budget kill at chosen `(item index, attempt number)`
+//! pairs: the first execution of item 7 can be made to panic while its
+//! retry succeeds, for any thread count and any worker interleaving.
+//!
+//! The plan is deterministic by construction — injection depends only
+//! on the item index and on how many times that item has been attempted
+//! through this plan, never on which worker runs it or when.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::sim::budget::BudgetKind;
+use crate::CoreError;
+
+/// What a chaos injection does to the victim attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosKind {
+    /// Panic inside the work item (exercises the pool's containment and
+    /// the retry path for [`ParError::Panic`](crate::ParError::Panic)).
+    Panic,
+    /// Sleep for the given number of milliseconds before running the
+    /// item — simulates a straggler without changing its result.
+    Delay(u64),
+    /// Fail the item with a synthetic
+    /// [`CoreError::BudgetExceeded`] as if a watchdog had tripped.
+    BudgetKill,
+}
+
+/// One planned injection: attempt number `attempt` (0-based) of work
+/// item `index` suffers `kind`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosEvent {
+    /// The work-item index to strike.
+    pub index: usize,
+    /// Which attempt of that item to strike (0 = first execution).
+    pub attempt: u32,
+    /// What happens to it.
+    pub kind: ChaosKind,
+}
+
+/// A deterministic schedule of injected failures, shared by all workers
+/// of a pool run. See the module docs.
+///
+/// ```
+/// use ocapi::sim::chaos::{ChaosKind, ChaosPlan};
+///
+/// let plan = ChaosPlan::new(vec![(3, 0, ChaosKind::Panic).into()]);
+/// assert_eq!(plan.visit(3), Some(ChaosKind::Panic)); // first attempt
+/// assert_eq!(plan.visit(3), None); // retry runs clean
+/// assert_eq!(plan.visit(4), None);
+/// ```
+#[derive(Debug, Default)]
+pub struct ChaosPlan {
+    events: Vec<ChaosEvent>,
+    attempts: Mutex<HashMap<usize, u32>>,
+}
+
+impl From<(usize, u32, ChaosKind)> for ChaosEvent {
+    fn from((index, attempt, kind): (usize, u32, ChaosKind)) -> ChaosEvent {
+        ChaosEvent {
+            index,
+            attempt,
+            kind,
+        }
+    }
+}
+
+impl ChaosPlan {
+    /// A plan that fires the given events and leaves every other
+    /// attempt untouched.
+    pub fn new(events: Vec<ChaosEvent>) -> ChaosPlan {
+        ChaosPlan {
+            events,
+            attempts: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Records one attempt of item `index` and returns the injection
+    /// scheduled for it, if any. Call exactly once per execution of the
+    /// item, before doing its work.
+    pub fn visit(&self, index: usize) -> Option<ChaosKind> {
+        let attempt = {
+            let mut counts = match self.attempts.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            let slot = counts.entry(index).or_insert(0);
+            let current = *slot;
+            *slot += 1;
+            current
+        };
+        self.events
+            .iter()
+            .find(|e| e.index == index && e.attempt == attempt)
+            .map(|e| e.kind)
+    }
+
+    /// [`ChaosPlan::visit`] with the injection *applied*: panics,
+    /// sleeps, or returns the synthetic budget error for the caller to
+    /// propagate. Returns `Ok(())` when the attempt runs clean (or
+    /// after the delay has been served).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BudgetExceeded`] for a [`ChaosKind::BudgetKill`]
+    /// injection.
+    ///
+    /// # Panics
+    ///
+    /// Panics (deliberately) for a [`ChaosKind::Panic`] injection.
+    pub fn strike(&self, index: usize) -> Result<(), CoreError> {
+        match self.visit(index) {
+            None => Ok(()),
+            Some(ChaosKind::Panic) => panic!("chaos: injected panic at item {index}"),
+            Some(ChaosKind::Delay(ms)) => {
+                std::thread::sleep(Duration::from_millis(ms));
+                Ok(())
+            }
+            Some(ChaosKind::BudgetKill) => Err(CoreError::BudgetExceeded {
+                kind: BudgetKind::WallClock,
+                at_cycle: 0,
+            }),
+        }
+    }
+
+    /// How many times item `index` has been attempted so far.
+    pub fn attempts(&self, index: usize) -> u32 {
+        let counts = match self.attempts.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        counts.get(&index).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strikes_only_the_planned_attempt() {
+        let plan = ChaosPlan::new(vec![
+            (2, 0, ChaosKind::BudgetKill).into(),
+            (2, 1, ChaosKind::BudgetKill).into(),
+            (5, 1, ChaosKind::Delay(0)).into(),
+        ]);
+        assert!(plan.strike(2).is_err()); // attempt 0
+        assert!(plan.strike(2).is_err()); // attempt 1
+        assert!(plan.strike(2).is_ok()); // attempt 2 runs clean
+        assert!(plan.strike(5).is_ok()); // attempt 0 untouched
+        assert!(plan.strike(5).is_ok()); // attempt 1 delayed, then clean
+        assert_eq!(plan.attempts(2), 3);
+        assert_eq!(plan.attempts(5), 2);
+        assert_eq!(plan.attempts(9), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "chaos: injected panic at item 1")]
+    fn panic_injection_panics() {
+        let plan = ChaosPlan::new(vec![(1, 0, ChaosKind::Panic).into()]);
+        let _ = plan.strike(1);
+    }
+
+    #[test]
+    fn budget_kill_is_typed() {
+        let plan = ChaosPlan::new(vec![(0, 0, ChaosKind::BudgetKill).into()]);
+        match plan.strike(0) {
+            Err(CoreError::BudgetExceeded { kind, .. }) => {
+                assert_eq!(kind, BudgetKind::WallClock);
+            }
+            other => panic!("expected budget error, got {other:?}"),
+        }
+    }
+}

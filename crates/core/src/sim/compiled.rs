@@ -31,8 +31,10 @@ use std::collections::HashMap;
 use ocapi_fixp::{Fix, Format, Overflow, Rounding};
 
 use crate::comp::{Component, NodeId, NodeKind};
+use crate::sim::budget::Budget;
 use crate::sim::obs::SimObs;
 use crate::sim::opt::{self, OptEnv, OptLevel, OptStats};
+use crate::sim::snapshot::{SimSnapshot, SnapshotBackend};
 use crate::sim::Simulator;
 use crate::system::{NetSource, System};
 use crate::trace::Trace;
@@ -353,6 +355,8 @@ pub struct CompiledSim {
     trace: Option<Trace>,
     obs: Option<SimObs>,
     opt_stats: OptStats,
+    budget: Budget,
+    design_hash: u64,
 }
 
 impl std::fmt::Debug for CompiledSim {
@@ -695,6 +699,7 @@ impl CompiledSim {
     /// cross-component dependence graph is cyclic.
     pub fn new_with(sys: System, level: OptLevel) -> Result<CompiledSim, CoreError> {
         let prog = build_program(&sys, level)?;
+        let design_hash = crate::sim::snapshot::hash_program(&sys, &prog);
         let states = init_states(&sys);
         let active = sys
             .timed
@@ -721,8 +726,97 @@ impl CompiledSim {
             trace: None,
             obs: None,
             opt_stats: prog.opt_stats,
+            budget: Budget::none(),
+            design_hash,
             sys,
         })
+    }
+
+    /// Attaches watchdog limits ([`Budget`]): subsequent steps fail
+    /// with [`CoreError::BudgetExceeded`] instead of running past them.
+    /// The settle-iteration limit does not apply here — the compiled
+    /// tape is straight-line code with no settle loop.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
+    }
+
+    /// The design hash keying this simulator's snapshots: the system
+    /// structure *and* the levelized tape, so the same design compiled
+    /// at a different [`OptLevel`] refuses each other's snapshots.
+    pub fn design_hash(&self) -> u64 {
+        self.design_hash
+    }
+
+    /// Captures the complete mutable simulation state — state slots,
+    /// FSM selectors, register files, stateful untimed blocks and the
+    /// cycle count — as a [`SimSnapshot`]. Traces and budgets are not
+    /// part of the snapshot. Take snapshots between steps.
+    pub fn snapshot(&self) -> SimSnapshot {
+        let mut s = SimSnapshot::new(SnapshotBackend::Compiled, self.design_hash, self.cycle);
+        s.push_section("slots", self.slots.clone());
+        s.push_section(
+            "states",
+            self.states.iter().map(|x| u64::from(*x)).collect(),
+        );
+        s.push_section("regs", self.regs.iter().flatten().copied().collect());
+        for (i, u) in self.sys.untimed.iter().enumerate() {
+            let words = u.block.snapshot_state();
+            if !words.is_empty() {
+                s.push_section(&format!("untimed.{i}"), words);
+            }
+        }
+        s
+    }
+
+    /// Restores state captured by [`CompiledSim::snapshot`] (or from a
+    /// [`crate::BatchedSim`] lane of the same build).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::SnapshotMismatch`] when the snapshot was taken from
+    /// a different design or optimization level, and
+    /// [`CoreError::SnapshotFormat`] when it comes from a different
+    /// back-end family or has damaged sections. On error the simulator
+    /// state is unspecified; call [`CompiledSim::reset`] before reuse.
+    pub fn restore(&mut self, snap: &SimSnapshot) -> Result<(), CoreError> {
+        snap.check(SnapshotBackend::Compiled, self.design_hash)?;
+        let slot_words = snap.section_exact("slots", self.slots.len())?;
+        let state_words = snap.section_exact("states", self.states.len())?;
+        let n_regs: usize = self.regs.iter().map(Vec::len).sum();
+        let reg_words = snap.section_exact("regs", n_regs)?;
+        for (i, t) in self.sys.timed.iter().enumerate() {
+            let idx = state_words[i];
+            let n_states = t.comp.fsm.as_ref().map_or(1, |f| f.states.len() as u64);
+            if idx >= n_states {
+                return Err(CoreError::SnapshotFormat {
+                    reason: format!("state selector {idx} out of range for `{}`", t.name),
+                });
+            }
+        }
+        self.slots.copy_from_slice(slot_words);
+        for (st, idx) in self.states.iter_mut().zip(state_words) {
+            *st = *idx as u32;
+        }
+        let mut k = 0;
+        for file in &mut self.regs {
+            for r in file.iter_mut() {
+                *r = reg_words[k];
+                k += 1;
+            }
+        }
+        for (i, u) in self.sys.untimed.iter_mut().enumerate() {
+            let words = snap.section(&format!("untimed.{i}")).unwrap_or(&[]);
+            if !u.block.restore_state(words) {
+                return Err(CoreError::SnapshotFormat {
+                    reason: format!(
+                        "untimed block `{}` rejected its state section",
+                        u.block.name()
+                    ),
+                });
+            }
+        }
+        self.cycle = snap.cycle();
+        Ok(())
     }
 
     /// The simulated system.
@@ -1350,6 +1444,7 @@ impl Simulator for CompiledSim {
     }
 
     fn step(&mut self) -> Result<(), CoreError> {
+        self.budget.check_cycle(self.cycle)?;
         // Guard evaluation over held values.
         let t_pre = self
             .obs

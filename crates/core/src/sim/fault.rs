@@ -427,6 +427,17 @@ pub enum FaultOutcome {
         /// The reported error.
         error: CoreError,
     },
+    /// The run hit a watchdog budget ([`CoreError::BudgetExceeded`]) —
+    /// e.g. a fault that drove the design into a livelock the cycle
+    /// budget cut short. Kept separate from [`FaultOutcome::Detected`]
+    /// because the design did *not* flag the fault; the harness killed
+    /// the run.
+    TimedOut {
+        /// Cycle at which the budget tripped.
+        cycle: u64,
+        /// Which budget tripped.
+        kind: crate::sim::budget::BudgetKind,
+    },
 }
 
 /// Aggregate result of a fault campaign.
@@ -466,6 +477,15 @@ impl CampaignReport {
             .count()
     }
 
+    /// Faulty runs killed by a watchdog budget rather than completing or
+    /// raising a design-level error.
+    pub fn timed_out(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|(_, o)| matches!(o, FaultOutcome::TimedOut { .. }))
+            .count()
+    }
+
     /// Fraction of faults that silently corrupted outputs (0 if none
     /// were injected).
     pub fn silent_rate(&self) -> f64 {
@@ -485,7 +505,7 @@ impl CampaignReport {
             let at = match o {
                 FaultOutcome::SilentCorruption { first_divergence } => *first_divergence,
                 FaultOutcome::Detected { cycle, .. } => *cycle,
-                FaultOutcome::Masked => continue,
+                FaultOutcome::Masked | FaultOutcome::TimedOut { .. } => continue,
             };
             sum += at.saturating_sub(e.cycle) as f64;
             n += 1;
@@ -561,12 +581,23 @@ fn run_event<S: Simulator>(
         }
     }
     Ok(match detected {
-        Some((cycle, error)) => FaultOutcome::Detected { cycle, error },
+        Some((cycle, error)) => classify_error(cycle, error),
         None => match first_output_divergence(golden, sim.trace()) {
             Some(first_divergence) => FaultOutcome::SilentCorruption { first_divergence },
             None => FaultOutcome::Masked,
         },
     })
+}
+
+/// Classifies a faulty run's error: budget trips become
+/// [`FaultOutcome::TimedOut`] (the harness killed the run), everything
+/// else is a design-level [`FaultOutcome::Detected`]. Budget hits never
+/// abort a campaign shard — the item is classified and the sweep goes on.
+fn classify_error(cycle: u64, error: CoreError) -> FaultOutcome {
+    match error {
+        CoreError::BudgetExceeded { kind, .. } => FaultOutcome::TimedOut { cycle, kind },
+        error => FaultOutcome::Detected { cycle, error },
+    }
 }
 
 /// Runs a fault campaign: one golden run plus one faulty run per event,
@@ -725,10 +756,7 @@ fn run_event_chunk(
     }
     Ok((0..chunk.len())
         .map(|lane| match sim.lane_error(lane) {
-            Some((cycle, error)) => FaultOutcome::Detected {
-                cycle: *cycle,
-                error: error.clone(),
-            },
+            Some((cycle, error)) => classify_error(*cycle, error.clone()),
             None => match sim
                 .trace_lane(lane)
                 .and_then(|t| first_output_divergence(golden, t))

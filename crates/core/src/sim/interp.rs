@@ -19,8 +19,10 @@
 
 use crate::comp::{NodeId, Reg};
 use crate::fsm::StateRef;
+use crate::sim::budget::Budget;
 use crate::sim::eval::{eval_node, EvalCache};
 use crate::sim::obs::SimObs;
+use crate::sim::snapshot::{hash_system, SimSnapshot, SnapshotBackend};
 use crate::sim::Simulator;
 use crate::system::{NetSource, System};
 use crate::trace::Trace;
@@ -86,6 +88,8 @@ pub struct InterpSim {
     trace: Option<Trace>,
     full_trace: Option<Trace>,
     obs: Option<SimObs>,
+    budget: Budget,
+    design_hash: u64,
 }
 
 impl InterpSim {
@@ -139,6 +143,7 @@ impl InterpSim {
             }
         }
         let fresh = vec![false; sys.nets.len()];
+        let design_hash = hash_system(&sys);
         Ok(InterpSim {
             sys,
             nets,
@@ -153,7 +158,102 @@ impl InterpSim {
             trace: None,
             full_trace: None,
             obs: None,
+            budget: Budget::none(),
+            design_hash,
         })
+    }
+
+    /// Attaches watchdog limits ([`Budget`]): subsequent steps fail
+    /// with [`CoreError::BudgetExceeded`] instead of running (or
+    /// settling) forever. [`Budget::none`] removes all limits.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
+    }
+
+    /// The structural design hash that keys this simulator's snapshots.
+    pub fn design_hash(&self) -> u64 {
+        self.design_hash
+    }
+
+    /// Captures the complete mutable simulation state — net values,
+    /// register files, FSM states, stateful untimed blocks and the
+    /// cycle count — as a [`SimSnapshot`]. Traces and budgets are not
+    /// part of the snapshot. Take snapshots between steps.
+    pub fn snapshot(&self) -> SimSnapshot {
+        let mut s = SimSnapshot::new(SnapshotBackend::Interp, self.design_hash, self.cycle);
+        s.push_section("nets", self.nets.iter().map(Value::to_raw).collect());
+        s.push_section(
+            "states",
+            self.states.iter().map(|st| st.index() as u64).collect(),
+        );
+        s.push_section(
+            "regs",
+            self.regs.iter().flatten().map(Value::to_raw).collect(),
+        );
+        for (i, u) in self.sys.untimed.iter().enumerate() {
+            let words = u.block.snapshot_state();
+            if !words.is_empty() {
+                s.push_section(&format!("untimed.{i}"), words);
+            }
+        }
+        s
+    }
+
+    /// Restores state captured by [`InterpSim::snapshot`] on the same
+    /// design.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::SnapshotMismatch`] when the snapshot was taken from
+    /// a different design, and [`CoreError::SnapshotFormat`] when it
+    /// comes from a different back-end family or has damaged sections.
+    /// On error the simulator state is unspecified; call
+    /// [`InterpSim::reset`] before reusing it.
+    pub fn restore(&mut self, snap: &SimSnapshot) -> Result<(), CoreError> {
+        snap.check(SnapshotBackend::Interp, self.design_hash)?;
+        let net_words = snap.section_exact("nets", self.nets.len())?;
+        let state_words = snap.section_exact("states", self.states.len())?;
+        let n_regs: usize = self.regs.iter().map(Vec::len).sum();
+        let reg_words = snap.section_exact("regs", n_regs)?;
+        for (i, t) in self.sys.timed.iter().enumerate() {
+            let idx = state_words[i];
+            let n_states = t.comp.fsm.as_ref().map_or(1, |f| f.states.len() as u64);
+            if idx >= n_states {
+                return Err(CoreError::SnapshotFormat {
+                    reason: format!("state selector {idx} out of range for `{}`", t.name),
+                });
+            }
+        }
+        for (slot, (net, raw)) in self
+            .nets
+            .iter_mut()
+            .zip(self.sys.nets.iter().zip(net_words))
+        {
+            *slot = Value::from_raw(net.ty, *raw);
+        }
+        for (st, idx) in self.states.iter_mut().zip(state_words) {
+            *st = StateRef(*idx as u32);
+        }
+        let mut k = 0;
+        for (i, t) in self.sys.timed.iter().enumerate() {
+            for (j, r) in t.comp.regs.iter().enumerate() {
+                self.regs[i][j] = Value::from_raw(r.ty, reg_words[k]);
+                k += 1;
+            }
+        }
+        for (i, u) in self.sys.untimed.iter_mut().enumerate() {
+            let words = snap.section(&format!("untimed.{i}")).unwrap_or(&[]);
+            if !u.block.restore_state(words) {
+                return Err(CoreError::SnapshotFormat {
+                    reason: format!(
+                        "untimed block `{}` rejected its state section",
+                        u.block.name()
+                    ),
+                });
+            }
+        }
+        self.cycle = snap.cycle();
+        Ok(())
     }
 
     /// Attaches an observability bundle (counters + phase spans +
@@ -297,6 +397,7 @@ impl Simulator for InterpSim {
     }
 
     fn step(&mut self) -> Result<(), CoreError> {
+        self.budget.check_cycle(self.cycle)?;
         let sys = &mut self.sys;
         let nets = &mut self.nets;
         let fresh = &mut self.fresh;
@@ -400,6 +501,7 @@ impl Simulator for InterpSim {
         let mut out_buf: Vec<Value> = Vec::new();
         loop {
             iterations += 1;
+            self.budget.check_settle(iterations, self.cycle)?;
             let mut progress = false;
 
             let mut i = 0;

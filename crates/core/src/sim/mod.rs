@@ -15,6 +15,8 @@
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod batch;
+pub mod budget;
+pub mod chaos;
 mod compiled;
 mod eval;
 pub mod fault;
@@ -22,12 +24,16 @@ mod interp;
 pub mod obs;
 pub mod opt;
 pub mod par;
+pub mod snapshot;
 
 pub use batch::BatchedSim;
+pub use budget::{Budget, BudgetKind};
+pub use chaos::{ChaosEvent, ChaosKind, ChaosPlan};
 pub use compiled::CompiledSim;
 pub use interp::InterpSim;
 pub use obs::{BatchObs, SimObs};
 pub use opt::{OptLevel, OptStats};
+pub use snapshot::{SimSnapshot, SnapshotBackend};
 
 use crate::trace::Trace;
 use crate::value::Value;

@@ -123,6 +123,142 @@ enum Slot<R, E> {
     Panicked,
 }
 
+/// Bookkeeping of a retrying sharded map ([`map_indexed_retry`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Extra attempts executed (sum over all items and retry rounds).
+    pub retries: u64,
+    /// Items that failed or panicked at least once but eventually
+    /// succeeded on a retry.
+    pub recovered: u64,
+}
+
+/// Runs `f` over the given item indices on the pool, one guarded call
+/// per index, returning `(index, outcome)` pairs in unspecified order.
+fn run_indices<T, R, E, F>(
+    pool: &ParConfig,
+    items: &[T],
+    indices: &[usize],
+    f: &F,
+) -> Vec<(usize, Slot<R, E>)>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
+    let run_one = |i: usize| -> Slot<R, E> {
+        match catch_unwind(AssertUnwindSafe(|| f(i, &items[i]))) {
+            Ok(Ok(r)) => Slot::Done(r),
+            Ok(Err(e)) => Slot::Failed(e),
+            Err(_) => Slot::Panicked,
+        }
+    };
+    let workers = pool.threads.min(indices.len().max(1));
+    if workers <= 1 {
+        return indices.iter().map(|&i| (i, run_one(i))).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let cursor = &cursor;
+    let run_one = &run_one;
+    let mut out: Vec<(usize, Slot<R, E>)> = Vec::with_capacity(indices.len());
+    let worker_results = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut mine: Vec<(usize, Slot<R, E>)> = Vec::new();
+                    loop {
+                        let k = cursor.fetch_add(1, Ordering::Relaxed);
+                        if k >= indices.len() {
+                            break;
+                        }
+                        let i = indices[k];
+                        mine.push((i, run_one(i)));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join()).collect::<Vec<_>>()
+    });
+    // A worker's join only fails when its loop panicked outside the
+    // guard; the indices it claimed simply stay missing and the caller
+    // treats them as panicked.
+    for joined in worker_results.into_iter().flatten() {
+        out.extend(joined);
+    }
+    out
+}
+
+/// [`map_indexed`] with bounded retry: an item whose closure fails or
+/// panics is re-executed — on whichever worker is free, but always with
+/// its original index, hence its original seed stream — until it
+/// succeeds or `attempts` total attempts are spent. Items that still
+/// fail after the last round are merged exactly like [`map_indexed`]:
+/// the lowest-indexed failure is reported, identically for every thread
+/// count.
+///
+/// The result is **deterministic regardless of which worker or attempt
+/// succeeds**, provided `f` is a pure function of `(index, item)` — the
+/// contract every campaign work item in this workspace already obeys.
+///
+/// # Errors
+///
+/// Returns the lowest-indexed [`ParError`] among items whose final
+/// attempt failed, after all items and retries have run.
+pub fn map_indexed_retry<T, R, E, F>(
+    pool: &ParConfig,
+    items: &[T],
+    attempts: u32,
+    f: F,
+) -> (Result<Vec<R>, ParError<E>>, RetryStats)
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
+    let n = items.len();
+    let attempts = attempts.max(1);
+    let mut stats = RetryStats::default();
+    let mut slots: Vec<Option<Slot<R, E>>> = Vec::new();
+    slots.resize_with(n, || None);
+    let all: Vec<usize> = (0..n).collect();
+    for (i, slot) in run_indices(pool, items, &all, &f) {
+        slots[i] = Some(slot);
+    }
+    for _round in 1..attempts {
+        let failed: Vec<usize> = slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !matches!(s, Some(Slot::Done(_))))
+            .map(|(i, _)| i)
+            .collect();
+        if failed.is_empty() {
+            break;
+        }
+        stats.retries += failed.len() as u64;
+        for (i, slot) in run_indices(pool, items, &failed, &f) {
+            if matches!(slot, Slot::Done(_)) {
+                stats.recovered += 1;
+            }
+            slots[i] = Some(slot);
+        }
+        // An index never handed back (a worker died outside the guard)
+        // stays in its previous non-Done state and is retried again or
+        // reported as the panic it was.
+    }
+    let mut out = Vec::with_capacity(n);
+    for (index, slot) in slots.into_iter().enumerate() {
+        match slot {
+            Some(Slot::Done(r)) => out.push(r),
+            Some(Slot::Failed(error)) => return (Err(ParError::Task { index, error }), stats),
+            Some(Slot::Panicked) | None => return (Err(ParError::Panic { index }), stats),
+        }
+    }
+    (Ok(out), stats)
+}
+
 /// Maps `f` over `items` on a pool of [`ParConfig::threads`] workers,
 /// returning the results in item order.
 ///
@@ -343,5 +479,60 @@ mod tests {
         assert_eq!(ParConfig::new(0).threads(), 1);
         assert_eq!(ParConfig::single().threads(), 1);
         assert!(ParConfig::available().threads() >= 1);
+    }
+
+    #[test]
+    fn retry_recovers_first_attempt_panics() {
+        use std::sync::atomic::AtomicU32;
+        let items: Vec<usize> = (0..24).collect();
+        for threads in [1usize, 4] {
+            let tries: Vec<AtomicU32> = (0..24).map(|_| AtomicU32::new(0)).collect();
+            let (out, stats) = map_indexed_retry(&ParConfig::new(threads), &items, 3, |i, x| {
+                let attempt = tries[i].fetch_add(1, Ordering::Relaxed);
+                if *x == 7 && attempt == 0 {
+                    panic!("chaos");
+                }
+                if *x == 11 && attempt < 2 {
+                    return Err("flaky");
+                }
+                Ok(*x * 2)
+            });
+            let out = out.unwrap();
+            assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+            assert_eq!(stats.retries, 3, "threads={threads}"); // 7 once, 11 twice
+            assert_eq!(stats.recovered, 2, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn exhausted_retries_report_lowest_index_deterministically() {
+        let items: Vec<usize> = (0..32).collect();
+        for threads in [1usize, 4] {
+            let (out, stats) = map_indexed_retry(&ParConfig::new(threads), &items, 2, |_, x| {
+                if *x == 13 || *x == 21 {
+                    Err(format!("bad {x}"))
+                } else {
+                    Ok(*x)
+                }
+            });
+            assert_eq!(
+                out.unwrap_err(),
+                ParError::Task {
+                    index: 13,
+                    error: "bad 13".to_owned()
+                }
+            );
+            assert_eq!(stats.retries, 2); // two items, one retry round
+            assert_eq!(stats.recovered, 0);
+        }
+    }
+
+    #[test]
+    fn single_attempt_matches_map_indexed() {
+        let items: Vec<u64> = (0..10).collect();
+        let (out, stats) =
+            map_indexed_retry(&ParConfig::new(2), &items, 1, |_, x| Ok::<_, ()>(*x + 1));
+        assert_eq!(out.unwrap(), (1..=10).collect::<Vec<_>>());
+        assert_eq!(stats, RetryStats::default());
     }
 }

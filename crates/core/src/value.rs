@@ -137,6 +137,30 @@ impl Value {
         }
     }
 
+    /// The raw 64-bit encoding of the value — the representation used
+    /// by the compiled back-end's state slots and by simulator
+    /// snapshots: `Bool` → 0/1, `Bits` → the word, `Fixed` → the
+    /// mantissa bits, `Float` → the IEEE-754 bit pattern.
+    pub fn to_raw(&self) -> u64 {
+        match self {
+            Value::Bool(b) => *b as u64,
+            Value::Bits { bits, .. } => *bits,
+            Value::Fixed(f) => f.mantissa() as u64,
+            Value::Float(x) => x.to_bits(),
+        }
+    }
+
+    /// Rebuilds a value of type `ty` from its [`Value::to_raw`]
+    /// encoding.
+    pub fn from_raw(ty: SigType, raw: u64) -> Value {
+        match ty {
+            SigType::Bool => Value::Bool(raw != 0),
+            SigType::Bits(w) => Value::bits(w, mask(w, raw)),
+            SigType::Fixed(f) => Value::Fixed(Fix::from_raw(raw as i64, f)),
+            SigType::Float => Value::Float(f64::from_bits(raw)),
+        }
+    }
+
     /// Checks that this value matches `ty` exactly.
     pub fn check_type(&self, ty: SigType, context: &str) -> Result<(), CoreError> {
         if self.sig_type() == ty {

@@ -1,0 +1,332 @@
+//! Differential tests for simulator snapshot/restore: a run that is
+//! interrupted at cycle `k`, serialized, restored into a *fresh*
+//! simulator and continued to `k + n` must be bit-identical to an
+//! uninterrupted run — for every back-end and optimization level. Plus
+//! the typed-error contract for mismatched designs, back-end families
+//! and damaged byte streams.
+
+use ocapi::{
+    BatchedSim, CompiledSim, Component, CoreError, InterpSim, OptLevel, SigType, SimSnapshot,
+    Simulator, SnapshotBackend, System, Value,
+};
+
+/// The FSM-bearing accumulator from `sim_equivalence.rs`: accumulates
+/// `x` while running, freezes permanently on `stop`.
+fn accumulator() -> Component {
+    let c = Component::build("acc");
+    let x = c.input("x", SigType::Bits(8)).unwrap();
+    let stop = c.input("stop", SigType::Bool).unwrap();
+    let sum_out = c.output("sum", SigType::Bits(8)).unwrap();
+    let acc = c.reg("acc", SigType::Bits(8)).unwrap();
+
+    let add = c.sfg("add").unwrap();
+    let q = c.q(acc);
+    let next = &q + &c.read(x);
+    add.drive(sum_out, &q).unwrap();
+    add.next(acc, &next).unwrap();
+
+    let hold = c.sfg("hold").unwrap();
+    hold.drive(sum_out, &c.q(acc)).unwrap();
+
+    let stop_s = c.read(stop);
+    let f = c.fsm().unwrap();
+    let run = f.initial("run").unwrap();
+    let frozen = f.state("frozen").unwrap();
+    f.from(run).when(&stop_s).run(hold.id()).to(frozen).unwrap();
+    f.from(run).always().run(add.id()).to(run).unwrap();
+    f.from(frozen).always().run(hold.id()).to(frozen).unwrap();
+    c.finish().unwrap()
+}
+
+fn acc_system() -> System {
+    let mut sb = System::build("acc_sys");
+    let u = sb.add_component("u0", accumulator()).unwrap();
+    sb.input("x", SigType::Bits(8)).unwrap();
+    sb.input("stop", SigType::Bool).unwrap();
+    sb.connect_input("x", u, "x").unwrap();
+    sb.connect_input("stop", u, "stop").unwrap();
+    sb.output("sum", u, "sum").unwrap();
+    sb.finish().unwrap()
+}
+
+/// Deterministic stimulus for cycle `i` (0-based). Cycle 5 pulses
+/// `stop`, so runs longer than 6 cycles also cover the frozen state.
+fn stimulus(i: u64) -> (u64, bool) {
+    ((i * 37 + 11) % 256, i == 5)
+}
+
+fn drive_cycle(sim: &mut dyn Simulator, i: u64) -> Value {
+    let (x, stop) = stimulus(i);
+    sim.set_input("x", Value::bits(8, x)).unwrap();
+    sim.set_input("stop", Value::Bool(stop)).unwrap();
+    sim.step().unwrap();
+    sim.output("sum").unwrap()
+}
+
+/// Runs `total` cycles uninterrupted and returns every output.
+fn reference_outputs(sim: &mut dyn Simulator, total: u64) -> Vec<Value> {
+    (0..total).map(|i| drive_cycle(sim, i)).collect()
+}
+
+/// Interrupt at `k`, round-trip the snapshot through bytes, restore
+/// into `fresh`, continue to `total`; outputs must match the reference
+/// cycle for cycle.
+fn check_resume<S: SnapshotOps>(mut first: S, mut fresh: S, total: u64, k: u64) {
+    let mut reference = S::like(&first);
+    let expect = reference_outputs(reference.as_sim(), total);
+
+    for i in 0..k {
+        drive_cycle(first.as_sim(), i);
+    }
+    let snap = first.take_snapshot();
+    drop(first);
+
+    // Serialize / deserialize — a restore from disk, not from memory.
+    let bytes = snap.to_bytes();
+    let snap = SimSnapshot::from_bytes(&bytes).unwrap();
+    assert_eq!(snap.cycle(), k);
+
+    fresh.restore_snapshot(&snap).unwrap();
+    assert_eq!(fresh.as_sim().cycle(), k);
+    for i in k..total {
+        let got = drive_cycle(fresh.as_sim(), i);
+        assert_eq!(got, expect[i as usize], "divergence at cycle {i} (k={k})");
+    }
+}
+
+/// The little adapter the generic test needs: build another simulator
+/// of the same configuration, and snapshot/restore it.
+trait SnapshotOps: Sized {
+    fn like(other: &Self) -> Self;
+    fn take_snapshot(&self) -> SimSnapshot;
+    fn restore_snapshot(&mut self, snap: &SimSnapshot) -> Result<(), CoreError>;
+    fn as_sim(&mut self) -> &mut dyn Simulator;
+}
+
+impl SnapshotOps for InterpSim {
+    fn like(_: &Self) -> Self {
+        InterpSim::new(acc_system()).unwrap()
+    }
+    fn take_snapshot(&self) -> SimSnapshot {
+        self.snapshot()
+    }
+    fn restore_snapshot(&mut self, snap: &SimSnapshot) -> Result<(), CoreError> {
+        self.restore(snap)
+    }
+    fn as_sim(&mut self) -> &mut dyn Simulator {
+        self
+    }
+}
+
+struct CompiledAt(CompiledSim, OptLevel);
+
+impl SnapshotOps for CompiledAt {
+    fn like(other: &Self) -> Self {
+        CompiledAt(
+            CompiledSim::new_with(acc_system(), other.1).unwrap(),
+            other.1,
+        )
+    }
+    fn take_snapshot(&self) -> SimSnapshot {
+        self.0.snapshot()
+    }
+    fn restore_snapshot(&mut self, snap: &SimSnapshot) -> Result<(), CoreError> {
+        self.0.restore(snap)
+    }
+    fn as_sim(&mut self) -> &mut dyn Simulator {
+        &mut self.0
+    }
+}
+
+#[test]
+fn interp_snapshot_resumes_bit_identically() {
+    for k in [1, 4, 7] {
+        check_resume(
+            InterpSim::new(acc_system()).unwrap(),
+            InterpSim::new(acc_system()).unwrap(),
+            10,
+            k,
+        );
+    }
+}
+
+#[test]
+fn compiled_snapshot_resumes_at_every_opt_level() {
+    for level in [OptLevel::None, OptLevel::Basic, OptLevel::Full] {
+        for k in [1, 4, 7] {
+            check_resume(
+                CompiledAt(CompiledSim::new_with(acc_system(), level).unwrap(), level),
+                CompiledAt(CompiledSim::new_with(acc_system(), level).unwrap(), level),
+                10,
+                k,
+            );
+        }
+    }
+}
+
+/// A lane snapshot from a batched run restores into a *scalar*
+/// compiled simulator of the same build (and back): the Monte-Carlo
+/// escape hatch — pull one interesting lane out of a batch and replay
+/// it alone.
+#[test]
+fn batched_lane_snapshot_interops_with_scalar_compiled() {
+    const LANES: usize = 4;
+    const K: u64 = 6;
+    const TOTAL: u64 = 10;
+    let level = OptLevel::Full;
+
+    // Per-lane stimulus: lane l sees x offset by 3*l, same stop pulse.
+    let lane_x = |lane: usize, i: u64| (stimulus(i).0 + 3 * lane as u64) % 256;
+
+    let mut batch = BatchedSim::from_fn(LANES, || Ok(acc_system()), level).unwrap();
+    for i in 0..K {
+        for lane in 0..LANES {
+            batch
+                .set_input_lane(lane, "x", Value::bits(8, lane_x(lane, i)))
+                .unwrap();
+            batch
+                .set_input_lane(lane, "stop", Value::Bool(stimulus(i).1))
+                .unwrap();
+        }
+        batch.step().unwrap();
+    }
+    let snap = batch.snapshot_lane(2).unwrap();
+    let bytes = snap.to_bytes();
+    let snap = SimSnapshot::from_bytes(&bytes).unwrap();
+    assert_eq!(snap.backend(), SnapshotBackend::Compiled);
+
+    // Reference: lane 2's stimuli, scalar, uninterrupted.
+    let mut reference = CompiledSim::new_with(acc_system(), level).unwrap();
+    let mut expect = Vec::new();
+    for i in 0..TOTAL {
+        reference
+            .set_input("x", Value::bits(8, lane_x(2, i)))
+            .unwrap();
+        reference
+            .set_input("stop", Value::Bool(stimulus(i).1))
+            .unwrap();
+        reference.step().unwrap();
+        expect.push(reference.output("sum").unwrap());
+    }
+
+    // Scalar resume from the lane snapshot.
+    let mut scalar = CompiledSim::new_with(acc_system(), level).unwrap();
+    scalar.restore(&snap).unwrap();
+    assert_eq!(scalar.cycle(), K);
+    for i in K..TOTAL {
+        scalar.set_input("x", Value::bits(8, lane_x(2, i))).unwrap();
+        scalar
+            .set_input("stop", Value::Bool(stimulus(i).1))
+            .unwrap();
+        scalar.step().unwrap();
+        assert_eq!(
+            scalar.output("sum").unwrap(),
+            expect[i as usize],
+            "scalar resume diverged at cycle {i}"
+        );
+    }
+
+    // And back: the scalar snapshot revives a batch lane.
+    let back = scalar.snapshot();
+    let mut batch2 = BatchedSim::from_fn(LANES, || Ok(acc_system()), level).unwrap();
+    batch2.restore_lane(1, &back).unwrap();
+    assert_eq!(batch2.cycle(), TOTAL);
+}
+
+#[test]
+fn snapshot_bytes_and_json_roundtrip() {
+    let mut sim = InterpSim::new(acc_system()).unwrap();
+    for i in 0..3 {
+        drive_cycle(&mut sim, i);
+    }
+    let snap = sim.snapshot();
+    let bytes = snap.to_bytes();
+    let back = SimSnapshot::from_bytes(&bytes).unwrap();
+    assert_eq!(back.backend(), snap.backend());
+    assert_eq!(back.design_hash(), snap.design_hash());
+    assert_eq!(back.cycle(), snap.cycle());
+    for name in ["nets", "states", "regs"] {
+        assert_eq!(back.section(name), snap.section(name), "section {name}");
+    }
+    // Serialization is deterministic.
+    assert_eq!(back.to_bytes(), bytes);
+
+    let json = snap.to_json();
+    assert!(json.contains("\"backend\""));
+    assert!(json.contains("\"design_hash\""));
+    assert!(json.contains("\"cycle\":3"));
+    assert!(json.contains("\"sections\""));
+}
+
+#[test]
+fn snapshot_mismatch_is_a_typed_error() {
+    // Different optimization levels produce different tapes, so an
+    // opt-0 snapshot must not restore into an opt-2 simulator.
+    let mut at0 = CompiledSim::new_with(acc_system(), OptLevel::None).unwrap();
+    drive_cycle(&mut at0, 0);
+    let snap0 = at0.snapshot();
+    let mut at2 = CompiledSim::new_with(acc_system(), OptLevel::Full).unwrap();
+    assert!(matches!(
+        at2.restore(&snap0),
+        Err(CoreError::SnapshotMismatch { .. })
+    ));
+
+    // A different design is rejected the same way.
+    let mut other = System::build("other");
+    let u = other.add_component("u0", accumulator()).unwrap();
+    other.input("x", SigType::Bits(8)).unwrap();
+    other.input("stop", SigType::Bool).unwrap();
+    other.connect_input("x", u, "x").unwrap();
+    other.connect_input("stop", u, "stop").unwrap();
+    other.output("sum", u, "sum").unwrap();
+    let mut interp_other = InterpSim::new(other.finish().unwrap()).unwrap();
+    let interp_snap = InterpSim::new(acc_system()).unwrap().snapshot();
+    assert!(matches!(
+        interp_other.restore(&interp_snap),
+        Err(CoreError::SnapshotMismatch { .. })
+    ));
+
+    // Crossing back-end families is a format error, not a hash check.
+    let mut compiled = CompiledSim::new(acc_system()).unwrap();
+    assert!(matches!(
+        compiled.restore(&interp_snap),
+        Err(CoreError::SnapshotFormat { .. })
+    ));
+    let mut interp = InterpSim::new(acc_system()).unwrap();
+    assert!(matches!(
+        interp.restore(&snap0),
+        Err(CoreError::SnapshotFormat { .. })
+    ));
+}
+
+#[test]
+fn corrupted_snapshot_bytes_are_rejected() {
+    let sim = InterpSim::new(acc_system()).unwrap();
+    let bytes = sim.snapshot().to_bytes();
+
+    // Truncation.
+    assert!(matches!(
+        SimSnapshot::from_bytes(&bytes[..bytes.len() - 1]),
+        Err(CoreError::SnapshotFormat { .. })
+    ));
+    // Bad magic.
+    let mut bad = bytes.clone();
+    bad[0] ^= 0xff;
+    assert!(matches!(
+        SimSnapshot::from_bytes(&bad),
+        Err(CoreError::SnapshotFormat { .. })
+    ));
+    // A flipped payload byte trips the checksum.
+    let mut bad = bytes.clone();
+    let mid = bad.len() / 2;
+    bad[mid] ^= 0x01;
+    assert!(matches!(
+        SimSnapshot::from_bytes(&bad),
+        Err(CoreError::SnapshotFormat { .. })
+    ));
+    // Empty input.
+    assert!(matches!(
+        SimSnapshot::from_bytes(&[]),
+        Err(CoreError::SnapshotFormat { .. })
+    ));
+}

@@ -33,6 +33,17 @@ pub enum GateError {
         /// Index of the work item whose worker panicked.
         index: usize,
     },
+    /// A caller-supplied evaluation budget
+    /// ([`GateSim::set_eval_budget`]) ran out before the worklist
+    /// quiesced. Unlike [`GateError::Oscillation`] (the built-in
+    /// loop detector), this is a watchdog the harness chose — the
+    /// netlist may simply be larger than the budget allows.
+    BudgetExceeded {
+        /// Gate evaluations spent before the watchdog tripped.
+        evals: u64,
+        /// The configured budget.
+        budget: u64,
+    },
 }
 
 impl fmt::Display for GateError {
@@ -48,6 +59,13 @@ impl fmt::Display for GateError {
             }
             GateError::WorkerPanic { index } => {
                 write!(f, "sharded work item {index} panicked in a worker thread")
+            }
+            GateError::BudgetExceeded { evals, budget } => {
+                write!(
+                    f,
+                    "gate evaluation budget exceeded: {evals} evaluations \
+                     against a budget of {budget}"
+                )
             }
         }
     }
@@ -100,6 +118,9 @@ pub struct GateSim {
     sample_buf: Vec<(usize, bool)>,
     stats: GateSimStats,
     obs: Option<KernelObs>,
+    /// Caller-supplied watchdog on evaluations per settle; `None` uses
+    /// the built-in oscillation limit of 1024 evaluations per gate.
+    eval_budget: Option<u64>,
 }
 
 impl GateSim {
@@ -141,6 +162,7 @@ impl GateSim {
             sample_buf: Vec::new(),
             stats: GateSimStats::default(),
             obs: None,
+            eval_budget: None,
         };
         // Initial evaluation of all combinational gates.
         for gi in 0..n_gates {
@@ -153,6 +175,16 @@ impl GateSim {
     /// The simulated netlist.
     pub fn netlist(&self) -> &Netlist {
         &self.net
+    }
+
+    /// Caps the evaluations each [`GateSim::settle`] may spend before
+    /// failing with [`GateError::BudgetExceeded`] — a watchdog for
+    /// harnesses running untrusted netlists with a latency budget.
+    /// `None` restores the default: the built-in oscillation limit of
+    /// 1024 evaluations per gate, reported as
+    /// [`GateError::Oscillation`].
+    pub fn set_eval_budget(&mut self, budget: Option<u64>) {
+        self.eval_budget = budget;
     }
 
     /// Activity counters.
@@ -235,19 +267,23 @@ impl GateSim {
     ///
     /// # Errors
     ///
-    /// Returns [`GateError::Oscillation`] when the evaluation budget
-    /// (1024 evaluations per gate) is exhausted: a sensitised
-    /// combinational loop. The worklist is drained so the simulator is
-    /// left in a defined (if meaningless) state and can be reset by
-    /// re-driving its inputs.
+    /// Returns [`GateError::Oscillation`] when the built-in evaluation
+    /// limit (1024 evaluations per gate) is exhausted: a sensitised
+    /// combinational loop. With a caller-supplied watchdog
+    /// ([`GateSim::set_eval_budget`]) the tighter of the two limits
+    /// applies and a watchdog trip is reported as
+    /// [`GateError::BudgetExceeded`] instead. Either way the worklist
+    /// is drained so the simulator is left in a defined (if
+    /// meaningless) state and can be reset by re-driving its inputs.
     pub fn settle(&mut self) -> Result<(), GateError> {
         let mut guard = 0u64;
-        let limit = (self.net.gates.len() as u64 + 1) * 1024;
+        let osc_limit = (self.net.gates.len() as u64 + 1) * 1024;
+        let limit = self.eval_budget.map_or(osc_limit, |b| b.min(osc_limit));
         while let Some(Reverse(gi)) = self.worklist.pop() {
             self.dirty[gi as usize] = false;
             guard += 1;
             if guard >= limit {
-                return Err(self.oscillation(guard, gi));
+                return Err(self.quiesce_failure(guard, gi, limit < osc_limit));
             }
             let g = &self.net.gates[gi as usize];
             let ins: [bool; 3] = {
@@ -273,10 +309,12 @@ impl GateSim {
         Ok(())
     }
 
-    /// Builds the oscillation diagnostic: the gates still scheduled, in
-    /// deterministic (index-sorted, truncated) order, then drains the
-    /// worklist so the kernel stays usable.
-    fn oscillation(&mut self, evals: u64, current: u32) -> GateError {
+    /// Builds the failed-to-quiesce diagnostic — the gates still
+    /// scheduled, in deterministic (index-sorted, truncated) order —
+    /// then drains the worklist so the kernel stays usable. A watchdog
+    /// trip (`budgeted`) becomes [`GateError::BudgetExceeded`]; the
+    /// built-in limit becomes [`GateError::Oscillation`].
+    fn quiesce_failure(&mut self, evals: u64, current: u32, budgeted: bool) -> GateError {
         let mut pending: Vec<u32> = vec![current];
         pending.extend(self.worklist.iter().map(|Reverse(g)| *g));
         pending.sort_unstable();
@@ -291,6 +329,17 @@ impl GateSim {
             *d = false;
         }
         self.flush_obs();
+        if budgeted {
+            let budget = self.eval_budget.unwrap_or(evals);
+            if let Some(o) = &self.obs {
+                o.log.record(
+                    0,
+                    "budget",
+                    format!("{evals} evals against budget {budget}"),
+                );
+            }
+            return GateError::BudgetExceeded { evals, budget };
+        }
         if let Some(o) = &self.obs {
             o.log.record(
                 0,
@@ -455,6 +504,7 @@ mod tests {
             sample_buf: Vec::new(),
             stats: GateSimStats::default(),
             obs: None,
+            eval_budget: None,
             net: clean,
         };
         kernel.attach_obs(&reg);
@@ -481,6 +531,36 @@ mod tests {
             other => panic!("expected oscillation, got {other:?}"),
         }
         assert!(err.to_string().contains("did not settle"));
+    }
+
+    #[test]
+    fn eval_budget_trips_before_oscillation_limit() {
+        // A perfectly healthy adder, but with a watchdog too tight for
+        // its settle: the caller budget trips as BudgetExceeded, not as
+        // a (false) oscillation diagnosis.
+        let mut net = Netlist::new();
+        let a = net.input_bus("a", 8);
+        let b = net.input_bus("b", 8);
+        let cin = net.constant(false);
+        let (sum, _) = ripple_add(&mut net, &a, &b, cin);
+        net.output_bus("sum", sum);
+        let mut sim = GateSim::new(net).unwrap();
+        sim.set_eval_budget(Some(3));
+        let aw = sim.netlist().input_by_name("a").unwrap().to_vec();
+        sim.set_bus(&aw, 0xff);
+        let err = sim.settle().unwrap_err();
+        match err {
+            GateError::BudgetExceeded { evals, budget } => {
+                assert_eq!(budget, 3);
+                assert_eq!(evals, 3);
+            }
+            other => panic!("expected budget trip, got {other:?}"),
+        }
+        // The kernel survives the trip: the worklist was drained, so a
+        // further settle with the budget lifted succeeds (on the now
+        // meaningless state — recovery of *values* needs a rebuild).
+        sim.set_eval_budget(None);
+        sim.settle().unwrap();
     }
 
     #[test]

@@ -4,6 +4,16 @@
 
 use crate::gate::{GateKind, Netlist, WireId};
 
+/// The most significant (sign) bit of a bus. Buses in this crate are
+/// at least one bit wide — an empty bus is a construction bug, not a
+/// recoverable condition.
+pub fn msb(bus: &[WireId]) -> WireId {
+    match bus {
+        [.., sign] => *sign,
+        [] => unreachable!("synthesis buses are at least one bit wide"),
+    }
+}
+
 /// Balanced OR tree; empty input gives constant 0.
 pub fn or_tree(net: &mut Netlist, wires: &[WireId]) -> WireId {
     reduce(net, wires, GateKind::Or2, false)
@@ -59,7 +69,7 @@ pub fn mux_bus(net: &mut Netlist, sel: WireId, a: &[WireId], b: &[WireId]) -> Ve
 /// Sign-extends (or truncates) a two's-complement bus.
 pub fn sign_extend(bus: &[WireId], width: usize) -> Vec<WireId> {
     let mut out = bus.to_vec();
-    let sign = *bus.last().expect("non-empty bus");
+    let sign = msb(bus);
     out.resize(width, sign);
     out.truncate(width);
     out
@@ -97,7 +107,7 @@ pub fn shift_right(net: &mut Netlist, bus: &[WireId], n: usize) -> Vec<WireId> {
 /// Arithmetic right shift by a constant (sign fill).
 pub fn shift_right_arith(bus: &[WireId], n: usize) -> Vec<WireId> {
     let w = bus.len();
-    let sign = *bus.last().expect("non-empty bus");
+    let sign = msb(bus);
     (0..w)
         .map(|i| if i + n < w { bus[i + n] } else { sign })
         .collect()
@@ -267,12 +277,11 @@ pub fn multiply_csa(
         }
         addends = next;
     }
-    if addends.len() == 1 {
-        return addends.pop().expect("one addend");
+    match (addends.pop(), addends.pop()) {
+        (Some(b2), Some(a2)) => final_add(net, &a2, &b2),
+        (Some(only), None) => only,
+        (None, _) => unreachable!("the compression loop keeps at least one addend"),
     }
-    let b2 = addends.pop().expect("two addends");
-    let a2 = addends.pop().expect("two addends");
-    final_add(net, &a2, &b2)
 }
 
 /// Bitwise equality of two equal-width buses.
@@ -297,7 +306,7 @@ pub fn less_signed(net: &mut Netlist, a: &[WireId], b: &[WireId]) -> WireId {
     let ax = sign_extend(a, w);
     let bx = sign_extend(b, w);
     let (diff, _) = ripple_sub(net, &ax, &bx);
-    *diff.last().expect("non-empty")
+    msb(&diff)
 }
 
 #[cfg(test)]

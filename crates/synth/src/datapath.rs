@@ -18,7 +18,7 @@ use ocapi::{BinOp, Component, NodeKind, SigType, UnOp, Value};
 use ocapi_fixp::{Overflow, Rounding};
 
 use crate::bitops::{
-    and_tree, carry_select_add, const_bus, equal, less_signed, less_unsigned, multiply,
+    and_tree, carry_select_add, const_bus, equal, less_signed, less_unsigned, msb, multiply,
     multiply_csa, mux_bus, negate, or_tree, ripple_add, ripple_sub, shift_left, shift_right,
     shift_right_arith, sign_extend, zero_extend,
 };
@@ -197,14 +197,14 @@ impl<'a> Synth<'a> {
         for u in 0..self.units.len() {
             let members = std::mem::take(&mut self.units[u].members);
             let pins = self.units[u].pins.clone();
-            if members.is_empty() {
+            let Some(((_, last_ops), rest)) = members.split_last() else {
                 continue;
-            }
+            };
             for (pin_idx, pin) in pins.iter().enumerate() {
                 // Default: the last member's operand; earlier members take
                 // priority via their activity select.
-                let mut cur: Vec<WireId> = members.last().expect("non-empty").1[pin_idx].clone();
-                for (act, ops) in members[..members.len() - 1].iter().rev() {
+                let mut cur: Vec<WireId> = last_ops[pin_idx].clone();
+                for (act, ops) in rest.iter().rev() {
                     let s = self.sel_of(act);
                     cur = mux_bus(&mut self.net, s, &ops[pin_idx], &cur);
                 }
@@ -412,7 +412,7 @@ pub(crate) fn synthesize_component(
     }
 
     // Expand the datapath.
-    let mut out_bus: Vec<Option<Vec<WireId>>> = vec![None; comp.outputs.len()];
+    let mut out_bus: Vec<Vec<WireId>> = vec![Vec::new(); comp.outputs.len()];
     for (pi, p) in comp.outputs.iter().enumerate() {
         let drivers: Vec<(usize, usize)> = comp
             .sfgs
@@ -429,7 +429,7 @@ pub(crate) fn synthesize_component(
             // Undriven output: constant zeros.
             let w = width(p.ty);
             let z = synth.net.constant(false);
-            out_bus[pi] = Some(vec![z; w]);
+            out_bus[pi] = vec![z; w];
             continue;
         }
         let w = width(p.ty);
@@ -450,7 +450,7 @@ pub(crate) fn synthesize_component(
         for (b, h) in hold_h.iter().enumerate() {
             synth.net.connect_dff(*h, cur[b]);
         }
-        out_bus[pi] = Some(cur);
+        out_bus[pi] = cur;
     }
 
     // Register next values.
@@ -483,7 +483,7 @@ pub(crate) fn synthesize_component(
     // Output buses.
     let mut net = synth.net;
     for (pi, p) in comp.outputs.iter().enumerate() {
-        net.output_bus(&p.name, out_bus[pi].clone().expect("filled above"));
+        net.output_bus(&p.name, out_bus[pi].clone());
     }
 
     // Unit statistics.
@@ -602,7 +602,7 @@ fn expand_to_fixed(
         let sh = sh as usize;
         let ww = a.len() + sh + 1;
         let ext = sign_extend(a, ww);
-        let sign = *a.last().expect("non-empty");
+        let sign = msb(a);
         let t: Vec<WireId> = match rnd {
             Rounding::Truncate => ext,
             Rounding::Nearest => {
@@ -660,13 +660,13 @@ fn fit_width(net: &mut Netlist, bus: &[WireId], fmt: ocapi::Format, ovf: Overflo
         Overflow::Wrap => bus[..wl].to_vec(),
         Overflow::Saturate => {
             // Fits iff all bits above wl-1 equal bit wl-1.
-            let msb = bus[wl - 1];
+            let top = bus[wl - 1];
             let agree: Vec<WireId> = bus[wl..]
                 .iter()
-                .map(|b| net.gate(GateKind::Xnor2, &[*b, msb]))
+                .map(|b| net.gate(GateKind::Xnor2, &[*b, top]))
                 .collect();
             let fits = and_tree(net, &agree);
-            let sign = *bus.last().expect("non-empty");
+            let sign = msb(bus);
             let max_b = const_bus(net, fmt.max_mantissa() as u64, wl);
             let min_b = const_bus(net, fmt.min_mantissa() as u64, wl);
             let clamp = mux_bus(net, sign, &min_b, &max_b);

@@ -146,7 +146,10 @@ pub fn verilog_netlist(name: &str, net: &Netlist) -> String {
                 );
             }
             kind => {
-                let prim = verilog_primitive(kind).expect("combinational primitive");
+                // Dff is handled above; every other kind has a primitive.
+                let Some(prim) = verilog_primitive(kind) else {
+                    unreachable!("no Verilog primitive for {kind:?}");
+                };
                 let ins: Vec<String> = g.inputs.iter().map(|x| w(*x)).collect();
                 let _ = writeln!(s, "  {prim} g{gi} ({o}, {});", ins.join(", "));
             }

@@ -100,8 +100,11 @@ pub fn minimize(fsm: &Fsm) -> Minimized {
                         let taken = match t.guard {
                             None => true,
                             Some(g) => {
-                                let bit =
-                                    guard_ids.iter().position(|x| *x == g).expect("collected");
+                                // Every transition guard was collected
+                                // into `guard_ids` above.
+                                let Some(bit) = guard_ids.iter().position(|x| *x == g) else {
+                                    unreachable!("guard missing from the collected set");
+                                };
                                 (m >> bit) & 1 == 1
                             }
                         };
@@ -189,7 +192,10 @@ pub fn minimize(fsm: &Fsm) -> Minimized {
 
     let mut transitions = Vec::new();
     for c in 0..n_classes {
-        let rep = (0..n).find(|s| class_of[*s] == c).expect("non-empty");
+        // Class indices come from `class_of`, so each has a member.
+        let Some(rep) = (0..n).find(|s| class_of[*s] == c) else {
+            unreachable!("equivalence class {c} has no member state");
+        };
         for t in fsm.from_state(StateRef::from_index(rep)) {
             transitions.push(Transition {
                 from: StateRef::from_index(c),

@@ -128,7 +128,9 @@ pub fn minimize(n_inputs: u32, on_set: &[u32], dc_set: &[u32]) -> Vec<Cube> {
     // Greedy: repeatedly take the prime covering the most uncovered
     // minterms (ties: fewer literals).
     while !uncovered.is_empty() {
-        let best = primes
+        // Prime implicants cover the on-set by construction, so a
+        // non-empty `uncovered` always has a covering prime.
+        let Some(best) = primes
             .iter()
             .max_by_key(|p| {
                 (
@@ -137,7 +139,9 @@ pub fn minimize(n_inputs: u32, on_set: &[u32], dc_set: &[u32]) -> Vec<Cube> {
                 )
             })
             .copied()
-            .expect("primes cover the on-set");
+        else {
+            unreachable!("no prime implicant covers the remaining on-set");
+        };
         chosen.push(best);
         uncovered.retain(|m| !best.covers(*m));
     }

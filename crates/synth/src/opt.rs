@@ -382,8 +382,12 @@ fn sweep(net: &mut Netlist) -> bool {
         }
     }
     let before = net.gates.len();
-    let mut keep = live.into_iter();
-    net.gates.retain(|_| keep.next().expect("length matches"));
+    let mut gi = 0;
+    net.gates.retain(|_| {
+        let k = live[gi];
+        gi += 1;
+        k
+    });
     net.gates.len() != before
 }
 

@@ -113,7 +113,7 @@ pub fn histogram_table(c: &ComponentNetlist) -> String {
     rows.sort_by(|a, b| {
         let aa = a.0.area() * a.1 as f64;
         let bb = b.0.area() * b.1 as f64;
-        bb.partial_cmp(&aa).expect("finite areas")
+        bb.total_cmp(&aa)
     });
     let mut out = format!("{:<8} {:>8} {:>10}\n", "gate", "count", "area");
     for (k, n) in rows {
