@@ -1,0 +1,46 @@
+//! Word-plan diagnostics: how much of each design's compiled tape the
+//! bitsliced Bool fast path covers (DESIGN.md §12).
+//!
+//! For the DECT transceiver and the HCOR correlator at each tape-
+//! optimization level, prints the planner's block count and coverage
+//! plus the eligibility histogram — run lengths of word-eligible ops
+//! *after* the clustering scheduler. A large eligible count with every
+//! run below the planner's minimum means the scheduler (not the
+//! classifier) limits coverage.
+//!
+//! `cargo run --release -p ocapi-bench --example wordprobe`
+
+use ocapi::{BatchedSim, OptLevel};
+use ocapi_designs::dect::transceiver::{build_system, TransceiverConfig};
+use ocapi_designs::hcor;
+
+fn probe(label: &str, sim: &BatchedSim) {
+    let (eligible, total, hist) = sim.word_eligibility();
+    println!(
+        "{label:<12} blocks={:<3} coverage={:<4} eligible={eligible}/{total} runs={hist:?}",
+        sim.word_blocks(),
+        sim.word_tape_coverage()
+    );
+}
+
+fn main() -> Result<(), ocapi::CoreError> {
+    for level in [OptLevel::None, OptLevel::Basic, OptLevel::Full] {
+        let sys = build_system(&TransceiverConfig {
+            train: true,
+            agc: false,
+            adapt: true,
+        })?;
+        probe(
+            &format!("dect {level:?}"),
+            &BatchedSim::new_with(vec![sys], level)?,
+        );
+    }
+    for level in [OptLevel::None, OptLevel::Full] {
+        let sys = hcor::build_system()?;
+        probe(
+            &format!("hcor {level:?}"),
+            &BatchedSim::new_with(vec![sys], level)?,
+        );
+    }
+    Ok(())
+}

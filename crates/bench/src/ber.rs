@@ -13,8 +13,8 @@
 
 use ocapi::sim::par::{map_indexed, ParConfig, ParError};
 use ocapi::{
-    apply_plan_lane, BatchedSim, CoreError, FaultPlan, FaultySim, InterpSim, OptLevel, SigType,
-    Value,
+    apply_plan_lane, BatchObs, BatchedSim, CoreError, FaultPlan, FaultySim, InterpSim, OptLevel,
+    SigType, Value,
 };
 use ocapi_designs::dect::burst::{generate, Burst, BurstConfig};
 use ocapi_designs::dect::transceiver::{
@@ -320,6 +320,7 @@ fn run_bursts_batched(
 /// burst indices), one per lane, through one shared tape walk per
 /// cycle. `fault_rate` of `None` runs fault-free; `Some(rate)` builds
 /// one independent plan per burst, seeded on the global index.
+#[allow(clippy::too_many_arguments)]
 fn batched_chunk(
     cfg: &TransceiverConfig,
     channel: &[f64],
@@ -327,6 +328,7 @@ fn batched_chunk(
     fault_rate: Option<f64>,
     payload_len: usize,
     level: OptLevel,
+    obs: Option<&ocapi_obs::Registry>,
     seeds: &[usize],
 ) -> Result<Vec<BerCount>, CoreError> {
     let bursts: Vec<Burst> = seeds
@@ -354,6 +356,9 @@ fn batched_chunk(
         systems.push(sys);
     }
     let mut sim = BatchedSim::new_with(systems, level)?;
+    if let Some(reg) = obs {
+        sim.attach_obs(BatchObs::new(reg));
+    }
     let outcomes = run_bursts_batched(&mut sim, &bursts, &plans)?;
     Ok(bursts
         .iter()
@@ -403,7 +408,18 @@ pub fn measure_batched(
         lanes.max(1),
         BerCount::encode,
         BerCount::decode,
-        |seeds| batched_chunk(&cfg, channel, noise, None, payload_len, level, seeds),
+        |seeds| {
+            batched_chunk(
+                &cfg,
+                channel,
+                noise,
+                None,
+                payload_len,
+                level,
+                rb.obs,
+                seeds,
+            )
+        },
     )?;
     Ok(sum(parts))
 }
@@ -452,7 +468,18 @@ pub fn measure_with_faults_batched(
         lanes.max(1),
         BerCount::encode,
         BerCount::decode,
-        |seeds| batched_chunk(&cfg, channel, noise, Some(rate), payload_len, level, seeds),
+        |seeds| {
+            batched_chunk(
+                &cfg,
+                channel,
+                noise,
+                Some(rate),
+                payload_len,
+                level,
+                rb.obs,
+                seeds,
+            )
+        },
     )?;
     Ok(sum(parts))
 }

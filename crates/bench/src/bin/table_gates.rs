@@ -353,6 +353,66 @@ fn run(args: &BenchArgs) -> Result<(), BenchError> {
         assert_eq!(merged, 0, "{label} unexpectedly reducible");
     }
     drop(t_abl);
+
+    // Fault-simulation engine comparison on the HCOR netlist: the
+    // word-packed parallel-pattern grader (63 fault machines per u64,
+    // golden machine in bit 0) against the one-fault-at-a-time scalar
+    // reference, on the same LFSR patterns. Classification must be
+    // identical; the packed engine must advance at least 32x more fault
+    // machines per gate evaluation — the structural advantage CI gates
+    // on via `fault_eval_ratio` in this bin's perf JSON.
+    use ocapi_gatesim::{bist, fault};
+    let hcor_net = synthesize(&hcor_comp, &SynthOptions::default())?;
+    let patterns = if args.quick { 32 } else { 128 };
+    let stim = bist::lfsr_stimulus(&hcor_net.netlist, patterns, 0xace1);
+    let t_fault = root.child("fault_engines").timer();
+    let (packed, t_packed) =
+        timed(|| fault::stuck_at_coverage_sharded_stats(&hcor_net.netlist, &stim, &pool));
+    let (packed, packed_stats) = packed?;
+    let (scalar, t_scalar) = timed(|| fault::stuck_at_coverage_scalar(&hcor_net.netlist, &stim));
+    let (scalar, scalar_stats) = scalar?;
+    drop(t_fault);
+    assert_eq!(packed.detected, scalar.detected, "fault engines disagree");
+    assert_eq!(
+        packed.undetected, scalar.undetected,
+        "fault engines disagree"
+    );
+    let ratio =
+        packed_stats.faults_per_gate_eval() / scalar_stats.faults_per_gate_eval().max(1e-12);
+    println!(
+        "\nfault-simulation engines on hcor ({} faults, {} LFSR patterns, identical reports):",
+        packed.total, patterns
+    );
+    println!(
+        "  packed (63/word) {:>8.3} s   {:>6.2} faults/gate-eval",
+        t_packed,
+        packed_stats.faults_per_gate_eval()
+    );
+    println!(
+        "  scalar           {:>8.3} s   {:>6.2} faults/gate-eval   (packed advantage {ratio:.1}x)",
+        t_scalar,
+        scalar_stats.faults_per_gate_eval()
+    );
+    assert!(
+        ratio >= 32.0,
+        "packed grader advanced only {ratio:.1}x more faults per gate eval (need >= 32x)"
+    );
+    rep.result_u64("fault_total", packed.total as u64);
+    rep.result_u64("fault_detected", packed.detected as u64);
+    rep.perf_u64("fault_packed_gate_evals", packed_stats.gate_evals);
+    rep.perf_u64("fault_scalar_gate_evals", scalar_stats.gate_evals);
+    rep.perf_f64(
+        "fault_packed_faults_per_gate_eval",
+        packed_stats.faults_per_gate_eval(),
+    );
+    rep.perf_f64(
+        "fault_scalar_faults_per_gate_eval",
+        scalar_stats.faults_per_gate_eval(),
+    );
+    rep.perf_f64("fault_eval_ratio", ratio);
+    rep.perf_f64("fault_packed_secs", t_packed);
+    rep.perf_f64("fault_scalar_secs", t_scalar);
+
     rep.write(args)?;
     write_profile(args, &obs)?;
     Ok(())

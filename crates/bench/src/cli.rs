@@ -35,6 +35,33 @@
 
 use ocapi::{OptLevel, ParConfig};
 
+/// Which stuck-at grading engine `--fault-engine` selects.
+///
+/// Both engines share one fault universe (`gatesim::enumerate_faults`)
+/// and classify identically — the CI determinism job byte-diffs their
+/// `--json` output — but the packed engine advances up to 63 fault
+/// machines per gate evaluation, while the scalar engine re-simulates
+/// the netlist once per fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultEngine {
+    /// Word-parallel grading: 63 fault machines + the good machine
+    /// packed per `u64` (the default).
+    #[default]
+    Packed,
+    /// One faulty netlist re-simulation per fault (the reference).
+    Scalar,
+}
+
+impl FaultEngine {
+    /// The `--fault-engine` spelling of this engine.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultEngine::Packed => "packed",
+            FaultEngine::Scalar => "scalar",
+        }
+    }
+}
+
 /// Parsed benchmark options, shared by all five bins.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BenchArgs {
@@ -65,6 +92,8 @@ pub struct BenchArgs {
     /// re-run with their original index-derived seeds, so recovery is
     /// bit-identical to a first-try success.
     pub retries: u32,
+    /// Stuck-at grading engine (`--fault-engine packed|scalar`).
+    pub fault_engine: FaultEngine,
 }
 
 impl BenchArgs {
@@ -83,6 +112,7 @@ impl BenchArgs {
             checkpoint_every: 64,
             resume: false,
             retries: 1,
+            fault_engine: FaultEngine::default(),
         }
     }
 
@@ -106,6 +136,7 @@ pub fn usage(bin: &str) -> String {
     format!(
         "usage: {bin} [--threads N] [--lanes N] [--quick] [--opt N] [--json PATH] [--perf-json PATH] [--profile-json PATH]\n\
          \x20      [--checkpoint DIR] [--checkpoint-every N] [--resume] [--retries N]\n\
+         \x20      [--fault-engine packed|scalar]\n\
          \n\
          \x20 -t, --threads N    worker threads for the sharded engines (default 1;\n\
          \x20                    results are bit-identical for every N)\n\
@@ -136,6 +167,11 @@ pub fn usage(bin: &str) -> String {
          \x20     --retries N    attempts per sharded work item (default 1);\n\
          \x20                    retried items rerun with their original seeds,\n\
          \x20                    so recovery is bit-identical\n\
+         \x20     --fault-engine packed|scalar\n\
+         \x20                    stuck-at grading engine (default packed: 63\n\
+         \x20                    fault machines per u64 word; scalar re-runs the\n\
+         \x20                    netlist once per fault). Classification is\n\
+         \x20                    byte-identical either way\n\
          \x20 -h, --help         show this message"
     )
 }
@@ -211,6 +247,14 @@ pub fn parse_arg_list(bin: &str, args: &[String]) -> Result<BenchArgs, String> {
             _ if arg.starts_with("--retries=") => {
                 out.retries = parse_at_least_one("--retries", &arg["--retries=".len()..])? as u32;
             }
+            "--fault-engine" => {
+                let v = it.next().ok_or_else(|| format!("{arg} requires a value"))?;
+                out.fault_engine = parse_fault_engine(arg, v)?;
+            }
+            _ if arg.starts_with("--fault-engine=") => {
+                out.fault_engine =
+                    parse_fault_engine("--fault-engine", &arg["--fault-engine=".len()..])?;
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -235,6 +279,15 @@ fn parse_opt_level(flag: &str, v: &str) -> Result<u8, String> {
     match v.parse::<u8>() {
         Ok(n @ 0..=2) => Ok(n),
         _ => Err(format!("{flag} expects 0, 1 or 2, got `{v}`")),
+    }
+}
+
+/// Parses a `--fault-engine` selector.
+fn parse_fault_engine(flag: &str, v: &str) -> Result<FaultEngine, String> {
+    match v {
+        "packed" => Ok(FaultEngine::Packed),
+        "scalar" => Ok(FaultEngine::Scalar),
+        _ => Err(format!("{flag} expects `packed` or `scalar`, got `{v}`")),
     }
 }
 

@@ -31,6 +31,21 @@
 //! `batch` integration suite asserts every output and every `peek_net`
 //! value matches lane-for-lane at every optimization level.
 //!
+//! **Word-parallel fast path** (DESIGN.md §12): at build time the tape
+//! is split into *segments*. Runs of ≥ [`MIN_WORD_RUN`] consecutive
+//! micro-ops whose operands and destination are all `Bool` slots are
+//! lowered to packed `u64` word operations — the Bool lanes are
+//! *bitsliced* (lane `l` in bit `l % 64` of word `l / 64`), so one
+//! `AND`/`OR`/`XOR`/`MUX` word op advances up to 64 lanes at once.
+//! Bool comparisons lower to their bitwise identities (`==` → XNOR,
+//! `<` → `!a & b`, …). Everything else — multi-bit `Bits` arithmetic,
+//! fixed-point, float, `Drive`/`Fire` — stays on the scalar per-lane
+//! loop, whose all-alive arm streams 8-wide unrolled stripes instead.
+//! The word path runs only while *no lane is masked*; as soon as any
+//! lane dies, every word segment falls back to the identical scalar
+//! micro-ops, so masked-lane freezing semantics are unchanged and
+//! results stay byte-identical either way.
+//!
 //! **Seeding contract** (composes with the `sim::par` sharding model,
 //! DESIGN.md §7): batching never introduces randomness of its own. A
 //! driver that batches work items over lanes must derive each item's
@@ -45,8 +60,8 @@
 
 use crate::sim::budget::Budget;
 use crate::sim::compiled::{
-    build_program, decode, encode, init_regs, init_states, make_trace, CompiledTransition, Micro,
-    Program,
+    build_program, decode, encode, init_regs, init_states, make_trace, Cmp, CompiledTransition,
+    Micro, Program,
 };
 use crate::sim::obs::BatchObs;
 use crate::sim::opt::{OptLevel, OptStats};
@@ -54,7 +69,7 @@ use crate::sim::snapshot::{SimSnapshot, SnapshotBackend};
 use crate::sim::Simulator;
 use crate::system::System;
 use crate::trace::Trace;
-use crate::value::Value;
+use crate::value::{SigType, Value};
 use crate::CoreError;
 
 /// The lane-batched tape executor. See the [module docs](self).
@@ -93,6 +108,10 @@ pub struct BatchedSim {
     obs: Option<BatchObs>,
     budget: Budget,
     design_hash: u64,
+    /// Build-time bitslicing plan over both tapes (see module docs).
+    plan: WordPlan,
+    /// Packed scratch: the widest block's `locals` × `ceil(lanes/64)`.
+    word_scratch: Vec<u64>,
 }
 
 impl std::fmt::Debug for BatchedSim {
@@ -150,6 +169,447 @@ fn shape_diff(a: &System, b: &System, lane: usize) -> Option<String> {
     None
 }
 
+/// Minimum run of consecutive word-eligible micro-ops worth bitslicing:
+/// below this the gather/scatter transposition costs more than the
+/// scalar lane loop it replaces.
+const MIN_WORD_RUN: usize = 4;
+
+/// A packed word operation over block-local scratch stripes.
+///
+/// Operands are *local* stripe indices interned at plan time; every
+/// stripe is `ceil(lanes/64)` words holding one Bool slot bitsliced
+/// across the lane dimension (lane `l` lives in bit `l % 64` of word
+/// `l / 64`). Bits beyond the last lane in the tail word are garbage
+/// after `Not`/`Xnor`/`OrN` — harmless, because scatter only extracts
+/// lane bits and every op is bitwise (bit `k` of the result depends
+/// only on bit `k` of the operands).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WordOp {
+    /// `d = a & b`
+    And { d: u32, a: u32, b: u32 },
+    /// `d = a | b`
+    Or { d: u32, a: u32, b: u32 },
+    /// `d = a ^ b` — also Bool `!=`.
+    Xor { d: u32, a: u32, b: u32 },
+    /// `d = !(a ^ b)` — Bool `==`.
+    Xnor { d: u32, a: u32, b: u32 },
+    /// `d = !a & b` — Bool `<` (and `>` with swapped operands).
+    AndN { d: u32, a: u32, b: u32 },
+    /// `d = !a | b` — Bool `<=` (and `>=` with swapped operands).
+    OrN { d: u32, a: u32, b: u32 },
+    /// `d = !a`
+    Not { d: u32, a: u32 },
+    /// `d = a`
+    Copy { d: u32, a: u32 },
+    /// `d = (c & t) | (!c & e)` — lanewise select.
+    Mux { d: u32, c: u32, t: u32, e: u32 },
+}
+
+/// One bitsliced run of a tape.
+#[derive(Debug, Clone)]
+struct WordBlock {
+    /// The instruction range `instrs[start..end]` this block replaces —
+    /// the masked-lane fallback re-runs exactly these scalar micro-ops.
+    start: usize,
+    end: usize,
+    /// `(slot, local)`: stripes packed from the slot vector up front
+    /// (slots read before any in-block write).
+    gather: Vec<(u32, u32)>,
+    /// `(slot, local)`: stripes unpacked back into the slot vector
+    /// afterwards (every slot the block writes).
+    scatter: Vec<(u32, u32)>,
+    ops: Vec<WordOp>,
+    /// Scratch stripes the block needs.
+    locals: u32,
+}
+
+/// One region of a planned tape: a scalar instruction range, or an
+/// index into [`WordPlan::blocks`].
+#[derive(Debug, Clone, Copy)]
+enum Segment {
+    Scalar { start: usize, end: usize },
+    Word(u32),
+}
+
+/// Build-time plan splitting both tapes into scalar and word segments.
+#[derive(Debug, Clone, Default)]
+struct WordPlan {
+    pre: Vec<Segment>,
+    tape: Vec<Segment>,
+    blocks: Vec<WordBlock>,
+}
+
+/// The word lowering of one micro-op — with *global* slot operands —
+/// when every operand and the destination is a `Bool` slot (always
+/// stored 0/1) and the op has a lanewise bitwise identity. Multi-bit
+/// `Bits`, fixed-point and float ops return `None`: their lanes carry
+/// full words that do not bitslice (DESIGN.md §12).
+fn word_op(m: &Micro, ty: &[SigType]) -> Option<WordOp> {
+    let is_bool = |s: &u32| matches!(ty.get(*s as usize), Some(SigType::Bool));
+    match m {
+        Micro::AndU { dst, a, b } if is_bool(dst) && is_bool(a) && is_bool(b) => {
+            Some(WordOp::And {
+                d: *dst,
+                a: *a,
+                b: *b,
+            })
+        }
+        Micro::OrU { dst, a, b } if is_bool(dst) && is_bool(a) && is_bool(b) => Some(WordOp::Or {
+            d: *dst,
+            a: *a,
+            b: *b,
+        }),
+        Micro::XorU { dst, a, b } if is_bool(dst) && is_bool(a) && is_bool(b) => {
+            Some(WordOp::Xor {
+                d: *dst,
+                a: *a,
+                b: *b,
+            })
+        }
+        Micro::NotU { dst, a, mask } if *mask == 1 && is_bool(dst) && is_bool(a) => {
+            Some(WordOp::Not { d: *dst, a: *a })
+        }
+        Micro::Copy { dst, src } if is_bool(dst) && is_bool(src) => {
+            Some(WordOp::Copy { d: *dst, a: *src })
+        }
+        // A Bool slot already holds 0/1, so `!= 0` and `& 1` are the
+        // identity on the packed bit.
+        Micro::NonZero { dst, a } if is_bool(dst) && is_bool(a) => {
+            Some(WordOp::Copy { d: *dst, a: *a })
+        }
+        Micro::MaskTo { dst, a, mask } if *mask == 1 && is_bool(dst) && is_bool(a) => {
+            Some(WordOp::Copy { d: *dst, a: *a })
+        }
+        Micro::SelectU { dst, c, t, e }
+            if is_bool(dst) && is_bool(c) && is_bool(t) && is_bool(e) =>
+        {
+            Some(WordOp::Mux {
+                d: *dst,
+                c: *c,
+                t: *t,
+                e: *e,
+            })
+        }
+        Micro::CmpU { dst, a, b, kind } if is_bool(dst) && is_bool(a) && is_bool(b) => {
+            let (d, a, b) = (*dst, *a, *b);
+            Some(match kind {
+                Cmp::Eq => WordOp::Xnor { d, a, b },
+                Cmp::Ne => WordOp::Xor { d, a, b },
+                Cmp::Lt => WordOp::AndN { d, a, b },
+                Cmp::Gt => WordOp::AndN { d, a: b, b: a },
+                Cmp::Le => WordOp::OrN { d, a, b },
+                Cmp::Ge => WordOp::OrN { d, a: b, b: a },
+            })
+        }
+        _ => None,
+    }
+}
+
+/// The slot read-set (up to three slots) and destination of one pure
+/// micro-op, or `None` for ops with non-slot effects — [`Micro::Drive`]
+/// resolves nets against instance activity and [`Micro::Fire`] advances
+/// untimed-block state — which act as scheduling barriers nothing may
+/// move across. `RegRead` is pure within a tape pass: registers only
+/// change at the end of [`BatchedSim::step`], never mid-tape.
+fn micro_rw(m: &Micro) -> Option<([u32; 3], usize, u32)> {
+    use Micro as M;
+    Some(match m {
+        M::Copy { dst, src } => ([*src, 0, 0], 1, *dst),
+        M::RegRead { dst, .. } => ([0; 3], 0, *dst),
+        M::AddB { dst, a, b, .. }
+        | M::SubB { dst, a, b, .. }
+        | M::MulB { dst, a, b, .. }
+        | M::AndU { dst, a, b }
+        | M::OrU { dst, a, b }
+        | M::XorU { dst, a, b }
+        | M::CmpU { dst, a, b, .. }
+        | M::AddF { dst, a, b, .. }
+        | M::SubF { dst, a, b, .. }
+        | M::MulF { dst, a, b }
+        | M::CmpF { dst, a, b, .. }
+        | M::AddFl { dst, a, b }
+        | M::SubFl { dst, a, b }
+        | M::MulFl { dst, a, b }
+        | M::CmpFl { dst, a, b, .. } => ([*a, *b, 0], 2, *dst),
+        M::NotU { dst, a, .. }
+        | M::NegB { dst, a, .. }
+        | M::ShlB { dst, a, .. }
+        | M::ShrB { dst, a, .. }
+        | M::ShrMask { dst, a, .. }
+        | M::NegF { dst, a }
+        | M::CastF { dst, a, .. }
+        | M::FloatToFix { dst, a, .. }
+        | M::NegFl { dst, a }
+        | M::MaskTo { dst, a, .. }
+        | M::NonZero { dst, a }
+        | M::NonZeroFloat { dst, a }
+        | M::ToFloatBits { dst, a }
+        | M::ToFloatFix { dst, a, .. } => ([*a, 0, 0], 1, *dst),
+        M::SelectU { dst, c, t, e } => ([*c, *t, *e], 3, *dst),
+        M::Drive { .. } | M::Fire { .. } => return None,
+    })
+}
+
+/// Whether swapping adjacent ops `(prev, op)` changes the computation:
+/// true when `op` reads what `prev` writes, writes what `prev` reads,
+/// or both write the same slot.
+fn rw_conflict(r: &[u32], d: u32, pr: &[u32], pd: u32) -> bool {
+    d == pd || pr.contains(&d) || r.contains(&pd)
+}
+
+/// Clusters word-eligible ops into contiguous runs by hoisting each one
+/// leftwards past independent scalar ops until it joins the previous
+/// eligible op (or hits a dependency or a barrier). Compiled tapes emit
+/// in dependency order, which interleaves the sparse Bool ops with the
+/// Bits/fixed-point work between them — on the DECT transceiver every
+/// eligible op sits in a run of length one, so without this pass the
+/// planner never reaches [`MIN_WORD_RUN`]. Each hoist is a chain of
+/// adjacent swaps, each individually checked side-effect-free, so the
+/// reordered tape computes exactly what the original did; relative
+/// order *within* the eligible ops and *within* the scalar ops is
+/// preserved. Runs after the design hash is taken, so snapshots stay
+/// compatible with the unscheduled program.
+fn schedule_word_runs(tape: &mut Vec<Micro>, ty: &[SigType]) {
+    let mut out: Vec<Micro> = Vec::with_capacity(tape.len());
+    for m in tape.drain(..) {
+        if word_op(&m, ty).is_some() {
+            if let Some((r, rn, d)) = micro_rw(&m) {
+                let r = &r[..rn];
+                let mut pos = out.len();
+                while pos > 0 {
+                    let prev = &out[pos - 1];
+                    if word_op(prev, ty).is_some() {
+                        break;
+                    }
+                    match micro_rw(prev) {
+                        Some((pr, prn, pd)) if !rw_conflict(r, d, &pr[..prn], pd) => pos -= 1,
+                        _ => break,
+                    }
+                }
+                out.insert(pos, m);
+                continue;
+            }
+        }
+        out.push(m);
+    }
+    *tape = out;
+}
+
+/// Interns global slots to block-local stripe indices while recording
+/// which stripes must be gathered (read before any in-block write) and
+/// scattered (written at all). Linear scans: blocks are short tape runs.
+#[derive(Default)]
+struct Interner {
+    map: Vec<(u32, u32)>,
+    gather: Vec<(u32, u32)>,
+    scatter: Vec<(u32, u32)>,
+}
+
+impl Interner {
+    fn local(&mut self, g: u32) -> (u32, bool) {
+        if let Some((_, l)) = self.map.iter().find(|(gg, _)| *gg == g) {
+            (*l, false)
+        } else {
+            let l = self.map.len() as u32;
+            self.map.push((g, l));
+            (l, true)
+        }
+    }
+
+    /// A slot read by an op. First-touch-as-source means the value must
+    /// come from the slot vector — record a gather.
+    fn src(&mut self, g: u32) -> u32 {
+        let (l, fresh) = self.local(g);
+        if fresh {
+            self.gather.push((g, l));
+        }
+        l
+    }
+
+    /// A slot written by an op: scattered back once, at first write.
+    fn dst(&mut self, g: u32) -> u32 {
+        let (l, _) = self.local(g);
+        if !self.scatter.iter().any(|(gg, _)| *gg == g) {
+            self.scatter.push((g, l));
+        }
+        l
+    }
+}
+
+/// Finalizes one run of word ops into a [`WordBlock`]: sources are
+/// interned before destinations per op, so an op that reads and writes
+/// the same slot still gathers the pre-op value.
+fn build_word_block(start: usize, end: usize, ops: &[WordOp]) -> WordBlock {
+    let mut it = Interner::default();
+    let ops = ops
+        .iter()
+        .map(|op| match *op {
+            WordOp::And { d, a, b } => {
+                let (a, b) = (it.src(a), it.src(b));
+                WordOp::And { d: it.dst(d), a, b }
+            }
+            WordOp::Or { d, a, b } => {
+                let (a, b) = (it.src(a), it.src(b));
+                WordOp::Or { d: it.dst(d), a, b }
+            }
+            WordOp::Xor { d, a, b } => {
+                let (a, b) = (it.src(a), it.src(b));
+                WordOp::Xor { d: it.dst(d), a, b }
+            }
+            WordOp::Xnor { d, a, b } => {
+                let (a, b) = (it.src(a), it.src(b));
+                WordOp::Xnor { d: it.dst(d), a, b }
+            }
+            WordOp::AndN { d, a, b } => {
+                let (a, b) = (it.src(a), it.src(b));
+                WordOp::AndN { d: it.dst(d), a, b }
+            }
+            WordOp::OrN { d, a, b } => {
+                let (a, b) = (it.src(a), it.src(b));
+                WordOp::OrN { d: it.dst(d), a, b }
+            }
+            WordOp::Not { d, a } => {
+                let a = it.src(a);
+                WordOp::Not { d: it.dst(d), a }
+            }
+            WordOp::Copy { d, a } => {
+                let a = it.src(a);
+                WordOp::Copy { d: it.dst(d), a }
+            }
+            WordOp::Mux { d, c, t, e } => {
+                let (c, t, e) = (it.src(c), it.src(t), it.src(e));
+                WordOp::Mux {
+                    d: it.dst(d),
+                    c,
+                    t,
+                    e,
+                }
+            }
+        })
+        .collect();
+    WordBlock {
+        start,
+        end,
+        gather: it.gather,
+        scatter: it.scatter,
+        ops,
+        locals: it.map.len() as u32,
+    }
+}
+
+/// Splits one tape into scalar segments and word blocks: maximal runs
+/// of word-eligible micro-ops of length ≥ [`MIN_WORD_RUN`] become
+/// blocks, everything else stays scalar.
+fn plan_tape(instrs: &[Micro], ty: &[SigType], blocks: &mut Vec<WordBlock>) -> Vec<Segment> {
+    let mut segs = Vec::new();
+    let mut scalar_start = 0usize;
+    let mut i = 0usize;
+    while i < instrs.len() {
+        let mut ops = Vec::new();
+        let mut j = i;
+        while j < instrs.len() {
+            match word_op(&instrs[j], ty) {
+                Some(op) => {
+                    ops.push(op);
+                    j += 1;
+                }
+                None => break,
+            }
+        }
+        if ops.len() >= MIN_WORD_RUN {
+            if scalar_start < i {
+                segs.push(Segment::Scalar {
+                    start: scalar_start,
+                    end: i,
+                });
+            }
+            blocks.push(build_word_block(i, j, &ops));
+            segs.push(Segment::Word((blocks.len() - 1) as u32));
+            scalar_start = j;
+        }
+        // `instrs[j]` is ineligible (or past the end): the next run can
+        // only start after it.
+        i = j + 1;
+    }
+    if scalar_start < instrs.len() {
+        segs.push(Segment::Scalar {
+            start: scalar_start,
+            end: instrs.len(),
+        });
+    }
+    segs
+}
+
+fn build_word_plan(prog: &Program) -> WordPlan {
+    let mut blocks = Vec::new();
+    let pre = plan_tape(&prog.pre_tape, &prog.slot_ty, &mut blocks);
+    let tape = plan_tape(&prog.tape, &prog.slot_ty, &mut blocks);
+    WordPlan { pre, tape, blocks }
+}
+
+/// Executes one bitsliced block over the full (all-alive) batch:
+/// transposes the gathered Bool stripes into packed words, runs the
+/// word ops, transposes the written stripes back out. Returns the
+/// number of packed word operations performed.
+fn exec_word_block(blk: &WordBlock, s: &mut [u64], scratch: &mut [u64], lanes: usize) -> u64 {
+    let words = lanes.div_ceil(64);
+    for (slot, local) in &blk.gather {
+        let base = *slot as usize * lanes;
+        let out = *local as usize * words;
+        for w in 0..words {
+            let l0 = w * 64;
+            let n = (lanes - l0).min(64);
+            let mut packed = 0u64;
+            for k in 0..n {
+                packed |= (s[base + l0 + k] & 1) << k;
+            }
+            scratch[out + w] = packed;
+        }
+    }
+    // `wloop!(d, |w| ..)` — one packed op across the stripe's words.
+    macro_rules! wloop {
+        ($d:expr, |$w:ident| $val:expr) => {{
+            let d = *$d as usize * words;
+            for $w in 0..words {
+                scratch[d + $w] = $val;
+            }
+        }};
+    }
+    macro_rules! rd {
+        ($x:expr, $w:ident) => {
+            scratch[*$x as usize * words + $w]
+        };
+    }
+    for op in &blk.ops {
+        match op {
+            WordOp::And { d, a, b } => wloop!(d, |w| rd!(a, w) & rd!(b, w)),
+            WordOp::Or { d, a, b } => wloop!(d, |w| rd!(a, w) | rd!(b, w)),
+            WordOp::Xor { d, a, b } => wloop!(d, |w| rd!(a, w) ^ rd!(b, w)),
+            WordOp::Xnor { d, a, b } => wloop!(d, |w| !(rd!(a, w) ^ rd!(b, w))),
+            WordOp::AndN { d, a, b } => wloop!(d, |w| !rd!(a, w) & rd!(b, w)),
+            WordOp::OrN { d, a, b } => wloop!(d, |w| !rd!(a, w) | rd!(b, w)),
+            WordOp::Not { d, a } => wloop!(d, |w| !rd!(a, w)),
+            WordOp::Copy { d, a } => wloop!(d, |w| rd!(a, w)),
+            WordOp::Mux { d, c, t, e } => {
+                wloop!(d, |w| (rd!(c, w) & rd!(t, w)) | (!rd!(c, w) & rd!(e, w)));
+            }
+        }
+    }
+    for (slot, local) in &blk.scatter {
+        let base = *slot as usize * lanes;
+        let src = *local as usize * words;
+        for w in 0..words {
+            let l0 = w * 64;
+            let n = (lanes - l0).min(64);
+            let packed = scratch[src + w];
+            for k in 0..n {
+                s[base + l0 + k] = (packed >> k) & 1;
+            }
+        }
+    }
+    blk.ops.len() as u64 * words as u64
+}
+
 impl BatchedSim {
     /// Compiles `systems[0]` and runs all lanes through its tape at the
     /// default optimization level. One lane per system.
@@ -188,9 +648,24 @@ impl BatchedSim {
         if !diags.is_empty() {
             return Err(CoreError::CheckFailed { diagnostics: diags });
         }
-        let prog = build_program(&systems[0], level)?;
+        let mut prog = build_program(&systems[0], level)?;
         let design_hash = crate::sim::snapshot::hash_program(&systems[0], &prog);
+        // Cluster word-eligible ops before planning (and after hashing,
+        // so the reorder never shows in snapshot compatibility). The
+        // reordered tape is the one both the word path and the scalar
+        // fallback execute.
+        let slot_ty = prog.slot_ty.clone();
+        schedule_word_runs(&mut prog.pre_tape, &slot_ty);
+        schedule_word_runs(&mut prog.tape, &slot_ty);
         let lanes = systems.len();
+        let plan = build_word_plan(&prog);
+        let scratch_len = plan
+            .blocks
+            .iter()
+            .map(|b| b.locals as usize)
+            .max()
+            .unwrap_or(0)
+            * lanes.div_ceil(64);
         let sys0 = &systems[0];
 
         let mut slots = vec![0u64; prog.init_slots.len() * lanes];
@@ -233,6 +708,8 @@ impl BatchedSim {
             obs: None,
             budget: Budget::none(),
             design_hash,
+            plan,
+            word_scratch: vec![0; scratch_len],
             systems,
         })
     }
@@ -433,6 +910,54 @@ impl BatchedSim {
     /// What the tape optimizer did at build time.
     pub fn opt_stats(&self) -> OptStats {
         self.prog.opt_stats
+    }
+
+    /// Number of bitsliced word blocks the build-time planner carved
+    /// out of the two tapes (0 when no run of Bool micro-ops reached
+    /// the minimum length).
+    pub fn word_blocks(&self) -> usize {
+        self.plan.blocks.len()
+    }
+
+    /// Scalar micro-ops the word blocks replace per all-alive tape
+    /// pass — the planner's coverage, for tests and perf reporting.
+    pub fn word_tape_coverage(&self) -> usize {
+        self.plan.blocks.iter().map(|b| b.end - b.start).sum()
+    }
+
+    /// Planner diagnostics: `(eligible, total)` micro-ops across both
+    /// tapes plus a histogram of contiguous eligible-run lengths (index
+    /// = run length, value = count). Shows how much Bool logic the tape
+    /// holds and how fragmented it is — a large eligible count with all
+    /// runs shorter than [`MIN_WORD_RUN`] means the scheduler (not the
+    /// classifier) is what limits word coverage.
+    pub fn word_eligibility(&self) -> (usize, usize, Vec<usize>) {
+        let mut eligible = 0usize;
+        let mut total = 0usize;
+        let mut hist: Vec<usize> = Vec::new();
+        for tape in [&self.prog.pre_tape, &self.prog.tape] {
+            let mut run = 0usize;
+            for m in tape.iter() {
+                total += 1;
+                if word_op(m, &self.prog.slot_ty).is_some() {
+                    eligible += 1;
+                    run += 1;
+                } else if run > 0 {
+                    if hist.len() <= run {
+                        hist.resize(run + 1, 0);
+                    }
+                    hist[run] += 1;
+                    run = 0;
+                }
+            }
+            if run > 0 {
+                if hist.len() <= run {
+                    hist.resize(run + 1, 0);
+                }
+                hist[run] += 1;
+            }
+        }
+        (eligible, total, hist)
     }
 
     /// Attaches the batch observability bundle: flushes the
@@ -651,22 +1176,29 @@ impl BatchedSim {
             })
     }
 
-    /// One pass of the selected tape over every live lane: each micro-op
-    /// runs its own tight inner lane loop over the slot stripes.
+    /// One pass of the selected tape over every live lane, walking the
+    /// build-time segment plan: bitsliced word blocks run as packed
+    /// `u64` ops (up to 64 lanes per op), scalar segments run each
+    /// micro-op's tight inner lane loop over the slot stripes. Returns
+    /// the number of packed word operations executed.
     ///
-    /// The loop comes in two shapes, chosen once per pass: while no lane
-    /// is masked (the overwhelmingly common case) the inner loop carries
-    /// no per-lane branch, so the stripes stream through unconditionally
-    /// and the optimizer can unroll and vectorize; once any lane is
-    /// masked, every store is guarded by the lane mask so a dead lane's
-    /// stripes stay frozen.
-    fn exec(&mut self, pre: bool) {
+    /// The scalar loop comes in two shapes, chosen once per pass: while
+    /// no lane is masked (the overwhelmingly common case) the inner loop
+    /// carries no per-lane branch and streams the stripes in unrolled
+    /// 8-wide chunks; once any lane is masked, every store is guarded by
+    /// the lane mask so a dead lane's stripes stay frozen — and word
+    /// blocks fall back to their scalar instruction range, because a
+    /// packed store cannot skip a dead lane's bit.
+    fn exec(&mut self, pre: bool) -> u64 {
         let lanes = self.lanes;
         let instrs: &[Micro] = if pre {
             &self.prog.pre_tape
         } else {
             &self.prog.tape
         };
+        let segments: &[Segment] = if pre { &self.plan.pre } else { &self.plan.tape };
+        let blocks = &self.plan.blocks;
+        let scratch = &mut self.word_scratch;
         let untimed_io = &self.prog.untimed_io;
         let s = &mut self.slots;
         let alive = &self.alive;
@@ -692,7 +1224,30 @@ impl BatchedSim {
                 // fold away in the branch-free loop below.
                 assert!(d + lanes <= s.len());
                 if all_alive {
-                    for $l in 0..lanes {
+                    // Unrolled 8-wide stripes: fixed-shape straight-line
+                    // stores the optimizer can keep in registers and
+                    // vectorize, with a scalar tail for `lanes % 8`.
+                    let mut base = 0usize;
+                    while base + 8 <= lanes {
+                        let $l = base;
+                        s[d + $l] = $val;
+                        let $l = base + 1;
+                        s[d + $l] = $val;
+                        let $l = base + 2;
+                        s[d + $l] = $val;
+                        let $l = base + 3;
+                        s[d + $l] = $val;
+                        let $l = base + 4;
+                        s[d + $l] = $val;
+                        let $l = base + 5;
+                        s[d + $l] = $val;
+                        let $l = base + 6;
+                        s[d + $l] = $val;
+                        let $l = base + 7;
+                        s[d + $l] = $val;
+                        base += 8;
+                    }
+                    for $l in base..lanes {
                         s[d + $l] = $val;
                     }
                 } else {
@@ -705,226 +1260,250 @@ impl BatchedSim {
             }};
         }
 
-        for m in instrs {
-            match m {
-                Micro::Copy { dst, src } => lanewise!(dst, |l| at!(src, l)),
-                Micro::RegRead { dst, inst, reg } => {
-                    let r = &regs[*inst as usize];
-                    let base = *reg as usize * lanes;
-                    lanewise!(dst, |l| r[base + l]);
-                }
-                Micro::AddB { dst, a, b, mask } => {
-                    lanewise!(dst, |l| at!(a, l).wrapping_add(at!(b, l)) & mask);
-                }
-                Micro::SubB { dst, a, b, mask } => {
-                    lanewise!(dst, |l| at!(a, l).wrapping_sub(at!(b, l)) & mask);
-                }
-                Micro::MulB { dst, a, b, mask } => {
-                    lanewise!(dst, |l| at!(a, l).wrapping_mul(at!(b, l)) & mask);
-                }
-                Micro::AndU { dst, a, b } => lanewise!(dst, |l| at!(a, l) & at!(b, l)),
-                Micro::OrU { dst, a, b } => lanewise!(dst, |l| at!(a, l) | at!(b, l)),
-                Micro::XorU { dst, a, b } => lanewise!(dst, |l| at!(a, l) ^ at!(b, l)),
-                Micro::NotU { dst, a, mask } => lanewise!(dst, |l| !at!(a, l) & mask),
-                Micro::NegB { dst, a, mask } => {
-                    lanewise!(dst, |l| at!(a, l).wrapping_neg() & mask);
-                }
-                Micro::ShlB { dst, a, n, mask } => {
-                    if *n >= 64 {
-                        lanewise!(dst, |l| {
-                            let _ = l;
-                            0
-                        });
-                    } else {
-                        lanewise!(dst, |l| (at!(a, l) << n) & mask);
-                    }
-                }
-                Micro::ShrB { dst, a, n } => {
-                    if *n >= 64 {
-                        lanewise!(dst, |l| {
-                            let _ = l;
-                            0
-                        });
-                    } else {
-                        lanewise!(dst, |l| at!(a, l) >> n);
-                    }
-                }
-                Micro::ShrMask { dst, a, n, mask } => {
-                    if *n >= 64 {
-                        lanewise!(dst, |l| {
-                            let _ = l;
-                            0
-                        });
-                    } else {
-                        lanewise!(dst, |l| (at!(a, l) >> n) & mask);
-                    }
-                }
-                Micro::CmpU { dst, a, b, kind } => {
-                    lanewise!(dst, |l| kind.apply(at!(a, l).cmp(&at!(b, l))) as u64);
-                }
-                Micro::AddF {
-                    dst,
-                    a,
-                    b,
-                    sha,
-                    shb,
-                } => {
-                    lanewise!(dst, |l| {
-                        let x = (at!(a, l) as i64) << sha;
-                        let y = (at!(b, l) as i64) << shb;
-                        (x + y) as u64
-                    });
-                }
-                Micro::SubF {
-                    dst,
-                    a,
-                    b,
-                    sha,
-                    shb,
-                } => {
-                    lanewise!(dst, |l| {
-                        let x = (at!(a, l) as i64) << sha;
-                        let y = (at!(b, l) as i64) << shb;
-                        (x - y) as u64
-                    });
-                }
-                Micro::MulF { dst, a, b } => {
-                    lanewise!(dst, |l| {
-                        let p = at!(a, l) as i64 as i128 * at!(b, l) as i64 as i128;
-                        p as i64 as u64
-                    });
-                }
-                Micro::NegF { dst, a } => {
-                    lanewise!(dst, |l| (at!(a, l) as i64).wrapping_neg() as u64);
-                }
-                Micro::CmpF {
-                    dst,
-                    a,
-                    b,
-                    sha,
-                    shb,
-                    kind,
-                } => {
-                    lanewise!(dst, |l| {
-                        let x = (at!(a, l) as i64 as i128) << sha;
-                        let y = (at!(b, l) as i64 as i128) << shb;
-                        kind.apply(x.cmp(&y)) as u64
-                    });
-                }
-                Micro::CastF {
-                    dst,
-                    a,
-                    src,
-                    target,
-                    rnd,
-                    ovf,
-                } => {
-                    lanewise!(dst, |l| {
-                        let v = ocapi_fixp::Fix::from_raw(at!(a, l) as i64, *src);
-                        v.cast(*target, *rnd, *ovf).mantissa() as u64
-                    });
-                }
-                Micro::FloatToFix {
-                    dst,
-                    a,
-                    target,
-                    rnd,
-                    ovf,
-                } => {
-                    lanewise!(dst, |l| {
-                        let x = f64::from_bits(at!(a, l));
-                        ocapi_fixp::Fix::from_f64(x, *target, *rnd, *ovf).mantissa() as u64
-                    });
-                }
-                Micro::AddFl { dst, a, b } => {
-                    lanewise!(dst, |l| {
-                        (f64::from_bits(at!(a, l)) + f64::from_bits(at!(b, l))).to_bits()
-                    });
-                }
-                Micro::SubFl { dst, a, b } => {
-                    lanewise!(dst, |l| {
-                        (f64::from_bits(at!(a, l)) - f64::from_bits(at!(b, l))).to_bits()
-                    });
-                }
-                Micro::MulFl { dst, a, b } => {
-                    lanewise!(dst, |l| {
-                        (f64::from_bits(at!(a, l)) * f64::from_bits(at!(b, l))).to_bits()
-                    });
-                }
-                Micro::NegFl { dst, a } => {
-                    lanewise!(dst, |l| (-f64::from_bits(at!(a, l))).to_bits());
-                }
-                Micro::CmpFl { dst, a, b, kind } => {
-                    lanewise!(dst, |l| {
-                        let o = f64::from_bits(at!(a, l))
-                            .partial_cmp(&f64::from_bits(at!(b, l)))
-                            .unwrap_or(std::cmp::Ordering::Equal);
-                        kind.apply(o) as u64
-                    });
-                }
-                Micro::MaskTo { dst, a, mask } => lanewise!(dst, |l| at!(a, l) & mask),
-                Micro::NonZero { dst, a } => lanewise!(dst, |l| (at!(a, l) != 0) as u64),
-                Micro::NonZeroFloat { dst, a } => {
-                    lanewise!(dst, |l| (f64::from_bits(at!(a, l)) != 0.0) as u64);
-                }
-                Micro::ToFloatBits { dst, a } => {
-                    lanewise!(dst, |l| (at!(a, l) as f64).to_bits());
-                }
-                Micro::ToFloatFix { dst, a, frac_bits } => {
-                    lanewise!(dst, |l| {
-                        (at!(a, l) as i64 as f64 * f64::powi(2.0, -(*frac_bits as i32))).to_bits()
-                    });
-                }
-                Micro::SelectU { dst, c, t, e } => {
-                    lanewise!(dst, |l| if at!(c, l) != 0 { at!(t, l) } else { at!(e, l) });
-                }
-                Micro::Drive {
-                    net_slot,
-                    inst,
-                    cands,
-                } => {
-                    let act = &active[*inst as usize];
-                    let d = *net_slot as usize * lanes;
-                    for l in 0..lanes {
-                        if !all_alive && !alive[l] {
-                            continue;
+        // The full scalar interpretation of `instrs[$range]` — the body
+        // of the pre-plan executor, kept as the only semantics: word
+        // blocks must be unobservable next to it.
+        macro_rules! scalar_run {
+            ($range:expr) => {
+                for m in &instrs[$range] {
+                    match m {
+                        Micro::Copy { dst, src } => lanewise!(dst, |l| at!(src, l)),
+                        Micro::RegRead { dst, inst, reg } => {
+                            let r = &regs[*inst as usize];
+                            let base = *reg as usize * lanes;
+                            lanewise!(dst, |l| r[base + l]);
                         }
-                        for (sfg, src) in cands {
-                            if act[*sfg as usize * lanes + l] {
-                                s[d + l] = s[*src as usize * lanes + l];
-                                break;
+                        Micro::AddB { dst, a, b, mask } => {
+                            lanewise!(dst, |l| at!(a, l).wrapping_add(at!(b, l)) & mask);
+                        }
+                        Micro::SubB { dst, a, b, mask } => {
+                            lanewise!(dst, |l| at!(a, l).wrapping_sub(at!(b, l)) & mask);
+                        }
+                        Micro::MulB { dst, a, b, mask } => {
+                            lanewise!(dst, |l| at!(a, l).wrapping_mul(at!(b, l)) & mask);
+                        }
+                        Micro::AndU { dst, a, b } => lanewise!(dst, |l| at!(a, l) & at!(b, l)),
+                        Micro::OrU { dst, a, b } => lanewise!(dst, |l| at!(a, l) | at!(b, l)),
+                        Micro::XorU { dst, a, b } => lanewise!(dst, |l| at!(a, l) ^ at!(b, l)),
+                        Micro::NotU { dst, a, mask } => lanewise!(dst, |l| !at!(a, l) & mask),
+                        Micro::NegB { dst, a, mask } => {
+                            lanewise!(dst, |l| at!(a, l).wrapping_neg() & mask);
+                        }
+                        Micro::ShlB { dst, a, n, mask } => {
+                            if *n >= 64 {
+                                lanewise!(dst, |l| {
+                                    let _ = l;
+                                    0
+                                });
+                            } else {
+                                lanewise!(dst, |l| (at!(a, l) << n) & mask);
+                            }
+                        }
+                        Micro::ShrB { dst, a, n } => {
+                            if *n >= 64 {
+                                lanewise!(dst, |l| {
+                                    let _ = l;
+                                    0
+                                });
+                            } else {
+                                lanewise!(dst, |l| at!(a, l) >> n);
+                            }
+                        }
+                        Micro::ShrMask { dst, a, n, mask } => {
+                            if *n >= 64 {
+                                lanewise!(dst, |l| {
+                                    let _ = l;
+                                    0
+                                });
+                            } else {
+                                lanewise!(dst, |l| (at!(a, l) >> n) & mask);
+                            }
+                        }
+                        Micro::CmpU { dst, a, b, kind } => {
+                            lanewise!(dst, |l| kind.apply(at!(a, l).cmp(&at!(b, l))) as u64);
+                        }
+                        Micro::AddF {
+                            dst,
+                            a,
+                            b,
+                            sha,
+                            shb,
+                        } => {
+                            lanewise!(dst, |l| {
+                                let x = (at!(a, l) as i64) << sha;
+                                let y = (at!(b, l) as i64) << shb;
+                                (x + y) as u64
+                            });
+                        }
+                        Micro::SubF {
+                            dst,
+                            a,
+                            b,
+                            sha,
+                            shb,
+                        } => {
+                            lanewise!(dst, |l| {
+                                let x = (at!(a, l) as i64) << sha;
+                                let y = (at!(b, l) as i64) << shb;
+                                (x - y) as u64
+                            });
+                        }
+                        Micro::MulF { dst, a, b } => {
+                            lanewise!(dst, |l| {
+                                let p = at!(a, l) as i64 as i128 * at!(b, l) as i64 as i128;
+                                p as i64 as u64
+                            });
+                        }
+                        Micro::NegF { dst, a } => {
+                            lanewise!(dst, |l| (at!(a, l) as i64).wrapping_neg() as u64);
+                        }
+                        Micro::CmpF {
+                            dst,
+                            a,
+                            b,
+                            sha,
+                            shb,
+                            kind,
+                        } => {
+                            lanewise!(dst, |l| {
+                                let x = (at!(a, l) as i64 as i128) << sha;
+                                let y = (at!(b, l) as i64 as i128) << shb;
+                                kind.apply(x.cmp(&y)) as u64
+                            });
+                        }
+                        Micro::CastF {
+                            dst,
+                            a,
+                            src,
+                            target,
+                            rnd,
+                            ovf,
+                        } => {
+                            lanewise!(dst, |l| {
+                                let v = ocapi_fixp::Fix::from_raw(at!(a, l) as i64, *src);
+                                v.cast(*target, *rnd, *ovf).mantissa() as u64
+                            });
+                        }
+                        Micro::FloatToFix {
+                            dst,
+                            a,
+                            target,
+                            rnd,
+                            ovf,
+                        } => {
+                            lanewise!(dst, |l| {
+                                let x = f64::from_bits(at!(a, l));
+                                ocapi_fixp::Fix::from_f64(x, *target, *rnd, *ovf).mantissa() as u64
+                            });
+                        }
+                        Micro::AddFl { dst, a, b } => {
+                            lanewise!(dst, |l| {
+                                (f64::from_bits(at!(a, l)) + f64::from_bits(at!(b, l))).to_bits()
+                            });
+                        }
+                        Micro::SubFl { dst, a, b } => {
+                            lanewise!(dst, |l| {
+                                (f64::from_bits(at!(a, l)) - f64::from_bits(at!(b, l))).to_bits()
+                            });
+                        }
+                        Micro::MulFl { dst, a, b } => {
+                            lanewise!(dst, |l| {
+                                (f64::from_bits(at!(a, l)) * f64::from_bits(at!(b, l))).to_bits()
+                            });
+                        }
+                        Micro::NegFl { dst, a } => {
+                            lanewise!(dst, |l| (-f64::from_bits(at!(a, l))).to_bits());
+                        }
+                        Micro::CmpFl { dst, a, b, kind } => {
+                            lanewise!(dst, |l| {
+                                let o = f64::from_bits(at!(a, l))
+                                    .partial_cmp(&f64::from_bits(at!(b, l)))
+                                    .unwrap_or(std::cmp::Ordering::Equal);
+                                kind.apply(o) as u64
+                            });
+                        }
+                        Micro::MaskTo { dst, a, mask } => lanewise!(dst, |l| at!(a, l) & mask),
+                        Micro::NonZero { dst, a } => lanewise!(dst, |l| (at!(a, l) != 0) as u64),
+                        Micro::NonZeroFloat { dst, a } => {
+                            lanewise!(dst, |l| (f64::from_bits(at!(a, l)) != 0.0) as u64);
+                        }
+                        Micro::ToFloatBits { dst, a } => {
+                            lanewise!(dst, |l| (at!(a, l) as f64).to_bits());
+                        }
+                        Micro::ToFloatFix { dst, a, frac_bits } => {
+                            lanewise!(dst, |l| {
+                                (at!(a, l) as i64 as f64 * f64::powi(2.0, -(*frac_bits as i32)))
+                                    .to_bits()
+                            });
+                        }
+                        Micro::SelectU { dst, c, t, e } => {
+                            lanewise!(dst, |l| if at!(c, l) != 0 { at!(t, l) } else { at!(e, l) });
+                        }
+                        Micro::Drive {
+                            net_slot,
+                            inst,
+                            cands,
+                        } => {
+                            let act = &active[*inst as usize];
+                            let d = *net_slot as usize * lanes;
+                            for l in 0..lanes {
+                                if !all_alive && !alive[l] {
+                                    continue;
+                                }
+                                for (sfg, src) in cands {
+                                    if act[*sfg as usize * lanes + l] {
+                                        s[d + l] = s[*src as usize * lanes + l];
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                        Micro::Fire { inst } => {
+                            let u = *inst as usize;
+                            let (ins, outs) = &untimed_io[u];
+                            for l in 0..lanes {
+                                if !alive[l] {
+                                    continue;
+                                }
+                                in_buf.clear();
+                                in_buf.extend(
+                                    ins.iter()
+                                        .map(|(sl, ty)| decode(s[*sl as usize * lanes + l], *ty)),
+                                );
+                                out_buf.clear();
+                                out_buf.extend(
+                                    outs.iter()
+                                        .map(|(sl, ty)| decode(s[*sl as usize * lanes + l], *ty)),
+                                );
+                                let block = &mut systems[l].untimed[u].block;
+                                if block.ready(in_buf) {
+                                    block.fire(in_buf, out_buf);
+                                    for ((sl, _), v) in outs.iter().zip(out_buf.iter()) {
+                                        s[*sl as usize * lanes + l] = encode(v);
+                                    }
+                                }
                             }
                         }
                     }
                 }
-                Micro::Fire { inst } => {
-                    let u = *inst as usize;
-                    let (ins, outs) = &untimed_io[u];
-                    for l in 0..lanes {
-                        if !alive[l] {
-                            continue;
-                        }
-                        in_buf.clear();
-                        in_buf.extend(
-                            ins.iter()
-                                .map(|(sl, ty)| decode(s[*sl as usize * lanes + l], *ty)),
-                        );
-                        out_buf.clear();
-                        out_buf.extend(
-                            outs.iter()
-                                .map(|(sl, ty)| decode(s[*sl as usize * lanes + l], *ty)),
-                        );
-                        let block = &mut systems[l].untimed[u].block;
-                        if block.ready(in_buf) {
-                            block.fire(in_buf, out_buf);
-                            for ((sl, _), v) in outs.iter().zip(out_buf.iter()) {
-                                s[*sl as usize * lanes + l] = encode(v);
-                            }
-                        }
+            };
+        }
+
+        let mut word_ops = 0u64;
+        for seg in segments {
+            match *seg {
+                Segment::Scalar { start, end } => scalar_run!(start..end),
+                Segment::Word(b) => {
+                    let blk = &blocks[b as usize];
+                    if all_alive {
+                        word_ops += exec_word_block(blk, s, scratch, lanes);
+                    } else {
+                        scalar_run!(blk.start..blk.end);
                     }
                 }
             }
         }
+        word_ops
     }
 }
 
@@ -958,7 +1537,7 @@ impl Simulator for BatchedSim {
 
         // Guard evaluation over held values.
         let t_pre = self.obs.as_ref().map(|o| o.sp_pre.timer());
-        self.exec(true);
+        let w_pre = self.exec(true);
         drop(t_pre);
 
         // Per-lane transition selection.
@@ -1008,10 +1587,13 @@ impl Simulator for BatchedSim {
 
         // Main tape: one walk, all lanes.
         let t_eval = self.obs.as_ref().map(|o| o.sp_eval.timer());
-        self.exec(false);
+        let w_tape = self.exec(false);
         drop(t_eval);
         if let Some(o) = &self.obs {
             o.tape_passes.incr();
+            if w_pre + w_tape > 0 {
+                o.word_ops.add(w_pre + w_tape);
+            }
         }
 
         // Per-lane register commit.
@@ -1177,6 +1759,8 @@ mod tests {
         assert_eq!(reg.counter("batch.lanes").get(), 4);
         assert_eq!(reg.counter("batch.tape_passes").get(), 8);
         assert_eq!(reg.counter("batch.masked_lanes").get(), 1);
+        // An 8-bit counter has no Bool micro-ops: nothing to bitslice.
+        assert_eq!(reg.counter("batch.word_ops").get(), 0);
         // The phase tree hangs off one `batch` root.
         let roots = reg.roots();
         let batch_root = roots.iter().find(|r| r.label() == "batch").unwrap();
@@ -1197,5 +1781,78 @@ mod tests {
         // Masked lanes freeze; live lanes keep counting.
         assert_eq!(sim.output_lane(2, "count").unwrap(), Value::bits(8, 4));
         assert_eq!(sim.output_lane(0, "count").unwrap(), Value::bits(8, 7));
+    }
+
+    /// A pure-Bool majority/parity voter: every combinational micro-op
+    /// is Bool, so the planner must carve out at least one word block.
+    fn bool_vote_system() -> System {
+        let c = Component::build("vote");
+        let a = c.input("a", SigType::Bool).unwrap();
+        let b = c.input("b", SigType::Bool).unwrap();
+        let ci = c.input("ci", SigType::Bool).unwrap();
+        let maj = c.output("maj", SigType::Bool).unwrap();
+        let par = c.output("par", SigType::Bool).unwrap();
+        let sfg = c.sfg("vote").unwrap();
+        let (ra, rb, rc) = (c.read(a), c.read(b), c.read(ci));
+        let m = (&ra & &rb) | (&ra & &rc) | (&rb & &rc);
+        let p = &(&ra ^ &rb) ^ &rc;
+        sfg.drive(maj, &m).unwrap();
+        sfg.drive(par, &p).unwrap();
+        let comp = c.finish().unwrap();
+        let mut sb = System::build("vote_sys");
+        let u = sb.add_component("u0", comp).unwrap();
+        for name in ["a", "b", "ci"] {
+            sb.input(name, SigType::Bool).unwrap();
+            sb.connect_input(name, u, name).unwrap();
+        }
+        sb.output("maj", u, "maj").unwrap();
+        sb.output("par", u, "par").unwrap();
+        sb.finish().unwrap()
+    }
+
+    #[test]
+    fn bool_tape_is_bitsliced_and_word_ops_counted() {
+        for level in [OptLevel::None, OptLevel::Full] {
+            let reg = Registry::new();
+            let mut sim = BatchedSim::from_fn(8, || Ok(bool_vote_system()), level).unwrap();
+            assert!(sim.word_blocks() >= 1, "no word block planned ({level:?})");
+            assert!(sim.word_tape_coverage() >= MIN_WORD_RUN);
+            sim.attach_obs(BatchObs::new(&reg));
+            for l in 0..8usize {
+                let bits = l as u64;
+                sim.set_input_lane(l, "a", Value::Bool(bits & 1 != 0))
+                    .unwrap();
+                sim.set_input_lane(l, "b", Value::Bool(bits & 2 != 0))
+                    .unwrap();
+                sim.set_input_lane(l, "ci", Value::Bool(bits & 4 != 0))
+                    .unwrap();
+            }
+            sim.step().unwrap();
+            let packed = reg.counter("batch.word_ops").get();
+            assert!(packed > 0, "word path did not run ({level:?})");
+            for l in 0..8usize {
+                let (a, b, ci) = (l & 1 != 0, l & 2 != 0, l & 4 != 0);
+                assert_eq!(
+                    sim.output_lane(l, "maj").unwrap(),
+                    Value::Bool((a & b) | (a & ci) | (b & ci)),
+                    "maj lane {l} ({level:?})"
+                );
+                assert_eq!(
+                    sim.output_lane(l, "par").unwrap(),
+                    Value::Bool(a ^ b ^ ci),
+                    "par lane {l} ({level:?})"
+                );
+            }
+            // Any masked lane forces the scalar fallback over the word
+            // segments: the packed counter freezes.
+            sim.fail_lane(
+                3,
+                CoreError::Unsupported {
+                    op: "test mask".to_owned(),
+                },
+            );
+            sim.step().unwrap();
+            assert_eq!(reg.counter("batch.word_ops").get(), packed, "{level:?}");
+        }
     }
 }

@@ -141,7 +141,11 @@ impl SimObs {
 ///   error (incremented at the masking event);
 /// * `batch.tape_passes` — full walks of the main tape (one per batched
 ///   step, regardless of lane count — the amortization the batch
-///   exists for).
+///   exists for);
+/// * `batch.word_ops` — packed `u64` word operations executed by the
+///   bitsliced Bool fast path (each one advances up to 64 lanes at
+///   once; 0 when the tape has no word-eligible runs or a masked lane
+///   forces the scalar fallback).
 ///
 /// The phase spans hang off a `batch` root and mirror the compiled
 /// back-end's tree: `guard_pre_tape`, `transition_select`, `tape`,
@@ -154,6 +158,8 @@ pub struct BatchObs {
     pub(crate) masked_lanes: Counter,
     /// Full tape walks (one per batched step).
     pub(crate) tape_passes: Counter,
+    /// Packed word operations executed by the bitsliced fast path.
+    pub(crate) word_ops: Counter,
     /// Guard pre-tape execution.
     pub(crate) sp_pre: Span,
     /// Per-lane transition selection.
@@ -174,6 +180,7 @@ impl BatchObs {
             lanes: reg.counter("batch.lanes"),
             masked_lanes: reg.counter("batch.masked_lanes"),
             tape_passes: reg.counter("batch.tape_passes"),
+            word_ops: reg.counter("batch.word_ops"),
             sp_pre: root.child("guard_pre_tape"),
             sp_select: root.child("transition_select"),
             sp_eval: root.child("tape"),

@@ -419,3 +419,197 @@ fn mismatched_lane_systems_are_rejected() {
         Err(CoreError::CheckFailed { .. })
     ));
 }
+
+// ---------------------------------------------------------------------------
+// Word-parallel (bitsliced Bool) fast-path differentials.
+// ---------------------------------------------------------------------------
+
+use ocapi::rng::XorShift64;
+use ocapi::BatchObs;
+use ocapi_obs::Registry;
+
+/// A Bool-dense design covering every word-op lowering: AND/OR/XOR
+/// chains, NOT, `==`/`>` comparisons (XNOR / AND-NOT), a mux
+/// (SELECT), and a Bool register so state feeds back through the
+/// bitsliced region every cycle.
+fn bool_gate_system() -> System {
+    let c = Component::build("gates");
+    let a = c.input("a", SigType::Bool).unwrap();
+    let b = c.input("b", SigType::Bool).unwrap();
+    let sel = c.input("sel", SigType::Bool).unwrap();
+    let y = c.output("y", SigType::Bool).unwrap();
+    let z = c.output("z", SigType::Bool).unwrap();
+    let r = c.reg("r", SigType::Bool).unwrap();
+    let s = c.sfg("step").unwrap();
+    let (ra, rb, rs) = (c.read(a), c.read(b), c.read(sel));
+    let q = c.q(r);
+    let m = (&(&ra & &rb) | &(&ra & &q)) | &(&rb & &q);
+    let e = ra.eq(&rb);
+    let g = ra.gt(&rb);
+    let x = &(&ra ^ &rb) ^ &q;
+    let picked = rs.mux(&m, &x);
+    let yv = &(&e | &g) ^ &picked;
+    let zv = !&yv;
+    s.drive(y, &yv).unwrap();
+    s.drive(z, &zv).unwrap();
+    s.next(r, &(&x ^ &zv)).unwrap();
+    let comp = c.finish().unwrap();
+    let mut sb = System::build("gates_sys");
+    let u = sb.add_component("u0", comp).unwrap();
+    for name in ["a", "b", "sel"] {
+        sb.input(name, SigType::Bool).unwrap();
+        sb.connect_input(name, u, name).unwrap();
+    }
+    sb.output("y", u, "y").unwrap();
+    sb.output("z", u, "z").unwrap();
+    sb.finish().unwrap()
+}
+
+fn bool_stimulus(l: usize, cyc: u64) -> Vec<(&'static str, Value)> {
+    let mut rng = XorShift64::stream(0xB17_51CE, (l as u64) << 32 | cyc);
+    let bits = rng.next_u64();
+    vec![
+        ("a", Value::Bool(bits & 1 != 0)),
+        ("b", Value::Bool(bits & 2 != 0)),
+        ("sel", Value::Bool(bits & 4 != 0)),
+    ]
+}
+
+/// The bitsliced fast path is unobservable next to scalar compiled
+/// runs at every opt level and lane geometry — including 64 lanes
+/// (one full word) and 3 (a partial tail word).
+#[test]
+fn batched_bool_system_matches_scalar_lanes_1_3_8_64() {
+    // The planner must actually have carved word blocks out of this
+    // design, or the test would vacuously pass through scalar code.
+    let probe = BatchedSim::from_fn(2, || Ok(bool_gate_system()), OptLevel::Full).unwrap();
+    assert!(probe.word_blocks() >= 1, "no word block planned");
+    for level in [OptLevel::None, OptLevel::Full] {
+        for lanes in [1usize, 3, 8, 64] {
+            assert_batch_matches_scalar(&bool_gate_system, &bool_stimulus, lanes, level, 24);
+        }
+    }
+}
+
+/// Masking a lane mid-run flips every word segment to its scalar
+/// fallback; survivors still match their scalar twins bit-for-bit and
+/// the packed-op counter stops advancing.
+#[test]
+fn masked_bool_lane_forces_scalar_fallback_and_survivors_match() {
+    let lanes = 8;
+    let reg = Registry::new();
+    let mut batch = BatchedSim::from_fn(lanes, || Ok(bool_gate_system()), OptLevel::Full).unwrap();
+    batch.attach_obs(BatchObs::new(&reg));
+    let mut scalars: Vec<CompiledSim> = (0..lanes)
+        .map(|_| CompiledSim::new_with(bool_gate_system(), OptLevel::Full).unwrap())
+        .collect();
+    let drive = |batch: &mut BatchedSim, scalars: &mut Vec<CompiledSim>, cyc: u64| {
+        for (l, scalar) in scalars.iter_mut().enumerate() {
+            for (name, v) in bool_stimulus(l, cyc) {
+                batch.set_input_lane(l, name, v).unwrap();
+                scalar.set_input(name, v).unwrap();
+            }
+        }
+    };
+    for cyc in 0..6 {
+        drive(&mut batch, &mut scalars, cyc);
+        batch.step().unwrap();
+        for s in scalars.iter_mut() {
+            s.step().unwrap();
+        }
+    }
+    let packed = reg.counter("batch.word_ops").get();
+    assert!(
+        packed > 0,
+        "word path did not engage while all lanes were alive"
+    );
+
+    batch.fail_lane(
+        5,
+        CoreError::Unsupported {
+            op: "chaos".to_owned(),
+        },
+    );
+    let frozen_y = batch.output_lane(5, "y").unwrap();
+    for cyc in 6..14 {
+        drive(&mut batch, &mut scalars, cyc);
+        batch.step().unwrap();
+        for s in scalars.iter_mut() {
+            s.step().unwrap();
+        }
+    }
+    // Fallback engaged: no packed ops counted after the masking.
+    assert_eq!(reg.counter("batch.word_ops").get(), packed);
+    assert_eq!(batch.output_lane(5, "y").unwrap(), frozen_y);
+    for l in (0..lanes).filter(|l| *l != 5) {
+        for o in ["y", "z"] {
+            assert_eq!(
+                batch.output_lane(l, o).unwrap(),
+                scalars[l].output(o).unwrap(),
+                "surviving lane {l} output `{o}`"
+            );
+        }
+    }
+}
+
+/// Seeded sweep over random lane widths (1..=70 — whole words, partial
+/// tail words, multi-word stripes) and random mid-run lane maskings:
+/// every surviving lane must stay bit-identical to its scalar twin at
+/// every cycle. The `slow-tests` feature scales the trial count up to
+/// fuzzing grade, matching the equivalence suites.
+#[test]
+fn seeded_sweep_random_widths_and_masks_match_scalar() {
+    let trials: u64 = if cfg!(feature = "slow-tests") { 60 } else { 8 };
+    for t in 0..trials {
+        let mut rng = XorShift64::stream(0x5EED_B001, t);
+        let lanes = 1 + rng.index(70);
+        let cycles = 8 + rng.below(12);
+        let level = if rng.next_bool() {
+            OptLevel::Full
+        } else {
+            OptLevel::None
+        };
+        // ~1 lane in 4 dies at a random cycle.
+        let mask_at: Vec<Option<u64>> = (0..lanes)
+            .map(|_| rng.chance(0.25).then(|| rng.below(cycles)))
+            .collect();
+        let mut batch = BatchedSim::from_fn(lanes, || Ok(bool_gate_system()), level).unwrap();
+        let mut scalars: Vec<CompiledSim> = (0..lanes)
+            .map(|_| CompiledSim::new_with(bool_gate_system(), level).unwrap())
+            .collect();
+        for cyc in 0..cycles {
+            for (l, m) in mask_at.iter().enumerate() {
+                if *m == Some(cyc) {
+                    batch.fail_lane(
+                        l,
+                        CoreError::Unsupported {
+                            op: "sweep mask".to_owned(),
+                        },
+                    );
+                }
+            }
+            if (0..lanes).all(|l| !batch.alive(l)) {
+                break;
+            }
+            for (l, scalar) in scalars.iter_mut().enumerate() {
+                for (name, v) in bool_stimulus(l, cyc ^ (t << 8)) {
+                    batch.set_input_lane(l, name, v).unwrap();
+                    scalar.set_input(name, v).unwrap();
+                }
+            }
+            batch.step().unwrap();
+            for s in scalars.iter_mut() {
+                s.step().unwrap();
+            }
+            for l in (0..lanes).filter(|l| batch.alive(*l)) {
+                for o in ["y", "z"] {
+                    assert_eq!(
+                        batch.output_lane(l, o).unwrap(),
+                        scalars[l].output(o).unwrap(),
+                        "trial {t} lane {l}/{lanes} cycle {cyc} level {level:?} output `{o}`"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -247,6 +247,9 @@ pub struct BistSignoff {
     /// Stuck-at coverage of the pattern set (which faults the signature
     /// comparison would actually catch).
     pub coverage: crate::fault::FaultReport,
+    /// Gate-evaluation accounting of the word-parallel grading run
+    /// (deterministic; see [`crate::fault::GradeStats`]).
+    pub grade_stats: crate::fault::GradeStats,
 }
 
 /// Answers the sign-off question in one call: runs the good machine for
@@ -265,8 +268,13 @@ pub fn bist_signoff(
     pool: &ocapi::ParConfig,
 ) -> Result<BistSignoff, GateError> {
     let report = golden_signature(net, stimuli)?;
-    let coverage = crate::fault::stuck_at_coverage_sharded(net, stimuli, pool)?;
-    Ok(BistSignoff { report, coverage })
+    let (coverage, grade_stats) =
+        crate::fault::stuck_at_coverage_sharded_stats(net, stimuli, pool)?;
+    Ok(BistSignoff {
+        report,
+        coverage,
+        grade_stats,
+    })
 }
 
 #[cfg(test)]

@@ -20,10 +20,22 @@
 //!   per machine in a `u64` per wire — the classic deductive-era
 //!   speedup. Takes explicit per-cycle bus stimulus and observes every
 //!   output bus after each clock edge.
+//!
+//! Both engines grade the same fault universe — [`enumerate_faults`] is
+//! the single enumeration they (and the sharded and BIST graders) share,
+//! so the universes can never drift — and both report their
+//! gate-evaluation economics as [`GradeStats`]: the packed engine grades
+//! up to 63 fault machines per gate evaluation where the serial engine
+//! grades at most one, the multiple the `table_gates`/`fault_coverage`
+//! benchmarks record and CI gates on.
 
 use ocapi_synth::gate::{Gate, GateKind, Netlist};
 
 use crate::{GateError, GateSim};
+
+/// Fault machines packed per `u64` word by the bit-parallel engine
+/// (bit 0 carries the fault-free machine).
+pub const FAULTS_PER_WORD: usize = 63;
 
 /// One undetected fault: the index of the gate whose output is stuck,
 /// and the stuck value.
@@ -54,6 +66,62 @@ impl FaultReport {
         } else {
             self.detected as f64 / self.total as f64
         }
+    }
+}
+
+/// Gate-evaluation accounting for one grading run — the economics of
+/// the word-parallel speedup, deterministic for a given netlist and
+/// stimulus (never a timing).
+///
+/// `faults_per_gate_eval` is the classic parallel-pattern figure of
+/// merit: how many *fault machines* each gate evaluation advances. The
+/// serial engine evaluates one machine per eval (< 1 here, because the
+/// fault-free reference run is counted in `gate_evals` too); the packed
+/// engine approaches [`FAULTS_PER_WORD`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GradeStats {
+    /// Size of the graded fault universe.
+    pub faults: u64,
+    /// Gate evaluations performed (word-level evaluations for the
+    /// packed engine: one eval advances every machine in the word).
+    pub gate_evals: u64,
+    /// Faulty-machine evaluations delivered: `gate_evals` weighted by
+    /// the number of fault machines each evaluation advanced.
+    pub machine_evals: u64,
+    /// 63-fault word packs processed (0 for the serial engine).
+    pub fault_words: u64,
+}
+
+impl GradeStats {
+    /// Fault machines advanced per gate evaluation.
+    pub fn faults_per_gate_eval(&self) -> f64 {
+        if self.gate_evals == 0 {
+            0.0
+        } else {
+            self.machine_evals as f64 / self.gate_evals as f64
+        }
+    }
+
+    /// Accumulates another run's accounting (used when a driver grades
+    /// several vector sets).
+    pub fn merge(&mut self, other: &GradeStats) {
+        self.faults += other.faults;
+        self.gate_evals += other.gate_evals;
+        self.machine_evals += other.machine_evals;
+        self.fault_words += other.fault_words;
+    }
+}
+
+/// Flushes the deterministic packed-grading counters into `reg`:
+/// `gate.fault_words` (63-fault packs processed) and
+/// `gate.faults_per_pass` (average fault machines per word-parallel
+/// pass — [`FAULTS_PER_WORD`] for full packs). Both are pure functions
+/// of (netlist, stimulus), so they live in the deterministic half of
+/// the observability contract.
+pub fn flush_grade_obs(reg: &ocapi_obs::Registry, stats: &GradeStats) {
+    reg.counter("gate.fault_words").add(stats.fault_words);
+    if let Some(per_pass) = stats.faults.checked_div(stats.fault_words) {
+        reg.counter("gate.faults_per_pass").add(per_pass);
     }
 }
 
@@ -117,31 +185,106 @@ pub fn stuck_at_coverage(
         let mut sim = GateSim::new(net.clone())?;
         drive(&mut sim)?
     };
-    let mut total = 0;
+    let sites = enumerate_faults(net);
     let mut detected = 0;
     let mut undetected = Vec::new();
-    for (gi, g) in net.gates.iter().enumerate() {
-        if matches!(g.kind, GateKind::Const0 | GateKind::Const1) {
-            continue;
-        }
-        for stuck_at in [false, true] {
-            total += 1;
-            let fault = Fault { gate: gi, stuck_at };
-            let observed = GateSim::new(inject(net, fault))
-                .and_then(|mut sim| drive(&mut sim).map(Some))
-                .unwrap_or(None);
-            match observed {
-                Some(seen) if seen == golden => undetected.push(fault),
-                // Divergence, or an oscillating faulty machine: detected.
-                _ => detected += 1,
-            }
+    for fault in &sites {
+        let observed = GateSim::new(inject(net, *fault))
+            .and_then(|mut sim| drive(&mut sim).map(Some))
+            .unwrap_or(None);
+        match observed {
+            Some(seen) if seen == golden => undetected.push(*fault),
+            // Divergence, or an oscillating faulty machine: detected.
+            _ => detected += 1,
         }
     }
     Ok(FaultReport {
-        total,
+        total: sites.len(),
         detected,
         undetected,
     })
+}
+
+/// Drives one [`GateSim`] through the apply–settle–clock–observe cycle
+/// the bit-parallel engine implements, returning the packed observation
+/// stream (every output bus, every cycle). Unknown bus names in the
+/// stimulus are skipped, matching the parallel engine's contract.
+fn drive_stimuli(sim: &mut GateSim, stimuli: &[CycleStimulus]) -> Result<Vec<u64>, GateError> {
+    let outs: Vec<Vec<_>> = sim
+        .netlist()
+        .outputs
+        .iter()
+        .map(|(_, ws)| ws.clone())
+        .collect();
+    let mut seen = Vec::new();
+    for cyc in stimuli {
+        for (name, value) in &cyc.inputs {
+            let Some(ws) = sim.netlist().input_by_name(name) else {
+                continue;
+            };
+            let ws = ws.to_vec();
+            sim.set_bus(&ws, *value);
+        }
+        sim.settle()?;
+        sim.clock()?;
+        for ws in &outs {
+            seen.push(sim.bus(ws));
+        }
+    }
+    Ok(seen)
+}
+
+/// Serial stimulus-driven grading: [`stuck_at_coverage`] with the exact
+/// apply–settle–clock–observe driver of the bit-parallel engine, so the
+/// two engines classify every fault identically — the reference the
+/// `--fault-engine scalar|packed` benchmark switch byte-diffs. Also
+/// returns the gate-evaluation accounting (one machine per eval), the
+/// denominator of the packed engine's ≥ 32× faults-per-gate-eval CI
+/// gate.
+///
+/// # Errors
+///
+/// Returns the fault-free machine's error (typically
+/// [`GateError::Oscillation`]); faulty-machine errors count the fault
+/// as detected, exactly as in [`stuck_at_coverage`].
+pub fn stuck_at_coverage_scalar(
+    net: &Netlist,
+    stimuli: &[CycleStimulus],
+) -> Result<(FaultReport, GradeStats), GateError> {
+    let mut stats = GradeStats::default();
+    let golden = {
+        let mut sim = GateSim::new(net.clone())?;
+        let seen = drive_stimuli(&mut sim, stimuli)?;
+        stats.gate_evals += sim.stats().gate_evals;
+        seen
+    };
+    let sites = enumerate_faults(net);
+    stats.faults = sites.len() as u64;
+    let mut detected = 0;
+    let mut undetected = Vec::new();
+    for fault in &sites {
+        let observed = GateSim::new(inject(net, *fault))
+            .and_then(|mut sim| {
+                let seen = drive_stimuli(&mut sim, stimuli);
+                let evals = sim.stats().gate_evals;
+                stats.gate_evals += evals;
+                stats.machine_evals += evals;
+                seen.map(Some)
+            })
+            .unwrap_or(None);
+        match observed {
+            Some(seen) if seen == golden => undetected.push(*fault),
+            _ => detected += 1,
+        }
+    }
+    Ok((
+        FaultReport {
+            total: sites.len(),
+            detected,
+            undetected,
+        },
+        stats,
+    ))
 }
 
 /// One cycle of bus-level stimulus for the parallel engine: values to
@@ -169,23 +312,60 @@ pub struct CycleStimulus {
 /// typed [`GateError::Oscillation`], this engine via lanes still
 /// flipping at the pass cap).
 pub fn stuck_at_coverage_parallel(net: &Netlist, stimuli: &[CycleStimulus]) -> FaultReport {
-    let sites = fault_sites(net);
+    stuck_at_coverage_parallel_stats(net, stimuli).0
+}
+
+/// [`stuck_at_coverage_parallel`] with the gate-evaluation accounting:
+/// each word-level evaluation advances every fault machine packed into
+/// its batch, which is where the engine's ≥ 32× faults-per-gate-eval
+/// advantage over [`stuck_at_coverage_scalar`] comes from.
+pub fn stuck_at_coverage_parallel_stats(
+    net: &Netlist,
+    stimuli: &[CycleStimulus],
+) -> (FaultReport, GradeStats) {
+    let sites = enumerate_faults(net);
+    let (report, stats) = grade_fault_list(net, &sites, stimuli);
+    (report, stats)
+}
+
+/// Bit-parallel grading of an explicit fault list (packed into
+/// [`FAULTS_PER_WORD`]-fault words in list order). This is the kernel
+/// behind [`stuck_at_coverage_parallel`]; exposed so callers can grade
+/// subsets — incremental re-grading, or the pack-boundary tests that
+/// pin down word rollover at 63/64/65 faults.
+pub fn grade_fault_list(
+    net: &Netlist,
+    faults: &[Fault],
+    stimuli: &[CycleStimulus],
+) -> (FaultReport, GradeStats) {
     let mut detected = 0usize;
     let mut undetected = Vec::new();
-    for batch in sites.chunks(63) {
-        let caught = run_batch(net, batch, stimuli);
+    let mut stats = GradeStats {
+        faults: faults.len() as u64,
+        ..GradeStats::default()
+    };
+    for batch in faults.chunks(FAULTS_PER_WORD) {
+        let (caught, evals) = run_batch(net, batch, stimuli);
+        stats.gate_evals += evals;
+        stats.machine_evals += evals * batch.len() as u64;
+        stats.fault_words += 1;
         collect_batch(batch, caught, &mut detected, &mut undetected);
     }
-    FaultReport {
-        total: sites.len(),
-        detected,
-        undetected,
-    }
+    (
+        FaultReport {
+            total: faults.len(),
+            detected,
+            undetected,
+        },
+        stats,
+    )
 }
 
 /// Every single-stuck-at fault site of `net`, in gate order (constants
-/// excluded), stuck-at-0 before stuck-at-1 per gate.
-fn fault_sites(net: &Netlist) -> Vec<Fault> {
+/// excluded), stuck-at-0 before stuck-at-1 per gate — the one fault
+/// universe every grading engine (serial, packed, sharded, BIST
+/// sign-off) enumerates, so their universes can never drift.
+pub fn enumerate_faults(net: &Netlist) -> Vec<Fault> {
     net.gates
         .iter()
         .enumerate()
@@ -226,10 +406,26 @@ pub fn stuck_at_coverage_sharded(
     stimuli: &[CycleStimulus],
     pool: &ocapi::ParConfig,
 ) -> Result<FaultReport, GateError> {
-    let sites = fault_sites(net);
-    let batches: Vec<&[Fault]> = sites.chunks(63).collect();
+    stuck_at_coverage_sharded_stats(net, stimuli, pool).map(|(r, _)| r)
+}
+
+/// [`stuck_at_coverage_sharded`] with the gate-evaluation accounting.
+/// The per-batch evaluation counts are pure functions of (netlist,
+/// stimulus, batch), merged in batch order — deterministic for every
+/// thread count, like the report itself.
+///
+/// # Errors
+///
+/// As [`stuck_at_coverage_sharded`].
+pub fn stuck_at_coverage_sharded_stats(
+    net: &Netlist,
+    stimuli: &[CycleStimulus],
+    pool: &ocapi::ParConfig,
+) -> Result<(FaultReport, GradeStats), GateError> {
+    let sites = enumerate_faults(net);
+    let batches: Vec<&[Fault]> = sites.chunks(FAULTS_PER_WORD).collect();
     let masks = ocapi::sim::par::map_indexed(pool, &batches, |_, batch| {
-        Ok::<u64, GateError>(run_batch(net, batch, stimuli))
+        Ok::<(u64, u64), GateError>(run_batch(net, batch, stimuli))
     })
     .map_err(|e| match e {
         ocapi::ParError::Task { error, .. } => error,
@@ -238,14 +434,24 @@ pub fn stuck_at_coverage_sharded(
 
     let mut detected = 0usize;
     let mut undetected = Vec::new();
-    for (batch, caught) in batches.iter().zip(masks) {
+    let mut stats = GradeStats {
+        faults: sites.len() as u64,
+        ..GradeStats::default()
+    };
+    for (batch, (caught, evals)) in batches.iter().zip(masks) {
+        stats.gate_evals += evals;
+        stats.machine_evals += evals * batch.len() as u64;
+        stats.fault_words += 1;
         collect_batch(batch, caught, &mut detected, &mut undetected);
     }
-    Ok(FaultReport {
-        total: sites.len(),
-        detected,
-        undetected,
-    })
+    Ok((
+        FaultReport {
+            total: sites.len(),
+            detected,
+            undetected,
+        },
+        stats,
+    ))
 }
 
 /// Evaluates one gate bitwise over 64 lanes.
@@ -267,8 +473,11 @@ fn eval_lanes(kind: GateKind, i: &[u64]) -> u64 {
 }
 
 /// Runs lane 0 (golden) + one lane per batch fault; returns the mask of
-/// lanes observed to differ from lane 0.
-fn run_batch(net: &Netlist, batch: &[Fault], stimuli: &[CycleStimulus]) -> u64 {
+/// lanes observed to differ from lane 0 plus the number of word-level
+/// gate evaluations performed (combinational evaluations in the settle
+/// passes and DFF samples at the clock edges — each advancing every
+/// machine in the word at once).
+fn run_batch(net: &Netlist, batch: &[Fault], stimuli: &[CycleStimulus]) -> (u64, u64) {
     // Per-gate fault lanes: (force-to-one bits, force-mask bits).
     let mut force_mask = vec![0u64; net.gates.len()];
     let mut force_ones = vec![0u64; net.gates.len()];
@@ -308,8 +517,9 @@ fn run_batch(net: &Netlist, batch: &[Fault], stimuli: &[CycleStimulus]) -> u64 {
     // pass count is bounded by the logic depth for acyclic netlists;
     // lanes still flipping at the cap are oscillating faulty machines.
     let mut caught = 0u64;
+    let mut evals = 0u64;
     let max_passes = comb.len() + 2;
-    let settle = |wires: &mut Vec<u64>, caught: &mut u64| {
+    let settle = |wires: &mut Vec<u64>, caught: &mut u64, evals: &mut u64| {
         for pass in 0..max_passes {
             let mut changed = 0u64;
             for gi in &comb {
@@ -324,6 +534,7 @@ fn run_batch(net: &Netlist, batch: &[Fault], stimuli: &[CycleStimulus]) -> u64 {
                 changed |= wires[w] ^ v;
                 wires[w] = v;
             }
+            *evals += comb.len() as u64;
             if changed == 0 {
                 break;
             }
@@ -334,7 +545,7 @@ fn run_batch(net: &Netlist, batch: &[Fault], stimuli: &[CycleStimulus]) -> u64 {
             }
         }
     };
-    settle(&mut wires, &mut caught);
+    settle(&mut wires, &mut caught, &mut evals);
 
     for cyc in stimuli {
         for (name, value) in &cyc.inputs {
@@ -347,7 +558,7 @@ fn run_batch(net: &Netlist, batch: &[Fault], stimuli: &[CycleStimulus]) -> u64 {
                 wires[w.index()] = broadcast((value >> k) & 1 == 1);
             }
         }
-        settle(&mut wires, &mut caught);
+        settle(&mut wires, &mut caught, &mut evals);
         // Clock edge: sample all DFF inputs simultaneously.
         let sampled: Vec<(usize, u64)> = dffs
             .iter()
@@ -360,10 +571,11 @@ fn run_batch(net: &Netlist, batch: &[Fault], stimuli: &[CycleStimulus]) -> u64 {
                 )
             })
             .collect();
+        evals += dffs.len() as u64;
         for (w, v) in sampled {
             wires[w] = v;
         }
-        settle(&mut wires, &mut caught);
+        settle(&mut wires, &mut caught, &mut evals);
         // Observe every output bus against lane 0.
         for (_, ws) in &net.outputs {
             for w in ws {
@@ -372,7 +584,7 @@ fn run_batch(net: &Netlist, batch: &[Fault], stimuli: &[CycleStimulus]) -> u64 {
             }
         }
     }
-    caught
+    (caught, evals)
 }
 
 #[cfg(test)]
@@ -499,6 +711,124 @@ mod tests {
         let p = stuck_at_coverage_parallel(&n, &stimuli);
         assert_eq!(s.detected, p.detected);
         assert_eq!(s.undetected, p.undetected);
+    }
+
+    /// Detection flags for an explicit fault list, one rebuilt serial
+    /// machine per fault — the reference the pack-boundary tests grade
+    /// `grade_fault_list` against.
+    fn scalar_subset(net: &Netlist, faults: &[Fault], stimuli: &[CycleStimulus]) -> Vec<bool> {
+        let golden = {
+            let mut sim = GateSim::new(net.clone()).expect("golden");
+            drive_stimuli(&mut sim, stimuli).expect("golden drive")
+        };
+        faults
+            .iter()
+            .map(|f| {
+                GateSim::new(inject(net, *f))
+                    .and_then(|mut sim| drive_stimuli(&mut sim, stimuli))
+                    .map(|seen| seen != golden)
+                    .unwrap_or(true)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn scalar_stimulus_grader_matches_packed_engine() {
+        let net = redundant();
+        let stimuli = stim(&[0, 1, 2, 3]);
+        let (scalar, s_stats) = stuck_at_coverage_scalar(&net, &stimuli).expect("scalar");
+        let (packed, p_stats) = stuck_at_coverage_parallel_stats(&net, &stimuli);
+        assert_eq!(scalar.total, packed.total);
+        assert_eq!(scalar.detected, packed.detected);
+        assert_eq!(scalar.undetected, packed.undetected);
+        // Universe bookkeeping is shared; the engines only differ in
+        // packing. The scalar engine advances at most one fault machine
+        // per eval, the packed one the whole word.
+        assert_eq!(s_stats.faults, p_stats.faults);
+        assert_eq!(s_stats.fault_words, 0);
+        assert_eq!(p_stats.fault_words, 1, "8 faults fit one word");
+        assert!(s_stats.faults_per_gate_eval() < 1.0, "{s_stats:?}");
+        assert!(
+            p_stats.faults_per_gate_eval() > 1.0,
+            "word packing must advance several machines per eval: {p_stats:?}"
+        );
+    }
+
+    #[test]
+    fn every_engine_shares_one_fault_universe() {
+        let net = redundant();
+        let universe = enumerate_faults(&net);
+        assert_eq!(universe.len(), 8, "4 gates x 2 polarities");
+        let stimuli = stim(&[0, 1, 2, 3]);
+        let serial = serial_reference(&net, &stimuli);
+        let packed = stuck_at_coverage_parallel(&net, &stimuli);
+        let sharded =
+            stuck_at_coverage_sharded(&net, &stimuli, &ocapi::ParConfig::new(2)).expect("sharded");
+        for rep in [&serial, &packed, &sharded] {
+            assert_eq!(rep.total, universe.len());
+            assert!(rep.undetected.iter().all(|f| universe.contains(f)));
+        }
+    }
+
+    #[test]
+    fn pack_boundary_at_63_64_65_faults() {
+        // A 40-inverter chain: 80 fault sites, so the universe can be
+        // sliced to exactly 63 (one full word), 64 (a full word plus a
+        // 1-fault word) and 65 faults around the word rollover.
+        let mut n = Netlist::new();
+        let i = n.input_bus("x", 1);
+        let mut w = i[0];
+        for _ in 0..40 {
+            w = n.gate(GateKind::Inv, &[w]);
+        }
+        n.output_bus("y", vec![w]);
+        // One constant cycle only: the chain output settles to a fixed
+        // polarity, so faults of one polarity per gate escape — the
+        // boundary test needs both detected and undetected faults in
+        // every word, not a trivially all-caught universe.
+        let stimuli = stim(&[0]);
+        let universe = enumerate_faults(&n);
+        assert_eq!(universe.len(), 80);
+        for (count, words) in [(63usize, 1u64), (64, 2), (65, 2)] {
+            let subset = &universe[..count];
+            let (report, stats) = grade_fault_list(&n, subset, &stimuli);
+            assert_eq!(report.total, count);
+            assert_eq!(
+                stats.fault_words, words,
+                "{count} faults must pack into {words} word(s)"
+            );
+            let reference = scalar_subset(&n, subset, &stimuli);
+            let detected_ref = reference.iter().filter(|d| **d).count();
+            assert_eq!(
+                report.detected, detected_ref,
+                "{count}-fault slice: packed and serial classifications differ"
+            );
+            let undetected_ref: Vec<Fault> = subset
+                .iter()
+                .zip(&reference)
+                .filter(|(_, d)| !**d)
+                .map(|(f, _)| *f)
+                .collect();
+            assert_eq!(report.undetected, undetected_ref, "{count}-fault slice");
+            assert!(
+                !report.undetected.is_empty() && report.detected > 0,
+                "boundary slice must mix detected and escaped faults: {report:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn grade_obs_flush_is_deterministic() {
+        let net = redundant();
+        let stimuli = stim(&[0, 1, 2, 3]);
+        let (_, stats) = stuck_at_coverage_parallel_stats(&net, &stimuli);
+        let reg = ocapi_obs::Registry::new();
+        flush_grade_obs(&reg, &stats);
+        assert_eq!(reg.counter("gate.fault_words").get(), stats.fault_words);
+        assert_eq!(
+            reg.counter("gate.faults_per_pass").get(),
+            stats.faults / stats.fault_words
+        );
     }
 
     #[test]

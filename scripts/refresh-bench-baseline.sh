@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_BASELINE.json — the committed perf floor the CI
+# bench-regress step compares every PR's BENCH_PR.json against.
+#
+# One command, run from anywhere in the repo; commit the result:
+#
+#   scripts/refresh-bench-baseline.sh && git add BENCH_BASELINE.json
+#
+# Refresh after any deliberate perf-affecting change (new fast path,
+# heavier default workload) so the floor tracks intent, not drift.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p ocapi-bench
+out=$(mktemp -d)
+trap 'rm -rf "$out"' EXIT
+for bin in table1 table_gates fault_coverage ber_sweep exception_latency; do
+  ./target/release/$bin --quick --threads 4 --perf-json "$out/$bin.perf.json"
+done
+jq -s '{generated_by: "scripts/refresh-bench-baseline.sh", bins: .}' \
+  "$out"/*.perf.json > BENCH_BASELINE.json
+echo "wrote BENCH_BASELINE.json ($(jq '.bins | length' BENCH_BASELINE.json) bins)"
