@@ -13,8 +13,8 @@
 
 use ocapi::sim::par::{map_indexed, ParConfig, ParError};
 use ocapi::{
-    apply_plan_lane, BatchObs, BatchedSim, CoreError, FaultPlan, FaultySim, InterpSim, OptLevel,
-    SigType, Value,
+    apply_plan_lane, BatchObs, BatchedSim, CompiledTape, CoreError, FaultPlan, FaultySim,
+    InterpSim, OptLevel, SigType, Value,
 };
 use ocapi_designs::dect::burst::{generate, Burst, BurstConfig};
 use ocapi_designs::dect::transceiver::{
@@ -319,7 +319,10 @@ fn run_bursts_batched(
 /// One chunk of the batched measurement: the bursts at `seeds` (global
 /// burst indices), one per lane, through one shared tape walk per
 /// cycle. `fault_rate` of `None` runs fault-free; `Some(rate)` builds
-/// one independent plan per burst, seeded on the global index.
+/// one independent plan per burst, seeded on the global index. With a
+/// cached `tape`, the per-chunk levelization and optimization are
+/// skipped entirely — the chunk's freshly built systems are verified
+/// against the tape's structural hash and instantiated directly.
 #[allow(clippy::too_many_arguments)]
 fn batched_chunk(
     cfg: &TransceiverConfig,
@@ -328,6 +331,7 @@ fn batched_chunk(
     fault_rate: Option<f64>,
     payload_len: usize,
     level: OptLevel,
+    tape: Option<&CompiledTape>,
     obs: Option<&ocapi_obs::Registry>,
     seeds: &[usize],
 ) -> Result<Vec<BerCount>, CoreError> {
@@ -355,7 +359,10 @@ fn batched_chunk(
         });
         systems.push(sys);
     }
-    let mut sim = BatchedSim::new_with(systems, level)?;
+    let mut sim = match tape {
+        Some(tape) => BatchedSim::from_tape(systems, tape)?,
+        None => BatchedSim::new_with(systems, level)?,
+    };
     if let Some(reg) = obs {
         sim.attach_obs(BatchObs::new(reg));
     }
@@ -380,9 +387,16 @@ fn batched_chunk(
 /// time. Under a checkpointing [`Robust`] envelope, per-burst counts
 /// land in the `stream` manifest and `--resume` skips completed bursts.
 ///
+/// A cached `tape` (compiled once from the same transceiver config at
+/// the same level — the simulation service's tape cache) skips
+/// per-chunk recompilation; `None` preserves the compile-per-chunk CLI
+/// behaviour. Totals are bit-identical either way.
+///
 /// # Errors
 ///
-/// As [`measure`], plus checkpoint manifest I/O and decode errors.
+/// As [`measure`], plus checkpoint manifest I/O and decode errors, and
+/// [`CoreError::TapeMismatch`](ocapi::CoreError) via [`BenchError::Item`]
+/// when `tape` was compiled from a different design.
 #[allow(clippy::too_many_arguments)]
 pub fn measure_batched(
     rb: &Robust,
@@ -394,6 +408,7 @@ pub fn measure_batched(
     payload_len: usize,
     lanes: usize,
     level: OptLevel,
+    tape: Option<&CompiledTape>,
 ) -> Result<BerCount, BenchError> {
     let cfg = TransceiverConfig {
         train: adapt,
@@ -416,6 +431,7 @@ pub fn measure_batched(
                 None,
                 payload_len,
                 level,
+                tape,
                 rb.obs,
                 seeds,
             )
@@ -447,6 +463,7 @@ pub fn measure_with_faults_batched(
     payload_len: usize,
     lanes: usize,
     level: OptLevel,
+    tape: Option<&CompiledTape>,
 ) -> Result<BerCount, BenchError> {
     let cfg = TransceiverConfig {
         train: true,
@@ -476,6 +493,7 @@ pub fn measure_with_faults_batched(
                 Some(rate),
                 payload_len,
                 level,
+                tape,
                 rb.obs,
                 seeds,
             )

@@ -22,8 +22,10 @@
 
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
+use ocapi::CompiledTape;
 use ocapi_bench::ber::{fmt_ber, measure, measure_batched, measure_with_faults_batched};
 use ocapi_bench::{parse_args, timed, write_profile, BenchError, Reporter, Robust};
+use ocapi_designs::dect::transceiver::{build_system, TransceiverConfig};
 use ocapi_obs::Registry;
 
 fn main() {
@@ -42,6 +44,24 @@ fn run(args: &ocapi_bench::BenchArgs) -> Result<(), BenchError> {
     let obs = Registry::new();
     let rb = Robust::new(args, &pool, Some(&obs));
     let root = obs.span("ber_sweep");
+
+    // Both receiver configurations compile once up front; every chunk
+    // of every sweep point reuses the cached tape instead of
+    // re-levelizing — the same artifact the simulation service caches.
+    let sw_compile = ocapi_obs::Stopwatch::start();
+    let cfg_eq = TransceiverConfig {
+        train: true,
+        agc: false,
+        adapt: true,
+    };
+    let cfg_fixed = TransceiverConfig {
+        train: false,
+        agc: false,
+        adapt: false,
+    };
+    let tape_eq = CompiledTape::compile(&build_system(&cfg_eq)?, level)?;
+    let tape_fixed = CompiledTape::compile(&build_system(&cfg_fixed)?, level)?;
+    let compile_secs = sw_compile.elapsed_secs();
 
     let (bursts, payload) = if args.quick { (2, 64) } else { (8, 160) };
     println!("DECT payload BER ({payload}-bit payloads x {bursts} bursts per point)\n");
@@ -81,6 +101,7 @@ fn run(args: &ocapi_bench::BenchArgs) -> Result<(), BenchError> {
                 payload,
                 lanes,
                 level,
+                Some(&tape_eq),
             )?;
             let fixed = measure_batched(
                 &rb,
@@ -92,6 +113,7 @@ fn run(args: &ocapi_bench::BenchArgs) -> Result<(), BenchError> {
                 payload,
                 lanes,
                 level,
+                Some(&tape_fixed),
             )?;
             total_runs += 2 * bursts;
             println!(
@@ -132,6 +154,7 @@ fn run(args: &ocapi_bench::BenchArgs) -> Result<(), BenchError> {
             payload,
             lanes,
             level,
+            Some(&tape_eq),
         )?;
         total_runs += bursts;
         println!("{rate:<22} {:>14}", fmt_ber(c));
@@ -179,6 +202,7 @@ fn run(args: &ocapi_bench::BenchArgs) -> Result<(), BenchError> {
             payload,
             lanes,
             level,
+            Some(&tape_eq),
         )
     });
     let batched_hh = batched_hh?;
@@ -191,6 +215,7 @@ fn run(args: &ocapi_bench::BenchArgs) -> Result<(), BenchError> {
     );
 
     let wall = sweep_secs + fault_secs;
+    rep.perf_f64("tape_compile_secs", compile_secs);
     rep.perf_f64("sweep_wall_secs", wall);
     rep.perf_u64("burst_runs", total_runs);
     rep.perf_f64("runs_per_sec", total_runs as f64 / wall.max(1e-12));

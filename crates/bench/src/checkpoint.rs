@@ -217,10 +217,25 @@ pub struct Robust<'a> {
     /// Checkpoint directory (`--checkpoint`); `None` disables
     /// checkpointing entirely.
     pub dir: Option<&'a str>,
+    /// Job id namespacing the manifests (see [`Robust::for_job`]);
+    /// `None` uses `dir` itself — the single-run CLI behaviour.
+    pub job: Option<&'a str>,
     /// Load existing manifests and skip completed items (`--resume`).
     pub resume: bool,
     /// Robustness counters (`robust.*`) land here when attached.
     pub obs: Option<&'a Registry>,
+}
+
+/// The manifest directory of job `job` under checkpoint root `dir`:
+/// `<dir>/job-<sanitized id>-<hash>`. The short hash of the raw id
+/// keeps distinct jobs distinct after sanitising, exactly like
+/// manifest filenames.
+pub fn job_dir(dir: &str, job: &str) -> String {
+    let safe: String = job
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    format!("{dir}/job-{safe}-{:08x}", fingerprint(&[job]) as u32)
 }
 
 impl<'a> Robust<'a> {
@@ -231,6 +246,7 @@ impl<'a> Robust<'a> {
             attempts: args.retries,
             every: args.checkpoint_every,
             dir: args.checkpoint.as_deref(),
+            job: None,
             resume: args.resume,
             obs,
         }
@@ -244,9 +260,22 @@ impl<'a> Robust<'a> {
             attempts: 1,
             every: u64::MAX,
             dir: None,
+            job: None,
             resume: false,
             obs: None,
         }
+    }
+
+    /// Namespaces this envelope's checkpoints under one named job:
+    /// manifests land in [`job_dir`]`(dir, job)` instead of `dir`
+    /// itself. Two concurrent jobs sharing a checkpoint root therefore
+    /// can never clobber each other's manifests, even when they run the
+    /// same driver with the same stream names — the situation a
+    /// simulation service is permanently in. Resuming a job means
+    /// re-running it with the same id.
+    pub fn for_job(mut self, job: &'a str) -> Robust<'a> {
+        self.job = Some(job);
+        self
     }
 
     fn counter(&self, name: &str, delta: u64) {
@@ -287,7 +316,15 @@ impl<'a> Robust<'a> {
         run: impl Fn(&[usize]) -> Result<Vec<R>, CoreError> + Sync,
     ) -> Result<Vec<R>, BenchError> {
         let chunk = chunk.max(1);
-        let mut manifest = match self.dir {
+        let jd;
+        let dir = match (self.dir, self.job) {
+            (Some(d), Some(j)) => {
+                jd = job_dir(d, j);
+                Some(jd.as_str())
+            }
+            (d, _) => d,
+        };
+        let mut manifest = match dir {
             Some(dir) => Some(CheckpointStream::open(dir, stream, fp, self.resume)?),
             None => None,
         };
@@ -442,6 +479,83 @@ mod tests {
         let resumed = rb2.run_chunked("s", 7, 9, 2, enc, dec, run).unwrap();
         assert_eq!(resumed, full);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Regression test for concurrent server jobs: two jobs sharing one
+    /// checkpoint root, the *same* stream name and the *same* workload
+    /// fingerprint but different job ids must land in separate
+    /// manifests, resume independently, and never see each other's
+    /// payloads — without namespacing the second flush would clobber
+    /// the first job's manifest.
+    #[test]
+    fn concurrent_jobs_never_clobber_each_others_manifests() {
+        let dir = tmpdir("job-collide");
+        let pool = ParConfig::new(2);
+        let mut args = crate::cli::BenchArgs::defaults("t");
+        args.checkpoint = Some(dir.clone());
+        args.checkpoint_every = 1;
+        let enc = |r: &u64| r.to_string();
+        let dec = |s: &str| s.parse::<u64>().ok();
+        // Interleave the two jobs on real threads: flush order between
+        // them is nondeterministic, which is exactly the hazard.
+        let (a, b) = std::thread::scope(|s| {
+            let args = &args;
+            let pool = &pool;
+            let ja = s.spawn(move || {
+                Robust::new(args, pool, None).for_job("job-A").run_chunked(
+                    "s",
+                    7,
+                    8,
+                    2,
+                    enc,
+                    dec,
+                    |idxs| Ok(idxs.iter().map(|i| *i as u64 * 10).collect::<Vec<u64>>()),
+                )
+            });
+            let jb = s.spawn(move || {
+                Robust::new(args, pool, None).for_job("job-B").run_chunked(
+                    "s",
+                    7,
+                    8,
+                    2,
+                    enc,
+                    dec,
+                    |idxs| Ok(idxs.iter().map(|i| *i as u64 * 1000).collect::<Vec<u64>>()),
+                )
+            });
+            (ja.join().unwrap().unwrap(), jb.join().unwrap().unwrap())
+        });
+        assert_eq!(a, (0..8).map(|i| i * 10).collect::<Vec<u64>>());
+        assert_eq!(b, (0..8).map(|i| i * 1000).collect::<Vec<u64>>());
+        // Each job's manifest survives intact in its own subdirectory
+        // and resumes with that job's payloads, not the other's.
+        let sa = CheckpointStream::open(&job_dir(&dir, "job-A"), "s", 7, true).unwrap();
+        let sb = CheckpointStream::open(&job_dir(&dir, "job-B"), "s", 7, true).unwrap();
+        assert_eq!(sa.resumed(), 8);
+        assert_eq!(sb.resumed(), 8);
+        assert_eq!(sa.completed(3), Some("30"));
+        assert_eq!(sb.completed(3), Some("3000"));
+        // And a resumed re-run of one job skips all its items.
+        let mut args2 = args.clone();
+        args2.resume = true;
+        let obs = Registry::new();
+        let again = Robust::new(&args2, &pool, Some(&obs))
+            .for_job("job-A")
+            .run_chunked("s", 7, 8, 2, enc, dec, |_| {
+                Err(ocapi::CoreError::WorkerPanic { index: 0 })
+            })
+            .unwrap();
+        assert_eq!(again, a);
+        assert_eq!(obs.counter("robust.items_resumed").get(), 8);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Distinct job ids that sanitise to the same string still get
+    /// distinct directories via the id hash.
+    #[test]
+    fn job_dirs_stay_distinct_after_sanitising() {
+        assert_ne!(job_dir("/r", "a.b"), job_dir("/r", "a_b"));
+        assert_eq!(job_dir("/r", "a.b"), job_dir("/r", "a.b"));
     }
 
     #[test]

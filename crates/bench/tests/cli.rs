@@ -2,11 +2,12 @@
 //! thread-count invariance of the sharded BER measurement (the property
 //! the CI determinism job checks end-to-end on the built binaries).
 
-use ocapi::{OptLevel, ParConfig};
+use ocapi::{CompiledTape, OptLevel, ParConfig};
 use ocapi_bench::ber::{
     measure, measure_batched, measure_with_faults, measure_with_faults_batched,
 };
 use ocapi_bench::{parse_arg_list, BenchArgs, FaultEngine, Robust};
+use ocapi_designs::dect::transceiver::{build_system, TransceiverConfig};
 
 fn argv(args: &[&str]) -> Vec<String> {
     args.iter().map(|s| (*s).to_owned()).collect()
@@ -170,25 +171,39 @@ fn batched_ber_counts_equal_scalar_for_all_lane_and_thread_counts() {
     // not divide the burst count (ragged final chunk).
     let channel = [1.0, 0.65, 0.35];
     let scalar = measure(&ParConfig::new(1), &channel, 0.4, true, 5, 24).expect("measure");
+    // A tape compiled once up front must reproduce the compile-per-chunk
+    // totals bit-for-bit too — the simulation service's warm path.
+    let cfg = TransceiverConfig {
+        train: true,
+        agc: false,
+        adapt: true,
+    };
+    let tape = CompiledTape::compile(&build_system(&cfg).expect("build"), OptLevel::Full)
+        .expect("compile");
     for lanes in [1usize, 3, 8] {
         for threads in [1usize, 4] {
             let pool = ParConfig::new(threads);
-            let c = measure_batched(
-                &Robust::plain(&pool),
-                "test_eq",
-                &channel,
-                0.4,
-                true,
-                5,
-                24,
-                lanes,
-                OptLevel::Full,
-            )
-            .expect("measure");
-            assert_eq!(
-                c, scalar,
-                "fault-free diverged at {lanes} lanes, {threads} threads"
-            );
+            for tape in [None, Some(&tape)] {
+                let c = measure_batched(
+                    &Robust::plain(&pool),
+                    "test_eq",
+                    &channel,
+                    0.4,
+                    true,
+                    5,
+                    24,
+                    lanes,
+                    OptLevel::Full,
+                    tape,
+                )
+                .expect("measure");
+                assert_eq!(
+                    c,
+                    scalar,
+                    "fault-free diverged at {lanes} lanes, {threads} threads, cached={}",
+                    tape.is_some()
+                );
+            }
         }
     }
 }
@@ -201,19 +216,34 @@ fn batched_faulty_ber_counts_equal_scalar() {
     let scalar =
         measure_with_faults(&ParConfig::new(1), &channel, 0.2, 0.02, 4, 24).expect("measure");
     let pool = ParConfig::new(2);
+    let cfg = TransceiverConfig {
+        train: true,
+        agc: false,
+        adapt: true,
+    };
+    let tape = CompiledTape::compile(&build_system(&cfg).expect("build"), OptLevel::Full)
+        .expect("compile");
     for lanes in [1usize, 3] {
-        let c = measure_with_faults_batched(
-            &Robust::plain(&pool),
-            "test_fault",
-            &channel,
-            0.2,
-            0.02,
-            4,
-            24,
-            lanes,
-            OptLevel::Full,
-        )
-        .expect("measure");
-        assert_eq!(c, scalar, "faulted totals diverged at {lanes} lanes");
+        for tape in [None, Some(&tape)] {
+            let c = measure_with_faults_batched(
+                &Robust::plain(&pool),
+                "test_fault",
+                &channel,
+                0.2,
+                0.02,
+                4,
+                24,
+                lanes,
+                OptLevel::Full,
+                tape,
+            )
+            .expect("measure");
+            assert_eq!(
+                c,
+                scalar,
+                "faulted totals diverged at {lanes} lanes, cached={}",
+                tape.is_some()
+            );
+        }
     }
 }

@@ -133,6 +133,15 @@ pub enum CoreError {
         /// What was wrong with it.
         reason: String,
     },
+    /// A cached compiled tape ([`crate::CompiledTape`]) was offered a
+    /// system whose structural hash does not match the system the tape
+    /// was compiled from — a tape-cache lookup gone wrong.
+    TapeMismatch {
+        /// Structural hash the tape was compiled from.
+        expected: u64,
+        /// Structural hash of the offered system.
+        got: u64,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -203,6 +212,13 @@ impl fmt::Display for CoreError {
             }
             CoreError::SnapshotFormat { reason } => {
                 write!(f, "malformed snapshot: {reason}")
+            }
+            CoreError::TapeMismatch { expected, got } => {
+                write!(
+                    f,
+                    "cached tape was compiled from design {expected:#018x}, \
+                     offered system hashes to {got:#018x}"
+                )
             }
         }
     }

@@ -85,9 +85,10 @@ pub use sim::budget::{Budget, BudgetKind};
 pub use sim::chaos::{ChaosEvent, ChaosKind, ChaosPlan};
 pub use sim::fault::{
     apply_plan_lane, run_campaign, run_campaign_batched, run_campaign_batched_par,
-    run_campaign_par, CampaignReport, FaultEvent, FaultKind, FaultOutcome, FaultPlan, FaultSite,
-    FaultySim,
+    run_campaign_cached_par, run_campaign_par, CampaignReport, FaultEvent, FaultKind, FaultOutcome,
+    FaultPlan, FaultSite, FaultySim,
 };
+pub use sim::hash::{hash_compiled, hash_system, CompiledTape};
 pub use sim::obs::{BatchObs, SimObs};
 pub use sim::par::{map_indexed_retry, ParConfig, ParError, PoolStats, RetryStats, Stopwatch};
 pub use sim::snapshot::{SimSnapshot, SnapshotBackend};

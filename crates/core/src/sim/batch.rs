@@ -124,6 +124,25 @@ impl std::fmt::Debug for BatchedSim {
     }
 }
 
+/// Validates a lane set: non-empty and structurally identical to lane 0.
+fn check_lanes(systems: &[System]) -> Result<(), CoreError> {
+    if systems.is_empty() {
+        return Err(CoreError::CheckFailed {
+            diagnostics: vec!["a batched simulator needs at least one lane".to_owned()],
+        });
+    }
+    let diags: Vec<String> = systems
+        .iter()
+        .enumerate()
+        .skip(1)
+        .filter_map(|(l, s)| shape_diff(&systems[0], s, l))
+        .collect();
+    if !diags.is_empty() {
+        return Err(CoreError::CheckFailed { diagnostics: diags });
+    }
+    Ok(())
+}
+
 /// One structural difference between two lane systems, rendered.
 fn shape_diff(a: &System, b: &System, lane: usize) -> Option<String> {
     if a.name != b.name {
@@ -634,22 +653,41 @@ impl BatchedSim {
     /// [`CoreError::NotCompilable`] when the design has no static
     /// single-pass schedule.
     pub fn new_with(systems: Vec<System>, level: OptLevel) -> Result<BatchedSim, CoreError> {
-        if systems.is_empty() {
-            return Err(CoreError::CheckFailed {
-                diagnostics: vec!["a batched simulator needs at least one lane".to_owned()],
-            });
-        }
-        let diags: Vec<String> = systems
-            .iter()
-            .enumerate()
-            .skip(1)
-            .filter_map(|(l, s)| shape_diff(&systems[0], s, l))
-            .collect();
-        if !diags.is_empty() {
-            return Err(CoreError::CheckFailed { diagnostics: diags });
-        }
-        let mut prog = build_program(&systems[0], level)?;
+        check_lanes(&systems)?;
+        let prog = build_program(&systems[0], level)?;
         let design_hash = crate::sim::snapshot::hash_program(&systems[0], &prog);
+        BatchedSim::from_parts(systems, prog, design_hash)
+    }
+
+    /// Instantiates a batch from a cached
+    /// [`CompiledTape`](crate::CompiledTape) without recompiling: the
+    /// levelized program is reused (the word-run clustering below still
+    /// runs on this batch's private copy) and only the lane-striped
+    /// mutable state is built fresh. Behaviour and
+    /// [`BatchedSim::design_hash`] are identical to compiling
+    /// `systems[0]` at the tape's level — the warm path of the
+    /// simulation service's tape cache.
+    ///
+    /// # Errors
+    ///
+    /// As [`BatchedSim::new_with`], plus [`CoreError::TapeMismatch`]
+    /// when `systems[0]` is not structurally the system the tape was
+    /// compiled from.
+    pub fn from_tape(
+        systems: Vec<System>,
+        tape: &crate::sim::hash::CompiledTape,
+    ) -> Result<BatchedSim, CoreError> {
+        check_lanes(&systems)?;
+        tape.check_system(&systems[0])?;
+        BatchedSim::from_parts(systems, (*tape.prog).clone(), tape.program_hash())
+    }
+
+    /// Assembles a batch around an already-built program.
+    fn from_parts(
+        systems: Vec<System>,
+        mut prog: Program,
+        design_hash: u64,
+    ) -> Result<BatchedSim, CoreError> {
         // Cluster word-eligible ops before planning (and after hashing,
         // so the reorder never shows in snapshot compatibility). The
         // reordered tape is the one both the word path and the scalar

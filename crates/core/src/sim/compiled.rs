@@ -32,6 +32,7 @@ use ocapi_fixp::{Fix, Format, Overflow, Rounding};
 
 use crate::comp::{Component, NodeId, NodeKind};
 use crate::sim::budget::Budget;
+use crate::sim::hash::CompiledTape;
 use crate::sim::obs::SimObs;
 use crate::sim::opt::{self, OptEnv, OptLevel, OptStats};
 use crate::sim::snapshot::{SimSnapshot, SnapshotBackend};
@@ -700,6 +701,31 @@ impl CompiledSim {
     pub fn new_with(sys: System, level: OptLevel) -> Result<CompiledSim, CoreError> {
         let prog = build_program(&sys, level)?;
         let design_hash = crate::sim::snapshot::hash_program(&sys, &prog);
+        Ok(CompiledSim::from_parts(sys, prog, design_hash))
+    }
+
+    /// Instantiates a simulator from a cached [`CompiledTape`] without
+    /// recompiling: the levelized program is reused and only the mutable
+    /// per-instance state is built fresh. Behaviour (and
+    /// [`CompiledSim::design_hash`]) is identical to compiling `sys` at
+    /// the tape's level — the warm path of the simulation service's
+    /// tape cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::TapeMismatch`] when `sys` is not
+    /// structurally the system the tape was compiled from.
+    pub fn from_tape(sys: System, tape: &CompiledTape) -> Result<CompiledSim, CoreError> {
+        tape.check_system(&sys)?;
+        Ok(CompiledSim::from_parts(
+            sys,
+            (*tape.prog).clone(),
+            tape.program_hash(),
+        ))
+    }
+
+    /// Assembles a simulator around an already-built program.
+    fn from_parts(sys: System, prog: Program, design_hash: u64) -> CompiledSim {
         let states = init_states(&sys);
         let active = sys
             .timed
@@ -707,7 +733,7 @@ impl CompiledSim {
             .map(|t| vec![false; t.comp.sfgs.len()])
             .collect();
         let regs = init_regs(&sys);
-        Ok(CompiledSim {
+        CompiledSim {
             slots: prog.init_slots.clone(),
             init_slots: prog.init_slots,
             slot_ty: prog.slot_ty,
@@ -729,7 +755,7 @@ impl CompiledSim {
             budget: Budget::none(),
             design_hash,
             sys,
-        })
+        }
     }
 
     /// Attaches watchdog limits ([`Budget`]): subsequent steps fail

@@ -721,19 +721,43 @@ pub fn apply_plan_lane(
 /// application or step masks *that lane* at the pre-step cycle (becoming
 /// its [`FaultOutcome::Detected`] record) while the remaining lanes keep
 /// running; surviving lanes are classified against the golden trace.
+/// How a batched campaign builds its compiled simulators: compile at a
+/// level per chunk, or instantiate from one shared cached tape.
+#[derive(Clone, Copy)]
+enum TapeSource<'a> {
+    Level(crate::sim::opt::OptLevel),
+    Cached(&'a crate::sim::hash::CompiledTape),
+}
+
+impl TapeSource<'_> {
+    fn batch(self, systems: Vec<System>) -> Result<crate::sim::batch::BatchedSim, CoreError> {
+        match self {
+            TapeSource::Level(level) => crate::sim::batch::BatchedSim::new_with(systems, level),
+            TapeSource::Cached(tape) => crate::sim::batch::BatchedSim::from_tape(systems, tape),
+        }
+    }
+
+    fn scalar(self, sys: System) -> Result<crate::sim::compiled::CompiledSim, CoreError> {
+        match self {
+            TapeSource::Level(level) => crate::sim::compiled::CompiledSim::new_with(sys, level),
+            TapeSource::Cached(tape) => crate::sim::compiled::CompiledSim::from_tape(sys, tape),
+        }
+    }
+}
+
 fn run_event_chunk(
     make_sys: &mut impl FnMut() -> Result<System, CoreError>,
     stimulus: &mut impl FnMut(&mut dyn Simulator, u64) -> Result<(), CoreError>,
     cycles: u64,
     golden: &Trace,
     chunk: &[FaultEvent],
-    level: crate::sim::opt::OptLevel,
+    source: TapeSource<'_>,
 ) -> Result<Vec<FaultOutcome>, CoreError> {
     let mut systems = Vec::with_capacity(chunk.len());
     for _ in 0..chunk.len() {
         systems.push(make_sys()?);
     }
-    let mut sim = crate::sim::batch::BatchedSim::new_with(systems, level)?;
+    let mut sim = source.batch(systems)?;
     sim.enable_trace();
     let plans: Vec<FaultPlan> = chunk
         .iter()
@@ -808,8 +832,14 @@ pub fn run_campaign_batched(
     )?;
     let mut report = CampaignReport::default();
     for chunk in events.chunks(lanes) {
-        let outcomes =
-            run_event_chunk(&mut make_sys, &mut stimulus, cycles, &golden, chunk, level)?;
+        let outcomes = run_event_chunk(
+            &mut make_sys,
+            &mut stimulus,
+            cycles,
+            &golden,
+            chunk,
+            TapeSource::Level(level),
+        )?;
         report.outcomes.extend(chunk.iter().cloned().zip(outcomes));
     }
     Ok(report)
@@ -843,6 +873,65 @@ pub fn run_campaign_batched_par(
         &mut |s, c| stimulus(s, c),
         cycles,
     )?;
+    run_chunks_par(
+        pool,
+        make_sys,
+        stimulus,
+        cycles,
+        events,
+        lanes,
+        golden,
+        TapeSource::Level(level),
+    )
+}
+
+/// [`run_campaign_batched_par`] over a cached
+/// [`CompiledTape`](crate::CompiledTape): the golden run and every
+/// faulty chunk instantiate simulators from the tape instead of
+/// recompiling per chunk — the campaign path of the persistent
+/// simulation service, where one cached compilation serves thousands of
+/// jobs. Classification is byte-identical to
+/// [`run_campaign_batched_par`] at the tape's level, for every lane
+/// count and thread count.
+///
+/// # Errors
+///
+/// As [`run_campaign_batched_par`], plus [`CoreError::TapeMismatch`]
+/// when `make_sys` builds a system the tape was not compiled from.
+#[allow(clippy::too_many_arguments)]
+pub fn run_campaign_cached_par(
+    pool: &crate::sim::par::ParConfig,
+    make_sys: impl Fn() -> Result<System, CoreError> + Sync,
+    tape: &crate::sim::hash::CompiledTape,
+    stimulus: impl Fn(&mut dyn Simulator, u64) -> Result<(), CoreError> + Sync,
+    cycles: u64,
+    events: &[FaultEvent],
+    lanes: usize,
+) -> Result<CampaignReport, CoreError> {
+    let lanes = lanes.max(1);
+    let source = TapeSource::Cached(tape);
+    let golden = golden_trace(
+        &mut || source.scalar(make_sys()?),
+        &mut |s, c| stimulus(s, c),
+        cycles,
+    )?;
+    run_chunks_par(
+        pool, make_sys, stimulus, cycles, events, lanes, golden, source,
+    )
+}
+
+/// The shared sharded chunk loop of both batched campaign drivers.
+#[allow(clippy::too_many_arguments)]
+fn run_chunks_par(
+    pool: &crate::sim::par::ParConfig,
+    make_sys: impl Fn() -> Result<System, CoreError> + Sync,
+    stimulus: impl Fn(&mut dyn Simulator, u64) -> Result<(), CoreError> + Sync,
+    cycles: u64,
+    events: &[FaultEvent],
+    lanes: usize,
+    golden: Trace,
+    source: TapeSource<'_>,
+) -> Result<CampaignReport, CoreError> {
     let chunks: Vec<&[FaultEvent]> = events.chunks(lanes).collect();
     let parts = crate::sim::par::map_indexed(pool, &chunks, |_, chunk| {
         run_event_chunk(
@@ -851,7 +940,7 @@ pub fn run_campaign_batched_par(
             cycles,
             &golden,
             chunk,
-            level,
+            source,
         )
         .map(|outcomes| {
             chunk

@@ -20,6 +20,7 @@ pub mod chaos;
 mod compiled;
 mod eval;
 pub mod fault;
+pub mod hash;
 mod interp;
 pub mod obs;
 pub mod opt;
@@ -30,6 +31,7 @@ pub use batch::BatchedSim;
 pub use budget::{Budget, BudgetKind};
 pub use chaos::{ChaosEvent, ChaosKind, ChaosPlan};
 pub use compiled::CompiledSim;
+pub use hash::{hash_compiled, hash_system, CompiledTape};
 pub use interp::InterpSim;
 pub use obs::{BatchObs, SimObs};
 pub use opt::{OptLevel, OptStats};

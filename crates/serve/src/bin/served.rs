@@ -1,0 +1,81 @@
+//! `served` — the persistent simulation daemon.
+//!
+//! ```text
+//! served --socket /tmp/ocapi.sock [--cache 8] [--checkpoint DIR]
+//! ```
+//!
+//! Listens on a Unix-domain socket for length-prefixed JSON job
+//! requests (see `ocapi_serve::proto`), serving until a `shutdown`
+//! request arrives. Exit codes follow the bench discipline: 2 for
+//! argument errors, 1 for runtime failures, 0 on clean shutdown.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use ocapi_serve::server::{run, ServerState};
+
+struct Args {
+    socket: String,
+    cache: usize,
+    checkpoint: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        socket: String::new(),
+        cache: 8,
+        checkpoint: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .ok_or_else(|| format!("flag `{flag}` needs a value"))
+        };
+        match arg.as_str() {
+            "--socket" => args.socket = value("--socket")?,
+            "--cache" => {
+                let v = value("--cache")?;
+                args.cache = v
+                    .parse()
+                    .map_err(|_| format!("`--cache` needs an integer, got `{v}`"))?;
+            }
+            "--checkpoint" => args.checkpoint = Some(value("--checkpoint")?),
+            "--help" | "-h" => {
+                return Err("usage: served --socket PATH [--cache N] [--checkpoint DIR]".into())
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if args.socket.is_empty() {
+        return Err("`--socket PATH` is required".into());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("served: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let state = Arc::new(ServerState::new(&args.socket, args.cache, args.checkpoint));
+    eprintln!(
+        "served: listening on {} (cache capacity {})",
+        args.socket, args.cache
+    );
+    match run(&state) {
+        Ok(()) => {
+            eprintln!("served: clean shutdown");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("served: {e}");
+            ExitCode::from(u8::try_from(e.exit_code()).unwrap_or(1))
+        }
+    }
+}

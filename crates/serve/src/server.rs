@@ -1,0 +1,332 @@
+//! The daemon: a Unix-domain-socket listener, a thread per connection,
+//! one shared [`TapeCache`] and session table behind it all.
+//!
+//! The server is deliberately boring. All determinism lives in the job
+//! layer ([`crate::jobs`]); all the server does is accept connections,
+//! read frames, dispatch ops, and make sure one connection's failure
+//! (parse error, broken pipe, job failure) never takes down another's.
+//!
+//! Shutdown is cooperative: the `shutdown` op sets a flag and pokes the
+//! listener with a throwaway connection so the blocking `accept` wakes
+//! up and observes it.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use ocapi::OptLevel;
+use ocapi_obs::Registry;
+
+use crate::cache::TapeCache;
+use crate::designs::Design;
+use crate::error::ServeError;
+use crate::json::{obj, Json};
+use crate::proto::{read_frame, send};
+use crate::{jobs, VERSION};
+
+/// A warm session parked between `session.run` calls.
+///
+/// Sessions are stored *at rest*: the live simulator is torn down after
+/// every run and only the [`ocapi::SimSnapshot`] bytes survive. That
+/// keeps the session table `Send` without asking anything of the
+/// simulator, and it means park/resume is exercised on every single
+/// run — there is no separate "cold path" to drift out of sync.
+#[derive(Clone)]
+pub struct ParkedSession {
+    /// Which design the session simulates.
+    pub design: Design,
+    /// Tape optimization level (part of the cache key).
+    pub level: OptLevel,
+    /// Base seed of the deterministic input stimulus.
+    pub seed: u64,
+    /// Snapshot bytes from the last run; `None` before the first run
+    /// (cycle 0).
+    pub snapshot: Option<Vec<u8>>,
+    /// Running FNV-1a digest over every cycle's outputs since the
+    /// session opened — chained across park/resume, so its value after
+    /// `n + m` cycles is independent of where the parks fell.
+    pub digest: u64,
+}
+
+/// Everything the connection threads share.
+pub struct ServerState {
+    /// The compiled-tape cache.
+    pub cache: TapeCache,
+    /// Parked warm sessions by name.
+    pub sessions: Mutex<BTreeMap<String, ParkedSession>>,
+    /// Server-lifetime advisory registry (cache counters live here).
+    pub obs: Registry,
+    /// Root directory for `Robust` checkpoint manifests; `None`
+    /// disables the `checkpoint` request option.
+    pub checkpoint_root: Option<String>,
+    /// The socket path, kept for the shutdown self-connect.
+    pub socket: String,
+    /// Set by the `shutdown` op; the accept loop exits when it sees it.
+    pub shutting_down: AtomicBool,
+}
+
+impl ServerState {
+    /// Fresh state for a daemon listening on `socket`.
+    pub fn new(
+        socket: &str,
+        cache_capacity: usize,
+        checkpoint_root: Option<String>,
+    ) -> ServerState {
+        let obs = Registry::new();
+        ServerState {
+            cache: TapeCache::new(cache_capacity, obs.clone()),
+            sessions: Mutex::new(BTreeMap::new()),
+            obs,
+            checkpoint_root,
+            socket: socket.to_owned(),
+            shutting_down: AtomicBool::new(false),
+        }
+    }
+}
+
+/// Handles one parsed request frame. Returns `true` when the request
+/// asked the server to shut down.
+///
+/// Job-level failures (bad field, unknown design, simulation error) are
+/// reported to the client as an `error` frame and are *not* errors of
+/// the connection; only transport failures propagate.
+///
+/// # Errors
+///
+/// Socket I/O and framing failures.
+pub fn handle_request(
+    state: &ServerState,
+    req: &Json,
+    out: &mut impl Write,
+) -> Result<bool, ServeError> {
+    let op = match req.get("op").and_then(Json::as_str) {
+        Some(op) => op.to_owned(),
+        None => {
+            reply_error(req, "missing or non-string field `op`", out)?;
+            return Ok(false);
+        }
+    };
+    let outcome = match op.as_str() {
+        "ping" => jobs::request_id(req).and_then(|id| {
+            send(
+                out,
+                &obj([
+                    ("id", Json::Str(id.to_owned())),
+                    ("type", Json::Str("pong".to_owned())),
+                    ("version", Json::Str(VERSION.to_owned())),
+                ]),
+            )
+        }),
+        "stats" => stats(state, req, out),
+        "shutdown" => {
+            let id = req.get("id").and_then(Json::as_str).unwrap_or("shutdown");
+            state.shutting_down.store(true, Ordering::SeqCst);
+            send(
+                out,
+                &obj([
+                    ("id", Json::Str(id.to_owned())),
+                    ("type", Json::Str("shutting_down".to_owned())),
+                ]),
+            )?;
+            return Ok(true);
+        }
+        "ber" => jobs::run_ber(state, req, out),
+        "campaign" => jobs::run_campaign_job(state, req, out),
+        "session.open" => jobs::session_open(state, req, out),
+        "session.run" => jobs::session_run(state, req, out),
+        "session.close" => jobs::session_close(state, req, out),
+        other => Err(ServeError::Parse(format!(
+            "unknown op `{other}` (known: ping, stats, shutdown, ber, campaign, \
+             session.open, session.run, session.close)"
+        ))),
+    };
+    match outcome {
+        Ok(()) => Ok(false),
+        // Transport errors: the connection is gone, stop serving it.
+        Err(e @ (ServeError::Io(_) | ServeError::Protocol(_))) => Err(e),
+        // Job errors: tell the client, keep the connection.
+        Err(e) => {
+            reply_error(req, &e.to_string(), out)?;
+            Ok(false)
+        }
+    }
+}
+
+fn reply_error(req: &Json, message: &str, out: &mut impl Write) -> Result<(), ServeError> {
+    let id = req.get("id").and_then(Json::as_str).unwrap_or("");
+    send(
+        out,
+        &obj([
+            ("id", Json::Str(id.to_owned())),
+            ("type", Json::Str("error".to_owned())),
+            ("message", Json::Str(message.to_owned())),
+        ]),
+    )
+}
+
+/// The `stats` op: advisory server telemetry (cache counters, cached
+/// tape count, parked session count). Terminal on its own.
+fn stats(state: &ServerState, req: &Json, out: &mut impl Write) -> Result<(), ServeError> {
+    let id = jobs::request_id(req)?;
+    let (hits, misses, evictions) = state.cache.stats();
+    let sessions = state
+        .sessions
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .len();
+    send(
+        out,
+        &obj([
+            ("id", Json::Str(id.to_owned())),
+            ("type", Json::Str("stats".to_owned())),
+            ("cache_hits", Json::Num(hits as f64)),
+            ("cache_misses", Json::Num(misses as f64)),
+            ("cache_evictions", Json::Num(evictions as f64)),
+            ("cached_tapes", Json::Num(state.cache.len() as f64)),
+            ("sessions", Json::Num(sessions as f64)),
+        ]),
+    )
+}
+
+/// Serves one connection until the peer closes it, a transport error
+/// occurs, or a `shutdown` request arrives (the return value).
+///
+/// # Errors
+///
+/// Transport failures (the caller logs and drops the connection).
+pub fn serve_connection(state: &ServerState, stream: UnixStream) -> Result<bool, ServeError> {
+    let mut reader = stream.try_clone()?;
+    let mut writer = stream;
+    while let Some(text) = read_frame(&mut reader)? {
+        let req = match Json::parse(&text) {
+            Ok(req) => req,
+            Err(e) => {
+                // A malformed frame has no usable id; report and keep
+                // the framing (which is still intact) alive.
+                reply_error(&Json::Null, &e.to_string(), &mut writer)?;
+                continue;
+            }
+        };
+        if handle_request(state, &req, &mut writer)? {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Binds the socket and serves until a `shutdown` request. Removes a
+/// stale socket file first, and removes it again on clean exit.
+///
+/// # Errors
+///
+/// Bind/accept failures; per-connection errors are logged to stderr and
+/// do not stop the server.
+pub fn run(state: &Arc<ServerState>) -> Result<(), ServeError> {
+    let path = state.socket.clone();
+    if std::fs::metadata(&path).is_ok() {
+        std::fs::remove_file(&path)?;
+    }
+    let listener = UnixListener::bind(&path)?;
+    let mut workers = Vec::new();
+    for conn in listener.incoming() {
+        if state.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        match conn {
+            Ok(stream) => {
+                let state = Arc::clone(state);
+                workers.push(std::thread::spawn(move || {
+                    match serve_connection(&state, stream) {
+                        Ok(true) => {
+                            // Shutdown requested: wake the accept loop.
+                            let _ = UnixStream::connect(&state.socket);
+                        }
+                        Ok(false) => {}
+                        Err(e) => eprintln!("served: connection error: {e}"),
+                    }
+                }));
+            }
+            Err(e) => eprintln!("served: accept error: {e}"),
+        }
+        workers.retain(|w| !w.is_finished());
+    }
+    for w in workers {
+        let _ = w.join();
+    }
+    let _ = std::fs::remove_file(&path);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::write_frame;
+
+    fn roundtrip(state: &ServerState, req: &str) -> Vec<String> {
+        let parsed = Json::parse(req).unwrap();
+        let mut out = Vec::new();
+        handle_request(state, &parsed, &mut out).unwrap();
+        let mut frames = Vec::new();
+        let mut r = &out[..];
+        while let Some(f) = read_frame(&mut r).unwrap() {
+            frames.push(f);
+        }
+        frames
+    }
+
+    #[test]
+    fn ping_pongs_with_the_crate_version() {
+        let state = ServerState::new("/tmp/unused.sock", 4, None);
+        let frames = roundtrip(&state, r#"{"op":"ping","id":"p1"}"#);
+        assert_eq!(frames.len(), 1);
+        assert!(frames[0].contains(r#""type":"pong""#), "{}", frames[0]);
+        assert!(frames[0].contains(r#""id":"p1""#));
+    }
+
+    #[test]
+    fn unknown_ops_and_missing_ids_become_error_frames() {
+        let state = ServerState::new("/tmp/unused.sock", 4, None);
+        let frames = roundtrip(&state, r#"{"op":"nope","id":"x"}"#);
+        assert!(frames[0].contains(r#""type":"error""#), "{}", frames[0]);
+        assert!(frames[0].contains("unknown op"));
+        let frames = roundtrip(&state, r#"{"op":"stats"}"#);
+        assert!(frames[0].contains(r#""type":"error""#));
+    }
+
+    #[test]
+    fn malformed_json_keeps_the_connection_alive() {
+        let state = ServerState::new("/tmp/unused.sock", 4, None);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, "{not json").unwrap();
+        write_frame(&mut wire, r#"{"op":"ping","id":"after"}"#).unwrap();
+        // Emulate serve_connection's read loop over an in-memory pipe.
+        let mut out = Vec::new();
+        let mut r = &wire[..];
+        while let Some(text) = read_frame(&mut r).unwrap() {
+            match Json::parse(&text) {
+                Ok(req) => {
+                    handle_request(&state, &req, &mut out).unwrap();
+                }
+                Err(e) => super::reply_error(&Json::Null, &e.to_string(), &mut out).unwrap(),
+            }
+        }
+        let mut frames = Vec::new();
+        let mut r = &out[..];
+        while let Some(f) = read_frame(&mut r).unwrap() {
+            frames.push(f);
+        }
+        assert_eq!(frames.len(), 2);
+        assert!(frames[0].contains(r#""type":"error""#));
+        assert!(frames[1].contains(r#""type":"pong""#));
+    }
+
+    #[test]
+    fn stats_reports_cache_counters() {
+        let state = ServerState::new("/tmp/unused.sock", 4, None);
+        let frames = roundtrip(&state, r#"{"op":"stats","id":"s"}"#);
+        assert!(frames[0].contains(r#""cache_hits":0"#), "{}", frames[0]);
+        assert!(frames[0].contains(r#""sessions":0"#));
+    }
+}

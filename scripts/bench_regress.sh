@@ -43,4 +43,5 @@ check() { # bin key
 check table1 hcor_compiled_cycles_per_sec
 check ber_sweep batched_runs_per_sec
 check fault_coverage grade_faults_per_sec
+check servectl jobs_per_sec
 exit $fail
