@@ -220,7 +220,7 @@ fn run(args: &ocapi_bench::BenchArgs) -> Result<(), BenchError> {
     rep.perf_u64("burst_runs", total_runs);
     rep.perf_f64("runs_per_sec", total_runs as f64 / wall.max(1e-12));
     // Packed word operations executed by the batched sweeps' bitsliced
-    // Bool segments (the `batch.word_ops` counter, DESIGN.md §12): a
+    // Bool segments (the `batch.word_ops` counter, DESIGN.md §13): a
     // perf-trajectory record of how much of the tape ran word-parallel.
     // Zero only if every eligible run had a masked lane — the sweeps
     // above always include fault-free points, so a vanishing counter

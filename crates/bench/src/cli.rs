@@ -33,7 +33,7 @@
 //!   `deterministic` section is byte-identical across thread counts;
 //!   the `timing` section is advisory wall-clock data.
 
-use ocapi::{OptLevel, ParConfig};
+use ocapi::{ExecEngine, OptLevel, ParConfig};
 
 /// Which stuck-at grading engine `--fault-engine` selects.
 ///
@@ -94,6 +94,12 @@ pub struct BenchArgs {
     pub retries: u32,
     /// Stuck-at grading engine (`--fault-engine packed|scalar`).
     pub fault_engine: FaultEngine,
+    /// Simulation engine (`--engine interp|compiled|fused`). Only
+    /// `table1` (the throughput tables) acts on it today: `fused` adds
+    /// the direct-threaded rows and their perf-JSON points. Results
+    /// are engine-independent — the CI determinism job byte-diffs
+    /// `--json` across engines.
+    pub engine: ExecEngine,
 }
 
 impl BenchArgs {
@@ -113,6 +119,7 @@ impl BenchArgs {
             resume: false,
             retries: 1,
             fault_engine: FaultEngine::default(),
+            engine: ExecEngine::Compiled,
         }
     }
 
@@ -136,7 +143,7 @@ pub fn usage(bin: &str) -> String {
     format!(
         "usage: {bin} [--threads N] [--lanes N] [--quick] [--opt N] [--json PATH] [--perf-json PATH] [--profile-json PATH]\n\
          \x20      [--checkpoint DIR] [--checkpoint-every N] [--resume] [--retries N]\n\
-         \x20      [--fault-engine packed|scalar]\n\
+         \x20      [--fault-engine packed|scalar] [--engine interp|compiled|fused]\n\
          \n\
          \x20 -t, --threads N    worker threads for the sharded engines (default 1;\n\
          \x20                    results are bit-identical for every N)\n\
@@ -172,6 +179,11 @@ pub fn usage(bin: &str) -> String {
          \x20                    fault machines per u64 word; scalar re-runs the\n\
          \x20                    netlist once per fault). Classification is\n\
          \x20                    byte-identical either way\n\
+         \x20     --engine interp|compiled|fused\n\
+         \x20                    simulation engine for the throughput tables\n\
+         \x20                    (default compiled; fused adds the\n\
+         \x20                    direct-threaded rows and perf points). Results\n\
+         \x20                    are byte-identical across engines\n\
          \x20 -h, --help         show this message"
     )
 }
@@ -255,6 +267,13 @@ pub fn parse_arg_list(bin: &str, args: &[String]) -> Result<BenchArgs, String> {
                 out.fault_engine =
                     parse_fault_engine("--fault-engine", &arg["--fault-engine=".len()..])?;
             }
+            "--engine" => {
+                let v = it.next().ok_or_else(|| format!("{arg} requires a value"))?;
+                out.engine = parse_engine(arg, v)?;
+            }
+            _ if arg.starts_with("--engine=") => {
+                out.engine = parse_engine("--engine", &arg["--engine=".len()..])?;
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -289,6 +308,12 @@ fn parse_fault_engine(flag: &str, v: &str) -> Result<FaultEngine, String> {
         "scalar" => Ok(FaultEngine::Scalar),
         _ => Err(format!("{flag} expects `packed` or `scalar`, got `{v}`")),
     }
+}
+
+/// Parses an `--engine` selector.
+fn parse_engine(flag: &str, v: &str) -> Result<ExecEngine, String> {
+    ExecEngine::parse(v)
+        .ok_or_else(|| format!("{flag} expects `interp`, `compiled` or `fused`, got `{v}`"))
 }
 
 /// Parses and range-checks a `--lanes` count (≥ 1).

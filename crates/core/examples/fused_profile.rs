@@ -1,0 +1,38 @@
+//! Quick engine-only throughput probe: compiled vs fused on HCOR,
+//! long steady-state run so per-cycle costs dominate setup noise.
+//!
+//! `cargo run --release -p ocapi --example fused_profile`
+
+use ocapi::{CompiledSim, FusedSim, OptLevel, Simulator, Value};
+use ocapi_designs::hcor;
+use std::time::Instant;
+
+fn drive(sim: &mut dyn Simulator, n: u64) -> f64 {
+    sim.set_input("enable", Value::Bool(true)).unwrap();
+    sim.set_input("threshold", Value::bits(5, 17)).unwrap();
+    let t = Instant::now();
+    for i in 0..n {
+        sim.set_input("bit_in", Value::Bool(i % 3 == 0)).unwrap();
+        sim.step().unwrap();
+    }
+    let secs = t.elapsed().as_secs_f64();
+    n as f64 / secs
+}
+
+fn main() {
+    let n = 2_000_000;
+    for _ in 0..3 {
+        let mut c = CompiledSim::new_with(hcor::build_system().unwrap(), OptLevel::Full).unwrap();
+        let cs = drive(&mut c, n);
+        let mut f = FusedSim::new_with(hcor::build_system().unwrap(), OptLevel::Full).unwrap();
+        let fs = drive(&mut f, n);
+        println!(
+            "compiled {:.2} Mcyc/s ({:.1} ns)  fused {:.2} Mcyc/s ({:.1} ns)  ratio {:.2}",
+            cs / 1e6,
+            1e9 / cs,
+            fs / 1e6,
+            1e9 / fs,
+            fs / cs
+        );
+    }
+}

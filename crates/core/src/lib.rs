@@ -88,7 +88,8 @@ pub use sim::fault::{
     run_campaign_cached_par, run_campaign_par, CampaignReport, FaultEvent, FaultKind, FaultOutcome,
     FaultPlan, FaultSite, FaultySim,
 };
-pub use sim::hash::{hash_compiled, hash_system, CompiledTape};
+pub use sim::hash::{hash_compiled, hash_system, CompiledTape, FusedTape};
+pub use sim::lower::{ExecEngine, FusedSim, LowerStats};
 pub use sim::obs::{BatchObs, SimObs};
 pub use sim::par::{map_indexed_retry, ParConfig, ParError, PoolStats, RetryStats, Stopwatch};
 pub use sim::snapshot::{SimSnapshot, SnapshotBackend};

@@ -31,7 +31,7 @@
 //! `batch` integration suite asserts every output and every `peek_net`
 //! value matches lane-for-lane at every optimization level.
 //!
-//! **Word-parallel fast path** (DESIGN.md §12): at build time the tape
+//! **Word-parallel fast path** (DESIGN.md §13): at build time the tape
 //! is split into *segments*. Runs of ≥ [`MIN_WORD_RUN`] consecutive
 //! micro-ops whose operands and destination are all `Bool` slots are
 //! lowered to packed `u64` word operations — the Bool lanes are
@@ -41,6 +41,10 @@
 //! `<` → `!a & b`, …). Everything else — multi-bit `Bits` arithmetic,
 //! fixed-point, float, `Drive`/`Fire` — stays on the scalar per-lane
 //! loop, whose all-alive arm streams 8-wide unrolled stripes instead.
+//! (The scalar-engine superinstruction fusion of DESIGN.md §10 is a
+//! [`FusedSim`](crate::FusedSim) concern and never applies here: the
+//! batched tape's segments keep the compiled micro-op form so the
+//! word/scalar split stays the only lowering dimension.)
 //! The word path runs only while *no lane is masked*; as soon as any
 //! lane dies, every word segment falls back to the identical scalar
 //! micro-ops, so masked-lane freezing semantics are unchanged and
@@ -262,7 +266,7 @@ struct WordPlan {
 /// when every operand and the destination is a `Bool` slot (always
 /// stored 0/1) and the op has a lanewise bitwise identity. Multi-bit
 /// `Bits`, fixed-point and float ops return `None`: their lanes carry
-/// full words that do not bitslice (DESIGN.md §12).
+/// full words that do not bitslice (DESIGN.md §13).
 fn word_op(m: &Micro, ty: &[SigType]) -> Option<WordOp> {
     let is_bool = |s: &u32| matches!(ty.get(*s as usize), Some(SigType::Bool));
     match m {
@@ -1075,7 +1079,7 @@ impl BatchedSim {
     ) -> Result<(), CoreError> {
         self.check_lane(lane)?;
         let i = self.net_index(name)?;
-        value.check_type(self.systems[0].nets[i].ty, &format!("net `{name}`"))?;
+        value.check_type_with(self.systems[0].nets[i].ty, || format!("net `{name}`"))?;
         if self.alive[lane] {
             self.slots[self.prog.net_slot[i] as usize * self.lanes + lane] = encode(&value);
         }
@@ -1192,7 +1196,7 @@ impl BatchedSim {
                 kind: "primary input",
                 name: name.to_owned(),
             })?;
-        value.check_type(pi.ty, &format!("primary input `{name}`"))?;
+        value.check_type_with(pi.ty, || format!("primary input `{name}`"))?;
         Ok(self.prog.net_slot[pi.net] as usize)
     }
 
@@ -1724,7 +1728,7 @@ impl Simulator for BatchedSim {
     /// Broadcasts to every live lane.
     fn poke_net(&mut self, name: &str, value: Value) -> Result<(), CoreError> {
         let i = self.net_index(name)?;
-        value.check_type(self.systems[0].nets[i].ty, &format!("net `{name}`"))?;
+        value.check_type_with(self.systems[0].nets[i].ty, || format!("net `{name}`"))?;
         let base = self.prog.net_slot[i] as usize * self.lanes;
         let bits = encode(&value);
         for l in 0..self.lanes {

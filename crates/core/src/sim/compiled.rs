@@ -358,6 +358,11 @@ pub struct CompiledSim {
     opt_stats: OptStats,
     budget: Budget,
     design_hash: u64,
+    /// Exclusive upper bound on every slot index either tape, the FSM
+    /// guards or the commit candidates reference; asserted once per
+    /// step so the per-op range checks in the hot loop can fold (the
+    /// same pattern `BatchedSim` uses for its lane stripes).
+    slot_bound: u32,
 }
 
 impl std::fmt::Debug for CompiledSim {
@@ -726,6 +731,7 @@ impl CompiledSim {
 
     /// Assembles a simulator around an already-built program.
     fn from_parts(sys: System, prog: Program, design_hash: u64) -> CompiledSim {
+        let slot_bound = crate::sim::lower::slot_bound_of(&prog);
         let states = init_states(&sys);
         let active = sys
             .timed
@@ -754,6 +760,7 @@ impl CompiledSim {
             opt_stats: prog.opt_stats,
             budget: Budget::none(),
             design_hash,
+            slot_bound,
             sys,
         }
     }
@@ -1464,13 +1471,20 @@ impl Simulator for CompiledSim {
                 kind: "primary input",
                 name: name.to_owned(),
             })?;
-        value.check_type(pi.ty, &format!("primary input `{name}`"))?;
+        value.check_type_with(pi.ty, || format!("primary input `{name}`"))?;
         self.slots[self.net_slot[pi.net] as usize] = encode(&value);
         Ok(())
     }
 
     fn step(&mut self) -> Result<(), CoreError> {
         self.budget.check_cycle(self.cycle)?;
+        // One bounds proof up front instead of re-checking every slot
+        // index op-by-op: every index either tape references is below
+        // `slot_bound` by construction.
+        assert!(
+            self.slot_bound as usize <= self.slots.len(),
+            "compiled tape references slots beyond the state vector"
+        );
         // Guard evaluation over held values.
         let t_pre = self
             .obs
@@ -1631,7 +1645,7 @@ impl Simulator for CompiledSim {
                 kind: "net",
                 name: name.to_owned(),
             })?;
-        value.check_type(self.sys.nets[i].ty, &format!("net `{name}`"))?;
+        value.check_type_with(self.sys.nets[i].ty, || format!("net `{name}`"))?;
         self.slots[self.net_slot[i] as usize] = encode(&value);
         Ok(())
     }

@@ -847,7 +847,7 @@ pub fn run_campaign_batched(
 
 /// [`run_campaign_batched`] with the chunks sharded across
 /// [`ParConfig::threads`](crate::sim::par::ParConfig::threads) worker
-/// threads — the lanes × threads composition of DESIGN.md §7/§10.
+/// threads — the lanes × threads composition of DESIGN.md §7/§11.
 ///
 /// Chunk composition depends only on the event order and `lanes`, and
 /// the merged report is assembled in chunk order, so the returned

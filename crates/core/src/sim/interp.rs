@@ -391,7 +391,7 @@ impl Simulator for InterpSim {
                 kind: "primary input",
                 name: name.to_owned(),
             })?;
-        value.check_type(pi.ty, &format!("primary input `{name}`"))?;
+        value.check_type_with(pi.ty, || format!("primary input `{name}`"))?;
         self.nets[pi.net] = value;
         Ok(())
     }
@@ -689,7 +689,7 @@ impl Simulator for InterpSim {
                 kind: "net",
                 name: name.to_owned(),
             })?;
-        value.check_type(self.sys.nets[i].ty, &format!("net `{name}`"))?;
+        value.check_type_with(self.sys.nets[i].ty, || format!("net `{name}`"))?;
         self.nets[i] = value;
         Ok(())
     }

@@ -22,6 +22,7 @@ mod eval;
 pub mod fault;
 pub mod hash;
 mod interp;
+pub mod lower;
 pub mod obs;
 pub mod opt;
 pub mod par;
@@ -31,8 +32,9 @@ pub use batch::BatchedSim;
 pub use budget::{Budget, BudgetKind};
 pub use chaos::{ChaosEvent, ChaosKind, ChaosPlan};
 pub use compiled::CompiledSim;
-pub use hash::{hash_compiled, hash_system, CompiledTape};
+pub use hash::{hash_compiled, hash_system, CompiledTape, FusedTape};
 pub use interp::InterpSim;
+pub use lower::{ExecEngine, FusedSim, LowerStats};
 pub use obs::{BatchObs, SimObs};
 pub use opt::{OptLevel, OptStats};
 pub use snapshot::{SimSnapshot, SnapshotBackend};

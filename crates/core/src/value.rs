@@ -172,6 +172,29 @@ impl Value {
             })
         }
     }
+
+    /// Like [`Value::check_type`] but builds the error context lazily.
+    /// The simulator `set_input`/`poke_net` paths run this every cycle;
+    /// an eager `format!` there is an allocation per driven input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ValueType`] when the value's type differs
+    /// from `ty`.
+    pub fn check_type_with(
+        &self,
+        ty: SigType,
+        context: impl FnOnce() -> String,
+    ) -> Result<(), CoreError> {
+        if self.sig_type() == ty {
+            Ok(())
+        } else {
+            Err(CoreError::ValueType {
+                context: context(),
+                expected: ty,
+            })
+        }
+    }
 }
 
 impl fmt::Display for Value {

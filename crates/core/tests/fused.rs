@@ -1,0 +1,292 @@
+//! Differential suite for the direct-threaded fused back-end
+//! (`ocapi::FusedSim`, DESIGN.md § Lowered execution).
+//!
+//! The fused engine's whole value proposition is "same answers,
+//! faster", so the tests here are exhaustive three-way differentials:
+//! `FusedSim` vs `CompiledSim` vs `InterpSim` on every primary output
+//! *and every named net*, each cycle, across all three optimization
+//! levels, on all five in-tree designs (HCOR, DECT transceiver, modem,
+//! WLAN, image) — the real tapes whose 2–4-op idioms the peephole
+//! fusion pass targets. A seeded fuzz sweep (scaled up by the
+//! `slow-tests` feature) drives the same designs with random stimuli,
+//! and snapshot tests pin the interchange contract: fused ↔ compiled
+//! round-trips work, engine and level confusion fail with typed
+//! errors.
+
+use ocapi::rng::XorShift64;
+use ocapi::{
+    CompiledSim, CoreError, Fix, FusedSim, FusedTape, InterpSim, OptLevel, Overflow, Rounding,
+    SigType, Simulator, System, Value,
+};
+use ocapi_designs::dect::transceiver::TransceiverConfig;
+use ocapi_designs::{dect, hcor, image, modem, wlan};
+
+/// A named design builder.
+type DesignBuilder = (&'static str, Box<dyn Fn() -> System>);
+
+/// The in-tree designs, by builder. `image` uses the quantiser shift
+/// its own tests use; `dect` the default transceiver configuration.
+fn designs() -> Vec<DesignBuilder> {
+    vec![
+        (
+            "hcor",
+            Box::new(|| hcor::build_system().expect("hcor")) as Box<dyn Fn() -> System>,
+        ),
+        (
+            "dect",
+            Box::new(|| {
+                dect::transceiver::build_system(&TransceiverConfig::default()).expect("dect")
+            }),
+        ),
+        ("modem", Box::new(|| modem::build_system().expect("modem"))),
+        ("wlan", Box::new(|| wlan::build_system().expect("wlan"))),
+        ("image", Box::new(|| image::build_system(2).expect("image"))),
+    ]
+}
+
+/// A random type-correct value for one primary input.
+fn random_input(ty: SigType, rng: &mut XorShift64) -> Value {
+    match ty {
+        SigType::Bool => Value::Bool(rng.next_bool()),
+        SigType::Bits(w) => {
+            let mask = if w >= 64 { u64::MAX } else { (1u64 << w) - 1 };
+            Value::bits(w, rng.next_u64() & mask)
+        }
+        SigType::Fixed(fmt) => Value::Fixed(Fix::from_f64(
+            rng.next_f64() * 4.0 - 2.0,
+            fmt,
+            Rounding::Nearest,
+            Overflow::Saturate,
+        )),
+        SigType::Float => Value::Float(rng.next_f64() * 4.0 - 2.0),
+    }
+}
+
+/// Drives interp + compiled + fused (the latter two at opt {0,1,2})
+/// with identical random stimuli and asserts every output and every
+/// net agrees cycle by cycle.
+fn assert_engines_agree(name: &str, mk: &dyn Fn() -> System, seed: u64, cycles: u64) {
+    let probe = mk();
+    let net_names: Vec<String> = probe.nets.iter().map(|n| n.name.clone()).collect();
+    let out_names: Vec<String> = probe
+        .primary_outputs
+        .iter()
+        .map(|p| p.name.clone())
+        .collect();
+    let in_sig: Vec<(String, SigType)> = probe
+        .primary_inputs
+        .iter()
+        .map(|p| (p.name.clone(), p.ty))
+        .collect();
+
+    let mut interp = InterpSim::new(mk()).expect("interp");
+    let levels = [OptLevel::None, OptLevel::Basic, OptLevel::Full];
+    let mut compiled: Vec<(OptLevel, CompiledSim)> = levels
+        .into_iter()
+        .map(|l| (l, CompiledSim::new_with(mk(), l).expect("compiled")))
+        .collect();
+    let mut fused: Vec<(OptLevel, FusedSim)> = levels
+        .into_iter()
+        .map(|l| (l, FusedSim::new_with(mk(), l).expect("fused")))
+        .collect();
+    for ((l, c), (_, f)) in compiled.iter().zip(&fused) {
+        assert_eq!(
+            c.design_hash(),
+            f.design_hash(),
+            "{name}: design hash must be engine-independent ({l:?})"
+        );
+    }
+
+    let mut rng = XorShift64::new(seed);
+    for cyc in 0..cycles {
+        let inputs: Vec<(String, Value)> = in_sig
+            .iter()
+            .map(|(n, ty)| (n.clone(), random_input(*ty, &mut rng)))
+            .collect();
+        for sim in std::iter::once(&mut interp as &mut dyn Simulator)
+            .chain(compiled.iter_mut().map(|(_, s)| s as &mut dyn Simulator))
+            .chain(fused.iter_mut().map(|(_, s)| s as &mut dyn Simulator))
+        {
+            for (n, v) in &inputs {
+                sim.set_input(n, *v).expect("set_input");
+            }
+            sim.step().expect("step");
+        }
+        for out in &out_names {
+            let want = interp.output(out).expect("output");
+            for (l, sim) in &compiled {
+                assert_eq!(
+                    want,
+                    sim.output(out).expect("output"),
+                    "{name}: compiled output `{out}` diverged at cycle {cyc} ({l:?})"
+                );
+            }
+            for (l, sim) in &fused {
+                assert_eq!(
+                    want,
+                    sim.output(out).expect("output"),
+                    "{name}: fused output `{out}` diverged at cycle {cyc} ({l:?})"
+                );
+            }
+        }
+        for net in &net_names {
+            let want = interp.peek_net(net).expect("peek_net");
+            for (l, sim) in &fused {
+                assert_eq!(
+                    want,
+                    sim.peek_net(net).expect("peek_net"),
+                    "{name}: fused net `{net}` diverged at cycle {cyc} ({l:?})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fused_matches_compiled_and_interp_on_all_designs() {
+    for (name, mk) in designs() {
+        assert_engines_agree(name, mk.as_ref(), 0xD1FF_u64 ^ name.len() as u64, 48);
+    }
+}
+
+/// Seeded fuzz sweep: more seeds × more cycles under `slow-tests`.
+#[test]
+fn fused_fuzz_sweep_stays_bit_identical() {
+    let (seeds, cycles) = if cfg!(feature = "slow-tests") {
+        (8u64, 256)
+    } else {
+        (2u64, 64)
+    };
+    for (name, mk) in designs() {
+        for j in 0..seeds {
+            let seed = 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(j + 1) ^ name.len() as u64;
+            assert_engines_agree(name, mk.as_ref(), seed, cycles);
+        }
+    }
+}
+
+/// Runs `sim` for `n` cycles of deterministic stimuli.
+fn warm(sim: &mut dyn Simulator, sig: &[(String, SigType)], seed: u64, n: u64) {
+    let mut rng = XorShift64::new(seed);
+    for _ in 0..n {
+        for (name, ty) in sig {
+            sim.set_input(name, random_input(*ty, &mut rng))
+                .expect("set_input");
+        }
+        sim.step().expect("step");
+    }
+}
+
+#[test]
+fn snapshots_round_trip_between_fused_and_compiled() {
+    let mk = || hcor::build_system().expect("hcor");
+    let sig: Vec<(String, SigType)> = mk()
+        .primary_inputs
+        .iter()
+        .map(|p| (p.name.clone(), p.ty))
+        .collect();
+    let out_names: Vec<String> = mk()
+        .primary_outputs
+        .iter()
+        .map(|p| p.name.clone())
+        .collect();
+
+    // fused → compiled: run fused, park it, resume compiled.
+    let mut f = FusedSim::new_with(mk(), OptLevel::Full).expect("fused");
+    warm(&mut f, &sig, 7, 40);
+    let snap = f.snapshot();
+    let mut c = CompiledSim::new_with(mk(), OptLevel::Full).expect("compiled");
+    c.restore(&snap)
+        .expect("fused snapshot restores into compiled");
+    assert_eq!(c.cycle(), f.cycle());
+
+    // compiled → fused: and back again, then both must stay in
+    // lockstep under further identical stimuli.
+    let snap2 = c.snapshot();
+    let mut f2 = FusedSim::new_with(mk(), OptLevel::Full).expect("fused");
+    f2.restore(&snap2)
+        .expect("compiled snapshot restores into fused");
+    warm(&mut f2, &sig, 11, 40);
+    warm(&mut c, &sig, 11, 40);
+    for out in &out_names {
+        assert_eq!(
+            f2.output(out).expect("output"),
+            c.output(out).expect("output"),
+            "post-restore lockstep broke on `{out}`"
+        );
+    }
+}
+
+#[test]
+fn snapshot_engine_and_level_confusion_stays_typed() {
+    let mk = || hcor::build_system().expect("hcor");
+
+    // Different opt level → different design hash → SnapshotMismatch.
+    let f0 = FusedSim::new_with(mk(), OptLevel::None).expect("fused");
+    let mut f2 = FusedSim::new_with(mk(), OptLevel::Full).expect("fused");
+    match f2.restore(&f0.snapshot()) {
+        Err(CoreError::SnapshotMismatch { .. }) => {}
+        other => panic!("expected SnapshotMismatch, got {other:?}"),
+    }
+
+    // Interp snapshots belong to the other back-end family.
+    let i = InterpSim::new(mk()).expect("interp");
+    match f2.restore(&i.snapshot()) {
+        Err(CoreError::SnapshotFormat { .. }) => {}
+        other => panic!("expected SnapshotFormat, got {other:?}"),
+    }
+}
+
+#[test]
+fn fused_tape_reuse_matches_fresh_compilation() {
+    let mk = || wlan::build_system().expect("wlan");
+    let tape = FusedTape::compile(&mk(), OptLevel::Full).expect("tape");
+    let mut from_tape = FusedSim::from_tape(mk(), &tape).expect("from_tape");
+    let mut fresh = FusedSim::new_with(mk(), OptLevel::Full).expect("fresh");
+    assert_eq!(from_tape.design_hash(), fresh.design_hash());
+    assert_eq!(tape.program_hash(), fresh.design_hash());
+
+    let sig: Vec<(String, SigType)> = mk()
+        .primary_inputs
+        .iter()
+        .map(|p| (p.name.clone(), p.ty))
+        .collect();
+    warm(&mut from_tape, &sig, 3, 64);
+    warm(&mut fresh, &sig, 3, 64);
+    for po in mk().primary_outputs.iter() {
+        assert_eq!(
+            from_tape.output(&po.name).expect("output"),
+            fresh.output(&po.name).expect("output")
+        );
+    }
+}
+
+#[test]
+fn fused_tape_rejects_the_wrong_system() {
+    let tape =
+        FusedTape::compile(&hcor::build_system().expect("hcor"), OptLevel::Full).expect("tape");
+    match FusedSim::from_tape(wlan::build_system().expect("wlan"), &tape) {
+        Err(CoreError::TapeMismatch { .. }) => {}
+        other => panic!("expected TapeMismatch, got {:?}", other.map(|_| ())),
+    }
+}
+
+#[test]
+fn fusion_actually_fires_on_the_real_tapes() {
+    // The peephole and run-collapse passes must do real work on the
+    // designs the issue names — otherwise the "fused" engine is just
+    // a slower interpreter with extra indirection.
+    for (name, mk) in designs() {
+        let f = FusedSim::new_with(mk(), OptLevel::Full).expect("fused");
+        let s = f.lower_stats();
+        assert!(s.micro_in > 0, "{name}: empty tape?");
+        assert!(
+            s.kernels < s.micro_in,
+            "{name}: lowering produced no fusion at all ({s:?})"
+        );
+        assert!(
+            s.superinstructions > 0 && s.coverage_pct > 0,
+            "{name}: no superinstructions formed ({s:?})"
+        );
+    }
+}

@@ -377,7 +377,7 @@ impl Simulator for GateSystemSim {
                 kind: "primary input",
                 name: name.to_owned(),
             })?;
-        value.check_type(*ty, &format!("primary input `{name}`"))?;
+        value.check_type_with(*ty, || format!("primary input `{name}`"))?;
         let wires = wires.clone();
         self.sim.set_bus(&wires, encode(&value));
         Ok(())

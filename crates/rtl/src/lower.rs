@@ -612,7 +612,7 @@ impl Simulator for RtlSystemSim {
                 kind: "primary input",
                 name: name.to_owned(),
             })?;
-        value.check_type(*ty, &format!("primary input `{name}`"))?;
+        value.check_type_with(*ty, || format!("primary input `{name}`"))?;
         self.sim.schedule(*sig, value);
         Ok(())
     }

@@ -245,6 +245,7 @@ fn run_loadgen(
             resume: false,
             retries: 1,
             fault_engine: FaultEngine::Packed,
+            engine: ocapi::ExecEngine::Compiled,
         };
         write_atomic(path, rep.perf_json(&args).as_bytes())?;
     }

@@ -16,8 +16,8 @@ use std::io::Write;
 use ocapi::rng::XorShift64;
 use ocapi::sim::par::ParConfig;
 use ocapi::{
-    run_campaign_cached_par, CompiledSim, CoreError, FaultEvent, FaultPlan, FaultSite, Fix,
-    OptLevel, Overflow, Rounding, SigType, SimSnapshot, Simulator, System, Value,
+    run_campaign_cached_par, CompiledSim, CoreError, ExecEngine, FaultEvent, FaultPlan, FaultSite,
+    Fix, FusedSim, OptLevel, Overflow, Rounding, SigType, SimSnapshot, Simulator, System, Value,
 };
 use ocapi_bench::ber::measure_batched;
 use ocapi_bench::Robust;
@@ -84,6 +84,40 @@ fn opt_level(req: &Json) -> Result<OptLevel, ServeError> {
         2 => Ok(OptLevel::Full),
         n => Err(ServeError::Parse(format!(
             "field `opt` must be 0..=2, got {n}"
+        ))),
+    }
+}
+
+/// The execution back-end for warm-session jobs: `compiled` (default)
+/// or `fused`. The interpreter is never served — park/resume is a
+/// compiled-family snapshot contract.
+fn engine_of(req: &Json) -> Result<ExecEngine, ServeError> {
+    match req.get("engine") {
+        None => Ok(ExecEngine::Compiled),
+        Some(v) => {
+            let s = v
+                .as_str()
+                .ok_or_else(|| ServeError::Parse("field `engine` must be a string".into()))?;
+            match ExecEngine::parse(s) {
+                Some(ExecEngine::Compiled) => Ok(ExecEngine::Compiled),
+                Some(ExecEngine::Fused) => Ok(ExecEngine::Fused),
+                _ => Err(ServeError::Parse(format!(
+                    "field `engine` must be `compiled` or `fused`, got `{s}`"
+                ))),
+            }
+        }
+    }
+}
+
+/// Rejects an `engine` selection on jobs that always run the batched
+/// compiled path (BER sweeps, fault campaigns drive [`ocapi`'s] lane
+/// machinery, not a scalar engine).
+fn reject_engine(req: &Json, job: &str) -> Result<(), ServeError> {
+    match req.get("engine") {
+        None => Ok(()),
+        Some(_) => Err(ServeError::Parse(format!(
+            "`{job}` has no `engine` option: it runs the lane-batched compiled path; \
+             use `session.open` for engine selection"
         ))),
     }
 }
@@ -185,6 +219,7 @@ fn output_names(sys: &System) -> Vec<String> {
 /// namespaced by the request id when `checkpoint` is set.
 pub fn run_ber(state: &ServerState, req: &Json, out: &mut impl Write) -> Result<(), ServeError> {
     let id = request_id(req)?;
+    reject_engine(req, "ber")?;
     let design = design_of(req, Design::Dect)?;
     let adapt = match design {
         Design::Dect => true,
@@ -308,6 +343,7 @@ pub fn run_campaign_job(
     out: &mut impl Write,
 ) -> Result<(), ServeError> {
     let id = request_id(req)?;
+    reject_engine(req, "campaign")?;
     let design = design_of(req, Design::Hcor)?;
     let cycles = opt_u64(req, "cycles", 96)?.max(2);
     let n_events = opt_u64(req, "events", 32)?.max(1);
@@ -361,8 +397,17 @@ pub fn session_open(
     let name = need_str(req, "session")?;
     let design = design_of(req, Design::Hcor)?;
     let level = opt_level(req)?;
+    let engine = engine_of(req)?;
     let seed = opt_u64(req, "seed", 1)?;
-    let tape = state.cache.get(&design.build()?, level)?;
+    // Warm the engine's own cache slot: fused and compiled tapes of
+    // the same design never alias (the engine is part of the key).
+    let design_hash = match engine {
+        ExecEngine::Fused => state
+            .cache
+            .get_fused(&design.build()?, level)?
+            .program_hash(),
+        _ => state.cache.get(&design.build()?, level)?.program_hash(),
+    };
     let mut sessions = state.sessions.lock().unwrap_or_else(|e| e.into_inner());
     if sessions.contains_key(name) {
         return Err(ServeError::Parse(format!(
@@ -374,6 +419,7 @@ pub fn session_open(
         ParkedSession {
             design,
             level,
+            engine,
             seed,
             snapshot: None,
             digest: FNV_OFFSET,
@@ -387,15 +433,59 @@ pub fn session_open(
             obj([
                 ("session", Json::Str(name.to_owned())),
                 ("design", Json::Str(design.name().to_owned())),
-                (
-                    "design_hash",
-                    Json::Str(format!("{:016x}", tape.program_hash())),
-                ),
+                ("engine", Json::Str(engine.as_str().to_owned())),
+                ("design_hash", Json::Str(format!("{design_hash:016x}"))),
                 ("cycle", Json::Num(0.0)),
             ]),
         ),
     )?;
     Ok(())
+}
+
+/// The live simulator of one warm session: either compiled-family
+/// engine behind one set of park/resume entry points. The lowered
+/// program and the plain tape share design hash and snapshot layout,
+/// so the session digest is a pure function of the workload, not the
+/// engine.
+enum SessionSim {
+    Compiled(Box<CompiledSim>),
+    Fused(Box<FusedSim>),
+}
+
+impl SessionSim {
+    fn build(state: &ServerState, sys: System, parked: &ParkedSession) -> Result<Self, ServeError> {
+        Ok(match parked.engine {
+            ExecEngine::Fused => {
+                let tape = state.cache.get_fused(&sys, parked.level)?;
+                SessionSim::Fused(Box::new(FusedSim::from_tape(sys, &tape)?))
+            }
+            _ => {
+                let tape = state.cache.get(&sys, parked.level)?;
+                SessionSim::Compiled(Box::new(CompiledSim::from_tape(sys, &tape)?))
+            }
+        })
+    }
+
+    fn restore(&mut self, snap: &SimSnapshot) -> Result<(), CoreError> {
+        match self {
+            SessionSim::Compiled(s) => s.restore(snap),
+            SessionSim::Fused(s) => s.restore(snap),
+        }
+    }
+
+    fn snapshot(&self) -> SimSnapshot {
+        match self {
+            SessionSim::Compiled(s) => s.snapshot(),
+            SessionSim::Fused(s) => s.snapshot(),
+        }
+    }
+
+    fn as_sim(&mut self) -> &mut dyn Simulator {
+        match self {
+            SessionSim::Compiled(s) => &mut **s,
+            SessionSim::Fused(s) => &mut **s,
+        }
+    }
 }
 
 /// `session.run`: resume the parked session from its snapshot (cycle 0
@@ -423,16 +513,16 @@ pub fn session_run(
     let sys = parked.design.build()?;
     let inputs = input_decls(&sys);
     let outputs = output_names(&sys);
-    let tape = state.cache.get(&sys, parked.level)?;
-    let mut sim = CompiledSim::from_tape(sys, &tape)?;
+    let mut session = SessionSim::build(state, sys, &parked)?;
     if let Some(bytes) = &parked.snapshot {
-        sim.restore(&SimSnapshot::from_bytes(bytes)?)?;
+        session.restore(&SimSnapshot::from_bytes(bytes)?)?;
     }
+    let sim = session.as_sim();
     let from_cycle = sim.cycle();
     let mut digest = parked.digest;
     for _ in 0..cycles {
         let cycle = sim.cycle();
-        drive_inputs(&mut sim, &inputs, parked.seed, cycle)?;
+        drive_inputs(sim, &inputs, parked.seed, cycle)?;
         sim.step()?;
         digest = fnv(digest, &cycle.to_be_bytes());
         for name in &outputs {
@@ -441,7 +531,7 @@ pub fn session_run(
         }
     }
     let to_cycle = sim.cycle();
-    let snapshot = sim.snapshot().to_bytes();
+    let snapshot = session.snapshot().to_bytes();
     {
         let mut sessions = state.sessions.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(s) = sessions.get_mut(name) {

@@ -16,7 +16,7 @@ use std::os::unix::net::{UnixListener, UnixStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
-use ocapi::OptLevel;
+use ocapi::{ExecEngine, OptLevel};
 use ocapi_obs::Registry;
 
 use crate::cache::TapeCache;
@@ -39,6 +39,10 @@ pub struct ParkedSession {
     pub design: Design,
     /// Tape optimization level (part of the cache key).
     pub level: OptLevel,
+    /// Execution back-end the session runs on (part of the cache
+    /// key). Snapshots interchange between the compiled family's
+    /// engines, so the digest stays engine-independent.
+    pub engine: ExecEngine,
     /// Base seed of the deterministic input stimulus.
     pub seed: u64,
     /// Snapshot bytes from the last run; `None` before the first run

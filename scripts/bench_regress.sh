@@ -40,7 +40,34 @@ check() { # bin key
   fi
 }
 
+# Relative gate within one PR run: metric a must be >= ratio * metric b
+# of the SAME run. Machine-independent (both sides share the runner),
+# so it can be much tighter than the cross-machine floor.
+check_relative() { # bin key_a key_b ratio
+  local a b
+  a=$(metric "$pr" "$1" "$2")
+  b=$(metric "$pr" "$1" "$3")
+  if [ -z "$a" ] || [ -z "$b" ]; then
+    echo "FAIL $1.$2 vs $1.$3: metric missing (a='${a:-}' b='${b:-}')"
+    fail=1
+    return
+  fi
+  if awk -v a="$a" -v b="$b" -v r="$4" 'BEGIN { exit !(b <= 0 || a >= r * b) }'; then
+    awk -v a="$a" -v b="$b" -v l="$1.$2/$3" \
+      'BEGIN { printf "ok   %-42s %12.4g vs %12.4g (%.2fx)\n", l, a, b, (b > 0 ? a / b : 1) }'
+  else
+    awk -v a="$a" -v b="$b" -v l="$1.$2/$3" -v r="$4" \
+      'BEGIN { printf "FAIL %-42s %12.4g vs %12.4g (%.2fx < %gx required)\n", l, a, b, a / b, r }'
+    fail=1
+  fi
+}
+
 check table1 hcor_compiled_cycles_per_sec
+check table1 fused_cycles_per_sec
+# The fused engine's reason to exist: the direct-threaded lowering must
+# stay well ahead of the switch-dispatch compiled loop on the same
+# runner, same run (DESIGN.md § Lowered execution).
+check_relative table1 fused_cycles_per_sec hcor_compiled_cycles_per_sec 1.5
 check ber_sweep batched_runs_per_sec
 check fault_coverage grade_faults_per_sec
 check servectl jobs_per_sec

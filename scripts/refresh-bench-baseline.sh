@@ -17,6 +17,11 @@ trap 'rm -rf "$out"' EXIT
 for bin in table1 table_gates fault_coverage ber_sweep exception_latency; do
   ./target/release/$bin --quick --threads 4 --perf-json "$out/$bin.perf.json"
 done
+# A second table1 pass on the direct-threaded fused engine: records
+# fused_cycles_per_sec (and the fused per-design rows) next to the
+# default-engine metrics; bench_regress takes the max per (bin, key).
+./target/release/table1 --quick --threads 4 --engine fused \
+  --perf-json "$out/table1-fused.perf.json"
 # The persistent-service job rate, measured against a freshly started
 # daemon the same way the CI bench-smoke job measures it.
 sock="$out/refresh.sock"
