@@ -413,6 +413,116 @@ fn run(args: &BenchArgs) -> Result<(), BenchError> {
     rep.perf_f64("fault_packed_secs", t_packed);
     rep.perf_f64("fault_scalar_secs", t_scalar);
 
+    // Model-parallel partitioned gate engine on a paper-scale workload:
+    // the synthesized HCOR correlator stamped into a registered replica
+    // chain (large enough that one settle dominates the per-clock
+    // thread hand-off), clocked through an LFSR stimulus by the flat
+    // single-core kernel and by `PartitionedGateSim` at `--partitions`.
+    // Output digests and kernel stats must match bit-for-bit — the
+    // partitioned engine is a parallel schedule of the same events, not
+    // an approximation — so the digest lands in the deterministic
+    // results (byte-diffed by CI across partition counts) while the
+    // throughput pair and the speedup land in perf.
+    use ocapi_designs::scaled;
+    use ocapi_gatesim::{GateSim, PartitionOptions, PartitionedGateSim};
+    // Sized so one flat settle (~0.5-1 ms) dominates the per-clock
+    // scoped-thread hand-off (~0.2 ms for 4 workers): small enough for
+    // a smoke run, large enough that the speedup is structural rather
+    // than noise on a multi-core runner.
+    let replicas = if args.quick { 192 } else { 384 };
+    let cycles = if args.quick { 48 } else { 96 };
+    let scaled_net =
+        scaled::scaled_hcor(replicas).map_err(|e| BenchError::Driver(e.to_string()))?;
+    let in_buses: Vec<(String, Vec<_>)> = scaled_net.inputs.clone();
+    let out_buses: Vec<(String, Vec<_>)> = scaled_net.outputs.clone();
+    let drive = |step: u64, seed: &mut u64| -> u64 {
+        // Galois LFSR stimulus, one fresh word per input bus per cycle.
+        let mut x = *seed;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *seed = x;
+        x.wrapping_add(step)
+    };
+    let fnv = |digest: u64, v: u64| -> u64 { (digest ^ v).wrapping_mul(0x0000_0100_0000_01b3) };
+    let t_part = root.child("partitioned").timer();
+    let mut flat = GateSim::new(scaled_net.clone()).map_err(BenchError::Gate)?;
+    let (flat_digest, t_flat) = timed(|| -> Result<u64, BenchError> {
+        let mut digest = 0xcbf2_9ce4_8422_2325u64;
+        let mut seed = 0x1d87_2b41_1e86_3f25u64;
+        for step in 0..cycles {
+            for (_, bus) in &in_buses {
+                flat.set_bus(bus, drive(step, &mut seed));
+            }
+            flat.clock().map_err(BenchError::Gate)?;
+            for (_, bus) in &out_buses {
+                digest = fnv(digest, flat.bus(bus));
+            }
+        }
+        Ok(digest)
+    });
+    let flat_digest = flat_digest?;
+    let opts = PartitionOptions::new(args.partitions).threads(args.threads.min(args.partitions));
+    let mut part = PartitionedGateSim::new(scaled_net, &opts).map_err(BenchError::Gate)?;
+    part.attach_obs(&obs);
+    let (part_digest, t_part_run) = timed(|| -> Result<u64, BenchError> {
+        let mut digest = 0xcbf2_9ce4_8422_2325u64;
+        let mut seed = 0x1d87_2b41_1e86_3f25u64;
+        for step in 0..cycles {
+            for (_, bus) in &in_buses {
+                part.set_bus(bus, drive(step, &mut seed));
+            }
+            part.clock().map_err(BenchError::Gate)?;
+            for (_, bus) in &out_buses {
+                digest = fnv(digest, part.bus(bus));
+            }
+        }
+        Ok(digest)
+    });
+    let part_digest = part_digest?;
+    drop(t_part);
+    assert_eq!(
+        part_digest, flat_digest,
+        "partitioned engine diverged from the single-core kernel"
+    );
+    assert_eq!(
+        part.stats(),
+        flat.stats(),
+        "partitioned engine stats diverged from the single-core kernel"
+    );
+    let (pmax, pmin) = part.plan().balance();
+    let single_cps = cycles as f64 / t_flat.max(1e-12);
+    let part_cps = cycles as f64 / t_part_run.max(1e-12);
+    println!(
+        "\npartitioned gate engine on scaled hcor ({} gates, {} replicas, {} cycles):",
+        part.netlist().gates.len(),
+        replicas,
+        cycles
+    );
+    println!(
+        "  single-core      {:>8.3} s   {:>8.0} cycles/s",
+        t_flat, single_cps
+    );
+    println!(
+        "  {:>2} partition(s)  {:>8.3} s   {:>8.0} cycles/s   ({:.2}x, {} cut edges, {}..{} gates/part)",
+        part.partitions(),
+        t_part_run,
+        part_cps,
+        part_cps / single_cps.max(1e-12),
+        part.cut_edges(),
+        pmin,
+        pmax
+    );
+    rep.result_str("partition_digest", &format!("{flat_digest:016x}"));
+    rep.result_u64("partition_gates", part.netlist().gates.len() as u64);
+    rep.result_u64("partition_gate_evals", part.stats().gate_evals);
+    rep.result_u64("partition_events", part.stats().events);
+    rep.perf_u64("partition_cut_edges", part.cut_edges() as u64);
+    rep.perf_u64("partition_exchanged", part.exchanged());
+    rep.perf_f64("single_core_cycles_per_sec", single_cps);
+    rep.perf_f64("partitioned_cycles_per_sec", part_cps);
+    rep.perf_f64("partition_speedup", part_cps / single_cps.max(1e-12));
+
     rep.write(args)?;
     write_profile(args, &obs)?;
     Ok(())

@@ -100,6 +100,11 @@ pub struct BenchArgs {
     /// are engine-independent — the CI determinism job byte-diffs
     /// `--json` across engines.
     pub engine: ExecEngine,
+    /// Partition count for the model-parallel gate engine
+    /// (`--partitions`, ≥ 1; 1 = single sub-kernel). Only `table_gates`
+    /// acts on it today. Results are bit-identical for every K — the
+    /// CI determinism job byte-diffs `--json` across partition counts.
+    pub partitions: usize,
 }
 
 impl BenchArgs {
@@ -120,6 +125,7 @@ impl BenchArgs {
             retries: 1,
             fault_engine: FaultEngine::default(),
             engine: ExecEngine::Compiled,
+            partitions: 1,
         }
     }
 
@@ -143,7 +149,7 @@ pub fn usage(bin: &str) -> String {
     format!(
         "usage: {bin} [--threads N] [--lanes N] [--quick] [--opt N] [--json PATH] [--perf-json PATH] [--profile-json PATH]\n\
          \x20      [--checkpoint DIR] [--checkpoint-every N] [--resume] [--retries N]\n\
-         \x20      [--fault-engine packed|scalar] [--engine interp|compiled|fused]\n\
+         \x20      [--fault-engine packed|scalar] [--engine interp|compiled|fused] [--partitions K]\n\
          \n\
          \x20 -t, --threads N    worker threads for the sharded engines (default 1;\n\
          \x20                    results are bit-identical for every N)\n\
@@ -184,6 +190,12 @@ pub fn usage(bin: &str) -> String {
          \x20                    (default compiled; fused adds the\n\
          \x20                    direct-threaded rows and perf points). Results\n\
          \x20                    are byte-identical across engines\n\
+         \x20     --partitions K\n\
+         \x20                    partitions for the model-parallel gate engine\n\
+         \x20                    (default 1). The netlist is split into K\n\
+         \x20                    sub-kernels settled in parallel, with registered\n\
+         \x20                    cut-edge values exchanged at each clock edge.\n\
+         \x20                    Results are bit-identical for every K\n\
          \x20 -h, --help         show this message"
     )
 }
@@ -274,6 +286,13 @@ pub fn parse_arg_list(bin: &str, args: &[String]) -> Result<BenchArgs, String> {
             _ if arg.starts_with("--engine=") => {
                 out.engine = parse_engine("--engine", &arg["--engine=".len()..])?;
             }
+            "--partitions" => {
+                let v = it.next().ok_or_else(|| format!("{arg} requires a value"))?;
+                out.partitions = parse_partitions(arg, v)?;
+            }
+            _ if arg.starts_with("--partitions=") => {
+                out.partitions = parse_partitions("--partitions", &arg["--partitions=".len()..])?;
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -318,6 +337,14 @@ fn parse_engine(flag: &str, v: &str) -> Result<ExecEngine, String> {
 
 /// Parses and range-checks a `--lanes` count (≥ 1).
 fn parse_lanes(flag: &str, v: &str) -> Result<usize, String> {
+    match v.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!("{flag} expects a positive integer, got `{v}`")),
+    }
+}
+
+/// Parses and range-checks a `--partitions` count (≥ 1).
+fn parse_partitions(flag: &str, v: &str) -> Result<usize, String> {
     match v.parse::<usize>() {
         Ok(n) if n >= 1 => Ok(n),
         _ => Err(format!("{flag} expects a positive integer, got `{v}`")),

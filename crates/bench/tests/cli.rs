@@ -134,6 +134,23 @@ fn engine_flag_parses_both_spellings_and_rejects_junk() {
 }
 
 #[test]
+fn partitions_flag_parses_both_spellings_and_rejects_junk() {
+    let a = parse_arg_list("bin", &[]).expect("defaults parse");
+    assert_eq!(a.partitions, 1, "single sub-kernel by default");
+    for spelling in [argv(&["--partitions", "4"]), argv(&["--partitions=4"])] {
+        let a = parse_arg_list("bin", &spelling).expect("parse");
+        assert_eq!(a.partitions, 4, "{spelling:?}");
+    }
+    for bad in ["0", "-2", "four", "", "4.0"] {
+        let msg = parse_arg_list("bin", &argv(&["--partitions", bad]))
+            .expect_err(&format!("--partitions {bad} must be rejected"));
+        assert!(msg.contains("--partitions"), "names the flag: {msg}");
+        assert!(parse_arg_list("bin", &argv(&[&format!("--partitions={bad}")])).is_err());
+    }
+    assert!(parse_arg_list("bin", &argv(&["--partitions"])).is_err());
+}
+
+#[test]
 fn opt_flag_parses_both_spellings() {
     for (spelling, want, level) in [
         (argv(&["--opt", "0"]), 0u8, OptLevel::None),

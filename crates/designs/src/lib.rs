@@ -32,6 +32,7 @@ pub mod dect;
 pub mod hcor;
 pub mod image;
 pub mod modem;
+pub mod scaled;
 pub mod wlan;
 
 /// Lines of DSL source for the code-size comparison of Table 1

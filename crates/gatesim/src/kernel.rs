@@ -95,6 +95,14 @@ struct KernelObs {
     flushed: GateSimStats,
 }
 
+/// The built-in oscillation limit for a netlist of `gates` gates:
+/// 1024 evaluations per gate (plus one) per settle. Shared with the
+/// partitioned engine so its oscillation diagnostics report the
+/// flat-netlist budget regardless of how the net was cut.
+pub(crate) fn osc_limit(gates: usize) -> u64 {
+    (gates as u64 + 1) * 1024
+}
+
 /// An event-driven simulator for a gate-level netlist.
 ///
 /// Wires start at the constant/DFF initial values; undriven wires are
@@ -121,6 +129,11 @@ pub struct GateSim {
     /// Caller-supplied watchdog on evaluations per settle; `None` uses
     /// the built-in oscillation limit of 1024 evaluations per gate.
     eval_budget: Option<u64>,
+    /// Diagnostic relabel map: local gate index → the index reported
+    /// in quiesce diagnostics. The partitioned engine installs the
+    /// flat-netlist indices here so a sub-kernel's oscillation report
+    /// names the same gates the single-core kernel would.
+    labels: Option<Vec<u32>>,
 }
 
 impl GateSim {
@@ -131,7 +144,25 @@ impl GateSim {
     /// Returns [`GateError::Oscillation`] if the initial settle never
     /// quiesces (the netlist contains a sensitised combinational loop).
     pub fn new(net: Netlist) -> Result<GateSim, GateError> {
+        GateSim::with_inputs(net, &[])
+    }
+
+    /// Builds the simulator with the given input wires preset *before*
+    /// the initial settle, exactly as flip-flop outputs are preset to
+    /// their `init` values (no events are counted). The partitioned
+    /// engine uses this to seed a sub-kernel's mirror wires of remote
+    /// flip-flops, so a partitioned initial settle reproduces the
+    /// single-core one gate evaluation for gate evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GateError::Oscillation`] if the initial settle never
+    /// quiesces (the netlist contains a sensitised combinational loop).
+    pub fn with_inputs(net: Netlist, presets: &[(WireId, bool)]) -> Result<GateSim, GateError> {
         let mut values = vec![false; net.n_wires];
+        for (w, v) in presets {
+            values[w.index()] = *v;
+        }
         let mut fanout: Vec<Vec<u32>> = vec![Vec::new(); net.n_wires];
         let mut dffs = Vec::new();
         for (gi, g) in net.gates.iter().enumerate() {
@@ -163,6 +194,7 @@ impl GateSim {
             stats: GateSimStats::default(),
             obs: None,
             eval_budget: None,
+            labels: None,
         };
         // Initial evaluation of all combinational gates.
         for gi in 0..n_gates {
@@ -222,10 +254,13 @@ impl GateSim {
         self.values[w.index()]
     }
 
-    /// Current value of a bus as an integer (LSB first).
+    /// Current value of a bus as an integer (LSB first): bit `i` of
+    /// the result is wire `i`. Only the low 64 wires fit the `u64`
+    /// observation window; wires at index ≥ 64 are ignored.
     pub fn bus(&self, wires: &[WireId]) -> u64 {
         wires
             .iter()
+            .take(64)
             .enumerate()
             .map(|(i, w)| (self.values[w.index()] as u64) << i)
             .sum()
@@ -243,10 +278,15 @@ impl GateSim {
         }
     }
 
-    /// Drives a bus from the low bits of `value` (LSB first).
+    /// Drives a bus from the low bits of `value` (LSB first): wire `i`
+    /// receives bit `i` of `value`. Wires at index ≥ 64 lie beyond the
+    /// `u64` stimulus window and are driven to `false`, so a wide bus
+    /// is fully re-driven rather than shifting out of range (`value >>
+    /// 64` would overflow) or keeping stale high bits.
     pub fn set_bus(&mut self, wires: &[WireId], value: u64) {
         for (i, w) in wires.iter().enumerate() {
-            self.set_wire(*w, (value >> i) & 1 == 1);
+            let bit = i < 64 && (value >> i) & 1 == 1;
+            self.set_wire(*w, bit);
         }
     }
 
@@ -277,7 +317,7 @@ impl GateSim {
     /// meaningless) state and can be reset by re-driving its inputs.
     pub fn settle(&mut self) -> Result<(), GateError> {
         let mut guard = 0u64;
-        let osc_limit = (self.net.gates.len() as u64 + 1) * 1024;
+        let osc_limit = osc_limit(self.net.gates.len());
         let limit = self.eval_budget.map_or(osc_limit, |b| b.min(osc_limit));
         while let Some(Reverse(gi)) = self.worklist.pop() {
             self.dirty[gi as usize] = false;
@@ -309,27 +349,18 @@ impl GateSim {
         Ok(())
     }
 
-    /// Builds the failed-to-quiesce diagnostic — the gates still
-    /// scheduled, in deterministic (index-sorted, truncated) order —
-    /// then drains the worklist so the kernel stays usable. A watchdog
-    /// trip (`budgeted`) becomes [`GateError::BudgetExceeded`]; the
-    /// built-in limit becomes [`GateError::Oscillation`].
+    /// Builds the failed-to-quiesce diagnostic, then drains the
+    /// worklist so the kernel stays usable. A watchdog trip
+    /// (`budgeted`) becomes [`GateError::BudgetExceeded`]; the
+    /// built-in limit becomes [`GateError::Oscillation`] with the full
+    /// membership of the sensitised loop(s).
     fn quiesce_failure(&mut self, evals: u64, current: u32, budgeted: bool) -> GateError {
-        let mut pending: Vec<u32> = vec![current];
-        pending.extend(self.worklist.iter().map(|Reverse(g)| *g));
-        pending.sort_unstable();
-        pending.dedup();
-        let unstable: Vec<String> = pending
-            .iter()
-            .take(16)
-            .map(|gi| format!("gate {gi} ({:?})", self.net.gates[*gi as usize].kind))
-            .collect();
-        self.worklist.clear();
-        for d in &mut self.dirty {
-            *d = false;
-        }
-        self.flush_obs();
         if budgeted {
+            self.worklist.clear();
+            for d in &mut self.dirty {
+                *d = false;
+            }
+            self.flush_obs();
             let budget = self.eval_budget.unwrap_or(evals);
             if let Some(o) = &self.obs {
                 o.log.record(
@@ -340,6 +371,64 @@ impl GateSim {
             }
             return GateError::BudgetExceeded { evals, budget };
         }
+        // By the time the built-in limit trips, every stable cone has
+        // long quiesced — the only gates still being rescheduled are
+        // the sensitised loop(s) and their immediate fanout. A snapshot
+        // of the worklist would name whichever one or two gates the
+        // budget happened to trip on: a phase accident that differs
+        // between the flat kernel and a partitioned sub-kernel, whose
+        // budgets spend different eval counts on the stable cones.
+        // Instead keep evaluating for a bounded post-mortem sweep
+        // (uncounted in the activity stats) and report every gate it
+        // visits — the loop membership, identical at any partition
+        // count.
+        let mut cycling = vec![false; self.net.gates.len()];
+        let mut next = Some(current);
+        let sweep = (self.net.gates.len() as u64 + 1) * 16;
+        for _ in 0..sweep {
+            let Some(gi) = next else { break };
+            cycling[gi as usize] = true;
+            let g = &self.net.gates[gi as usize];
+            let ins: [bool; 3] = {
+                let mut v = [false; 3];
+                for (k, w) in g.inputs.iter().enumerate() {
+                    v[k] = self.values[w.index()];
+                }
+                v
+            };
+            let newv = g.kind.eval(&ins[..g.kind.arity()]);
+            let out = g.output;
+            if self.values[out.index()] != newv {
+                self.values[out.index()] = newv;
+                for k in 0..self.fanout[out.index()].len() {
+                    let f = self.fanout[out.index()][k];
+                    self.schedule(f);
+                }
+            }
+            next = self.worklist.pop().map(|Reverse(g)| {
+                self.dirty[g as usize] = false;
+                g
+            });
+        }
+        let unstable: Vec<String> = cycling
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c)
+            .take(16)
+            .map(|(gi, _)| {
+                // Report the caller-facing index: the flat-netlist one
+                // when this kernel simulates a partition. The relabel
+                // map is monotonic, so index-sorted local order is
+                // index-sorted global order.
+                let disp = self.labels.as_ref().map_or(gi as u32, |labels| labels[gi]);
+                format!("gate {disp} ({:?})", self.net.gates[gi].kind)
+            })
+            .collect();
+        self.worklist.clear();
+        for d in &mut self.dirty {
+            *d = false;
+        }
+        self.flush_obs();
         if let Some(o) = &self.obs {
             o.log.record(
                 0,
@@ -357,6 +446,16 @@ impl GateSim {
     ///
     /// Propagates [`GateError::Oscillation`] from the settle phase.
     pub fn clock(&mut self) -> Result<(), GateError> {
+        self.sample_dffs();
+        self.settle()
+    }
+
+    /// The sampling half of [`GateSim::clock`]: every DFF captures its
+    /// input simultaneously and the resulting events are scheduled, but
+    /// *not* settled. The partitioned engine samples every sub-kernel,
+    /// then exchanges registered cut-edge values, then settles — so the
+    /// exchange lands in the same settle wave a flat kernel would run.
+    pub(crate) fn sample_dffs(&mut self) {
         let mut sampled = std::mem::take(&mut self.sample_buf);
         sampled.clear();
         sampled.extend(self.dffs.iter().map(|gi| {
@@ -374,7 +473,12 @@ impl GateSim {
             }
         }
         self.sample_buf = sampled;
-        self.settle()
+    }
+
+    /// Installs the diagnostic relabel map (local gate index → reported
+    /// index) for sub-kernels of a partitioned run.
+    pub(crate) fn set_gate_labels(&mut self, labels: Vec<u32>) {
+        self.labels = Some(labels);
     }
 }
 
@@ -403,6 +507,52 @@ mod tests {
             let s = sim.netlist().output_by_name("sum").unwrap().to_vec();
             assert_eq!(sim.bus(&s), (x + y) & 0xff, "{x}+{y}");
         }
+    }
+
+    #[test]
+    fn buses_wider_than_64_wires_do_not_overflow() {
+        // Regression: set_bus computed `(value >> i) & 1` per wire, so
+        // a 65-wire bus panicked with shift overflow in debug builds
+        // (and silently wrapped in release, re-driving bit 64 from bit
+        // 0). Bits ≥ 64 now drive `false`; bus() reads the low 64.
+        let mut net = Netlist::new();
+        let a = net.input_bus("a", 65);
+        let buf: Vec<WireId> = a.iter().map(|w| net.gate(GateKind::Buf, &[*w])).collect();
+        net.output_bus("y", buf);
+        let mut sim = GateSim::new(net).unwrap();
+        let aw = sim.netlist().input_by_name("a").unwrap().to_vec();
+        let yw = sim.netlist().output_by_name("y").unwrap().to_vec();
+        sim.set_bus(&aw, u64::MAX);
+        sim.settle().unwrap();
+        assert_eq!(sim.bus(&yw), u64::MAX, "low 64 bits drive and read back");
+        assert!(!sim.wire(yw[64]), "bit 64 is beyond the u64 window: false");
+        // Re-driving a narrower value clears the low bits and leaves
+        // bit 64 untouched (still false), with no overflow on read.
+        sim.set_bus(&aw, 5);
+        sim.settle().unwrap();
+        assert_eq!(sim.bus(&yw), 5);
+        assert!(!sim.wire(yw[64]));
+    }
+
+    #[test]
+    fn with_inputs_presets_before_initial_settle() {
+        // An inverter chain from a preset input: the preset is visible
+        // to the initial settle (y = !x = false), and costs no events
+        // beyond what driving the cone itself produces.
+        let mut net = Netlist::new();
+        let x = net.input_bus("x", 1);
+        let y = net.gate(GateKind::Inv, &[x[0]]);
+        net.output_bus("y", vec![y]);
+        let preset = GateSim::with_inputs(net.clone(), &[(x[0], true)]).unwrap();
+        let yw = preset.netlist().output_by_name("y").unwrap().to_vec();
+        assert_eq!(preset.bus(&yw), 0);
+        // Reference: default construction then set_wire costs strictly
+        // more events (the input transition itself is an event).
+        let mut plain = GateSim::new(net).unwrap();
+        plain.set_wire(x[0], true);
+        plain.settle().unwrap();
+        assert_eq!(plain.bus(&yw), 0);
+        assert!(plain.stats().events > preset.stats().events);
     }
 
     #[test]
@@ -505,6 +655,7 @@ mod tests {
             stats: GateSimStats::default(),
             obs: None,
             eval_budget: None,
+            labels: None,
             net: clean,
         };
         kernel.attach_obs(&reg);

@@ -21,7 +21,9 @@
 pub mod bist;
 pub mod fault;
 mod kernel;
+pub mod partition;
 mod system;
 
 pub use kernel::{GateError, GateSim, GateSimStats};
+pub use partition::{partition_netlist, PartitionOptions, PartitionPlan, PartitionedGateSim};
 pub use system::GateSystemSim;

@@ -246,6 +246,7 @@ fn run_loadgen(
             retries: 1,
             fault_engine: FaultEngine::Packed,
             engine: ocapi::ExecEngine::Compiled,
+            partitions: 1,
         };
         write_atomic(path, rep.perf_json(&args).as_bytes())?;
     }

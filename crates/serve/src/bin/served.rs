@@ -1,7 +1,7 @@
 //! `served` — the persistent simulation daemon.
 //!
 //! ```text
-//! served --socket /tmp/ocapi.sock [--cache 8] [--checkpoint DIR]
+//! served --socket /tmp/ocapi.sock [--cache 8] [--sessions 64] [--checkpoint DIR]
 //! ```
 //!
 //! Listens on a Unix-domain socket for length-prefixed JSON job
@@ -19,6 +19,7 @@ use ocapi_serve::server::{run, ServerState};
 struct Args {
     socket: String,
     cache: usize,
+    sessions: usize,
     checkpoint: Option<String>,
 }
 
@@ -26,6 +27,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         socket: String::new(),
         cache: 8,
+        sessions: 64,
         checkpoint: None,
     };
     let mut it = std::env::args().skip(1);
@@ -42,9 +44,18 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| format!("`--cache` needs an integer, got `{v}`"))?;
             }
+            "--sessions" => {
+                let v = value("--sessions")?;
+                args.sessions = v
+                    .parse()
+                    .map_err(|_| format!("`--sessions` needs an integer, got `{v}`"))?;
+            }
             "--checkpoint" => args.checkpoint = Some(value("--checkpoint")?),
             "--help" | "-h" => {
-                return Err("usage: served --socket PATH [--cache N] [--checkpoint DIR]".into())
+                return Err(
+                    "usage: served --socket PATH [--cache N] [--sessions N] [--checkpoint DIR]"
+                        .into(),
+                )
             }
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -63,10 +74,15 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let state = Arc::new(ServerState::new(&args.socket, args.cache, args.checkpoint));
+    let state = Arc::new(ServerState::new(
+        &args.socket,
+        args.cache,
+        args.sessions,
+        args.checkpoint,
+    ));
     eprintln!(
-        "served: listening on {} (cache capacity {})",
-        args.socket, args.cache
+        "served: listening on {} (cache capacity {}, session capacity {})",
+        args.socket, args.cache, args.sessions
     );
     match run(&state) {
         Ok(()) => {

@@ -27,7 +27,7 @@ use crate::designs::Design;
 use crate::error::ServeError;
 use crate::json::{obj, Json};
 use crate::proto::send;
-use crate::server::{ParkedSession, ServerState};
+use crate::server::{ParkedSession, ServerState, SessionLookup};
 
 /// FNV-1a 64 offset/prime, matching the other hashes in the workspace.
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -409,13 +409,13 @@ pub fn session_open(
         _ => state.cache.get(&design.build()?, level)?.program_hash(),
     };
     let mut sessions = state.sessions.lock().unwrap_or_else(|e| e.into_inner());
-    if sessions.contains_key(name) {
+    if sessions.contains(name) {
         return Err(ServeError::Parse(format!(
             "session `{name}` already exists"
         )));
     }
-    sessions.insert(
-        name.to_owned(),
+    sessions.park(
+        name,
         ParkedSession {
             design,
             level,
@@ -504,11 +504,36 @@ pub fn session_run(
     let name = need_str(req, "session")?;
     let cycles = opt_u64(req, "cycles", 16)?.max(1);
     let parked = {
-        let sessions = state.sessions.lock().unwrap_or_else(|e| e.into_inner());
-        sessions
-            .get(name)
-            .cloned()
-            .ok_or_else(|| ServeError::Parse(format!("unknown session `{name}`")))?
+        let mut sessions = state.sessions.lock().unwrap_or_else(|e| e.into_inner());
+        match sessions.get(name) {
+            SessionLookup::Found(parked) => *parked,
+            SessionLookup::Evicted => {
+                // Deterministic eviction report: the name existed but
+                // was dropped by the LRU bound, which is actionable
+                // (reopen and replay) where `unknown session` is not.
+                let capacity = sessions.capacity();
+                drop(sessions);
+                send(
+                    out,
+                    &obj([
+                        ("id", Json::Str(id.to_owned())),
+                        ("type", Json::Str("error".to_owned())),
+                        ("code", Json::Str("session.evicted".to_owned())),
+                        (
+                            "message",
+                            Json::Str(format!(
+                                "session `{name}` was evicted by the LRU bound \
+                                 (capacity {capacity}); reopen it with session.open"
+                            )),
+                        ),
+                    ]),
+                )?;
+                return Ok(());
+            }
+            SessionLookup::Unknown => {
+                return Err(ServeError::Parse(format!("unknown session `{name}`")))
+            }
+        }
     };
     let sys = parked.design.build()?;
     let inputs = input_decls(&sys);
@@ -534,10 +559,7 @@ pub fn session_run(
     let snapshot = session.snapshot().to_bytes();
     {
         let mut sessions = state.sessions.lock().unwrap_or_else(|e| e.into_inner());
-        if let Some(s) = sessions.get_mut(name) {
-            s.snapshot = Some(snapshot);
-            s.digest = digest;
-        }
+        sessions.repark(name, snapshot, digest);
     }
     send(
         out,
@@ -564,7 +586,7 @@ pub fn session_close(
     let name = need_str(req, "session")?;
     let existed = {
         let mut sessions = state.sessions.lock().unwrap_or_else(|e| e.into_inner());
-        sessions.remove(name).is_some()
+        sessions.remove(name)
     };
     send(
         out,

@@ -50,7 +50,7 @@ pub use cache::TapeCache;
 pub use designs::Design;
 pub use error::ServeError;
 pub use json::Json;
-pub use server::{ParkedSession, ServerState};
+pub use server::{ParkedSession, ServerState, SessionLookup, SessionTable};
 
 /// Crate version reported by the `ping` op.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

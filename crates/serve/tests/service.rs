@@ -66,7 +66,7 @@ fn ber(id: &str, lanes: usize, threads: usize) -> String {
 #[test]
 fn deterministic_frames_survive_concurrent_load_at_every_geometry() {
     // Reference transcripts from a quiet server, once per geometry.
-    let quiet = ServerState::new("/tmp/unused.sock", 8, None);
+    let quiet = ServerState::new("/tmp/unused.sock", 8, 8, None);
     let mut expected = Vec::new();
     for &(lanes, threads) in &[(1, 1), (1, 4), (8, 1), (8, 4)] {
         expected.push((
@@ -81,7 +81,7 @@ fn deterministic_frames_survive_concurrent_load_at_every_geometry() {
         .join(format!("ocapi-serve-test-{}.sock", std::process::id()))
         .to_string_lossy()
         .into_owned();
-    let state = Arc::new(ServerState::new(&socket, 8, None));
+    let state = Arc::new(ServerState::new(&socket, 8, 8, None));
     let daemon = {
         let state = Arc::clone(&state);
         std::thread::spawn(move || run(&state).unwrap())
@@ -134,7 +134,7 @@ fn deterministic_frames_survive_concurrent_load_at_every_geometry() {
 
 #[test]
 fn repeat_requests_are_served_from_the_tape_cache() {
-    let state = ServerState::new("/tmp/unused.sock", 8, None);
+    let state = ServerState::new("/tmp/unused.sock", 8, 8, None);
     assert_eq!(state.cache.stats(), (0, 0, 0));
     let first = transcript(&state, &campaign("rep", 2, 1));
     let (h, m, _) = state.cache.stats();
@@ -156,7 +156,7 @@ fn repeat_requests_are_served_from_the_tape_cache() {
 
 #[test]
 fn parked_sessions_resume_byte_identically() {
-    let state = ServerState::new("/tmp/unused.sock", 8, None);
+    let state = ServerState::new("/tmp/unused.sock", 8, 8, None);
     let one = |session: &str, cycles: u64, id: &str| {
         format!(r#"{{"op":"session.run","id":"{id}","session":"{session}","cycles":{cycles}}}"#)
     };

@@ -6,7 +6,7 @@
 use std::collections::HashMap;
 
 /// Identifier of a single-bit wire in a [`Netlist`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct WireId(pub(crate) u32);
 
 impl WireId {

@@ -17,6 +17,12 @@ trap 'rm -rf "$out"' EXIT
 for bin in table1 table_gates fault_coverage ber_sweep exception_latency; do
   ./target/release/$bin --quick --threads 4 --perf-json "$out/$bin.perf.json"
 done
+# A second table_gates pass with the netlist cut four ways: records the
+# model-parallel partitioned_cycles_per_sec next to the single-core
+# rate (bench_regress takes the max per (bin, key); its same-run
+# partitioned-vs-single-core relative gate never reads the baseline).
+./target/release/table_gates --quick --threads 4 --partitions 4 \
+  --perf-json "$out/table_gates-p4.perf.json"
 # A second table1 pass on the direct-threaded fused engine: records
 # fused_cycles_per_sec (and the fused per-design rows) next to the
 # default-engine metrics; bench_regress takes the max per (bin, key).
